@@ -1,0 +1,32 @@
+# Convenience targets for the weighted-proximity best-join reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full figures examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Paper-scale document counts (500 synthetic / 1000 TREC docs per point).
+bench-full:
+	REPRO_BENCH_DOCS=500 REPRO_BENCH_TREC_DOCS=1000 \
+		$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.experiments.cli all --docs 100
+
+examples:
+	@for example in examples/*.py; do \
+		echo "== $$example"; \
+		$(PYTHON) $$example > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+clean:
+	rm -rf .pytest_cache benchmarks/results build *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

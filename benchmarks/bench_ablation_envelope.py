@@ -1,0 +1,24 @@
+"""Ablation: specialized MAX join vs. the general envelope approach.
+
+DESIGN.md decision 1: the dominance-stack scan (Section V's efficient
+algorithm) avoids materializing interval–match pairs and binary-searching
+crossovers.  Both compute identical results (tested in
+tests/algorithms/test_max_join.py); this ablation quantifies the
+constant-factor cost of the general approach.
+"""
+
+from repro.experiments.figures import ablation_envelope
+
+from conftest import NUM_DOCS, save_report
+
+
+def test_ablation_envelope_report(benchmark):
+    result = benchmark.pedantic(
+        ablation_envelope, kwargs={"num_docs": NUM_DOCS}, rounds=1, iterations=1
+    )
+    save_report("ablation_envelope", result.format())
+    # Both scale linearly; the general approach pays extra setup.  Allow
+    # generous slack — the assertion is about *not* blowing up, the
+    # interesting output is the saved table.
+    for a, b in zip(result.series["max_join"], result.series["general_max_join"]):
+        assert a < b * 3 + 0.05

@@ -1,0 +1,21 @@
+"""Ablation: the switch-to-naive heuristic on extremely skewed inputs.
+
+DESIGN.md decision 2 / the paper's TREC discussion: "If all match lists
+but one contain no more than one match each, we switch to a naive
+algorithm."  This ablation sweeps Zipf skew with the fix on and off.
+"""
+
+from repro.experiments.figures import ablation_skew_fix
+
+from conftest import NUM_DOCS, save_report
+
+
+def test_ablation_skew_fix_report(benchmark):
+    result = benchmark.pedantic(
+        ablation_skew_fix, kwargs={"num_docs": NUM_DOCS}, rounds=1, iterations=1
+    )
+    save_report("ablation_skew_fix", result.format())
+    with_fix = result.series["with skew fix"]
+    without = result.series["without skew fix"]
+    # At extreme skew (s=4) the fix should not hurt, and usually helps.
+    assert with_fix[-1] < without[-1] * 1.5 + 0.05

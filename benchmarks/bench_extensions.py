@@ -1,0 +1,98 @@
+"""Overheads of the extension algorithms (beyond the paper).
+
+* k-best WIN vs. the plain join: the k factor should show up roughly
+  linearly, with k = 1 close to the plain join.
+* streaming MED by-location vs. the batch version: the early-emission
+  bookkeeping should cost a small constant factor.
+* type-anchored join ([7]'s scoring) vs. the free-anchor MAX join.
+"""
+
+import pytest
+
+from repro.core.algorithms.by_location import med_by_location
+from repro.core.algorithms.max_join import max_join
+from repro.core.algorithms.streaming import med_by_location_streaming
+from repro.core.algorithms.type_anchored import type_anchored_join
+from repro.core.algorithms.win_join import win_join
+from repro.core.algorithms.win_kbest import win_join_kbest
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+from repro.core.scoring.type_anchored import TypeAnchoredMax
+from repro.datasets.synthetic import SyntheticConfig, generate_dataset
+
+from conftest import NUM_DOCS
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return [
+        (inst.query, inst.lists)
+        for inst in generate_dataset(SyntheticConfig(num_docs=NUM_DOCS))
+    ]
+
+
+@pytest.mark.parametrize("k", [1, 4, 16])
+def test_win_kbest(benchmark, instances, k):
+    scoring = trec_win()
+
+    def run_all():
+        for query, lists in instances:
+            win_join_kbest(query, lists, scoring, k)
+
+    benchmark.group = "extensions: k-best WIN"
+    benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=1)
+
+
+def test_win_plain_reference(benchmark, instances):
+    scoring = trec_win()
+
+    def run_all():
+        for query, lists in instances:
+            win_join(query, lists, scoring)
+
+    benchmark.group = "extensions: k-best WIN"
+    benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("variant", ["batch", "streaming"])
+def test_med_by_location_variants(benchmark, instances, variant):
+    scoring = trec_med()
+
+    def run_batch():
+        for query, lists in instances:
+            for _ in med_by_location(query, lists, scoring):
+                pass
+
+    def run_streaming():
+        for query, lists in instances:
+            for _ in med_by_location_streaming(query, lists, scoring):
+                pass
+
+    benchmark.group = "extensions: MED by-location"
+    benchmark.pedantic(
+        run_batch if variant == "batch" else run_streaming,
+        rounds=1,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.mark.parametrize("variant", ["type-anchored", "free-anchor MAX"])
+def test_anchored_vs_free(benchmark, instances, variant):
+    anchored = TypeAnchoredMax(0, alpha=0.1)
+    free = trec_max()
+
+    def run_anchored():
+        for query, lists in instances:
+            type_anchored_join(query, lists, anchored)
+
+    def run_free():
+        for query, lists in instances:
+            max_join(query, lists, free)
+
+    benchmark.group = "extensions: anchored vs free"
+    benchmark.pedantic(
+        run_anchored if variant == "type-anchored" else run_free,
+        rounds=1,
+        iterations=1,
+        warmup_rounds=1,
+    )

@@ -1,0 +1,29 @@
+"""Figure 10: execution times vs. Zipf skew of term popularities.
+
+Expected shape (paper): the naive algorithms improve as skew grows (the
+cross product shrinks) but only catch up with the proposed algorithms at
+the extreme s = 4, where all lists but one have size ~1.
+"""
+
+from repro.experiments.figures import fig10_skew
+
+from conftest import NUM_DOCS, save_report
+
+S_VALUES = (1.1, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0)
+
+
+def test_fig10_report(benchmark):
+    result = benchmark.pedantic(
+        fig10_skew,
+        kwargs={"num_docs": NUM_DOCS, "s_values": S_VALUES},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig10", result.format())
+    # Naive improves dramatically with skew...
+    assert result.series["NMAX"][-1] < result.series["NMAX"][0] / 3
+    # ...and at mild skew it is far behind the proposed algorithms.
+    assert result.series["MED"][0] < result.series["NMED"][0]
+    assert result.series["MAX"][0] < result.series["NMAX"][0]
+    # At s=4 the gap has (nearly) closed: naive within a small factor.
+    assert result.series["NMED"][-1] < result.series["MED"][-1] * 5 + 0.05

@@ -1,0 +1,66 @@
+"""Figure 11: execution times over the TREC-like dataset, per query.
+
+Expected shape (paper): for Q1 and Q2 (several moderate lists) the naive
+algorithms are one to two orders of magnitude slower; for the extremely
+skewed queries (Q3, Q4, Q6) naive performs well; WIN bars exist only for
+the four-term queries Q1–Q2 (WIN ≡ MED at three terms).
+"""
+
+import math
+
+import pytest
+
+from repro.datasets.trec_like import TREC_QUERY_SPECS, generate_trec_like
+from repro.experiments.figures import fig11_trec_times
+from repro.experiments.runner import full_suite
+
+from conftest import NUM_TREC_DOCS, save_report
+
+_ALGOS = ("WIN", "MED", "MAX", "NWIN", "NMED", "NMAX")
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    return {
+        spec.query_id: generate_trec_like(spec, num_docs=NUM_TREC_DOCS)
+        for spec in TREC_QUERY_SPECS
+    }
+
+
+@pytest.mark.parametrize("query_id", [s.query_id for s in TREC_QUERY_SPECS])
+@pytest.mark.parametrize("algo", _ALGOS)
+def test_fig11_point(benchmark, corpora, algo, query_id):
+    dataset = corpora[query_id]
+    suite = {
+        s.name: s
+        for s in full_suite(win_as_med_when_small=len(dataset.spec.terms))
+    }
+    if algo not in suite:
+        pytest.skip("WIN ≡ MED for three-term queries (paper convention)")
+    instances = [(dataset.query, doc.lists) for doc in dataset.documents]
+    spec = suite[algo]
+
+    def run_all():
+        for query, lists in instances:
+            spec.run(query, lists)
+
+    benchmark.group = f"fig11 {query_id}"
+    benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=1)
+
+
+def test_fig11_report(benchmark):
+    result = benchmark.pedantic(
+        fig11_trec_times,
+        kwargs={"num_docs": NUM_TREC_DOCS},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig11", result.format())
+    q = {qid: i for i, qid in enumerate(result.x_values)}
+    # Q1/Q2: clear advantage for the proposed algorithms.
+    for qid in ("Q1", "Q2"):
+        assert result.series["MED"][q[qid]] < result.series["NMED"][q[qid]]
+        assert result.series["MAX"][q[qid]] < result.series["NMAX"][q[qid]]
+    # WIN reported only for the four-term queries.
+    assert not math.isnan(result.series["WIN"][q["Q1"]])
+    assert math.isnan(result.series["WIN"][q["Q3"]])

@@ -1,0 +1,66 @@
+"""Figure 6: execution times vs. number of query terms.
+
+Two granularities:
+
+* per-(algorithm, |Q|) microbenchmarks — the pytest-benchmark table shows
+  each algorithm's growth with the number of query terms directly;
+* one whole-figure benchmark that regenerates and saves the paper-style
+  series (benchmarks/results/fig6.txt).
+
+Expected shape (paper): the naive algorithms blow up combinatorially
+with |Q| (NMAX worst, then NMED, then NWIN); the proposed algorithms stay
+near the axis, with WIN slightly costlier due to its 2^|Q| factor.
+"""
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig, generate_dataset
+from repro.experiments.figures import fig6_query_terms
+from repro.experiments.runner import full_suite
+
+from conftest import NUM_DOCS, save_report
+
+TERM_COUNTS = (2, 3, 4, 5, 6, 7)
+_SPECS = {spec.name: spec for spec in full_suite()}
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {
+        k: [
+            (inst.query, inst.lists)
+            for inst in generate_dataset(
+                SyntheticConfig(num_terms=k, num_docs=NUM_DOCS)
+            )
+        ]
+        for k in TERM_COUNTS
+    }
+
+
+@pytest.mark.parametrize("terms", TERM_COUNTS)
+@pytest.mark.parametrize("algo", list(_SPECS))
+def test_fig6_point(benchmark, datasets, algo, terms):
+    spec = _SPECS[algo]
+    instances = datasets[terms]
+
+    def run_all():
+        for query, lists in instances:
+            spec.run(query, lists)
+
+    benchmark.group = f"fig6 |Q|={terms}"
+    benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=1)
+
+
+def test_fig6_report(benchmark):
+    """Regenerate and save the full Figure 6 series."""
+    result = benchmark.pedantic(
+        fig6_query_terms,
+        kwargs={"num_docs": NUM_DOCS, "term_counts": TERM_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig6", result.format())
+    # Shape assertions: naive blows up with |Q|; ours stays low.
+    assert result.series["NMAX"][-1] > result.series["NMAX"][0]
+    assert result.series["MED"][-1] < result.series["NMED"][-1]
+    assert result.series["MAX"][-1] < result.series["NMAX"][-1]

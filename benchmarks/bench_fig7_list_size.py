@@ -1,0 +1,59 @@
+"""Figure 7: execution times vs. total match-list size per document.
+
+Expected shape (paper): exponential growth for the naive algorithms as
+the lists grow, while the proposed algorithms "hold steadily close to
+the horizontal axis".
+"""
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig, generate_dataset
+from repro.experiments.figures import fig7_list_size
+from repro.experiments.runner import full_suite
+
+from conftest import NUM_DOCS, save_report
+
+TOTAL_SIZES = (10, 20, 30, 40)
+_SPECS = {spec.name: spec for spec in full_suite()}
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {
+        n: [
+            (inst.query, inst.lists)
+            for inst in generate_dataset(
+                SyntheticConfig(total_matches=n, num_docs=NUM_DOCS)
+            )
+        ]
+        for n in TOTAL_SIZES
+    }
+
+
+@pytest.mark.parametrize("total", TOTAL_SIZES)
+@pytest.mark.parametrize("algo", list(_SPECS))
+def test_fig7_point(benchmark, datasets, algo, total):
+    spec = _SPECS[algo]
+    instances = datasets[total]
+
+    def run_all():
+        for query, lists in instances:
+            spec.run(query, lists)
+
+    benchmark.group = f"fig7 total={total}"
+    benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=1)
+
+
+def test_fig7_report(benchmark):
+    result = benchmark.pedantic(
+        fig7_list_size,
+        kwargs={"num_docs": NUM_DOCS, "total_sizes": TOTAL_SIZES},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig7", result.format())
+    # Naive grows steeply from 10 to 40 matches; ours grows far slower.
+    naive_growth = result.series["NMAX"][-1] / max(result.series["NMAX"][0], 1e-9)
+    ours_growth = result.series["MAX"][-1] / max(result.series["MAX"][0], 1e-9)
+    assert naive_growth > ours_growth
+    assert result.series["MED"][-1] < result.series["NMED"][-1]

@@ -1,0 +1,34 @@
+"""Figure 8: duplicate-unaware executions per document vs. λ.
+
+Not a timing figure: the reported quantity is how many times the
+Section VI method reruns the duplicate-unaware algorithm per document.
+The benchmark times the sweep and attaches the reproduced counts as
+extra_info; the paper-style series goes to benchmarks/results/fig8.txt.
+
+Expected shape (paper): counts drop as λ grows (duplicates get rarer),
+reaching ~1–2 invocations at λ=3 (~10% duplicates).  At the unrealistic
+60%-duplicates end the paper reports 10–12; our exhaustive-optimal
+search needs more restarts there (see EXPERIMENTS.md).
+"""
+
+from repro.experiments.figures import fig8_dedup_invocations
+
+from conftest import NUM_DOCS, save_report
+
+LAMS = (1.0, 1.5, 2.0, 2.5, 3.0)
+
+
+def test_fig8_report(benchmark):
+    result = benchmark.pedantic(
+        fig8_dedup_invocations,
+        kwargs={"num_docs": NUM_DOCS, "lams": LAMS},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig8", result.format(precision=2))
+    for name, series in result.series.items():
+        benchmark.extra_info[f"{name} invocations/doc"] = [round(v, 2) for v in series]
+        # Monotone-ish decrease: the λ=3.0 end needs far fewer restarts
+        # than the λ=1.0 end.
+        assert series[-1] < series[0]
+        assert series[-1] < 4.0

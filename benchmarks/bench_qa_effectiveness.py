@@ -1,0 +1,23 @@
+"""End-to-end QA effectiveness (beyond the paper's evaluation).
+
+Runs the complete text pipeline over the factoid corpora for all three
+scoring families and asserts the quality shape: every question's answer
+document ranks at the top and the extracted fields are exactly right —
+the behaviour the paper's motivating systems need from this primitive.
+"""
+
+from repro.experiments.qa_eval import qa_effectiveness
+
+from conftest import save_report
+
+
+def test_qa_effectiveness_report(benchmark):
+    result = benchmark.pedantic(
+        qa_effectiveness, kwargs={"num_docs": 40}, rounds=1, iterations=1
+    )
+    save_report("qa_effectiveness", result.format())
+    for family, mrr in result.mrr.items():
+        assert mrr >= 0.8, (family, mrr)
+    # MAX (the paper's most expressive family) nails every question.
+    assert all(rank == 1 for rank in result.ranks["MAX"])
+    assert all(result.fields_correct["MAX"])

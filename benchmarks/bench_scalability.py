@@ -1,0 +1,83 @@
+"""Beyond the paper: linearity of the proposed joins at large list sizes.
+
+The paper stops at 40 matches per document, where the naive baseline is
+still runnable.  This benchmark pushes the proposed algorithms two
+orders of magnitude further (the naive cross product would need ~10^13
+matchset evaluations at the top end) and checks the advertised
+O(Σ|L_j|) / O(2^|Q|·Σ|L_j|) behaviour: doubling the input should
+roughly double the running time.
+"""
+
+import time
+
+import pytest
+
+from repro.core.algorithms.max_join import max_join
+from repro.core.algorithms.med_join import med_join
+from repro.core.algorithms.win_join import win_join
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+from repro.datasets.synthetic import SyntheticConfig, generate_dataset
+
+from conftest import save_report
+
+SIZES = (400, 800, 1600, 3200)
+_ALGOS = {
+    "WIN": (win_join, trec_win()),
+    "MED": (med_join, trec_med()),
+    "MAX": (max_join, trec_max()),
+}
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {
+        n: [
+            (inst.query, inst.lists)
+            for inst in generate_dataset(
+                SyntheticConfig(
+                    total_matches=n, doc_words=max(1000, 4 * n), num_docs=3
+                )
+            )
+        ]
+        for n in SIZES
+    }
+
+
+@pytest.mark.parametrize("total", SIZES)
+@pytest.mark.parametrize("algo", list(_ALGOS))
+def test_scalability_point(benchmark, datasets, algo, total):
+    algorithm, scoring = _ALGOS[algo]
+    instances = datasets[total]
+
+    def run_all():
+        for query, lists in instances:
+            algorithm(query, lists, scoring)
+
+    benchmark.group = f"scalability total={total}"
+    benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=1)
+
+
+def test_scalability_report(benchmark, datasets):
+    def run() -> dict[str, list[float]]:
+        series: dict[str, list[float]] = {name: [] for name in _ALGOS}
+        for total in SIZES:
+            for name, (algorithm, scoring) in _ALGOS.items():
+                start = time.perf_counter()
+                for query, lists in datasets[total]:
+                    algorithm(query, lists, scoring)
+                series[name].append(time.perf_counter() - start)
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Scalability: proposed joins at large list sizes (s per 3 docs)"]
+    lines.append("total  " + "  ".join(f"{n:>8}" for n in _ALGOS))
+    for i, total in enumerate(SIZES):
+        lines.append(
+            f"{total:>5}  " + "  ".join(f"{series[n][i]:8.4f}" for n in _ALGOS)
+        )
+    save_report("scalability", "\n".join(lines))
+    # 8× the input should cost well under the 64× a quadratic would —
+    # allow slack for timing noise at single-round granularity.
+    for name in _ALGOS:
+        growth = series[name][-1] / max(series[name][0], 1e-9)
+        assert growth < 32, (name, growth)

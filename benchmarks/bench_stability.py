@@ -1,0 +1,46 @@
+"""Timing stability (the paper's footnote 7).
+
+The paper validates its measurement protocol by repeating experiments
+10 times and reporting an average coefficient of variation of 5.7%, with
+few points above 10%.  This benchmark applies the same methodology to a
+sample of our data points.  Pure-Python timings on a shared machine are
+noisier than dedicated-C++-desktop ones, so the asserted envelope is
+wider (average CoV below 35%); the full per-point report is saved for
+inspection.
+"""
+
+from repro.core.algorithms.max_join import max_join
+from repro.core.algorithms.med_join import med_join
+from repro.core.algorithms.win_join import win_join
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+from repro.datasets.synthetic import SyntheticConfig, generate_dataset
+from repro.experiments.stats import stability_report
+
+from conftest import save_report
+
+
+def test_timing_stability_report(benchmark):
+    instances = [
+        (inst.query, inst.lists)
+        for inst in generate_dataset(SyntheticConfig(num_docs=15))
+    ]
+
+    def workload(algorithm, scoring):
+        def run():
+            for query, lists in instances:
+                algorithm(query, lists, scoring)
+
+        return run
+
+    workloads = {
+        "WIN join": workload(win_join, trec_win()),
+        "MED join": workload(med_join, trec_med()),
+        "MAX join": workload(max_join, trec_max()),
+    }
+    report = benchmark.pedantic(
+        stability_report, args=(workloads,), kwargs={"repeats": 10},
+        rounds=1, iterations=1,
+    )
+    save_report("stability", report.format())
+    assert report.mean_cov < 0.35
+    assert all(s.mean > 0 for s in report.samples)

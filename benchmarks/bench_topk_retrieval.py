@@ -1,0 +1,79 @@
+"""Top-k document retrieval with upper-bound skipping (beyond the paper).
+
+At corpus scale, most documents cannot reach the top-k floor; the cheap
+co-location upper bound proves it without running their joins.  This
+benchmark compares full ranking against the skipping retrieval on the
+same corpus and asserts both the equivalence (spot-checked — the full
+property test lives in tests/) and that a substantial fraction of joins
+is skipped.
+"""
+
+import random
+
+import pytest
+
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.presets import trec_max
+from repro.retrieval.ranking import rank_match_lists
+from repro.retrieval.topk_retrieval import rank_top_k
+
+from conftest import save_report
+
+NUM_DOCS = 300
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = random.Random(17)
+    query = Query.of("a", "b", "c")
+    docs = []
+    for i in range(NUM_DOCS):
+        # A few strong documents; mostly weak ones with low scores.
+        strong = rng.random() < 0.05
+        hi = 1.0 if strong else 0.3
+        docs.append(
+            (
+                f"doc-{i:04d}",
+                [
+                    MatchList.from_pairs(
+                        [
+                            (rng.randint(0, 400), rng.uniform(0.02, hi))
+                            for _ in range(rng.randint(1, 5))
+                        ]
+                    )
+                    for _ in range(3)
+                ],
+            )
+        )
+    return query, docs
+
+
+def test_full_ranking(benchmark, corpus):
+    query, docs = corpus
+    scoring = trec_max()
+    benchmark.group = "top-k retrieval"
+    benchmark.pedantic(
+        lambda: rank_match_lists(docs, query, scoring),
+        rounds=1, iterations=1, warmup_rounds=1,
+    )
+
+
+def test_topk_with_skipping(benchmark, corpus):
+    query, docs = corpus
+    scoring = trec_max()
+    benchmark.group = "top-k retrieval"
+    result = benchmark.pedantic(
+        lambda: rank_top_k(docs, query, scoring, 10),
+        rounds=1, iterations=1, warmup_rounds=1,
+    )
+    full = rank_match_lists(docs, query, scoring)
+    assert [r.doc_id for r in result.ranked] == [r.doc_id for r in full[:10]]
+    save_report(
+        "topk_retrieval",
+        "Top-k retrieval with upper-bound skipping\n"
+        f"documents: {result.documents_seen}, joins run: {result.joins_run}, "
+        f"skipped: {result.joins_skipped} "
+        f"({result.joins_skipped / result.documents_seen:.0%})",
+    )
+    assert result.joins_skipped > NUM_DOCS * 0.3

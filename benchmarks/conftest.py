@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+Document counts default to laptop-friendly sizes; set ``REPRO_BENCH_DOCS``
+to scale up (the paper used 500 synthetic documents per data point and
+1000 TREC documents per query).  Every figure benchmark writes the
+paper-style table it regenerates to ``benchmarks/results/`` so the run
+leaves the reproduced rows/series on disk.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+#: documents per synthetic data point (paper: 500)
+NUM_DOCS = int(os.environ.get("REPRO_BENCH_DOCS", "20"))
+#: documents per TREC-like query corpus (paper: 1000)
+NUM_TREC_DOCS = int(os.environ.get("REPRO_BENCH_TREC_DOCS", "100"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def num_docs() -> int:
+    return NUM_DOCS
+
+
+@pytest.fixture(scope="session")
+def num_trec_docs() -> int:
+    return NUM_TREC_DOCS

@@ -1,0 +1,84 @@
+"""Matchset ranking vs. classic document-level proximity baselines.
+
+Section IX of the paper situates weighted proximity best-joins against
+IR work that folds proximity into *document* scores.  This example runs
+both families on the same match lists and shows the two gaps the paper
+points at:
+
+1. the classic baselines ignore match *weights*, so a document whose
+   matches are fuzzy (low-scoring) ties one with exact matches at the
+   same positions;
+2. they return a number per document, not an answer — no way to say
+   *which* PC maker partnered with *which* sport.
+
+Run:  python examples/proximity_baselines.py
+"""
+
+from repro.core.api import best_matchset
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.retrieval.proximity_scoring import (
+    InfluenceScorer,
+    PairwiseProximityScorer,
+    ShortestIntervalScorer,
+    SpanScorer,
+)
+from repro.scoring import trec_max
+
+QUERY = Query.of("pc maker", "sports", "partnership")
+
+# Two documents with *identical match positions* but different match
+# quality: doc A has exact, confident matches; doc B only weak fuzzy ones.
+DOC_A = [
+    MatchList.from_pairs([(10, 1.0)], term="pc maker"),
+    MatchList.from_pairs([(13, 1.0)], term="sports"),
+    MatchList.from_pairs([(11, 1.0)], term="partnership"),
+]
+DOC_B = [
+    MatchList.from_pairs([(10, 0.1)], term="pc maker"),
+    MatchList.from_pairs([(13, 0.1)], term="sports"),
+    MatchList.from_pairs([(11, 0.1)], term="partnership"),
+]
+# Doc C: strong matches, but scattered across the document.
+DOC_C = [
+    MatchList.from_pairs([(10, 1.0)], term="pc maker"),
+    MatchList.from_pairs([(180, 1.0)], term="sports"),
+    MatchList.from_pairs([(95, 1.0)], term="partnership"),
+]
+
+DOCS = {"A (exact, tight)": DOC_A, "B (fuzzy, tight)": DOC_B, "C (exact, scattered)": DOC_C}
+
+
+def main() -> None:
+    baselines = {
+        "shortest-interval [11,9]": ShortestIntervalScorer(len(QUERY)),
+        "pairwise 1/d^2 [19]": PairwiseProximityScorer(window=8),
+        "influence [18]": InfluenceScorer(reach=10),
+        "spans [20]": SpanScorer(max_gap=8),
+    }
+    scoring = trec_max()
+
+    header = f"{'document':<22}" + "".join(f"{name:>26}" for name in baselines)
+    header += f"{'best-join (MAX)':>18}"
+    print(header)
+    print("-" * len(header))
+    for label, lists in DOCS.items():
+        row = f"{label:<22}"
+        for scorer in baselines.values():
+            row += f"{scorer.score(lists):>26.3f}"
+        result = best_matchset(QUERY, lists, scoring)
+        row += f"{result.score:>18.3f}"
+        print(row)
+
+    print(
+        "\nNote how every baseline scores A and B identically — match"
+        " positions are all they see — while the weighted best-join"
+        " separates exact from fuzzy matches AND still returns the"
+        " matchset itself:"
+    )
+    result = best_matchset(QUERY, DOC_A, scoring)
+    print(f"  answer for A: {result.matchset}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: weighted proximity best-joins on hand-built match lists.
+
+Recreates the paper's Figure 1 scenario: a three-term query
+{"PC maker", "sports", "partnership"} whose matches in a document are
+given as (location, score) lists.  We find the best matchset under each
+of the three scoring families and then all locally-best matchsets.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MatchList, Query, best_matchset, best_matchsets_by_location
+from repro.scoring import trec_max, trec_med, trec_win
+
+
+def main() -> None:
+    query = Query.of("pc maker", "sports", "partnership")
+
+    # Matches as a matcher would emit them: token position + match score.
+    # (These model the underlined tokens of the paper's Figure 1.)
+    lists = [
+        MatchList.from_pairs(
+            [(4, 1.0), (31, 0.7), (72, 1.0), (80, 1.0), (83, 1.0)], term="pc maker"
+        ),
+        MatchList.from_pairs(
+            [(15, 0.9), (22, 0.9), (42, 0.8), (51, 0.7), (63, 0.7)], term="sports"
+        ),
+        MatchList.from_pairs([(1, 0.5), (12, 0.9), (39, 1.0)], term="partnership"),
+    ]
+
+    print("Query:", list(query))
+    for lst in lists:
+        print(f"  {lst.term}: {[(m.location, m.score) for m in lst]}")
+
+    print("\nOverall best matchset per scoring family")
+    print("-" * 55)
+    for name, scoring in [("WIN", trec_win()), ("MED", trec_med()), ("MAX", trec_max())]:
+        result = best_matchset(query, lists, scoring)
+        locs = {term: m.location for term, m in result.matchset.items()}
+        print(f"{name}: score={result.score:.3f}  matches at {locs}")
+
+    print("\nBest matchset per anchor location (MED, top 5 by score)")
+    print("-" * 55)
+    results = sorted(
+        best_matchsets_by_location(query, lists, trec_med()),
+        key=lambda r: -r.score,
+    )
+    for r in results[:5]:
+        locs = tuple(sorted(r.matchset.locations))
+        print(f"anchor={r.anchor:3d}  score={r.score:7.3f}  locations={locs}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Streaming extraction from a live match feed (the future-work algorithm).
+
+Simulates a scanner emitting ``(term, match)`` events as a document is
+read — a token stream from a tailing log, a wire feed, a crawler — and
+extracts locally-best matchsets *while the stream is still running*
+using the bounded-score streaming MED algorithm.  Each emitted result is
+annotated with how far the stream had advanced when it became final,
+showing how little lookahead the score bound needs.
+
+Run:  python examples/streaming_extraction.py
+"""
+
+import random
+
+from repro.core.algorithms.streaming import med_by_location_streaming
+from repro.core.match import Match
+from repro.core.query import Query
+from repro.scoring import trec_med
+
+QUERY = Query.of("service", "error", "host")
+
+
+def simulated_feed(rng: random.Random, length: int = 400):
+    """Yield (term_index, match) events in location order.
+
+    Models a log stream: frequent host mentions, periodic service
+    mentions, bursts of errors.
+    """
+    for location in range(length):
+        if location % 7 == 0:
+            yield 2, Match(location, rng.uniform(0.6, 1.0), token=f"host-{location%5}")
+        if location % 11 == 0:
+            yield 0, Match(location, rng.uniform(0.5, 1.0), token="checkout-svc")
+        if 100 <= location <= 130 and location % 3 == 0:
+            yield 1, Match(location, rng.uniform(0.7, 1.0), token="ERROR")
+        if location in (250, 251, 256):
+            yield 1, Match(location, 0.9, token="ERROR")
+
+
+def main() -> None:
+    rng = random.Random(4)
+
+    # Wrap the feed so we can report how far it had been consumed when
+    # each result was finalized.
+    progress = {"position": 0}
+
+    def tracking_feed():
+        for event in simulated_feed(rng):
+            progress["position"] = event[1].location
+            yield event
+
+    print(f"query: {list(QUERY)}  (streaming, scores bounded by 1.0)\n")
+    print(f"{'anchor':>6}  {'score':>8}  {'final at stream pos':>20}  matchset")
+    print("-" * 76)
+    best = []
+    for result in med_by_location_streaming(QUERY, tracking_feed(), trec_med()):
+        best.append(result)
+        if result.score > 0:
+            locs = {t: m.location for t, m in result.matchset.items()}
+            print(
+                f"{result.anchor:>6}  {result.score:>8.2f}  "
+                f"{progress['position']:>20}  {locs}"
+            )
+
+    top = max(best, key=lambda r: r.score)
+    print(f"\nbest extraction overall: anchor={top.anchor} score={top.score:.2f}")
+    print(
+        "Each row was emitted while the stream was at the position shown —"
+        " long before the 400-token stream ended."
+    )
+
+
+if __name__ == "__main__":
+    main()

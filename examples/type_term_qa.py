@@ -1,0 +1,75 @@
+"""Type-term questions: "who invented dental floss" ([7]'s model).
+
+The paper's opening example.  A *type* term ("who" → person) anchors the
+answer: Chakrabarti et al. score keyword matches by their decayed
+distance to the type term's match, which Eq. (5) generalizes by freeing
+the anchor.  This example runs both scorings over a small corpus and
+shows where they differ: the type-anchored join always extracts a
+*person* span as the answer anchor, while the free-anchor MAX may anchor
+anywhere in the cluster.
+
+Run:  python examples/type_term_qa.py
+"""
+
+from repro.core.algorithms.type_anchored import type_anchored_join
+from repro.core.api import best_matchset
+from repro.core.query import Query
+from repro.core.scoring.type_anchored import TypeAnchoredMax
+from repro.lexicon.graph import LexicalGraph
+from repro.matching.pipeline import QueryMatcher
+from repro.matching.semantic import SemanticMatcher
+from repro.scoring import trec_max
+from repro.text.document import Document
+
+DOC = Document(
+    "floss-history",
+    "Modern dental floss has a disputed history. Many credit the dentist "
+    "Levi Spear Parmly, who promoted flossing with silk thread in 1815. "
+    "Decades later the inventor Charles Bass championed nylon floss. "
+    "Retailers today sell dental floss in every pharmacy, and a dentist "
+    "will recommend flossing daily.",
+)
+
+
+def build_lexicon() -> LexicalGraph:
+    graph = LexicalGraph()
+    # The "who" type term expands to person evidence.
+    graph.add_hyponyms("person", "dentist", "inventor", "levi spear parmly", "charles bass")
+    graph.add_edge("invent", "promote")
+    graph.add_edge("invent", "champion")
+    graph.add_synonyms("dental floss", "floss", "flossing")
+    return graph
+
+
+def main() -> None:
+    lexicon = build_lexicon()
+    query = Query.of("person", "invent", "dental floss")
+    matcher = QueryMatcher(
+        query,
+        matchers={term: SemanticMatcher(term, lexicon=lexicon) for term in query},
+    )
+    lists = matcher.match_lists(DOC)
+    for lst in lists:
+        print(f"{lst.term}: {[(m.location, m.token, round(m.score, 2)) for m in lst]}")
+
+    tokens = DOC.tokens
+
+    print("\n[7]-style type-anchored scoring (anchor = the person match):")
+    anchored = TypeAnchoredMax(type_term_index=0, alpha=0.2)
+    result = type_anchored_join(query, lists, anchored)
+    for term, m in result.matchset.items():
+        print(f"  {term}: {m.token!r} @ {m.location}")
+    print(f"  score = {result.score:.3f}")
+
+    print("\nEq. (5) free-anchor MAX scoring:")
+    free = trec_max()
+    result = best_matchset(query, lists, free)
+    for term, m in result.matchset.items():
+        print(f"  {term}: {m.token!r} @ {m.location}")
+    anchor, _ = free.best_anchor(result.matchset)
+    print(f"  score = {result.score:.3f}, anchored at token {anchor} "
+          f"({tokens[anchor].text!r})")
+
+
+if __name__ == "__main__":
+    main()

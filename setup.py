@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments where the PEP 660
+editable-build path is unavailable (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro — Weighted Proximity Best-Joins for Information Retrieval.
+
+A from-scratch reproduction of Thonangi, He, Doan, Wang & Yang (ICDE
+2009): given a multi-term query and, per term, a location-sorted list of
+scored matches inside a document, find the best *matchset* (one match per
+term) under scoring functions that combine individual match quality with
+the proximity of the match locations.
+
+Quickstart::
+
+    from repro import Match, MatchList, Query, best_matchset
+    from repro.scoring import trec_max
+
+    query = Query.of("pc maker", "sports", "partnership")
+    lists = [
+        MatchList.from_pairs([(4, 1.0), (30, 0.7)], term="pc maker"),
+        MatchList.from_pairs([(9, 0.9), (41, 0.9)], term="sports"),
+        MatchList.from_pairs([(1, 0.7), (6, 1.0)], term="partnership"),
+    ]
+    result = best_matchset(query, lists, trec_max())
+    print(result.matchset, result.score)
+
+Subpackages
+-----------
+``repro.core``
+    Data model, WIN/MED/MAX scoring families, linear join algorithms,
+    duplicate handling, best-by-location variants.
+``repro.text`` / ``repro.lexicon`` / ``repro.gazetteer``
+    Text substrate: tokenizer, Porter stemmer, a WordNet-like lexical
+    graph and a place gazetteer.
+``repro.matching`` / ``repro.index``
+    Matchers that turn documents into match lists, and an inverted index
+    that derives match lists from postings.
+``repro.retrieval`` / ``repro.extraction``
+    Document ranking by best-matchset score; all-good-matchsets
+    information extraction.
+``repro.datasets`` / ``repro.experiments``
+    The paper's synthetic workload generator, TREC-like and DBWorld-like
+    corpora, and the harness regenerating every figure and table.
+"""
+
+from repro.core import (
+    Match,
+    MatchList,
+    MatchSet,
+    Query,
+    ReproError,
+    best_matchset,
+    best_matchsets_by_location,
+    extract_matchsets,
+)
+from repro import scoring
+from repro.system import SearchSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Match",
+    "MatchList",
+    "MatchSet",
+    "Query",
+    "ReproError",
+    "best_matchset",
+    "best_matchsets_by_location",
+    "extract_matchsets",
+    "scoring",
+    "SearchSystem",
+    "__version__",
+]

@@ -1,0 +1,156 @@
+"""``repro-search`` — ask questions of / extract records from text files.
+
+A user-facing command over the whole stack: tokenize the input files,
+build match lists with the query-language matchers, run the best-join,
+and print either the top answers (QA mode) or all good matchsets
+(extraction mode).
+
+Examples::
+
+    repro-search ask '"pc maker", sports, partnership' news/*.txt
+    repro-search extract 'conference|workshop, when:date, where:place' cfp.txt
+    repro-search ask --scoring win --top 3 'lenovo:exact, nba:exact' doc.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.core.scoring.base import ScoringFunction
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+from repro.extraction.extractor import MatchsetExtractor
+from repro.matching.queries import QuerySyntaxError, build_query_matcher
+from repro.retrieval.fusion import reciprocal_rank_fusion
+from repro.retrieval.qa import QAEngine
+from repro.retrieval.ranking import rank_documents
+from repro.text.document import Corpus, Document
+
+__all__ = ["main"]
+
+_SCORINGS = {"win": trec_win, "med": trec_med, "max": trec_max}
+
+
+def _load_corpus(paths: list[str]) -> Corpus:
+    corpus = Corpus()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if not path.is_file():
+            raise SystemExit(f"repro-search: not a file: {raw}")
+        corpus.add(Document(path.name, path.read_text(errors="replace")))
+    return corpus
+
+
+def _build(args) -> tuple[ScoringFunction, "QueryMatcher"]:  # type: ignore[name-defined]
+    scoring = _SCORINGS[args.scoring]()
+    try:
+        matcher = build_query_matcher(args.query)
+    except QuerySyntaxError as exc:
+        raise SystemExit(f"repro-search: bad query: {exc}")
+    return scoring, matcher
+
+
+def _cmd_ask(args) -> int:
+    if args.scoring == "all":
+        return _cmd_ask_fused(args)
+    scoring, matcher = _build(args)
+    corpus = _load_corpus(args.files)
+    engine = QAEngine(corpus, scoring)
+    answers = engine.ask(matcher.query, top_k=args.top, matcher=matcher)
+    if not answers:
+        print("no document matches every query term")
+        return 1
+    for rank, answer in enumerate(answers, 1):
+        fields = ", ".join(f"{t}={x!r}" for t, x, _ in answer.spans)
+        print(f"{rank}. [{answer.doc_id}] score={answer.score:.3f}  {fields}")
+        print(f"   … {answer.snippet} …")
+    return 0
+
+
+def _cmd_ask_fused(args) -> int:
+    """Rank with all three scoring families and fuse by reciprocal rank."""
+    try:
+        matcher = build_query_matcher(args.query)
+    except QuerySyntaxError as exc:
+        raise SystemExit(f"repro-search: bad query: {exc}")
+    corpus = _load_corpus(args.files)
+    rankings = [
+        rank_documents(corpus, matcher.query, factory(), matcher=matcher)
+        for factory in (trec_win, trec_med, trec_max)
+    ]
+    fused = reciprocal_rank_fusion(rankings)
+    if not fused:
+        print("no document matches every query term")
+        return 1
+    print("fused ranking (WIN + MED + MAX, reciprocal-rank fusion):")
+    for rank, doc in enumerate(fused[: args.top], 1):
+        ranks = "/".join("-" if r is None else str(r) for r in doc.ranks)
+        print(f"{rank}. [{doc.doc_id}] fused={doc.score:.4f}  per-family ranks {ranks}")
+    return 0
+
+
+def _cmd_extract(args) -> int:
+    if args.scoring == "all":
+        raise SystemExit("repro-search: --scoring all is only for 'ask'")
+    scoring, matcher = _build(args)
+    corpus = _load_corpus(args.files)
+    extractor = MatchsetExtractor(
+        matcher.query,
+        scoring,
+        min_score=args.min_score,
+        min_anchor_gap=args.gap,
+        matcher=matcher,
+    )
+    found = 0
+    for doc in corpus:
+        for extraction in extractor.extract(doc)[: args.top]:
+            found += 1
+            fields = ", ".join(f"{t}={x!r}" for t, x in extraction.as_dict().items())
+            print(
+                f"[{extraction.doc_id}@{extraction.anchor}] "
+                f"score={extraction.score:.3f}  {fields}"
+            )
+    if not found:
+        print("no matchsets extracted")
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-search",
+        description="Weighted proximity best-join search over text files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("query", help='query string, e.g. \'"pc maker", sports, partnership\'')
+    common.add_argument("files", nargs="+", help="text files to search")
+    common.add_argument(
+        "--scoring",
+        choices=sorted(_SCORINGS) + ["all"],
+        default="max",
+        help="scoring family, or 'all' to fuse the three rankings "
+        "(default: max; 'all' applies to ask only)",
+    )
+    common.add_argument("--top", type=int, default=5, help="results to print")
+
+    ask = sub.add_parser("ask", parents=[common], help="rank documents, print answers")
+    ask.set_defaults(func=_cmd_ask)
+
+    extract = sub.add_parser(
+        "extract", parents=[common], help="extract all good matchsets per document"
+    )
+    extract.add_argument("--min-score", type=float, default=None)
+    extract.add_argument(
+        "--gap", type=int, default=10, help="minimum anchor distance between extractions"
+    )
+    extract.set_defaults(func=_cmd_extract)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Core of the reproduction: data model, scoring functions, join algorithms."""
+
+from repro.core.api import best_matchset, best_matchsets_by_location, extract_matchsets
+from repro.core.errors import (
+    EmptyJoinError,
+    InvalidMatchError,
+    InvalidMatchListError,
+    InvalidQueryError,
+    NoValidMatchSetError,
+    ReproError,
+    ScoringContractError,
+)
+from repro.core.io import (
+    SerializationError,
+    load_match_lists,
+    save_match_lists,
+)
+from repro.core.match import Match, MatchList, merge_by_location
+from repro.core.matchset import MatchSet, upper_median
+from repro.core.query import Query
+
+__all__ = [
+    "Match",
+    "MatchList",
+    "MatchSet",
+    "Query",
+    "merge_by_location",
+    "upper_median",
+    "best_matchset",
+    "best_matchsets_by_location",
+    "extract_matchsets",
+    "ReproError",
+    "InvalidMatchError",
+    "InvalidMatchListError",
+    "InvalidQueryError",
+    "EmptyJoinError",
+    "NoValidMatchSetError",
+    "ScoringContractError",
+    "SerializationError",
+    "save_match_lists",
+    "load_match_lists",
+]

@@ -1,0 +1,65 @@
+"""Join algorithms: the paper's linear best-joins and naive baselines."""
+
+from repro.core.algorithms.auto import (
+    dispatch_join,
+    family_algorithm,
+    is_extremely_skewed,
+    select_algorithm,
+)
+from repro.core.algorithms.base import JoinAlgorithm, JoinResult, LocationResult
+from repro.core.algorithms.by_location import (
+    max_by_location,
+    med_by_location,
+    win_by_location,
+)
+from repro.core.algorithms.dedup import dedup_join
+from repro.core.algorithms.envelope import (
+    DominatingScanner,
+    UpperEnvelope,
+    dominance_stack,
+)
+from repro.core.algorithms.max_join import general_max_join, max_join
+from repro.core.algorithms.med_join import med_join
+from repro.core.algorithms.naive import naive_join, naive_join_valid, nmax, nmed, nwin
+from repro.core.algorithms.streaming import (
+    MatchEvent,
+    max_by_location_streaming,
+    med_by_location_streaming,
+)
+from repro.core.algorithms.topk import top_k_matchsets
+from repro.core.algorithms.type_anchored import type_anchored_join
+from repro.core.algorithms.win_join import win_join
+from repro.core.algorithms.win_kbest import win_join_kbest, win_join_valid_lazy
+
+__all__ = [
+    "JoinAlgorithm",
+    "JoinResult",
+    "LocationResult",
+    "naive_join",
+    "naive_join_valid",
+    "nwin",
+    "nmed",
+    "nmax",
+    "win_join",
+    "med_join",
+    "max_join",
+    "general_max_join",
+    "dedup_join",
+    "win_by_location",
+    "med_by_location",
+    "max_by_location",
+    "med_by_location_streaming",
+    "max_by_location_streaming",
+    "MatchEvent",
+    "top_k_matchsets",
+    "type_anchored_join",
+    "win_join_kbest",
+    "win_join_valid_lazy",
+    "dominance_stack",
+    "DominatingScanner",
+    "UpperEnvelope",
+    "family_algorithm",
+    "select_algorithm",
+    "dispatch_join",
+    "is_extremely_skewed",
+]

@@ -1,0 +1,88 @@
+"""Shared types and helpers for the join algorithms.
+
+Every join algorithm in this package has the same signature::
+
+    algorithm(query, lists, scoring) -> JoinResult
+
+where ``lists[j]`` is the match list for ``query[j]``.  A
+:class:`JoinResult` either carries the best matchset and its score, or is
+*empty* when no matchset exists (at least one match list is empty).
+Returning an empty result instead of raising keeps document-ranking loops
+simple: a document where some term never matches simply scores nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from repro.core.errors import InvalidQueryError
+from repro.core.match import MatchList
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+from repro.core.scoring.base import ScoringFunction
+
+__all__ = ["JoinResult", "JoinAlgorithm", "validate_inputs", "LocationResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class JoinResult:
+    """Outcome of a best-join: the best matchset found and its score.
+
+    ``matchset is None`` means no matchset exists for the inputs.
+    ``invocations`` reports how many times a duplicate-unaware algorithm
+    ran (1 for plain joins; ≥ 1 under the Section VI wrapper — this is the
+    quantity plotted in the paper's Figure 8).
+
+    ``valid_matchset``/``valid_score`` optionally carry the best
+    *duplicate-free* candidate the algorithm happened to scan.  This is
+    not necessarily the best valid matchset overall, but it is a sound
+    lower bound that lets the Section VI search prune restarts early.
+    """
+
+    matchset: MatchSet | None
+    score: float | None
+    invocations: int = 1
+    valid_matchset: MatchSet | None = None
+    valid_score: float | None = None
+
+    def __bool__(self) -> bool:
+        return self.matchset is not None
+
+    @staticmethod
+    def empty(invocations: int = 1) -> "JoinResult":
+        return JoinResult(None, None, invocations)
+
+
+@dataclass(frozen=True, slots=True)
+class LocationResult:
+    """A best matchset anchored at one location (Section VII)."""
+
+    anchor: int
+    matchset: MatchSet
+    score: float
+
+
+class JoinAlgorithm(Protocol):
+    """Callable signature shared by all overall-best-matchset algorithms."""
+
+    def __call__(
+        self,
+        query: Query,
+        lists: Sequence[MatchList],
+        scoring: ScoringFunction,
+    ) -> JoinResult: ...
+
+
+def validate_inputs(query: Query, lists: Sequence[MatchList]) -> bool:
+    """Check query/list alignment; return False when the join is empty.
+
+    Raises :class:`InvalidQueryError` when the number of match lists does
+    not equal the number of query terms; returns ``False`` when any match
+    list is empty (no matchset can exist), ``True`` otherwise.
+    """
+    if len(lists) != len(query):
+        raise InvalidQueryError(
+            f"query has {len(query)} terms but {len(lists)} match lists given"
+        )
+    return all(len(lst) > 0 for lst in lists)

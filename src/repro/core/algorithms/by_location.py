@@ -1,0 +1,360 @@
+"""Best matchset by location (Section VII).
+
+Instead of one overall best matchset per document, these algorithms
+return, for every possible *anchor* location, a best matchset anchored
+there (Definition 10) — the primitive behind extracting *all* good
+matchsets for information-extraction applications.  Anchors per family
+(Definition 9): WIN → the largest match location; MED → the median match
+location; MAX → the score-maximizing reference location.
+
+* :func:`win_by_location` — streaming: the Algorithm 1 DP emits, as soon
+  as all matches at a location have been processed, the best matchset
+  whose *last* match sits there.  Space is independent of list sizes;
+  complexity ``O(2^|Q|·Σ|L_j|)``.
+
+* :func:`med_by_location` — the paper sketches the key fact and defers
+  details to its technical report; we derive the algorithm it implies.
+  In a best matchset anchored (by median) at ``l``, each match must
+  dominate, *at* ``l``, every same-term match on the same side of ``l``
+  (an exchange within one side preserves the median and cannot lower the
+  score).  Because MED contributions have unit slope, the best same-term
+  candidate strictly left of ``l`` maximizes ``g + loc``, the best
+  strictly right maximizes ``g − loc``, and the best exactly at ``l``
+  maximizes ``g`` — all answerable with prefix/suffix maxima and one
+  per-location table.  A small DP then assigns each non-anchor term a
+  side subject to the median-rank constraints: with ``r* = ⌊(|Q|+1)/2⌋``
+  (the median's 1-based rank from the greatest location),
+  ``#right < r* ≤ #right + #at + 1``.  Complexity ``O(|Q|²·Σ|L_j|)``
+  (matching the paper's bound; the DP is ``O(|Q|²)`` per anchor term).
+
+* :func:`max_by_location` — after the Section V precomputation, evaluate
+  the dominating-match matchset at *every* match location (not only
+  dominating-match locations); ``O(|Q|·Σ|L_j|)``.
+
+All three yield :class:`LocationResult` items in increasing anchor order.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Sequence
+
+from repro.core.algorithms.base import LocationResult, validate_inputs
+from repro.core.algorithms.envelope import DominatingScanner, dominance_stack
+from repro.core.errors import ScoringContractError
+from repro.core.match import Match, MatchList, merge_by_location
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+from repro.core.scoring.base import MaxScoring, MedScoring, WinScoring
+
+__all__ = ["win_by_location", "med_by_location", "max_by_location"]
+
+_NEG_INF = float("-inf")
+
+
+# ---------------------------------------------------------------------------
+# WIN (streaming)
+# ---------------------------------------------------------------------------
+
+def win_by_location(
+    query: Query,
+    lists: Sequence[MatchList],
+    scoring: WinScoring,
+) -> Iterator[LocationResult]:
+    """Best matchset per anchor (= last-match) location under WIN.
+
+    A single left-to-right pass over the merged match lists; each anchor's
+    result is emitted as soon as the location is complete, making this a
+    true streaming algorithm (Section VII's "Note on Streaming").
+    """
+    if not isinstance(scoring, WinScoring):
+        raise ScoringContractError(
+            f"win_by_location needs a WinScoring, got {type(scoring).__name__}"
+        )
+    if not validate_inputs(query, lists):
+        return
+
+    n = len(query)
+    full = (1 << n) - 1
+    masks_with = [[mask for mask in range(1, full + 1) if mask >> j & 1] for j in range(n)]
+    states: list[tuple[float, int, object] | None] = [None] * (full + 1)
+    f = scoring.f
+
+    pending_anchor: int | None = None
+    pending_score = _NEG_INF
+    pending_chain: object = None
+
+    def emit() -> LocationResult:
+        picked: dict[str, Match] = {}
+        node = pending_chain
+        while node is not None:
+            j, match, node = node  # type: ignore[misc]
+            picked[query[j]] = match
+        assert pending_anchor is not None
+        return LocationResult(pending_anchor, MatchSet(query, picked), pending_score)
+
+    for j, match in merge_by_location(lists):
+        g = scoring.g(j, match.score)
+        l = match.location
+        if pending_anchor is not None and l > pending_anchor:
+            if pending_chain is not None:
+                yield emit()
+            pending_anchor, pending_score, pending_chain = None, _NEG_INF, None
+
+        bit = 1 << j
+        for mask in masks_with[j]:
+            current = states[mask]
+            if mask == bit:
+                if current is None or f(current[0], l - current[1]) < f(g, 0.0):
+                    states[mask] = (g, l, (j, match, None))
+                continue
+            prev = states[mask ^ bit]
+            if prev is None:
+                continue
+            if current is None or (
+                f(current[0], l - current[1]) < f(prev[0] + g, l - prev[1])
+            ):
+                states[mask] = (prev[0] + g, prev[1], (j, match, prev[2]))
+
+        # Candidate anchored at l: this match plus the best matchset over
+        # the remaining terms seen so far (which may include other matches
+        # at l that were already processed).
+        rest = states[full ^ bit]
+        if n == 1:
+            candidate_score = f(g, 0.0)
+            candidate_chain = (j, match, None)
+        elif rest is not None:
+            candidate_score = f(rest[0] + g, l - rest[1])
+            candidate_chain = (j, match, rest[2])
+        else:
+            continue
+        if pending_anchor is None:
+            pending_anchor = l
+        if candidate_score > pending_score:
+            pending_score = candidate_score
+            pending_chain = candidate_chain
+
+    if pending_anchor is not None and pending_chain is not None:
+        yield emit()
+
+
+# ---------------------------------------------------------------------------
+# MED
+# ---------------------------------------------------------------------------
+
+class _SideIndex:
+    """Per-term side-dominating-candidate queries for MED contributions.
+
+    For a term with transformed scores ``g_i`` at locations ``loc_i``
+    (increasing), answers in O(log n):
+
+    * best strictly-left candidate at ``l``: maximizes
+      ``c = (g + loc) − l`` over ``loc < l``;
+    * best strictly-right candidate at ``l``: maximizes
+      ``c = (g − loc) + l`` over ``loc > l``;
+    * best at-``l`` candidate: maximizes ``g`` over ``loc == l``.
+    """
+
+    __slots__ = ("_locations", "_matches", "_g", "_prefix", "_suffix", "_at")
+
+    def __init__(self, matches: MatchList, g_values: Sequence[float]) -> None:
+        self._locations = matches.locations
+        self._matches = matches
+        self._g = list(g_values)
+
+        self._prefix: list[int] = []  # argmax of g + loc over matches[:i+1]
+        best = -1
+        best_val = _NEG_INF
+        for i, (m, g) in enumerate(zip(matches, g_values)):
+            if g + m.location > best_val:
+                best, best_val = i, g + m.location
+            self._prefix.append(best)
+
+        self._suffix: list[int] = [0] * len(matches)  # argmax of g − loc over matches[i:]
+        best = -1
+        best_val = _NEG_INF
+        for i in range(len(matches) - 1, -1, -1):
+            g = g_values[i]
+            loc = matches[i].location
+            if g - loc >= best_val:
+                best, best_val = i, g - loc
+            self._suffix[i] = best
+
+        self._at: dict[int, int] = {}
+        for i, (m, g) in enumerate(zip(matches, g_values)):
+            cur = self._at.get(m.location)
+            if cur is None or g > g_values[cur]:
+                self._at[m.location] = i
+
+    def left(self, location: int) -> tuple[Match | None, float]:
+        """Best candidate with ``loc < location`` and its contribution at it."""
+        idx = bisect.bisect_left(self._locations, location)
+        if idx == 0:
+            return None, _NEG_INF
+        i = self._prefix[idx - 1]
+        m = self._matches[i]
+        return m, self._g[i] - (location - m.location)
+
+    def right(self, location: int) -> tuple[Match | None, float]:
+        """Best candidate with ``loc > location`` and its contribution at it."""
+        idx = bisect.bisect_right(self._locations, location)
+        if idx >= len(self._locations):
+            return None, _NEG_INF
+        i = self._suffix[idx]
+        m = self._matches[i]
+        return m, self._g[i] - (m.location - location)
+
+    def at(self, location: int) -> tuple[Match | None, float]:
+        """Best candidate exactly at ``location`` and its contribution (= g)."""
+        i = self._at.get(location)
+        if i is None:
+            return None, _NEG_INF
+        return self._matches[i], self._g[i]
+
+
+def _assign_sides(
+    options: list[tuple[tuple[Match | None, float], ...]],
+    max_right: int,
+    min_right_or_at: int,
+) -> tuple[float, list[int]] | None:
+    """Pick one side (0=left, 1=at, 2=right) per term under rank constraints.
+
+    Maximizes total contribution subject to ``#right ≤ max_right`` and
+    ``#right + #at ≥ min_right_or_at``.  Returns (total, choices) or None
+    when infeasible.  DP over (terms, #right, #right+#at): O(|Q|³) with
+    the small |Q| of real queries.
+    """
+    n_terms = len(options)
+    # dp maps (n_right, n_right_or_at) -> (total, choices-so-far as tuple)
+    dp: dict[tuple[int, int], tuple[float, tuple[int, ...]]] = {(0, 0): (0.0, ())}
+    for term_options in options:
+        nxt: dict[tuple[int, int], tuple[float, tuple[int, ...]]] = {}
+        for (n_r, n_ra), (total, choices) in dp.items():
+            for side, (match, value) in enumerate(term_options):
+                if match is None:
+                    continue
+                key = (n_r + (side == 2), n_ra + (side >= 1))
+                if key[0] > max_right:
+                    continue
+                cand = (total + value, choices + (side,))
+                if key not in nxt or cand[0] > nxt[key][0]:
+                    nxt[key] = cand
+        dp = nxt
+        if not dp:
+            return None
+    best: tuple[float, tuple[int, ...]] | None = None
+    for (n_r, n_ra), (total, choices) in dp.items():
+        if n_ra < min_right_or_at:
+            continue
+        if best is None or total > best[0]:
+            best = (total, choices)
+    if best is None:
+        return None
+    return best[0], list(best[1])
+
+
+def med_by_location(
+    query: Query,
+    lists: Sequence[MatchList],
+    scoring: MedScoring,
+) -> Iterator[LocationResult]:
+    """Best matchset per anchor (= median) location under MED."""
+    if not isinstance(scoring, MedScoring):
+        raise ScoringContractError(
+            f"med_by_location needs a MedScoring, got {type(scoring).__name__}"
+        )
+    if not validate_inputs(query, lists):
+        return
+
+    n = len(query)
+    terms = query.terms
+    median_rank = (n + 1) // 2  # 1-based from the greatest location
+    indexes = [
+        _SideIndex(lists[j], [scoring.g(j, m.score) for m in lists[j]])
+        for j in range(n)
+    ]
+
+    anchor_locations = sorted({loc for lst in lists for loc in lst.locations})
+    for location in anchor_locations:
+        best_total = _NEG_INF
+        best_picked: dict[str, Match] | None = None
+        for t in range(n):
+            anchor_match, anchor_value = indexes[t].at(location)
+            if anchor_match is None:
+                continue
+            others = [j for j in range(n) if j != t]
+            options = [
+                (
+                    indexes[j].left(location),
+                    indexes[j].at(location),
+                    indexes[j].right(location),
+                )
+                for j in others
+            ]
+            # The anchor match itself counts once toward #(loc ≥ anchor);
+            # the remaining picks need #right ≤ r*−1 and
+            # #right + #at ≥ r*−1.
+            assignment = _assign_sides(options, median_rank - 1, median_rank - 1)
+            if assignment is None:
+                continue
+            total, choices = assignment
+            total += anchor_value
+            if total > best_total:
+                picked = {terms[t]: anchor_match}
+                for idx, (j, side) in enumerate(zip(others, choices)):
+                    chosen = options[idx][side][0]
+                    assert chosen is not None
+                    picked[terms[j]] = chosen
+                best_total = total
+                best_picked = picked
+        if best_picked is not None:
+            matchset = MatchSet(query, best_picked)
+            yield LocationResult(location, matchset, scoring.f(best_total))
+
+
+# ---------------------------------------------------------------------------
+# MAX
+# ---------------------------------------------------------------------------
+
+def max_by_location(
+    query: Query,
+    lists: Sequence[MatchList],
+    scoring: MaxScoring,
+) -> Iterator[LocationResult]:
+    """Best matchset per anchor (= reference) location under MAX.
+
+    After the dominance-stack precomputation, every match location ``l``
+    (not just dominating-match locations) yields the candidate matchset
+    of per-term dominating matches at ``l``, scored at ``l``.
+    """
+    if not isinstance(scoring, MaxScoring):
+        raise ScoringContractError(
+            f"max_by_location needs a MaxScoring, got {type(scoring).__name__}"
+        )
+    if not scoring.at_most_one_crossing:
+        raise ScoringContractError(
+            "max_by_location requires the at-most-one-crossing property"
+        )
+    if not validate_inputs(query, lists):
+        return
+
+    n = len(query)
+    terms = query.terms
+    contributions = [
+        (lambda m, l, j=j: scoring.contribution(j, m, l)) for j in range(n)
+    ]
+    scanners = [
+        DominatingScanner(dominance_stack(lists[j], contributions[j]), contributions[j])
+        for j in range(n)
+    ]
+
+    anchor_locations = sorted({loc for lst in lists for loc in lst.locations})
+    for location in anchor_locations:
+        total = 0.0
+        picked: dict[str, Match] = {}
+        for k in range(n):
+            match, _ = scanners[k].dominating_at(location)
+            assert match is not None  # lists validated non-empty
+            picked[terms[k]] = match
+            total += contributions[k](match, location)
+        yield LocationResult(location, MatchSet(query, picked), scoring.f(total))

@@ -1,0 +1,161 @@
+"""Avoiding duplicate matches (Section VI).
+
+A matchset is *valid* when no single document token serves two query
+terms (the "china" ↔ {asia, porcelain} problem).  The paper's generic
+duplicate-avoiding method wraps any duplicate-unaware join algorithm
+``A``:
+
+1. run ``A``; if the best matchset is duplicate-free, done;
+2. otherwise, for every token duplicated across ``k`` terms, the token
+   may legitimately serve at most one of them — build the ``k`` modified
+   problem instances that keep the token's match in exactly one of the
+   ``k`` lists (removing it from the other ``k − 1``), taking the cross
+   product of choices over all duplicated tokens;
+3. rerun ``A`` on each modified instance, recursing when results still
+   contain duplicates, and return the best valid matchset found.
+
+The implementation memoizes visited instances (sets of removed
+``(term, match)`` pairs) so no instance runs twice, and counts the number
+of invocations of ``A`` — the quantity the paper plots in Figure 8.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Sequence
+
+from repro.core.algorithms.base import JoinAlgorithm, JoinResult, validate_inputs
+from repro.core.match import Match, MatchList
+from repro.core.query import Query
+from repro.core.scoring.base import ScoringFunction
+
+__all__ = ["dedup_join"]
+
+# Remove one occurrence of `match` from the list of `term`.  The trailing
+# occurrence index distinguishes repeated removals of value-equal matches
+# (a list may legitimately contain two identical (location, score) pairs).
+_Removal = tuple[str, Match, int]
+
+
+def _apply_removals(
+    query: Query,
+    lists: Sequence[MatchList],
+    removals: frozenset[_Removal],
+) -> list[MatchList] | None:
+    """Match lists with the removals applied; None when a list empties."""
+    by_term: dict[str, list[Match]] = {}
+    for term, match, _occurrence in removals:
+        by_term.setdefault(term, []).append(match)
+    modified: list[MatchList] = []
+    for j, term in enumerate(query.terms):
+        lst = lists[j]
+        for match in by_term.get(term, ()):
+            lst = lst.without(match)
+        if not len(lst):
+            return None
+        modified.append(lst)
+    return modified
+
+
+def _with_removal(removals: set[_Removal], term: str, match: Match) -> None:
+    """Add one more occurrence-indexed removal of (term, match)."""
+    occurrence = sum(1 for t, m, _k in removals if t == term and m == match)
+    removals.add((term, match, occurrence))
+
+
+def dedup_join(
+    query: Query,
+    lists: Sequence[MatchList],
+    scoring: ScoringFunction,
+    algorithm: JoinAlgorithm,
+    *,
+    max_invocations: int | None = None,
+) -> JoinResult:
+    """Best *valid* matchset via the Section VI restart method.
+
+    Parameters
+    ----------
+    algorithm:
+        Any duplicate-unaware overall-best-matchset algorithm
+        (``win_join``, ``med_join``, ``max_join`` or ``naive_join``).
+    max_invocations:
+        Optional safety cap on reruns of ``algorithm``; the paper notes
+        the worst case enumerates every subset of duplicates, but
+        realistic inputs need only a handful of reruns (Figure 8).  When
+        the cap is hit the best valid matchset found so far is returned
+        (possibly empty).
+
+    Returns
+    -------
+    JoinResult
+        The best valid matchset, with ``invocations`` set to the number
+        of times ``algorithm`` ran.  Empty when no valid matchset exists.
+    """
+    if not validate_inputs(query, lists):
+        return JoinResult.empty(invocations=0)
+
+    best: JoinResult | None = None
+    invocations = 0
+    seen: set[frozenset[_Removal]] = {frozenset()}
+    # Best-first branch and bound.  A child instance's match lists are
+    # subsets of its parent's, so the parent's (duplicate-laden) score is
+    # an upper bound on anything the subtree can produce; processing
+    # instances in decreasing bound order lets us stop as soon as the
+    # best remaining bound cannot beat the best valid matchset found.
+    tiebreak = itertools.count()
+    frontier: list[tuple[float, int, frozenset[_Removal]]] = [
+        (float("-inf"), next(tiebreak), frozenset())  # -bound; root runs first
+    ]
+
+    while frontier:
+        if max_invocations is not None and invocations >= max_invocations:
+            break
+        neg_bound, _, removals = heapq.heappop(frontier)
+        if best is not None and -neg_bound <= best.score:  # type: ignore[operator]
+            break  # every remaining instance is bounded at or below best
+        instance = _apply_removals(query, lists, removals)
+        if instance is None:
+            continue
+        result = algorithm(query, instance, scoring)
+        invocations += 1
+        if not result:
+            continue
+        matchset = result.matchset
+        assert matchset is not None and result.score is not None
+        # A valid candidate scanned along the way is a sound lower bound
+        # (its reported score may itself be a lower bound, so recompute).
+        if result.valid_matchset is not None:
+            valid_score = scoring.score(result.valid_matchset)
+            if best is None or valid_score > best.score:  # type: ignore[operator]
+                best = JoinResult(result.valid_matchset, valid_score)
+        if matchset.is_valid():
+            if best is None or result.score > best.score:  # type: ignore[operator]
+                best = result
+            continue
+        if best is not None and result.score <= best.score:  # type: ignore[operator]
+            continue  # children can only do worse than this invalid result
+        # Expand: one child instance per way of assigning each duplicated
+        # token to a single term (remove the match from every other term's
+        # list).
+        group_choices: list[list[tuple[tuple[str, Match], ...]]] = []
+        for terms in matchset.duplicate_groups():
+            choices: list[tuple[tuple[str, Match], ...]] = []
+            for keeper in terms:
+                choices.append(
+                    tuple((t, matchset[t]) for t in terms if t != keeper)
+                )
+            group_choices.append(choices)
+        for combo in itertools.product(*group_choices):
+            grown: set[_Removal] = set(removals)
+            for part in combo:
+                for term, match in part:
+                    _with_removal(grown, term, match)
+            child = frozenset(grown)
+            if child not in seen:
+                seen.add(child)
+                heapq.heappush(frontier, (-result.score, next(tiebreak), child))
+
+    if best is None:
+        return JoinResult.empty(invocations=invocations)
+    return JoinResult(best.matchset, best.score, invocations)

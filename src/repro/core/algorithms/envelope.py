@@ -1,0 +1,224 @@
+"""Dominating matches and contribution upper envelopes (Sections IV–V).
+
+Given a match list ``L_j`` and a *contribution* function ``c_j(m, l)``
+(score contribution of match ``m`` at reference location ``l``), the paper
+defines (Definition 6):
+
+* ``m`` **dominates** ``m'`` at ``l`` when ``c_j(m, l) ≥ c_j(m', l)``;
+* the **dominating match function** ``U_j(l)`` returns a match maximizing
+  the contribution at ``l``;
+* the **contribution upper envelope** ``S_j(l) = max_m c_j(m, l)``.
+
+For contribution functions with the *at-most-one-crossing* property
+(Definition 8; MED's unit-slope tents and both shipped MAX functions
+qualify), ``U_j`` is representable by at most ``|L_j|`` matches, computed
+by one stack pass over the list (the ``PrecomputeDomMatchFunc`` routine of
+Algorithm 2).  Ties are broken toward the match that comes *last* in the
+list (footnote 4), which the stack pass implements by using ``≥`` in the
+dominance test.
+
+:class:`DominatingScanner` then answers "a dominating match at ``l``" for
+non-decreasing query locations in amortized O(1): the candidates are the
+last stack match at or before ``l`` and the first one after ``l``.
+
+:class:`UpperEnvelope` materializes the interval–match-pair representation
+used by Section V's *general approach* (each maximal interval on which
+``U_j`` is constant, found by binary-searching the crossover between
+consecutive stack matches).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.match import Match
+
+__all__ = [
+    "Contribution",
+    "dominance_stack",
+    "DominatingScanner",
+    "UpperEnvelope",
+]
+
+# c(m, l): contribution of match m at reference location l.
+Contribution = Callable[[Match, int], float]
+
+
+def dominance_stack(matches: Sequence[Match], contribution: Contribution) -> list[Match]:
+    """The dominating-match list ``V_j`` for one match list.
+
+    One pass with a stack (``PrecomputeDomMatchFunc`` in Algorithm 2):
+    a match that does not dominate the stack top at its own location is
+    discarded; otherwise it pops every stack match it dominates *at that
+    match's location* and is pushed.  For at-most-one-crossing
+    contributions the resulting stack, bottom to top, lists the matches
+    achieving the upper envelope in increasing location order.
+
+    O(n): every match is pushed and popped at most once.
+    """
+    stack: list[Match] = []
+    for m in matches:
+        if stack and contribution(m, m.location) < contribution(stack[-1], m.location):
+            continue
+        while stack and contribution(m, stack[-1].location) >= contribution(
+            stack[-1], stack[-1].location
+        ):
+            stack.pop()
+        stack.append(m)
+    return stack
+
+
+class DominatingScanner:
+    """Serve dominating-match queries at non-decreasing locations.
+
+    Wraps one term's dominating-match list ``V_j``.  For a query location
+    ``l`` the dominating match is one of two candidates: the last match in
+    ``V_j`` located at or before ``l`` and the first located after ``l``
+    (the envelope is unimodal between consecutive stack matches).  Because
+    the join algorithms scan locations left to right, a single advancing
+    pointer services all queries in amortized O(1).
+
+    In case of ties the *successor* candidate wins, matching the paper's
+    tie-break rule ("we always pick one that succeeds m in processing
+    order, if such a match exists").
+    """
+
+    __slots__ = ("_stack", "_contribution", "_pos", "_last")
+
+    def __init__(self, stack: Sequence[Match], contribution: Contribution) -> None:
+        self._stack = list(stack)
+        self._contribution = contribution
+        self._pos = 0
+        self._last: Match | None = None
+
+    @classmethod
+    def for_list(cls, matches: Sequence[Match], contribution: Contribution) -> "DominatingScanner":
+        return cls(dominance_stack(matches, contribution), contribution)
+
+    def _advance(self, location: int) -> None:
+        stack = self._stack
+        pos = self._pos
+        while pos < len(stack) and stack[pos].location <= location:
+            self._last = stack[pos]
+            pos += 1
+        self._pos = pos
+
+    def dominating_at(self, location: int) -> tuple[Match | None, bool]:
+        """Dominating match at ``location`` and whether it lies after it.
+
+        Returns ``(match, succeeds)`` where ``succeeds`` is True when the
+        chosen match is located strictly after ``location`` (needed by
+        Algorithm 2's median-rank counting).  ``match`` is None only when
+        the underlying match list was empty.
+
+        Query locations must be non-decreasing across calls.
+        """
+        self._advance(location)
+        before = self._last
+        after = self._stack[self._pos] if self._pos < len(self._stack) else None
+        if after is not None and (
+            before is None
+            or self._contribution(after, location) >= self._contribution(before, location)
+        ):
+            return after, True
+        return before, False
+
+    def value_at(self, location: int) -> float:
+        """The envelope value ``S_j(l)`` (contribution of the dominator)."""
+        match, _ = self.dominating_at(location)
+        if match is None:
+            return float("-inf")
+        return self._contribution(match, location)
+
+
+@dataclass(frozen=True, slots=True)
+class EnvelopeSegment:
+    """One interval–match pair ``(I, m)``: ``U_j(l) = m`` for ``l ∈ I``."""
+
+    start: int  # inclusive
+    end: int | None  # inclusive; None = unbounded to the right
+    match: Match
+
+
+class UpperEnvelope:
+    """Interval–match-pair representation of ``U_j`` (Section V).
+
+    Built from the dominance stack by binary-searching, for each pair of
+    consecutive stack matches ``(a, b)``, the smallest integer location at
+    which ``b`` dominates ``a``.  At-most-one-crossing guarantees the
+    dominance predicate is monotone on ``(loc(a), loc(b)]``, so binary
+    search is sound; the segment count is at most ``|L_j|``.
+    """
+
+    __slots__ = ("_segments", "_starts", "_contribution")
+
+    def __init__(self, matches: Sequence[Match], contribution: Contribution) -> None:
+        self._contribution = contribution
+        stack = dominance_stack(matches, contribution)
+        segments: list[EnvelopeSegment] = []
+        if stack:
+            current_start = -(1 << 60)
+            for a, b in zip(stack, stack[1:]):
+                crossover = self._crossover(a, b)
+                segments.append(EnvelopeSegment(current_start, crossover - 1, a))
+                current_start = crossover
+            segments.append(EnvelopeSegment(current_start, None, stack[-1]))
+        self._segments = segments
+        self._starts = [seg.start for seg in segments]
+
+    def _crossover(self, a: Match, b: Match) -> int:
+        """Smallest integer ``l`` at which ``b`` dominates ``a``.
+
+        ``b`` does not dominate ``a`` at ``loc(a)`` (else the stack pass
+        would have popped ``a``) and does dominate at ``loc(b)``, so the
+        crossover lies in ``(loc(a), loc(b)]``.
+        """
+        c = self._contribution
+        lo, hi = a.location + 1, b.location
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if c(b, mid) >= c(a, mid):
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def segments(self) -> list[EnvelopeSegment]:
+        return list(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def dominating_at(self, location: int) -> Match | None:
+        """``U_j(l)`` via bisection over segment starts — O(log n), any order."""
+        if not self._segments:
+            return None
+        idx = bisect.bisect_right(self._starts, location) - 1
+        return self._segments[max(idx, 0)].match
+
+    def value_at(self, location: int) -> float:
+        """``S_j(l)``."""
+        match = self.dominating_at(location)
+        if match is None:
+            return float("-inf")
+        return self._contribution(match, location)
+
+    def breakpoints(self) -> list[int]:
+        """Segment boundaries plus the envelope matches' own locations.
+
+        For piecewise contribution shapes whose extrema sit at match
+        locations or segment switches (true for both shipped MAX
+        functions and for MED tents), these locations contain the argmax
+        of any sum of envelopes.
+        """
+        points: set[int] = set()
+        for seg in self._segments:
+            if seg.start > -(1 << 59):
+                points.add(seg.start)
+            if seg.end is not None:
+                points.add(seg.end)
+            points.add(seg.match.location)
+        return sorted(points)

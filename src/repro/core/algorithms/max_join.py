@@ -1,0 +1,153 @@
+"""Overall best matchset under MAX scoring (Section V).
+
+Two implementations:
+
+* :func:`max_join` — the efficient specialized algorithm for MAX scoring
+  functions with the *at-most-one-crossing* and *maximized-at-match*
+  properties (Definition 8; both Eq. (4) and Eq. (5) qualify, Lemma 3).
+  It precomputes the dominating-match list ``V_j`` per term (same stack
+  pass as Algorithm 2, with MAX contributions), then scans the locations
+  of dominating matches in order; at each such location ``l`` it forms the
+  matchset of per-term dominating matches and evaluates the contribution
+  total ``Σ_j S_j(l)``.  By Lemma 2 the best such candidate is an overall
+  best matchset, and the maximized-at-match property guarantees the
+  maximizing ``l`` appears among the scanned locations.
+  Complexity ``O(|Q| · Σ_j |L_j|)``.
+
+* :func:`general_max_join` — Section V's *general approach*: materialize
+  every term's contribution upper envelope as interval–match pairs and
+  maximize ``Σ_j S_j(l)`` over the union of envelope breakpoints.  Cost is
+  linear in the total number of interval–match pairs, which
+  at-most-one-crossing bounds by ``Σ_j |L_j|`` but which can blow up for
+  contribution curves that intersect repeatedly (Figure 5).  Kept as an
+  independently-derived oracle and for scoring functions that lack
+  at-most-one-crossing but still break at envelope boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.algorithms.base import JoinResult, validate_inputs
+from repro.core.algorithms.envelope import DominatingScanner, UpperEnvelope, dominance_stack
+from repro.core.errors import ScoringContractError
+from repro.core.match import Match, MatchList
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+from repro.core.scoring.base import MaxScoring
+
+__all__ = ["max_join", "general_max_join"]
+
+
+def _require_max(scoring: MaxScoring, caller: str) -> None:
+    if not isinstance(scoring, MaxScoring):
+        raise ScoringContractError(
+            f"{caller} needs a MaxScoring, got {type(scoring).__name__}"
+        )
+
+
+def max_join(
+    query: Query,
+    lists: Sequence[MatchList],
+    scoring: MaxScoring,
+) -> JoinResult:
+    """Specialized linear-time MAX join (Section V).
+
+    Requires ``scoring.at_most_one_crossing`` (for the dominance-stack
+    precomputation) and ``scoring.maximized_at_match`` (so anchor
+    candidates can be restricted to dominating-match locations).
+    """
+    _require_max(scoring, "max_join")
+    if not (scoring.at_most_one_crossing and scoring.maximized_at_match):
+        raise ScoringContractError(
+            "max_join requires at-most-one-crossing and maximized-at-match; "
+            "use general_max_join or the naive algorithm instead"
+        )
+    if not validate_inputs(query, lists):
+        return JoinResult.empty()
+
+    n = len(query)
+    contributions = [
+        (lambda m, l, j=j: scoring.contribution(j, m, l)) for j in range(n)
+    ]
+    stacks = [dominance_stack(lists[j], contributions[j]) for j in range(n)]
+    scanners = [DominatingScanner(stacks[j], contributions[j]) for j in range(n)]
+
+    # Anchor candidates: locations of dominating matches, in order.
+    candidate_locations = sorted({m.location for stack in stacks for m in stack})
+
+    terms = query.terms
+    best_picked: dict[str, Match] | None = None
+    best_total = float("-inf")
+    best_valid_picked: dict[str, Match] | None = None
+    best_valid_total = float("-inf")
+    for location in candidate_locations:
+        total = 0.0
+        picked: dict[str, Match] = {}
+        for k in range(n):
+            match, _ = scanners[k].dominating_at(location)
+            assert match is not None  # lists validated non-empty
+            picked[terms[k]] = match
+            total += contributions[k](match, location)
+        if best_picked is None or total > best_total:
+            best_picked, best_total = picked, total
+        if best_valid_picked is None or total > best_valid_total:
+            token_ids = {m.token_id for m in picked.values()}
+            if len(token_ids) == n:
+                best_valid_picked, best_valid_total = picked, total
+
+    assert best_picked is not None
+    valid_matchset = (
+        MatchSet(query, best_valid_picked) if best_valid_picked is not None else None
+    )
+    return JoinResult(
+        MatchSet(query, best_picked),
+        scoring.f(best_total),
+        valid_matchset=valid_matchset,
+        valid_score=scoring.f(best_valid_total) if valid_matchset is not None else None,
+    )
+
+
+def general_max_join(
+    query: Query,
+    lists: Sequence[MatchList],
+    scoring: MaxScoring,
+) -> JoinResult:
+    """Section V's general approach via materialized upper envelopes.
+
+    Computes ``U_j``/``S_j`` as interval–match pairs, then maximizes
+    ``Σ_j S_j(l)`` over the union of all envelopes' breakpoints (segment
+    boundaries plus envelope-match locations).  For contribution shapes
+    that are linear or convex between breakpoints — true for Eqs. (4) and
+    (5) and for MED-style tents — this candidate set is exact.
+    """
+    _require_max(scoring, "general_max_join")
+    if not validate_inputs(query, lists):
+        return JoinResult.empty()
+
+    n = len(query)
+    contributions = [
+        (lambda m, l, j=j: scoring.contribution(j, m, l)) for j in range(n)
+    ]
+    envelopes = [UpperEnvelope(lists[j], contributions[j]) for j in range(n)]
+
+    candidate_locations: set[int] = set()
+    for env in envelopes:
+        candidate_locations.update(env.breakpoints())
+
+    terms = query.terms
+    best_picked: dict[str, Match] | None = None
+    best_total = float("-inf")
+    for location in sorted(candidate_locations):
+        total = 0.0
+        picked: dict[str, Match] = {}
+        for k in range(n):
+            match = envelopes[k].dominating_at(location)
+            assert match is not None
+            picked[terms[k]] = match
+            total += contributions[k](match, location)
+        if best_picked is None or total > best_total:
+            best_picked, best_total = picked, total
+
+    assert best_picked is not None
+    return JoinResult(MatchSet(query, best_picked), scoring.f(best_total))

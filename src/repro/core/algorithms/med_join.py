@@ -1,0 +1,101 @@
+"""Algorithm 2: overall best matchset under MED scoring (Section IV).
+
+The key structural fact (Lemma 1, proved in the paper's appendix): there
+is always an overall best matchset in which every match is *dominating* at
+the matchset's median location.  The algorithm therefore:
+
+1. precomputes, per match list, the dominating-match list ``V_j`` with one
+   stack pass (see :mod:`repro.core.algorithms.envelope`);
+2. scans all matches in location order; for each match ``m`` it assembles
+   the candidate matchset consisting of ``m`` plus one dominating match at
+   ``loc(m)`` per other term (ties resolved toward the match that
+   *succeeds* ``m``, per footnote 3);
+3. keeps the candidate only if ``m`` would be the median of the assembled
+   matchset — i.e. exactly ``⌊(|Q|+1)/2⌋ − 1`` of the chosen matches lie
+   strictly after ``loc(m)``;
+4. returns the highest-scoring surviving candidate.
+
+Complexity: ``O(|Q| · Σ_j |L_j|)`` time and ``O(Σ_j |L_j|)`` space.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.algorithms.base import JoinResult, validate_inputs
+from repro.core.algorithms.envelope import DominatingScanner
+from repro.core.errors import ScoringContractError
+from repro.core.match import Match, MatchList, merge_by_location
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+from repro.core.scoring.base import MedScoring
+
+__all__ = ["med_join"]
+
+
+def med_join(
+    query: Query,
+    lists: Sequence[MatchList],
+    scoring: MedScoring,
+) -> JoinResult:
+    """Compute the overall best matchset for a MED scoring function."""
+    if not isinstance(scoring, MedScoring):
+        raise ScoringContractError(
+            f"med_join needs a MedScoring, got {type(scoring).__name__}"
+        )
+    if not validate_inputs(query, lists):
+        return JoinResult.empty()
+
+    n = len(query)
+    scanners = [
+        DominatingScanner.for_list(
+            lists[j],
+            lambda m, l, j=j: scoring.contribution(j, m, l),
+        )
+        for j in range(n)
+    ]
+    median_rank = (n + 1) // 2  # 1-based rank of the median from the greatest
+
+    best: MatchSet | None = None
+    best_score = float("-inf")
+    best_valid: MatchSet | None = None
+    best_valid_score = float("-inf")
+
+    terms = query.terms
+    for j, m in merge_by_location(lists):
+        location = m.location
+        picked: dict[str, Match] = {terms[j]: m}
+        strictly_after = 0  # chosen matches with loc > location
+        at_or_after = 1  # m itself counts
+        for k in range(n):
+            if k == j:
+                continue
+            match, _ = scanners[k].dominating_at(location)
+            assert match is not None  # lists validated non-empty
+            picked[terms[k]] = match
+            if match.location > location:
+                strictly_after += 1
+                at_or_after += 1
+            elif match.location == location:
+                at_or_after += 1
+        # The candidate's median equals `location` iff fewer than
+        # median_rank matches lie strictly after it and at least
+        # median_rank lie at-or-after it.  (The paper's pseudocode checks
+        # the exact count of succeeding matches, which misses medians
+        # realized through equal-location ties; this equivalent direct
+        # test costs the same O(|Q|) as assembling the candidate.)
+        if strictly_after > median_rank - 1 or at_or_after < median_rank:
+            continue
+        candidate = MatchSet(query, picked)
+        s = scoring.score(candidate)
+        if best is None or s > best_score:
+            best, best_score = candidate, s
+        if (best_valid is None or s > best_valid_score) and candidate.is_valid():
+            best_valid, best_valid_score = candidate, s
+
+    assert best is not None
+    return JoinResult(
+        best, best_score, valid_matchset=best_valid, valid_score=(
+            best_valid_score if best_valid is not None else None
+        )
+    )

@@ -1,0 +1,368 @@
+"""Streaming best-matchset-by-location for MED and MAX (Section VII future work).
+
+The paper observes that MED's by-location problem is "fundamentally not
+amenable" to single-pass streaming because a far-future match with a high
+enough score can still join the best matchset at an old anchor — but
+suggests that "by further exploiting properties of the scoring function
+and assuming upper bounds on individual match scores (e.g., if all of
+them are in (0, 1]), it should be possible to develop less blocking
+algorithms that prune their state more aggressively and return result
+matchsets earlier."  This module implements that algorithm for MED.
+
+The idea: with scores bounded by ``s_max``, a match at distance ``d``
+from an anchor contributes at most ``g_j(s_max) − d``.  For a pending
+anchor ``l``, once the stream has advanced to position ``p`` such that
+every term's best *right-side* candidate already beats that bound for
+all future distances (``vR_j ≥ g_j(s_max) − (p + 1 − l)`` for every term
+``j``), no future match can enter the anchor's optimal matchset, and the
+anchor's result can be emitted immediately.  Anchors are finalized in
+location order, so output order matches the batch algorithm.
+:func:`max_by_location_streaming` applies the same idea to MAX, where
+the per-anchor state is even simpler (each term's best contribution at
+the anchor; incremental dominance stacks seed new anchors in O(1)).
+
+Emitted scores are identical to :func:`repro.core.algorithms.by_location.
+med_by_location`; when several matchsets tie, the chosen matchset may
+differ (both algorithms break ties among equal-contribution candidates,
+just at different moments).
+
+Worst-case memory is the number of still-unfinalizable anchors — small
+whenever matches keep arriving for every term, degrading gracefully to
+the batch behaviour (flush at end of stream) when a term goes silent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.algorithms.base import LocationResult, validate_inputs
+from repro.core.algorithms.by_location import _assign_sides
+from repro.core.errors import ScoringContractError
+from repro.core.match import Match, MatchList, merge_by_location
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+from repro.core.scoring.base import MedScoring
+
+__all__ = ["med_by_location_streaming", "max_by_location_streaming", "MatchEvent"]
+
+_NEG_INF = float("-inf")
+
+#: one stream element: (term index, match), non-decreasing in location
+MatchEvent = tuple[int, Match]
+
+
+@dataclass
+class _Candidate:
+    match: Match | None = None
+    value: float = _NEG_INF
+
+    def offer(self, match: Match, value: float) -> None:
+        if value > self.value:
+            self.match, self.value = match, value
+
+    def as_pair(self) -> tuple[Match | None, float]:
+        return self.match, self.value
+
+
+@dataclass
+class _AnchorState:
+    """Per-pending-anchor candidate tables (see med_by_location)."""
+
+    location: int
+    left: list[_Candidate]
+    at: list[_Candidate]
+    right: list[_Candidate] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.right:
+            self.right = [_Candidate() for _ in self.left]
+
+
+def med_by_location_streaming(
+    query: Query,
+    source: Sequence[MatchList] | Iterable[MatchEvent],
+    scoring: MedScoring,
+    *,
+    score_upper_bound: float = 1.0,
+) -> Iterator[LocationResult]:
+    """Single-pass MED by-location with early emission.
+
+    Parameters
+    ----------
+    source:
+        Either the usual per-term match lists, or a raw iterable of
+        ``(term_index, match)`` events in non-decreasing location order —
+        the true streaming interface (used e.g. when matches are produced
+        online by a scanner).
+    score_upper_bound:
+        The promised upper bound on individual match scores (the paper's
+        "(0, 1]" assumption).  Matches violating the bound raise
+        :class:`ScoringContractError` — silently accepting them would
+        invalidate already-emitted results.
+    """
+    if not isinstance(scoring, MedScoring):
+        raise ScoringContractError(
+            f"med_by_location_streaming needs a MedScoring, got {type(scoring).__name__}"
+        )
+
+    n = len(query)
+    terms = query.terms
+    if isinstance(source, Sequence) and all(isinstance(x, MatchList) for x in source):
+        if not validate_inputs(query, list(source)):
+            return
+        events: Iterable[MatchEvent] = merge_by_location(list(source))
+    else:
+        events = source  # type: ignore[assignment]
+
+    g_bound = [scoring.g(j, score_upper_bound) for j in range(n)]
+    median_rank = (n + 1) // 2
+
+    # Per-term running maxima over already-seen matches:
+    #   left candidates maximize g + loc  (contribution at l is that − l).
+    best_left: list[_Candidate] = [_Candidate() for _ in range(n)]
+    pending: deque[_AnchorState] = deque()  # in increasing anchor order
+
+    def finalize(state: _AnchorState) -> LocationResult | None:
+        best_total = _NEG_INF
+        best_picked: dict[str, Match] | None = None
+        for t in range(n):
+            anchor_match, anchor_value = state.at[t].as_pair()
+            if anchor_match is None:
+                continue
+            others = [j for j in range(n) if j != t]
+            options = [
+                (
+                    state.left[j].as_pair(),
+                    state.at[j].as_pair(),
+                    state.right[j].as_pair(),
+                )
+                for j in others
+            ]
+            assignment = _assign_sides(options, median_rank - 1, median_rank - 1)
+            if assignment is None:
+                continue
+            total, choices = assignment
+            total += anchor_value
+            if total > best_total:
+                picked = {terms[t]: anchor_match}
+                for idx, (j, side) in enumerate(zip(others, choices)):
+                    chosen = options[idx][side][0]
+                    assert chosen is not None
+                    picked[terms[j]] = chosen
+                best_total, best_picked = total, picked
+        if best_picked is None:
+            return None
+        return LocationResult(
+            state.location, MatchSet(query, best_picked), scoring.f(best_total)
+        )
+
+    def drain_finalizable(position: int) -> Iterator[LocationResult]:
+        """Emit leading pending anchors no future match can improve.
+
+        ``position`` is the last fully processed location; future matches
+        sit at ``position + 1`` or later.
+        """
+        while pending:
+            state = pending[0]
+            distance = position + 1 - state.location
+            if any(
+                state.right[j].value < g_bound[j] - distance for j in range(n)
+            ):
+                break
+            pending.popleft()
+            result = finalize(state)
+            if result is not None:
+                yield result
+
+    def process_group(location: int, group: list[MatchEvent]) -> Iterator[LocationResult]:
+        # (a) the group's matches are right-side candidates of every
+        # pending (strictly earlier) anchor;
+        for state in pending:
+            d = location - state.location
+            for j, match in group:
+                state.right[j].offer(match, scoring.g(j, match.score) - d)
+        # (b) open the anchor at this location: left/at tables are fixed
+        # from the prefix state and this group;
+        state = _AnchorState(
+            location=location,
+            left=[
+                _Candidate(c.match, c.value - location if c.match else _NEG_INF)
+                for c in best_left
+            ],
+            at=[_Candidate() for _ in range(n)],
+        )
+        for j, match in group:
+            state.at[j].offer(match, scoring.g(j, match.score))
+        pending.append(state)
+        # (c) fold the group into the left-prefix state;
+        for j, match in group:
+            best_left[j].offer(match, scoring.g(j, match.score) + match.location)
+        # (d) emit every anchor that can no longer change.
+        yield from drain_finalizable(location)
+
+    current_location: int | None = None
+    group: list[MatchEvent] = []
+    for j, match in events:
+        if match.score > score_upper_bound:
+            raise ScoringContractError(
+                f"match score {match.score} exceeds the promised upper bound "
+                f"{score_upper_bound}"
+            )
+        if current_location is not None and match.location < current_location:
+            raise ScoringContractError(
+                "match events must arrive in non-decreasing location order"
+            )
+        if current_location is None or match.location == current_location:
+            current_location = match.location
+            group.append((j, match))
+            continue
+        yield from process_group(current_location, group)
+        current_location = match.location
+        group = [(j, match)]
+    if group:
+        assert current_location is not None
+        yield from process_group(current_location, group)
+
+    # End of stream: everything still pending is final.
+    for state in pending:
+        result = finalize(state)
+        if result is not None:
+            yield result
+
+
+def max_by_location_streaming(
+    query: Query,
+    source: Sequence[MatchList] | Iterable[MatchEvent],
+    scoring,
+    *,
+    score_upper_bound: float = 1.0,
+) -> Iterator[LocationResult]:
+    """Single-pass MAX by-location with early emission.
+
+    Same idea as :func:`med_by_location_streaming`, simpler state: the
+    by-location MAX result at anchor ``l`` is the per-term best
+    contribution at ``l`` (the dominating matches), so a pending anchor
+    is final once every term's current best beats the bound
+    ``g_j(s_max, distance)`` that any future match is subject to.
+    Matches the batch :func:`repro.core.algorithms.by_location.
+    max_by_location` anchor-for-anchor on scores.
+    """
+    from repro.core.scoring.base import MaxScoring
+
+    if not isinstance(scoring, MaxScoring):
+        raise ScoringContractError(
+            f"max_by_location_streaming needs a MaxScoring, got {type(scoring).__name__}"
+        )
+
+    n = len(query)
+    terms = query.terms
+    if isinstance(source, Sequence) and all(isinstance(x, MatchList) for x in source):
+        if not validate_inputs(query, list(source)):
+            return
+        events: Iterable[MatchEvent] = merge_by_location(list(source))
+    else:
+        events = source  # type: ignore[assignment]
+
+    pending: deque[_AnchorState] = deque()  # reuse: only `right` is used
+    # Per-term incremental dominance stacks (the Algorithm 2 stack pass,
+    # maintained online).  At any location at-or-right of the whole
+    # history, at-most-one-crossing makes the *last* stack element the
+    # dominating historical match, so seeding a new anchor is O(1).
+    stacks: list[list[Match]] = [[] for _ in range(n)]
+    contributions = [
+        (lambda m, l, j=j: scoring.contribution(j, m, l)) for j in range(n)
+    ]
+
+    def push(j: int, match: Match) -> None:
+        stack = stacks[j]
+        c = contributions[j]
+        if stack and c(match, match.location) < c(stack[-1], match.location):
+            return
+        while stack and c(match, stack[-1].location) >= c(stack[-1], stack[-1].location):
+            stack.pop()
+        stack.append(match)
+
+    def bound(j: int, distance: int) -> float:
+        return scoring.g(j, score_upper_bound, distance)
+
+    def finalize(state: _AnchorState) -> LocationResult | None:
+        picked: dict[str, Match] = {}
+        total = 0.0
+        for j in range(n):
+            match, value = state.right[j].as_pair()
+            if match is None:
+                return None
+            picked[terms[j]] = match
+            total += value
+        return LocationResult(
+            state.location, MatchSet(query, picked), scoring.f(total)
+        )
+
+    def drain(position: int) -> Iterator[LocationResult]:
+        while pending:
+            state = pending[0]
+            distance = position + 1 - state.location
+            if any(
+                state.right[j].value < bound(j, distance) for j in range(n)
+            ):
+                break
+            pending.popleft()
+            result = finalize(state)
+            if result is not None:
+                yield result
+
+    current_location: int | None = None
+    group: list[MatchEvent] = []
+
+    def process_group(location: int, members: list[MatchEvent]) -> Iterator[LocationResult]:
+        # New anchor at this location; its per-term best starts from the
+        # whole history (MAX contributions look both ways symmetrically).
+        state = _AnchorState(
+            location=location,
+            left=[_Candidate() for _ in range(n)],  # unused for MAX
+            at=[_Candidate() for _ in range(n)],  # unused for MAX
+        )
+        # The group's matches update every pre-existing pending anchor…
+        for anchor in pending:
+            for j, match in members:
+                anchor.right[j].offer(
+                    match, scoring.contribution(j, match, anchor.location)
+                )
+        # …and the new anchor is seeded with each term's dominating
+        # historical match (the last stack element; this group included).
+        for j, match in members:
+            push(j, match)
+        for j in range(n):
+            if stacks[j]:
+                top = stacks[j][-1]
+                state.right[j].offer(top, contributions[j](top, location))
+        pending.append(state)
+        yield from drain(location)
+
+    for j, match in events:
+        if match.score > score_upper_bound:
+            raise ScoringContractError(
+                f"match score {match.score} exceeds the promised upper bound "
+                f"{score_upper_bound}"
+            )
+        if current_location is not None and match.location < current_location:
+            raise ScoringContractError(
+                "match events must arrive in non-decreasing location order"
+            )
+        if current_location is None or match.location == current_location:
+            current_location = match.location
+            group.append((j, match))
+            continue
+        yield from process_group(current_location, group)
+        current_location = match.location
+        group = [(j, match)]
+    if group:
+        assert current_location is not None
+        yield from process_group(current_location, group)
+
+    for state in pending:
+        result = finalize(state)
+        if result is not None:
+            yield result

@@ -1,0 +1,96 @@
+"""Top-k locally-best matchsets.
+
+Applications that present several answers per document (Section I's
+information-extraction motivation) need more than the single overall
+best matchset but less than one matchset per location.  This module
+returns the k highest-scoring *locally best* matchsets — the per-anchor
+winners of the Section VII by-location problem, ranked by score — with
+optional validity filtering and non-maximum suppression, for any of the
+three scoring families.
+
+Complexity is that of the underlying by-location algorithm plus an
+``O(A log k)`` heap pass over the ``A`` anchors.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Sequence
+
+from repro.core.algorithms.base import LocationResult
+from repro.core.algorithms.by_location import (
+    max_by_location,
+    med_by_location,
+    win_by_location,
+)
+from repro.core.errors import ScoringContractError
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.base import MaxScoring, MedScoring, ScoringFunction, WinScoring
+
+__all__ = ["top_k_matchsets"]
+
+
+def _by_location(
+    query: Query, lists: Sequence[MatchList], scoring: ScoringFunction
+) -> Iterator[LocationResult]:
+    if isinstance(scoring, WinScoring):
+        return win_by_location(query, lists, scoring)
+    if isinstance(scoring, MedScoring):
+        return med_by_location(query, lists, scoring)
+    if isinstance(scoring, MaxScoring):
+        return max_by_location(query, lists, scoring)
+    raise ScoringContractError(
+        f"no by-location algorithm for {type(scoring).__name__}"
+    )
+
+
+def top_k_matchsets(
+    query: Query,
+    lists: Sequence[MatchList],
+    scoring: ScoringFunction,
+    k: int,
+    *,
+    require_valid: bool = False,
+    min_anchor_gap: int = 0,
+) -> list[LocationResult]:
+    """The ``k`` best locally-best matchsets, best first.
+
+    Parameters
+    ----------
+    k:
+        Maximum number of results (fewer are returned when the document
+        has fewer anchors).
+    require_valid:
+        Drop matchsets with duplicate matches (Section VI validity).
+    min_anchor_gap:
+        When positive, greedily suppress results whose anchor lies within
+        the gap of an already selected (higher-scoring) result, so one
+        tight cluster of matches contributes one result.
+
+    Ties are broken toward smaller anchor locations, making results
+    deterministic.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    candidates = (
+        r
+        for r in _by_location(query, lists, scoring)
+        if not require_valid or r.matchset.is_valid()
+    )
+    if min_anchor_gap <= 0:
+        # Plain top-k by (score desc, anchor asc) via a bounded heap.
+        best = heapq.nsmallest(
+            k, candidates, key=lambda r: (-r.score, r.anchor)
+        )
+        return best
+    # With suppression the cutoff depends on which anchors survive, so
+    # rank everything first, then greedily keep gap-respecting results.
+    ranked = sorted(candidates, key=lambda r: (-r.score, r.anchor))
+    kept: list[LocationResult] = []
+    for r in ranked:
+        if len(kept) == k:
+            break
+        if all(abs(r.anchor - other.anchor) >= min_anchor_gap for other in kept):
+            kept.append(r)
+    return kept

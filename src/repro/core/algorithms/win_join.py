@@ -1,0 +1,146 @@
+"""Algorithm 1: overall best matchset under WIN scoring (Section III).
+
+Dynamic program over the nonempty subsets ``P ⊆ Q``.  Matches are
+processed in increasing location order; for every subset ``P`` the
+algorithm remembers a best *partial* P-matchset at the previous match
+location, represented by its transformed-score total ``g_P^Σ`` and its
+minimum match location ``l_P^min`` (the two quantities the WIN score
+depends on, enabling O(1) incremental score computation).
+
+The recurrence (proved in the paper via the optimal substructure property
+of ``f``): a best P-matchset at the i-th location either doesn't contain
+the i-th match — in which case a best P-matchset at the previous location
+still wins — or it does, in which case extending a best
+``(P \\ {q_j})``-matchset with the new match wins.
+
+A match for term ``q_j`` can only change states whose subset contains
+``q_j``, and it reads only states *not* containing ``q_j`` (which this
+match never writes), so the per-match update order over subsets is
+immaterial; we precompute, per term, the list of subset bitmasks
+containing that term.
+
+Complexity: ``O(2^|Q| · Σ_j |L_j|)`` time, ``O(|Q| · 2^|Q|)`` space —
+linear in the total size of the match lists, with a small constant-base
+exponential in the (small) number of query terms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.algorithms.base import JoinResult, validate_inputs
+from repro.core.errors import ScoringContractError
+from repro.core.match import Match, MatchList, merge_by_location
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+from repro.core.scoring.base import WinScoring
+
+__all__ = ["win_join"]
+
+# A DP state is (g_sum, l_min, chain); ``chain`` is a persistent linked
+# list of (term_index, match, parent) cells so that updating a state is
+# O(1) instead of copying a |Q|-sized matchset.
+_Chain = tuple[int, Match, "._Chain | None"]  # type: ignore[name-defined]
+
+
+def _chain_to_matchset(query: Query, chain) -> MatchSet:
+    picked: dict[str, Match] = {}
+    node = chain
+    while node is not None:
+        j, match, node = node
+        picked[query[j]] = match
+    return MatchSet(query, picked)
+
+
+def win_join(
+    query: Query,
+    lists: Sequence[MatchList],
+    scoring: WinScoring,
+) -> JoinResult:
+    """Compute the overall best matchset for a WIN scoring function.
+
+    Parameters
+    ----------
+    query, lists:
+        The query and its per-term match lists (``lists[j]`` for
+        ``query[j]``).
+    scoring:
+        A :class:`~repro.core.scoring.base.WinScoring` whose ``f``
+        satisfies Definition 3 (monotonicity + optimal substructure).
+    """
+    if not isinstance(scoring, WinScoring):
+        raise ScoringContractError(
+            f"win_join needs a WinScoring, got {type(scoring).__name__}"
+        )
+    if not validate_inputs(query, lists):
+        return JoinResult.empty()
+
+    n = len(query)
+    full = (1 << n) - 1
+    # masks_with[j]: all subset bitmasks containing term j.
+    masks_with = [[mask for mask in range(1, full + 1) if mask >> j & 1] for j in range(n)]
+
+    # states[mask] = (g_sum, l_min, chain) for the best partial matchset
+    # over the terms in ``mask`` seen so far, or None.
+    states: list[tuple[float, int, object] | None] = [None] * (full + 1)
+
+    best_chain = None
+    best_score = float("-inf")
+    best_valid_chain = None
+    best_valid_score = float("-inf")
+
+    def chain_is_valid(chain) -> bool:
+        token_ids = set()
+        count = 0
+        node = chain
+        while node is not None:
+            _j, match, node = node
+            token_ids.add(match.token_id)
+            count += 1
+        return len(token_ids) == count
+
+    f = scoring.f
+    for j, match in merge_by_location(lists):
+        g = scoring.g(j, match.score)
+        l = match.location
+        bit = 1 << j
+        for mask in masks_with[j]:
+            current = states[mask]
+            if mask == bit:
+                # Best single-term matchset for q_j at l.
+                if current is None or f(current[0], l - current[1]) < f(g, 0.0):
+                    states[mask] = (g, l, (j, match, None))
+                continue
+            prev = states[mask ^ bit]
+            if prev is None:
+                continue
+            cand_g = prev[0] + g
+            cand_lmin = prev[1]
+            if current is None or (
+                f(current[0], l - current[1]) < f(cand_g, l - cand_lmin)
+            ):
+                states[mask] = (cand_g, cand_lmin, (j, match, prev[2]))
+
+        complete = states[full]
+        if complete is not None:
+            s = f(complete[0], l - complete[1])
+            if best_chain is None or s > best_score:
+                best_score = s
+                best_chain = complete[2]
+            if (
+                best_valid_chain is None or s > best_valid_score
+            ) and chain_is_valid(complete[2]):
+                best_valid_score = s
+                best_valid_chain = complete[2]
+
+    assert best_chain is not None
+    return JoinResult(
+        _chain_to_matchset(query, best_chain),
+        best_score,
+        valid_matchset=(
+            _chain_to_matchset(query, best_valid_chain)
+            if best_valid_chain is not None
+            else None
+        ),
+        valid_score=best_valid_score if best_valid_chain is not None else None,
+    )

@@ -1,0 +1,130 @@
+"""High-level façade over the best-join machinery.
+
+Most applications need exactly three operations:
+
+* :func:`best_matchset` — the overall best (optionally duplicate-free)
+  matchset in a document (Definition 2 / Section VI);
+* :func:`best_matchsets_by_location` — one best matchset per anchor
+  location (Definition 10);
+* :func:`extract_matchsets` — the locally-best matchsets filtered down to
+  "good" ones, the information-extraction primitive motivated in the
+  introduction.
+
+Each accepts any scoring function from :mod:`repro.core.scoring` and
+dispatches to the right algorithm (with the naive fallback for extremely
+skewed inputs, see :mod:`repro.core.algorithms.auto`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.algorithms.auto import select_algorithm
+from repro.core.algorithms.base import JoinResult, LocationResult
+from repro.core.algorithms.by_location import (
+    max_by_location,
+    med_by_location,
+    win_by_location,
+)
+from repro.core.algorithms.dedup import dedup_join
+from repro.core.errors import ScoringContractError
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.base import MaxScoring, MedScoring, ScoringFunction, WinScoring
+
+__all__ = ["best_matchset", "best_matchsets_by_location", "extract_matchsets"]
+
+
+def best_matchset(
+    query: Query,
+    lists: Sequence[MatchList],
+    scoring: ScoringFunction,
+    *,
+    avoid_duplicates: bool = True,
+    skew_fix: bool = True,
+) -> JoinResult:
+    """The overall best matchset in one document.
+
+    Parameters
+    ----------
+    query, lists:
+        The query and per-term match lists (``lists[j]`` for ``query[j]``).
+    scoring:
+        Any WIN/MED/MAX scoring function.
+    avoid_duplicates:
+        Apply the Section VI method so no document token serves two query
+        terms (default True, as in the paper's experiments).
+    skew_fix:
+        Allow switching to the naive algorithm on extremely skewed inputs.
+
+    Returns
+    -------
+    JoinResult
+        Empty when some term has no matches (or, with
+        ``avoid_duplicates``, when no valid matchset exists).
+    """
+    algorithm = select_algorithm(scoring, lists, skew_fix=skew_fix)
+    if avoid_duplicates:
+        return dedup_join(query, lists, scoring, algorithm)
+    return algorithm(query, lists, scoring)
+
+
+def best_matchsets_by_location(
+    query: Query,
+    lists: Sequence[MatchList],
+    scoring: ScoringFunction,
+) -> Iterator[LocationResult]:
+    """One best matchset per anchor location (Section VII).
+
+    Yields :class:`LocationResult` items in increasing anchor order.  For
+    WIN this runs streaming (constant space in the list sizes); MED and
+    MAX inherently need the full lists first (see the paper's streaming
+    discussion).
+    """
+    if isinstance(scoring, WinScoring):
+        return win_by_location(query, lists, scoring)
+    if isinstance(scoring, MedScoring):
+        return med_by_location(query, lists, scoring)
+    if isinstance(scoring, MaxScoring):
+        return max_by_location(query, lists, scoring)
+    raise ScoringContractError(
+        f"no by-location algorithm for {type(scoring).__name__}"
+    )
+
+
+def extract_matchsets(
+    query: Query,
+    lists: Sequence[MatchList],
+    scoring: ScoringFunction,
+    *,
+    min_score: float | None = None,
+    require_valid: bool = True,
+    min_anchor_gap: int = 0,
+) -> list[LocationResult]:
+    """All good locally-best matchsets in a document.
+
+    Filters the by-location results three ways:
+
+    * ``min_score`` — keep only matchsets scoring at least this much;
+    * ``require_valid`` — drop matchsets with duplicate matches;
+    * ``min_anchor_gap`` — greedy non-maximum suppression: scan results
+      by descending score and drop any whose anchor lies within the gap
+      of an already-kept anchor, so one tight cluster of matches yields
+      one extraction instead of many near-identical ones.
+
+    Results come back sorted by descending score.
+    """
+    results = [
+        r
+        for r in best_matchsets_by_location(query, lists, scoring)
+        if (min_score is None or r.score >= min_score)
+        and (not require_valid or r.matchset.is_valid())
+    ]
+    results.sort(key=lambda r: (-r.score, r.anchor))
+    if min_anchor_gap <= 0:
+        return results
+    kept: list[LocationResult] = []
+    for r in results:
+        if all(abs(r.anchor - k.anchor) >= min_anchor_gap for k in kept):
+            kept.append(r)
+    return kept

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch one type to handle any library failure.  The subclasses make the
+failure mode explicit: bad input data, an empty join, or a scoring function
+that violates the contract an algorithm relies on.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidMatchError",
+    "InvalidMatchListError",
+    "InvalidQueryError",
+    "EmptyJoinError",
+    "ScoringContractError",
+    "NoValidMatchSetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidMatchError(ReproError, ValueError):
+    """A match has an invalid location or score."""
+
+
+class InvalidMatchListError(ReproError, ValueError):
+    """A match list is malformed (e.g., not sorted by location)."""
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A query is malformed (e.g., empty or with duplicate terms)."""
+
+
+class EmptyJoinError(ReproError):
+    """No matchset exists because at least one match list is empty."""
+
+
+class ScoringContractError(ReproError, TypeError):
+    """A scoring function does not satisfy the contract an algorithm needs.
+
+    For example, Algorithm 1 (WIN) requires the optimal substructure
+    property, and the specialized MAX join requires at-most-one-crossing
+    and maximized-at-match contribution functions.
+    """
+
+
+class NoValidMatchSetError(ReproError):
+    """No duplicate-free matchset exists for the given match lists."""

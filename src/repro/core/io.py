@@ -1,0 +1,127 @@
+"""JSON (de)serialization for the core data model.
+
+Pipelines that compute match lists in one process (or store them next to
+an index) and join them in another need a stable interchange format.
+This module round-trips matches, match lists, matchsets and join results
+through plain JSON-compatible dicts, plus file helpers.
+
+The format is versioned; loading rejects unknown versions so silently
+misreading future formats is impossible.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Sequence
+
+from repro.core.errors import ReproError
+from repro.core.match import Match, MatchList
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SerializationError",
+    "match_to_dict",
+    "match_from_dict",
+    "match_list_to_dict",
+    "match_list_from_dict",
+    "matchset_to_dict",
+    "matchset_from_dict",
+    "save_match_lists",
+    "load_match_lists",
+]
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError, ValueError):
+    """Malformed or incompatible serialized data."""
+
+
+def match_to_dict(match: Match) -> dict[str, Any]:
+    data: dict[str, Any] = {"location": match.location, "score": match.score}
+    if match.token is not None:
+        data["token"] = match.token
+    if match.token_id != match.location:
+        data["token_id"] = match.token_id
+    return data
+
+
+def match_from_dict(data: dict[str, Any]) -> Match:
+    try:
+        return Match(
+            location=data["location"],
+            score=data["score"],
+            token=data.get("token"),
+            token_id=data.get("token_id"),
+        )
+    except (KeyError, TypeError, ReproError) as exc:
+        raise SerializationError(f"bad match record {data!r}: {exc}") from exc
+
+
+def match_list_to_dict(lst: MatchList) -> dict[str, Any]:
+    return {"term": lst.term, "matches": [match_to_dict(m) for m in lst]}
+
+
+def match_list_from_dict(data: dict[str, Any]) -> MatchList:
+    try:
+        matches = [match_from_dict(m) for m in data["matches"]]
+    except KeyError as exc:
+        raise SerializationError(f"match list record missing {exc}") from exc
+    return MatchList(matches, term=data.get("term"))
+
+
+def matchset_to_dict(matchset: MatchSet) -> dict[str, Any]:
+    return {
+        "terms": list(matchset.query),
+        "matches": {term: match_to_dict(m) for term, m in matchset.items()},
+    }
+
+
+def matchset_from_dict(data: dict[str, Any]) -> MatchSet:
+    try:
+        query = Query(data["terms"])
+        matches = {
+            term: match_from_dict(record)
+            for term, record in data["matches"].items()
+        }
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"bad matchset record: {exc}") from exc
+    return MatchSet(query, matches)
+
+
+def save_match_lists(
+    path: str | pathlib.Path,
+    query: Query,
+    lists: Sequence[MatchList],
+) -> None:
+    """Persist a query's match lists as one JSON document."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "terms": list(query),
+        "lists": [match_list_to_dict(lst) for lst in lists],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_match_lists(path: str | pathlib.Path) -> tuple[Query, list[MatchList]]:
+    """Load a query and its match lists saved by :func:`save_match_lists`."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"not valid JSON: {path}") from exc
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported match-list format version {version!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    query = Query(payload["terms"])
+    lists = [match_list_from_dict(item) for item in payload["lists"]]
+    if len(lists) != len(query):
+        raise SerializationError(
+            f"{len(query)} terms but {len(lists)} match lists in {path}"
+        )
+    return query, lists

@@ -1,0 +1,187 @@
+"""Matches and match lists (Definition 1 of the paper).
+
+A :class:`Match` is an occurrence of (something that matches) a query term
+inside a document: it has an integer ``location`` (token position) and a
+real ``score`` measuring the quality of the match.  A :class:`MatchList`
+holds all matches for one query term in one document, sorted by location.
+
+Matches optionally carry a ``token`` (the surface form that matched, used
+by the matching pipeline for explanations) and a ``token_id``.  The token
+id identifies the underlying document token; two matches in *different*
+match lists with the same token id correspond to the same physical token
+matching two different query terms, which is exactly the "duplicate match"
+situation of Section VI.  When not given, the token id defaults to the
+location, which matches the paper's working definition (footnote 8: a
+duplicate is a match whose location is identical to a match from another
+list).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.errors import InvalidMatchError, InvalidMatchListError
+
+__all__ = ["Match", "MatchList", "merge_by_location"]
+
+
+@dataclass(frozen=True, slots=True)
+class Match:
+    """A single scored match at a document location.
+
+    Parameters
+    ----------
+    location:
+        Token position of the match within the document (non-negative).
+    score:
+        Individual match score.  The paper draws scores from ``(0, 1]``
+        but any finite real is accepted; specific scoring functions may
+        impose stricter domains (e.g. products of logs need positives).
+    token:
+        Optional surface form that produced the match.
+    token_id:
+        Identity of the underlying document token, used for duplicate
+        detection (Section VI).  Defaults to ``location``.
+    """
+
+    location: int
+    score: float
+    token: str | None = None
+    token_id: int | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.location, int) or isinstance(self.location, bool):
+            raise InvalidMatchError(f"location must be an int, got {self.location!r}")
+        if self.location < 0:
+            raise InvalidMatchError(f"location must be >= 0, got {self.location}")
+        if not math.isfinite(self.score):
+            raise InvalidMatchError(f"score must be finite, got {self.score!r}")
+        if self.token_id is None:
+            object.__setattr__(self, "token_id", self.location)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tok = f", token={self.token!r}" if self.token is not None else ""
+        return f"Match(loc={self.location}, score={self.score:.4g}{tok})"
+
+
+class MatchList(Sequence[Match]):
+    """All matches for one query term in one document, sorted by location.
+
+    The list is immutable after construction.  Construction validates the
+    sort order unless ``presorted=True`` *and* the caller guarantees it;
+    with ``presorted=False`` (default) the matches are sorted.
+
+    Supports the usual sequence protocol plus location-based bisection
+    helpers used by the join algorithms.
+    """
+
+    __slots__ = ("_matches", "_locations", "term")
+
+    def __init__(
+        self,
+        matches: Iterable[Match] = (),
+        *,
+        term: str | None = None,
+        presorted: bool = False,
+    ) -> None:
+        items = list(matches)
+        for m in items:
+            if not isinstance(m, Match):
+                raise InvalidMatchListError(f"expected Match, got {type(m).__name__}")
+        if presorted:
+            for a, b in zip(items, items[1:]):
+                if a.location > b.location:
+                    raise InvalidMatchListError(
+                        "matches are not sorted by location: "
+                        f"{a.location} > {b.location}"
+                    )
+        else:
+            items.sort(key=lambda m: m.location)
+        self._matches: tuple[Match, ...] = tuple(items)
+        self._locations: tuple[int, ...] = tuple(m.location for m in items)
+        self.term = term
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[tuple[int, float]],
+        *,
+        term: str | None = None,
+    ) -> "MatchList":
+        """Build a match list from ``(location, score)`` pairs."""
+        return cls((Match(loc, score) for loc, score in pairs), term=term)
+
+    def __len__(self) -> int:
+        return len(self._matches)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return MatchList(self._matches[index], term=self.term, presorted=True)
+        return self._matches[index]
+
+    def __iter__(self) -> Iterator[Match]:
+        return iter(self._matches)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatchList):
+            return NotImplemented
+        return self._matches == other._matches and self.term == other.term
+
+    def __hash__(self) -> int:
+        return hash((self._matches, self.term))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" term={self.term!r}" if self.term else ""
+        return f"MatchList(n={len(self)}{label})"
+
+    @property
+    def locations(self) -> tuple[int, ...]:
+        """All match locations, in increasing order."""
+        return self._locations
+
+    def first_at_or_after(self, location: int) -> int:
+        """Index of the first match at location ``>= location`` (or ``len``)."""
+        return bisect.bisect_left(self._locations, location)
+
+    def last_at_or_before(self, location: int) -> int:
+        """Index of the last match at location ``<= location`` (or ``-1``)."""
+        return bisect.bisect_right(self._locations, location) - 1
+
+    def without(self, match: Match) -> "MatchList":
+        """A copy of this list with one occurrence of ``match`` removed.
+
+        Used by the Section VI duplicate-handling method, which reruns the
+        duplicate-unaware algorithm on modified problem instances.
+        """
+        items = list(self._matches)
+        try:
+            items.remove(match)
+        except ValueError:
+            raise InvalidMatchListError(f"{match!r} not present in list") from None
+        return MatchList(items, term=self.term, presorted=True)
+
+
+def merge_by_location(lists: Sequence[MatchList]) -> Iterator[tuple[int, Match]]:
+    """Merge several match lists into one location-ordered stream.
+
+    Yields ``(term_index, match)`` pairs in non-decreasing location order;
+    ties are broken by term index, making the processing order
+    deterministic (the algorithms in the paper only require *a* consistent
+    order).  Runs in ``O(Σ|L_j| · log |Q|)`` using an explicit k-way merge.
+    """
+    import heapq
+
+    heap: list[tuple[int, int, int]] = []  # (location, term_index, pos)
+    for j, lst in enumerate(lists):
+        if len(lst):
+            heap.append((lst[0].location, j, 0))
+    heapq.heapify(heap)
+    while heap:
+        location, j, pos = heapq.heappop(heap)
+        yield j, lists[j][pos]
+        nxt = pos + 1
+        if nxt < len(lists[j]):
+            heapq.heappush(heap, (lists[j][nxt].location, j, nxt))

@@ -1,0 +1,146 @@
+"""Matchsets (Definition 1) and their geometric attributes.
+
+A :class:`MatchSet` pairs each query term with one match from that term's
+match list.  It exposes the quantities the three scoring families consume:
+
+* ``window_length`` — ``max_j loc(m_j) − min_j loc(m_j)`` (WIN),
+* ``median_location`` — the upper median per the paper's footnote 2 (MED),
+* ``locations`` — anchor candidates for maximize-over-location (MAX).
+
+It also knows whether it is *valid* in the Section VI sense, i.e. free of
+duplicate matches (no single document token serving two query terms).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.errors import InvalidMatchError
+from repro.core.match import Match
+from repro.core.query import Query
+
+__all__ = ["MatchSet", "upper_median"]
+
+
+def upper_median(values: Sequence[int]) -> int:
+    """The paper's median of a multiset (footnote 2).
+
+    The median of a multiset of size ``n`` is the ``⌊(n+1)/2⌋``-th ranked
+    element when elements are ranked by value with the 1st rank holding the
+    *greatest* value.  For even ``n`` this is the upper of the two middle
+    elements.
+
+    >>> upper_median([1, 5, 9])
+    5
+    >>> upper_median([1, 5, 9, 20])
+    9
+    """
+    if not values:
+        raise ValueError("median of an empty multiset is undefined")
+    ordered = sorted(values, reverse=True)
+    rank = (len(ordered) + 1) // 2  # 1-based rank from the greatest
+    return ordered[rank - 1]
+
+
+class MatchSet(Mapping[str, Match]):
+    """One match per query term (Definition 1).
+
+    Immutable; behaves as a mapping from term label to :class:`Match`.
+    """
+
+    __slots__ = ("_query", "_matches")
+
+    def __init__(self, query: Query, matches: Mapping[str, Match] | Iterable[tuple[str, Match]]) -> None:
+        pairs = dict(matches)
+        missing = [t for t in query if t not in pairs]
+        extra = [t for t in pairs if t not in query]
+        if missing or extra:
+            raise InvalidMatchError(
+                f"matchset terms mismatch: missing={missing!r} extra={extra!r}"
+            )
+        self._query = query
+        self._matches = {t: pairs[t] for t in query}  # canonical term order
+
+    @classmethod
+    def from_sequence(cls, query: Query, matches: Sequence[Match]) -> "MatchSet":
+        """Build from matches given in query-term order."""
+        if len(matches) != len(query):
+            raise InvalidMatchError(
+                f"expected {len(query)} matches, got {len(matches)}"
+            )
+        return cls(query, zip(query.terms, matches))
+
+    # -- mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, term: str) -> Match:
+        return self._matches[term]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._matches)
+
+    def __len__(self) -> int:
+        return len(self._matches)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatchSet):
+            return NotImplemented
+        return self._query == other._query and self._matches == other._matches
+
+    def __hash__(self) -> int:
+        return hash((self._query, tuple(self._matches.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{t}@{m.location}" for t, m in self._matches.items())
+        return f"MatchSet({inner})"
+
+    # -- attributes consumed by scoring functions ---------------------------
+
+    @property
+    def query(self) -> Query:
+        return self._query
+
+    @property
+    def matches(self) -> tuple[Match, ...]:
+        """Matches in query-term order."""
+        return tuple(self._matches.values())
+
+    @property
+    def locations(self) -> tuple[int, ...]:
+        """Match locations in query-term order (may repeat)."""
+        return tuple(m.location for m in self._matches.values())
+
+    @property
+    def min_location(self) -> int:
+        return min(self.locations)
+
+    @property
+    def max_location(self) -> int:
+        return max(self.locations)
+
+    @property
+    def window_length(self) -> int:
+        """Length of the smallest window enclosing all matches (WIN)."""
+        locs = self.locations
+        return max(locs) - min(locs)
+
+    @property
+    def median_location(self) -> int:
+        """The paper's (upper) median of the match locations (MED)."""
+        return upper_median(self.locations)
+
+    def is_valid(self) -> bool:
+        """True when no document token serves two query terms (Section VI)."""
+        token_ids = [m.token_id for m in self._matches.values()]
+        return len(set(token_ids)) == len(token_ids)
+
+    def duplicate_groups(self) -> list[list[str]]:
+        """Groups of terms that share a duplicated token.
+
+        Returns one list of term labels per token id that is used by two
+        or more terms; the Section VI method uses these groups to build
+        modified problem instances.
+        """
+        by_token: dict[int | None, list[str]] = {}
+        for term, m in self._matches.items():
+            by_token.setdefault(m.token_id, []).append(term)
+        return [terms for terms in by_token.values() if len(terms) > 1]

@@ -1,0 +1,82 @@
+"""Queries (Definition 1).
+
+A :class:`Query` is an ordered collection of query terms.  Term order is
+significant only as an indexing convention: match list ``j`` corresponds
+to term ``j``.  Terms may be plain keywords ("year"), concepts resolved by
+the semantic matcher ("PC maker"), or alternations ("conference|workshop",
+as in the DBWorld experiment) — the query object itself treats them as
+opaque labels; interpretation happens in :mod:`repro.matching`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.errors import InvalidQueryError
+
+__all__ = ["Query"]
+
+
+class Query(Sequence[str]):
+    """An immutable multi-term query.
+
+    Parameters
+    ----------
+    terms:
+        The query terms.  Must be non-empty; duplicate term labels are
+        rejected because match lists are keyed by term.
+    """
+
+    __slots__ = ("_terms", "_index")
+
+    def __init__(self, terms: Iterable[str]) -> None:
+        items = tuple(terms)
+        if not items:
+            raise InvalidQueryError("a query needs at least one term")
+        for t in items:
+            if not isinstance(t, str) or not t.strip():
+                raise InvalidQueryError(f"query terms must be non-empty strings, got {t!r}")
+        if len(set(items)) != len(items):
+            raise InvalidQueryError(f"duplicate query terms in {items!r}")
+        self._terms = items
+        self._index = {t: i for i, t in enumerate(items)}
+
+    @classmethod
+    def of(cls, *terms: str) -> "Query":
+        """Convenience constructor: ``Query.of("a", "b", "c")``."""
+        return cls(terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self._terms[index]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._terms)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Query):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(self._terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Query({list(self._terms)!r})"
+
+    @property
+    def terms(self) -> tuple[str, ...]:
+        """The query terms in order."""
+        return self._terms
+
+    def index_of(self, term: str) -> int:
+        """Position of ``term`` within the query."""
+        try:
+            return self._index[term]
+        except KeyError:
+            raise InvalidQueryError(f"term {term!r} not in query {self._terms!r}") from None

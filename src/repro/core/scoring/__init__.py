@@ -1,0 +1,60 @@
+"""Matchset scoring functions: the WIN, MED and MAX families."""
+
+from repro.core.scoring.base import MaxScoring, MedScoring, ScoringFunction, WinScoring
+from repro.core.scoring.contracts import (
+    ContractReport,
+    check_max_contract,
+    check_med_contract,
+    check_win_contract,
+)
+from repro.core.scoring.extra import LinearDecayMax, PureProximityWin, WeightedAdditiveMed
+from repro.core.scoring.maxloc import (
+    AdditiveExponentialMax,
+    CustomMax,
+    ExponentialProductMax,
+)
+from repro.core.scoring.med import AdditiveMed, CustomMed, ExponentialProductMed
+from repro.core.scoring.type_anchored import TypeAnchoredMax
+from repro.core.scoring.presets import (
+    eq1,
+    eq3,
+    eq4,
+    eq5,
+    experiment_suite,
+    trec_max,
+    trec_med,
+    trec_win,
+)
+from repro.core.scoring.win import CustomWin, ExponentialProductWin, LinearAdditiveWin
+
+__all__ = [
+    "ScoringFunction",
+    "WinScoring",
+    "MedScoring",
+    "MaxScoring",
+    "ContractReport",
+    "check_win_contract",
+    "check_med_contract",
+    "check_max_contract",
+    "PureProximityWin",
+    "WeightedAdditiveMed",
+    "LinearDecayMax",
+    "TypeAnchoredMax",
+    "ExponentialProductWin",
+    "LinearAdditiveWin",
+    "CustomWin",
+    "ExponentialProductMed",
+    "AdditiveMed",
+    "CustomMed",
+    "ExponentialProductMax",
+    "AdditiveExponentialMax",
+    "CustomMax",
+    "eq1",
+    "eq3",
+    "eq4",
+    "eq5",
+    "trec_win",
+    "trec_med",
+    "trec_max",
+    "experiment_suite",
+]

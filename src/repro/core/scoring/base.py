@@ -1,0 +1,193 @@
+"""Scoring-function framework (Definitions 3, 5, 7).
+
+The paper defines three *families* of matchset scoring functions, each
+parameterized by per-term transforms ``g_j`` and a combiner ``f``:
+
+* :class:`WinScoring` — window-length scoring,
+  ``f(Σ_j g_j(score_j), max_loc − min_loc)``;
+* :class:`MedScoring` — distance-from-median scoring,
+  ``f(Σ_j (g_j(score_j) − |loc_j − median(M)|))``;
+* :class:`MaxScoring` — maximize-over-location scoring,
+  ``max_l f(Σ_j g_j(score_j, |loc_j − l|))``.
+
+Each family is an abstract base class; concrete scoring functions override
+the ``g``/``f`` hooks.  The join algorithms consume only these hooks (plus
+the contract flags on :class:`MaxScoring`), so any user-defined scoring
+function satisfying the paper's conditions plugs straight in.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro.core.match import Match
+from repro.core.matchset import MatchSet
+
+__all__ = [
+    "ScoringFunction",
+    "WinScoring",
+    "MedScoring",
+    "MaxScoring",
+]
+
+
+class ScoringFunction(abc.ABC):
+    """Common interface: score a full matchset.
+
+    ``family`` names the scoring family ("WIN", "MED" or "MAX") and is
+    used by the algorithm dispatcher and the experiment harness.
+    """
+
+    family: str = "?"
+
+    @abc.abstractmethod
+    def score(self, matchset: MatchSet) -> float:
+        """The matchset score ``score(M, Q)``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class WinScoring(ScoringFunction):
+    """Window-length scoring (Definition 3).
+
+    Subclasses implement ``g(j, x)`` (monotonically increasing in ``x``
+    for every term index ``j``) and ``f(x, y)`` (increasing in ``x``,
+    decreasing in ``y``, satisfying the optimal substructure property).
+    Algorithm 1's correctness rests on those properties; they are not
+    enforced at runtime but :mod:`tests` include property-based checks
+    for every shipped implementation.
+    """
+
+    family = "WIN"
+
+    @abc.abstractmethod
+    def g(self, j: int, x: float) -> float:
+        """Per-term transform of an individual match score."""
+
+    @abc.abstractmethod
+    def f(self, x: float, y: float) -> float:
+        """Combine transformed-score total ``x`` with window length ``y``."""
+
+    def score(self, matchset: MatchSet) -> float:
+        total = sum(self.g(j, m.score) for j, m in enumerate(matchset.matches))
+        return self.f(total, matchset.window_length)
+
+
+class MedScoring(ScoringFunction):
+    """Distance-from-median scoring (Definition 5).
+
+    Subclasses implement ``g(j, x)`` and a monotonically increasing
+    ``f(x)``.  The *contribution* of match ``m`` (for term ``j``) at a
+    reference location ``l`` is ``g_j(score(m)) − |loc(m) − l|``
+    (the distance penalty always has unit slope, which is what makes the
+    prefix/suffix-maximum tricks in the by-location algorithm valid).
+    """
+
+    family = "MED"
+
+    @abc.abstractmethod
+    def g(self, j: int, x: float) -> float:
+        """Per-term transform of an individual match score."""
+
+    @abc.abstractmethod
+    def f(self, x: float) -> float:
+        """Monotonically increasing combiner of the contribution total."""
+
+    def contribution(self, j: int, match: Match, location: int) -> float:
+        """Distance-decayed score contribution ``c_j(m, l)``."""
+        return self.g(j, match.score) - abs(match.location - location)
+
+    def contribution_total(self, matchset: MatchSet, location: int) -> float:
+        """``Σ_j c_j(m_j, l)`` at a given reference location."""
+        return sum(
+            self.contribution(j, m, location)
+            for j, m in enumerate(matchset.matches)
+        )
+
+    def score(self, matchset: MatchSet) -> float:
+        return self.f(self.contribution_total(matchset, matchset.median_location))
+
+
+class MaxScoring(ScoringFunction):
+    """Maximize-over-location scoring (Definition 7).
+
+    Subclasses implement ``g(j, x, y)`` (increasing in score ``x``,
+    decreasing in distance ``y``) and a monotonically increasing ``f``.
+
+    Two contract flags gate the efficient specialized join (Section V):
+
+    ``at_most_one_crossing``
+        For any two matches of one list, the contribution difference
+        changes sign at most once over locations (Definition 8).  Needed
+        for the dominance-stack precomputation.
+    ``maximized_at_match``
+        For any matchset, the max over locations is attained at one of
+        the matchset's own match locations (Definition 8).  Needed to
+        restrict anchor candidates to match locations.
+
+    Both shipped scoring functions (Eqs. 4 and 5) satisfy both flags
+    (Lemma 3).  A custom function that does not should set the flags to
+    False, in which case the dispatcher falls back to the general
+    envelope-based approach or the naive algorithm.
+    """
+
+    family = "MAX"
+
+    at_most_one_crossing: bool = True
+    maximized_at_match: bool = True
+
+    @abc.abstractmethod
+    def g(self, j: int, x: float, y: float) -> float:
+        """Contribution of a score-``x`` match at distance ``y``."""
+
+    @abc.abstractmethod
+    def f(self, x: float) -> float:
+        """Monotonically increasing combiner of the contribution total."""
+
+    def contribution(self, j: int, match: Match, location: int) -> float:
+        """Distance-decayed score contribution ``c_j(m, l)``."""
+        return self.g(j, match.score, abs(match.location - location))
+
+    def contribution_total(self, matchset: MatchSet, location: int) -> float:
+        """``Σ_j c_j(m_j, l)`` at anchor candidate ``l``."""
+        return sum(
+            self.contribution(j, m, location)
+            for j, m in enumerate(matchset.matches)
+        )
+
+    def anchor_candidates(self, matchset: MatchSet) -> Iterable[int]:
+        """Locations over which ``score`` maximizes.
+
+        With ``maximized_at_match`` the matchset's own locations suffice;
+        subclasses without the property must override this to enumerate a
+        complete candidate set.
+        """
+        if not self.maximized_at_match:
+            raise NotImplementedError(
+                "scoring functions without maximized-at-match must override "
+                "anchor_candidates()"
+            )
+        return sorted(set(matchset.locations))
+
+    def score_at(self, matchset: MatchSet, location: int) -> float:
+        """``f(Σ_j c_j(m_j, l))`` for a fixed reference location ``l``."""
+        return self.f(self.contribution_total(matchset, location))
+
+    def best_anchor(self, matchset: MatchSet) -> tuple[int, float]:
+        """The anchor location attaining the matchset score, and the score.
+
+        Ties favour the smallest location, making results deterministic.
+        """
+        best_l: int | None = None
+        best_s = float("-inf")
+        for l in self.anchor_candidates(matchset):
+            s = self.score_at(matchset, l)
+            if s > best_s:
+                best_l, best_s = l, s
+        assert best_l is not None
+        return best_l, best_s
+
+    def score(self, matchset: MatchSet) -> float:
+        return self.best_anchor(matchset)[1]

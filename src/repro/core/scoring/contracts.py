@@ -1,0 +1,193 @@
+"""Empirical contract checking for custom scoring functions.
+
+The paper "intentionally left functions f and g_j as unspecified as
+possible" — which means users will write their own, and a function that
+silently violates Definition 3's optimal-substructure property (or
+Definition 8's properties for MAX) makes the fast joins return wrong
+answers with no error.  These checkers probe a scoring function with
+randomized inputs and report violations with concrete witnesses, so a
+new function can be vetted in one call:
+
+    report = check_win_contract(MyWin())
+    assert report.ok, report.summary()
+
+A passing report is evidence, not proof (the checks are sampled), but
+every violation reported is a real counterexample.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.match import Match
+from repro.core.scoring.base import MaxScoring, MedScoring, WinScoring
+
+__all__ = [
+    "ContractReport",
+    "check_win_contract",
+    "check_med_contract",
+    "check_max_contract",
+]
+
+
+@dataclass
+class ContractReport:
+    """Outcome of a sampled contract check."""
+
+    scoring: str
+    checks_run: int
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.scoring}: {self.checks_run} sampled checks passed"
+        head = self.violations[: 3]
+        return (
+            f"{self.scoring}: {len(self.violations)} violation(s) in "
+            f"{self.checks_run} checks; e.g. " + "; ".join(head)
+        )
+
+
+def _scores(rng: random.Random) -> float:
+    return rng.uniform(0.05, 1.0)
+
+
+def check_win_contract(
+    scoring: WinScoring,
+    *,
+    samples: int = 800,
+    seed: int = 0,
+    num_terms: int = 3,
+) -> ContractReport:
+    """Probe Definition 3: monotonicity of f and optimal substructure.
+
+    ``g`` totals are sampled through the function's own ``g`` so the
+    probed region matches real inputs.
+    """
+    rng = random.Random(seed)
+    report = ContractReport(type(scoring).__name__, samples)
+    for _ in range(samples):
+        # Two independent (x, y) points — the substructure property must
+        # hold for *any* pair, in either orientation, so the coordinates
+        # are deliberately not coupled.
+        x1, x2 = (
+            sum(scoring.g(j, _scores(rng)) for j in range(num_terms))
+            for _ in range(2)
+        )
+        # Windows and shifts are sampled at token scale (small values):
+        # contract violations in decaying f's live near their "knees",
+        # and real windows are tens of tokens, not thousands.
+        y1, y2 = (rng.uniform(0, 12) for _ in range(2))
+        delta = rng.uniform(0, 6)
+        x_small, x_large = sorted((x1, x2))
+        y_small, y_large = sorted((y1, y2))
+        # Monotone increasing in x.
+        if scoring.f(x_large, y_small) < scoring.f(x_small, y_small) - 1e-12:
+            report.violations.append(
+                f"f not increasing in x at x={x_small:.3g}->{x_large:.3g}, y={y_small:.3g}"
+            )
+        # Monotone decreasing in y.
+        if scoring.f(x_small, y_large) > scoring.f(x_small, y_small) + 1e-12:
+            report.violations.append(
+                f"f not decreasing in y at x={x_small:.3g}, y={y_small:.3g}->{y_large:.3g}"
+            )
+        # Optimal substructure, both shift directions, both orientations.
+        for (xa, ya), (xb, yb) in (((x1, y1), (x2, y2)), ((x2, y2), (x1, y1))):
+            if scoring.f(xa, ya) < scoring.f(xb, yb):
+                continue
+            if scoring.f(xa + delta, ya) < scoring.f(xb + delta, yb) - 1e-9:
+                report.violations.append(
+                    f"optimal substructure (x-shift) fails at "
+                    f"({xa:.3g},{ya:.3g}) vs ({xb:.3g},{yb:.3g}), δ={delta:.3g}"
+                )
+            if scoring.f(xa, ya + delta) < scoring.f(xb, yb + delta) - 1e-9:
+                report.violations.append(
+                    f"optimal substructure (y-shift) fails at "
+                    f"({xa:.3g},{ya:.3g}) vs ({xb:.3g},{yb:.3g}), δ={delta:.3g}"
+                )
+    return report
+
+
+def check_med_contract(
+    scoring: MedScoring,
+    *,
+    samples: int = 400,
+    seed: int = 0,
+    num_terms: int = 3,
+) -> ContractReport:
+    """Probe Definition 5: g monotone increasing per term, f increasing."""
+    rng = random.Random(seed)
+    report = ContractReport(type(scoring).__name__, samples)
+    for _ in range(samples):
+        j = rng.randrange(num_terms)
+        lo, hi = sorted(_scores(rng) for _ in range(2))
+        if scoring.g(j, hi) < scoring.g(j, lo) - 1e-12:
+            report.violations.append(f"g_{j} not increasing at {lo:.3g}->{hi:.3g}")
+        a, b = sorted(rng.uniform(-20, 20) for _ in range(2))
+        if scoring.f(b) < scoring.f(a) - 1e-12:
+            report.violations.append(f"f not increasing at {a:.3g}->{b:.3g}")
+    return report
+
+
+def check_max_contract(
+    scoring: MaxScoring,
+    *,
+    samples: int = 300,
+    seed: int = 0,
+    max_location: int = 40,
+) -> ContractReport:
+    """Probe Definition 7/8: g monotonicity, and the two flags the
+    specialized join relies on (only when the function declares them)."""
+    rng = random.Random(seed)
+    report = ContractReport(type(scoring).__name__, samples)
+    for _ in range(samples):
+        j = 0
+        lo, hi = sorted(_scores(rng) for _ in range(2))
+        d_lo, d_hi = sorted(rng.uniform(0, max_location) for _ in range(2))
+        if scoring.g(j, hi, d_lo) < scoring.g(j, lo, d_lo) - 1e-12:
+            report.violations.append(f"g not increasing in score at {lo:.3g}->{hi:.3g}")
+        if scoring.g(j, lo, d_hi) > scoring.g(j, lo, d_lo) + 1e-12:
+            report.violations.append(
+                f"g not decreasing in distance at {d_lo:.3g}->{d_hi:.3g}"
+            )
+        if scoring.at_most_one_crossing:
+            m1 = Match(rng.randrange(max_location), _scores(rng))
+            m2 = Match(rng.randrange(max_location), _scores(rng))
+            signs: list[int] = []
+            for l in range(-2, max_location + 3):
+                diff = scoring.contribution(j, m1, l) - scoring.contribution(j, m2, l)
+                if abs(diff) > 1e-12:
+                    sign = 1 if diff > 0 else -1
+                    if not signs or signs[-1] != sign:
+                        signs.append(sign)
+            if len(signs) > 2:
+                report.violations.append(
+                    f"contributions of {m1} and {m2} cross more than once"
+                )
+        if scoring.maximized_at_match:
+            from repro.core.matchset import MatchSet
+            from repro.core.query import Query
+
+            n = rng.randint(2, 4)
+            query = Query.of(*(f"t{i}" for i in range(n)))
+            matchset = MatchSet.from_sequence(
+                query,
+                [Match(rng.randrange(max_location), _scores(rng)) for _ in range(n)],
+            )
+            at_matches = max(
+                scoring.score_at(matchset, l) for l in matchset.locations
+            )
+            on_grid = max(
+                scoring.score_at(matchset, l) for l in range(-2, max_location + 3)
+            )
+            if on_grid > at_matches + 1e-9:
+                report.violations.append(
+                    f"score of {matchset} maximized off-match "
+                    f"({on_grid:.6g} > {at_matches:.6g})"
+                )
+    return report

@@ -1,0 +1,124 @@
+"""Additional scoring functions conforming to the paper's definitions.
+
+The paper intentionally leaves ``f`` and ``g_j`` "as unspecified as
+possible"; this module ships further members of each family that satisfy
+the required properties, extending the toolbox beyond the running
+examples:
+
+* :class:`PureProximityWin` — WIN with scores ignored entirely:
+  ``g_j ≡ 0``, ``f(x, y) = −y``.  The best matchset is exactly the
+  smallest window containing one match per term, i.e. the classic
+  shortest-cover-interval criterion of Hawking & Thistlewaite — showing
+  how the older unweighted model embeds in the WIN family (a property
+  test ties it to
+  :func:`repro.retrieval.proximity_scoring.minimal_cover_windows`).
+* :class:`WeightedAdditiveMed` — MED with per-term importance weights:
+  ``g_j(x) = w_j · x / scale``.  Lets an application say "the entity
+  term matters twice as much as the keyword terms" while keeping the
+  unit-slope distance penalty MED requires.
+* :class:`LinearDecayMax` — MAX with *linear* instead of exponential
+  decay: ``g_j(x, y) = x/scale − αy``, ``f = id``.  Both Definition 8
+  properties hold: contribution differences are monotone over locations
+  (at-most-one-crossing), and the total ``Σx/scale − α·Σ|loc_j − l|`` is
+  maximized where the distance sum is smallest — the median location,
+  always a match location (maximized-at-match).  An instructive special
+  case: MAX with linear decay anchors at the median, landing between
+  MED and the exponential MAX functions.
+
+Not everything plausible conforms — see
+``tests/scoring/test_counterexamples.py`` for scoring functions that
+*look* reasonable (hard window cut-offs, power-law window decay) but
+violate the optimal-substructure property, with concrete inputs on
+which Algorithm 1 would be suboptimal.  That is why the definitions
+carry these conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import ScoringContractError
+from repro.core.scoring.base import MaxScoring, MedScoring, WinScoring
+
+__all__ = ["PureProximityWin", "WeightedAdditiveMed", "LinearDecayMax"]
+
+
+class PureProximityWin(WinScoring):
+    """WIN that scores only the window: ``f(x, y) = −y``, ``g_j ≡ 0``.
+
+    Maximizing this score finds the smallest window covering all query
+    terms; all of Definition 3's conditions hold trivially (``g``
+    constant is non-strictly increasing, ``f`` is decreasing in ``y``
+    and independent of ``x``).
+    """
+
+    def g(self, j: int, x: float) -> float:
+        return 0.0
+
+    def f(self, x: float, y: float) -> float:
+        return -y
+
+
+class WeightedAdditiveMed(MedScoring):
+    """MED with per-term weights: ``g_j(x) = w_j · x / scale``.
+
+    Weights must be positive (a zero weight would make ``g_j``
+    non-increasing only degenerately; a negative one breaks
+    monotonicity outright).
+    """
+
+    def __init__(self, weights: Sequence[float], *, scale: float = 0.3) -> None:
+        if scale <= 0:
+            raise ScoringContractError(f"scale must be positive, got {scale}")
+        if not weights or any(w <= 0 for w in weights):
+            raise ScoringContractError(
+                f"weights must be non-empty and positive, got {weights!r}"
+            )
+        self.weights = tuple(weights)
+        self.scale = scale
+
+    def g(self, j: int, x: float) -> float:
+        try:
+            return self.weights[j] * x / self.scale
+        except IndexError:
+            raise ScoringContractError(
+                f"term index {j} outside the {len(self.weights)} configured weights"
+            ) from None
+
+    def f(self, x: float) -> float:
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WeightedAdditiveMed(weights={self.weights}, scale={self.scale})"
+
+
+class LinearDecayMax(MaxScoring):
+    """MAX with linear distance decay: ``g_j(x, y) = x/scale − αy``.
+
+    Contribution curves are tents with uniform slope α, so any two cross
+    at most once; the contribution total is piecewise linear in the
+    reference location with breakpoints exactly at match locations, so
+    the maximum is attained at a match location (in fact at the paper's
+    median).  Both Definition 8 flags therefore hold and the efficient
+    specialized join applies.
+    """
+
+    at_most_one_crossing = True
+    maximized_at_match = True
+
+    def __init__(self, alpha: float = 1.0, *, scale: float = 0.3) -> None:
+        if alpha <= 0:
+            raise ScoringContractError(f"alpha must be positive, got {alpha}")
+        if scale <= 0:
+            raise ScoringContractError(f"scale must be positive, got {scale}")
+        self.alpha = alpha
+        self.scale = scale
+
+    def g(self, j: int, x: float, y: float) -> float:
+        return x / self.scale - self.alpha * y
+
+    def f(self, x: float) -> float:
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearDecayMax(alpha={self.alpha}, scale={self.scale})"

@@ -1,0 +1,131 @@
+"""Concrete maximize-over-location (MAX) scoring functions (Section V).
+
+* :class:`ExponentialProductMax` — Eq. (4):
+  ``max_l Π_j score_j · e^{−α·|loc_j − l|}`` (``f = exp``,
+  ``g_j(x, y) = ln x − αy``).  Contribution curves are "tents" with slope
+  ±α, so at-most-one-crossing holds, and the contribution total is
+  piecewise linear with breakpoints only at match locations, giving
+  maximized-at-match (Lemma 3).
+* :class:`AdditiveExponentialMax` — Eq. (5):
+  ``max_l Σ_j score_j · e^{−α·|loc_j − l|}`` (``f = id``,
+  ``g_j(x, y) = x·e^{−αy}``).  Between consecutive match locations the
+  total is ``C₁e^{−αl} + C₂e^{αl}``, a convex function, so the max over
+  each interval is at an endpoint — maximized-at-match again (Lemma 3).
+  This generalizes Chakrabarti et al.'s type-term scoring.
+* :class:`CustomMax` — adapter for user callables; the caller declares
+  which Definition 8 properties hold via the contract flags.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+from repro.core.errors import ScoringContractError
+from repro.core.matchset import MatchSet
+from repro.core.scoring.base import MaxScoring
+
+__all__ = ["ExponentialProductMax", "AdditiveExponentialMax", "CustomMax"]
+
+
+class ExponentialProductMax(MaxScoring):
+    """Eq. (4): product of scores decayed around the best reference point."""
+
+    at_most_one_crossing = True
+    maximized_at_match = True
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if alpha <= 0:
+            raise ScoringContractError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+
+    def g(self, j: int, x: float, y: float) -> float:
+        if x <= 0:
+            raise ScoringContractError(
+                f"ExponentialProductMax needs positive match scores, got {x}"
+            )
+        return math.log(x) - self.alpha * y
+
+    def f(self, x: float) -> float:
+        return math.exp(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExponentialProductMax(alpha={self.alpha})"
+
+
+class AdditiveExponentialMax(MaxScoring):
+    """Eq. (5): sum of exponentially distance-decayed scores.
+
+    The paper's TREC/DBWorld experiments use this with ``α = 0.1``
+    (footnote 9).
+    """
+
+    at_most_one_crossing = True
+    maximized_at_match = True
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if alpha <= 0:
+            raise ScoringContractError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+
+    def g(self, j: int, x: float, y: float) -> float:
+        return x * math.exp(-self.alpha * y)
+
+    def f(self, x: float) -> float:
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AdditiveExponentialMax(alpha={self.alpha})"
+
+
+class CustomMax(MaxScoring):
+    """A MAX scoring function from user callables.
+
+    Parameters
+    ----------
+    g:
+        Single callable ``g(x, y)`` or per-term sequence of callables.
+    f:
+        Monotonically increasing combiner.
+    at_most_one_crossing, maximized_at_match:
+        The Definition 8 properties the caller vouches for.  When
+        ``maximized_at_match`` is False an ``anchor_candidates`` callable
+        must be supplied so scores stay computable.
+    anchor_candidates:
+        Optional override enumerating candidate reference locations for a
+        matchset.
+    """
+
+    def __init__(
+        self,
+        g: Callable[[float, float], float] | Sequence[Callable[[float, float], float]],
+        f: Callable[[float], float],
+        *,
+        at_most_one_crossing: bool = False,
+        maximized_at_match: bool = False,
+        anchor_candidates: Callable[[MatchSet], Iterable[int]] | None = None,
+    ) -> None:
+        self._per_term = None if callable(g) else tuple(g)
+        self._g = g if callable(g) else None
+        self._f = f
+        self.at_most_one_crossing = at_most_one_crossing
+        self.maximized_at_match = maximized_at_match
+        self._anchor_candidates = anchor_candidates
+        if not maximized_at_match and anchor_candidates is None:
+            raise ScoringContractError(
+                "CustomMax without maximized-at-match needs anchor_candidates"
+            )
+
+    def g(self, j: int, x: float, y: float) -> float:
+        if self._per_term is not None:
+            return self._per_term[j](x, y)
+        assert self._g is not None
+        return self._g(x, y)
+
+    def f(self, x: float) -> float:
+        return self._f(x)
+
+    def anchor_candidates(self, matchset: MatchSet) -> Iterable[int]:
+        if self._anchor_candidates is not None:
+            return self._anchor_candidates(matchset)
+        return super().anchor_candidates(matchset)

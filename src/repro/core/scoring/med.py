@@ -1,0 +1,85 @@
+"""Concrete distance-from-median (MED) scoring functions (Section IV).
+
+* :class:`ExponentialProductMed` — Eq. (3):
+  ``Π_j score_j · e^{−α·|loc_j − median(M)|}``, i.e. ``f(x) = e^{αx}``
+  and ``g_j(x) = ln(x)/α``.
+* :class:`AdditiveMed` — the MED function of the TREC/DBWorld
+  experiments (footnote 9): ``g_j(x) = x/scale``, ``f(x) = x``.
+* :class:`CustomMed` — adapter wrapping user callables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.core.errors import ScoringContractError
+from repro.core.scoring.base import MedScoring
+
+__all__ = ["ExponentialProductMed", "AdditiveMed", "CustomMed"]
+
+
+class ExponentialProductMed(MedScoring):
+    """Eq. (3): product of scores, each decayed by distance to the median.
+
+    ``score(M) = Π_j score_j · e^{−α·|loc_j − median(M)|}`` with α > 0.
+    Match scores must be positive.
+    """
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if alpha <= 0:
+            raise ScoringContractError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+
+    def g(self, j: int, x: float) -> float:
+        if x <= 0:
+            raise ScoringContractError(
+                f"ExponentialProductMed needs positive match scores, got {x}"
+            )
+        return math.log(x) / self.alpha
+
+    def f(self, x: float) -> float:
+        return math.exp(self.alpha * x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExponentialProductMed(alpha={self.alpha})"
+
+
+class AdditiveMed(MedScoring):
+    """The TREC-experiment MED function: ``Σ_j (score_j/scale − |loc_j − med|)``."""
+
+    def __init__(self, scale: float = 0.3) -> None:
+        if scale <= 0:
+            raise ScoringContractError(f"scale must be positive, got {scale}")
+        self.scale = scale
+
+    def g(self, j: int, x: float) -> float:
+        return x / self.scale
+
+    def f(self, x: float) -> float:
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AdditiveMed(scale={self.scale})"
+
+
+class CustomMed(MedScoring):
+    """A MED scoring function from user callables (see :class:`CustomWin`)."""
+
+    def __init__(
+        self,
+        g: Callable[[float], float] | Sequence[Callable[[float], float]],
+        f: Callable[[float], float],
+    ) -> None:
+        self._per_term = None if callable(g) else tuple(g)
+        self._g = g if callable(g) else None
+        self._f = f
+
+    def g(self, j: int, x: float) -> float:
+        if self._per_term is not None:
+            return self._per_term[j](x)
+        assert self._g is not None
+        return self._g(x)
+
+    def f(self, x: float) -> float:
+        return self._f(x)

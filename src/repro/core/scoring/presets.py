@@ -1,0 +1,66 @@
+"""Named scoring-function presets used by the paper's experiments.
+
+Footnote 9 pins down the exact functions behind the TREC and DBWorld
+experiments; Eqs. (1), (3), (4) and (5) are the running examples of each
+family.  The synthetic-figure benchmarks reuse the experiment presets so
+all three algorithms are compared under the same configuration the paper
+used.
+"""
+
+from __future__ import annotations
+
+from repro.core.scoring.base import ScoringFunction
+from repro.core.scoring.maxloc import AdditiveExponentialMax, ExponentialProductMax
+from repro.core.scoring.med import AdditiveMed, ExponentialProductMed
+from repro.core.scoring.win import ExponentialProductWin, LinearAdditiveWin
+
+__all__ = [
+    "eq1",
+    "eq3",
+    "eq4",
+    "eq5",
+    "trec_win",
+    "trec_med",
+    "trec_max",
+    "experiment_suite",
+]
+
+
+def eq1(alpha: float = 0.1) -> ExponentialProductWin:
+    """Eq. (1): WIN with score product and exponential window decay."""
+    return ExponentialProductWin(alpha)
+
+
+def eq3(alpha: float = 0.1) -> ExponentialProductMed:
+    """Eq. (3): MED with score product and exponential median-distance decay."""
+    return ExponentialProductMed(alpha)
+
+
+def eq4(alpha: float = 0.1) -> ExponentialProductMax:
+    """Eq. (4): MAX with score product and exponential decay."""
+    return ExponentialProductMax(alpha)
+
+
+def eq5(alpha: float = 0.1) -> AdditiveExponentialMax:
+    """Eq. (5): MAX with sum of exponentially decayed scores."""
+    return AdditiveExponentialMax(alpha)
+
+
+def trec_win() -> LinearAdditiveWin:
+    """WIN used in the TREC/DBWorld experiments: g(x)=x/0.3, f(x,y)=x−y."""
+    return LinearAdditiveWin(scale=0.3)
+
+
+def trec_med() -> AdditiveMed:
+    """MED used in the TREC/DBWorld experiments: g(x)=x/0.3, f(x)=x."""
+    return AdditiveMed(scale=0.3)
+
+
+def trec_max() -> AdditiveExponentialMax:
+    """MAX used in the TREC/DBWorld experiments: Eq. (5) with α=0.1."""
+    return AdditiveExponentialMax(alpha=0.1)
+
+
+def experiment_suite() -> dict[str, ScoringFunction]:
+    """The (WIN, MED, MAX) triple the paper's experiments run with."""
+    return {"WIN": trec_win(), "MED": trec_med(), "MAX": trec_max()}

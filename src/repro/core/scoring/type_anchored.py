@@ -1,0 +1,61 @@
+"""Type-anchored scoring (Chakrabarti, Puniyani & Das — citation [7]).
+
+The paper notes that Eq. (5) "generalizes the scoring function of
+Chakrabarti et al., which simply sets l to be the location of the match
+for the single 'type' term in their query."  :class:`TypeAnchoredMax`
+implements that original, restricted form: queries with one *type* term
+(the "who" / "physicist" slot) and ordinary keyword terms, where the
+reference location is pinned to the type term's match instead of
+maximized over all locations.  Its linear join lives in
+:mod:`repro.core.algorithms.type_anchored`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.core.errors import ScoringContractError
+from repro.core.matchset import MatchSet
+from repro.core.scoring.base import MaxScoring
+
+__all__ = ["TypeAnchoredMax"]
+
+
+class TypeAnchoredMax(MaxScoring):
+    """Eq. (5)'s decay, anchored at the type term's match.
+
+    ``score(M) = Σ_j score_j · e^{−α·|loc_j − loc(m_type)|}`` — the
+    reference point is not free, so this is *not* maximized-at-match in
+    Definition 8's sense (the flag is False and the generic MAX joins
+    refuse it); use :func:`repro.core.algorithms.type_anchored.
+    type_anchored_join`.
+    """
+
+    at_most_one_crossing = True  # contributions are Eq. (5) bumps
+    maximized_at_match = False  # the anchor is fixed, not maximized
+
+    def __init__(self, type_term_index: int, alpha: float = 0.1) -> None:
+        if type_term_index < 0:
+            raise ScoringContractError(
+                f"type_term_index must be >= 0, got {type_term_index}"
+            )
+        if alpha <= 0:
+            raise ScoringContractError(f"alpha must be positive, got {alpha}")
+        self.type_term_index = type_term_index
+        self.alpha = alpha
+
+    def g(self, j: int, x: float, y: float) -> float:
+        return x * math.exp(-self.alpha * y)
+
+    def f(self, x: float) -> float:
+        return x
+
+    def anchor_candidates(self, matchset: MatchSet) -> Iterable[int]:
+        """The single admissible reference point: the type term's match."""
+        if self.type_term_index >= len(matchset):
+            raise ScoringContractError(
+                f"type term index {self.type_term_index} outside a "
+                f"{len(matchset)}-term matchset"
+            )
+        return (matchset.matches[self.type_term_index].location,)

@@ -1,0 +1,108 @@
+"""Concrete window-length (WIN) scoring functions (Section III).
+
+* :class:`ExponentialProductWin` — Eq. (1) of the paper:
+  ``(Π_j score_j) · e^{−α·window}``, i.e. ``g_j(x) = ln x`` and
+  ``f(x, y) = exp(x − αy)``.  This approximates the EntityRank scoring
+  function of Cheng et al. with an exponential distance decay.
+* :class:`LinearAdditiveWin` — the WIN function used in the paper's TREC
+  and DBWorld experiments (footnote 9): ``g_j(x) = x / scale`` and
+  ``f(x, y) = x − y``.
+* :class:`CustomWin` — adapter wrapping user callables; the caller
+  vouches for Definition 3's properties.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.core.errors import ScoringContractError
+from repro.core.scoring.base import WinScoring
+
+__all__ = ["ExponentialProductWin", "LinearAdditiveWin", "CustomWin"]
+
+
+class ExponentialProductWin(WinScoring):
+    """Eq. (1): product of scores, exponentially decayed by window length.
+
+    ``score(M) = (Π_j score_j) · e^{−α·(max loc − min loc)}`` with α > 0.
+    Individual match scores must be positive (``g_j = ln``).
+    """
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if alpha <= 0:
+            raise ScoringContractError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+
+    def g(self, j: int, x: float) -> float:
+        if x <= 0:
+            raise ScoringContractError(
+                f"ExponentialProductWin needs positive match scores, got {x}"
+            )
+        return math.log(x)
+
+    def f(self, x: float, y: float) -> float:
+        return math.exp(x - self.alpha * y)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExponentialProductWin(alpha={self.alpha})"
+
+
+class LinearAdditiveWin(WinScoring):
+    """The TREC-experiment WIN function: ``Σ_j score_j/scale − window``.
+
+    The paper (footnote 9) uses ``scale = 0.3``, the per-edge score decay
+    of its WordNet matcher, so a one-edge-closer match is worth one token
+    of window slack.
+    """
+
+    def __init__(self, scale: float = 0.3) -> None:
+        if scale <= 0:
+            raise ScoringContractError(f"scale must be positive, got {scale}")
+        self.scale = scale
+
+    def g(self, j: int, x: float) -> float:
+        return x / self.scale
+
+    def f(self, x: float, y: float) -> float:
+        return x - y
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearAdditiveWin(scale={self.scale})"
+
+
+class CustomWin(WinScoring):
+    """A WIN scoring function from user-supplied callables.
+
+    Parameters
+    ----------
+    g:
+        Either a single callable ``g(x)`` applied to every term, or a
+        sequence of per-term callables ``g_j(x)`` (Definition 3 allows a
+        different monotone transform per term).
+    f:
+        The combiner ``f(x, y)``.
+
+    The callables must satisfy Definition 3 (monotonicity and optimal
+    substructure); this adapter cannot verify that, so violations
+    silently break Algorithm 1's optimality.  Use the property-test
+    helpers in :mod:`tests.scoring` to vet a new function.
+    """
+
+    def __init__(
+        self,
+        g: Callable[[float], float] | Sequence[Callable[[float], float]],
+        f: Callable[[float, float], float],
+    ) -> None:
+        self._per_term = None if callable(g) else tuple(g)
+        self._g = g if callable(g) else None
+        self._f = f
+
+    def g(self, j: int, x: float) -> float:
+        if self._per_term is not None:
+            return self._per_term[j](x)
+        assert self._g is not None
+        return self._g(x)
+
+    def f(self, x: float, y: float) -> float:
+        return self._f(x, y)

@@ -1,0 +1,59 @@
+"""Workload generators: synthetic (Section VIII), TREC-like, DBWorld-like."""
+
+from repro.datasets.dbworld_like import (
+    DBWORLD_MAILING_SIZE,
+    DBWORLD_NUM_MESSAGES,
+    CfpGroundTruth,
+    generate_dbworld_like,
+    generate_dbworld_mailing,
+    select_cfp_messages,
+)
+from repro.datasets.qa_corpus import (
+    FACTOID_QUESTIONS,
+    FactoidQuestion,
+    generate_qa_corpus,
+)
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    SyntheticInstance,
+    duplicate_fraction,
+    generate_dataset,
+    generate_instance,
+)
+from repro.datasets.trec_like import (
+    TREC_QUERY_SPECS,
+    TrecLikeDataset,
+    TrecLikeDocument,
+    TrecQuerySpec,
+    generate_trec_like,
+)
+from repro.datasets.zipf import (
+    TruncatedExponentialSampler,
+    ZipfSampler,
+    expected_duplicate_fraction,
+)
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticInstance",
+    "generate_instance",
+    "generate_dataset",
+    "duplicate_fraction",
+    "ZipfSampler",
+    "TruncatedExponentialSampler",
+    "expected_duplicate_fraction",
+    "TrecQuerySpec",
+    "TREC_QUERY_SPECS",
+    "TrecLikeDocument",
+    "TrecLikeDataset",
+    "generate_trec_like",
+    "FactoidQuestion",
+    "FACTOID_QUESTIONS",
+    "generate_qa_corpus",
+    "CfpGroundTruth",
+    "generate_dbworld_like",
+    "DBWORLD_NUM_MESSAGES",
+    "DBWORLD_MAILING_SIZE",
+    "generate_dbworld_mailing",
+    "select_cfp_messages",
+]

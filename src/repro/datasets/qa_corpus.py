@@ -1,0 +1,228 @@
+"""Full-text factoid-QA corpora.
+
+The TREC-like generator (:mod:`repro.datasets.trec_like`) synthesizes
+*match lists* to reproduce the paper's timing statistics.  This module
+generates actual *text* corpora for end-to-end question answering — the
+matchers run for real, over documents with one planted answer sentence
+and many thematic distractors — exercising tokenizer → stemmer →
+lexicon/gazetteer matchers → best-join → ranking as one pipeline.
+
+Each :class:`FactoidQuestion` carries the natural-language question, the
+query in :mod:`repro.matching.queries` syntax, the answer sentence, and
+the expected extraction fields for accuracy checks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.text.document import Corpus, Document
+
+__all__ = ["FactoidQuestion", "FACTOID_QUESTIONS", "generate_qa_corpus"]
+
+
+@dataclass(frozen=True, slots=True)
+class FactoidQuestion:
+    """One factoid question with its planted ground truth."""
+
+    question_id: str
+    question: str
+    query: str  # repro.matching.queries syntax
+    answer_sentence: str
+    expected: dict[str, str]  # query term -> expected matched surface form
+    #: sentences mentioning *some* query terms without answering —
+    #: realistic confusers placed in distractor documents
+    confusers: tuple[str, ...] = ()
+
+
+FACTOID_QUESTIONS: tuple[FactoidQuestion, ...] = (
+    FactoidQuestion(
+        "hitchcock-born",
+        "Where was Alfred Hitchcock born?",
+        '"alfred hitchcock", born, place',
+        "Alfred Hitchcock was born in London in 1899 and later moved to "
+        "Hollywood.",
+        {"alfred hitchcock": "alfred hitchcock", "born": "born", "place": "london"},
+        (
+            "Alfred Hitchcock directed many famous thrillers over the years.",
+            "Many actors were born in small towns across England.",
+        ),
+    ),
+    FactoidQuestion(
+        "edward-marry",
+        "When did Prince Edward marry?",
+        '"prince edward", marry, date',
+        "Prince Edward married Sophie in June 1999 at Windsor.",
+        {"prince edward": "prince edward", "marry": "married", "date": "june"},
+        (
+            "Prince Edward attended a ceremony last week.",
+            "The couple plans to marry sometime next spring.",
+        ),
+    ),
+    FactoidQuestion(
+        "imf-headquarters",
+        "Where is the IMF headquartered?",
+        "imf, headquarters, place",
+        "The IMF maintains its headquarters in Washington, close to the "
+        "White House.",
+        {"imf": "imf", "headquarters": "headquarters", "place": "washington"},
+        (
+            "The IMF published a new economic outlook on Tuesday.",
+            "The company moved its headquarters to a larger campus.",
+        ),
+    ),
+    FactoidQuestion(
+        "curie-award",
+        "What award did Marie Curie win?",
+        '"marie curie", win, award',
+        "Marie Curie won the Nobel Prize for her research on radiation.",
+        {"marie curie": "marie curie", "win": "won", "award": "nobel prize"},
+        (
+            "Marie Curie taught physics in Paris for many years.",
+            "The committee will announce the award winners in October.",
+        ),
+    ),
+    FactoidQuestion(
+        "stonehenge-country",
+        "In what country was Stonehenge built?",
+        "stonehenge, build, place",
+        "Stonehenge was built in England over many centuries.",
+        {"stonehenge": "stonehenge", "build": "built", "place": "england"},
+        (
+            "Stonehenge attracts thousands of visitors every summer.",
+            "Workers built a new visitor center near the site.",
+        ),
+    ),
+    FactoidQuestion(
+        "apollo-year",
+        "In what year did Apollo 11 land on the moon?",
+        '"apollo 11", land, year',
+        "Apollo 11 landed on the moon in 1969, watched by millions.",
+        {"apollo 11": "apollo 11", "land": "landed", "year": "1969"},
+        (
+            "The Apollo 11 crew toured several countries afterwards.",
+            "The probe will land on the far side next decade.",
+        ),
+    ),
+    FactoidQuestion(
+        "shakespeare-write",
+        "What did Shakespeare write in 1603?",
+        "shakespeare, write, year",
+        "Shakespeare wrote several tragedies around 1603 for the new king.",
+        {"shakespeare": "shakespeare", "write": "wrote", "year": "1603"},
+        (
+            "Shakespeare remains widely performed across the world.",
+            "Students write essays about the period every year.",
+        ),
+    ),
+    FactoidQuestion(
+        "lenovo-deal",
+        "What sports organization did Lenovo partner with?",
+        'lenovo, sports, partnership',
+        "Lenovo announced a marketing partnership with the NBA for the "
+        "coming basketball season.",
+        {"lenovo": "lenovo", "sports": "nba", "partnership": "partnership"},
+        (
+            "Lenovo shipped record laptop volumes last quarter.",
+            "A beverage partnership with a local football club was renewed.",
+        ),
+    ),
+    FactoidQuestion(
+        "louvre-city",
+        "In what city is the Louvre museum?",
+        "museum, place",
+        "The Louvre museum in Paris attracts millions of visitors.",
+        # The literal "museum" token (score 1.0) beats the "louvre"
+        # instance expansion (0.7) at the same spot — both are correct.
+        {"museum": "museum", "place": "paris"},
+        (
+            "The museum extended its weekend opening hours.",
+            "New galleries opened in several cities this spring.",
+        ),
+    ),
+    FactoidQuestion(
+        "tesla-invent",
+        "What did Nikola Tesla work on?",
+        '"nikola tesla", invent',
+        "Nikola Tesla devised early alternating-current machinery.",
+        {"nikola tesla": "nikola tesla", "invent": "devised"},
+        (
+            "Nikola Tesla spent his later years in New York.",
+            "Engineers continue to devise better motors.",
+        ),
+    ),
+    FactoidQuestion(
+        "everest-country",
+        "In what country is Mount Everest's southern approach?",
+        "everest, place",
+        "Climbers reach Everest through Nepal in most expeditions.",
+        {"everest": "everest", "place": "nepal"},
+        (
+            "Everest expeditions are planned years in advance.",
+            "Trekking through the region requires permits.",
+        ),
+    ),
+    FactoidQuestion(
+        "nobel-year",
+        "When was the Nobel Prize first awarded?",
+        '"nobel prize", award, year',
+        "The Nobel Prize was first awarded in 1901 in Stockholm.",
+        {"nobel prize": "nobel prize", "award": "awarded", "year": "1901"},
+        (
+            "The Nobel Prize ceremony is broadcast internationally.",
+            "Several awards were announced this autumn.",
+        ),
+    ),
+)
+
+# Neutral filler sentences: deliberately far from the question topics so
+# distractor documents look like ordinary news text.
+_FILLER = (
+    "Local officials discussed the municipal budget for the coming term.",
+    "The weather service expects mild temperatures through the weekend.",
+    "A new bakery opened downtown to considerable enthusiasm.",
+    "Traffic on the ring road was slower than usual this morning.",
+    "The library extended its opening hours for the exam season.",
+    "Volunteers cleaned the riverbank during the annual drive.",
+    "The orchestra rehearsed a demanding program for the festival.",
+    "Farmers reported a good harvest despite the dry spell.",
+    "The city council approved funding for two new playgrounds.",
+    "Commuters welcomed the additional early-morning train service.",
+    "A documentary crew filmed interviews at the old harbor.",
+    "The chess club organized an open tournament for beginners.",
+)
+
+
+def generate_qa_corpus(
+    question: FactoidQuestion,
+    *,
+    num_docs: int = 50,
+    sentences_per_doc: int = 8,
+    confuser_rate: float = 0.3,
+    seed: int = 7,
+) -> Corpus:
+    """A corpus for one question: one answer document, many distractors.
+
+    The answer document contains the answer sentence somewhere in the
+    middle of ordinary filler; distractor documents are filler plus,
+    with probability ``confuser_rate``, one confuser sentence that
+    mentions some of the query's terms without answering the question.
+    ``Document.metadata["is_answer"]`` marks the ground truth.
+    """
+    rng = random.Random(f"{question.question_id}:{seed}")
+    answer_index = rng.randrange(num_docs)
+    corpus = Corpus()
+    for i in range(num_docs):
+        sentences = [rng.choice(_FILLER) for _ in range(sentences_per_doc)]
+        if i == answer_index:
+            sentences[rng.randrange(1, sentences_per_doc - 1)] = question.answer_sentence
+        elif question.confusers and rng.random() < confuser_rate:
+            sentences[rng.randrange(sentences_per_doc)] = rng.choice(question.confusers)
+        doc = Document(
+            f"{question.question_id}-{i:03d}",
+            " ".join(sentences),
+            metadata={"is_answer": i == answer_index},
+        )
+        corpus.add(doc)
+    return corpus

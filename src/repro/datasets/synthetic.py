@@ -1,0 +1,129 @@
+"""The Section VIII synthetic dataset generator.
+
+Generates per-document match lists under the paper's knobs:
+
+* ``num_terms`` — number of query terms (Fig 6 varies 2–7);
+* ``total_matches`` — total size of the match lists per document
+  (Fig 7 varies 10–40; default 30);
+* ``lam`` — λ of the truncated exponential governing how many matches
+  share a location (Figs 8–9 vary 1.0–3.0; default 2.0 ≈ 24% duplicates);
+* ``zipf_s`` — skew of term popularities (Fig 10 varies up to 4.0;
+  default 1.1);
+* ``doc_words`` — locations are drawn uniformly from a ~1000-word
+  document;
+* individual match scores are uniform on (0, 1].
+
+Matches that share a location across lists model one ambiguous token
+matching several query terms, so they share a ``token_id`` and trigger
+the Section VI duplicate handling — exactly the paper's setup.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.core.match import Match, MatchList
+from repro.core.query import Query
+from repro.datasets.zipf import TruncatedExponentialSampler, ZipfSampler
+
+__all__ = ["SyntheticConfig", "SyntheticInstance", "generate_instance", "generate_dataset",
+           "duplicate_fraction"]
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticConfig:
+    """Knobs of the Section VIII generator (defaults = the paper's)."""
+
+    num_terms: int = 4
+    total_matches: int = 30
+    lam: float = 2.0
+    zipf_s: float = 1.1
+    doc_words: int = 1000
+    num_docs: int = 500
+    seed: int = 2009
+
+    def with_(self, **changes) -> "SyntheticConfig":
+        """A copy with some knobs changed (sweep helper)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticInstance:
+    """One synthetic document: a query and its match lists."""
+
+    query: Query
+    lists: tuple[MatchList, ...]
+
+    @property
+    def total_matches(self) -> int:
+        return sum(len(lst) for lst in self.lists)
+
+
+def _make_query(num_terms: int) -> Query:
+    return Query.of(*(f"term{j}" for j in range(num_terms)))
+
+
+def generate_instance(config: SyntheticConfig, rng: random.Random) -> SyntheticInstance:
+    """One document's match lists under ``config``.
+
+    Locations are drawn without replacement from the document; at each
+    location, τ matches are created for τ distinct Zipf-sampled terms
+    (all sharing the location, hence duplicates when τ ≥ 2); generation
+    stops when ``total_matches`` matches exist (the last location's τ is
+    capped to hit the total exactly).
+    """
+    tau_sampler = TruncatedExponentialSampler(config.num_terms, config.lam)
+    zipf = ZipfSampler(config.num_terms, config.zipf_s)
+
+    per_term: list[list[Match]] = [[] for _ in range(config.num_terms)]
+    used_locations: set[int] = set()
+    produced = 0
+    while produced < config.total_matches:
+        location = rng.randrange(config.doc_words)
+        if location in used_locations:
+            continue
+        used_locations.add(location)
+        tau = min(tau_sampler.sample_tau(rng), config.total_matches - produced)
+        # τ distinct terms, Zipf-weighted (rejection keeps weights intact).
+        chosen: set[int] = set()
+        while len(chosen) < tau:
+            chosen.add(zipf.sample(rng))
+        for j in chosen:
+            score = 1.0 - rng.random()  # uniform on (0, 1]
+            per_term[j].append(Match(location=location, score=score))
+            produced += 1
+
+    query = _make_query(config.num_terms)
+    lists = tuple(
+        MatchList(matches, term=query[j]) for j, matches in enumerate(per_term)
+    )
+    return SyntheticInstance(query, lists)
+
+
+def generate_dataset(config: SyntheticConfig) -> list[SyntheticInstance]:
+    """``config.num_docs`` documents from a seeded RNG (reproducible)."""
+    rng = random.Random(config.seed)
+    return [generate_instance(config, rng) for _ in range(config.num_docs)]
+
+
+def duplicate_fraction(instances: Sequence[SyntheticInstance]) -> float:
+    """Measured duplicate frequency over a dataset (footnote 8).
+
+    A match counts as a duplicate when its location also appears in a
+    *different* match list of the same document.
+    """
+    duplicates = 0
+    total = 0
+    for instance in instances:
+        location_lists: dict[int, int] = {}
+        for lst in instance.lists:
+            for loc in set(lst.locations):
+                location_lists[loc] = location_lists.get(loc, 0) + 1
+        for lst in instance.lists:
+            for m in lst:
+                total += 1
+                if location_lists[m.location] > 1:
+                    duplicates += 1
+    return duplicates / total if total else 0.0

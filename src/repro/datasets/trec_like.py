@@ -1,0 +1,276 @@
+"""TREC-2006-QA-like synthetic corpora (Figures 11 and 12 substitute).
+
+The real TREC 2006 QA document collections are not distributable, so this
+generator rebuilds, per query, a corpus of 1000 match-list documents with
+the *statistics the paper reports* for that query (Figure 12): the
+per-term average match-list sizes, the average number of duplicate
+matches per document, and documents of 450–500 words.  Running time of
+every join algorithm depends only on these statistics — list sizes,
+locations, scores — so the timing experiment (Fig 11) transfers.
+
+For the answer-rank experiment (Fig 12, last columns) each corpus plants
+one *answer document* containing a tight, high-scoring matchset (the
+correct answer the paper's matcher found), plus optional *decoy*
+documents for the queries where the paper itself saw the answer at rank
+2 (Q2/WIN and Q6) — reproducing not just the successes but the shape of
+the failures.
+
+Match scores are drawn from the WordNet matcher's value set
+{1.0, 0.7, 0.4, 0.1} (distances 0–3 at 1 − 0.3d).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.match import Match, MatchList
+from repro.core.query import Query
+
+__all__ = [
+    "TrecQuerySpec",
+    "TREC_QUERY_SPECS",
+    "TrecLikeDocument",
+    "TrecLikeDataset",
+    "generate_trec_like",
+]
+
+_SCORE_VALUES = (1.0, 0.7, 0.4, 0.1)
+_SCORE_WEIGHTS = (0.20, 0.35, 0.30, 0.15)
+
+
+@dataclass(frozen=True, slots=True)
+class TrecQuerySpec:
+    """One row of the paper's Figure 12."""
+
+    query_id: str
+    question: str
+    terms: tuple[str, ...]
+    avg_list_sizes: tuple[float, ...]
+    avg_duplicates: float
+    paper_answer_ranks: dict[str, str]  # scoring family -> paper's reported rank
+    decoys: int = 0  # near-answer distractor documents to plant
+
+    @property
+    def query(self) -> Query:
+        return Query(self.terms)
+
+
+TREC_QUERY_SPECS: tuple[TrecQuerySpec, ...] = (
+    TrecQuerySpec(
+        "Q1",
+        "Leaning Tower of Pisa began to be built in what year?",
+        ("Leaning Tower of Pisa", "began", "build", "year"),
+        (2.9, 0.2, 8.3, 3.7),
+        0.6,
+        {"MED": "1", "MAX": "1", "WIN": "1"},
+    ),
+    TrecQuerySpec(
+        "Q2",
+        "What school and in what year did Hugo Chavez graduate from?",
+        ("Chavez", "graduate", "school", "year"),
+        (6.7, 5.2, 4.3, 4.6),
+        2.7,
+        {"MED": "2(3)", "MAX": "1", "WIN": "1(2)"},
+        decoys=2,
+    ),
+    TrecQuerySpec(
+        "Q3",
+        "In what city is the lebanese parliament located?",
+        ("Lebanese Parliament", "in", "city"),
+        (0.1, 11.9, 4.1),
+        0.0,
+        {"MED": "1", "MAX": "1", "WIN": "1"},
+    ),
+    TrecQuerySpec(
+        "Q4",
+        "In what country was Stonehenge built?",
+        ("country", "Stonehenge", "in"),
+        (11.4, 0.04, 11.5),
+        0.8,
+        {"MED": "1", "MAX": "1", "WIN": "1"},
+    ),
+    TrecQuerySpec(
+        "Q5",
+        "When did Prince Edward marry?",
+        ("Prince Edward", "marry", "date"),
+        (3.4, 2.1, 18.2),
+        0.7,
+        {"MED": "1", "MAX": "1", "WIN": "1"},
+    ),
+    TrecQuerySpec(
+        "Q6",
+        "Where was Alfred Hitchcock born?",
+        ("Alfred Hitchcock", "born", "city"),
+        (3.6, 0.1, 8.4),
+        0.0,
+        {"MED": "2(2)", "MAX": "2(2)", "WIN": "2(2)"},
+        decoys=1,
+    ),
+    TrecQuerySpec(
+        "Q7",
+        "Where is the IMF headquartered?",
+        ("IMF", "headquarters", "city"),
+        (7.5, 1.0, 2.4),
+        0.4,
+        {"MED": "1", "MAX": "1", "WIN": "1"},
+    ),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TrecLikeDocument:
+    """One synthetic document's match lists plus ground truth."""
+
+    doc_id: str
+    lists: tuple[MatchList, ...]
+    is_answer: bool = False
+    is_decoy: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class TrecLikeDataset:
+    """A full per-query corpus."""
+
+    spec: TrecQuerySpec
+    documents: tuple[TrecLikeDocument, ...]
+
+    @property
+    def query(self) -> Query:
+        return self.spec.query
+
+    def measured_avg_list_sizes(self) -> tuple[float, ...]:
+        n = len(self.documents)
+        sums = [0] * len(self.spec.terms)
+        for doc in self.documents:
+            for j, lst in enumerate(doc.lists):
+                sums[j] += len(lst)
+        return tuple(s / n for s in sums)
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Knuth's Poisson sampler (means here are tiny)."""
+    if mean <= 0:
+        return 0
+    threshold = math.exp(-mean)
+    k = 0
+    p = 1.0
+    while True:
+        p *= rng.random()
+        if p <= threshold:
+            return k
+        k += 1
+
+
+def _random_score(rng: random.Random) -> float:
+    u = rng.random()
+    acc = 0.0
+    for value, weight in zip(_SCORE_VALUES, _SCORE_WEIGHTS):
+        acc += weight
+        if u <= acc:
+            return value
+    return _SCORE_VALUES[-1]
+
+
+def _background_lists(
+    spec: TrecQuerySpec, rng: random.Random, doc_words: int
+) -> list[list[Match]]:
+    """Random background matches with the spec's per-term average sizes."""
+    per_term: list[list[Match]] = []
+    # Duplicate events (below) add avg_duplicates / |Q| matches per term
+    # on average; deduct that from the background rate so the measured
+    # list sizes stay on the Figure 12 averages.
+    dup_share = spec.avg_duplicates / len(spec.terms)
+    for avg in spec.avg_list_sizes:
+        count = _poisson(rng, max(avg - dup_share, 0.0))
+        used: set[int] = set()
+        matches = []
+        for _ in range(count):
+            loc = rng.randrange(doc_words)
+            while loc in used:
+                loc = rng.randrange(doc_words)
+            used.add(loc)
+            matches.append(Match(location=loc, score=_random_score(rng)))
+        per_term.append(matches)
+    # Duplicate events: one shared location across two random lists counts
+    # as two duplicate matches (footnote 8), so Poisson(avg_dups / 2) events.
+    for _ in range(_poisson(rng, spec.avg_duplicates / 2)):
+        if len(spec.terms) < 2:
+            break
+        a, b = rng.sample(range(len(spec.terms)), 2)
+        loc = rng.randrange(doc_words)
+        existing = {m.location for m in per_term[a]} | {m.location for m in per_term[b]}
+        if loc in existing:
+            continue
+        per_term[a].append(Match(location=loc, score=_random_score(rng)))
+        per_term[b].append(Match(location=loc, score=_random_score(rng)))
+    return per_term
+
+
+def _plant_cluster(
+    per_term: list[list[Match]],
+    rng: random.Random,
+    doc_words: int,
+    *,
+    width: int,
+    scores: Sequence[float],
+) -> None:
+    """Plant one tight matchset (one match per term within ``width`` tokens)."""
+    n = len(per_term)
+    start = rng.randrange(doc_words - width - n)
+    locations = rng.sample(range(start, start + width + n), n)
+    for j, (loc, score) in enumerate(zip(locations, scores)):
+        if any(m.location == loc for m in per_term[j]):
+            per_term[j] = [m for m in per_term[j] if m.location != loc]
+        per_term[j].append(Match(location=loc, score=score))
+
+
+def generate_trec_like(
+    spec: TrecQuerySpec,
+    *,
+    num_docs: int = 1000,
+    seed: int = 2006,
+) -> TrecLikeDataset:
+    """Build the synthetic corpus for one Figure 12 query."""
+    # Seeding with a string is stable across processes (random.seed hashes
+    # strings with sha512, unlike built-in str hashing).
+    rng = random.Random(f"{seed}:{spec.query_id}")
+    documents: list[TrecLikeDocument] = []
+    answer_index = rng.randrange(num_docs)
+    decoy_indexes = set()
+    while len(decoy_indexes) < spec.decoys:
+        i = rng.randrange(num_docs)
+        if i != answer_index:
+            decoy_indexes.add(i)
+
+    for i in range(num_docs):
+        doc_words = rng.randint(450, 500)
+        per_term = _background_lists(spec, rng, doc_words)
+        is_answer = i == answer_index
+        is_decoy = i in decoy_indexes
+        if is_answer:
+            # The correct answer: a perfect-score, very tight matchset.
+            _plant_cluster(
+                per_term, rng, doc_words, width=4, scores=[1.0] * len(spec.terms)
+            )
+        elif is_decoy:
+            # A near-answer: equally tight but with one slightly weaker
+            # match — the documents the paper saw outrank or tie the
+            # answer for some scoring functions.
+            scores = [1.0] * len(spec.terms)
+            scores[rng.randrange(len(scores))] = 0.7
+            _plant_cluster(per_term, rng, doc_words, width=3, scores=scores)
+        documents.append(
+            TrecLikeDocument(
+                doc_id=f"{spec.query_id.lower()}-{i:04d}",
+                lists=tuple(
+                    MatchList(matches, term=spec.terms[j])
+                    for j, matches in enumerate(per_term)
+                ),
+                is_answer=is_answer,
+                is_decoy=is_decoy,
+            )
+        )
+    return TrecLikeDataset(spec, tuple(documents))

@@ -1,0 +1,89 @@
+"""Zipf and truncated-exponential samplers for the synthetic generator.
+
+Section VIII controls two distributions:
+
+* term popularity follows Zipf: the probability of picking the k-th most
+  popular query term is ∝ ``1/k^s`` (``s`` is the skew knob of Fig 10);
+* the number of co-located matches τ follows a truncated exponential,
+  ``p(τ) ∝ λ·e^{−λτ}`` over ``1 ≤ τ ≤ |Q|`` (the duplicate-frequency
+  knob of Figs 8–9).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+__all__ = ["ZipfSampler", "TruncatedExponentialSampler", "expected_duplicate_fraction"]
+
+
+class _DiscreteSampler:
+    """Sample indices 0..n−1 with given weights via inverse CDF."""
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        if not weights or any(w < 0 for w in weights):
+            raise ValueError(f"weights must be non-empty and non-negative: {weights!r}")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        self.probabilities = [w / total for w in weights]
+        self._cdf: list[float] = []
+        acc = 0.0
+        for p in self.probabilities:
+            acc += p
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against floating-point shortfall
+
+    def sample(self, rng: random.Random) -> int:
+        u = rng.random()
+        for i, threshold in enumerate(self._cdf):
+            if u <= threshold:
+                return i
+        return len(self._cdf) - 1  # pragma: no cover - numeric guard
+
+
+class ZipfSampler(_DiscreteSampler):
+    """Zipf-distributed term picker: P(rank k) ∝ 1/k^s, k = 1..n."""
+
+    def __init__(self, n: int, s: float) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one rank, got {n}")
+        self.n = n
+        self.s = s
+        super().__init__([1.0 / (k**s) for k in range(1, n + 1)])
+
+
+class TruncatedExponentialSampler(_DiscreteSampler):
+    """τ sampler: P(τ) ∝ λ·e^{−λτ} over τ = 1..n.
+
+    Larger λ favours τ = 1 (fewer co-located matches → fewer duplicates).
+    """
+
+    def __init__(self, n: int, lam: float) -> None:
+        if n < 1:
+            raise ValueError(f"need at least τ=1, got n={n}")
+        if lam <= 0:
+            raise ValueError(f"λ must be positive, got {lam}")
+        self.n = n
+        self.lam = lam
+        super().__init__([lam * math.exp(-lam * tau) for tau in range(1, n + 1)])
+
+    def sample_tau(self, rng: random.Random) -> int:
+        """A τ value in 1..n."""
+        return self.sample(rng) + 1
+
+
+def expected_duplicate_fraction(num_terms: int, lam: float) -> float:
+    """The duplicate frequency the τ distribution implies.
+
+    A match is a duplicate when its location is shared with a match from
+    another list (footnote 8), i.e. it came from a τ ≥ 2 location.  The
+    expected fraction is ``Σ_{τ≥2} τ·p(τ) / Σ_τ τ·p(τ)`` — ≈ 60% at
+    λ=1.0, ≈ 24% at λ=2.0 and ≈ 10% at λ=3.0 with |Q| = 4, matching the
+    percentages quoted in Section VIII.
+    """
+    sampler = TruncatedExponentialSampler(num_terms, lam)
+    weighted = [tau * p for tau, p in zip(range(1, num_terms + 1), sampler.probabilities)]
+    total = sum(weighted)
+    return sum(weighted[1:]) / total

@@ -1,0 +1,66 @@
+"""Experiment harness: regenerate every figure and table of Section VIII."""
+
+from repro.experiments.figures import (
+    DBWorldResult,
+    ablation_alpha_sensitivity,
+    ablation_envelope,
+    ablation_skew_fix,
+    dbworld_table,
+    fig6_query_terms,
+    fig7_list_size,
+    fig8_dedup_invocations,
+    fig9_duplicates_time,
+    fig10_skew,
+    fig11_trec_times,
+    fig12_answer_ranks,
+)
+from repro.experiments.export import rows_to_csv, sweep_to_csv
+from repro.experiments.qa_eval import QAEffectivenessResult, qa_effectiveness
+from repro.experiments.report import SweepResult, format_table
+from repro.experiments.stats import (
+    StabilityReport,
+    TimingSample,
+    coefficient_of_variation,
+    repeat_timing,
+    stability_report,
+)
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    TimingRow,
+    full_suite,
+    naive_suite,
+    proposed_suite,
+    time_suite,
+)
+
+__all__ = [
+    "fig6_query_terms",
+    "fig7_list_size",
+    "fig8_dedup_invocations",
+    "fig9_duplicates_time",
+    "fig10_skew",
+    "fig11_trec_times",
+    "fig12_answer_ranks",
+    "dbworld_table",
+    "DBWorldResult",
+    "ablation_envelope",
+    "ablation_skew_fix",
+    "ablation_alpha_sensitivity",
+    "qa_effectiveness",
+    "QAEffectivenessResult",
+    "SweepResult",
+    "format_table",
+    "sweep_to_csv",
+    "rows_to_csv",
+    "AlgorithmSpec",
+    "TimingRow",
+    "proposed_suite",
+    "naive_suite",
+    "full_suite",
+    "time_suite",
+    "coefficient_of_variation",
+    "repeat_timing",
+    "TimingSample",
+    "StabilityReport",
+    "stability_report",
+]

@@ -1,0 +1,108 @@
+"""``repro-bench`` — regenerate the paper's figures and tables from the CLI.
+
+Examples::
+
+    repro-bench fig6 --docs 50
+    repro-bench fig12 --docs 500
+    repro-bench dbworld
+    repro-bench all --docs 25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import pathlib
+
+from repro.experiments import figures
+from repro.experiments.export import rows_to_csv, sweep_to_csv
+from repro.experiments.qa_eval import qa_effectiveness
+from repro.experiments.report import format_mapping_table
+
+__all__ = ["main"]
+
+_FIGURES = {
+    "fig6": figures.fig6_query_terms,
+    "fig7": figures.fig7_list_size,
+    "fig8": figures.fig8_dedup_invocations,
+    "fig9": figures.fig9_duplicates_time,
+    "fig10": figures.fig10_skew,
+    "fig11": figures.fig11_trec_times,
+    "ablation-alpha": figures.ablation_alpha_sensitivity,
+    "ablation-envelope": figures.ablation_envelope,
+    "ablation-skew-fix": figures.ablation_skew_fix,
+}
+
+
+def _run_one(
+    name: str,
+    num_docs: int | None,
+    seed: int | None,
+    csv_dir: str | None = None,
+) -> str:
+    kwargs: dict[str, int] = {}
+    if num_docs is not None:
+        kwargs["num_docs"] = num_docs
+    if seed is not None:
+        kwargs["seed"] = seed
+    if name in _FIGURES:
+        sweep = _FIGURES[name](**kwargs)
+        if csv_dir:
+            sweep_to_csv(sweep, pathlib.Path(csv_dir) / f"{name}.csv")
+        return sweep.format()
+    if name == "fig12":
+        rows = figures.fig12_answer_ranks(**kwargs)
+        if csv_dir:
+            rows_to_csv(rows, pathlib.Path(csv_dir) / "fig12.csv")
+        return "Fig 12: answer ranks\n" + format_mapping_table(rows)
+    if name == "dbworld":
+        kwargs.pop("num_docs", None)
+        return figures.dbworld_table(**kwargs).format()
+    if name == "qa":
+        return qa_effectiveness(**kwargs).format()
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the figures/tables of the ICDE 2009 "
+        "weighted-proximity best-join paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_FIGURES) + ["fig12", "dbworld", "qa", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--docs",
+        type=int,
+        default=None,
+        help="documents per data point (default: module defaults; the "
+        "paper used 500 synthetic / 1000 TREC documents)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write figure series / table rows as CSV into DIR",
+    )
+    args = parser.parse_args(argv)
+    if args.csv:
+        pathlib.Path(args.csv).mkdir(parents=True, exist_ok=True)
+
+    names = (
+        sorted(_FIGURES) + ["fig12", "dbworld", "qa"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        print(_run_one(name, args.docs, args.seed, args.csv))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

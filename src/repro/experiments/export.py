@@ -1,0 +1,41 @@
+"""Exporting experiment results to CSV.
+
+The figure functions return :class:`~repro.experiments.report.SweepResult`
+objects (series per algorithm) or row dictionaries (tables); these
+helpers write both shapes as CSV so results flow into spreadsheets and
+plotting scripts without screen-scraping the text tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Mapping, Sequence
+
+from repro.experiments.report import SweepResult
+
+__all__ = ["sweep_to_csv", "rows_to_csv"]
+
+
+def sweep_to_csv(sweep: SweepResult, path: str | pathlib.Path) -> None:
+    """One row per x value; one column per series."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([sweep.x_label] + list(sweep.series))
+        for i, x in enumerate(sweep.x_values):
+            writer.writerow([x] + [series[i] for series in sweep.series.values()])
+
+
+def rows_to_csv(
+    rows: Sequence[Mapping[str, object]], path: str | pathlib.Path
+) -> None:
+    """Write homogeneous row dicts (first row's keys = header)."""
+    if not rows:
+        pathlib.Path(path).write_text("")
+        return
+    headers = list(rows[0])
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=headers)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({h: row.get(h, "") for h in headers})

@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment produces either a :class:`SweepResult` (a figure: one
+x-axis, one series per algorithm) or a list of row dictionaries (a
+table).  These helpers format them the way the paper's figures/tables
+read, so a benchmark run prints the rows/series being reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["SweepResult", "format_table", "format_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """One figure: x values and a named series of y values per algorithm."""
+
+    title: str
+    x_label: str
+    x_values: list
+    series: dict[str, list[float]]
+    y_label: str = "total time (s)"
+    notes: list[str] = field(default_factory=list)
+
+    def row(self, name: str) -> list[float]:
+        return self.series[name]
+
+    def format(self, precision: int = 4) -> str:
+        headers = [self.x_label] + list(self.series)
+        rows = []
+        for i, x in enumerate(self.x_values):
+            rows.append(
+                [str(x)]
+                + [f"{values[i]:.{precision}f}" for values in self.series.values()]
+            )
+        out = [self.title, f"({self.y_label})", format_table(headers, rows)]
+        out.extend(self.notes)
+        return "\n".join(out)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width ASCII table."""
+    columns = [list(col) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+    divider = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), divider] + [line(r) for r in rows])
+
+
+def format_mapping_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Table from homogeneous row dicts (keys of the first row = columns)."""
+    if not rows:
+        return "(empty)"
+    headers = list(rows[0])
+    return format_table(
+        headers, [[str(row[h]) for h in headers] for row in rows]
+    )

@@ -1,0 +1,5 @@
+"""Information extraction: all good matchsets per document."""
+
+from repro.extraction.extractor import Extraction, MatchsetExtractor
+
+__all__ = ["Extraction", "MatchsetExtractor"]

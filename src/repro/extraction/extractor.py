@@ -1,0 +1,140 @@
+"""Information extraction via best-matchsets-by-location (Section VII).
+
+The paper's motivating IE use case: "we might want to extract all good
+matchsets for the query from the document" — e.g. every
+{PC maker, sport, partnership} association, or the {meeting, date, place}
+triple of a call for papers.  :class:`MatchsetExtractor` runs the
+by-location join, filters to good matchsets, and renders each as an
+:class:`Extraction` with the matched surface forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.api import extract_matchsets
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.base import ScoringFunction
+from repro.matching.pipeline import QueryMatcher
+from repro.text.document import Document
+
+__all__ = ["Extraction", "MatchsetExtractor"]
+
+
+@dataclass(frozen=True, slots=True)
+class Extraction:
+    """One extracted matchset, rendered against its document."""
+
+    doc_id: str
+    anchor: int
+    score: float
+    fields: tuple[tuple[str, str, int], ...]  # (query term, matched text, location)
+
+    def as_dict(self) -> dict[str, str]:
+        """term → matched text; the record shape IE consumers want."""
+        return {term: text for term, text, _loc in self.fields}
+
+    def location_of(self, term: str) -> int:
+        """Document location of the match extracted for ``term``."""
+        for t, _text, loc in self.fields:
+            if t == term:
+                return loc
+        raise KeyError(term)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{t}={x!r}" for t, x, _ in self.fields)
+        return f"[{self.doc_id}@{self.anchor} score={self.score:.3f}] {inner}"
+
+
+class MatchsetExtractor:
+    """Extract all good matchsets from documents.
+
+    Parameters
+    ----------
+    query, scoring:
+        What to extract and how to score candidate matchsets.
+    min_score:
+        Score threshold; matchsets below it are discarded ("good enough"
+        filtering from Section I).
+    min_anchor_gap:
+        Non-maximum suppression distance between kept anchors, so one
+        tight cluster yields one extraction (0 keeps everything).
+    within_sentence:
+        Keep only matchsets whose matches all fall inside one sentence
+        (requires the :class:`~repro.text.document.Document`, so it only
+        applies on the :meth:`extract` path, not on bare match lists).
+    matcher:
+        Optional custom per-term matchers.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        scoring: ScoringFunction,
+        *,
+        min_score: float | None = None,
+        min_anchor_gap: int = 0,
+        within_sentence: bool = False,
+        matcher: QueryMatcher | None = None,
+    ) -> None:
+        self.query = query
+        self.scoring = scoring
+        self.min_score = min_score
+        self.min_anchor_gap = min_anchor_gap
+        self.within_sentence = within_sentence
+        self.matcher = matcher or QueryMatcher(query)
+
+    def extract_from_lists(
+        self, doc_id: str, lists: list[MatchList], document: Document | None = None
+    ) -> list[Extraction]:
+        """Extract from precomputed match lists (document only for text)."""
+        results = extract_matchsets(
+            self.query,
+            lists,
+            self.scoring,
+            min_score=self.min_score,
+            min_anchor_gap=self.min_anchor_gap,
+        )
+        extractions = []
+        for r in results:
+            fields = tuple(
+                (
+                    term,
+                    match.token
+                    or (
+                        document.tokens[match.location].text
+                        if document is not None and match.location < len(document.tokens)
+                        else str(match.location)
+                    ),
+                    match.location,
+                )
+                for term, match in r.matchset.items()
+            )
+            extractions.append(Extraction(doc_id, r.anchor, r.score, fields))
+        return extractions
+
+    def extract(self, document: Document) -> list[Extraction]:
+        """Match the document online, then extract."""
+        lists = self.matcher.match_lists(document)
+        results = self.extract_from_lists(document.doc_id, lists, document)
+        if not self.within_sentence:
+            return results
+        from repro.text.sentences import sentence_index
+
+        sentences = sentence_index(document.tokens, document.text)
+
+        def one_sentence(extraction: Extraction) -> bool:
+            ids = {
+                sentences[loc]
+                for _term, _text, loc in extraction.fields
+                if loc < len(sentences)
+            }
+            return len(ids) == 1
+
+        return [e for e in results if one_sentence(e)]
+
+    def extract_best(self, document: Document) -> Extraction | None:
+        """Just the single best extraction (or None)."""
+        extractions = self.extract(document)
+        return extractions[0] if extractions else None

@@ -1,0 +1,6 @@
+"""Place gazetteer (GeoWorldMap substitute)."""
+
+from repro.gazetteer.data import CITIES, COUNTRIES, REGIONS
+from repro.gazetteer.lookup import Gazetteer, default_gazetteer
+
+__all__ = ["Gazetteer", "default_gazetteer", "CITIES", "COUNTRIES", "REGIONS"]

@@ -1,0 +1,71 @@
+"""Embedded gazetteer data (GeoWorldMap substitute).
+
+The paper's DBWorld matcher scores a term 1.0 when it appears in the
+GeoWorldMap database.  This embedded table plays that role offline: a few
+hundred well-known cities, countries and regions — enough to cover the
+synthetic CFP corpus (conference venues, PC-member affiliations) and the
+TREC-like documents.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CITIES", "COUNTRIES", "REGIONS"]
+
+CITIES: tuple[str, ...] = (
+    "amsterdam", "athens", "atlanta", "auckland", "austin", "baltimore",
+    "bangalore", "bangkok", "barcelona", "beijing", "beirut", "berkeley",
+    "berlin", "bern", "bordeaux", "boston", "brisbane", "brussels",
+    "bucharest", "budapest", "buenos aires", "cairo", "cambridge",
+    "cape town", "caracas", "chicago", "copenhagen", "dallas", "delhi",
+    "dresden", "dublin", "durham", "edinburgh", "florence", "frankfurt",
+    "geneva", "glasgow", "gothenburg", "grenoble", "hamburg", "hanoi",
+    "heidelberg", "helsinki", "hong kong", "honolulu", "houston",
+    "istanbul", "ithaca", "jakarta", "jerusalem", "johannesburg",
+    "karlsruhe", "kyoto", "lausanne", "lisbon", "ljubljana", "london",
+    "los angeles", "lyon", "madison", "madrid", "manchester", "melbourne",
+    "mexico city", "miami", "milan", "minneapolis", "montreal", "moscow",
+    "mumbai", "munich", "nagoya", "nairobi", "nanjing", "naples",
+    "new orleans", "new york", "nice", "osaka", "oslo", "ottawa", "oxford",
+    "paris", "philadelphia", "phoenix", "pisa", "pittsburgh", "portland",
+    "prague", "princeton", "raleigh", "reykjavik", "riga", "rio de janeiro",
+    "rome", "rotterdam", "san diego", "san francisco", "san jose",
+    "santiago", "sao paulo", "seattle", "seoul", "shanghai", "singapore",
+    "sofia", "stanford", "st louis", "stockholm", "stuttgart", "sydney",
+    "taipei", "tallinn", "tel aviv", "tokyo", "toronto", "toulouse",
+    "trento", "tucson", "turin", "uppsala", "utrecht", "valencia",
+    "vancouver", "venice", "vienna", "warsaw", "washington", "wellington",
+    "zagreb", "zurich",
+)
+
+COUNTRIES: tuple[str, ...] = (
+    "argentina", "australia", "austria", "belgium", "brazil", "bulgaria",
+    "canada", "chile", "china", "colombia", "croatia", "cyprus",
+    "czech republic", "denmark", "egypt", "england", "estonia", "finland",
+    "france", "germany", "greece", "hungary", "iceland", "india",
+    "indonesia", "ireland", "israel", "italy", "japan", "kenya", "latvia",
+    "lebanon", "lithuania", "luxembourg", "malaysia", "mexico",
+    "nepal", "netherlands", "new zealand", "norway", "poland", "portugal",
+    "romania", "russia", "scotland", "serbia", "slovakia", "slovenia",
+    "south africa", "south korea", "spain", "sweden", "switzerland",
+    "taiwan", "thailand", "turkey", "ukraine", "united kingdom",
+    "united states", "uruguay", "venezuela", "vietnam", "wales",
+)
+
+REGIONS: tuple[str, ...] = (
+    "asia", "africa", "europe", "north america", "south america",
+    "oceania", "bavaria", "catalonia", "tuscany",
+    "quebec", "ontario", "new england", "scandinavia", "silicon valley",
+    "middle east", "balkans", "patagonia", "andalusia", "provence",
+    "brittany", "flanders", "saxony", "siberia", "manchuria",
+    # US states commonly named in conference venues and affiliations
+    "alabama", "alaska", "arizona", "arkansas", "california", "colorado",
+    "connecticut", "delaware", "florida", "georgia", "hawaii", "idaho",
+    "illinois", "indiana", "iowa", "kansas", "kentucky", "louisiana",
+    "maine", "maryland", "massachusetts", "michigan", "minnesota",
+    "mississippi", "missouri", "montana", "nebraska", "nevada",
+    "new hampshire", "new jersey", "new mexico", "north carolina",
+    "north dakota", "ohio", "oklahoma", "oregon", "pennsylvania",
+    "rhode island", "south carolina", "south dakota", "tennessee",
+    "texas", "utah", "vermont", "virginia", "west virginia", "wisconsin",
+    "wyoming",
+)

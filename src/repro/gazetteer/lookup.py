@@ -1,0 +1,72 @@
+"""Gazetteer lookup (GeoWorldMap substitute).
+
+The DBWorld experiment's *place* matcher first checks GeoWorldMap
+(score 1.0 on a hit) and only then falls back to WordNet.
+:class:`Gazetteer` provides the same lookup over the embedded tables,
+with multi-word place names ("new york", "hong kong") supported via
+n-gram queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.gazetteer.data import CITIES, COUNTRIES, REGIONS
+
+__all__ = ["Gazetteer", "default_gazetteer"]
+
+
+class Gazetteer:
+    """Set-backed place lookup with kind labels and n-gram support."""
+
+    CITY = "city"
+    COUNTRY = "country"
+    REGION = "region"
+
+    def __init__(
+        self,
+        cities: Iterable[str] = CITIES,
+        countries: Iterable[str] = COUNTRIES,
+        regions: Iterable[str] = REGIONS,
+    ) -> None:
+        self._kinds: dict[str, str] = {}
+        for name in regions:
+            self._kinds[self._normalize(name)] = self.REGION
+        for name in countries:
+            self._kinds[self._normalize(name)] = self.COUNTRY
+        for name in cities:
+            self._kinds[self._normalize(name)] = self.CITY
+        self._max_words = max(len(name.split()) for name in self._kinds)
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        return " ".join(name.lower().split())
+
+    def __contains__(self, name: str) -> bool:
+        return self._normalize(name) in self._kinds
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    def kind_of(self, name: str) -> str | None:
+        """"city" / "country" / "region", or None for unknown names."""
+        return self._kinds.get(self._normalize(name))
+
+    @property
+    def max_words(self) -> int:
+        """Longest place name, in words (bounds the matcher's n-grams)."""
+        return self._max_words
+
+    def names(self) -> Iterator[str]:
+        return iter(self._kinds)
+
+
+_DEFAULT: Gazetteer | None = None
+
+
+def default_gazetteer() -> Gazetteer:
+    """Shared default gazetteer (built once per process)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Gazetteer()
+    return _DEFAULT

@@ -1,0 +1,8 @@
+"""Positional inverted index and concept-based match-list derivation."""
+
+from repro.index.inverted import InvertedIndex
+from repro.index.io import load_index, save_index
+from repro.index.matchlists import ConceptIndex
+from repro.index.postings import PostingList
+
+__all__ = ["InvertedIndex", "ConceptIndex", "PostingList", "save_index", "load_index"]

@@ -1,0 +1,131 @@
+"""In-memory positional inverted index.
+
+Indexes a corpus by Porter stem (optionally raw token), supporting token
+lookups and positional phrase queries — everything needed to derive
+match lists offline (:mod:`repro.index.matchlists`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.index.postings import PostingList
+from repro.text.document import Corpus, Document
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import is_stopword
+
+__all__ = ["InvertedIndex"]
+
+
+class InvertedIndex:
+    """Positional inverted index over stemmed tokens.
+
+    Parameters
+    ----------
+    stem:
+        Index Porter stems (default) so that lookups are
+        inflection-insensitive, matching the paper's string comparisons.
+    drop_stopwords:
+        Skip stopwords at index time.  Off by default: positions matter
+        for proximity scoring, and stopword tokens still advance
+        positions either way (dropping only shrinks the index).
+    """
+
+    def __init__(self, *, stem: bool = True, drop_stopwords: bool = False) -> None:
+        self._stem = stem
+        self._drop_stopwords = drop_stopwords
+        self._stemmer = PorterStemmer()
+        self._postings: dict[str, PostingList] = {}
+        self._doc_lengths: dict[str, int] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def _key(self, token_text: str) -> str:
+        return self._stemmer.stem(token_text) if self._stem else token_text
+
+    def add_document(self, document: Document) -> None:
+        if document.doc_id in self._doc_lengths:
+            raise ValueError(f"document {document.doc_id!r} already indexed")
+        self._doc_lengths[document.doc_id] = len(document.tokens)
+        for token in document.tokens:
+            if self._drop_stopwords and is_stopword(token.text):
+                continue
+            key = self._key(token.text)
+            posting = self._postings.get(key)
+            if posting is None:
+                posting = self._postings[key] = PostingList(key)
+            posting.add(document.doc_id, token.position)
+
+    def remove_document(self, doc_id: str) -> None:
+        """Remove one document from the index.
+
+        Walks the vocabulary once (the index keeps no per-document term
+        list); acceptable for the occasional deletion this in-memory
+        index targets.
+        """
+        if doc_id not in self._doc_lengths:
+            raise KeyError(f"document {doc_id!r} not indexed")
+        del self._doc_lengths[doc_id]
+        empty = []
+        for token, posting in self._postings.items():
+            posting.remove_document(doc_id)
+            if posting.document_frequency == 0:
+                empty.append(token)
+        for token in empty:
+            del self._postings[token]
+
+    @classmethod
+    def build(cls, corpus: Corpus | Iterable[Document], **kwargs) -> "InvertedIndex":
+        index = cls(**kwargs)
+        for doc in corpus:
+            index.add_document(doc)
+        return index
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def document_length(self, doc_id: str) -> int:
+        return self._doc_lengths[doc_id]
+
+    def documents(self) -> Iterator[str]:
+        return iter(self._doc_lengths)
+
+    def postings(self, token_text: str) -> PostingList | None:
+        """Posting list for a token (stemmed with the index's settings)."""
+        return self._postings.get(self._key(token_text))
+
+    def positions(self, token_text: str, doc_id: str) -> tuple[int, ...]:
+        posting = self.postings(token_text)
+        if posting is None:
+            return ()
+        return posting.positions(doc_id)
+
+    def phrase_positions(self, words: Iterable[str], doc_id: str) -> tuple[int, ...]:
+        """Start positions of a phrase (consecutive tokens) in a document.
+
+        Positional intersection: position ``p`` qualifies when word ``k``
+        occurs at ``p + k`` for every k.
+        """
+        word_list = list(words)
+        if not word_list:
+            return ()
+        first = self.positions(word_list[0], doc_id)
+        if len(word_list) == 1:
+            return first
+        rest = [set(self.positions(w, doc_id)) for w in word_list[1:]]
+        return tuple(
+            p for p in first if all(p + k + 1 in positions for k, positions in enumerate(rest))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InvertedIndex({self.document_count} docs, "
+            f"{self.vocabulary_size} terms)"
+        )

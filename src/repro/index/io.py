@@ -1,0 +1,76 @@
+"""Inverted-index persistence.
+
+The paper's offline pipeline precomputes inverted lists once and derives
+match lists at query time (footnote 1); persisting the index is what
+makes "once" meaningful across processes.  The format is versioned JSON:
+compact enough for the in-memory index sizes this library targets, and
+trivially inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.core.io import SerializationError
+from repro.index.inverted import InvertedIndex
+
+__all__ = ["save_index", "load_index", "INDEX_FORMAT_VERSION"]
+
+INDEX_FORMAT_VERSION = 1
+
+
+def index_to_dict(index: InvertedIndex) -> dict[str, Any]:
+    """The index's full state as a JSON-compatible dict."""
+    return {
+        "version": INDEX_FORMAT_VERSION,
+        "stem": index._stem,
+        "drop_stopwords": index._drop_stopwords,
+        "doc_lengths": dict(index._doc_lengths),
+        "postings": {
+            token: {doc_id: list(posting.positions(doc_id)) for doc_id in posting.documents()}
+            for token, posting in index._postings.items()
+        },
+    }
+
+
+def index_from_dict(data: dict[str, Any]) -> InvertedIndex:
+    """Rebuild an index from :func:`index_to_dict` output."""
+    version = data.get("version")
+    if version != INDEX_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported index format version {version!r} "
+            f"(this build reads {INDEX_FORMAT_VERSION})"
+        )
+    index = InvertedIndex(
+        stem=data.get("stem", True),
+        drop_stopwords=data.get("drop_stopwords", False),
+    )
+    try:
+        index._doc_lengths.update(data["doc_lengths"])
+        for token, docs in data["postings"].items():
+            from repro.index.postings import PostingList
+
+            posting = PostingList(token)
+            for doc_id, positions in docs.items():
+                for position in positions:
+                    posting.add(doc_id, position)
+            index._postings[token] = posting
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"bad index record: {exc}") from exc
+    return index
+
+
+def save_index(index: InvertedIndex, path: str | pathlib.Path) -> None:
+    """Persist an index to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(index_to_dict(index)))
+
+
+def load_index(path: str | pathlib.Path) -> InvertedIndex:
+    """Load an index saved by :func:`save_index`."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"not valid JSON: {path}") from exc
+    return index_from_dict(data)

@@ -1,0 +1,102 @@
+"""Deriving match lists from the inverted index (paper footnote 1).
+
+"A match list for a general concept (e.g., 'PC maker') can be obtained by
+merging inverted lists of specific terms (e.g., 'Lenovo', 'Dell', etc.)."
+:class:`ConceptIndex` implements exactly that: each query term expands to
+the lexicon lemmas within the distance budget, the lemmas' posting lists
+are merged per document, and each occurrence is scored by the paper's
+``1 − 0.3d`` rule (best score per location when expansions overlap).
+
+This is the offline counterpart of :class:`repro.matching.QueryMatcher`;
+both produce the same :class:`~repro.core.match.MatchList` type, so joins
+don't care which path produced their input.
+"""
+
+from __future__ import annotations
+
+from repro.core.match import Match, MatchList
+from repro.index.inverted import InvertedIndex
+from repro.lexicon.graph import LexicalGraph
+from repro.lexicon.wordnet_like import (
+    DEFAULT_MAX_DISTANCE,
+    DEFAULT_PER_EDGE_PENALTY,
+    default_lexicon,
+)
+
+__all__ = ["ConceptIndex"]
+
+
+class ConceptIndex:
+    """Concept-to-match-list derivation over an inverted index."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        *,
+        lexicon: LexicalGraph | None = None,
+        max_distance: int = DEFAULT_MAX_DISTANCE,
+        per_edge_penalty: float = DEFAULT_PER_EDGE_PENALTY,
+    ) -> None:
+        self.index = index
+        self.lexicon = lexicon if lexicon is not None else default_lexicon()
+        self.max_distance = max_distance
+        self.per_edge_penalty = per_edge_penalty
+        # concept -> [(lemma words, score)], cached across documents.
+        self._expansions: dict[str, list[tuple[tuple[str, ...], float]]] = {}
+
+    def expansion(self, concept: str) -> list[tuple[tuple[str, ...], float]]:
+        """The scored lemma expansion of a concept (cached)."""
+        cached = self._expansions.get(concept)
+        if cached is not None:
+            return cached
+        lemmas = self.lexicon.within_distance(concept, self.max_distance)
+        lemmas.setdefault(" ".join(concept.lower().split()), 0)
+        expansion = [
+            (tuple(lemma.split()), 1.0 - self.per_edge_penalty * d)
+            for lemma, d in lemmas.items()
+            if 1.0 - self.per_edge_penalty * d > 0
+        ]
+        self._expansions[concept] = expansion
+        return expansion
+
+    def match_list(self, concept: str, doc_id: str) -> MatchList:
+        """The match list for ``concept`` in one document.
+
+        Merges the posting lists of every expansion lemma; overlapping
+        occurrences keep the best score, mirroring the online matcher.
+        """
+        best: dict[int, Match] = {}
+        for words, score in self.expansion(concept):
+            for position in self.index.phrase_positions(words, doc_id):
+                current = best.get(position)
+                if current is None or score > current.score:
+                    best[position] = Match(
+                        location=position, score=score, token=" ".join(words)
+                    )
+        return MatchList(best.values(), term=concept)
+
+    def match_lists(self, concepts: list[str], doc_id: str) -> list[MatchList]:
+        """Match lists for several concepts in one document."""
+        return [self.match_list(c, doc_id) for c in concepts]
+
+    def candidate_documents(self, concepts: list[str]) -> list[str]:
+        """Documents where *every* concept has at least one occurrence.
+
+        The conjunctive pre-filter a retrieval system would run before
+        the per-document best-join.
+        """
+        doc_sets: list[set[str]] = []
+        for concept in concepts:
+            docs: set[str] = set()
+            for words, _score in self.expansion(concept):
+                posting = self.index.postings(words[0])
+                if posting is None:
+                    continue
+                for doc_id in posting.documents():
+                    if len(words) == 1 or self.index.phrase_positions(words, doc_id):
+                        docs.add(doc_id)
+            doc_sets.append(docs)
+        if not doc_sets:
+            return []
+        result = set.intersection(*doc_sets)
+        return sorted(result)

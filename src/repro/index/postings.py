@@ -1,0 +1,59 @@
+"""Posting lists.
+
+A posting records every position of one (stemmed) token in one document;
+a :class:`PostingList` maps documents to positions for one token.  These
+are the "precomputed inverted lists" from which the paper (footnote 1)
+derives match lists offline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["PostingList"]
+
+
+class PostingList:
+    """Positions of one token across documents."""
+
+    __slots__ = ("token", "_postings")
+
+    def __init__(self, token: str) -> None:
+        self.token = token
+        self._postings: dict[str, list[int]] = {}
+
+    def add(self, doc_id: str, position: int) -> None:
+        """Record one occurrence.  Positions must arrive in order per doc."""
+        positions = self._postings.setdefault(doc_id, [])
+        if positions and position <= positions[-1]:
+            raise ValueError(
+                f"positions for {doc_id!r} must be strictly increasing; "
+                f"got {position} after {positions[-1]}"
+            )
+        positions.append(position)
+
+    def remove_document(self, doc_id: str) -> bool:
+        """Drop a document's occurrences; True when anything was removed."""
+        return self._postings.pop(doc_id, None) is not None
+
+    def positions(self, doc_id: str) -> tuple[int, ...]:
+        """Occurrence positions in one document (empty if absent)."""
+        return tuple(self._postings.get(doc_id, ()))
+
+    def documents(self) -> Iterator[str]:
+        """Documents containing the token."""
+        return iter(self._postings)
+
+    @property
+    def document_frequency(self) -> int:
+        return len(self._postings)
+
+    @property
+    def collection_frequency(self) -> int:
+        return sum(len(p) for p in self._postings.values())
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._postings
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PostingList({self.token!r}, df={self.document_frequency})"

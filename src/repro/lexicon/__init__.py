@@ -1,0 +1,23 @@
+"""WordNet-like lexical graph: curated synsets, BFS distances, 1−0.3d scoring."""
+
+from repro.lexicon.graph import LexicalGraph
+from repro.lexicon.io import load_lexicon, parse_lexicon_lines, save_lexicon
+from repro.lexicon.wordnet_like import (
+    DEFAULT_MAX_DISTANCE,
+    DEFAULT_PER_EDGE_PENALTY,
+    build_default_lexicon,
+    default_lexicon,
+    semantic_score,
+)
+
+__all__ = [
+    "LexicalGraph",
+    "build_default_lexicon",
+    "default_lexicon",
+    "semantic_score",
+    "DEFAULT_MAX_DISTANCE",
+    "DEFAULT_PER_EDGE_PENALTY",
+    "load_lexicon",
+    "save_lexicon",
+    "parse_lexicon_lines",
+]

@@ -1,0 +1,199 @@
+"""Seed data for the default lexical graph.
+
+A curated WordNet-like vocabulary covering the paper's running examples
+(PC makers / sports / partnership), its seven TREC factoid queries and
+the DBWorld CFP query {conference|workshop, date, place}.  Organized as
+synonym sets (cliques) and hypernym lists (parent → children), mirroring
+how WordNet's synsets and hyponym trees would be walked.
+
+The paper tweaks WordNet twice for its experiments — adding an edge
+between *conference* and *workshop*, and between *university* and
+*place* — and those edges are part of this seed so that the same scoring
+(1 − 0.3d) reproduces their matcher's behaviour.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SYNONYM_SETS", "HYPONYM_SETS", "RELATED_EDGES"]
+
+# Each tuple is a synonym clique.
+SYNONYM_SETS: list[tuple[str, ...]] = [
+    # -- the introduction's running example --------------------------------
+    ("partnership", "partner", "alliance", "collaboration"),
+    ("deal", "agreement", "pact", "contract"),
+    ("pc", "personal computer", "computer", "desktop"),
+    ("laptop", "notebook"),
+    ("maker", "manufacturer", "producer", "vendor"),
+    ("sports", "sport", "athletics"),
+    # -- meetings (DBWorld query; paper adds conference—workshop edge) -----
+    ("conference", "congress"),
+    ("workshop", "seminar"),
+    ("symposium", "colloquium"),
+    ("meeting", "gathering", "session"),
+    ("summit", "forum"),
+    # -- places (paper adds university—place edge) -------------------------
+    ("place", "location", "spot", "site", "venue"),
+    ("city", "metropolis", "town"),
+    ("country", "nation", "state", "land"),
+    ("university", "college", "academy"),
+    ("institute", "institution"),
+    ("school", "schoolhouse"),
+    # -- time ---------------------------------------------------------------
+    ("date", "day"),
+    ("year", "twelvemonth"),
+    ("time", "period", "era"),
+    ("deadline", "due date"),
+    # -- TREC query vocabulary ----------------------------------------------
+    ("build", "construct", "erect", "make"),
+    ("begin", "start", "commence", "initiate"),
+    ("graduate", "graduation", "alumnus"),
+    ("marry", "wed", "espouse"),
+    ("marriage", "wedding", "matrimony"),
+    ("born", "birth", "nativity"),
+    ("headquarters", "headquarter", "head office", "central office"),
+    ("parliament", "legislature", "assembly"),
+    ("tower", "spire", "turret"),
+    ("invent", "devise", "originate"),
+    ("answer", "reply", "response"),
+    # -- misc fuzz used in example documents ---------------------------------
+    ("buy", "purchase", "acquire"),
+    ("sell", "vend"),
+    ("market", "marketplace"),
+    ("official", "formal"),
+    ("provide", "supply", "furnish"),
+    ("compete", "contend", "rival"),
+    # -- broader factoid-QA vocabulary ---------------------------------------
+    ("die", "death", "decease", "perish"),
+    ("win", "victory", "triumph"),
+    ("found", "establish", "institute"),
+    ("discover", "discovery", "find"),
+    ("write", "author", "pen"),
+    ("writer", "novelist", "essayist"),
+    ("president", "head of state"),
+    ("leader", "chief", "head"),
+    ("award", "prize", "honor"),
+    ("film", "movie", "picture"),
+    ("song", "tune", "track"),
+    ("book", "volume", "tome"),
+    ("painting", "canvas", "artwork"),
+    ("scientist", "researcher"),
+    ("physicist", "physics researcher"),
+    ("inventor", "creator", "originator"),
+    ("war", "conflict", "hostilities"),
+    ("battle", "combat", "engagement"),
+    ("treaty", "accord", "pact"),
+    ("election", "ballot", "vote"),
+    ("population", "inhabitants", "residents"),
+    ("capital", "capital city"),
+    ("river", "waterway", "stream"),
+    ("mountain", "peak", "summit"),
+    ("language", "tongue"),
+    ("currency", "money", "tender"),
+    ("disease", "illness", "sickness"),
+    ("cure", "remedy", "treatment"),
+    ("spacecraft", "spaceship", "space vehicle"),
+    ("astronaut", "cosmonaut", "space traveler"),
+    ("planet", "world"),
+    ("ship", "vessel", "boat"),
+    ("airplane", "aircraft", "plane"),
+    ("train", "railway", "railroad"),
+    ("bridge", "span", "viaduct"),
+    ("building", "structure", "edifice"),
+    ("museum", "gallery"),
+    ("church", "cathedral", "chapel"),
+    ("castle", "fortress", "citadel"),
+    ("king", "monarch", "sovereign"),
+    ("queen", "empress"),
+    ("actor", "performer", "player"),
+    ("singer", "vocalist"),
+    ("team", "squad", "club"),
+    ("coach", "trainer", "manager"),
+    ("champion", "titleholder"),
+    ("record", "milestone"),
+]
+
+# Parent lemma → hyponyms / instances (hypernym edges).
+HYPONYM_SETS: dict[str, tuple[str, ...]] = {
+    # Knowing which companies are PC makers lets "pc maker" match them.
+    "pc maker": ("lenovo", "dell", "hewlett-packard", "hp", "acer", "asus", "ibm"),
+    "laptop maker": ("lenovo", "dell", "hewlett-packard", "apple"),
+    "company": ("pc maker", "laptop maker", "firm", "corporation", "startup"),
+    # Background knowledge about sporting events and organizations.
+    "sports": (
+        "nba", "olympics", "olympic games", "basketball", "football",
+        "soccer", "tennis", "baseball", "world cup", "super bowl",
+    ),
+    "olympics": ("winter olympics", "summer olympics", "olympic games"),
+    "organization": ("nba", "imf", "united nations", "parliament"),
+    "imf": ("international monetary fund",),
+    # Meetings tree for the DBWorld matcher.
+    "meeting": ("conference", "workshop", "symposium", "summit", "convention"),
+    "place": ("city", "country", "region", "campus"),
+    "city": ("capital",),
+    "school": ("university", "military academy", "high school"),
+    # TREC helpers.
+    "tower": ("leaning tower", "bell tower"),
+    "leaning tower": ("leaning tower of pisa",),
+    "parliament": ("lebanese parliament",),
+    "monument": ("stonehenge", "leaning tower of pisa"),
+    "person": ("physicist", "director", "politician", "royalty", "scientist",
+               "writer", "inventor", "actor", "singer", "astronaut"),
+    "director": ("alfred hitchcock",),
+    "politician": ("hugo chavez", "chavez", "president", "senator", "governor"),
+    "royalty": ("prince edward", "prince", "princess", "king", "queen"),
+    # Broader hyponym trees for the extended vocabulary.
+    "scientist": ("physicist", "chemist", "biologist", "mathematician"),
+    "physicist": ("albert einstein", "isaac newton", "marie curie"),
+    "inventor": ("thomas edison", "alexander graham bell", "nikola tesla"),
+    "writer": ("william shakespeare", "shakespeare", "jane austen",
+               "mark twain", "charles dickens"),
+    "award": ("nobel prize", "pulitzer prize", "academy award", "oscar",
+              "turing award", "grammy"),
+    "currency": ("dollar", "euro", "yen", "pound", "franc", "peso"),
+    "language": ("english", "french", "spanish", "mandarin", "arabic",
+                 "portuguese"),
+    "planet": ("mercury", "venus", "mars", "jupiter", "saturn", "neptune"),
+    "river": ("nile", "amazon", "mississippi", "danube", "yangtze"),
+    "mountain": ("everest", "mont blanc", "kilimanjaro", "matterhorn"),
+    "war": ("world war", "civil war", "cold war"),
+    "team": ("lakers", "yankees", "real madrid", "manchester united"),
+    "spacecraft": ("apollo 11", "sputnik", "voyager", "space shuttle"),
+    "disease": ("influenza", "malaria", "measles", "smallpox"),
+    "instrument": ("piano", "violin", "guitar", "trumpet", "cello"),
+    "museum": ("louvre", "british museum", "smithsonian"),
+}
+
+# Additional single related edges (the paper's manual WordNet tweaks and
+# a few cross-links that WordNet provides via shared hypernyms).
+RELATED_EDGES: list[tuple[str, str]] = [
+    ("partnership", "deal"),  # intro: "deal" matches "partnership", "though not as perfectly"
+    ("conference", "workshop"),  # paper: "We added an edge between conference and workshop"
+    ("university", "place"),  # paper: "We added an edge between university and place"
+    ("conference", "symposium"),
+    ("workshop", "symposium"),
+    ("pc", "laptop"),
+    ("pc", "pc maker"),
+    ("maker", "pc maker"),
+    ("maker", "laptop maker"),
+    ("laptop", "laptop maker"),
+    ("date", "deadline"),
+    ("date", "year"),
+    ("year", "time"),
+    ("born", "birthplace"),
+    ("city", "birthplace"),
+    ("graduate", "school"),
+    ("graduate", "university"),
+    ("marry", "marriage"),
+    ("headquarters", "based"),
+    ("build", "built"),
+    ("win", "won"),
+    ("write", "wrote"),
+    ("award", "awarded"),
+    ("begin", "began"),
+    ("begin", "begun"),
+    ("marry", "married"),
+    ("born", "birthday"),
+    ("place", "where"),
+    ("date", "when"),
+    ("year", "when"),
+]

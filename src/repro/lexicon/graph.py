@@ -1,0 +1,125 @@
+"""A WordNet-like lexical graph.
+
+The paper scores fuzzy matches by WordNet graph distance: two terms match
+when their distance ``d`` (in edges) is at most 3, scored ``1 − 0.3d``.
+WordNet itself is unavailable offline, so this module provides the same
+abstraction over a curated graph: lemmas as nodes, undirected typed edges
+(synonym / hypernym / related), breadth-first distances, and the paper's
+distance-to-score rule.  The matcher code path is identical to what it
+would be over real WordNet — only the graph is smaller (see DESIGN.md,
+substitution table).
+
+Lemmas may be multi-word ("olympic games", "pc maker"); phrase handling
+happens in the matcher, which scans token n-grams.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+__all__ = ["LexicalGraph"]
+
+
+class LexicalGraph:
+    """Undirected lexical graph with typed edges and BFS distances."""
+
+    SYNONYM = "synonym"
+    HYPERNYM = "hypernym"
+    RELATED = "related"
+
+    def __init__(self) -> None:
+        self._adjacency: dict[str, dict[str, str]] = {}
+
+    @staticmethod
+    def _normalize(lemma: str) -> str:
+        return " ".join(lemma.lower().split())
+
+    def add_node(self, lemma: str) -> str:
+        lemma = self._normalize(lemma)
+        self._adjacency.setdefault(lemma, {})
+        return lemma
+
+    def add_edge(self, a: str, b: str, relation: str = RELATED) -> None:
+        """Add an undirected edge; re-adding overwrites the relation label."""
+        a = self.add_node(a)
+        b = self.add_node(b)
+        if a == b:
+            return
+        self._adjacency[a][b] = relation
+        self._adjacency[b][a] = relation
+
+    def add_synonyms(self, *lemmas: str) -> None:
+        """Connect every pair in a synonym set (clique of synonym edges)."""
+        normalized = [self.add_node(lemma) for lemma in lemmas]
+        for i, a in enumerate(normalized):
+            for b in normalized[i + 1 :]:
+                self.add_edge(a, b, self.SYNONYM)
+
+    def add_hyponyms(self, parent: str, *children: str) -> None:
+        """Connect ``parent`` to each child with a hypernym edge."""
+        for child in children:
+            self.add_edge(parent, child, self.HYPERNYM)
+
+    def __contains__(self, lemma: str) -> bool:
+        return self._normalize(lemma) in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def lemmas(self) -> Iterator[str]:
+        return iter(self._adjacency)
+
+    def neighbors(self, lemma: str) -> dict[str, str]:
+        """Mapping neighbor → relation label (empty for unknown lemmas)."""
+        return dict(self._adjacency.get(self._normalize(lemma), {}))
+
+    def distance(self, a: str, b: str, *, max_distance: int | None = None) -> int | None:
+        """BFS edge distance between two lemmas, or None if unreachable.
+
+        ``max_distance`` prunes the search; distances beyond it return
+        None.  Distance 0 means the lemmas are identical (and known).
+        """
+        a = self._normalize(a)
+        b = self._normalize(b)
+        if a not in self._adjacency or b not in self._adjacency:
+            return None
+        if a == b:
+            return 0
+        limit = max_distance if max_distance is not None else len(self._adjacency)
+        seen = {a}
+        frontier = deque([(a, 0)])
+        while frontier:
+            node, d = frontier.popleft()
+            if d >= limit:
+                continue
+            for neighbor in self._adjacency[node]:
+                if neighbor in seen:
+                    continue
+                if neighbor == b:
+                    return d + 1
+                seen.add(neighbor)
+                frontier.append((neighbor, d + 1))
+        return None
+
+    def within_distance(self, lemma: str, max_distance: int) -> dict[str, int]:
+        """All lemmas within ``max_distance`` edges, mapped to distances.
+
+        Includes ``lemma`` itself at distance 0.  Used by matchers to
+        precompute, per query term, the full set of acceptable surface
+        lemmas and their scores in one BFS.
+        """
+        lemma = self._normalize(lemma)
+        if lemma not in self._adjacency:
+            return {}
+        distances = {lemma: 0}
+        frontier = deque([(lemma, 0)])
+        while frontier:
+            node, d = frontier.popleft()
+            if d >= max_distance:
+                continue
+            for neighbor in self._adjacency[node]:
+                if neighbor not in distances:
+                    distances[neighbor] = d + 1
+                    frontier.append((neighbor, d + 1))
+        return distances

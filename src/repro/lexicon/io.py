@@ -1,0 +1,77 @@
+"""Loading and saving lexical graphs.
+
+The built-in lexicon is a curated WordNet substitute; real deployments
+bring their own vocabulary.  The interchange format is a plain text edge
+list — one edge per line, tab- or ``|``-separated::
+
+    # comment lines and blank lines are ignored
+    conference	workshop	related
+    pc maker	lenovo	hypernym
+    partnership	partner	synonym
+
+The relation column is optional (defaults to ``related``).  Multi-word
+lemmas are fine — columns are split on the separator, not on spaces.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+from repro.core.io import SerializationError
+from repro.lexicon.graph import LexicalGraph
+
+__all__ = ["load_lexicon", "save_lexicon", "parse_lexicon_lines"]
+
+_RELATIONS = frozenset(
+    {LexicalGraph.SYNONYM, LexicalGraph.HYPERNYM, LexicalGraph.RELATED}
+)
+
+
+def parse_lexicon_lines(lines: Iterable[str]) -> LexicalGraph:
+    """Build a graph from edge-list lines (see module docstring)."""
+    graph = LexicalGraph()
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        separator = "\t" if "\t" in line else "|"
+        columns = [c.strip() for c in line.split(separator)]
+        columns = [c for c in columns if c]
+        if len(columns) == 2:
+            a, b = columns
+            relation = LexicalGraph.RELATED
+        elif len(columns) == 3:
+            a, b, relation = columns
+            relation = relation.lower()
+            if relation not in _RELATIONS:
+                raise SerializationError(
+                    f"line {lineno}: unknown relation {relation!r} "
+                    f"(expected one of {sorted(_RELATIONS)})"
+                )
+        else:
+            raise SerializationError(
+                f"line {lineno}: expected 2 or 3 columns, got {len(columns)}: {raw!r}"
+            )
+        graph.add_edge(a, b, relation)
+    return graph
+
+
+def load_lexicon(path: str | pathlib.Path) -> LexicalGraph:
+    """Load an edge-list lexicon file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_lexicon_lines(handle)
+
+
+def save_lexicon(graph: LexicalGraph, path: str | pathlib.Path) -> None:
+    """Write a graph as a sorted tab-separated edge list (one per pair)."""
+    lines = ["# repro lexicon edge list: lemma<TAB>lemma<TAB>relation"]
+    seen: set[tuple[str, str]] = set()
+    for lemma in sorted(graph.lemmas()):
+        for neighbor, relation in sorted(graph.neighbors(lemma).items()):
+            key = (min(lemma, neighbor), max(lemma, neighbor))
+            if key in seen:
+                continue
+            seen.add(key)
+            lines.append(f"{key[0]}\t{key[1]}\t{relation}")
+    pathlib.Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

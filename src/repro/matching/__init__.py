@@ -1,0 +1,36 @@
+"""Matchers: turn documents into per-term match lists."""
+
+from repro.matching.base import Matcher, UnionMatcher, collapse_matches
+from repro.matching.dates import MONTH_NAMES, DateMatcher, NumberMatcher
+from repro.matching.exact import ExactMatcher, StemMatcher
+from repro.matching.fuzzy import FuzzyMatcher, bounded_levenshtein
+from repro.matching.pipeline import QueryMatcher, default_matcher
+from repro.matching.places import PlaceMatcher
+from repro.matching.queries import (
+    QuerySyntaxError,
+    build_query_matcher,
+    parse_query,
+)
+from repro.matching.regex import RegexMatcher
+from repro.matching.semantic import SemanticMatcher
+
+__all__ = [
+    "Matcher",
+    "UnionMatcher",
+    "collapse_matches",
+    "ExactMatcher",
+    "StemMatcher",
+    "FuzzyMatcher",
+    "bounded_levenshtein",
+    "SemanticMatcher",
+    "DateMatcher",
+    "NumberMatcher",
+    "MONTH_NAMES",
+    "PlaceMatcher",
+    "QueryMatcher",
+    "default_matcher",
+    "RegexMatcher",
+    "parse_query",
+    "build_query_matcher",
+    "QuerySyntaxError",
+]

@@ -1,0 +1,77 @@
+"""Matcher framework.
+
+A :class:`Matcher` turns a document into the matches for one query term —
+the per-term :class:`~repro.core.match.MatchList` of Definition 1.  The
+paper assumes match lists "are given"; this package is the piece that
+gives them, mirroring the simple matchers its experiments describe
+(WordNet graph distance, month-name/number dates, gazetteer places).
+
+Conventions shared by all matchers:
+
+* a match's ``location`` is the position of the *first* token of the
+  matched span, and its ``token_id`` equals that position — so when two
+  different matchers fire on the same token for two query terms, the
+  resulting matchset is invalid in the Section VI sense and the
+  duplicate-avoiding join kicks in, exactly as with "china";
+* when several rules fire on the same span for the *same* term, the
+  highest score wins (a match list keeps one match per location).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro.core.match import Match, MatchList
+from repro.text.document import Document
+
+__all__ = ["Matcher", "UnionMatcher", "collapse_matches"]
+
+
+def collapse_matches(matches: Iterable[Match], *, term: str | None = None) -> MatchList:
+    """Build a match list keeping the best-scoring match per location."""
+    best: dict[int, Match] = {}
+    for m in matches:
+        cur = best.get(m.location)
+        if cur is None or m.score > cur.score:
+            best[m.location] = m
+    return MatchList(best.values(), term=term)
+
+
+class Matcher(abc.ABC):
+    """Produces all matches for one query term in a document."""
+
+    @abc.abstractmethod
+    def matches(self, document: Document) -> MatchList:
+        """All matches for this matcher's term, sorted by location."""
+
+    def __or__(self, other: "Matcher") -> "UnionMatcher":
+        """``matcher_a | matcher_b`` — union, best score per location.
+
+        This is how the DBWorld alternation term *conference|workshop*
+        and the place matcher's gazetteer-then-WordNet cascade compose.
+        """
+        return UnionMatcher(self, other)
+
+
+class UnionMatcher(Matcher):
+    """Union of several matchers; overlapping locations keep the best score."""
+
+    def __init__(self, *matchers: Matcher, term: str | None = None) -> None:
+        flattened: list[Matcher] = []
+        for m in matchers:
+            if isinstance(m, UnionMatcher):
+                flattened.extend(m._matchers)
+            else:
+                flattened.append(m)
+        self._matchers = tuple(flattened)
+        self.term = term
+
+    def matches(self, document: Document) -> MatchList:
+        combined: list[Match] = []
+        for matcher in self._matchers:
+            combined.extend(matcher.matches(document))
+        return collapse_matches(combined, term=self.term)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnionMatcher({', '.join(map(repr, self._matchers))})"

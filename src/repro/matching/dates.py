@@ -1,0 +1,89 @@
+"""Date and number matchers.
+
+The DBWorld experiment's *date* matcher "looks for month names and
+numbers between 1990 and 2010; identified matches are scored 1".
+:class:`DateMatcher` reproduces that rule (with the year range
+configurable) and additionally recognizes common numeric date tokens
+("06/24/2008", "24-26"), which the tokenizer keeps whole.
+:class:`NumberMatcher` is the generic in-range numeric matcher used for
+"year"-style query terms.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.match import Match, MatchList
+from repro.matching.base import Matcher, collapse_matches
+from repro.text.document import Document
+
+__all__ = ["DateMatcher", "NumberMatcher", "MONTH_NAMES"]
+
+MONTH_NAMES: frozenset[str] = frozenset(
+    """
+    january february march april may june july august september october
+    november december jan feb mar apr jun jul aug sep sept oct nov dec
+    """.split()
+)
+
+_NUMERIC_DATE = re.compile(r"^\d{1,4}([/\-.])\d{1,2}(\1\d{1,4})?$")
+
+
+class DateMatcher(Matcher):
+    """Month names and in-range year numbers, scored 1.0."""
+
+    def __init__(
+        self,
+        term: str = "date",
+        *,
+        year_range: tuple[int, int] = (1990, 2010),
+        score: float = 1.0,
+    ) -> None:
+        self.term = term
+        self.year_range = year_range
+        self.score = score
+
+    def _is_date_token(self, text: str) -> bool:
+        if text in MONTH_NAMES:
+            return True
+        if text.isdigit():
+            lo, hi = self.year_range
+            return lo <= int(text) <= hi
+        return bool(_NUMERIC_DATE.match(text))
+
+    def matches(self, document: Document) -> MatchList:
+        found = [
+            Match(location=t.position, score=self.score, token=t.text)
+            for t in document.tokens
+            if self._is_date_token(t.text)
+        ]
+        return collapse_matches(found, term=self.term)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DateMatcher(years={self.year_range})"
+
+
+class NumberMatcher(Matcher):
+    """Numeric tokens within ``[low, high]``, scored 1.0 by default.
+
+    The TREC "year" query terms use ``NumberMatcher("year", 1000, 2100)``.
+    """
+
+    def __init__(self, term: str, low: int, high: int, *, score: float = 1.0) -> None:
+        if low > high:
+            raise ValueError(f"empty range [{low}, {high}]")
+        self.term = term
+        self.low = low
+        self.high = high
+        self.score = score
+
+    def matches(self, document: Document) -> MatchList:
+        found = [
+            Match(location=t.position, score=self.score, token=t.text)
+            for t in document.tokens
+            if t.text.isdigit() and self.low <= int(t.text) <= self.high
+        ]
+        return collapse_matches(found, term=self.term)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NumberMatcher({self.term!r}, [{self.low}, {self.high}])"

@@ -1,0 +1,76 @@
+"""Exact and stem matchers.
+
+:class:`ExactMatcher` fires on literal (lowercased) token equality;
+:class:`StemMatcher` compares Porter stems, the normalization the paper
+applies to *all* its string comparisons ("We use the stem of a word as
+returned by a standard Porter's stemmer in all our string comparisons").
+Both handle multi-word terms by scanning token n-grams.
+"""
+
+from __future__ import annotations
+
+from repro.core.match import Match, MatchList
+from repro.matching.base import Matcher, collapse_matches
+from repro.text.document import Document
+from repro.text.stemmer import PorterStemmer, default_stemmer
+
+__all__ = ["ExactMatcher", "StemMatcher"]
+
+
+class ExactMatcher(Matcher):
+    """Literal token(-sequence) equality, fixed score (default 1.0)."""
+
+    def __init__(self, term: str, *, score: float = 1.0) -> None:
+        self.term = term
+        self.score = score
+        self._words = tuple(term.lower().split())
+
+    def matches(self, document: Document) -> MatchList:
+        n = len(self._words)
+        tokens = document.tokens
+        found: list[Match] = []
+        for i in range(len(tokens) - n + 1):
+            if all(tokens[i + k].text == self._words[k] for k in range(n)):
+                found.append(
+                    Match(
+                        location=tokens[i].position,
+                        score=self.score,
+                        token=" ".join(t.text for t in tokens[i : i + n]),
+                    )
+                )
+        return collapse_matches(found, term=self.term)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExactMatcher({self.term!r}, score={self.score})"
+
+
+class StemMatcher(Matcher):
+    """Porter-stem equality, fixed score (default 1.0).
+
+    "partnership" matches "partnerships"; "build" matches "building".
+    """
+
+    def __init__(self, term: str, *, score: float = 1.0, stemmer: PorterStemmer | None = None) -> None:
+        self.term = term
+        self.score = score
+        self._stemmer = stemmer or default_stemmer()
+        self._stems = tuple(self._stemmer.stem(w) for w in term.lower().split())
+
+    def matches(self, document: Document) -> MatchList:
+        n = len(self._stems)
+        tokens = document.tokens
+        stems = [self._stemmer.stem(t.text) for t in tokens]
+        found: list[Match] = []
+        for i in range(len(tokens) - n + 1):
+            if tuple(stems[i : i + n]) == self._stems:
+                found.append(
+                    Match(
+                        location=tokens[i].position,
+                        score=self.score,
+                        token=" ".join(t.text for t in tokens[i : i + n]),
+                    )
+                )
+        return collapse_matches(found, term=self.term)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StemMatcher({self.term!r}, score={self.score})"

@@ -1,0 +1,85 @@
+"""The place matcher.
+
+Reproduces the DBWorld experiment's rule for the *place* query term:
+"if a term can be found in the GeoWorldMap database, we consider it a
+match with score 1. If GeoWorldMap does not have the term, we check if
+the term is directly connected to place in WordNet; if yes, it is
+considered a match with score 0.7."  (The paper also adds a
+university—place edge, which lives in the seed lexicon.)
+"""
+
+from __future__ import annotations
+
+from repro.core.match import Match, MatchList
+from repro.gazetteer.lookup import Gazetteer, default_gazetteer
+from repro.lexicon.graph import LexicalGraph
+from repro.lexicon.wordnet_like import default_lexicon
+from repro.matching.base import Matcher, collapse_matches
+from repro.text.document import Document
+from repro.text.stemmer import PorterStemmer, default_stemmer
+from repro.text.stopwords import is_stopword
+
+__all__ = ["PlaceMatcher"]
+
+
+class PlaceMatcher(Matcher):
+    """Gazetteer hit → 1.0; lexicon neighbour of the concept → 0.7."""
+
+    def __init__(
+        self,
+        term: str = "place",
+        *,
+        gazetteer: Gazetteer | None = None,
+        lexicon: LexicalGraph | None = None,
+        gazetteer_score: float = 1.0,
+        neighbor_score: float = 0.7,
+        stemmer: PorterStemmer | None = None,
+    ) -> None:
+        self.term = term
+        self._gazetteer = gazetteer if gazetteer is not None else default_gazetteer()
+        lexicon = lexicon if lexicon is not None else default_lexicon()
+        self.gazetteer_score = gazetteer_score
+        self.neighbor_score = neighbor_score
+        stemmer = stemmer or default_stemmer()
+        # Stems of lemmas directly connected to the concept (distance 1)
+        # plus the concept itself (exact mention of e.g. "place").
+        self._neighbor_stems: set[tuple[str, ...]] = {
+            tuple(stemmer.stem(w) for w in lemma.split())
+            for lemma, d in lexicon.within_distance(term, 1).items()
+        }
+        self._stemmer = stemmer
+
+    def matches(self, document: Document) -> MatchList:
+        tokens = document.tokens
+        found: list[Match] = []
+        max_n = self._gazetteer.max_words
+        for i in range(len(tokens)):
+            matched = False
+            # Gazetteer n-grams, longest first ("rio de janeiro" over "rio").
+            for n in range(min(max_n, len(tokens) - i), 0, -1):
+                phrase = " ".join(t.text for t in tokens[i : i + n])
+                if phrase in self._gazetteer:
+                    found.append(
+                        Match(
+                            location=tokens[i].position,
+                            score=self.gazetteer_score,
+                            token=phrase,
+                        )
+                    )
+                    matched = True
+                    break
+            if matched or is_stopword(tokens[i].text):
+                continue
+            stem_key = (self._stemmer.stem(tokens[i].text),)
+            if stem_key in self._neighbor_stems:
+                found.append(
+                    Match(
+                        location=tokens[i].position,
+                        score=self.neighbor_score,
+                        token=tokens[i].text,
+                    )
+                )
+        return collapse_matches(found, term=self.term)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PlaceMatcher({self.term!r})"

@@ -1,0 +1,148 @@
+"""A small query language over the matcher framework.
+
+Lets applications (and the ``repro-search`` CLI) write queries as one
+string instead of wiring matchers by hand::
+
+    parse_query('"pc maker", sports, partnership')
+    parse_query("conference|workshop, when:date, where:place")
+    parse_query("lenovo:exact, partner:stem, year:year")
+
+Grammar (comma-separated terms):
+
+* a bare term gets the default matcher (semantic, with the special
+  spellings "date"/"year"/"place" recognized, and ``|`` alternation);
+* ``label:type`` forces a matcher type for the term ``label``, where
+  ``type`` is one of ``semantic``, ``exact``, ``stem``, ``fuzzy``,
+  ``date``, ``year``, ``place``;
+* double quotes protect commas inside a term (``"pc maker, inc", place``),
+  and a colon followed by multi-word text stays part of the term
+  (``acme: the company``) — only single-word suffixes are matcher types.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import Query
+from repro.gazetteer.lookup import Gazetteer
+from repro.lexicon.graph import LexicalGraph
+from repro.matching.base import Matcher, UnionMatcher
+from repro.matching.dates import DateMatcher, NumberMatcher
+from repro.matching.exact import ExactMatcher, StemMatcher
+from repro.matching.fuzzy import FuzzyMatcher
+from repro.matching.pipeline import QueryMatcher, default_matcher
+from repro.matching.places import PlaceMatcher
+from repro.matching.semantic import SemanticMatcher
+
+__all__ = ["parse_query", "build_query_matcher", "QuerySyntaxError", "MATCHER_TYPES"]
+
+MATCHER_TYPES = ("semantic", "exact", "stem", "fuzzy", "date", "year", "place")
+
+
+class QuerySyntaxError(ValueError):
+    """The query string does not follow the grammar above."""
+
+
+def _split_terms(text: str) -> list[str]:
+    """Split on commas, honouring double-quoted sections."""
+    terms: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    for ch in text:
+        if ch == '"':
+            in_quotes = not in_quotes
+            continue
+        if ch == "," and not in_quotes:
+            terms.append("".join(current).strip())
+            current = []
+            continue
+        current.append(ch)
+    if in_quotes:
+        raise QuerySyntaxError(f"unterminated quote in query: {text!r}")
+    terms.append("".join(current).strip())
+    return [t for t in terms if t]
+
+
+def _matcher_of_type(
+    label: str,
+    matcher_type: str,
+    *,
+    lexicon: LexicalGraph | None,
+    gazetteer: Gazetteer | None,
+) -> Matcher:
+    if matcher_type == "semantic":
+        return SemanticMatcher(label, lexicon=lexicon)
+    if matcher_type == "exact":
+        return ExactMatcher(label)
+    if matcher_type == "stem":
+        return StemMatcher(label)
+    if matcher_type == "fuzzy":
+        return FuzzyMatcher(label)
+    if matcher_type == "date":
+        return DateMatcher(label)
+    if matcher_type == "year":
+        return NumberMatcher(label, 1000, 2100)
+    if matcher_type == "place":
+        return PlaceMatcher(label, gazetteer=gazetteer, lexicon=lexicon)
+    raise QuerySyntaxError(
+        f"unknown matcher type {matcher_type!r} (expected one of {MATCHER_TYPES})"
+    )
+
+
+def parse_query(
+    text: str,
+    *,
+    lexicon: LexicalGraph | None = None,
+    gazetteer: Gazetteer | None = None,
+) -> tuple[Query, dict[str, Matcher]]:
+    """Parse a query string into a :class:`Query` and per-term matchers.
+
+    Raises :class:`QuerySyntaxError` for malformed input (empty query,
+    unterminated quote, unknown matcher type, repeated labels).
+    """
+    raw_terms = _split_terms(text)
+    if not raw_terms:
+        raise QuerySyntaxError("query has no terms")
+
+    labels: list[str] = []
+    matchers: dict[str, Matcher] = {}
+    for raw in raw_terms:
+        head, _, suffix = raw.rpartition(":")
+        suffix_word = suffix.strip().lower()
+        # ``label:type`` only when the suffix is a single word: a colon
+        # followed by free text ("acme: the company") stays a plain term.
+        is_typed = ":" in raw and suffix_word and " " not in suffix_word
+        if is_typed:
+            label = head.strip()
+            if not label:
+                raise QuerySyntaxError(f"missing term label in {raw!r}")
+            matcher = _matcher_of_type(
+                label, suffix_word, lexicon=lexicon, gazetteer=gazetteer
+            )
+        else:
+            label = raw
+            if "|" in label:
+                parts = [p.strip() for p in label.split("|") if p.strip()]
+                matcher = UnionMatcher(
+                    *(
+                        default_matcher(p, lexicon=lexicon, gazetteer=gazetteer)
+                        for p in parts
+                    ),
+                    term=label,
+                )
+            else:
+                matcher = default_matcher(label, lexicon=lexicon, gazetteer=gazetteer)
+        if label in matchers:
+            raise QuerySyntaxError(f"term {label!r} appears twice")
+        labels.append(label)
+        matchers[label] = matcher
+    return Query(labels), matchers
+
+
+def build_query_matcher(
+    text: str,
+    *,
+    lexicon: LexicalGraph | None = None,
+    gazetteer: Gazetteer | None = None,
+) -> QueryMatcher:
+    """Parse a query string straight into a ready :class:`QueryMatcher`."""
+    query, matchers = parse_query(text, lexicon=lexicon, gazetteer=gazetteer)
+    return QueryMatcher(query, matchers, lexicon=lexicon, gazetteer=gazetteer)

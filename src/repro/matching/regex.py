@@ -1,0 +1,90 @@
+"""Regex matcher.
+
+Information-extraction queries often need structured surface patterns —
+e-mail addresses, version strings, monetary amounts — that neither the
+lexicon nor the specialized date/place matchers cover.
+:class:`RegexMatcher` fires on tokens (or raw-text spans) matching a
+regular expression, mapping character offsets back to token positions so
+its matches join seamlessly with every other matcher.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+
+from repro.core.match import Match, MatchList
+from repro.matching.base import Matcher, collapse_matches
+from repro.text.document import Document
+
+__all__ = ["RegexMatcher"]
+
+
+class RegexMatcher(Matcher):
+    """Match a regular expression against tokens or raw text.
+
+    Parameters
+    ----------
+    term:
+        The query-term label this matcher serves.
+    pattern:
+        The regular expression (compiled with ``re.IGNORECASE`` unless
+        ``case_sensitive``).
+    mode:
+        ``"token"`` (default) applies the pattern to each normalized
+        token with ``fullmatch``; ``"text"`` scans the raw document text
+        with ``finditer`` and maps each hit to the token whose span
+        contains the hit's start (hits between tokens are dropped).
+    score:
+        Fixed score for every match.
+    """
+
+    def __init__(
+        self,
+        term: str,
+        pattern: str,
+        *,
+        mode: str = "token",
+        score: float = 1.0,
+        case_sensitive: bool = False,
+    ) -> None:
+        if mode not in ("token", "text"):
+            raise ValueError(f"mode must be 'token' or 'text', got {mode!r}")
+        self.term = term
+        self.mode = mode
+        self.score = score
+        flags = 0 if case_sensitive else re.IGNORECASE
+        self._pattern = re.compile(pattern, flags)
+
+    def _token_matches(self, document: Document) -> list[Match]:
+        return [
+            Match(location=t.position, score=self.score, token=t.text)
+            for t in document.tokens
+            if self._pattern.fullmatch(t.text)
+        ]
+
+    def _text_matches(self, document: Document) -> list[Match]:
+        tokens = document.tokens
+        starts = [t.start for t in tokens]
+        found: list[Match] = []
+        for hit in self._pattern.finditer(document.text):
+            idx = bisect.bisect_right(starts, hit.start()) - 1
+            if idx < 0:
+                continue
+            token = tokens[idx]
+            if hit.start() >= token.end:
+                continue  # hit falls in inter-token whitespace/punctuation
+            found.append(
+                Match(location=token.position, score=self.score, token=hit.group(0))
+            )
+        return found
+
+    def matches(self, document: Document) -> MatchList:
+        if self.mode == "token":
+            found = self._token_matches(document)
+        else:
+            found = self._text_matches(document)
+        return collapse_matches(found, term=self.term)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegexMatcher({self.term!r}, {self._pattern.pattern!r}, mode={self.mode!r})"

@@ -1,0 +1,57 @@
+"""Retrieval evaluation: the paper's "answer rank".
+
+Figure 12 reports, per query and scoring function, "the rank of a
+document in which the best matchset found is the correct answer.  Number
+of documents tied for this rank are indicated in brackets."
+:func:`answer_rank` computes exactly that from a ranked list and a
+correctness predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.retrieval.ranking import RankedDocument
+
+__all__ = ["AnswerRank", "answer_rank"]
+
+
+@dataclass(frozen=True, slots=True)
+class AnswerRank:
+    """An answer's rank and the number of documents tied at that rank.
+
+    Formats like the paper: ``1`` when unique, ``2(3)`` when three
+    documents tie for rank 2.  ``rank`` is None when no ranked document
+    satisfies the correctness predicate.
+    """
+
+    rank: int | None
+    ties: int = 1
+
+    def __str__(self) -> str:
+        if self.rank is None:
+            return "-"
+        if self.ties > 1:
+            return f"{self.rank}({self.ties})"
+        return str(self.rank)
+
+
+def answer_rank(
+    ranked: Sequence[RankedDocument],
+    is_correct: Callable[[RankedDocument], bool],
+    *,
+    tolerance: float = 1e-12,
+) -> AnswerRank:
+    """Rank of the first correct document, with its tie count.
+
+    The rank is ``1 + #documents scoring strictly higher`` than the first
+    correct document; the tie count is the number of documents whose
+    score equals it (within ``tolerance``), the correct one included.
+    """
+    correct = next((r for r in ranked if is_correct(r)), None)
+    if correct is None:
+        return AnswerRank(None, 0)
+    higher = sum(1 for r in ranked if r.score > correct.score + tolerance)
+    tied = sum(1 for r in ranked if abs(r.score - correct.score) <= tolerance)
+    return AnswerRank(higher + 1, tied)

@@ -1,0 +1,56 @@
+"""Rank fusion.
+
+The three scoring families emphasize different evidence (window vs.
+clusteredness vs. anchored confidence); fusing their rankings is the
+standard way to get a consensus list.  Reciprocal-rank fusion (Cormack,
+Clarke & Büttcher, 2009 — contemporaneous with the paper) needs only
+ranks, so it composes rankings whose score scales are incomparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.retrieval.ranking import RankedDocument
+
+__all__ = ["FusedDocument", "reciprocal_rank_fusion"]
+
+
+@dataclass(frozen=True, slots=True)
+class FusedDocument:
+    """A document's fused score and its rank in each input ranking."""
+
+    doc_id: str
+    score: float
+    ranks: tuple[int | None, ...]  # 1-based rank per input list (None = absent)
+
+
+def reciprocal_rank_fusion(
+    rankings: Sequence[Sequence[RankedDocument]],
+    *,
+    k: float = 60.0,
+) -> list[FusedDocument]:
+    """Fuse rankings by ``Σ 1 / (k + rank)``.
+
+    ``k`` damps the influence of top ranks (the standard value is 60);
+    documents absent from a ranking contribute nothing for it.  Returns
+    all documents seen in any ranking, best fused score first (doc id
+    breaks ties deterministically).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if not rankings:
+        return []
+    positions: list[dict[str, int]] = [
+        {doc.doc_id: position for position, doc in enumerate(ranking, 1)}
+        for ranking in rankings
+    ]
+    doc_ids = sorted({doc_id for by_rank in positions for doc_id in by_rank})
+    fused = []
+    for doc_id in doc_ids:
+        ranks = tuple(by_rank.get(doc_id) for by_rank in positions)
+        score = sum(1.0 / (k + r) for r in ranks if r is not None)
+        fused.append(FusedDocument(doc_id, score, ranks))
+    fused.sort(key=lambda d: (-d.score, d.doc_id))
+    return fused

@@ -1,0 +1,113 @@
+"""Standard retrieval-effectiveness metrics.
+
+The paper reports answer ranks (Figure 12); downstream evaluations
+usually want the standard aggregate metrics over many queries.  These
+operate on the :class:`~repro.retrieval.ranking.RankedDocument` lists the
+ranking layer produces, with relevance given either as a predicate or as
+a set of relevant doc ids.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.retrieval.ranking import RankedDocument
+
+__all__ = [
+    "reciprocal_rank",
+    "mean_reciprocal_rank",
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision",
+    "mean_average_precision",
+]
+
+Relevance = Callable[[RankedDocument], bool]
+
+
+def _as_predicate(relevant: Relevance | Iterable[str]) -> Relevance:
+    if callable(relevant):
+        return relevant
+    ids = set(relevant)
+    return lambda r: r.doc_id in ids
+
+
+def reciprocal_rank(
+    ranked: Sequence[RankedDocument], relevant: Relevance | Iterable[str]
+) -> float:
+    """1 / rank of the first relevant document (0.0 when none is)."""
+    is_relevant = _as_predicate(relevant)
+    for position, doc in enumerate(ranked, 1):
+        if is_relevant(doc):
+            return 1.0 / position
+    return 0.0
+
+
+def mean_reciprocal_rank(
+    runs: Iterable[tuple[Sequence[RankedDocument], Relevance | Iterable[str]]],
+) -> float:
+    """MRR over (ranked list, relevance) pairs; 0.0 for an empty input."""
+    values = [reciprocal_rank(ranked, relevant) for ranked, relevant in runs]
+    return sum(values) / len(values) if values else 0.0
+
+
+def precision_at_k(
+    ranked: Sequence[RankedDocument],
+    relevant: Relevance | Iterable[str],
+    k: int,
+) -> float:
+    """Fraction of the top-k results that are relevant."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    is_relevant = _as_predicate(relevant)
+    top = ranked[:k]
+    if not top:
+        return 0.0
+    return sum(1 for doc in top if is_relevant(doc)) / k
+
+
+def recall_at_k(
+    ranked: Sequence[RankedDocument],
+    relevant_ids: Iterable[str],
+    k: int,
+) -> float:
+    """Fraction of the relevant documents found in the top-k.
+
+    Needs the full relevant set (ids), not just a predicate, so the
+    denominator is well defined.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    ids = set(relevant_ids)
+    if not ids:
+        return 0.0
+    found = {doc.doc_id for doc in ranked[:k]} & ids
+    return len(found) / len(ids)
+
+
+def average_precision(
+    ranked: Sequence[RankedDocument], relevant_ids: Iterable[str]
+) -> float:
+    """Mean of precision@rank over the ranks of relevant documents.
+
+    Relevant documents missing from the ranking count as zero-precision
+    hits (standard uninterpolated AP).
+    """
+    ids = set(relevant_ids)
+    if not ids:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for position, doc in enumerate(ranked, 1):
+        if doc.doc_id in ids:
+            hits += 1
+            precision_sum += hits / position
+    return precision_sum / len(ids)
+
+
+def mean_average_precision(
+    runs: Iterable[tuple[Sequence[RankedDocument], Iterable[str]]],
+) -> float:
+    """MAP over (ranked list, relevant ids) pairs; 0.0 for empty input."""
+    values = [average_precision(ranked, ids) for ranked, ids in runs]
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,243 @@
+"""Document-level proximity scoring baselines (Section IX, Related Work).
+
+The paper positions matchset scoring against a line of IR work that
+folds proximity into *document* scores.  This module implements compact,
+faithful-in-spirit versions of those baselines so rankings can be
+compared against best-matchset ranking on the same match lists:
+
+* :class:`ShortestIntervalScorer` — Hawking & Thistlewaite [11] and
+  Clarke, Cormack & Tudhope [9]: documents scored by the minimal
+  intervals that cover all query terms (the idea WIN scoring
+  generalizes).
+* :class:`PairwiseProximityScorer` — Rasolofo & Savoy [19]: accumulate
+  ``1/d²`` over close pairs of query-term occurrences.
+* :class:`InfluenceScorer` — Mercier & Beigbeder [18]: each term spreads
+  a linearly decaying influence over positions; a document scores the
+  total conjunctive (min) influence — the idea MAX scoring refines.
+* :class:`SpanScorer` — Song, Taylor, Wen, Hon & Yu [20]: group nearby
+  matches into spans and score spans by term coverage vs. length.
+
+All scorers consume the same per-term :class:`~repro.core.match.MatchList`
+inputs as the joins (scores are ignored by the purely positional
+baselines — the classic methods predate weighted matches, which is
+exactly the gap the paper's weighted best-joins fill).
+
+These are *document* scorers: they return one number per document and
+cannot say which concrete matches constitute an answer — the capability
+gap the paper's matchset formulation addresses.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.core.match import MatchList, merge_by_location
+
+__all__ = [
+    "DocumentScorer",
+    "ShortestIntervalScorer",
+    "PairwiseProximityScorer",
+    "InfluenceScorer",
+    "SpanScorer",
+    "minimal_cover_windows",
+]
+
+
+class DocumentScorer(abc.ABC):
+    """Scores a whole document from its per-term match lists."""
+
+    @abc.abstractmethod
+    def score(self, lists: Sequence[MatchList]) -> float:
+        """The document score; 0.0 when the document cannot score."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def minimal_cover_windows(lists: Sequence[MatchList]) -> list[tuple[int, int]]:
+    """All minimal windows covering at least one match of every term.
+
+    A window ``[lo, hi]`` is *minimal* when it contains a match for every
+    term but no proper sub-window does.  Classic two-pointer sweep over
+    the merged location stream: for every right endpoint, grow the
+    window's left edge as far as coverage allows; emit when the resulting
+    window is not a superset of the previously emitted one.
+
+    O(Σ|L_j| · |Q|) with the per-term occurrence bookkeeping below.
+    """
+    n = len(lists)
+    if n == 0 or any(len(lst) == 0 for lst in lists):
+        return []
+    merged = list(merge_by_location(lists))
+    # Sliding window over the merged stream, counting per-term coverage.
+    windows: list[tuple[int, int]] = []
+    counts = [0] * n
+    covered = 0
+    left = 0
+    for right, (j, match) in enumerate(merged):
+        if counts[j] == 0:
+            covered += 1
+        counts[j] += 1
+        if covered < n:
+            continue
+        # Shrink from the left while coverage survives.
+        while True:
+            lj, _lm = merged[left]
+            if counts[lj] == 1:
+                break
+            counts[lj] -= 1
+            left += 1
+        lo = merged[left][1].location
+        hi = match.location
+        # Both lo and hi are non-decreasing across iterations, so a new
+        # candidate relates to the last kept one in only three ways:
+        if windows:
+            last_lo, last_hi = windows[-1]
+            if (lo, hi) == (last_lo, last_hi):
+                continue
+            if hi == last_hi:
+                if lo > last_lo:
+                    windows[-1] = (lo, hi)  # same right edge, tighter left
+                continue
+            if lo == last_lo:
+                continue  # proper superset of the last window: not minimal
+        windows.append((lo, hi))
+    return windows
+
+
+class ShortestIntervalScorer(DocumentScorer):
+    """Cover-interval scoring after [11]/[9].
+
+    Each minimal covering window of length ``len`` (inclusive token
+    count) contributes ``(|Q| / len)^p`` capped at 1; the document score
+    is the sum over minimal windows.  ``p`` steepens the proximity
+    preference (Clarke et al. use the plain ratio, p = 1).
+    """
+
+    def __init__(self, num_terms: int, *, p: float = 1.0) -> None:
+        if num_terms < 1:
+            raise ValueError("need at least one query term")
+        self.num_terms = num_terms
+        self.p = p
+
+    def score(self, lists: Sequence[MatchList]) -> float:
+        total = 0.0
+        for lo, hi in minimal_cover_windows(lists):
+            length = hi - lo + 1
+            total += min(1.0, (self.num_terms / length)) ** self.p
+        return total
+
+
+class PairwiseProximityScorer(DocumentScorer):
+    """Pairwise occurrence proximity after [19].
+
+    For every pair of occurrences of *different* query terms at distance
+    ``d ≤ window``, accumulate ``1 / d²``.  One left-to-right pass with a
+    bounded buffer keeps this O(pairs within the window).
+    """
+
+    def __init__(self, *, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = window
+
+    def score(self, lists: Sequence[MatchList]) -> float:
+        merged = list(merge_by_location(lists))
+        total = 0.0
+        start = 0
+        for i, (j, match) in enumerate(merged):
+            while merged[start][1].location < match.location - self.window:
+                start += 1
+            for k in range(start, i):
+                other_term, other = merged[k]
+                if other_term == j:
+                    continue
+                d = match.location - other.location
+                if d == 0:
+                    continue  # co-located tokens: no distance signal
+                total += 1.0 / (d * d)
+        return total
+
+
+class InfluenceScorer(DocumentScorer):
+    """Fuzzy-proximity influence after [18].
+
+    Term ``j`` exerts influence ``max(0, 1 − d/reach)`` at distance ``d``
+    from its nearest occurrence; a position's value is the *minimum*
+    influence over terms (conjunctive semantics) and the document scores
+    the sum over positions.  Only positions within ``reach`` of every
+    term can contribute, so the scan is restricted to match
+    neighbourhoods.
+    """
+
+    def __init__(self, *, reach: int = 10) -> None:
+        if reach < 1:
+            raise ValueError("reach must be positive")
+        self.reach = reach
+
+    def _influence(self, lst: MatchList, position: int) -> float:
+        idx = lst.first_at_or_after(position)
+        best = 0.0
+        for neighbor in (idx - 1, idx):
+            if 0 <= neighbor < len(lst):
+                d = abs(lst[neighbor].location - position)
+                best = max(best, 1.0 - d / self.reach)
+        return best
+
+    def score(self, lists: Sequence[MatchList]) -> float:
+        if any(len(lst) == 0 for lst in lists):
+            return 0.0
+        candidates: set[int] = set()
+        for lst in lists:
+            for m in lst:
+                candidates.update(
+                    range(max(0, m.location - self.reach), m.location + self.reach + 1)
+                )
+        total = 0.0
+        for position in candidates:
+            total += min(self._influence(lst, position) for lst in lists)
+        return total
+
+
+class SpanScorer(DocumentScorer):
+    """Span grouping after [20].
+
+    Matches (any term) closer than ``max_gap`` join one span; a span
+    covering ``t`` distinct terms over ``len`` tokens scores
+    ``t² / len``; the document scores the sum over spans.  Spans with a
+    single distinct term contribute nothing (no proximity evidence).
+    """
+
+    def __init__(self, *, max_gap: int = 8) -> None:
+        if max_gap < 1:
+            raise ValueError("max_gap must be positive")
+        self.max_gap = max_gap
+
+    def score(self, lists: Sequence[MatchList]) -> float:
+        merged = list(merge_by_location(lists))
+        if not merged:
+            return 0.0
+        total = 0.0
+        span_terms: set[int] = set()
+        span_start = span_end = None
+        previous = None
+
+        def flush() -> float:
+            if span_start is None or len(span_terms) < 2:
+                return 0.0
+            length = span_end - span_start + 1
+            return len(span_terms) ** 2 / length
+
+        for j, match in merged:
+            if previous is not None and match.location - previous > self.max_gap:
+                total += flush()
+                span_terms = set()
+                span_start = None
+            if span_start is None:
+                span_start = match.location
+            span_end = match.location
+            span_terms.add(j)
+            previous = match.location
+        total += flush()
+        return total

@@ -1,0 +1,120 @@
+"""A small question-answering engine on top of the best-join primitive.
+
+Ties the substrates together the way the paper's motivating systems do:
+match each document (online matchers or a prebuilt concept index), find
+the best matchset per document, rank documents by matchset score, and
+present the top matchsets as *answers* — the matched surface forms, in
+document order, with the document context around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.query import Query
+from repro.core.scoring.base import ScoringFunction
+from repro.matching.pipeline import QueryMatcher
+from repro.retrieval.ranking import RankedDocument, rank_documents
+from repro.text.document import Corpus
+
+__all__ = ["Answer", "AggregatedAnswer", "QAEngine", "aggregate_answers"]
+
+
+@dataclass(frozen=True, slots=True)
+class Answer:
+    """One extracted answer: which document, which spans, what score."""
+
+    doc_id: str
+    score: float
+    spans: tuple[tuple[str, str, int], ...]  # (query term, matched text, location)
+    snippet: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{term}={text!r}@{loc}" for term, text, loc in self.spans)
+        return f"[{self.doc_id} score={self.score:.3f}] {parts}"
+
+
+class QAEngine:
+    """Best-join question answering over a corpus."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        scoring: ScoringFunction,
+        *,
+        snippet_window: int = 6,
+    ) -> None:
+        self.corpus = corpus
+        self.scoring = scoring
+        self.snippet_window = snippet_window
+
+    def _answer_from(self, ranked: RankedDocument, query: Query) -> Answer:
+        doc = self.corpus[ranked.doc_id]
+        tokens = doc.tokens
+        spans = tuple(
+            (term, match.token or tokens[match.location].text, match.location)
+            for term, match in ranked.matchset.items()
+        )
+        lo = max(0, ranked.matchset.min_location - self.snippet_window)
+        hi = min(len(tokens), ranked.matchset.max_location + self.snippet_window + 1)
+        snippet = " ".join(t.raw for t in tokens[lo:hi])
+        return Answer(ranked.doc_id, ranked.score, spans, snippet)
+
+    def ask(
+        self,
+        query: Query,
+        *,
+        top_k: int = 5,
+        matcher: QueryMatcher | None = None,
+    ) -> list[Answer]:
+        """The ``top_k`` best answers across the corpus."""
+        ranked = rank_documents(self.corpus, query, self.scoring, matcher=matcher)
+        return [self._answer_from(r, query) for r in ranked[:top_k]]
+
+
+@dataclass(frozen=True, slots=True)
+class AggregatedAnswer:
+    """One distinct answer across documents: support count + best score.
+
+    Two answers aggregate when their extracted surface forms (stems
+    aside — exact text) match term-for-term; the NBA partnership found
+    in three articles is one answer with support 3.
+    """
+
+    fields: tuple[tuple[str, str], ...]  # (query term, matched text)
+    support: int
+    best_score: float
+    doc_ids: tuple[str, ...]
+
+    def as_dict(self) -> dict[str, str]:
+        return dict(self.fields)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{t}={x!r}" for t, x in self.fields)
+        return f"{inner}  (support={self.support}, best={self.best_score:.3f})"
+
+
+def aggregate_answers(answers: Iterable[Answer]) -> list[AggregatedAnswer]:
+    """Group per-document answers by their extracted surface forms.
+
+    Corroboration ranks first: results are ordered by support, then best
+    score.  Useful when a corpus repeats the same fact — the paper's
+    "who invented dental floss" has one true answer that many documents
+    should agree on.
+    """
+    groups: dict[tuple[tuple[str, str], ...], list[Answer]] = {}
+    for answer in answers:
+        key = tuple((term, text) for term, text, _loc in answer.spans)
+        groups.setdefault(key, []).append(answer)
+    aggregated = [
+        AggregatedAnswer(
+            fields=key,
+            support=len(members),
+            best_score=max(a.score for a in members),
+            doc_ids=tuple(sorted({a.doc_id for a in members})),
+        )
+        for key, members in groups.items()
+    ]
+    aggregated.sort(key=lambda a: (-a.support, -a.best_score, a.fields))
+    return aggregated

@@ -1,0 +1,80 @@
+"""Document ranking by best-matchset score.
+
+The paper ranks documents "by their overall best matchset scores" (TREC
+experiment).  :func:`rank_documents` runs the per-document best-join over
+a corpus and returns documents in descending score order, carrying each
+document's best matchset so callers can show *why* a document ranked
+where it did (the extracted answer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.algorithms.base import JoinResult
+from repro.core.api import best_matchset
+from repro.core.match import MatchList
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+from repro.core.scoring.base import ScoringFunction
+from repro.matching.pipeline import QueryMatcher
+from repro.text.document import Corpus, Document
+
+__all__ = ["RankedDocument", "rank_documents", "rank_match_lists"]
+
+
+@dataclass(frozen=True, slots=True)
+class RankedDocument:
+    """One ranked document: its best matchset and score."""
+
+    doc_id: str
+    score: float
+    matchset: MatchSet
+    invocations: int = 1
+
+
+def rank_match_lists(
+    per_document_lists: Iterable[tuple[str, Sequence[MatchList]]],
+    query: Query,
+    scoring: ScoringFunction,
+    *,
+    avoid_duplicates: bool = True,
+) -> list[RankedDocument]:
+    """Rank pre-computed per-document match lists.
+
+    ``per_document_lists`` yields ``(doc_id, match_lists)`` pairs;
+    documents with no complete (or no valid) matchset are dropped.
+    Results are sorted by descending score, doc id breaking ties for
+    determinism.
+    """
+    ranked: list[RankedDocument] = []
+    for doc_id, lists in per_document_lists:
+        result: JoinResult = best_matchset(
+            query, lists, scoring, avoid_duplicates=avoid_duplicates
+        )
+        if result:
+            assert result.matchset is not None and result.score is not None
+            ranked.append(
+                RankedDocument(doc_id, result.score, result.matchset, result.invocations)
+            )
+    ranked.sort(key=lambda r: (-r.score, r.doc_id))
+    return ranked
+
+
+def rank_documents(
+    corpus: Corpus | Iterable[Document],
+    query: Query,
+    scoring: ScoringFunction,
+    *,
+    matcher: QueryMatcher | None = None,
+    avoid_duplicates: bool = True,
+) -> list[RankedDocument]:
+    """Match + join + rank a corpus for one query."""
+    matcher = matcher or QueryMatcher(query)
+    return rank_match_lists(
+        ((doc.doc_id, matcher.match_lists(doc)) for doc in corpus),
+        query,
+        scoring,
+        avoid_duplicates=avoid_duplicates,
+    )

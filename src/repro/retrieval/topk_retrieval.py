@@ -1,0 +1,138 @@
+"""Top-k document retrieval with upper-bound skipping.
+
+Ranking a large corpus runs one best-join per document; most documents
+cannot possibly reach the current top-k floor, and a cheap *upper bound*
+proves it without running the join.  For every scoring family, the score
+of any matchset is bounded by the score of an imaginary matchset whose
+matches are the per-list best scores all co-located (every family's
+distance penalty is non-negative and its combiner monotone), so:
+
+* WIN:  ``f(Σ_j max_m g_j(score(m)), 0)``
+* MED:  ``f(Σ_j max_m g_j(score(m)))``
+* MAX:  ``f(Σ_j max_m g_j(score(m), 0))``
+
+:func:`rank_top_k` is the WAND-flavoured document-at-a-time loop: keep a
+k-floor heap, skip every document whose bound is below the floor.  The
+result equals the top k of the full ranking (ties broken identically);
+the returned statistics report how many joins the bound avoided.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.api import best_matchset
+from repro.core.errors import ScoringContractError
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.base import MaxScoring, MedScoring, ScoringFunction, WinScoring
+from repro.retrieval.ranking import RankedDocument
+
+__all__ = ["score_upper_bound", "TopKResult", "rank_top_k"]
+
+
+def score_upper_bound(
+    scoring: ScoringFunction, lists: Sequence[MatchList]
+) -> float:
+    """An upper bound on any matchset's score from these lists.
+
+    Assumes every list is non-empty; callers skip empty-join documents
+    before bounding.
+    """
+    if isinstance(scoring, WinScoring):
+        total = sum(
+            max(scoring.g(j, m.score) for m in lst) for j, lst in enumerate(lists)
+        )
+        return scoring.f(total, 0.0)
+    if isinstance(scoring, MedScoring):
+        total = sum(
+            max(scoring.g(j, m.score) for m in lst) for j, lst in enumerate(lists)
+        )
+        return scoring.f(total)
+    if isinstance(scoring, MaxScoring):
+        total = sum(
+            max(scoring.g(j, m.score, 0.0) for m in lst)
+            for j, lst in enumerate(lists)
+        )
+        return scoring.f(total)
+    raise ScoringContractError(
+        f"no upper bound rule for {type(scoring).__name__}"
+    )
+
+
+@dataclass
+class TopKResult:
+    """Top-k ranking plus the skipping statistics."""
+
+    ranked: list[RankedDocument]
+    documents_seen: int
+    joins_run: int
+
+    @property
+    def joins_skipped(self) -> int:
+        return self.documents_seen - self.joins_run
+
+
+def rank_top_k(
+    per_document_lists: Iterable[tuple[str, Sequence[MatchList]]],
+    query: Query,
+    scoring: ScoringFunction,
+    k: int,
+    *,
+    avoid_duplicates: bool = True,
+) -> TopKResult:
+    """The k best documents, skipping joins the upper bound rules out.
+
+    Equivalent to ``rank_match_lists(...)[:k]`` (same scores, same
+    deterministic tie order), typically running far fewer joins once the
+    floor is established.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    # Floor heap holds (score, reversed doc-id key) so that the heap's
+    # smallest element is the currently weakest kept document under the
+    # (-score, doc_id) output order.
+    floor: list[tuple[float, tuple[int, ...]]] = []
+    kept: dict[str, RankedDocument] = {}
+    seen = 0
+    joins = 0
+
+    def id_key(doc_id: str) -> tuple[int, ...]:
+        # Reverse lexicographic so the heap evicts the tie with the
+        # *largest* doc id first (output prefers smaller ids on ties).
+        return tuple(255 - b for b in doc_id.encode())
+
+    for doc_id, lists in per_document_lists:
+        seen += 1
+        if any(len(lst) == 0 for lst in lists):
+            continue
+        if len(floor) == k:
+            weakest_score, weakest_key = floor[0]
+            bound = score_upper_bound(scoring, lists)
+            if bound < weakest_score or (
+                bound == weakest_score and id_key(doc_id) < weakest_key
+            ):
+                continue  # provably outside the top k
+        joins += 1
+        result = best_matchset(
+            query, lists, scoring, avoid_duplicates=avoid_duplicates
+        )
+        if not result:
+            continue
+        assert result.matchset is not None and result.score is not None
+        entry = (result.score, id_key(doc_id))
+        if len(floor) < k:
+            heapq.heappush(floor, entry)
+            kept[doc_id] = RankedDocument(doc_id, result.score, result.matchset)
+        elif entry > floor[0]:
+            _old_score, old_key = heapq.heapreplace(floor, entry)
+            evicted = next(
+                d for d in kept if id_key(d) == old_key
+            )
+            del kept[evicted]
+            kept[doc_id] = RankedDocument(doc_id, result.score, result.matchset)
+
+    ranked = sorted(kept.values(), key=lambda r: (-r.score, r.doc_id))
+    return TopKResult(ranked, seen, joins)

@@ -1,0 +1,8 @@
+"""Convenience alias: ``repro.scoring`` re-exports ``repro.core.scoring``.
+
+Lets applications write ``from repro.scoring import trec_max`` instead of
+reaching into the ``core`` package.
+"""
+
+from repro.core.scoring import *  # noqa: F401,F403
+from repro.core.scoring import __all__  # noqa: F401

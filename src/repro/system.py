@@ -1,0 +1,174 @@
+"""One-object façade: a persistent weighted-proximity search system.
+
+Everything in this library composes by hand; :class:`SearchSystem` wires
+the common composition once — corpus management, a positional inverted
+index kept in sync, the query language, the offline (index-derived) and
+online (matcher) match-list paths, best-join ranking, extraction, and
+save/load — so an application can be three lines:
+
+    system = SearchSystem()
+    system.add(Document("d1", "Lenovo partners with the NBA …"))
+    answers = system.ask('"pc maker", sports, partnership')
+
+Queries that use only lexicon-friendly terms run *offline* (match lists
+derived from the index, the paper's footnote-1 path with a conjunctive
+candidate pre-filter); queries with special matchers (dates, places,
+regexes, fuzzy) run *online* over the stored documents.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from repro.core.query import Query
+from repro.core.scoring.base import ScoringFunction
+from repro.core.scoring.presets import trec_max
+from repro.extraction.extractor import Extraction, MatchsetExtractor
+from repro.index.inverted import InvertedIndex
+from repro.index.io import index_from_dict, index_to_dict
+from repro.index.matchlists import ConceptIndex
+from repro.lexicon.graph import LexicalGraph
+from repro.matching.pipeline import QueryMatcher
+from repro.matching.queries import parse_query
+from repro.matching.semantic import SemanticMatcher
+from repro.retrieval.ranking import RankedDocument, rank_match_lists
+from repro.text.document import Corpus, Document
+
+__all__ = ["SearchSystem"]
+
+
+class SearchSystem:
+    """An end-to-end proximity best-join search engine.
+
+    Parameters
+    ----------
+    scoring:
+        Default matchset scoring (the paper's MAX preset unless given).
+    lexicon:
+        Lexical graph for semantic matching and concept expansion
+        (defaults to the built-in curated lexicon).
+    """
+
+    def __init__(
+        self,
+        *,
+        scoring: ScoringFunction | None = None,
+        lexicon: LexicalGraph | None = None,
+    ) -> None:
+        self.scoring = scoring or trec_max()
+        self.lexicon = lexicon
+        self.corpus = Corpus()
+        self.index = InvertedIndex()
+        self._concepts = ConceptIndex(self.index, lexicon=lexicon)
+
+    # -- corpus management ---------------------------------------------------
+
+    def add(self, *documents: Document) -> None:
+        """Add documents (indexed immediately)."""
+        for doc in documents:
+            self.corpus.add(doc)
+            self.index.add_document(doc)
+
+    def add_texts(self, texts: Iterable[tuple[str, str]]) -> None:
+        """Add ``(doc_id, text)`` pairs."""
+        self.add(*(Document(doc_id, text) for doc_id, text in texts))
+
+    def remove(self, doc_id: str) -> None:
+        """Remove a document from the corpus and the index."""
+        self.corpus.remove(doc_id)
+        self.index.remove_document(doc_id)
+
+    def __len__(self) -> int:
+        return len(self.corpus)
+
+    # -- querying --------------------------------------------------------------
+
+    def _plan(self, query_text: str) -> tuple[Query, QueryMatcher | None]:
+        """Parse the query; None matcher means the offline path applies."""
+        query, matchers = parse_query(query_text, lexicon=self.lexicon)
+        offline = all(isinstance(m, SemanticMatcher) for m in matchers.values())
+        if offline:
+            return query, None
+        return query, QueryMatcher(query, matchers, lexicon=self.lexicon)
+
+    def _per_document_lists(self, query: Query, matcher: QueryMatcher | None):
+        if matcher is None:
+            terms = list(query)
+            for doc_id in self._concepts.candidate_documents(terms):
+                yield doc_id, self._concepts.match_lists(terms, doc_id)
+        else:
+            for doc in self.corpus:
+                yield doc.doc_id, matcher.match_lists(doc)
+
+    def ask(
+        self,
+        query_text: str,
+        *,
+        top_k: int = 5,
+        scoring: ScoringFunction | None = None,
+    ) -> list[RankedDocument]:
+        """Rank documents for a query-language query."""
+        query, matcher = self._plan(query_text)
+        ranked = rank_match_lists(
+            self._per_document_lists(query, matcher),
+            query,
+            scoring or self.scoring,
+        )
+        return ranked[:top_k]
+
+    def extract(
+        self,
+        query_text: str,
+        *,
+        min_score: float | None = None,
+        min_anchor_gap: int = 10,
+        scoring: ScoringFunction | None = None,
+    ) -> list[Extraction]:
+        """All good matchsets across the corpus, best first."""
+        query, matcher = self._plan(query_text)
+        extractor = MatchsetExtractor(
+            query,
+            scoring or self.scoring,
+            min_score=min_score,
+            min_anchor_gap=min_anchor_gap,
+            matcher=matcher or QueryMatcher(query, lexicon=self.lexicon),
+        )
+        results: list[Extraction] = []
+        for doc_id, lists in self._per_document_lists(query, matcher):
+            results.extend(
+                extractor.extract_from_lists(doc_id, list(lists), self.corpus[doc_id])
+            )
+        results.sort(key=lambda e: (-e.score, e.doc_id, e.anchor))
+        return results
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str | pathlib.Path) -> None:
+        """Persist corpus + index as one JSON file."""
+        payload = {
+            "version": 1,
+            "documents": [
+                {"id": doc.doc_id, "text": doc.text} for doc in self.corpus
+            ],
+            "index": index_to_dict(self.index),
+        }
+        pathlib.Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(
+        cls,
+        path: str | pathlib.Path,
+        *,
+        scoring: ScoringFunction | None = None,
+        lexicon: LexicalGraph | None = None,
+    ) -> "SearchSystem":
+        """Restore a system saved with :meth:`save`."""
+        payload = json.loads(pathlib.Path(path).read_text())
+        system = cls(scoring=scoring, lexicon=lexicon)
+        for record in payload["documents"]:
+            system.corpus.add(Document(record["id"], record["text"]))
+        system.index = index_from_dict(payload["index"])
+        system._concepts = ConceptIndex(system.index, lexicon=lexicon)
+        return system

@@ -1,0 +1,25 @@
+"""Text substrate: tokenizer, Porter stemmer, stopwords, documents."""
+
+from repro.text.document import Corpus, Document
+from repro.text.io import load_directory, load_jsonl, save_jsonl
+from repro.text.sentences import sentence_index, split_sentences
+from repro.text.stemmer import PorterStemmer, default_stemmer, stem
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.tokenizer import Token, tokenize
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "PorterStemmer",
+    "stem",
+    "default_stemmer",
+    "STOPWORDS",
+    "is_stopword",
+    "Document",
+    "Corpus",
+    "load_directory",
+    "load_jsonl",
+    "save_jsonl",
+    "split_sentences",
+    "sentence_index",
+]

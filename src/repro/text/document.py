@@ -1,0 +1,87 @@
+"""Documents and corpora.
+
+A :class:`Document` owns its raw text and a lazily computed token stream;
+a :class:`Corpus` is an ordered, id-addressable collection of documents.
+These are the units the matching pipeline, the inverted index and the
+retrieval layer operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.text.tokenizer import Token, tokenize
+
+__all__ = ["Document", "Corpus"]
+
+
+class Document:
+    """A document: an id, raw text, and (lazily) its tokens.
+
+    ``metadata`` carries application data — the dataset generators use it
+    to record planted ground truth (e.g. the answer location of a
+    TREC-like question document).
+    """
+
+    __slots__ = ("doc_id", "text", "metadata", "_tokens")
+
+    def __init__(self, doc_id: str, text: str, metadata: Mapping[str, object] | None = None) -> None:
+        self.doc_id = doc_id
+        self.text = text
+        self.metadata: dict[str, object] = dict(metadata or {})
+        self._tokens: list[Token] | None = None
+
+    @property
+    def tokens(self) -> list[Token]:
+        """The document's tokens (computed once, cached)."""
+        if self._tokens is None:
+            self._tokens = tokenize(self.text)
+        return self._tokens
+
+    def __len__(self) -> int:
+        """Number of tokens."""
+        return len(self.tokens)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Document({self.doc_id!r}, {len(self.text)} chars)"
+
+
+class Corpus:
+    """An ordered collection of documents with id lookup."""
+
+    __slots__ = ("_docs", "_by_id")
+
+    def __init__(self, documents: Iterable[Document] = ()) -> None:
+        self._docs: list[Document] = []
+        self._by_id: dict[str, Document] = {}
+        for doc in documents:
+            self.add(doc)
+
+    def add(self, document: Document) -> None:
+        if document.doc_id in self._by_id:
+            raise ValueError(f"duplicate doc_id {document.doc_id!r}")
+        self._docs.append(document)
+        self._by_id[document.doc_id] = document
+
+    def remove(self, doc_id: str) -> Document:
+        """Remove and return a document by id."""
+        doc = self._by_id.pop(doc_id, None)
+        if doc is None:
+            raise KeyError(f"no document {doc_id!r}")
+        self._docs.remove(doc)
+        return doc
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._docs)
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._by_id
+
+    def __getitem__(self, doc_id: str) -> Document:
+        return self._by_id[doc_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Corpus({len(self._docs)} documents)"

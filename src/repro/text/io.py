@@ -1,0 +1,68 @@
+"""Corpus loaders.
+
+Two conventional on-disk corpus shapes:
+
+* a directory of ``.txt`` files — one document per file, file stem as
+  the doc id;
+* a JSON-lines file — one JSON object per line with ``id`` and ``text``
+  fields (extra fields land in ``Document.metadata``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from repro.core.io import SerializationError
+from repro.text.document import Corpus, Document
+
+__all__ = ["load_directory", "load_jsonl", "save_jsonl"]
+
+
+def load_directory(
+    path: str | pathlib.Path, *, pattern: str = "*.txt"
+) -> Corpus:
+    """One document per matching file, ordered by name."""
+    directory = pathlib.Path(path)
+    if not directory.is_dir():
+        raise SerializationError(f"not a directory: {path}")
+    corpus = Corpus()
+    for file in sorted(directory.glob(pattern)):
+        corpus.add(Document(file.stem, file.read_text(errors="replace")))
+    return corpus
+
+
+def load_jsonl(path: str | pathlib.Path) -> Corpus:
+    """One document per JSON line (``{"id": ..., "text": ..., ...}``)."""
+    corpus = Corpus()
+    with open(path, encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, 1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SerializationError(f"line {lineno}: not valid JSON") from exc
+            try:
+                doc_id = str(record.pop("id"))
+                text = record.pop("text")
+            except KeyError as exc:
+                raise SerializationError(
+                    f"line {lineno}: missing required field {exc}"
+                ) from exc
+            corpus.add(Document(doc_id, text, metadata=record))
+    return corpus
+
+
+def save_jsonl(corpus: Corpus | Iterable[Document], path: str | pathlib.Path) -> None:
+    """Write documents as JSON lines (metadata included when serializable)."""
+    lines = []
+    for doc in corpus:
+        record: dict = {"id": doc.doc_id, "text": doc.text}
+        for key, value in doc.metadata.items():
+            if isinstance(value, (str, int, float, bool, list, dict)) or value is None:
+                record[key] = value
+        lines.append(json.dumps(record))
+    pathlib.Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

@@ -1,0 +1,87 @@
+"""Sentence segmentation.
+
+Extraction quality improves when candidate matchsets are required to
+stay within one sentence ("Lenovo … NBA …" in one sentence is evidence;
+the same words straddling a paragraph break usually is not).  This
+module provides a rule-based splitter and a per-token sentence index
+that :class:`repro.extraction.MatchsetExtractor` can filter on.
+
+Rules (deliberately simple, deterministic and offline):
+
+* sentences end at ``.``, ``!`` or ``?`` followed by whitespace and an
+  uppercase letter, digit or opening quote;
+* common abbreviations ("Dr.", "e.g.", "U.S.") and initials do not end
+  sentences;
+* newlines that start a bulleted/indented line also break sentences
+  (mail and CFP bodies are full of those).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.text.tokenizer import Token
+
+__all__ = ["split_sentences", "sentence_index"]
+
+_ABBREVIATIONS = frozenset(
+    """
+    dr mr mrs ms prof st mt vs etc e.g i.e cf al fig eq sec vol no pp
+    jan feb mar apr jun jul aug sep sept oct nov dec univ dept inc ltd
+    """.split()
+)
+
+_BOUNDARY = re.compile(r"[.!?]+[\"')\]]*\s+(?=[A-Z0-9\"'(\[])|\n\s*\n|\n(?=\s*[-*•])")
+
+
+def _ends_with_abbreviation(text: str, end: int) -> bool:
+    """Does the text up to ``end`` finish in a known abbreviation?"""
+    fragment = text[:end].rstrip(".!?\"')]")
+    last_word = fragment.split()[-1].lower() if fragment.split() else ""
+    last_word = last_word.strip(".")
+    if last_word in _ABBREVIATIONS:
+        return True
+    # Single-letter initials ("J. Smith") never end a sentence.
+    return len(last_word) == 1 and last_word.isalpha()
+
+
+def split_sentences(text: str) -> list[tuple[int, int]]:
+    """Character spans ``[start, end)`` of sentences, in order.
+
+    Spans cover the whole text (whitespace between sentences attaches to
+    the preceding span), so every character position maps to exactly one
+    sentence.
+    """
+    if not text:
+        return []
+    boundaries: list[int] = []
+    for match in _BOUNDARY.finditer(text):
+        # Boundary position: where the *next* sentence starts.
+        if match.group(0).startswith((".", "!", "?")) and _ends_with_abbreviation(
+            text, match.start() + 1
+        ):
+            continue
+        boundaries.append(match.end())
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for boundary in boundaries:
+        if boundary <= start:
+            continue
+        spans.append((start, boundary))
+        start = boundary
+    if start < len(text):
+        spans.append((start, len(text)))
+    return spans
+
+
+def sentence_index(tokens: Sequence[Token], text: str) -> list[int]:
+    """For each token, the index of the sentence containing it."""
+    spans = split_sentences(text)
+    result: list[int] = []
+    sentence = 0
+    for token in tokens:
+        while sentence + 1 < len(spans) and token.start >= spans[sentence][1]:
+            sentence += 1
+        result.append(sentence)
+    return result

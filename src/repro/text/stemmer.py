@@ -1,0 +1,263 @@
+"""The Porter stemming algorithm (Porter, 1980), from scratch.
+
+The paper's TREC experiment compares terms "by the stem of a word as
+returned by a standard Porter's stemmer"; this module implements that
+algorithm exactly, following the original publication (An algorithm for
+suffix stripping, *Program* 14(3)).
+
+The implementation is the classic five-step rule cascade over the
+``[C](VC)^m[V]`` word-form measure.  Words of length ≤ 2 are returned
+unchanged, as in Porter's reference implementation.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PorterStemmer", "stem", "default_stemmer"]
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Porter (1980) stemmer with a per-instance memo table.
+
+    >>> PorterStemmer().stem("relational")
+    'relat'
+    >>> PorterStemmer().stem("hopping")
+    'hop'
+    """
+
+    # -- word-form helpers ---------------------------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            return i == 0 or not PorterStemmer._is_consonant(word, i - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem: str) -> int:
+        """The measure ``m`` of a stem: the number of VC sequences."""
+        m = 0
+        i = 0
+        n = len(stem)
+        # skip initial consonants
+        while i < n and cls._is_consonant(stem, i):
+            i += 1
+        while i < n:
+            # vowel run
+            while i < n and not cls._is_consonant(stem, i):
+                i += 1
+            if i >= n:
+                break
+            m += 1
+            # consonant run
+            while i < n and cls._is_consonant(stem, i):
+                i += 1
+        return m
+
+    @classmethod
+    def _contains_vowel(cls, stem: str) -> bool:
+        return any(not cls._is_consonant(stem, i) for i in range(len(stem)))
+
+    @classmethod
+    def _ends_double_consonant(cls, stem: str) -> bool:
+        return (
+            len(stem) >= 2
+            and stem[-1] == stem[-2]
+            and cls._is_consonant(stem, len(stem) - 1)
+        )
+
+    @classmethod
+    def _ends_cvc(cls, stem: str) -> bool:
+        """True for a consonant–vowel–consonant ending, last not w/x/y (*o)."""
+        if len(stem) < 3:
+            return False
+        return (
+            cls._is_consonant(stem, len(stem) - 3)
+            and not cls._is_consonant(stem, len(stem) - 2)
+            and cls._is_consonant(stem, len(stem) - 1)
+            and stem[-1] not in "wxy"
+        )
+
+    # -- rule application ----------------------------------------------------
+
+    def _replace(self, word: str, suffix: str, replacement: str, min_measure: int) -> str | None:
+        """Apply one ``(suffix → replacement, m > min_measure)`` rule.
+
+        Returns the rewritten word, or None when the rule does not apply.
+        """
+        if not word.endswith(suffix):
+            return None
+        stem = word[: len(word) - len(suffix)]
+        if self._measure(stem) > min_measure:
+            return stem + replacement
+        return word  # longest-match suffix found but condition failed
+
+    def _apply_rules(
+        self, word: str, rules: list[tuple[str, str]], min_measure: int
+    ) -> str:
+        """Apply the first rule whose suffix matches (longest-match order)."""
+        for suffix, replacement in rules:
+            result = self._replace(word, suffix, replacement, min_measure)
+            if result is not None:
+                return result
+        return word
+
+    # -- the five steps ------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if self._measure(stem) > 0:
+                return word[:-1]
+            return word
+        fired = None
+        if word.endswith("ed") and self._contains_vowel(word[:-2]):
+            fired = word[:-2]
+        elif word.endswith("ing") and self._contains_vowel(word[:-3]):
+            fired = word[:-3]
+        if fired is None:
+            return word
+        word = fired
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if self._ends_double_consonant(word) and word[-1] not in "lsz":
+            return word[:-1]
+        if self._measure(word) == 1 and self._ends_cvc(word):
+            return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES = [
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ]
+
+    def _step2(self, word: str) -> str:
+        return self._apply_rules(word, self._STEP2_RULES, 0)
+
+    _STEP3_RULES = [
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ]
+
+    def _step3(self, word: str) -> str:
+        return self._apply_rules(word, self._STEP3_RULES, 0)
+
+    _STEP4_SUFFIXES = [
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    ]
+
+    def _step4(self, word: str) -> str:
+        for suffix in sorted(self._STEP4_SUFFIXES, key=len, reverse=True):
+            if not word.endswith(suffix):
+                continue
+            stem = word[: len(word) - len(suffix)]
+            if suffix == "ion" and not stem.endswith(("s", "t")):
+                continue  # (*S or *T) side condition; try shorter suffixes
+            if self._measure(stem) > 1:
+                return stem
+            return word
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if not word.endswith("e"):
+            return word
+        stem = word[:-1]
+        m = self._measure(stem)
+        if m > 1 or (m == 1 and not self._ends_cvc(stem)):
+            return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (
+            word.endswith("ll")
+            and self._measure(word) > 1
+        ):
+            return word[:-1]
+        return word
+
+    # -- public API ------------------------------------------------------------
+
+    def __init__(self) -> None:
+        # Stemming is a pure function of the word; matchers stem every
+        # document token, so memoizing repeated words pays for itself
+        # immediately (natural text repeats most of its vocabulary).
+        self._cache: dict[str, str] = {}
+
+    def stem(self, word: str) -> str:
+        """Stem one word (lowercased first); results are memoized."""
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        result = self._stem_uncached(word.lower())
+        self._cache[word] = result
+        return result
+
+    def _stem_uncached(self, word: str) -> str:
+        if len(word) <= 2 or not word.isalpha():
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+
+_DEFAULT = PorterStemmer()
+
+
+def default_stemmer() -> PorterStemmer:
+    """The process-wide shared stemmer (one shared memo table)."""
+    return _DEFAULT
+
+
+def stem(word: str) -> str:
+    """Stem with the shared default :class:`PorterStemmer` instance."""
+    return _DEFAULT.stem(word)

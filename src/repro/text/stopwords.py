@@ -1,0 +1,34 @@
+"""A compact English stopword list.
+
+Used by matchers that should not fire on function words (e.g. the
+semantic matcher skips stopwords when scanning a document), and by the
+index builder when configured to drop them.  The list is the classic
+information-retrieval core set; it is intentionally small — proximity
+scoring needs real positions, so aggressive stopping is counterproductive.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STOPWORDS", "is_stopword"]
+
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at
+    be because been before being below between both but by can cannot
+    could couldn't did didn't do does doesn't doing don't down during
+    each few for from further had hadn't has hasn't have haven't having
+    he her here hers herself him himself his how i if in into is isn't
+    it its itself let's me more most mustn't my myself no nor not of off
+    on once only or other ought our ours ourselves out over own same
+    shan't she should shouldn't so some such than that the their theirs
+    them themselves then there these they this those through to too
+    under until up very was wasn't we were weren't what when where which
+    while who whom why with won't would wouldn't you your yours yourself
+    yourselves
+    """.split()
+)
+
+
+def is_stopword(word: str) -> bool:
+    """True when ``word`` (any case) is in the stopword list."""
+    return word.lower() in STOPWORDS

@@ -1,0 +1,66 @@
+"""Tokenization with positions.
+
+Match locations in the paper are token positions inside a document, so
+the tokenizer's job is to produce a position-indexed token stream.  The
+rules are deliberately simple and deterministic (this is the substrate
+the 2009 systems assumed, not a modern NLP pipeline):
+
+* a token is a maximal run of letters/digits, with embedded ``'``, ``-``
+  ``.`` or ``/`` kept when both neighbours are alphanumeric (so
+  ``don't``, ``state-of-the-art``, ``U.S.``, ``06/24/2008`` stay whole);
+* tokens are lowercased by default (original text retained per token);
+* positions count tokens from 0.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Token", "tokenize", "TOKEN_PATTERN"]
+
+# Alphanumeric runs, optionally glued by single ' - . / characters.
+TOKEN_PATTERN = re.compile(r"[A-Za-z0-9]+(?:['\-./][A-Za-z0-9]+)*")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One document token.
+
+    ``position`` is the token index (the match *location* of the paper);
+    ``start``/``end`` are character offsets into the source text;
+    ``text`` is the normalized (lowercased) form and ``raw`` the original
+    surface form.
+    """
+
+    text: str
+    raw: str
+    position: int
+    start: int
+    end: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+def tokenize(text: str, *, lowercase: bool = True) -> list[Token]:
+    """Split ``text`` into position-indexed tokens.
+
+    >>> [t.text for t in tokenize("Lenovo partners with the NBA!")]
+    ['lenovo', 'partners', 'with', 'the', 'nba']
+    >>> tokenize("U.S. market")[0].position
+    0
+    """
+    tokens: list[Token] = []
+    for position, m in enumerate(TOKEN_PATTERN.finditer(text)):
+        raw = m.group(0)
+        tokens.append(
+            Token(
+                text=raw.lower() if lowercase else raw,
+                raw=raw,
+                position=position,
+                start=m.start(),
+                end=m.end(),
+            )
+        )
+    return tokens

@@ -1,0 +1,107 @@
+"""The public façade: best_matchset / by-location / extract_matchsets."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.naive import naive_join, naive_join_valid
+from repro.core.api import best_matchset, best_matchsets_by_location, extract_matchsets
+from repro.core.errors import ScoringContractError
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.base import ScoringFunction
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+
+from tests.conftest import join_instances
+
+
+class TestBestMatchset:
+    @settings(max_examples=60, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4, max_location=12))
+    def test_with_duplicate_avoidance(self, instance):
+        query, lists = instance
+        for scoring in (trec_win(), trec_med(), trec_max()):
+            oracle = naive_join_valid(query, lists, scoring)
+            got = best_matchset(query, lists, scoring)
+            assert bool(oracle) == bool(got)
+            if oracle:
+                assert got.score == pytest.approx(oracle.score)
+
+    @settings(max_examples=60, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4))
+    def test_without_duplicate_avoidance(self, instance):
+        query, lists = instance
+        for scoring in (trec_win(), trec_med(), trec_max()):
+            oracle = naive_join(query, lists, scoring)
+            got = best_matchset(query, lists, scoring, avoid_duplicates=False)
+            assert got.score == pytest.approx(oracle.score)
+
+    def test_empty_lists(self):
+        q = Query.of("a", "b")
+        assert not best_matchset(q, [MatchList(), MatchList()], trec_win())
+
+
+class TestBestMatchsetsByLocation:
+    def test_dispatches_all_families(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(1, 0.5), (9, 0.8)]),
+            MatchList.from_pairs([(2, 0.7)]),
+        ]
+        for scoring in (trec_win(), trec_med(), trec_max()):
+            results = list(best_matchsets_by_location(q, lists, scoring))
+            assert results, scoring
+            anchors = [r.anchor for r in results]
+            assert anchors == sorted(anchors)
+
+    def test_unknown_family_rejected(self):
+        class Weird(ScoringFunction):
+            def score(self, matchset):
+                return 0.0
+
+        q = Query.of("a")
+        with pytest.raises(ScoringContractError):
+            best_matchsets_by_location(q, [MatchList.from_pairs([(1, 0.5)])], Weird())
+
+
+class TestExtractMatchsets:
+    @pytest.fixture
+    def instance(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(1, 0.9), (20, 0.9), (40, 0.9)]),
+            MatchList.from_pairs([(2, 0.9), (21, 0.9), (41, 0.3)]),
+        ]
+        return q, lists
+
+    def test_sorted_by_descending_score(self, instance):
+        q, lists = instance
+        results = extract_matchsets(q, lists, trec_win())
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_min_score_filters(self, instance):
+        q, lists = instance
+        all_results = extract_matchsets(q, lists, trec_win())
+        threshold = all_results[0].score
+        top_only = extract_matchsets(q, lists, trec_win(), min_score=threshold)
+        assert all(r.score >= threshold for r in top_only)
+        assert len(top_only) <= len(all_results)
+
+    def test_min_anchor_gap_suppresses_near_anchors(self, instance):
+        q, lists = instance
+        spread = extract_matchsets(q, lists, trec_win(), min_anchor_gap=10)
+        anchors = [r.anchor for r in spread]
+        for i, a in enumerate(anchors):
+            for b in anchors[i + 1 :]:
+                assert abs(a - b) >= 10
+
+    def test_require_valid_drops_duplicates(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(5, 1.0), (9, 0.5)]),
+            MatchList.from_pairs([(5, 0.9), (10, 0.5)]),
+        ]
+        results = extract_matchsets(q, lists, trec_win(), require_valid=True)
+        assert all(r.matchset.is_valid() for r in results)
+        relaxed = extract_matchsets(q, lists, trec_win(), require_valid=False)
+        assert len(relaxed) >= len(results)

@@ -1,0 +1,85 @@
+"""Algorithm selection and the skew fix."""
+
+import pytest
+
+from repro.core.algorithms.auto import (
+    dispatch_join,
+    family_algorithm,
+    is_extremely_skewed,
+    select_algorithm,
+)
+from repro.core.algorithms.max_join import general_max_join, max_join
+from repro.core.algorithms.med_join import med_join
+from repro.core.algorithms.naive import naive_join
+from repro.core.algorithms.win_join import win_join
+from repro.core.errors import ScoringContractError
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.base import ScoringFunction
+from repro.core.scoring.maxloc import CustomMax
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+
+
+class TestFamilyAlgorithm:
+    def test_dispatch_by_family(self):
+        assert family_algorithm(trec_win()) is win_join
+        assert family_algorithm(trec_med()) is med_join
+        assert family_algorithm(trec_max()) is max_join
+
+    def test_general_max_without_properties(self):
+        scoring = CustomMax(
+            g=lambda x, y: x - y, f=lambda x: x,
+            anchor_candidates=lambda m: m.locations,
+        )
+        assert family_algorithm(scoring) is general_max_join
+
+    def test_type_anchored_routes_to_its_own_join(self):
+        """The free-anchor MAX joins compute a different maximum, so the
+        dispatcher must never hand them a TypeAnchoredMax."""
+        from repro.core.algorithms.type_anchored import type_anchored_join
+        from repro.core.scoring.type_anchored import TypeAnchoredMax
+
+        assert family_algorithm(TypeAnchoredMax(0)) is type_anchored_join
+
+    def test_unknown_family_rejected(self):
+        class Weird(ScoringFunction):
+            def score(self, matchset):
+                return 0.0
+
+        with pytest.raises(ScoringContractError):
+            family_algorithm(Weird())
+
+
+class TestSkewFix:
+    def test_detects_extreme_skew(self):
+        lists = [
+            MatchList.from_pairs([(i, 0.5) for i in range(10)]),
+            MatchList.from_pairs([(3, 0.5)]),
+            MatchList.from_pairs([(7, 0.5)]),
+        ]
+        assert is_extremely_skewed(lists)
+
+    def test_not_skewed_with_two_long_lists(self):
+        lists = [
+            MatchList.from_pairs([(1, 0.5), (2, 0.5)]),
+            MatchList.from_pairs([(3, 0.5), (4, 0.5)]),
+        ]
+        assert not is_extremely_skewed(lists)
+
+    def test_select_prefers_naive_on_skew(self):
+        lists = [
+            MatchList.from_pairs([(i, 0.5) for i in range(10)]),
+            MatchList.from_pairs([(3, 0.5)]),
+        ]
+        assert select_algorithm(trec_med(), lists) is naive_join
+        assert select_algorithm(trec_med(), lists, skew_fix=False) is med_join
+
+    def test_dispatch_results_agree_with_and_without_fix(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(i, 0.1 * (i % 9) + 0.1) for i in range(10)]),
+            MatchList.from_pairs([(3, 0.5)]),
+        ]
+        with_fix = dispatch_join(q, lists, trec_med(), skew_fix=True)
+        without = dispatch_join(q, lists, trec_med(), skew_fix=False)
+        assert with_fix.score == pytest.approx(without.score)

@@ -1,0 +1,153 @@
+"""Best-matchset-by-location (Section VII) against brute-force oracles."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.by_location import (
+    max_by_location,
+    med_by_location,
+    win_by_location,
+)
+from repro.core.algorithms.max_join import max_join
+from repro.core.algorithms.med_join import med_join
+from repro.core.algorithms.naive import iterate_matchsets
+from repro.core.algorithms.win_join import win_join
+from repro.core.errors import ScoringContractError
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+
+from tests.conftest import join_instances
+
+
+def oracle_by_anchor(query, lists, scoring, anchor_of):
+    best: dict[int, float] = {}
+    for ms in iterate_matchsets(query, lists):
+        anchor = anchor_of(ms)
+        s = scoring.score(ms)
+        if anchor not in best or s > best[anchor]:
+            best[anchor] = s
+    return best
+
+
+class TestWinByLocation:
+    def test_rejects_wrong_scoring(self):
+        with pytest.raises(ScoringContractError):
+            list(win_by_location(Query.of("a"), [MatchList()], trec_med()))
+
+    def test_empty_list_yields_nothing(self):
+        q = Query.of("a", "b")
+        out = list(win_by_location(q, [MatchList.from_pairs([(1, 0.5)]), MatchList()], trec_win()))
+        assert out == []
+
+    def test_anchors_increase(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(1, 0.5), (5, 0.5), (9, 0.5)]),
+            MatchList.from_pairs([(2, 0.5), (6, 0.5)]),
+        ]
+        anchors = [r.anchor for r in win_by_location(q, lists, trec_win())]
+        assert anchors == sorted(anchors)
+
+    def test_is_streaming_generator(self):
+        """Results are produced lazily, one anchor at a time."""
+        q = Query.of("a")
+        lists = [MatchList.from_pairs([(i, 0.5) for i in range(10)])]
+        gen = win_by_location(q, lists, trec_win())
+        first = next(gen)
+        assert first.anchor == 0  # emitted before the input is exhausted
+
+    @settings(max_examples=80, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4, max_location=15))
+    def test_matches_oracle(self, instance):
+        query, lists = instance
+        scoring = trec_win()
+        oracle = oracle_by_anchor(query, lists, scoring, lambda m: m.max_location)
+        got = {r.anchor: r.score for r in win_by_location(query, lists, scoring)}
+        assert set(got) == set(oracle)
+        for anchor, score in oracle.items():
+            assert got[anchor] == pytest.approx(score)
+
+    @settings(max_examples=40, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4))
+    def test_best_by_location_max_equals_overall_best(self, instance):
+        query, lists = instance
+        scoring = trec_win()
+        overall = win_join(query, lists, scoring)
+        per_anchor = list(win_by_location(query, lists, scoring))
+        assert max(r.score for r in per_anchor) == pytest.approx(overall.score)
+
+
+class TestMedByLocation:
+    def test_rejects_wrong_scoring(self):
+        with pytest.raises(ScoringContractError):
+            list(med_by_location(Query.of("a"), [MatchList()], trec_win()))
+
+    @settings(max_examples=80, deadline=None)
+    @given(join_instances(max_terms=4, max_len=4, max_location=15))
+    def test_matches_oracle(self, instance):
+        query, lists = instance
+        scoring = trec_med()
+        oracle = oracle_by_anchor(query, lists, scoring, lambda m: m.median_location)
+        got = {r.anchor: r.score for r in med_by_location(query, lists, scoring)}
+        # Every anchor with a matchset must be reported at the exact score.
+        for anchor, score in oracle.items():
+            assert got[anchor] == pytest.approx(score), f"anchor {anchor}"
+        # And no reported anchor may exceed what's achievable there.
+        for anchor, score in got.items():
+            if anchor in oracle:
+                assert score <= oracle[anchor] + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(join_instances(max_terms=4, max_len=4))
+    def test_best_by_location_max_equals_overall_best(self, instance):
+        query, lists = instance
+        scoring = trec_med()
+        overall = med_join(query, lists, scoring)
+        per_anchor = list(med_by_location(query, lists, scoring))
+        assert max(r.score for r in per_anchor) == pytest.approx(overall.score)
+
+    def test_matchsets_have_their_anchor_as_median(self):
+        q = Query.of("a", "b", "c")
+        lists = [
+            MatchList.from_pairs([(1, 0.5), (8, 0.9)]),
+            MatchList.from_pairs([(4, 0.7), (12, 0.2)]),
+            MatchList.from_pairs([(6, 0.6)]),
+        ]
+        for r in med_by_location(q, lists, trec_med()):
+            assert r.matchset.median_location == r.anchor
+
+
+class TestMaxByLocation:
+    def test_rejects_wrong_scoring(self):
+        with pytest.raises(ScoringContractError):
+            list(max_by_location(Query.of("a"), [MatchList()], trec_win()))
+
+    @settings(max_examples=80, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4, max_location=15))
+    def test_value_is_envelope_sum(self, instance):
+        """At every match location l the reported score is f(Σ_j S_j(l))."""
+        query, lists = instance
+        scoring = trec_max()
+        got = {r.anchor: r.score for r in max_by_location(query, lists, scoring)}
+        locations = sorted({loc for lst in lists for loc in lst.locations})
+        assert sorted(got) == locations
+        for l in locations:
+            want = scoring.f(
+                sum(
+                    max(scoring.contribution(j, m, l) for m in lists[j])
+                    for j in range(len(lists))
+                )
+            )
+            assert got[l] == pytest.approx(want)
+
+    @settings(max_examples=40, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4))
+    def test_best_by_location_max_equals_overall_best(self, instance):
+        query, lists = instance
+        scoring = trec_max()
+        overall = max_join(query, lists, scoring)
+        per_anchor = list(max_by_location(query, lists, scoring))
+        assert max(r.score for r in per_anchor) == pytest.approx(overall.score)

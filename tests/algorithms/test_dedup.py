@@ -1,0 +1,128 @@
+"""Section VI duplicate handling."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.dedup import dedup_join
+from repro.core.algorithms.max_join import max_join
+from repro.core.algorithms.med_join import med_join
+from repro.core.algorithms.naive import naive_join, naive_join_valid
+from repro.core.algorithms.win_join import win_join
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+
+from tests.conftest import join_instances
+
+
+class TestChinaExample:
+    """The paper's {asia, porcelain} / "china" scenario."""
+
+    @pytest.fixture
+    def instance(self):
+        q = Query.of("asia", "porcelain")
+        # "china" (location 5) matches both terms; the valid alternative
+        # is "jingdezhen" (7) for asia and "ceramics" (8) for porcelain.
+        asia = MatchList.from_pairs([(5, 1.0), (7, 0.6)], term="asia")
+        porcelain = MatchList.from_pairs([(5, 0.9), (8, 0.8)], term="porcelain")
+        return q, [asia, porcelain]
+
+    def test_duplicate_unaware_picks_china_twice(self, instance):
+        q, lists = instance
+        result = win_join(q, lists, trec_win())
+        assert not result.matchset.is_valid()
+        assert result.matchset["asia"].location == result.matchset["porcelain"].location
+
+    def test_dedup_returns_valid_matchset(self, instance):
+        q, lists = instance
+        result = dedup_join(q, lists, trec_win(), win_join)
+        assert result.matchset.is_valid()
+        assert result.score == pytest.approx(
+            naive_join_valid(q, lists, trec_win()).score
+        )
+
+    def test_invocations_counted(self, instance):
+        q, lists = instance
+        result = dedup_join(q, lists, trec_win(), win_join)
+        assert result.invocations >= 1
+
+
+class TestDedupBehaviour:
+    def test_single_invocation_when_best_is_valid(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(1, 0.9)]),
+            MatchList.from_pairs([(2, 0.9)]),
+        ]
+        result = dedup_join(q, lists, trec_win(), win_join)
+        assert result.invocations == 1
+
+    def test_empty_when_no_valid_matchset(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(5, 1.0)]),
+            MatchList.from_pairs([(5, 0.9)]),
+        ]
+        result = dedup_join(q, lists, trec_win(), win_join)
+        assert not result
+
+    def test_empty_input_lists(self):
+        q = Query.of("a", "b")
+        result = dedup_join(
+            q, [MatchList.from_pairs([(1, 0.5)]), MatchList()], trec_win(), win_join
+        )
+        assert not result
+        assert result.invocations == 0
+
+    def test_max_invocations_cap(self):
+        q = Query.of("a", "b", "c")
+        # Everything co-located: lots of restarts needed.
+        lists = [
+            MatchList.from_pairs([(5, 1.0), (6, 0.9), (7, 0.8)]),
+            MatchList.from_pairs([(5, 1.0), (6, 0.9), (7, 0.8)]),
+            MatchList.from_pairs([(5, 1.0), (6, 0.9), (7, 0.8)]),
+        ]
+        result = dedup_join(q, lists, trec_med(), med_join, max_invocations=2)
+        assert result.invocations <= 2
+
+    def test_works_with_naive_inner_algorithm(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(5, 1.0), (7, 0.6)]),
+            MatchList.from_pairs([(5, 0.9), (8, 0.8)]),
+        ]
+        result = dedup_join(q, lists, trec_win(), naive_join)
+        assert result.matchset.is_valid()
+
+
+class TestDedupVsExhaustiveOracle:
+    @settings(max_examples=100, deadline=None)
+    @given(join_instances(max_terms=4, max_len=4, max_location=10))
+    def test_win(self, instance):
+        query, lists = instance
+        oracle = naive_join_valid(query, lists, trec_win())
+        result = dedup_join(query, lists, trec_win(), win_join)
+        assert bool(oracle) == bool(result)
+        if oracle:
+            assert result.score == pytest.approx(oracle.score)
+            assert result.matchset.is_valid()
+
+    @settings(max_examples=100, deadline=None)
+    @given(join_instances(max_terms=4, max_len=4, max_location=10))
+    def test_med(self, instance):
+        query, lists = instance
+        oracle = naive_join_valid(query, lists, trec_med())
+        result = dedup_join(query, lists, trec_med(), med_join)
+        assert bool(oracle) == bool(result)
+        if oracle:
+            assert result.score == pytest.approx(oracle.score)
+
+    @settings(max_examples=100, deadline=None)
+    @given(join_instances(max_terms=4, max_len=4, max_location=10))
+    def test_max(self, instance):
+        query, lists = instance
+        oracle = naive_join_valid(query, lists, trec_max())
+        result = dedup_join(query, lists, trec_max(), max_join)
+        assert bool(oracle) == bool(result)
+        if oracle:
+            assert result.score == pytest.approx(oracle.score)

@@ -1,0 +1,131 @@
+"""Dominance stacks, scanners and upper envelopes (Definition 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms.envelope import (
+    DominatingScanner,
+    UpperEnvelope,
+    dominance_stack,
+)
+from repro.core.match import Match, MatchList
+from repro.core.scoring.presets import trec_max, trec_med
+
+
+def med_contribution(m: Match, l: int) -> float:
+    """AdditiveMed contribution for term 0 with scale 0.3."""
+    return m.score / 0.3 - abs(m.location - l)
+
+
+def max_contribution(m: Match, l: int) -> float:
+    """Eq. (5) contribution for term 0 with alpha 0.1."""
+    return trec_max().contribution(0, m, l)
+
+
+def brute_force_max(matches, contribution, l):
+    return max(contribution(m, l) for m in matches)
+
+
+_match_lists = st.lists(
+    st.tuples(st.integers(0, 40), st.floats(0.05, 1.0)), min_size=1, max_size=10
+).map(lambda pairs: MatchList.from_pairs(pairs))
+
+
+class TestDominanceStack:
+    def test_single_match(self):
+        m = Match(5, 0.5)
+        assert dominance_stack([m], med_contribution) == [m]
+
+    def test_dominated_match_dropped(self):
+        # A weak match right next to a strong one never dominates anywhere.
+        strong = Match(5, 1.0)
+        weak = Match(6, 0.05)
+        stack = dominance_stack(MatchList([strong, weak]), med_contribution)
+        assert stack == [strong]
+
+    def test_stack_ordered_by_location(self):
+        lst = MatchList.from_pairs([(0, 0.9), (10, 0.9), (20, 0.9), (30, 0.9)])
+        stack = dominance_stack(lst, med_contribution)
+        assert [m.location for m in stack] == [0, 10, 20, 30]
+
+    def test_tie_keeps_later_match(self):
+        """Footnote 4: ties break toward the match that comes last."""
+        a, b = Match(5, 0.5), Match(5, 0.5)
+        stack = dominance_stack([a, b], med_contribution)
+        assert stack == [b]
+
+    @settings(max_examples=120)
+    @given(_match_lists, st.sampled_from(["med", "max"]))
+    def test_stack_achieves_envelope_everywhere(self, lst, kind):
+        contribution = med_contribution if kind == "med" else max_contribution
+        stack = dominance_stack(lst, contribution)
+        for l in range(-3, 44):
+            want = brute_force_max(lst, contribution, l)
+            got = brute_force_max(stack, contribution, l)
+            assert got == pytest.approx(want)
+
+
+class TestDominatingScanner:
+    @settings(max_examples=100)
+    @given(_match_lists, st.sampled_from(["med", "max"]))
+    def test_scanner_returns_dominating_match(self, lst, kind):
+        contribution = med_contribution if kind == "med" else max_contribution
+        scanner = DominatingScanner.for_list(lst, contribution)
+        for l in range(0, 41):  # non-decreasing query order
+            match, succeeds = scanner.dominating_at(l)
+            assert match is not None
+            assert contribution(match, l) == pytest.approx(
+                brute_force_max(lst, contribution, l)
+            )
+            assert succeeds == (match.location > l)
+
+    def test_empty_list(self):
+        scanner = DominatingScanner.for_list([], med_contribution)
+        assert scanner.dominating_at(5) == (None, False)
+        assert scanner.value_at(7) == float("-inf")
+
+    def test_tie_prefers_successor(self):
+        # Two equal matches equidistant from the query location.
+        lst = MatchList.from_pairs([(0, 0.5), (10, 0.5)])
+        scanner = DominatingScanner.for_list(lst, med_contribution)
+        match, succeeds = scanner.dominating_at(5)
+        assert match.location == 10
+        assert succeeds
+
+
+class TestUpperEnvelope:
+    @settings(max_examples=100)
+    @given(_match_lists, st.sampled_from(["med", "max"]))
+    def test_envelope_value_matches_brute_force(self, lst, kind):
+        contribution = med_contribution if kind == "med" else max_contribution
+        env = UpperEnvelope(lst, contribution)
+        for l in range(-3, 44):
+            assert env.value_at(l) == pytest.approx(
+                brute_force_max(lst, contribution, l)
+            )
+
+    def test_segment_count_bounded_by_list_size(self):
+        lst = MatchList.from_pairs([(i * 3, 0.5 + 0.04 * i) for i in range(10)])
+        env = UpperEnvelope(lst, med_contribution)
+        assert 1 <= len(env) <= len(lst)
+
+    def test_segments_partition_the_line(self):
+        lst = MatchList.from_pairs([(0, 0.9), (20, 0.9), (40, 0.9)])
+        env = UpperEnvelope(lst, med_contribution)
+        segments = env.segments
+        assert segments[-1].end is None
+        for a, b in zip(segments, segments[1:]):
+            assert a.end is not None and b.start == a.end + 1
+
+    def test_empty_envelope(self):
+        env = UpperEnvelope([], med_contribution)
+        assert len(env) == 0
+        assert env.dominating_at(3) is None
+        assert env.value_at(3) == float("-inf")
+
+    def test_breakpoints_include_match_locations(self):
+        lst = MatchList.from_pairs([(0, 0.9), (20, 0.9)])
+        env = UpperEnvelope(lst, med_contribution)
+        points = env.breakpoints()
+        assert 0 in points and 20 in points

@@ -1,0 +1,104 @@
+"""Deeper algorithmic invariants.
+
+Properties that hold across the whole algorithm family and catch subtle
+implementation drift:
+
+* translation invariance — every scoring family depends only on
+  *relative* locations, so shifting a whole document never changes any
+  join score (and shifts anchors by exactly the offset);
+* input-order invariance — per-term lists are unordered inputs, so
+  permuting them (with the query) never changes the best score;
+* valid-candidate soundness — the lower-bound candidates the joins
+  report for the dedup search are genuinely valid and never beat the
+  unconstrained optimum.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms.by_location import med_by_location, win_by_location
+from repro.core.algorithms.max_join import max_join
+from repro.core.algorithms.med_join import med_join
+from repro.core.algorithms.win_join import win_join
+from repro.core.match import Match, MatchList
+from repro.core.query import Query
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+
+from tests.conftest import join_instances
+
+
+def shift_lists(lists, offset):
+    return [
+        MatchList(
+            [Match(m.location + offset, m.score, token=m.token) for m in lst],
+            term=lst.term,
+        )
+        for lst in lists
+    ]
+
+
+class TestTranslationInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5), st.integers(1, 500))
+    def test_join_scores_are_translation_invariant(self, instance, offset):
+        query, lists = instance
+        shifted = shift_lists(lists, offset)
+        for scoring, join in (
+            (trec_win(), win_join),
+            (trec_med(), med_join),
+            (trec_max(), max_join),
+        ):
+            original = join(query, lists, scoring).score
+            moved = join(query, shifted, scoring).score
+            assert moved == pytest.approx(original), type(scoring).__name__
+
+    @settings(max_examples=40, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4), st.integers(1, 200))
+    def test_by_location_anchors_shift_with_the_document(self, instance, offset):
+        query, lists = instance
+        shifted = shift_lists(lists, offset)
+        for scoring, by_loc in (
+            (trec_win(), win_by_location),
+            (trec_med(), med_by_location),
+        ):
+            original = {r.anchor: r.score for r in by_loc(query, lists, scoring)}
+            moved = {r.anchor: r.score for r in by_loc(query, shifted, scoring)}
+            assert set(moved) == {a + offset for a in original}
+            for anchor, score in original.items():
+                assert moved[anchor + offset] == pytest.approx(score)
+
+
+class TestInputOrderInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(join_instances(min_terms=2, max_terms=4, max_len=5))
+    def test_best_score_invariant_under_term_permutation(self, instance):
+        query, lists = instance
+        reversed_query = Query(list(reversed(query.terms)))
+        reversed_lists = list(reversed(lists))
+        for scoring, join in (
+            (trec_win(), win_join),
+            (trec_med(), med_join),
+            (trec_max(), max_join),
+        ):
+            a = join(query, lists, scoring).score
+            b = join(reversed_query, reversed_lists, scoring).score
+            assert a == pytest.approx(b), type(scoring).__name__
+
+
+class TestValidCandidateSoundness:
+    @settings(max_examples=80, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5, max_location=12))
+    def test_reported_valid_candidates(self, instance):
+        query, lists = instance
+        for scoring, join in (
+            (trec_win(), win_join),
+            (trec_med(), med_join),
+            (trec_max(), max_join),
+        ):
+            result = join(query, lists, scoring)
+            if result.valid_matchset is None:
+                continue
+            assert result.valid_matchset.is_valid()
+            # A valid candidate can never outscore the unconstrained best.
+            assert scoring.score(result.valid_matchset) <= result.score + 1e-9

@@ -1,0 +1,109 @@
+"""MAX joins (specialized and general): correctness against the oracle."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.max_join import general_max_join, max_join
+from repro.core.algorithms.naive import naive_join
+from repro.core.errors import ScoringContractError
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.maxloc import CustomMax
+from repro.core.scoring.presets import eq4, eq5, trec_max, trec_med
+
+from tests.conftest import join_instances, max_scorings
+
+
+class TestMaxJoinBasics:
+    def test_rejects_non_max_scoring(self):
+        q = Query.of("a")
+        with pytest.raises(ScoringContractError):
+            max_join(q, [MatchList.from_pairs([(1, 0.5)])], trec_med())
+
+    def test_rejects_scoring_without_properties(self):
+        q = Query.of("a")
+        scoring = CustomMax(
+            g=lambda x, y: x - y,
+            f=lambda x: x,
+            anchor_candidates=lambda m: m.locations,
+        )
+        with pytest.raises(ScoringContractError):
+            max_join(q, [MatchList.from_pairs([(1, 0.5)])], scoring)
+
+    def test_empty_list_gives_empty_result(self):
+        q = Query.of("a", "b")
+        result = max_join(q, [MatchList.from_pairs([(1, 0.5)]), MatchList()], trec_max())
+        assert not result
+
+    def test_single_term(self):
+        q = Query.of("a")
+        lists = [MatchList.from_pairs([(3, 0.4), (9, 0.8)])]
+        result = max_join(q, lists, trec_max())
+        assert result.matchset["a"].location == 9
+        assert result.score == pytest.approx(0.8)
+
+    def test_anchors_near_high_scoring_matches(self):
+        """MAX picks reference points near matches we're confident about."""
+        q = Query.of("a", "b")
+        scoring = eq5(0.5)
+        lists = [
+            MatchList.from_pairs([(0, 1.0)]),
+            MatchList.from_pairs([(10, 0.1)]),
+        ]
+        result = max_join(q, lists, scoring)
+        anchor, _ = scoring.best_anchor(result.matchset)
+        assert anchor == 0  # anchored at the strong match
+
+    def test_reports_best_valid_candidate(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(5, 1.0), (7, 0.6)]),
+            MatchList.from_pairs([(5, 0.9), (8, 0.8)]),
+        ]
+        result = max_join(q, lists, trec_max())
+        assert result.valid_matchset is not None
+        assert result.valid_matchset.is_valid()
+
+
+class TestMaxJoinVsOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5), max_scorings())
+    def test_specialized_equals_naive(self, instance, scoring):
+        query, lists = instance
+        fast = max_join(query, lists, scoring)
+        slow = naive_join(query, lists, scoring)
+        assert fast.score == pytest.approx(slow.score)
+
+    @settings(max_examples=100, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5), max_scorings())
+    def test_general_envelope_equals_naive(self, instance, scoring):
+        query, lists = instance
+        fast = general_max_join(query, lists, scoring)
+        slow = naive_join(query, lists, scoring)
+        assert fast.score == pytest.approx(slow.score)
+
+    @settings(max_examples=60, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4, max_location=6))
+    def test_heavy_ties(self, instance):
+        query, lists = instance
+        scoring = eq4(0.3)
+        assert max_join(query, lists, scoring).score == pytest.approx(
+            naive_join(query, lists, scoring).score
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5))
+    def test_specialized_and_general_agree(self, instance):
+        query, lists = instance
+        scoring = trec_max()
+        assert max_join(query, lists, scoring).score == pytest.approx(
+            general_max_join(query, lists, scoring).score
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5))
+    def test_returned_matchset_achieves_reported_score(self, instance):
+        query, lists = instance
+        scoring = trec_max()
+        result = max_join(query, lists, scoring)
+        assert scoring.score(result.matchset) == pytest.approx(result.score)

@@ -1,0 +1,108 @@
+"""Algorithm 2 (MED join): correctness against the naive oracle."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.med_join import med_join
+from repro.core.algorithms.naive import naive_join
+from repro.core.errors import ScoringContractError
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.presets import eq3, trec_med, trec_win
+
+from tests.conftest import join_instances, med_scorings
+
+
+class TestMedJoinBasics:
+    def test_rejects_non_med_scoring(self):
+        q = Query.of("a")
+        with pytest.raises(ScoringContractError):
+            med_join(q, [MatchList.from_pairs([(1, 0.5)])], trec_win())
+
+    def test_empty_list_gives_empty_result(self):
+        q = Query.of("a", "b")
+        result = med_join(q, [MatchList.from_pairs([(1, 0.5)]), MatchList()], trec_med())
+        assert not result
+
+    def test_single_term(self):
+        q = Query.of("a")
+        lists = [MatchList.from_pairs([(3, 0.4), (9, 0.8)])]
+        result = med_join(q, lists, trec_med())
+        assert result.matchset["a"].location == 9
+
+    def test_distinguishes_figure2_clusteredness(self):
+        """MED prefers the clustered matchset even with equal windows.
+
+        Figure 2's point: both matchsets span the same window, but the
+        second has most matches near the median.
+        """
+        q = Query.of("a", "b", "c", "d")
+        scoring = trec_med()
+        spread = [0, 7, 13, 20]  # evenly spread over the window
+        clustered = [0, 18, 19, 20]  # same window, clustered at the median
+        from repro.core.match import Match
+        from repro.core.matchset import MatchSet
+
+        spread_ms = MatchSet.from_sequence(q, [Match(l, 0.5) for l in spread])
+        clustered_ms = MatchSet.from_sequence(q, [Match(l, 0.5) for l in clustered])
+        assert clustered_ms.window_length == spread_ms.window_length == 20
+        assert scoring.score(clustered_ms) > scoring.score(spread_ms)
+
+    def test_equal_location_ties_found(self):
+        """Regression: the best matchset realizes its median via a tie."""
+        q = Query.of("a", "b", "c")
+        lists = [
+            MatchList.from_pairs([(5, 0.411)]),
+            MatchList.from_pairs([(2, 0.743), (22, 0.624), (34, 0.169)]),
+            MatchList.from_pairs([(4, 0.094), (5, 0.574), (23, 0.598), (40, 0.638)]),
+        ]
+        scoring = trec_med()
+        assert med_join(q, lists, scoring).score == pytest.approx(
+            naive_join(q, lists, scoring).score
+        )
+
+    def test_reports_best_valid_candidate(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(5, 1.0), (7, 0.6)]),
+            MatchList.from_pairs([(5, 0.9), (8, 0.8)]),
+        ]
+        result = med_join(q, lists, trec_med())
+        assert result.valid_matchset is not None
+        assert result.valid_matchset.is_valid()
+
+
+class TestMedJoinVsOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5), med_scorings())
+    def test_score_equals_naive(self, instance, scoring):
+        query, lists = instance
+        fast = med_join(query, lists, scoring)
+        slow = naive_join(query, lists, scoring)
+        assert fast.score == pytest.approx(slow.score)
+
+    @settings(max_examples=80, deadline=None)
+    @given(join_instances(max_terms=4, max_len=4, max_location=6))
+    def test_score_equals_naive_with_heavy_ties(self, instance):
+        query, lists = instance
+        scoring = eq3(0.2)
+        fast = med_join(query, lists, scoring)
+        slow = naive_join(query, lists, scoring)
+        assert fast.score == pytest.approx(slow.score)
+
+    @settings(max_examples=60, deadline=None)
+    @given(join_instances(min_terms=5, max_terms=6, max_len=3))
+    def test_score_equals_naive_for_larger_queries(self, instance):
+        query, lists = instance
+        scoring = trec_med()
+        fast = med_join(query, lists, scoring)
+        slow = naive_join(query, lists, scoring)
+        assert fast.score == pytest.approx(slow.score)
+
+    @settings(max_examples=50, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5))
+    def test_returned_matchset_achieves_reported_score(self, instance):
+        query, lists = instance
+        scoring = trec_med()
+        result = med_join(query, lists, scoring)
+        assert scoring.score(result.matchset) == pytest.approx(result.score)

@@ -1,0 +1,100 @@
+"""Tests for the naive cross-product baselines."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.naive import iterate_matchsets, naive_join, naive_join_valid
+from repro.core.errors import InvalidQueryError
+from repro.core.match import Match, MatchList
+from repro.core.query import Query
+from repro.core.scoring.presets import trec_med, trec_win
+
+from tests.conftest import join_instances
+
+
+class TestIterateMatchsets:
+    def test_enumerates_full_cross_product(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(1, 0.5), (2, 0.5)]),
+            MatchList.from_pairs([(3, 0.5), (4, 0.5), (5, 0.5)]),
+        ]
+        combos = list(iterate_matchsets(q, lists))
+        assert len(combos) == 6
+        assert len({tuple(m.locations) for m in combos}) == 6
+
+
+class TestNaiveJoin:
+    def test_single_term_returns_best_single_match(self):
+        q = Query.of("a")
+        lists = [MatchList.from_pairs([(1, 0.2), (5, 0.9), (9, 0.4)])]
+        result = naive_join(q, lists, trec_win())
+        assert result.matchset["a"].location == 5
+
+    def test_empty_list_gives_empty_result(self):
+        q = Query.of("a", "b")
+        lists = [MatchList.from_pairs([(1, 0.5)]), MatchList()]
+        result = naive_join(q, lists, trec_win())
+        assert not result
+        assert result.matchset is None and result.score is None
+
+    def test_mismatched_lists_rejected(self):
+        q = Query.of("a", "b")
+        with pytest.raises(InvalidQueryError):
+            naive_join(q, [MatchList.from_pairs([(1, 0.5)])], trec_win())
+
+    def test_prefers_tight_window(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(0, 0.5), (100, 0.5)]),
+            MatchList.from_pairs([(1, 0.5), (200, 0.5)]),
+        ]
+        result = naive_join(q, lists, trec_win())
+        assert result.matchset.locations == (0, 1)
+
+    @settings(max_examples=50)
+    @given(join_instances(max_terms=3, max_len=4))
+    def test_score_is_max_over_cross_product(self, instance):
+        query, lists = instance
+        scoring = trec_med()
+        result = naive_join(query, lists, scoring)
+        brute = max(
+            scoring.score(m) for m in iterate_matchsets(query, lists)
+        )
+        assert result.score == pytest.approx(brute)
+
+
+class TestNaiveJoinValid:
+    def test_skips_duplicate_matchsets(self):
+        q = Query.of("asia", "porcelain")
+        # "china" at location 5 matches both; "jingdezhen"(7)/"ceramics"(8)
+        # are the valid alternative.
+        asia = MatchList.from_pairs([(5, 1.0), (7, 0.6)], term="asia")
+        porcelain = MatchList.from_pairs([(5, 0.9), (8, 0.8)], term="porcelain")
+        result = naive_join_valid(q, [asia, porcelain], trec_win())
+        assert result.matchset.is_valid()
+        assert result.matchset["asia"].location != result.matchset["porcelain"].location
+
+    def test_empty_when_only_duplicates_exist(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(5, 1.0)]),
+            MatchList.from_pairs([(5, 0.9)]),
+        ]
+        assert not naive_join_valid(q, lists, trec_win())
+
+    def test_matches_filtered_brute_force(self):
+        q = Query.of("a", "b", "c")
+        lists = [
+            MatchList.from_pairs([(1, 0.9), (5, 0.4)]),
+            MatchList.from_pairs([(1, 0.8), (6, 0.7)]),
+            MatchList.from_pairs([(2, 0.6)]),
+        ]
+        scoring = trec_med()
+        result = naive_join_valid(q, lists, scoring)
+        brute = max(
+            (scoring.score(m) for m in iterate_matchsets(q, lists) if m.is_valid()),
+        )
+        assert result.score == pytest.approx(brute)

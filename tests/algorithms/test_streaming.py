@@ -1,0 +1,163 @@
+"""Streaming MED by-location (the paper's future-work algorithm)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.by_location import med_by_location
+from repro.core.algorithms.streaming import med_by_location_streaming
+from repro.core.errors import ScoringContractError
+from repro.core.match import Match, MatchList
+from repro.core.query import Query
+from repro.core.scoring.presets import eq3, trec_med, trec_win
+
+from tests.conftest import join_instances
+
+
+class TestStreamingBasics:
+    def test_rejects_non_med_scoring(self):
+        q = Query.of("a")
+        with pytest.raises(ScoringContractError):
+            list(med_by_location_streaming(q, [MatchList.from_pairs([(1, 0.5)])], trec_win()))
+
+    def test_rejects_scores_above_bound(self):
+        q = Query.of("a")
+        events = [(0, Match(1, 0.9)), (0, Match(2, 0.95))]
+        with pytest.raises(ScoringContractError):
+            list(
+                med_by_location_streaming(
+                    q, events, trec_med(), score_upper_bound=0.9
+                )
+            )
+
+    def test_rejects_out_of_order_events(self):
+        q = Query.of("a")
+        events = [(0, Match(5, 0.5)), (0, Match(1, 0.5))]
+        with pytest.raises(ScoringContractError):
+            list(med_by_location_streaming(q, events, trec_med()))
+
+    def test_empty_list_yields_nothing(self):
+        q = Query.of("a", "b")
+        out = list(
+            med_by_location_streaming(
+                q, [MatchList.from_pairs([(1, 0.5)]), MatchList()], trec_med()
+            )
+        )
+        assert out == []
+
+    def test_anchors_emitted_in_order(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(1, 0.5), (10, 0.5), (20, 0.5)]),
+            MatchList.from_pairs([(2, 0.5), (11, 0.5)]),
+        ]
+        anchors = [r.anchor for r in med_by_location_streaming(q, lists, trec_med())]
+        assert anchors == sorted(anchors)
+
+
+class TestStreamingMatchesBatch:
+    @settings(max_examples=120, deadline=None)
+    @given(join_instances(max_terms=4, max_len=6, max_location=40))
+    def test_same_anchors_and_scores(self, instance):
+        query, lists = instance
+        for scoring in (trec_med(), eq3(0.2)):
+            batch = {r.anchor: r.score for r in med_by_location(query, lists, scoring)}
+            stream = {
+                r.anchor: r.score
+                for r in med_by_location_streaming(query, lists, scoring)
+            }
+            assert set(batch) == set(stream)
+            for anchor, score in batch.items():
+                assert stream[anchor] == pytest.approx(score)
+
+    @settings(max_examples=50, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4, max_location=8))
+    def test_tie_heavy_instances(self, instance):
+        query, lists = instance
+        batch = {r.anchor: r.score for r in med_by_location(query, lists, trec_med())}
+        stream = {
+            r.anchor: r.score
+            for r in med_by_location_streaming(query, lists, trec_med())
+        }
+        assert set(batch) == set(stream)
+        for anchor, score in batch.items():
+            assert stream[anchor] == pytest.approx(score)
+
+
+class TestEarlyEmission:
+    def test_emits_before_consuming_whole_stream(self):
+        """The point of the algorithm: with dense matches and bounded
+        scores, results appear long before the end of the stream."""
+        q = Query.of("a", "b", "c")
+        consumed = []
+
+        def events():
+            for loc in range(0, 1000, 2):
+                consumed.append(loc)
+                for j in range(3):
+                    yield j, Match(loc, 0.9)
+
+        gen = med_by_location_streaming(q, events(), trec_med())
+        first = next(gen)
+        assert first.anchor == 0
+        assert consumed[-1] < 50  # far from the stream's end
+
+    def test_flushes_everything_at_end_of_stream(self):
+        """A term that goes silent blocks early emission, but the end of
+        the stream finalizes all pending anchors — batch equivalence."""
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(0, 0.9), (500, 0.9)]),
+            MatchList.from_pairs([(1, 0.9)]),  # silent after location 1
+        ]
+        stream = list(med_by_location_streaming(q, lists, trec_med()))
+        batch = list(med_by_location(q, lists, trec_med()))
+        assert {r.anchor for r in stream} == {r.anchor for r in batch}
+
+
+class TestMaxStreaming:
+    def test_rejects_non_max_scoring(self):
+        from repro.core.algorithms.streaming import max_by_location_streaming
+
+        q = Query.of("a")
+        with pytest.raises(ScoringContractError):
+            list(
+                max_by_location_streaming(
+                    q, [MatchList.from_pairs([(1, 0.5)])], trec_med()
+                )
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(join_instances(max_terms=4, max_len=6, max_location=40))
+    def test_matches_batch(self, instance):
+        from repro.core.algorithms.by_location import max_by_location
+        from repro.core.algorithms.streaming import max_by_location_streaming
+        from repro.core.scoring.presets import trec_max
+
+        query, lists = instance
+        scoring = trec_max()
+        batch = {r.anchor: r.score for r in max_by_location(query, lists, scoring)}
+        stream = {
+            r.anchor: r.score
+            for r in max_by_location_streaming(query, lists, scoring)
+        }
+        assert set(batch) == set(stream)
+        for anchor, score in batch.items():
+            assert stream[anchor] == pytest.approx(score)
+
+    def test_emits_before_consuming_whole_stream(self):
+        from repro.core.algorithms.streaming import max_by_location_streaming
+        from repro.core.scoring.presets import trec_max
+
+        q = Query.of("a", "b", "c")
+        consumed = []
+
+        def events():
+            for loc in range(0, 1000, 2):
+                consumed.append(loc)
+                for j in range(3):
+                    yield j, Match(loc, 0.9)
+
+        gen = max_by_location_streaming(q, events(), trec_max())
+        first = next(gen)
+        assert first.anchor == 0
+        assert consumed[-1] < 150  # exponential decay needs a longer horizon

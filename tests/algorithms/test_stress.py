@@ -1,0 +1,85 @@
+"""Seeded stress tests at larger query sizes.
+
+Hypothesis keeps the per-example instances small; these deterministic
+sweeps push every fast join against the naive oracle on bigger queries
+(|Q| = 5–6) and longer lists, where the subset DP, the median-rank
+bookkeeping and the envelope machinery have the most room to go wrong.
+"""
+
+import random
+
+import pytest
+
+from repro.core.algorithms.dedup import dedup_join
+from repro.core.algorithms.max_join import general_max_join, max_join
+from repro.core.algorithms.med_join import med_join
+from repro.core.algorithms.naive import naive_join, naive_join_valid
+from repro.core.algorithms.win_join import win_join
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+
+
+def instance(rng: random.Random, num_terms: int, max_len: int, max_location: int):
+    query = Query.of(*(f"t{i}" for i in range(num_terms)))
+    lists = [
+        MatchList.from_pairs(
+            [
+                (rng.randint(0, max_location), rng.uniform(0.05, 1.0))
+                for _ in range(rng.randint(1, max_len))
+            ]
+        )
+        for _ in range(num_terms)
+    ]
+    return query, lists
+
+
+CASES = [
+    # (num_terms, max_len, max_location, trials) — products stay < ~3000
+    (5, 4, 60, 12),
+    (5, 4, 10, 12),  # heavy location ties
+    (6, 3, 80, 10),
+    (6, 3, 12, 10),
+]
+
+
+@pytest.mark.parametrize("num_terms,max_len,max_location,trials", CASES)
+class TestLargeQueryAgreement:
+    def test_win(self, num_terms, max_len, max_location, trials):
+        rng = random.Random(f"win-{num_terms}-{max_location}")
+        scoring = trec_win()
+        for _ in range(trials):
+            query, lists = instance(rng, num_terms, max_len, max_location)
+            assert win_join(query, lists, scoring).score == pytest.approx(
+                naive_join(query, lists, scoring).score
+            )
+
+    def test_med(self, num_terms, max_len, max_location, trials):
+        rng = random.Random(f"med-{num_terms}-{max_location}")
+        scoring = trec_med()
+        for _ in range(trials):
+            query, lists = instance(rng, num_terms, max_len, max_location)
+            assert med_join(query, lists, scoring).score == pytest.approx(
+                naive_join(query, lists, scoring).score
+            )
+
+    def test_max(self, num_terms, max_len, max_location, trials):
+        rng = random.Random(f"max-{num_terms}-{max_location}")
+        scoring = trec_max()
+        for _ in range(trials):
+            query, lists = instance(rng, num_terms, max_len, max_location)
+            fast = max_join(query, lists, scoring).score
+            oracle = naive_join(query, lists, scoring).score
+            assert fast == pytest.approx(oracle)
+            assert general_max_join(query, lists, scoring).score == pytest.approx(oracle)
+
+    def test_dedup(self, num_terms, max_len, max_location, trials):
+        rng = random.Random(f"dedup-{num_terms}-{max_location}")
+        scoring = trec_med()
+        for _ in range(trials):
+            query, lists = instance(rng, num_terms, max_len, max_location)
+            oracle = naive_join_valid(query, lists, scoring)
+            got = dedup_join(query, lists, scoring, med_join)
+            assert bool(oracle) == bool(got)
+            if oracle:
+                assert got.score == pytest.approx(oracle.score)

@@ -1,0 +1,85 @@
+"""Top-k locally-best matchsets."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.topk import top_k_matchsets
+from repro.core.api import best_matchsets_by_location
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+
+from tests.conftest import join_instances
+
+
+@pytest.fixture
+def instance():
+    q = Query.of("a", "b")
+    lists = [
+        MatchList.from_pairs([(1, 0.9), (20, 0.8), (40, 0.9)]),
+        MatchList.from_pairs([(2, 0.9), (21, 0.9), (41, 0.2)]),
+    ]
+    return q, lists
+
+
+class TestTopK:
+    def test_rejects_nonpositive_k(self, instance):
+        q, lists = instance
+        with pytest.raises(ValueError):
+            top_k_matchsets(q, lists, trec_win(), 0)
+
+    def test_results_sorted_best_first(self, instance):
+        q, lists = instance
+        results = top_k_matchsets(q, lists, trec_win(), 3)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_limits_output(self, instance):
+        q, lists = instance
+        assert len(top_k_matchsets(q, lists, trec_win(), 2)) == 2
+        assert len(top_k_matchsets(q, lists, trec_win(), 100)) == len(
+            list(best_matchsets_by_location(q, lists, trec_win()))
+        )
+
+    def test_top1_equals_by_location_best(self, instance):
+        q, lists = instance
+        for scoring in (trec_win(), trec_med(), trec_max()):
+            top = top_k_matchsets(q, lists, scoring, 1)[0]
+            best = max(
+                best_matchsets_by_location(q, lists, scoring),
+                key=lambda r: r.score,
+            )
+            assert top.score == pytest.approx(best.score)
+
+    def test_require_valid_filters_duplicates(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(5, 1.0), (9, 0.5)]),
+            MatchList.from_pairs([(5, 0.9), (10, 0.5)]),
+        ]
+        results = top_k_matchsets(q, lists, trec_win(), 5, require_valid=True)
+        assert results
+        assert all(r.matchset.is_valid() for r in results)
+
+    def test_min_anchor_gap(self, instance):
+        q, lists = instance
+        results = top_k_matchsets(q, lists, trec_win(), 3, min_anchor_gap=15)
+        anchors = [r.anchor for r in results]
+        for i, a in enumerate(anchors):
+            for b in anchors[i + 1 :]:
+                assert abs(a - b) >= 15
+
+    @settings(max_examples=50, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4))
+    def test_matches_sorted_by_location_oracle(self, inst):
+        query, lists = inst
+        scoring = trec_med()
+        everything = sorted(
+            best_matchsets_by_location(query, lists, scoring),
+            key=lambda r: (-r.score, r.anchor),
+        )
+        k = 3
+        got = top_k_matchsets(query, lists, scoring, k)
+        assert [(r.anchor, r.score) for r in got] == [
+            (r.anchor, r.score) for r in everything[:k]
+        ]

@@ -1,0 +1,92 @@
+"""Algorithm 1 (WIN join): correctness against the naive oracle."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.naive import naive_join
+from repro.core.algorithms.win_join import win_join
+from repro.core.errors import ScoringContractError
+from repro.core.match import Match, MatchList
+from repro.core.query import Query
+from repro.core.scoring.presets import eq1, trec_med, trec_win
+
+from tests.conftest import join_instances, win_scorings
+
+
+class TestWinJoinBasics:
+    def test_rejects_non_win_scoring(self):
+        q = Query.of("a")
+        with pytest.raises(ScoringContractError):
+            win_join(q, [MatchList.from_pairs([(1, 0.5)])], trec_med())
+
+    def test_empty_list_gives_empty_result(self):
+        q = Query.of("a", "b")
+        result = win_join(q, [MatchList.from_pairs([(1, 0.5)]), MatchList()], trec_win())
+        assert not result
+
+    def test_single_term(self):
+        q = Query.of("a")
+        lists = [MatchList.from_pairs([(1, 0.2), (7, 0.9)])]
+        result = win_join(q, lists, trec_win())
+        assert result.matchset["a"].location == 7
+        assert result.score == pytest.approx(0.9 / 0.3)
+
+    def test_figure1_best_is_tight_cluster(self, three_term_query, figure1_lists):
+        """On the Figure 1 example the best matchset comes from the tight
+        first-sentence cluster, not the far-apart high-score matches at
+        the end of the document."""
+        result = win_join(three_term_query, figure1_lists, trec_win())
+        assert result.matchset.max_location <= 20
+        assert result.matchset.window_length <= 11
+
+    def test_co_located_matches_allowed(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(5, 0.9)]),
+            MatchList.from_pairs([(5, 0.8)]),
+        ]
+        result = win_join(q, lists, trec_win())
+        assert result.matchset.window_length == 0
+
+    def test_reports_best_valid_candidate(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(5, 1.0), (7, 0.6)]),
+            MatchList.from_pairs([(5, 0.9), (8, 0.8)]),
+        ]
+        result = win_join(q, lists, trec_win())
+        assert not result.matchset.is_valid()  # co-located pair wins overall
+        assert result.valid_matchset is not None
+        assert result.valid_matchset.is_valid()
+
+    def test_score_matches_scoring_function(self, three_term_query, figure1_lists):
+        scoring = trec_win()
+        result = win_join(three_term_query, figure1_lists, scoring)
+        assert result.score == pytest.approx(scoring.score(result.matchset))
+
+
+class TestWinJoinVsOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5), win_scorings())
+    def test_score_equals_naive(self, instance, scoring):
+        query, lists = instance
+        fast = win_join(query, lists, scoring)
+        slow = naive_join(query, lists, scoring)
+        assert fast.score == pytest.approx(slow.score)
+
+    @settings(max_examples=60, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4, max_location=6))
+    def test_score_equals_naive_with_heavy_ties(self, instance):
+        query, lists = instance
+        scoring = eq1(0.2)
+        fast = win_join(query, lists, scoring)
+        slow = naive_join(query, lists, scoring)
+        assert fast.score == pytest.approx(slow.score)
+
+    @settings(max_examples=50, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5))
+    def test_returned_matchset_achieves_reported_score(self, instance):
+        query, lists = instance
+        scoring = trec_win()
+        result = win_join(query, lists, scoring)
+        assert scoring.score(result.matchset) == pytest.approx(result.score)

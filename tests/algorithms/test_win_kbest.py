@@ -1,0 +1,137 @@
+"""k-best WIN enumeration and lazy valid search."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.naive import iterate_matchsets, naive_join_valid
+from repro.core.algorithms.win_join import win_join
+from repro.core.algorithms.win_kbest import win_join_kbest, win_join_valid_lazy
+from repro.core.errors import ScoringContractError
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.presets import eq1, trec_med, trec_win
+
+from tests.conftest import join_instances
+
+
+class TestKBestBasics:
+    def test_rejects_non_win_scoring(self):
+        q = Query.of("a")
+        with pytest.raises(ScoringContractError):
+            win_join_kbest(q, [MatchList.from_pairs([(1, 0.5)])], trec_med(), 2)
+
+    def test_rejects_nonpositive_k(self):
+        q = Query.of("a")
+        with pytest.raises(ValueError):
+            win_join_kbest(q, [MatchList.from_pairs([(1, 0.5)])], trec_win(), 0)
+
+    def test_empty_list_gives_no_results(self):
+        q = Query.of("a", "b")
+        assert win_join_kbest(q, [MatchList.from_pairs([(1, 0.5)]), MatchList()], trec_win(), 3) == []
+
+    def test_k1_matches_win_join(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(1, 0.9), (8, 0.4)]),
+            MatchList.from_pairs([(2, 0.7), (9, 0.6)]),
+        ]
+        top = win_join_kbest(q, lists, trec_win(), 1)
+        assert len(top) == 1
+        assert top[0].score == pytest.approx(win_join(q, lists, trec_win()).score)
+
+    def test_fewer_results_than_k_when_cross_product_small(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(1, 0.9)]),
+            MatchList.from_pairs([(2, 0.7), (9, 0.6)]),
+        ]
+        assert len(win_join_kbest(q, lists, trec_win(), 10)) == 2
+
+    def test_results_distinct_and_sorted(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(1, 0.9), (8, 0.4), (15, 0.2)]),
+            MatchList.from_pairs([(2, 0.7), (9, 0.6)]),
+        ]
+        results = win_join_kbest(q, lists, trec_win(), 6)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+        assert len({tuple(sorted(r.matchset.locations)) for r in results}) == len(results)
+
+
+class TestKBestVsOracle:
+    @settings(max_examples=120, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4))
+    def test_scores_match_naive_topk(self, instance):
+        query, lists = instance
+        scoring = trec_win()
+        k = 5
+        got = [r.score for r in win_join_kbest(query, lists, scoring, k)]
+        want = sorted(
+            (scoring.score(ms) for ms in iterate_matchsets(query, lists)),
+            reverse=True,
+        )[:k]
+        assert got == pytest.approx(want)
+
+    @settings(max_examples=60, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4, max_location=8))
+    def test_scores_match_naive_topk_with_ties(self, instance):
+        query, lists = instance
+        scoring = eq1(0.2)
+        k = 4
+        got = [r.score for r in win_join_kbest(query, lists, scoring, k)]
+        want = sorted(
+            (scoring.score(ms) for ms in iterate_matchsets(query, lists)),
+            reverse=True,
+        )[:k]
+        assert got == pytest.approx(want)
+
+    @settings(max_examples=60, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4))
+    def test_reported_scores_are_achieved(self, instance):
+        query, lists = instance
+        scoring = trec_win()
+        for result in win_join_kbest(query, lists, scoring, 4):
+            assert scoring.score(result.matchset) == pytest.approx(result.score)
+
+
+class TestValidLazy:
+    @settings(max_examples=100, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4, max_location=10))
+    def test_matches_exhaustive_valid_oracle(self, instance):
+        query, lists = instance
+        scoring = trec_win()
+        oracle = naive_join_valid(query, lists, scoring)
+        got = win_join_valid_lazy(query, lists, scoring)
+        assert bool(oracle) == bool(got)
+        if oracle:
+            assert got.score == pytest.approx(oracle.score)
+            assert got.matchset.is_valid()
+
+    def test_single_pass_when_best_is_valid(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(1, 0.9)]),
+            MatchList.from_pairs([(2, 0.9)]),
+        ]
+        result = win_join_valid_lazy(q, lists, trec_win())
+        assert result.invocations == 1
+
+    def test_empty_when_no_valid_matchset(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(5, 1.0)]),
+            MatchList.from_pairs([(5, 0.9)]),
+        ]
+        assert not win_join_valid_lazy(q, lists, trec_win())
+
+    def test_max_k_caps_the_search(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(i, 0.9) for i in range(10)]),
+            MatchList.from_pairs([(i, 0.8) for i in range(10)]),
+        ]
+        result = win_join_valid_lazy(q, lists, trec_win(), initial_k=1, max_k=2)
+        # With every pair co-located the valid optimum may be beyond the
+        # cap; either way the cap bounds the enumeration.
+        assert result.invocations <= 2

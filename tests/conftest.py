@@ -1,0 +1,113 @@
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+The central strategy is :func:`join_instances`: a random query plus one
+non-empty match list per term, with location ranges tight enough that
+equal-location ties (the hard case for MED and for duplicate handling)
+occur regularly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.match import Match, MatchList
+from repro.core.query import Query
+from repro.core.scoring.maxloc import AdditiveExponentialMax, ExponentialProductMax
+from repro.core.scoring.med import AdditiveMed, ExponentialProductMed
+from repro.core.scoring.win import ExponentialProductWin, LinearAdditiveWin
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+def matches(max_location: int = 30) -> st.SearchStrategy[Match]:
+    return st.builds(
+        Match,
+        location=st.integers(min_value=0, max_value=max_location),
+        score=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    )
+
+
+def match_lists(max_len: int = 6, max_location: int = 30) -> st.SearchStrategy[MatchList]:
+    return st.lists(matches(max_location), min_size=1, max_size=max_len).map(MatchList)
+
+
+@st.composite
+def join_instances(
+    draw,
+    min_terms: int = 1,
+    max_terms: int = 4,
+    max_len: int = 6,
+    max_location: int = 30,
+) -> tuple[Query, list[MatchList]]:
+    """A random (query, match lists) problem instance."""
+    n = draw(st.integers(min_value=min_terms, max_value=max_terms))
+    query = Query.of(*(f"t{i}" for i in range(n)))
+    lists = [draw(match_lists(max_len, max_location)) for _ in range(n)]
+    return query, lists
+
+
+def win_scorings() -> st.SearchStrategy:
+    return st.one_of(
+        st.builds(LinearAdditiveWin, scale=st.floats(0.1, 1.0)),
+        st.builds(ExponentialProductWin, alpha=st.floats(0.01, 0.5)),
+    )
+
+
+def med_scorings() -> st.SearchStrategy:
+    return st.one_of(
+        st.builds(AdditiveMed, scale=st.floats(0.1, 1.0)),
+        st.builds(ExponentialProductMed, alpha=st.floats(0.01, 0.5)),
+    )
+
+
+def max_scorings() -> st.SearchStrategy:
+    return st.one_of(
+        st.builds(AdditiveExponentialMax, alpha=st.floats(0.01, 0.5)),
+        st.builds(ExponentialProductMax, alpha=st.floats(0.01, 0.5)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plain fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def three_term_query() -> Query:
+    return Query.of("pc maker", "sports", "partnership")
+
+
+@pytest.fixture
+def figure1_lists(three_term_query: Query) -> list[MatchList]:
+    """Match lists loosely following the paper's Figure 1 example.
+
+    Locations/scores model the underlined matches of the sample document:
+    deal(1, 0.5), Lenovo(4, 1.0), PC(10, 0.3), partner(12, 0.9),
+    NBA(15, 0.9), NBA(22, 0.9), laptop maker(31, 0.7),
+    partnership(39, 1.0), Olympic Games(42, 0.8),
+    Winter Olympics(51, 0.7), Summer Olympics(63, 0.7),
+    Lenovo(72, 1.0), Dell(80, 1.0), Hewlett-Packard(83, 1.0).
+    """
+    pc_maker = MatchList.from_pairs(
+        [(4, 1.0), (10, 0.3), (31, 0.7), (72, 1.0), (80, 1.0), (83, 1.0)],
+        term="pc maker",
+    )
+    sports = MatchList.from_pairs(
+        [(15, 0.9), (22, 0.9), (42, 0.8), (51, 0.7), (63, 0.7)], term="sports"
+    )
+    partnership = MatchList.from_pairs(
+        [(1, 0.5), (12, 0.9), (39, 1.0)], term="partnership"
+    )
+    return [pc_maker, sports, partnership]
+
+
+def assert_scores_equal(a: float, b: float, *, rel: float = 1e-9) -> None:
+    assert abs(a - b) <= rel * max(1.0, abs(a), abs(b)), f"{a} != {b}"

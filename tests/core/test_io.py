@@ -1,0 +1,108 @@
+"""Core serialization round-trips."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.io import (
+    FORMAT_VERSION,
+    SerializationError,
+    load_match_lists,
+    match_from_dict,
+    match_list_from_dict,
+    match_list_to_dict,
+    match_to_dict,
+    matchset_from_dict,
+    matchset_to_dict,
+    save_match_lists,
+)
+from repro.core.match import Match, MatchList
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+
+
+class TestMatchRoundTrip:
+    def test_basic(self):
+        m = Match(5, 0.7, token="lenovo", token_id=3)
+        assert match_from_dict(match_to_dict(m)) == m
+
+    def test_defaults_omitted_from_dict(self):
+        d = match_to_dict(Match(5, 0.7))
+        assert "token" not in d and "token_id" not in d
+        assert match_from_dict(d) == Match(5, 0.7)
+
+    def test_bad_record_rejected(self):
+        with pytest.raises(SerializationError):
+            match_from_dict({"score": 0.5})
+        with pytest.raises(SerializationError):
+            match_from_dict({"location": -3, "score": 0.5})
+
+    @given(
+        st.integers(0, 1000),
+        st.floats(0.01, 1.0),
+        st.one_of(st.none(), st.text(min_size=1, max_size=8)),
+    )
+    def test_round_trip_property(self, loc, score, token):
+        m = Match(loc, score, token=token)
+        assert match_from_dict(match_to_dict(m)) == m
+
+
+class TestMatchListRoundTrip:
+    def test_round_trip_with_term(self):
+        lst = MatchList.from_pairs([(1, 0.5), (9, 0.8)], term="sports")
+        back = match_list_from_dict(match_list_to_dict(lst))
+        assert back == lst
+
+    def test_missing_matches_key_rejected(self):
+        with pytest.raises(SerializationError):
+            match_list_from_dict({"term": "x"})
+
+
+class TestMatchSetRoundTrip:
+    def test_round_trip(self):
+        q = Query.of("a", "b")
+        ms = MatchSet.from_sequence(q, [Match(1, 0.5), Match(4, 0.9)])
+        back = matchset_from_dict(matchset_to_dict(ms))
+        assert back == ms
+
+    def test_bad_record_rejected(self):
+        with pytest.raises(SerializationError):
+            matchset_from_dict({"terms": ["a"]})
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(1, 0.5)], term="a"),
+            MatchList.from_pairs([(2, 0.9), (8, 0.1)], term="b"),
+        ]
+        path = tmp_path / "lists.json"
+        save_match_lists(path, q, lists)
+        q2, lists2 = load_match_lists(path)
+        assert q2 == q
+        assert lists2 == lists
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "lists.json"
+        path.write_text(json.dumps({"version": FORMAT_VERSION + 1, "terms": ["a"], "lists": []}))
+        with pytest.raises(SerializationError):
+            load_match_lists(path)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "lists.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_match_lists(path)
+
+    def test_term_list_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "lists.json"
+        path.write_text(
+            json.dumps(
+                {"version": FORMAT_VERSION, "terms": ["a", "b"], "lists": []}
+            )
+        )
+        with pytest.raises(SerializationError):
+            load_match_lists(path)

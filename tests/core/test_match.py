@@ -1,0 +1,137 @@
+"""Tests for Match and MatchList."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidMatchError, InvalidMatchListError
+from repro.core.match import Match, MatchList, merge_by_location
+
+
+class TestMatch:
+    def test_basic_construction(self):
+        m = Match(location=5, score=0.7, token="lenovo")
+        assert m.location == 5
+        assert m.score == 0.7
+        assert m.token == "lenovo"
+
+    def test_token_id_defaults_to_location(self):
+        assert Match(location=9, score=1.0).token_id == 9
+
+    def test_explicit_token_id_preserved(self):
+        assert Match(location=9, score=1.0, token_id=3).token_id == 3
+
+    def test_negative_location_rejected(self):
+        with pytest.raises(InvalidMatchError):
+            Match(location=-1, score=0.5)
+
+    def test_non_integer_location_rejected(self):
+        with pytest.raises(InvalidMatchError):
+            Match(location=1.5, score=0.5)  # type: ignore[arg-type]
+
+    def test_bool_location_rejected(self):
+        with pytest.raises(InvalidMatchError):
+            Match(location=True, score=0.5)
+
+    def test_nan_score_rejected(self):
+        with pytest.raises(InvalidMatchError):
+            Match(location=0, score=float("nan"))
+
+    def test_infinite_score_rejected(self):
+        with pytest.raises(InvalidMatchError):
+            Match(location=0, score=float("inf"))
+
+    def test_matches_are_hashable_and_equal_by_value(self):
+        assert Match(1, 0.5) == Match(1, 0.5)
+        assert hash(Match(1, 0.5)) == hash(Match(1, 0.5))
+        assert Match(1, 0.5) != Match(2, 0.5)
+
+
+class TestMatchList:
+    def test_sorts_by_location(self):
+        lst = MatchList([Match(5, 0.1), Match(2, 0.2), Match(9, 0.3)])
+        assert lst.locations == (2, 5, 9)
+
+    def test_presorted_validation(self):
+        with pytest.raises(InvalidMatchListError):
+            MatchList([Match(5, 0.1), Match(2, 0.2)], presorted=True)
+
+    def test_presorted_accepts_ties(self):
+        lst = MatchList([Match(2, 0.1), Match(2, 0.2)], presorted=True)
+        assert len(lst) == 2
+
+    def test_from_pairs(self):
+        lst = MatchList.from_pairs([(3, 0.5), (1, 0.9)], term="q")
+        assert lst.term == "q"
+        assert lst.locations == (1, 3)
+        assert lst[0].score == 0.9
+
+    def test_rejects_non_match_items(self):
+        with pytest.raises(InvalidMatchListError):
+            MatchList([(1, 0.5)])  # type: ignore[list-item]
+
+    def test_slicing_returns_matchlist(self):
+        lst = MatchList.from_pairs([(1, 0.1), (2, 0.2), (3, 0.3)], term="q")
+        sub = lst[1:]
+        assert isinstance(sub, MatchList)
+        assert sub.locations == (2, 3)
+        assert sub.term == "q"
+
+    def test_bisection_helpers(self):
+        lst = MatchList.from_pairs([(2, 0.1), (5, 0.2), (5, 0.3), (9, 0.4)])
+        assert lst.first_at_or_after(5) == 1
+        assert lst.first_at_or_after(6) == 3
+        assert lst.first_at_or_after(100) == 4
+        assert lst.last_at_or_before(5) == 2
+        assert lst.last_at_or_before(1) == -1
+
+    def test_without_removes_one_occurrence(self):
+        m = Match(5, 0.5)
+        lst = MatchList([m, Match(7, 0.2)])
+        reduced = lst.without(m)
+        assert reduced.locations == (7,)
+        with pytest.raises(InvalidMatchListError):
+            reduced.without(m)
+
+    def test_equality_includes_term(self):
+        a = MatchList.from_pairs([(1, 0.5)], term="x")
+        b = MatchList.from_pairs([(1, 0.5)], term="y")
+        assert a != b
+        assert a == MatchList.from_pairs([(1, 0.5)], term="x")
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.floats(0.1, 1.0)), min_size=1))
+    def test_always_sorted_property(self, pairs):
+        lst = MatchList.from_pairs(pairs)
+        assert all(a <= b for a, b in zip(lst.locations, lst.locations[1:]))
+
+
+class TestMergeByLocation:
+    def test_merges_in_location_order(self):
+        lists = [
+            MatchList.from_pairs([(1, 0.1), (5, 0.2)]),
+            MatchList.from_pairs([(2, 0.3), (5, 0.4)]),
+        ]
+        merged = list(merge_by_location(lists))
+        assert [(j, m.location) for j, m in merged] == [
+            (0, 1), (1, 2), (0, 5), (1, 5),
+        ]
+
+    def test_tie_break_by_term_index(self):
+        lists = [
+            MatchList.from_pairs([(3, 0.1)]),
+            MatchList.from_pairs([(3, 0.2)]),
+        ]
+        assert [j for j, _ in merge_by_location(lists)] == [0, 1]
+
+    def test_handles_empty_lists(self):
+        lists = [MatchList(), MatchList.from_pairs([(1, 0.5)])]
+        assert [(j, m.location) for j, m in merge_by_location(lists)] == [(1, 1)]
+
+    @given(st.lists(st.lists(st.integers(0, 40), min_size=0, max_size=8), min_size=1, max_size=5))
+    def test_merge_is_a_sorted_permutation(self, location_lists):
+        lists = [
+            MatchList.from_pairs([(loc, 0.5) for loc in locs])
+            for locs in location_lists
+        ]
+        merged = [m.location for _, m in merge_by_location(lists)]
+        assert merged == sorted(loc for locs in location_lists for loc in locs)

@@ -1,0 +1,112 @@
+"""Tests for MatchSet and the paper's median definition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidMatchError
+from repro.core.match import Match
+from repro.core.matchset import MatchSet, upper_median
+from repro.core.query import Query
+
+
+class TestUpperMedian:
+    def test_odd_sized_multiset(self):
+        assert upper_median([1, 5, 9]) == 5
+
+    def test_even_sized_multiset_takes_upper(self):
+        # n=4: rank ⌊(4+1)/2⌋ = 2 from the greatest → the second largest.
+        assert upper_median([1, 5, 9, 20]) == 9
+
+    def test_singleton(self):
+        assert upper_median([7]) == 7
+
+    def test_pair(self):
+        assert upper_median([3, 10]) == 10
+
+    def test_with_ties(self):
+        assert upper_median([5, 5, 1]) == 5
+        assert upper_median([5, 5, 1, 1]) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            upper_median([])
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=9))
+    def test_matches_rank_definition(self, values):
+        # Direct transcription of footnote 2.
+        ranked = sorted(values, reverse=True)
+        rank = (len(values) + 1) // 2
+        assert upper_median(values) == ranked[rank - 1]
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=9))
+    def test_median_is_an_element(self, values):
+        assert upper_median(values) in values
+
+
+class TestMatchSet:
+    @pytest.fixture
+    def query(self):
+        return Query.of("a", "b", "c")
+
+    def test_from_sequence(self, query):
+        ms = MatchSet.from_sequence(query, [Match(1, 0.5), Match(9, 0.7), Match(4, 0.2)])
+        assert ms["a"].location == 1
+        assert ms.locations == (1, 9, 4)
+
+    def test_missing_term_rejected(self, query):
+        with pytest.raises(InvalidMatchError):
+            MatchSet(query, {"a": Match(1, 0.5), "b": Match(2, 0.5)})
+
+    def test_extra_term_rejected(self, query):
+        with pytest.raises(InvalidMatchError):
+            MatchSet(
+                query,
+                {"a": Match(1, 0.5), "b": Match(2, 0.5), "c": Match(3, 0.5), "d": Match(4, 0.5)},
+            )
+
+    def test_wrong_sequence_length_rejected(self, query):
+        with pytest.raises(InvalidMatchError):
+            MatchSet.from_sequence(query, [Match(1, 0.5)])
+
+    def test_window_length(self, query):
+        ms = MatchSet.from_sequence(query, [Match(3, 1), Match(11, 1), Match(7, 1)])
+        assert ms.window_length == 8
+        assert ms.min_location == 3
+        assert ms.max_location == 11
+
+    def test_median_location(self, query):
+        ms = MatchSet.from_sequence(query, [Match(3, 1), Match(11, 1), Match(7, 1)])
+        assert ms.median_location == 7
+
+    def test_zero_window_when_co_located(self, query):
+        ms = MatchSet.from_sequence(query, [Match(5, 1), Match(5, 1), Match(5, 1)])
+        assert ms.window_length == 0
+        assert ms.median_location == 5
+
+    def test_validity_uses_token_ids(self, query):
+        shared = Match(5, 0.9)  # token_id defaults to location 5
+        ms = MatchSet.from_sequence(query, [shared, Match(5, 0.7), Match(8, 0.5)])
+        assert not ms.is_valid()
+        distinct = MatchSet.from_sequence(
+            query, [Match(5, 0.9, token_id=1), Match(5, 0.7, token_id=2), Match(8, 0.5)]
+        )
+        assert distinct.is_valid()
+
+    def test_duplicate_groups(self, query):
+        ms = MatchSet.from_sequence(query, [Match(5, 0.9), Match(5, 0.7), Match(8, 0.5)])
+        groups = ms.duplicate_groups()
+        assert groups == [["a", "b"]]
+
+    def test_mapping_protocol(self, query):
+        ms = MatchSet.from_sequence(query, [Match(1, 0.5), Match(2, 0.6), Match(3, 0.7)])
+        assert set(ms) == {"a", "b", "c"}
+        assert len(ms) == 3
+        assert dict(ms)["b"].location == 2
+
+    def test_equality_and_hash(self, query):
+        m = [Match(1, 0.5), Match(2, 0.6), Match(3, 0.7)]
+        assert MatchSet.from_sequence(query, m) == MatchSet.from_sequence(query, m)
+        assert hash(MatchSet.from_sequence(query, m)) == hash(
+            MatchSet.from_sequence(query, m)
+        )

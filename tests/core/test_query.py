@@ -1,0 +1,52 @@
+"""Tests for Query."""
+
+import pytest
+
+from repro.core.errors import InvalidQueryError
+from repro.core.query import Query
+
+
+class TestQuery:
+    def test_of_constructor(self):
+        q = Query.of("a", "b")
+        assert q.terms == ("a", "b")
+        assert len(q) == 2
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query([])
+
+    def test_blank_term_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query.of("a", "  ")
+
+    def test_non_string_term_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query([1, 2])  # type: ignore[list-item]
+
+    def test_duplicate_terms_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query.of("a", "a")
+
+    def test_contains_and_index_of(self):
+        q = Query.of("pc maker", "sports")
+        assert "sports" in q
+        assert "nba" not in q
+        assert q.index_of("sports") == 1
+        with pytest.raises(InvalidQueryError):
+            q.index_of("nba")
+
+    def test_iteration_and_indexing(self):
+        q = Query.of("a", "b", "c")
+        assert list(q) == ["a", "b", "c"]
+        assert q[1] == "b"
+        assert q[-1] == "c"
+
+    def test_equality_and_hash(self):
+        assert Query.of("a", "b") == Query.of("a", "b")
+        assert Query.of("a", "b") != Query.of("b", "a")
+        assert hash(Query.of("a")) == hash(Query.of("a"))
+
+    def test_alternation_terms_are_opaque_labels(self):
+        q = Query.of("conference|workshop", "date", "place")
+        assert q.index_of("conference|workshop") == 0

@@ -1,0 +1,64 @@
+"""The DBWorld-like CFP corpus generator."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.datasets.dbworld_like import generate_dbworld_like
+from repro.matching.pipeline import QueryMatcher
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_dbworld_like(seed=2008)
+
+
+class TestCorpusShape:
+    def test_25_messages_7_extensions(self, corpus):
+        docs = list(corpus)
+        assert len(docs) == 25
+        extensions = [d for d in docs if d.metadata["truth"].is_extension]
+        assert len(extensions) == 7
+
+    def test_reproducible(self):
+        a = [d.text for d in generate_dbworld_like(seed=1)]
+        b = [d.text for d in generate_dbworld_like(seed=1)]
+        assert a == b
+
+    def test_ground_truth_points_at_real_tokens(self, corpus):
+        for doc in corpus:
+            truth = doc.metadata["truth"]
+            tokens = doc.tokens
+            date_tokens = {tokens[p].text for p in truth.event_date_positions}
+            assert truth.event_month in date_tokens
+            assert str(truth.event_year) in date_tokens
+            place_tokens = {tokens[p].text for p in truth.event_place_positions}
+            assert any(truth.event_city.split()[0] in t for t in place_tokens)
+
+
+class TestMatchListProfile:
+    """The corpus reproduces the paper's list-size profile (13.2/12.7/73.5)."""
+
+    def test_average_sizes_in_paper_ballpark(self, corpus):
+        query = Query.of("conference|workshop", "date", "place")
+        matcher = QueryMatcher(query)
+        sums = [0, 0, 0]
+        for doc in corpus:
+            for j, lst in enumerate(matcher.match_lists(doc)):
+                sums[j] += len(lst)
+        n = len(corpus)
+        meeting, date, place = (s / n for s in sums)
+        assert 8 <= meeting <= 20  # paper: 13.2
+        assert 8 <= date <= 20  # paper: 12.7
+        assert 55 <= place <= 95  # paper: 73.5
+
+    def test_extension_messages_lead_with_wrong_date(self, corpus):
+        """Footnote 12: in extension messages the first date is a deadline,
+        not the event date."""
+        from repro.matching.dates import DateMatcher
+
+        matcher = DateMatcher()
+        for doc in corpus:
+            truth = doc.metadata["truth"]
+            matches = matcher.matches(doc)
+            if truth.is_extension:
+                assert matches[0].location not in truth.event_date_positions

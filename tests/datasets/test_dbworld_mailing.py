@@ -1,0 +1,63 @@
+"""The full DBWorld-like mailing and the CFP selection step."""
+
+import pytest
+
+from repro.datasets.dbworld_like import (
+    DBWORLD_MAILING_SIZE,
+    DBWORLD_NUM_MESSAGES,
+    generate_dbworld_mailing,
+    select_cfp_messages,
+)
+
+
+@pytest.fixture(scope="module")
+def mailing():
+    return generate_dbworld_mailing(seed=2008)
+
+
+class TestMailing:
+    def test_paper_counts(self, mailing):
+        assert len(mailing) == DBWORLD_MAILING_SIZE
+        kinds = [d.metadata["kind"] for d in mailing]
+        assert kinds.count("cfp") + kinds.count("extension") == DBWORLD_NUM_MESSAGES
+
+    def test_non_cfp_kinds_present(self, mailing):
+        kinds = {d.metadata["kind"] for d in mailing}
+        assert {"job", "toc", "software"} <= kinds
+
+    def test_cfp_documents_carry_ground_truth(self, mailing):
+        for doc in mailing:
+            if doc.metadata["kind"] in ("cfp", "extension"):
+                assert "truth" in doc.metadata
+            else:
+                assert "truth" not in doc.metadata
+
+    def test_reproducible(self):
+        a = [d.doc_id for d in generate_dbworld_mailing(seed=5)]
+        b = [d.doc_id for d in generate_dbworld_mailing(seed=5)]
+        assert a == b
+
+    def test_too_many_cfps_rejected(self):
+        with pytest.raises(ValueError):
+            generate_dbworld_mailing(total_messages=10, num_cfps=11)
+
+
+class TestSelection:
+    def test_selects_exactly_the_meeting_announcements(self, mailing):
+        selected = select_cfp_messages(mailing)
+        assert len(selected) == DBWORLD_NUM_MESSAGES
+        for doc in selected:
+            assert doc.metadata["kind"] in ("cfp", "extension")
+
+    def test_selected_corpus_supports_extraction(self, mailing):
+        """The filtered mailing feeds straight into the DBWorld pipeline."""
+        from repro.core.query import Query
+        from repro.extraction.extractor import MatchsetExtractor
+        from repro.core.scoring.presets import trec_win
+
+        selected = select_cfp_messages(mailing)
+        query = Query.of("conference|workshop", "date", "place")
+        extractor = MatchsetExtractor(query, trec_win())
+        doc = next(iter(selected))
+        best = extractor.extract_best(doc)
+        assert best is not None

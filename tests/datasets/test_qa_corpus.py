@@ -1,0 +1,62 @@
+"""Full-text factoid-QA corpora: generation and end-to-end answering."""
+
+import pytest
+
+from repro.datasets.qa_corpus import FACTOID_QUESTIONS, generate_qa_corpus
+from repro.matching.queries import build_query_matcher
+from repro.retrieval.ranking import rank_documents
+from repro.core.scoring.presets import trec_max
+
+
+class TestGeneration:
+    def test_exactly_one_answer_document(self):
+        corpus = generate_qa_corpus(FACTOID_QUESTIONS[0], num_docs=30)
+        answers = [d for d in corpus if d.metadata["is_answer"]]
+        assert len(answers) == 1
+        assert FACTOID_QUESTIONS[0].answer_sentence in answers[0].text
+
+    def test_reproducible(self):
+        a = [d.text for d in generate_qa_corpus(FACTOID_QUESTIONS[1], num_docs=20, seed=3)]
+        b = [d.text for d in generate_qa_corpus(FACTOID_QUESTIONS[1], num_docs=20, seed=3)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [d.text for d in generate_qa_corpus(FACTOID_QUESTIONS[1], num_docs=20, seed=1)]
+        b = [d.text for d in generate_qa_corpus(FACTOID_QUESTIONS[1], num_docs=20, seed=2)]
+        assert a != b
+
+    def test_distractors_do_not_contain_the_answer(self):
+        question = FACTOID_QUESTIONS[2]
+        corpus = generate_qa_corpus(question, num_docs=30)
+        for doc in corpus:
+            if not doc.metadata["is_answer"]:
+                assert question.answer_sentence not in doc.text
+
+    def test_confusers_appear_somewhere(self):
+        question = FACTOID_QUESTIONS[0]
+        corpus = generate_qa_corpus(question, num_docs=60, confuser_rate=0.9)
+        texts = " ".join(d.text for d in corpus if not d.metadata["is_answer"])
+        assert any(c in texts for c in question.confusers)
+
+
+class TestEndToEndAnswering:
+    @pytest.mark.parametrize(
+        "question", FACTOID_QUESTIONS, ids=[q.question_id for q in FACTOID_QUESTIONS]
+    )
+    def test_answer_document_ranks_first(self, question):
+        corpus = generate_qa_corpus(question, num_docs=40)
+        matcher = build_query_matcher(question.query)
+        ranked = rank_documents(corpus, matcher.query, trec_max(), matcher=matcher)
+        assert ranked, question.question_id
+        top = ranked[0]
+        assert corpus[top.doc_id].metadata["is_answer"], question.question_id
+
+    @pytest.mark.parametrize(
+        "question", FACTOID_QUESTIONS, ids=[q.question_id for q in FACTOID_QUESTIONS]
+    )
+    def test_extracted_fields_match_expectations(self, question):
+        corpus = generate_qa_corpus(question, num_docs=40)
+        matcher = build_query_matcher(question.query)
+        ranked = rank_documents(corpus, matcher.query, trec_max(), matcher=matcher)
+        fields = {t: m.token for t, m in ranked[0].matchset.items()}
+        assert fields == question.expected, question.question_id

@@ -1,0 +1,83 @@
+"""The Section VIII synthetic generator."""
+
+import random
+
+import pytest
+
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    duplicate_fraction,
+    generate_dataset,
+    generate_instance,
+)
+from repro.datasets.zipf import expected_duplicate_fraction
+
+
+class TestGenerateInstance:
+    def test_total_matches_exact(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            inst = generate_instance(SyntheticConfig(total_matches=30), rng)
+            assert inst.total_matches == 30
+
+    def test_lists_aligned_with_query(self):
+        inst = generate_instance(SyntheticConfig(num_terms=5), random.Random(2))
+        assert len(inst.query) == 5
+        assert len(inst.lists) == 5
+        for j, lst in enumerate(inst.lists):
+            assert lst.term == inst.query[j]
+
+    def test_locations_within_document(self):
+        cfg = SyntheticConfig(doc_words=100)
+        inst = generate_instance(cfg, random.Random(3))
+        for lst in inst.lists:
+            assert all(0 <= loc < 100 for loc in lst.locations)
+
+    def test_scores_in_unit_interval(self):
+        inst = generate_instance(SyntheticConfig(), random.Random(4))
+        for lst in inst.lists:
+            assert all(0 < m.score <= 1 for m in lst)
+
+    def test_no_term_repeats_a_location(self):
+        """τ matches at a location go to τ *distinct* terms."""
+        inst = generate_instance(SyntheticConfig(lam=1.0), random.Random(5))
+        for lst in inst.lists:
+            assert len(set(lst.locations)) == len(lst)
+
+
+class TestGenerateDataset:
+    def test_reproducible_from_seed(self):
+        a = generate_dataset(SyntheticConfig(num_docs=5, seed=42))
+        b = generate_dataset(SyntheticConfig(num_docs=5, seed=42))
+        assert [inst.lists for inst in a] == [inst.lists for inst in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(SyntheticConfig(num_docs=5, seed=1))
+        b = generate_dataset(SyntheticConfig(num_docs=5, seed=2))
+        assert [inst.lists for inst in a] != [inst.lists for inst in b]
+
+    @pytest.mark.parametrize("lam", [1.0, 2.0, 3.0])
+    def test_duplicate_fraction_tracks_lambda(self, lam):
+        data = generate_dataset(SyntheticConfig(lam=lam, num_docs=80))
+        measured = duplicate_fraction(data)
+        expected = expected_duplicate_fraction(4, lam)
+        assert measured == pytest.approx(expected, abs=0.06)
+
+    def test_zipf_skew_shapes_list_sizes(self):
+        mild = generate_dataset(SyntheticConfig(zipf_s=1.1, num_docs=50, seed=7))
+        steep = generate_dataset(SyntheticConfig(zipf_s=4.0, num_docs=50, seed=7))
+
+        def biggest_share(data):
+            sizes = [0] * 4
+            for inst in data:
+                for j, lst in enumerate(inst.lists):
+                    sizes[j] += len(lst)
+            return max(sizes) / sum(sizes)
+
+        assert biggest_share(steep) > biggest_share(mild)
+
+    def test_with_helper_overrides(self):
+        cfg = SyntheticConfig().with_(num_terms=6, lam=1.5)
+        assert cfg.num_terms == 6
+        assert cfg.lam == 1.5
+        assert cfg.total_matches == SyntheticConfig().total_matches

@@ -1,0 +1,55 @@
+"""The TREC-like corpus generator (Figure 12 statistics)."""
+
+import pytest
+
+from repro.datasets.trec_like import TREC_QUERY_SPECS, generate_trec_like
+
+
+class TestSpecs:
+    def test_seven_queries_like_the_paper(self):
+        assert len(TREC_QUERY_SPECS) == 7
+        assert [s.query_id for s in TREC_QUERY_SPECS] == [
+            "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7",
+        ]
+
+    def test_sizes_align_with_terms(self):
+        for spec in TREC_QUERY_SPECS:
+            assert len(spec.avg_list_sizes) == len(spec.terms)
+            assert set(spec.paper_answer_ranks) == {"MED", "MAX", "WIN"}
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def q2(self):
+        return generate_trec_like(TREC_QUERY_SPECS[1], num_docs=400, seed=11)
+
+    def test_document_count(self, q2):
+        assert len(q2.documents) == 400
+
+    def test_exactly_one_answer_document(self, q2):
+        answers = [d for d in q2.documents if d.is_answer]
+        assert len(answers) == 1
+
+    def test_decoys_planted(self, q2):
+        decoys = [d for d in q2.documents if d.is_decoy]
+        assert len(decoys) == q2.spec.decoys
+
+    def test_answer_document_has_full_matchset(self, q2):
+        answer = next(d for d in q2.documents if d.is_answer)
+        assert all(len(lst) >= 1 for lst in answer.lists)
+
+    def test_measured_sizes_near_spec(self, q2):
+        measured = q2.measured_avg_list_sizes()
+        for got, want in zip(measured, q2.spec.avg_list_sizes):
+            assert got == pytest.approx(want, abs=max(0.8, want * 0.25))
+
+    def test_reproducible(self):
+        a = generate_trec_like(TREC_QUERY_SPECS[0], num_docs=50, seed=3)
+        b = generate_trec_like(TREC_QUERY_SPECS[0], num_docs=50, seed=3)
+        assert [d.lists for d in a.documents] == [d.lists for d in b.documents]
+
+    def test_lists_sorted_and_term_labelled(self, q2):
+        for doc in q2.documents[:20]:
+            for j, lst in enumerate(doc.lists):
+                assert lst.term == q2.spec.terms[j]
+                assert list(lst.locations) == sorted(lst.locations)

@@ -1,0 +1,67 @@
+"""Samplers for the synthetic generator."""
+
+import random
+
+import pytest
+
+from repro.datasets.zipf import (
+    TruncatedExponentialSampler,
+    ZipfSampler,
+    expected_duplicate_fraction,
+)
+
+
+class TestZipfSampler:
+    def test_probabilities_follow_power_law(self):
+        z = ZipfSampler(4, s=1.0)
+        p = z.probabilities
+        assert p[0] / p[1] == pytest.approx(2.0)
+        assert p[0] / p[3] == pytest.approx(4.0)
+
+    def test_higher_skew_concentrates_mass(self):
+        flat = ZipfSampler(5, s=0.5).probabilities[0]
+        steep = ZipfSampler(5, s=3.0).probabilities[0]
+        assert steep > flat
+
+    def test_samples_within_range(self):
+        rng = random.Random(1)
+        z = ZipfSampler(4, s=1.1)
+        samples = [z.sample(rng) for _ in range(500)]
+        assert set(samples) <= {0, 1, 2, 3}
+        assert samples.count(0) > samples.count(3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+
+
+class TestTruncatedExponentialSampler:
+    def test_larger_lambda_prefers_tau_one(self):
+        low = TruncatedExponentialSampler(4, 1.0).probabilities[0]
+        high = TruncatedExponentialSampler(4, 3.0).probabilities[0]
+        assert high > low
+
+    def test_sample_tau_in_range(self):
+        rng = random.Random(2)
+        s = TruncatedExponentialSampler(4, 2.0)
+        taus = [s.sample_tau(rng) for _ in range(300)]
+        assert set(taus) <= {1, 2, 3, 4}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TruncatedExponentialSampler(4, 0.0)
+        with pytest.raises(ValueError):
+            TruncatedExponentialSampler(0, 1.0)
+
+
+class TestExpectedDuplicateFraction:
+    def test_matches_paper_percentages(self):
+        """Section VIII: λ=1 → ~60%, λ=2 → a little less than 24%... our
+        derivation gives ~57%, ~25%, ~10% for |Q| = 4."""
+        assert expected_duplicate_fraction(4, 1.0) == pytest.approx(0.573, abs=0.02)
+        assert expected_duplicate_fraction(4, 2.0) == pytest.approx(0.25, abs=0.02)
+        assert expected_duplicate_fraction(4, 3.0) == pytest.approx(0.10, abs=0.02)
+
+    def test_monotone_decreasing_in_lambda(self):
+        values = [expected_duplicate_fraction(4, lam) for lam in (1.0, 1.5, 2.0, 2.5, 3.0)]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,30 @@
+"""repro-bench CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6", "--docs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 6" in out
+        assert "NMAX" in out
+
+    def test_fig12_runs(self, capsys):
+        assert main(["fig12", "--docs", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Q7" in out
+
+    def test_dbworld_ignores_docs_flag(self, capsys):
+        assert main(["dbworld", "--docs", "2"]) == 0
+        assert "first-date heuristic" in capsys.readouterr().out
+
+    def test_seed_flag(self, capsys):
+        assert main(["fig8", "--docs", "2", "--seed", "7"]) == 0
+        assert "lambda" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,42 @@
+"""CSV export of experiment results."""
+
+import csv
+
+from repro.experiments.export import rows_to_csv, sweep_to_csv
+from repro.experiments.report import SweepResult
+
+
+class TestSweepToCsv:
+    def test_round_trips_through_csv(self, tmp_path):
+        sweep = SweepResult(
+            "T", "n", [1, 2], {"A": [0.5, 1.5], "B": [0.25, 0.75]}
+        )
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(sweep, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["n", "A", "B"]
+        assert rows[1] == ["1", "0.5", "0.25"]
+        assert rows[2] == ["2", "1.5", "0.75"]
+
+
+class TestRowsToCsv:
+    def test_writes_dict_rows(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv([{"ID": "Q1", "rank": 1}, {"ID": "Q2", "rank": 2}], path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["ID"] == "Q1"
+        assert rows[1]["rank"] == "2"
+
+    def test_empty_rows_produce_empty_file(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv([], path)
+        assert path.read_text() == ""
+
+    def test_missing_keys_filled_blank(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv([{"a": 1, "b": 2}, {"a": 3}], path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[1]["b"] == ""

@@ -1,0 +1,111 @@
+"""Figure/table regeneration: structural checks on tiny workloads.
+
+These tests run every experiment end-to-end with very small document
+counts — they validate the harness wiring and the qualitative shapes
+that are stable even at small scale (the full-scale shape comparison
+lives in the benchmarks and EXPERIMENTS.md).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import (
+    ablation_envelope,
+    ablation_skew_fix,
+    dbworld_table,
+    fig6_query_terms,
+    fig7_list_size,
+    fig8_dedup_invocations,
+    fig9_duplicates_time,
+    fig10_skew,
+    fig11_trec_times,
+    fig12_answer_ranks,
+)
+
+ALGOS = ("WIN", "MED", "MAX", "NWIN", "NMED", "NMAX")
+
+
+class TestSyntheticFigures:
+    def test_fig6_structure(self):
+        result = fig6_query_terms(num_docs=4, term_counts=(2, 3, 4))
+        assert result.x_values == [2, 3, 4]
+        assert set(result.series) == set(ALGOS)
+        assert all(len(v) == 3 for v in result.series.values())
+
+    def test_fig7_naive_grows_with_list_size(self):
+        result = fig7_list_size(num_docs=6, total_sizes=(10, 30))
+        assert result.series["NMAX"][1] > result.series["NMAX"][0]
+
+    def test_fig8_invocations_decrease_with_lambda(self):
+        result = fig8_dedup_invocations(num_docs=10, lams=(1.0, 3.0))
+        for name in ("WIN", "MED", "MAX"):
+            assert result.series[name][0] >= result.series[name][1]
+        assert "NWIN" not in result.series
+
+    def test_fig9_structure(self):
+        result = fig9_duplicates_time(num_docs=3, lams=(2.0,))
+        assert set(result.series) == set(ALGOS)
+
+    def test_fig10_structure(self):
+        result = fig10_skew(num_docs=3, s_values=(1.1, 4.0))
+        assert result.x_values == [1.1, 4.0]
+
+    def test_sweep_formatting(self):
+        result = fig6_query_terms(num_docs=2, term_counts=(2,))
+        text = result.format()
+        assert "Fig 6" in text
+        assert "NMAX" in text
+
+
+class TestTrecFigures:
+    def test_fig11_win_omitted_for_three_term_queries(self):
+        from repro.datasets.trec_like import TREC_QUERY_SPECS
+
+        result = fig11_trec_times(num_docs=10, specs=TREC_QUERY_SPECS[:3])
+        assert result.x_values == ["Q1", "Q2", "Q3"]
+        assert not math.isnan(result.series["WIN"][0])  # Q1 has 4 terms
+        assert math.isnan(result.series["WIN"][2])  # Q3 has 3 terms
+
+    def test_fig12_rows_and_answer_found(self):
+        rows = fig12_answer_ranks(num_docs=60)
+        assert [row["ID"] for row in rows] == [f"Q{i}" for i in range(1, 8)]
+        for row in rows:
+            for family in ("MED", "MAX", "WIN"):
+                assert row[family] != "-"  # the planted answer is retrievable
+
+
+class TestDBWorld:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return dbworld_table(num_messages=8)
+
+    def test_paperlike_columns(self, result):
+        assert set(result.times) == {"WIN", "MAX", "NWIN", "NMED", "NMAX"}
+        assert result.num_messages == 8
+
+    def test_accuracy_counts_bounded(self, result):
+        for family in ("WIN", "MED", "MAX"):
+            assert 0 <= result.full_correct[family] <= 8
+            assert result.full_correct[family] <= result.partial_correct[family]
+
+    def test_extractions_mostly_correct(self, result):
+        assert result.full_correct["MAX"] >= 6
+
+    def test_first_date_heuristic_fails_on_extensions(self, result):
+        assert result.first_date_correct < result.num_messages
+
+    def test_format_renders(self, result):
+        text = result.format()
+        assert "avg match list sizes" in text
+        assert "first-date heuristic" in text
+
+
+class TestAblations:
+    def test_envelope_ablation_structure(self):
+        result = ablation_envelope(num_docs=3)
+        assert set(result.series) == {"max_join", "general_max_join"}
+
+    def test_skew_fix_ablation_structure(self):
+        result = ablation_skew_fix(num_docs=3)
+        assert set(result.series) == {"with skew fix", "without skew fix"}

@@ -1,0 +1,31 @@
+"""End-to-end QA effectiveness experiment."""
+
+from repro.datasets.qa_corpus import FACTOID_QUESTIONS
+from repro.experiments.qa_eval import qa_effectiveness
+
+
+class TestQAEffectiveness:
+    def test_structure(self):
+        result = qa_effectiveness(num_docs=15, questions=FACTOID_QUESTIONS[:2])
+        assert result.questions == [q.question_id for q in FACTOID_QUESTIONS[:2]]
+        assert set(result.ranks) == {"WIN", "MED", "MAX"}
+        assert all(len(v) == 2 for v in result.ranks.values())
+        assert set(result.mrr) == {"WIN", "MED", "MAX"}
+
+    def test_answers_found(self):
+        result = qa_effectiveness(num_docs=15, questions=FACTOID_QUESTIONS[:3])
+        for family, ranks in result.ranks.items():
+            assert all(rank is not None for rank in ranks), family
+        assert result.mrr["MAX"] > 0.5
+
+    def test_format_renders(self):
+        result = qa_effectiveness(num_docs=10, questions=FACTOID_QUESTIONS[:1])
+        text = result.format()
+        assert "MRR" in text
+        assert FACTOID_QUESTIONS[0].question_id in text
+
+    def test_cli_integration(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["qa", "--docs", "10"]) == 0
+        assert "MRR" in capsys.readouterr().out

@@ -1,0 +1,38 @@
+"""Plain-text reporting helpers."""
+
+from repro.experiments.report import SweepResult, format_mapping_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long header"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_mapping_table(self):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        text = format_mapping_table(rows)
+        assert "x" in text and "y" in text and "2" in text
+
+    def test_empty_mapping_table(self):
+        assert format_mapping_table([]) == "(empty)"
+
+
+class TestSweepResult:
+    def test_format_contains_series_and_values(self):
+        sweep = SweepResult(
+            title="T",
+            x_label="n",
+            x_values=[1, 2],
+            series={"A": [0.5, 1.0], "B": [0.25, 0.125]},
+            notes=["note!"],
+        )
+        text = sweep.format(precision=2)
+        assert "T" in text
+        assert "0.50" in text and "0.12" in text
+        assert "note!" in text
+
+    def test_row_accessor(self):
+        sweep = SweepResult("T", "n", [1], {"A": [0.5]})
+        assert sweep.row("A") == [0.5]

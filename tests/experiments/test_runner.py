@@ -1,0 +1,58 @@
+"""Timing harness tests (small workloads; structure, not wall-clock)."""
+
+import pytest
+
+from repro.core.scoring.presets import experiment_suite
+from repro.datasets.synthetic import SyntheticConfig, generate_dataset
+from repro.experiments.runner import full_suite, naive_suite, proposed_suite, time_suite
+
+
+@pytest.fixture(scope="module")
+def instances():
+    data = generate_dataset(SyntheticConfig(num_docs=5, total_matches=12, seed=1))
+    return [(inst.query, inst.lists) for inst in data]
+
+
+class TestSuites:
+    def test_proposed_suite_names(self):
+        assert [s.name for s in proposed_suite()] == ["WIN", "MED", "MAX"]
+
+    def test_win_dropped_for_small_queries(self):
+        names = [s.name for s in proposed_suite(win_as_med_when_small=3)]
+        assert names == ["MED", "MAX"]
+        names = [s.name for s in proposed_suite(win_as_med_when_small=4)]
+        assert names == ["WIN", "MED", "MAX"]
+
+    def test_naive_suite_names(self):
+        assert [s.name for s in naive_suite()] == ["NWIN", "NMED", "NMAX"]
+
+    def test_full_suite_order(self):
+        assert [s.name for s in full_suite()] == [
+            "WIN", "MED", "MAX", "NWIN", "NMED", "NMAX",
+        ]
+
+
+class TestTimeSuite:
+    def test_rows_have_positive_times(self, instances):
+        rows = time_suite(full_suite(), instances)
+        assert len(rows) == 6
+        assert all(row.seconds > 0 for row in rows)
+
+    def test_invocations_counted(self, instances):
+        # Documents whose lists are all non-empty run the inner algorithm
+        # at least once; empty joins contribute zero.
+        rows = time_suite(proposed_suite(), instances)
+        assert all(row.mean_invocations > 0 for row in rows)
+
+    def test_proposed_and_naive_agree_on_results(self, instances):
+        """Same scoring, same documents → the proposed algorithm (with
+        dedup) and the valid-only naive baseline find equal best scores."""
+        suite = experiment_suite()
+        specs = {s.name: s for s in full_suite(suite)}
+        for fast_name, naive_name in (("WIN", "NWIN"), ("MED", "NMED"), ("MAX", "NMAX")):
+            for query, lists in instances:
+                fast = specs[fast_name].run(query, lists)
+                slow = specs[naive_name].run(query, lists)
+                assert bool(fast) == bool(slow)
+                if fast:
+                    assert fast.score == pytest.approx(slow.score)

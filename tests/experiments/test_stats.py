@@ -1,0 +1,62 @@
+"""Measurement-stability statistics."""
+
+import pytest
+
+from repro.experiments.stats import (
+    StabilityReport,
+    TimingSample,
+    coefficient_of_variation,
+    repeat_timing,
+    stability_report,
+)
+
+
+class TestCoefficientOfVariation:
+    def test_constant_series(self):
+        assert coefficient_of_variation([2.0, 2.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # mean 2, stdev 1 → CoV 0.5
+        assert coefficient_of_variation([1.0, 2.0, 3.0]) == pytest.approx(0.5)
+
+    def test_too_few_values_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([1.0])
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([-1.0, 1.0])
+
+
+class TestRepeatTiming:
+    def test_collects_requested_repeats(self):
+        sample = repeat_timing(lambda: sum(range(1000)), repeats=5, label="x")
+        assert len(sample.seconds) == 5
+        assert sample.label == "x"
+        assert sample.mean > 0
+
+    def test_requires_two_repeats(self):
+        with pytest.raises(ValueError):
+            repeat_timing(lambda: None, repeats=1)
+
+
+class TestStabilityReport:
+    def test_aggregates(self):
+        report = StabilityReport(
+            [
+                TimingSample("a", (1.0, 1.0, 1.0)),
+                TimingSample("b", (1.0, 2.0, 3.0)),
+            ]
+        )
+        assert report.mean_cov == pytest.approx(0.25)
+        assert report.worst_cov == pytest.approx(0.5)
+        assert report.points_above(0.10) == 1
+
+    def test_end_to_end(self):
+        report = stability_report(
+            {"noop": lambda: None, "sum": lambda: sum(range(100))}, repeats=3
+        )
+        assert len(report.samples) == 2
+        text = report.format()
+        assert "average CoV" in text
+        assert "noop" in text

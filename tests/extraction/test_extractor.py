@@ -1,0 +1,76 @@
+"""Information extraction over by-location joins."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.core.scoring.presets import trec_med, trec_win
+from repro.extraction.extractor import MatchsetExtractor
+from repro.text.document import Document
+
+
+@pytest.fixture
+def cfp_document():
+    return Document(
+        "cfp",
+        "CALL FOR PAPERS. The workshop will be held in Pisa, Italy on June "
+        "24-26, 2008, at the local university. Later sections list the "
+        "program committee and registration information in detail.",
+    )
+
+
+@pytest.fixture
+def query():
+    return Query.of("conference|workshop", "date", "place")
+
+
+class TestMatchsetExtractor:
+    def test_extract_best_finds_the_venue_sentence(self, cfp_document, query):
+        extractor = MatchsetExtractor(query, trec_win())
+        best = extractor.extract_best(cfp_document)
+        assert best is not None
+        record = best.as_dict()
+        assert record["place"] in {"pisa", "italy"}
+        assert record["date"] in {"june", "24-26", "2008"}
+
+    def test_extract_returns_descending_scores(self, cfp_document, query):
+        extractor = MatchsetExtractor(query, trec_win())
+        results = extractor.extract(cfp_document)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_min_score_threshold(self, cfp_document, query):
+        unfiltered = MatchsetExtractor(query, trec_win()).extract(cfp_document)
+        cutoff = unfiltered[0].score
+        filtered = MatchsetExtractor(query, trec_win(), min_score=cutoff).extract(
+            cfp_document
+        )
+        assert all(r.score >= cutoff for r in filtered)
+
+    def test_anchor_gap_suppression(self, cfp_document, query):
+        extractor = MatchsetExtractor(query, trec_win(), min_anchor_gap=8)
+        results = extractor.extract(cfp_document)
+        anchors = [r.anchor for r in results]
+        for i, a in enumerate(anchors):
+            for b in anchors[i + 1 :]:
+                assert abs(a - b) >= 8
+
+    def test_multiple_good_matchsets_extracted(self, query):
+        """The Section I motivation: a document with two associations
+        yields two extractions."""
+        doc = Document(
+            "d",
+            "The workshop takes place in Turin during June 2008. "
+            + "Unrelated filler text goes on and on here. " * 5
+            + "A second conference happens in Beijing in September 2008.",
+        )
+        extractor = MatchsetExtractor(query, trec_med(), min_anchor_gap=10)
+        records = [e.as_dict() for e in extractor.extract(doc)]
+        places = {r["place"] for r in records[:2]}
+        assert {"turin", "beijing"} <= places
+
+    def test_works_with_precomputed_lists(self, cfp_document, query):
+        extractor = MatchsetExtractor(query, trec_win())
+        lists = extractor.matcher.match_lists(cfp_document)
+        results = extractor.extract_from_lists("cfp", lists, cfp_document)
+        assert results
+        assert results[0].doc_id == "cfp"

@@ -1,0 +1,44 @@
+"""Gazetteer tests."""
+
+from repro.gazetteer.lookup import Gazetteer, default_gazetteer
+
+
+class TestGazetteer:
+    def test_city_country_region_lookup(self):
+        g = default_gazetteer()
+        assert "pisa" in g
+        assert "italy" in g
+        assert "asia" in g
+        assert g.kind_of("pisa") == Gazetteer.CITY
+        assert g.kind_of("italy") == Gazetteer.COUNTRY
+        assert g.kind_of("asia") == Gazetteer.REGION
+
+    def test_case_and_whitespace_insensitive(self):
+        g = default_gazetteer()
+        assert "PISA" in g
+        assert "  New   York " in g
+
+    def test_multiword_names(self):
+        g = default_gazetteer()
+        assert "hong kong" in g
+        assert "rio de janeiro" in g
+        assert g.max_words >= 3
+
+    def test_unknown_names(self):
+        g = default_gazetteer()
+        assert "atlantis" not in g
+        assert g.kind_of("atlantis") is None
+
+    def test_city_wins_over_region_on_collision(self):
+        # Custom tables where the same name is a region and a city: city
+        # is loaded last and wins.
+        g = Gazetteer(cities=("springfield",), countries=(), regions=("springfield",))
+        assert g.kind_of("springfield") == Gazetteer.CITY
+
+    def test_default_is_cached(self):
+        assert default_gazetteer() is default_gazetteer()
+
+    def test_names_iteration(self):
+        g = Gazetteer(cities=("a",), countries=("b",), regions=("c",))
+        assert sorted(g.names()) == ["a", "b", "c"]
+        assert len(g) == 3

@@ -1,0 +1,71 @@
+"""Inverted index tests."""
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.text.document import Corpus, Document
+
+
+@pytest.fixture
+def corpus():
+    return Corpus(
+        [
+            Document("d1", "Lenovo partners with the NBA on marketing"),
+            Document("d2", "Dell and Lenovo are PC makers building laptops"),
+        ]
+    )
+
+
+class TestInvertedIndex:
+    def test_build_and_lookup(self, corpus):
+        index = InvertedIndex.build(corpus)
+        assert index.document_count == 2
+        assert index.positions("lenovo", "d1") == (0,)
+        assert index.positions("lenovo", "d2") == (2,)
+
+    def test_stemming_bridges_inflections(self, corpus):
+        index = InvertedIndex.build(corpus)
+        # "partners" was indexed; querying "partner" hits the same stem.
+        assert index.positions("partner", "d1") == (1,)
+        # "makers"/"maker", "building"/"build" likewise.
+        assert index.positions("maker", "d2") == (5,)
+        assert index.positions("build", "d2") == (6,)
+
+    def test_stemming_can_be_disabled(self, corpus):
+        index = InvertedIndex.build(corpus, stem=False)
+        assert index.positions("partner", "d1") == ()
+        assert index.positions("partners", "d1") == (1,)
+
+    def test_drop_stopwords(self, corpus):
+        index = InvertedIndex.build(corpus, drop_stopwords=True)
+        assert index.positions("the", "d1") == ()
+        # Positions of kept tokens are unchanged (they count all tokens).
+        assert index.positions("nba", "d1") == (4,)
+
+    def test_duplicate_document_rejected(self, corpus):
+        index = InvertedIndex.build(corpus)
+        with pytest.raises(ValueError):
+            index.add_document(Document("d1", "again"))
+
+    def test_document_length(self, corpus):
+        index = InvertedIndex.build(corpus)
+        assert index.document_length("d1") == 7
+
+    def test_phrase_positions(self):
+        index = InvertedIndex.build(
+            [Document("d", "the olympic games and the olympic flame")]
+        )
+        assert index.phrase_positions(["olympic", "games"], "d") == (1,)
+        assert index.phrase_positions(["olympic"], "d") == (1, 5)
+        assert index.phrase_positions(["olympic", "flame"], "d") == (5,)
+        assert index.phrase_positions(["games", "olympic"], "d") == ()
+        assert index.phrase_positions([], "d") == ()
+
+    def test_unknown_token(self, corpus):
+        index = InvertedIndex.build(corpus)
+        assert index.postings("zzz") is None
+        assert index.positions("zzz", "d1") == ()
+
+    def test_vocabulary_size(self, corpus):
+        index = InvertedIndex.build(corpus)
+        assert index.vocabulary_size > 5

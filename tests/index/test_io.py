@@ -1,0 +1,64 @@
+"""Inverted-index persistence."""
+
+import json
+
+import pytest
+
+from repro.core.io import SerializationError
+from repro.index.inverted import InvertedIndex
+from repro.index.io import INDEX_FORMAT_VERSION, load_index, save_index
+from repro.text.document import Corpus, Document
+
+
+@pytest.fixture
+def index():
+    corpus = Corpus(
+        [
+            Document("d1", "Lenovo partners with the NBA on marketing"),
+            Document("d2", "Dell and Lenovo are PC makers"),
+        ]
+    )
+    return InvertedIndex.build(corpus)
+
+
+class TestIndexPersistence:
+    def test_round_trip_preserves_lookups(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.document_count == index.document_count
+        assert loaded.vocabulary_size == index.vocabulary_size
+        assert loaded.positions("lenovo", "d1") == index.positions("lenovo", "d1")
+        assert loaded.positions("partner", "d1") == index.positions("partner", "d1")
+        assert loaded.document_length("d2") == index.document_length("d2")
+
+    def test_round_trip_preserves_settings(self, tmp_path):
+        raw = InvertedIndex.build(
+            [Document("d", "The Partners")], stem=False, drop_stopwords=True
+        )
+        path = tmp_path / "index.json"
+        save_index(raw, path)
+        loaded = load_index(path)
+        assert loaded.positions("partner", "d") == ()  # stemming still off
+        assert loaded.positions("partners", "d") == (1,)
+        assert loaded.positions("the", "d") == ()  # stopwords still dropped
+
+    def test_phrase_queries_survive(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.phrase_positions(["pc", "maker"], "d2") == index.phrase_positions(
+            ["pc", "maker"], "d2"
+        )
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text(json.dumps({"version": INDEX_FORMAT_VERSION + 9}))
+        with pytest.raises(SerializationError):
+            load_index(path)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text("][")
+        with pytest.raises(SerializationError):
+            load_index(path)

@@ -1,0 +1,68 @@
+"""Concept-based match-list derivation (footnote 1)."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.index.inverted import InvertedIndex
+from repro.index.matchlists import ConceptIndex
+from repro.lexicon.graph import LexicalGraph
+from repro.text.document import Corpus, Document
+
+
+@pytest.fixture
+def setup():
+    corpus = Corpus(
+        [
+            Document("d1", "Lenovo and Dell ship laptops; the manufacturer wins"),
+            Document("d2", "no relevant words here at all"),
+            Document("d3", "Dell dominates the pc maker rankings"),
+        ]
+    )
+    graph = LexicalGraph()
+    graph.add_hyponyms("pc maker", "lenovo", "dell")
+    graph.add_edge("pc maker", "maker")
+    graph.add_edge("maker", "manufacturer")
+    index = InvertedIndex.build(corpus)
+    return ConceptIndex(index, lexicon=graph), corpus
+
+
+class TestConceptIndex:
+    def test_expansion_scores(self, setup):
+        concept_index, _ = setup
+        expansion = dict(concept_index.expansion("pc maker"))
+        assert expansion[("pc", "maker")] == pytest.approx(1.0)
+        assert expansion[("lenovo",)] == pytest.approx(0.7)
+        assert expansion[("manufacturer",)] == pytest.approx(0.4)
+
+    def test_match_list_merges_postings(self, setup):
+        concept_index, _ = setup
+        lst = concept_index.match_list("pc maker", "d1")
+        by_loc = {m.location: m.score for m in lst}
+        assert by_loc[0] == pytest.approx(0.7)  # lenovo
+        assert by_loc[2] == pytest.approx(0.7)  # dell
+        assert by_loc[6] == pytest.approx(0.4)  # manufacturer
+
+    def test_multiword_concept_occurrence(self, setup):
+        concept_index, _ = setup
+        lst = concept_index.match_list("pc maker", "d3")
+        assert max(m.score for m in lst) == pytest.approx(1.0)  # literal "pc maker"
+
+    def test_empty_for_unrelated_document(self, setup):
+        concept_index, _ = setup
+        assert len(concept_index.match_list("pc maker", "d2")) == 0
+
+    def test_candidate_documents_conjunctive(self, setup):
+        concept_index, _ = setup
+        assert concept_index.candidate_documents(["pc maker"]) == ["d1", "d3"]
+        assert concept_index.candidate_documents(["pc maker", "rankings"]) == ["d3"]
+
+    def test_match_lists_batch(self, setup):
+        concept_index, _ = setup
+        lists = concept_index.match_lists(["pc maker", "laptop"], "d1")
+        assert len(lists) == 2
+        assert lists[0].term == "pc maker"
+
+    def test_expansion_cached(self, setup):
+        concept_index, _ = setup
+        first = concept_index.expansion("pc maker")
+        assert concept_index.expansion("pc maker") is first

@@ -1,0 +1,39 @@
+"""Posting list tests."""
+
+import pytest
+
+from repro.index.postings import PostingList
+
+
+class TestPostingList:
+    def test_add_and_positions(self):
+        p = PostingList("lenovo")
+        p.add("d1", 3)
+        p.add("d1", 9)
+        p.add("d2", 1)
+        assert p.positions("d1") == (3, 9)
+        assert p.positions("d2") == (1,)
+        assert p.positions("d3") == ()
+
+    def test_positions_must_increase(self):
+        p = PostingList("t")
+        p.add("d", 5)
+        with pytest.raises(ValueError):
+            p.add("d", 5)
+        with pytest.raises(ValueError):
+            p.add("d", 3)
+
+    def test_frequencies(self):
+        p = PostingList("t")
+        p.add("d1", 0)
+        p.add("d1", 4)
+        p.add("d2", 2)
+        assert p.document_frequency == 2
+        assert p.collection_frequency == 3
+
+    def test_membership_and_documents(self):
+        p = PostingList("t")
+        p.add("d1", 0)
+        assert "d1" in p
+        assert "d2" not in p
+        assert list(p.documents()) == ["d1"]

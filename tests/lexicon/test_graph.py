@@ -1,0 +1,77 @@
+"""LexicalGraph tests."""
+
+from repro.lexicon.graph import LexicalGraph
+
+
+class TestGraphConstruction:
+    def test_add_edge_is_undirected(self):
+        g = LexicalGraph()
+        g.add_edge("a", "b")
+        assert "b" in g.neighbors("a")
+        assert "a" in g.neighbors("b")
+
+    def test_normalization(self):
+        g = LexicalGraph()
+        g.add_edge("  PC  Maker ", "Lenovo")
+        assert "pc maker" in g
+        assert g.distance("PC MAKER", "lenovo") == 1
+
+    def test_self_edge_ignored(self):
+        g = LexicalGraph()
+        g.add_edge("a", "a")
+        assert g.neighbors("a") == {}
+
+    def test_synonym_clique(self):
+        g = LexicalGraph()
+        g.add_synonyms("a", "b", "c")
+        assert g.distance("a", "c") == 1
+        assert g.distance("b", "c") == 1
+
+    def test_hyponyms_star(self):
+        g = LexicalGraph()
+        g.add_hyponyms("sports", "nba", "olympics")
+        assert g.distance("nba", "olympics") == 2  # via the parent
+
+    def test_relation_labels(self):
+        g = LexicalGraph()
+        g.add_edge("a", "b", LexicalGraph.SYNONYM)
+        assert g.neighbors("a")["b"] == "synonym"
+
+
+class TestDistances:
+    def make_path(self, *nodes):
+        g = LexicalGraph()
+        for a, b in zip(nodes, nodes[1:]):
+            g.add_edge(a, b)
+        return g
+
+    def test_path_distances(self):
+        g = self.make_path("a", "b", "c", "d")
+        assert g.distance("a", "a") == 0
+        assert g.distance("a", "b") == 1
+        assert g.distance("a", "d") == 3
+
+    def test_max_distance_prunes(self):
+        g = self.make_path("a", "b", "c", "d")
+        assert g.distance("a", "d", max_distance=2) is None
+        assert g.distance("a", "c", max_distance=2) == 2
+
+    def test_unknown_lemma_gives_none(self):
+        g = self.make_path("a", "b")
+        assert g.distance("a", "zzz") is None
+        assert g.distance("zzz", "a") is None
+
+    def test_disconnected_gives_none(self):
+        g = LexicalGraph()
+        g.add_edge("a", "b")
+        g.add_edge("x", "y")
+        assert g.distance("a", "x") is None
+
+    def test_within_distance(self):
+        g = self.make_path("a", "b", "c", "d", "e")
+        reach = g.within_distance("a", 2)
+        assert reach == {"a": 0, "b": 1, "c": 2}
+
+    def test_within_distance_unknown(self):
+        g = LexicalGraph()
+        assert g.within_distance("nope", 3) == {}

@@ -1,0 +1,62 @@
+"""Lexicon edge-list I/O."""
+
+import pytest
+
+from repro.core.io import SerializationError
+from repro.lexicon.graph import LexicalGraph
+from repro.lexicon.io import load_lexicon, parse_lexicon_lines, save_lexicon
+from repro.lexicon.wordnet_like import build_default_lexicon
+
+
+class TestParse:
+    def test_tab_separated_edges(self):
+        graph = parse_lexicon_lines(
+            ["conference\tworkshop\trelated", "pc maker\tlenovo\thypernym"]
+        )
+        assert graph.distance("conference", "workshop") == 1
+        assert graph.neighbors("pc maker")["lenovo"] == "hypernym"
+
+    def test_pipe_separated_and_default_relation(self):
+        graph = parse_lexicon_lines(["a | b"])
+        assert graph.neighbors("a")["b"] == LexicalGraph.RELATED
+
+    def test_comments_and_blanks_ignored(self):
+        graph = parse_lexicon_lines(["# header", "", "a\tb"])
+        assert len(graph) == 2
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(SerializationError):
+            parse_lexicon_lines(["a\tb\tantonym"])
+
+    def test_wrong_column_count_rejected(self):
+        with pytest.raises(SerializationError):
+            parse_lexicon_lines(["only-one-column"])
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        graph = LexicalGraph()
+        graph.add_synonyms("partnership", "partner")
+        graph.add_hyponyms("sports", "nba")
+        path = tmp_path / "lexicon.tsv"
+        save_lexicon(graph, path)
+        loaded = load_lexicon(path)
+        assert loaded.distance("partnership", "partner") == 1
+        assert loaded.neighbors("sports")["nba"] == "hypernym"
+
+    def test_default_lexicon_round_trips(self, tmp_path):
+        graph = build_default_lexicon()
+        path = tmp_path / "default.tsv"
+        save_lexicon(graph, path)
+        loaded = load_lexicon(path)
+        assert len(loaded) == len(graph)
+        for a, b in [("conference", "workshop"), ("pc maker", "lenovo")]:
+            assert loaded.distance(a, b) == graph.distance(a, b)
+
+    def test_each_edge_written_once(self, tmp_path):
+        graph = LexicalGraph()
+        graph.add_edge("a", "b")
+        path = tmp_path / "g.tsv"
+        save_lexicon(graph, path)
+        lines = [l for l in path.read_text().splitlines() if not l.startswith("#")]
+        assert len(lines) == 1

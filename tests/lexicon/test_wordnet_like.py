@@ -1,0 +1,58 @@
+"""Default lexicon and the 1 − 0.3d scoring rule."""
+
+import pytest
+
+from repro.lexicon.graph import LexicalGraph
+from repro.lexicon.wordnet_like import (
+    build_default_lexicon,
+    default_lexicon,
+    semantic_score,
+)
+
+
+class TestDefaultLexicon:
+    def test_builds_nontrivial_graph(self):
+        g = build_default_lexicon()
+        assert len(g) > 100
+
+    def test_papers_manual_edges_present(self):
+        g = default_lexicon()
+        # The paper added these two edges to WordNet for its experiments.
+        assert g.distance("conference", "workshop") == 1
+        assert g.distance("university", "place") == 1
+
+    def test_intro_example_vocabulary(self):
+        g = default_lexicon()
+        assert g.distance("pc maker", "lenovo") == 1
+        assert g.distance("sports", "nba") == 1
+        assert g.distance("partnership", "deal") == 1
+        assert g.distance("partnership", "partner") == 1
+
+    def test_default_lexicon_is_cached(self):
+        assert default_lexicon() is default_lexicon()
+
+
+class TestSemanticScore:
+    @pytest.fixture
+    def graph(self):
+        g = LexicalGraph()
+        for a, b in [("q", "d1"), ("d1", "d2"), ("d2", "d3"), ("d3", "d4")]:
+            g.add_edge(a, b)
+        return g
+
+    def test_paper_score_ladder(self, graph):
+        assert semantic_score(graph, "q", "q") == pytest.approx(1.0)
+        assert semantic_score(graph, "q", "d1") == pytest.approx(0.7)
+        assert semantic_score(graph, "q", "d2") == pytest.approx(0.4)
+        assert semantic_score(graph, "q", "d3") == pytest.approx(0.1)
+
+    def test_beyond_max_distance_is_none(self, graph):
+        assert semantic_score(graph, "q", "d4") is None
+
+    def test_unknown_term_is_none(self, graph):
+        assert semantic_score(graph, "q", "unknown") is None
+
+    def test_custom_penalty(self, graph):
+        assert semantic_score(
+            graph, "q", "d2", per_edge_penalty=0.25
+        ) == pytest.approx(0.5)

@@ -1,0 +1,54 @@
+"""Date and number matchers."""
+
+import pytest
+
+from repro.matching.dates import DateMatcher, NumberMatcher
+from repro.text.document import Document
+
+
+class TestDateMatcher:
+    def test_month_names(self):
+        doc = Document("d", "submissions due June 24, deadline in September")
+        matches = DateMatcher().matches(doc)
+        tokens = {m.token for m in matches}
+        assert "june" in tokens
+        assert "september" in tokens
+
+    def test_years_in_range(self):
+        doc = Document("d", "from 1989 to 1990 and 2010 to 2011")
+        matches = DateMatcher(year_range=(1990, 2010)).matches(doc)
+        assert {m.token for m in matches} == {"1990", "2010"}
+
+    def test_numeric_dates(self):
+        doc = Document("d", "held 06/24/2008 and 24-26 next month")
+        tokens = {m.token for m in DateMatcher().matches(doc)}
+        assert "06/24/2008" in tokens
+        assert "24-26" in tokens
+
+    def test_small_day_numbers_not_years(self):
+        doc = Document("d", "room 12 floor 3")
+        assert len(DateMatcher().matches(doc)) == 0
+
+    def test_score_is_one_by_default(self):
+        doc = Document("d", "June 2008")
+        assert all(m.score == pytest.approx(1.0) for m in DateMatcher().matches(doc))
+
+    def test_abbreviated_months(self):
+        doc = Document("d", "due Jan 5 or Sept 9")
+        tokens = {m.token for m in DateMatcher().matches(doc)}
+        assert {"jan", "sept"} <= tokens
+
+
+class TestNumberMatcher:
+    def test_range_filtering(self):
+        doc = Document("d", "built in 1173, rebuilt 1990, room 7")
+        matches = NumberMatcher("year", 1000, 2100).matches(doc)
+        assert {m.token for m in matches} == {"1173", "1990"}
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            NumberMatcher("year", 10, 5)
+
+    def test_non_numeric_ignored(self):
+        doc = Document("d", "twelve 12a a12")
+        assert len(NumberMatcher("n", 0, 100).matches(doc)) == 0

@@ -1,0 +1,65 @@
+"""Exact and stem matchers."""
+
+import pytest
+
+from repro.matching.exact import ExactMatcher, StemMatcher
+from repro.text.document import Document
+
+
+DOC = Document(
+    "d",
+    "Lenovo will become the official PC partner of the NBA. "
+    "The partnership with partners builds on earlier partnerships.",
+)
+
+
+class TestExactMatcher:
+    def test_single_word(self):
+        matches = ExactMatcher("partner").matches(DOC)
+        assert [m.location for m in matches] == [6]
+
+    def test_case_insensitive(self):
+        assert len(ExactMatcher("nba").matches(DOC)) == 1
+
+    def test_no_match(self):
+        assert len(ExactMatcher("dell").matches(DOC)) == 0
+
+    def test_custom_score(self):
+        matches = ExactMatcher("lenovo", score=0.4).matches(DOC)
+        assert matches[0].score == pytest.approx(0.4)
+
+    def test_multiword_phrase(self):
+        doc = Document("d", "the olympic games in beijing")
+        matches = ExactMatcher("olympic games").matches(doc)
+        assert [m.location for m in matches] == [1]
+        assert matches[0].token == "olympic games"
+
+    def test_phrase_longer_than_document(self):
+        doc = Document("d", "short")
+        assert len(ExactMatcher("a much longer phrase").matches(doc)) == 0
+
+    def test_term_label_set_on_list(self):
+        assert ExactMatcher("nba").matches(DOC).term == "nba"
+
+
+class TestStemMatcher:
+    def test_matches_inflections(self):
+        matches = StemMatcher("partner").matches(DOC)
+        # partner (6), partners (13) share the stem; "partnership(s)" does not.
+        assert [m.location for m in matches] == [6, 13]
+
+    def test_partnership_inflections(self):
+        matches = StemMatcher("partnership").matches(DOC)
+        assert [m.location for m in matches] == [11, 17]
+
+    def test_multiword_stemmed_phrase(self):
+        doc = Document("d", "building bridges and built structures")
+        matches = StemMatcher("build bridge").matches(doc)
+        assert [m.location for m in matches] == [0]
+
+    def test_union_of_exact_and_stem(self):
+        union = ExactMatcher("partner", score=1.0) | StemMatcher("partner", score=0.5)
+        matches = union.matches(DOC)
+        by_loc = {m.location: m.score for m in matches}
+        assert by_loc[6] == pytest.approx(1.0)  # exact wins at overlap
+        assert by_loc[13] == pytest.approx(0.5)

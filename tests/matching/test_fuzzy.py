@@ -1,0 +1,96 @@
+"""Fuzzy (edit-distance) matcher."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.matching.fuzzy import FuzzyMatcher, bounded_levenshtein
+from repro.text.document import Document
+
+_words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=0, max_size=8
+)
+
+
+def full_levenshtein(a: str, b: str) -> int:
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, 1):
+        current = [i]
+        for j, cb in enumerate(b, 1):
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + (ca != cb))
+            )
+        previous = current
+    return previous[-1]
+
+
+class TestBoundedLevenshtein:
+    def test_known_distances(self):
+        assert bounded_levenshtein("lenovo", "lenovo", 2) == 0
+        assert bounded_levenshtein("lenovo", "lenvoo", 2) == 2  # transposition = 2 edits
+        assert bounded_levenshtein("kitten", "sitting", 3) == 3
+        assert bounded_levenshtein("abc", "abcd", 1) == 1
+
+    def test_exceeding_limit_returns_none(self):
+        assert bounded_levenshtein("kitten", "sitting", 2) is None
+        assert bounded_levenshtein("a", "abcdef", 2) is None
+
+    @given(_words, _words)
+    def test_matches_unbounded_reference(self, a, b):
+        want = full_levenshtein(a, b)
+        got = bounded_levenshtein(a, b, 8)
+        assert got == (want if want <= 8 else None)
+
+    @given(_words, _words, st.integers(0, 4))
+    def test_limit_semantics(self, a, b, limit):
+        want = full_levenshtein(a, b)
+        got = bounded_levenshtein(a, b, limit)
+        if want <= limit:
+            assert got == want
+        else:
+            assert got is None
+
+
+class TestFuzzyMatcher:
+    def test_exact_token_scores_one(self):
+        doc = Document("d", "Lenovo ships laptops")
+        matches = FuzzyMatcher("lenovo").matches(doc)
+        assert matches[0].score == pytest.approx(1.0)
+
+    def test_typo_matches_with_reduced_score(self):
+        doc = Document("d", "Lenvoo ships laptops")
+        matches = FuzzyMatcher("lenovo", max_distance=2).matches(doc)
+        assert len(matches) == 1
+        assert matches[0].score == pytest.approx(1.0 - 2 / 6)
+
+    def test_beyond_distance_does_not_match(self):
+        doc = Document("d", "Lanava ships laptops")
+        assert len(FuzzyMatcher("lenovo", max_distance=1).matches(doc)) == 0
+
+    def test_short_tokens_require_exact_match(self):
+        doc = Document("d", "the cat sat")
+        # "cat" is below min_token_length; "car" must not fuzzily match it.
+        assert len(FuzzyMatcher("car").matches(doc)) == 0
+        assert len(FuzzyMatcher("cat").matches(doc)) == 1
+
+    def test_stopwords_never_match(self):
+        doc = Document("d", "that is that")
+        assert len(FuzzyMatcher("than").matches(doc)) == 0
+
+    def test_multiword_term(self):
+        doc = Document("d", "the olympc games begin")
+        matches = FuzzyMatcher("olympic games").matches(doc)
+        assert len(matches) == 1
+        assert matches[0].token == "olympc games"
+        assert matches[0].score == pytest.approx(1.0 - 1 / len("olympicgames"))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FuzzyMatcher("x", max_distance=0)
+
+    def test_composes_with_semantic_union(self):
+        from repro.matching.semantic import SemanticMatcher
+
+        doc = Document("d", "Lenvoo renewed the partnership")
+        union = SemanticMatcher("pc maker") | FuzzyMatcher("lenovo", max_distance=2)
+        assert any(m.token == "lenvoo" for m in union.matches(doc))

@@ -1,0 +1,68 @@
+"""QueryMatcher and default matcher selection."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.matching.dates import DateMatcher, NumberMatcher
+from repro.matching.exact import ExactMatcher
+from repro.matching.pipeline import QueryMatcher, default_matcher
+from repro.matching.places import PlaceMatcher
+from repro.matching.semantic import SemanticMatcher
+from repro.matching.base import UnionMatcher
+from repro.text.document import Document
+
+
+class TestDefaultMatcher:
+    def test_special_terms(self):
+        assert isinstance(default_matcher("date"), DateMatcher)
+        assert isinstance(default_matcher("year"), NumberMatcher)
+        assert isinstance(default_matcher("place"), PlaceMatcher)
+
+    def test_general_terms_get_semantic_matcher(self):
+        assert isinstance(default_matcher("partnership"), SemanticMatcher)
+
+    def test_alternation_builds_union(self):
+        matcher = default_matcher("conference|workshop")
+        assert isinstance(matcher, UnionMatcher)
+
+
+class TestQueryMatcher:
+    def test_produces_one_list_per_term_in_order(self):
+        q = Query.of("conference|workshop", "date", "place")
+        doc = Document(
+            "d", "The workshop takes place in Pisa, Italy on June 24, 2008."
+        )
+        lists = QueryMatcher(q).match_lists(doc)
+        assert len(lists) == 3
+        assert lists[0].term == "conference|workshop"
+        assert len(lists[0]) >= 1  # workshop
+        assert len(lists[1]) >= 2  # june, 2008
+        assert len(lists[2]) >= 2  # pisa, italy
+
+    def test_explicit_matcher_override(self):
+        q = Query.of("a", "b")
+        qm = QueryMatcher(q, matchers={"a": ExactMatcher("lenovo")})
+        doc = Document("d", "lenovo b")
+        lists = qm.match_lists(doc)
+        assert [m.token for m in lists[0]] == ["lenovo"]
+
+    def test_unknown_override_term_rejected(self):
+        q = Query.of("a")
+        with pytest.raises(ValueError):
+            QueryMatcher(q, matchers={"zzz": ExactMatcher("x")})
+
+    def test_duplicate_token_across_terms_shares_location(self):
+        """One token serving two terms produces same-location matches —
+        the Section VI duplicate situation."""
+        q = Query.of("asia", "porcelain")
+        doc = Document("d", "fine china exports")
+        qm = QueryMatcher(
+            q,
+            matchers={
+                "asia": ExactMatcher("china"),
+                "porcelain": ExactMatcher("china"),
+            },
+        )
+        lists = qm.match_lists(doc)
+        assert lists[0][0].location == lists[1][0].location
+        assert lists[0][0].token_id == lists[1][0].token_id

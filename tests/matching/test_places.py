@@ -1,0 +1,43 @@
+"""The place matcher (gazetteer + lexicon cascade)."""
+
+import pytest
+
+from repro.matching.places import PlaceMatcher
+from repro.text.document import Document
+
+
+class TestPlaceMatcher:
+    def test_gazetteer_hits_score_one(self):
+        doc = Document("d", "held in Pisa, Italy")
+        matches = PlaceMatcher().matches(doc)
+        by_token = {m.token: m.score for m in matches}
+        assert by_token["pisa"] == pytest.approx(1.0)
+        assert by_token["italy"] == pytest.approx(1.0)
+
+    def test_lexicon_neighbor_scores_0_7(self):
+        # The paper adds a university—place edge; "university" scores 0.7.
+        doc = Document("d", "at the University of Somewhere")
+        matches = PlaceMatcher().matches(doc)
+        by_token = {m.token: m.score for m in matches}
+        assert by_token["university"] == pytest.approx(0.7)
+
+    def test_multiword_place_names(self):
+        doc = Document("d", "flights to New York and Hong Kong")
+        matches = PlaceMatcher().matches(doc)
+        tokens = {m.token for m in matches}
+        assert "new york" in tokens
+        assert "hong kong" in tokens
+
+    def test_longest_gazetteer_match_wins(self):
+        doc = Document("d", "rio de janeiro carnival")
+        matches = PlaceMatcher().matches(doc)
+        assert matches[0].token == "rio de janeiro"
+
+    def test_exact_concept_mention_matches(self):
+        doc = Document("d", "the place to be")
+        matches = PlaceMatcher().matches(doc)
+        assert any(m.token == "place" for m in matches)
+
+    def test_non_places_ignored(self):
+        doc = Document("d", "databases and algorithms")
+        assert len(PlaceMatcher().matches(doc)) == 0

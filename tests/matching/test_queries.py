@@ -1,0 +1,91 @@
+"""The query language."""
+
+import pytest
+
+from repro.matching.base import UnionMatcher
+from repro.matching.dates import DateMatcher, NumberMatcher
+from repro.matching.exact import ExactMatcher, StemMatcher
+from repro.matching.places import PlaceMatcher
+from repro.matching.queries import QuerySyntaxError, build_query_matcher, parse_query
+from repro.matching.semantic import SemanticMatcher
+from repro.text.document import Document
+
+
+class TestParseQuery:
+    def test_plain_terms(self):
+        query, matchers = parse_query("sports, partnership")
+        assert list(query) == ["sports", "partnership"]
+        assert isinstance(matchers["sports"], SemanticMatcher)
+
+    def test_quoted_multiword_term(self):
+        query, matchers = parse_query('"pc maker", sports')
+        assert list(query) == ["pc maker", "sports"]
+
+    def test_quoted_comma_stays_in_term(self):
+        query, _ = parse_query('"acme, inc", place')
+        assert list(query) == ["acme, inc", "place"]
+
+    def test_typed_terms(self):
+        from repro.matching.fuzzy import FuzzyMatcher
+
+        _, matchers = parse_query(
+            "lenovo:exact, partner:stem, hp:fuzzy, when:date, year:year, "
+            "where:place, pc:semantic"
+        )
+        assert isinstance(matchers["lenovo"], ExactMatcher)
+        assert isinstance(matchers["partner"], StemMatcher)
+        assert isinstance(matchers["hp"], FuzzyMatcher)
+        assert isinstance(matchers["when"], DateMatcher)
+        assert isinstance(matchers["year"], NumberMatcher)
+        assert isinstance(matchers["where"], PlaceMatcher)
+        assert isinstance(matchers["pc"], SemanticMatcher)
+
+    def test_special_bare_spellings(self):
+        _, matchers = parse_query("date, place")
+        assert isinstance(matchers["date"], DateMatcher)
+        assert isinstance(matchers["place"], PlaceMatcher)
+
+    def test_alternation(self):
+        _, matchers = parse_query("conference|workshop, date")
+        assert isinstance(matchers["conference|workshop"], UnionMatcher)
+
+    def test_colon_followed_by_text_is_plain(self):
+        query, matchers = parse_query("acme: the company, place")
+        assert query[0] == "acme: the company"
+        assert isinstance(matchers["acme: the company"], SemanticMatcher)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("foo:regex")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("  ,  ")
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query('"pc maker, sports')
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("sports, sports")
+
+    def test_missing_label_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(":date")
+
+
+class TestBuildQueryMatcher:
+    def test_end_to_end(self):
+        qm = build_query_matcher('"pc maker", sports, partnership')
+        doc = Document("d", "Lenovo renewed its partnership with the NBA.")
+        lists = qm.match_lists(doc)
+        assert [lst.term for lst in lists] == ["pc maker", "sports", "partnership"]
+        assert all(len(lst) >= 1 for lst in lists)
+
+    def test_typed_matchers_applied(self):
+        qm = build_query_matcher("nba:exact, when:date")
+        doc = Document("d", "The NBA signed in June 2008.")
+        lists = qm.match_lists(doc)
+        assert [m.token for m in lists[0]] == ["nba"]
+        assert {m.token for m in lists[1]} == {"june", "2008"}

@@ -1,0 +1,74 @@
+"""Regex matcher."""
+
+import pytest
+
+from repro.matching.regex import RegexMatcher
+from repro.text.document import Document
+
+
+class TestTokenMode:
+    def test_fullmatch_on_tokens(self):
+        doc = Document("d", "Release v1.2.3 follows v1.2 and version 2")
+        matcher = RegexMatcher("version", r"v\d+(\.\d+)+")
+        tokens = [m.token for m in matcher.matches(doc)]
+        assert tokens == ["v1.2.3", "v1.2"]
+
+    def test_case_insensitive_by_default(self):
+        doc = Document("d", "CODE-17 and code-18")
+        matcher = RegexMatcher("ticket", r"code-\d+")
+        assert len(matcher.matches(doc)) == 2
+
+    def test_case_sensitive_option(self):
+        doc = Document("d", "CODE-17 and code-18")
+        matcher = RegexMatcher("ticket", r"code-\d+", case_sensitive=True)
+        # Tokens are lowercased by the tokenizer; both normalized forms match.
+        assert len(matcher.matches(doc)) == 2
+
+    def test_partial_token_does_not_match(self):
+        doc = Document("d", "preconditions")
+        matcher = RegexMatcher("t", r"condition")
+        assert len(matcher.matches(doc)) == 0
+
+
+class TestTextMode:
+    def test_span_mapped_to_token_position(self):
+        doc = Document("d", "contact us at ops@example.com today")
+        matcher = RegexMatcher(
+            "email", r"[\w.]+@[\w.]+", mode="text"
+        )
+        matches = matcher.matches(doc)
+        assert len(matches) == 1
+        assert matches[0].token == "ops@example.com"
+        # "ops" is the 3rd token (0-based position 3).
+        assert matches[0].location == 3
+
+    def test_multi_token_span_anchored_at_first_token(self):
+        doc = Document("d", "pay 250 dollars now")
+        matcher = RegexMatcher("amount", r"\d+ dollars", mode="text")
+        matches = matcher.matches(doc)
+        assert len(matches) == 1
+        assert matches[0].token == "250 dollars"
+        assert matches[0].location == 1  # the "250" token
+
+    def test_hit_in_pure_punctuation_dropped(self):
+        doc = Document("d", "a --- b")
+        matcher = RegexMatcher("dash", r"---", mode="text")
+        assert len(matcher.matches(doc)) == 0
+
+
+class TestValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RegexMatcher("t", r"x", mode="words")
+
+    def test_custom_score(self):
+        doc = Document("d", "alpha")
+        matcher = RegexMatcher("t", r"alpha", score=0.4)
+        assert matcher.matches(doc)[0].score == 0.4
+
+    def test_composes_with_union(self):
+        from repro.matching.exact import ExactMatcher
+
+        doc = Document("d", "alpha beta")
+        union = RegexMatcher("t", r"alph.") | ExactMatcher("beta")
+        assert len(union.matches(doc)) == 2

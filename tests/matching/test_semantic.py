@@ -1,0 +1,70 @@
+"""The WordNet-like semantic matcher."""
+
+import pytest
+
+from repro.lexicon.graph import LexicalGraph
+from repro.matching.semantic import SemanticMatcher
+from repro.text.document import Document
+
+
+@pytest.fixture
+def graph():
+    g = LexicalGraph()
+    g.add_hyponyms("pc maker", "lenovo", "dell")
+    g.add_edge("pc maker", "maker")
+    g.add_edge("maker", "manufacturer")
+    return g
+
+
+class TestSemanticMatcher:
+    def test_distance_scored_matches(self, graph):
+        doc = Document("d", "Lenovo and Dell are rivals; the manufacturer wins.")
+        matcher = SemanticMatcher("pc maker", lexicon=graph)
+        matches = matcher.matches(doc)
+        by_token = {m.token: m.score for m in matches}
+        assert by_token["lenovo"] == pytest.approx(0.7)
+        assert by_token["dell"] == pytest.approx(0.7)
+        assert by_token["manufacturer"] == pytest.approx(0.4)
+
+    def test_exact_phrase_scores_one(self, graph):
+        doc = Document("d", "every pc maker ships laptops")
+        matches = SemanticMatcher("pc maker", lexicon=graph).matches(doc)
+        assert matches[0].token == "pc maker"
+        assert matches[0].score == pytest.approx(1.0)
+
+    def test_longest_phrase_preferred(self):
+        g = LexicalGraph()
+        g.add_edge("sports", "olympic games")
+        g.add_edge("sports", "olympic")
+        doc = Document("d", "the olympic games begin")
+        matches = SemanticMatcher("sports", lexicon=g).matches(doc)
+        assert matches[0].token == "olympic games"
+        assert matches[0].score == pytest.approx(0.7)
+
+    def test_stopwords_not_matched_as_unigrams(self):
+        g = LexicalGraph()
+        g.add_edge("question", "the")  # degenerate lexicon entry
+        doc = Document("d", "the cat")
+        matches = SemanticMatcher("question", lexicon=g).matches(doc)
+        assert len(matches) == 0
+
+    def test_unknown_term_still_matches_itself(self):
+        g = LexicalGraph()
+        doc = Document("d", "zyzzyva sightings of zyzzyva")
+        matches = SemanticMatcher("zyzzyva", lexicon=g).matches(doc)
+        assert [m.location for m in matches] == [0, 3]
+        assert all(m.score == pytest.approx(1.0) for m in matches)
+
+    def test_stemming_bridges_inflections(self, graph):
+        doc = Document("d", "manufacturers compete")
+        matches = SemanticMatcher("pc maker", lexicon=graph).matches(doc)
+        assert matches and matches[0].score == pytest.approx(0.4)
+
+    def test_tighter_distance_budget(self, graph):
+        doc = Document("d", "the manufacturer")
+        matcher = SemanticMatcher("pc maker", lexicon=graph, max_distance=1)
+        assert len(matcher.matches(doc)) == 0
+
+    def test_expansion_size_reported(self, graph):
+        matcher = SemanticMatcher("pc maker", lexicon=graph)
+        assert matcher.expansion_size >= 5

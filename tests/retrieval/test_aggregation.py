@@ -1,0 +1,64 @@
+"""Cross-document answer aggregation."""
+
+import pytest
+
+from repro.retrieval.qa import Answer, aggregate_answers
+
+
+def answer(doc_id, score, **fields):
+    spans = tuple((term, text, i) for i, (term, text) in enumerate(fields.items()))
+    return Answer(doc_id, score, spans, snippet="")
+
+
+class TestAggregateAnswers:
+    def test_identical_fields_group(self):
+        answers = [
+            answer("d1", 2.0, maker="lenovo", sport="nba"),
+            answer("d2", 1.5, maker="lenovo", sport="nba"),
+            answer("d3", 3.0, maker="dell", sport="olympics"),
+        ]
+        aggregated = aggregate_answers(answers)
+        assert len(aggregated) == 2
+        top = aggregated[0]
+        assert top.as_dict() == {"maker": "lenovo", "sport": "nba"}
+        assert top.support == 2
+        assert top.best_score == pytest.approx(2.0)
+        assert top.doc_ids == ("d1", "d2")
+
+    def test_support_outranks_score(self):
+        answers = [
+            answer("d1", 9.0, who="x"),
+            answer("d2", 1.0, who="y"),
+            answer("d3", 1.0, who="y"),
+        ]
+        aggregated = aggregate_answers(answers)
+        assert aggregated[0].as_dict() == {"who": "y"}
+
+    def test_score_breaks_support_ties(self):
+        answers = [answer("d1", 1.0, who="a"), answer("d2", 2.0, who="b")]
+        aggregated = aggregate_answers(answers)
+        assert aggregated[0].as_dict() == {"who": "b"}
+
+    def test_empty_input(self):
+        assert aggregate_answers([]) == []
+
+    def test_end_to_end_corroboration(self):
+        """Two articles stating the same partnership beat one stating
+        another, even when the lone one scores higher per-document."""
+        from repro.core.query import Query
+        from repro.core.scoring.presets import trec_max
+        from repro.retrieval.qa import QAEngine
+        from repro.text.document import Corpus, Document
+
+        corpus = Corpus(
+            [
+                Document("a1", "Lenovo confirmed its partnership with the NBA."),
+                Document("a2", "Sources say the Lenovo NBA partnership is growing."),
+                Document("b1", "Dell tennis partnership announced with fanfare."),
+            ]
+        )
+        engine = QAEngine(corpus, trec_max())
+        answers = engine.ask(Query.of("pc maker", "sports", "partnership"), top_k=10)
+        aggregated = aggregate_answers(answers)
+        assert aggregated[0].support == 2
+        assert "lenovo" in aggregated[0].as_dict().values()

@@ -1,0 +1,47 @@
+"""Answer-rank evaluation (Figure 12 semantics)."""
+
+from repro.core.match import Match, MatchList
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+from repro.retrieval.evaluation import AnswerRank, answer_rank
+from repro.retrieval.ranking import RankedDocument
+
+
+def ranked_doc(doc_id: str, score: float) -> RankedDocument:
+    q = Query.of("a")
+    ms = MatchSet.from_sequence(q, [Match(0, 1.0)])
+    return RankedDocument(doc_id, score, ms)
+
+
+class TestAnswerRank:
+    def test_unique_top_rank(self):
+        ranked = [ranked_doc("ans", 5.0), ranked_doc("x", 3.0)]
+        r = answer_rank(ranked, lambda d: d.doc_id == "ans")
+        assert r.rank == 1 and r.ties == 1
+        assert str(r) == "1"
+
+    def test_rank_counts_strictly_higher(self):
+        ranked = [ranked_doc("x", 9.0), ranked_doc("y", 7.0), ranked_doc("ans", 5.0)]
+        r = answer_rank(ranked, lambda d: d.doc_id == "ans")
+        assert r.rank == 3
+
+    def test_ties_reported_like_the_paper(self):
+        ranked = [
+            ranked_doc("x", 9.0),
+            ranked_doc("ans", 5.0),
+            ranked_doc("y", 5.0),
+            ranked_doc("z", 5.0),
+        ]
+        r = answer_rank(ranked, lambda d: d.doc_id == "ans")
+        assert r.rank == 2 and r.ties == 3
+        assert str(r) == "2(3)"
+
+    def test_missing_answer(self):
+        r = answer_rank([ranked_doc("x", 1.0)], lambda d: False)
+        assert r.rank is None
+        assert str(r) == "-"
+
+    def test_tolerance_groups_near_equal_scores(self):
+        ranked = [ranked_doc("ans", 5.0), ranked_doc("x", 5.0 + 1e-15)]
+        r = answer_rank(ranked, lambda d: d.doc_id == "ans")
+        assert r.rank == 1 and r.ties == 2

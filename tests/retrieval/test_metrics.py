@@ -1,0 +1,94 @@
+"""Retrieval-effectiveness metrics."""
+
+import pytest
+
+from repro.core.match import Match
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+from repro.retrieval.metrics import (
+    average_precision,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.retrieval.ranking import RankedDocument
+
+
+def ranked(*doc_ids):
+    q = Query.of("a")
+    ms = MatchSet.from_sequence(q, [Match(0, 1.0)])
+    return [RankedDocument(d, 1.0 / (i + 1), ms) for i, d in enumerate(doc_ids)]
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank(ranked("x", "y"), {"x"}) == pytest.approx(1.0)
+
+    def test_third_position(self):
+        assert reciprocal_rank(ranked("a", "b", "x"), {"x"}) == pytest.approx(1 / 3)
+
+    def test_missing_relevant(self):
+        assert reciprocal_rank(ranked("a", "b"), {"x"}) == 0.0
+
+    def test_predicate_form(self):
+        rr = reciprocal_rank(ranked("a", "b"), lambda r: r.doc_id == "b")
+        assert rr == pytest.approx(0.5)
+
+    def test_mrr(self):
+        runs = [(ranked("x", "y"), {"x"}), (ranked("a", "x"), {"x"})]
+        assert mean_reciprocal_rank(runs) == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_mrr_empty(self):
+        assert mean_reciprocal_rank([]) == 0.0
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        r = ranked("x", "a", "y", "b")
+        assert precision_at_k(r, {"x", "y"}, 2) == pytest.approx(0.5)
+        assert precision_at_k(r, {"x", "y"}, 4) == pytest.approx(0.5)
+        assert precision_at_k(r, {"x", "y"}, 1) == pytest.approx(1.0)
+
+    def test_precision_counts_missing_slots(self):
+        # Fewer results than k: denominator stays k (standard P@k).
+        assert precision_at_k(ranked("x"), {"x"}, 5) == pytest.approx(0.2)
+
+    def test_recall_at_k(self):
+        r = ranked("x", "a", "y", "b")
+        assert recall_at_k(r, {"x", "y"}, 1) == pytest.approx(0.5)
+        assert recall_at_k(r, {"x", "y"}, 3) == pytest.approx(1.0)
+
+    def test_recall_empty_relevant_set(self):
+        assert recall_at_k(ranked("a"), set(), 3) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k(ranked("a"), {"a"}, 0)
+        with pytest.raises(ValueError):
+            recall_at_k(ranked("a"), {"a"}, -1)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(ranked("x", "y", "a"), {"x", "y"}) == pytest.approx(1.0)
+
+    def test_interleaved_ranking(self):
+        # relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2
+        ap = average_precision(ranked("x", "a", "y"), {"x", "y"})
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_missing_relevant_counts_as_zero(self):
+        ap = average_precision(ranked("x", "a"), {"x", "never-found"})
+        assert ap == pytest.approx(0.5)
+
+    def test_map(self):
+        runs = [
+            (ranked("x", "a"), {"x"}),
+            (ranked("a", "x"), {"x"}),
+        ]
+        assert mean_average_precision(runs) == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_map_empty(self):
+        assert mean_average_precision([]) == 0.0

@@ -1,0 +1,158 @@
+"""Related-work document-level proximity scorers."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.match import MatchList
+from repro.retrieval.proximity_scoring import (
+    InfluenceScorer,
+    PairwiseProximityScorer,
+    ShortestIntervalScorer,
+    SpanScorer,
+    minimal_cover_windows,
+)
+
+
+def lists_from(*location_lists):
+    return [MatchList.from_pairs([(loc, 1.0) for loc in locs]) for locs in location_lists]
+
+
+def brute_force_minimal_windows(location_lists):
+    """All minimal covering windows by exhaustive enumeration."""
+    covers = set()
+    for combo in itertools.product(*location_lists):
+        covers.add((min(combo), max(combo)))
+    return sorted(
+        w
+        for w in covers
+        if not any(
+            o != w and o[0] >= w[0] and o[1] <= w[1] for o in covers
+        )
+    )
+
+
+class TestMinimalCoverWindows:
+    def test_single_term(self):
+        assert minimal_cover_windows(lists_from([3, 9])) == [(3, 3), (9, 9)]
+
+    def test_two_terms_basic(self):
+        windows = minimal_cover_windows(lists_from([1, 10], [4]))
+        assert windows == [(1, 4), (4, 10)]
+
+    def test_empty_when_some_term_missing(self):
+        assert minimal_cover_windows(lists_from([1, 2], [])) == []
+
+    def test_no_nested_windows(self):
+        windows = minimal_cover_windows(
+            lists_from([1, 5, 20], [2, 6, 21], [3, 25])
+        )
+        for a in windows:
+            for b in windows:
+                if a != b:
+                    assert not (b[0] >= a[0] and b[1] <= a[1])
+
+    @settings(max_examples=120)
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 25), min_size=1, max_size=5),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_matches_brute_force(self, location_lists):
+        got = minimal_cover_windows(lists_from(*location_lists))
+        want = brute_force_minimal_windows(
+            [sorted(set(locs)) for locs in location_lists]
+        )
+        assert got == want
+
+
+class TestShortestIntervalScorer:
+    def test_tight_beats_loose(self):
+        scorer = ShortestIntervalScorer(2)
+        tight = scorer.score(lists_from([0], [1]))
+        loose = scorer.score(lists_from([0], [30]))
+        assert tight > loose
+
+    def test_perfect_window_scores_one(self):
+        scorer = ShortestIntervalScorer(2)
+        assert scorer.score(lists_from([0], [1])) == pytest.approx(1.0)
+
+    def test_more_windows_more_score(self):
+        scorer = ShortestIntervalScorer(2)
+        one = scorer.score(lists_from([0], [1]))
+        two = scorer.score(lists_from([0, 50], [1, 51]))
+        assert two > one
+
+    def test_missing_term_scores_zero(self):
+        assert ShortestIntervalScorer(2).score(lists_from([1], [])) == 0.0
+
+    def test_rejects_bad_num_terms(self):
+        with pytest.raises(ValueError):
+            ShortestIntervalScorer(0)
+
+
+class TestPairwiseProximityScorer:
+    def test_inverse_square_accumulation(self):
+        scorer = PairwiseProximityScorer(window=5)
+        assert scorer.score(lists_from([0], [2])) == pytest.approx(1 / 4)
+        assert scorer.score(lists_from([0], [1])) == pytest.approx(1.0)
+
+    def test_pairs_beyond_window_ignored(self):
+        scorer = PairwiseProximityScorer(window=5)
+        assert scorer.score(lists_from([0], [9])) == 0.0
+
+    def test_same_term_pairs_ignored(self):
+        scorer = PairwiseProximityScorer(window=5)
+        assert scorer.score(lists_from([0, 1])) == 0.0
+
+    def test_co_located_pairs_ignored(self):
+        scorer = PairwiseProximityScorer(window=5)
+        assert scorer.score(lists_from([3], [3])) == 0.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            PairwiseProximityScorer(window=0)
+
+
+class TestInfluenceScorer:
+    def test_overlapping_influence_scores(self):
+        scorer = InfluenceScorer(reach=5)
+        assert scorer.score(lists_from([10], [12])) > 0.0
+
+    def test_disjoint_influence_scores_zero(self):
+        scorer = InfluenceScorer(reach=3)
+        assert scorer.score(lists_from([0], [100])) == 0.0
+
+    def test_closer_scores_higher(self):
+        scorer = InfluenceScorer(reach=8)
+        near = scorer.score(lists_from([10], [11]))
+        far = scorer.score(lists_from([10], [15]))
+        assert near > far
+
+    def test_missing_term_scores_zero(self):
+        assert InfluenceScorer().score(lists_from([1], [])) == 0.0
+
+
+class TestSpanScorer:
+    def test_multi_term_span_scores(self):
+        scorer = SpanScorer(max_gap=5)
+        assert scorer.score(lists_from([0], [2])) == pytest.approx(4 / 3)
+
+    def test_single_term_span_scores_zero(self):
+        scorer = SpanScorer(max_gap=5)
+        assert scorer.score(lists_from([0, 2])) == 0.0
+
+    def test_gap_splits_spans(self):
+        scorer = SpanScorer(max_gap=3)
+        split = scorer.score(lists_from([0, 20], [1, 21]))
+        assert split == pytest.approx(2 * (4 / 2))
+
+    def test_denser_span_scores_higher(self):
+        scorer = SpanScorer(max_gap=10)
+        dense = scorer.score(lists_from([0], [1], [2]))
+        sparse = scorer.score(lists_from([0], [4], [8]))
+        assert dense > sparse

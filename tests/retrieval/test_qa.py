@@ -1,0 +1,55 @@
+"""The QA engine on a small corpus."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.retrieval.qa import QAEngine
+from repro.core.scoring.presets import trec_max
+from repro.text.document import Corpus, Document
+
+
+@pytest.fixture
+def corpus():
+    return Corpus(
+        [
+            Document(
+                "news-1",
+                "As part of the new deal, Lenovo will become the official PC "
+                "partner of the NBA, and it will be marketing its NBA "
+                "affiliation in the U.S. and in China.",
+            ),
+            Document(
+                "news-2",
+                "Hewlett-Packard announced quarterly earnings, and a vague "
+                "partnership between unnamed sponsors was discussed briefly.",
+            ),
+            Document("news-3", "Completely unrelated text about cooking pasta."),
+        ]
+    )
+
+
+class TestQAEngine:
+    def test_returns_ranked_answers(self, corpus):
+        engine = QAEngine(corpus, trec_max())
+        query = Query.of("pc maker", "sports", "partnership")
+        answers = engine.ask(query, top_k=3)
+        assert answers
+        assert answers[0].doc_id == "news-1"
+        assert all(a.score >= b.score for a, b in zip(answers, answers[1:]))
+
+    def test_answer_spans_name_all_terms(self, corpus):
+        engine = QAEngine(corpus, trec_max())
+        query = Query.of("pc maker", "sports", "partnership")
+        top = engine.ask(query, top_k=1)[0]
+        assert {term for term, _text, _loc in top.spans} == set(query.terms)
+
+    def test_snippet_covers_matchset(self, corpus):
+        engine = QAEngine(corpus, trec_max(), snippet_window=3)
+        query = Query.of("pc maker", "sports", "partnership")
+        top = engine.ask(query, top_k=1)[0]
+        assert "lenovo" in top.snippet.lower() or "nba" in top.snippet.lower()
+
+    def test_top_k_limits_results(self, corpus):
+        engine = QAEngine(corpus, trec_max())
+        query = Query.of("pc maker", "sports", "partnership")
+        assert len(engine.ask(query, top_k=1)) <= 1

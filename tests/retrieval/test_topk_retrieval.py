@@ -1,0 +1,110 @@
+"""Top-k document retrieval with upper-bound skipping."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+from repro.retrieval.ranking import rank_match_lists
+from repro.retrieval.topk_retrieval import TopKResult, rank_top_k, score_upper_bound
+
+from tests.conftest import join_instances
+
+
+def corpus_of(num_docs: int, seed: int):
+    rng = random.Random(seed)
+    query = Query.of("a", "b")
+    docs = []
+    for i in range(num_docs):
+        lists = [
+            MatchList.from_pairs(
+                [
+                    (rng.randint(0, 60), rng.uniform(0.05, 1.0))
+                    for _ in range(rng.randint(0, 4))
+                ]
+            )
+            for _ in range(2)
+        ]
+        docs.append((f"doc-{i:03d}", lists))
+    return query, docs
+
+
+class TestScoreUpperBound:
+    @settings(max_examples=80, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5))
+    def test_bounds_every_matchset_score(self, instance):
+        from repro.core.algorithms.naive import iterate_matchsets
+
+        query, lists = instance
+        for scoring in (trec_win(), trec_med(), trec_max()):
+            bound = score_upper_bound(scoring, lists)
+            for matchset in iterate_matchsets(query, lists):
+                assert scoring.score(matchset) <= bound + 1e-9
+
+
+class TestRankTopK:
+    @pytest.mark.parametrize("scoring_factory", [trec_win, trec_med, trec_max])
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_equals_full_ranking_prefix(self, scoring_factory, k):
+        query, docs = corpus_of(40, seed=9)
+        scoring = scoring_factory()
+        full = rank_match_lists(docs, query, scoring)
+        result = rank_top_k(docs, query, scoring, k)
+        assert [(r.doc_id, pytest.approx(r.score)) for r in result.ranked] == [
+            (r.doc_id, pytest.approx(r.score)) for r in full[:k]
+        ]
+
+    def test_ties_resolved_like_full_ranking(self):
+        query = Query.of("a", "b")
+        lists = [MatchList.from_pairs([(0, 0.5)]), MatchList.from_pairs([(1, 0.5)])]
+        docs = [("z", lists), ("a", lists), ("m", lists)]
+        full = rank_match_lists(docs, query, trec_win())
+        result = rank_top_k(docs, query, trec_win(), 2)
+        assert [r.doc_id for r in result.ranked] == [r.doc_id for r in full[:2]]
+
+    def test_skips_hopeless_documents(self):
+        query = Query.of("a", "b")
+        docs = [("strong", [
+            MatchList.from_pairs([(0, 1.0)]),
+            MatchList.from_pairs([(1, 1.0)]),
+        ])]
+        # Many weak, far-apart documents whose *bound* is already below
+        # the strong document's actual score.
+        for i in range(30):
+            docs.append(
+                (
+                    f"weak-{i:02d}",
+                    [
+                        MatchList.from_pairs([(0, 0.05)]),
+                        MatchList.from_pairs([(50, 0.05)]),
+                    ],
+                )
+            )
+        result = rank_top_k(docs, query, trec_win(), 1)
+        assert result.ranked[0].doc_id == "strong"
+        assert result.joins_skipped >= 25
+
+    def test_statistics(self):
+        query, docs = corpus_of(20, seed=4)
+        result = rank_top_k(docs, query, trec_med(), 3)
+        assert result.documents_seen == 20
+        assert 0 <= result.joins_run <= 20
+        assert result.joins_skipped == 20 - result.joins_run
+
+    def test_k_validation(self):
+        query, docs = corpus_of(3, seed=1)
+        with pytest.raises(ValueError):
+            rank_top_k(docs, query, trec_win(), 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_randomized_equivalence(self, seed):
+        query, docs = corpus_of(25, seed=seed)
+        scoring = trec_med()
+        full = rank_match_lists(docs, query, scoring)
+        result = rank_top_k(docs, query, scoring, 5)
+        assert [r.doc_id for r in result.ranked] == [r.doc_id for r in full[:5]]

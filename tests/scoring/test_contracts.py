@@ -1,0 +1,86 @@
+"""The empirical contract checkers."""
+
+import math
+
+import pytest
+
+from repro.core.scoring.contracts import (
+    check_max_contract,
+    check_med_contract,
+    check_win_contract,
+)
+from repro.core.scoring.extra import LinearDecayMax, PureProximityWin, WeightedAdditiveMed
+from repro.core.scoring.maxloc import AdditiveExponentialMax, CustomMax, ExponentialProductMax
+from repro.core.scoring.med import AdditiveMed, ExponentialProductMed
+from repro.core.scoring.win import CustomWin, ExponentialProductWin, LinearAdditiveWin
+
+
+class TestShippedFunctionsPass:
+    @pytest.mark.parametrize(
+        "scoring",
+        [ExponentialProductWin(0.1), LinearAdditiveWin(), PureProximityWin()],
+        ids=lambda s: type(s).__name__,
+    )
+    def test_win_functions(self, scoring):
+        report = check_win_contract(scoring)
+        assert report.ok, report.summary()
+
+    @pytest.mark.parametrize(
+        "scoring",
+        [ExponentialProductMed(0.1), AdditiveMed(), WeightedAdditiveMed([1.0, 2.0, 3.0])],
+        ids=lambda s: type(s).__name__,
+    )
+    def test_med_functions(self, scoring):
+        report = check_med_contract(scoring)
+        assert report.ok, report.summary()
+
+    @pytest.mark.parametrize(
+        "scoring",
+        [ExponentialProductMax(0.1), AdditiveExponentialMax(0.1), LinearDecayMax(0.5)],
+        ids=lambda s: type(s).__name__,
+    )
+    def test_max_functions(self, scoring):
+        report = check_max_contract(scoring)
+        assert report.ok, report.summary()
+
+
+class TestViolationsDetected:
+    def test_power_law_win_caught(self):
+        scoring = CustomWin(g=math.log, f=lambda x, y: math.exp(x) / (1.0 + y))
+        report = check_win_contract(scoring)
+        assert not report.ok
+        assert any("optimal substructure" in v for v in report.violations)
+
+    def test_hard_cutoff_win_caught(self):
+        scoring = CustomWin(
+            g=lambda x: x, f=lambda x, y: x if y <= 4 else float("-inf")
+        )
+        report = check_win_contract(scoring)
+        assert not report.ok
+
+    def test_decreasing_g_med_caught(self):
+        from repro.core.scoring.med import CustomMed
+
+        scoring = CustomMed(g=lambda x: -x, f=lambda x: x)
+        report = check_med_contract(scoring)
+        assert not report.ok
+        assert any("not increasing" in v for v in report.violations)
+
+    def test_false_maximized_at_match_claim_caught(self):
+        # Gaussian-of-distance contributions: the sum of two equal bumps
+        # peaks midway between them — claiming maximized-at-match is wrong.
+        scoring = CustomMax(
+            g=lambda x, y: x * math.exp(-0.02 * y * y),
+            f=lambda x: x,
+            at_most_one_crossing=True,
+            maximized_at_match=True,
+        )
+        report = check_max_contract(scoring)
+        assert not report.ok
+        assert any("off-match" in v for v in report.violations)
+
+    def test_report_summary_shows_examples(self):
+        scoring = CustomWin(g=lambda x: x, f=lambda x, y: x + y)  # increasing in y!
+        report = check_win_contract(scoring)
+        assert not report.ok
+        assert "violation" in report.summary()

@@ -1,0 +1,107 @@
+"""Why the paper's scoring-function conditions matter.
+
+Definition 3 demands the *optimal substructure* property of WIN's ``f``;
+these tests construct plausible-looking scoring functions that violate
+it — a power-law window decay and a hard window cut-off — together with
+concrete inputs on which Algorithm 1 provably returns a suboptimal
+matchset.  They document (and pin down) the boundary of the algorithm's
+correctness rather than a bug: for such functions the naive join is the
+right tool.
+"""
+
+import math
+
+import pytest
+
+from repro.core.algorithms.naive import naive_join
+from repro.core.algorithms.win_join import win_join
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.scoring.win import CustomWin
+
+
+class TestPowerLawDecayViolatesOptimalSubstructure:
+    """f(x, y) = e^x / (1 + y): the decay *ratio* over a window increase
+    depends on the current window, unlike exponential decay."""
+
+    scoring = CustomWin(g=math.log, f=lambda x, y: math.exp(x) / (1.0 + y))
+
+    def test_property_violation_witness(self):
+        f = self.scoring.f
+        # Equal scores at (x, 9) and (x', 0), then both windows grow by 1:
+        x = math.log(10.0)  # f(x, 9) = 1.0
+        x2 = math.log(1.0)  # f(x2, 0) = 1.0
+        assert f(x, 9) == pytest.approx(f(x2, 0))
+        # ...but the wide window decays *less*: ordering flips.
+        assert f(x, 10) > f(x2, 1)
+
+    def test_algorithm1_is_suboptimal_on_a_concrete_instance(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(0, 0.7), (9, 0.1)]),
+            MatchList.from_pairs([(10, 0.5)]),
+        ]
+        fast = win_join(q, lists, self.scoring)
+        slow = naive_join(q, lists, self.scoring)
+        # The DP discards the strong-but-distant match at location 0 when
+        # the weak match at 9 looks better locally; power-law decay later
+        # favours the discarded one.
+        assert slow.score > fast.score + 1e-12
+        assert slow.matchset["a"].location == 0
+        assert fast.matchset["a"].location == 9
+
+
+class TestHardCutoffViolatesOptimalSubstructure:
+    """f(x, y) = x for y ≤ W, else −∞: a window that is fine now can be
+    ruined later, so locally-best partials are not globally safe."""
+
+    scoring = CustomWin(
+        g=lambda x: x,
+        f=lambda x, y: x if y <= 4 else float("-inf"),
+    )
+
+    def test_property_violation_witness(self):
+        f = self.scoring.f
+        # f(1.0, 4) ≥ f(0.5, 1), but growing both windows by 3 flips it:
+        assert f(1.0, 4) >= f(0.5, 1)
+        assert f(1.0, 7) < f(0.5, 4)
+
+    def test_algorithm1_is_suboptimal_on_a_concrete_instance(self):
+        q = Query.of("a", "b")
+        lists = [
+            MatchList.from_pairs([(0, 0.9), (4, 0.5)]),
+            MatchList.from_pairs([(7, 0.5)]),
+        ]
+        fast = win_join(q, lists, self.scoring)
+        slow = naive_join(q, lists, self.scoring)
+        # DP keeps the 0.9 match (window still within the cut-off at the
+        # time), which the final match at 7 pushes over the limit.
+        assert slow.score == pytest.approx(1.0)
+        assert fast.score == float("-inf")
+
+
+class TestExponentialDecayIsSafeOnTheSameInstances:
+    """The same instances are handled optimally by a conforming function —
+    the failure above is the scoring function's, not the algorithm's."""
+
+    @pytest.mark.parametrize(
+        "lists",
+        [
+            [
+                MatchList.from_pairs([(0, 0.7), (9, 0.1)]),
+                MatchList.from_pairs([(10, 0.5)]),
+            ],
+            [
+                MatchList.from_pairs([(0, 0.9), (4, 0.5)]),
+                MatchList.from_pairs([(7, 0.5)]),
+            ],
+        ],
+    )
+    def test_exponential_win_stays_optimal(self, lists):
+        from repro.core.scoring.win import ExponentialProductWin
+
+        q = Query.of("a", "b")
+        scoring = ExponentialProductWin(alpha=0.25)
+        fast = win_join(q, lists, scoring)
+        slow = naive_join(q, lists, scoring)
+        assert fast.score == pytest.approx(slow.score)

@@ -1,0 +1,109 @@
+"""The additional scoring functions, cross-checked against oracles."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.max_join import max_join
+from repro.core.algorithms.med_join import med_join
+from repro.core.algorithms.naive import naive_join
+from repro.core.algorithms.win_join import win_join
+from repro.core.errors import ScoringContractError
+from repro.core.scoring.extra import (
+    LinearDecayMax,
+    PureProximityWin,
+    WeightedAdditiveMed,
+)
+from repro.retrieval.proximity_scoring import minimal_cover_windows
+
+from tests.conftest import join_instances
+
+
+class TestPureProximityWin:
+    @settings(max_examples=80, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5))
+    def test_agrees_with_naive(self, instance):
+        query, lists = instance
+        scoring = PureProximityWin()
+        fast = win_join(query, lists, scoring)
+        slow = naive_join(query, lists, scoring)
+        assert fast.score == pytest.approx(slow.score)
+
+    @settings(max_examples=80, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5))
+    def test_best_window_is_smallest_cover_window(self, instance):
+        """The WIN family subsumes the classic shortest-cover criterion."""
+        query, lists = instance
+        result = win_join(query, lists, PureProximityWin())
+        windows = minimal_cover_windows(lists)
+        smallest = min(hi - lo for lo, hi in windows)
+        assert -result.score == pytest.approx(smallest)
+
+
+class TestWeightedAdditiveMed:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ScoringContractError):
+            WeightedAdditiveMed([])
+        with pytest.raises(ScoringContractError):
+            WeightedAdditiveMed([1.0, -1.0])
+        with pytest.raises(ScoringContractError):
+            WeightedAdditiveMed([1.0], scale=0)
+
+    def test_out_of_range_term_rejected(self):
+        with pytest.raises(ScoringContractError):
+            WeightedAdditiveMed([1.0]).g(3, 0.5)
+
+    def test_weights_shift_the_best_matchset(self):
+        from repro.core.match import MatchList
+        from repro.core.query import Query
+
+        q = Query.of("entity", "keyword")
+        lists = [
+            # entity: strong match far left, weak match near the keyword
+            MatchList.from_pairs([(0, 1.0), (20, 0.3)]),
+            MatchList.from_pairs([(21, 1.0)]),
+        ]
+        plain = med_join(q, lists, WeightedAdditiveMed([1.0, 1.0]))
+        boosted = med_join(q, lists, WeightedAdditiveMed([60.0, 1.0]))
+        assert plain.matchset["entity"].location == 20  # proximity wins
+        assert boosted.matchset["entity"].location == 0  # weight wins
+
+    @settings(max_examples=80, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5))
+    def test_agrees_with_naive(self, instance):
+        query, lists = instance
+        scoring = WeightedAdditiveMed([1.0 + 0.5 * j for j in range(len(query))])
+        fast = med_join(query, lists, scoring)
+        slow = naive_join(query, lists, scoring)
+        assert fast.score == pytest.approx(slow.score)
+
+
+class TestLinearDecayMax:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ScoringContractError):
+            LinearDecayMax(alpha=0)
+        with pytest.raises(ScoringContractError):
+            LinearDecayMax(scale=-1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5))
+    def test_agrees_with_naive(self, instance):
+        query, lists = instance
+        scoring = LinearDecayMax(alpha=0.7)
+        fast = max_join(query, lists, scoring)
+        slow = naive_join(query, lists, scoring)
+        assert fast.score == pytest.approx(slow.score)
+
+    @settings(max_examples=60, deadline=None)
+    @given(join_instances(max_terms=4, max_len=4))
+    def test_anchor_is_a_median_of_the_matchset(self, instance):
+        """Linear decay maximizes at a distance-sum minimizer — a median."""
+        query, lists = instance
+        scoring = LinearDecayMax(alpha=0.5)
+        result = max_join(query, lists, scoring)
+        anchor, _score = scoring.best_anchor(result.matchset)
+        locations = sorted(result.matchset.locations)
+        distance_sum = sum(abs(l - anchor) for l in locations)
+        best_possible = min(
+            sum(abs(l - c) for l in locations) for c in locations
+        )
+        assert distance_sum == best_possible

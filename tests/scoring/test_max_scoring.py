@@ -1,0 +1,127 @@
+"""MAX scoring functions: closed forms and the Definition 8 properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ScoringContractError
+from repro.core.match import Match
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+from repro.core.scoring.maxloc import (
+    AdditiveExponentialMax,
+    CustomMax,
+    ExponentialProductMax,
+)
+
+Q3 = Query.of("a", "b", "c")
+
+
+def ms(locs_scores):
+    return MatchSet.from_sequence(Q3, [Match(l, s) for l, s in locs_scores])
+
+
+class TestClosedForms:
+    def test_eq4_at_fixed_anchor(self):
+        scoring = ExponentialProductMax(alpha=0.1)
+        matchset = ms([(2, 0.5), (10, 0.8), (6, 0.9)])
+        at_6 = 0.5 * math.exp(-0.4) * 0.8 * math.exp(-0.4) * 0.9
+        assert scoring.score_at(matchset, 6) == pytest.approx(at_6)
+        assert scoring.score(matchset) >= at_6 - 1e-12
+
+    def test_eq5_at_fixed_anchor(self):
+        scoring = AdditiveExponentialMax(alpha=0.1)
+        matchset = ms([(2, 0.5), (10, 0.8), (6, 0.9)])
+        at_6 = 0.5 * math.exp(-0.4) + 0.8 * math.exp(-0.4) + 0.9
+        assert scoring.score_at(matchset, 6) == pytest.approx(at_6)
+
+    def test_best_anchor_returns_argmax(self):
+        scoring = AdditiveExponentialMax(alpha=0.1)
+        matchset = ms([(2, 0.5), (10, 0.8), (6, 0.9)])
+        anchor, score = scoring.best_anchor(matchset)
+        assert anchor in {2, 6, 10}
+        assert score == pytest.approx(scoring.score(matchset))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ScoringContractError):
+            AdditiveExponentialMax(alpha=0)
+        with pytest.raises(ScoringContractError):
+            ExponentialProductMax().g(0, 0.0, 1.0)
+
+
+class TestMaximizedAtMatch:
+    """Lemma 3: for Eqs. (4) and (5) the max over all locations is attained
+    at a match location — checked against a dense grid."""
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 25), st.floats(0.1, 1.0)),
+            min_size=3, max_size=3,
+        ),
+        st.sampled_from(["eq4", "eq5"]),
+    )
+    def test_grid_never_beats_match_locations(self, locs_scores, which):
+        scoring = (
+            ExponentialProductMax(alpha=0.2) if which == "eq4"
+            else AdditiveExponentialMax(alpha=0.2)
+        )
+        matchset = ms(locs_scores)
+        best_at_matches = scoring.score(matchset)
+        grid_best = max(
+            scoring.score_at(matchset, l) for l in range(-5, 31)
+        )
+        assert grid_best <= best_at_matches + 1e-9
+
+
+class TestAtMostOneCrossing:
+    """Contribution differences change sign at most once (Definition 8)."""
+
+    @settings(max_examples=60)
+    @given(
+        st.tuples(st.integers(0, 25), st.floats(0.1, 1.0)),
+        st.tuples(st.integers(0, 25), st.floats(0.1, 1.0)),
+        st.sampled_from(["eq4", "eq5"]),
+    )
+    def test_sign_changes(self, a, b, which):
+        scoring = (
+            ExponentialProductMax(alpha=0.2) if which == "eq4"
+            else AdditiveExponentialMax(alpha=0.2)
+        )
+        ma, mb = Match(*a), Match(*b)
+        signs = []
+        for l in range(-5, 31):
+            d = scoring.contribution(0, ma, l) - scoring.contribution(0, mb, l)
+            if abs(d) > 1e-12:
+                s = 1 if d > 0 else -1
+                if not signs or signs[-1] != s:
+                    signs.append(s)
+        assert len(signs) <= 2  # at most one sign change
+
+
+class TestCustomMax:
+    def test_requires_anchor_candidates_without_mam(self):
+        with pytest.raises(ScoringContractError):
+            CustomMax(g=lambda x, y: x - y, f=lambda x: x)
+
+    def test_custom_anchor_candidates_used(self):
+        scoring = CustomMax(
+            g=lambda x, y: x - 0.1 * y,
+            f=lambda x: x,
+            anchor_candidates=lambda m: range(0, 12),
+        )
+        matchset = ms([(2, 0.5), (10, 0.8), (6, 0.9)])
+        assert scoring.score(matchset) == pytest.approx(
+            max(scoring.score_at(matchset, l) for l in range(0, 12))
+        )
+
+    def test_mam_flag_enables_default_candidates(self):
+        scoring = CustomMax(
+            g=lambda x, y: x - 0.1 * y, f=lambda x: x, maximized_at_match=True
+        )
+        matchset = ms([(2, 0.5), (10, 0.8), (6, 0.9)])
+        assert scoring.score(matchset) == pytest.approx(
+            max(scoring.score_at(matchset, l) for l in (2, 6, 10))
+        )

@@ -1,0 +1,103 @@
+"""MED scoring functions: closed forms, contributions, Lemma 1."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ScoringContractError
+from repro.core.match import Match
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+from repro.core.scoring.med import AdditiveMed, CustomMed, ExponentialProductMed
+
+Q3 = Query.of("a", "b", "c")
+Q4 = Query.of("a", "b", "c", "d")
+
+
+def ms(query, locs_scores):
+    return MatchSet.from_sequence(query, [Match(l, s) for l, s in locs_scores])
+
+
+class TestExponentialProductMed:
+    def test_matches_equation_3(self):
+        scoring = ExponentialProductMed(alpha=0.1)
+        matchset = ms(Q3, [(2, 0.5), (10, 0.8), (6, 0.9)])
+        median = 6
+        expected = (
+            0.5 * math.exp(-0.1 * 4) * 0.8 * math.exp(-0.1 * 4) * 0.9 * math.exp(0)
+        )
+        assert matchset.median_location == median
+        assert scoring.score(matchset) == pytest.approx(expected)
+
+    def test_rejects_bad_alpha_and_scores(self):
+        with pytest.raises(ScoringContractError):
+            ExponentialProductMed(alpha=-0.1)
+        with pytest.raises(ScoringContractError):
+            ExponentialProductMed().g(0, -1.0)
+
+
+class TestAdditiveMed:
+    def test_matches_footnote_9(self):
+        scoring = AdditiveMed(scale=0.3)
+        matchset = ms(Q3, [(2, 0.6), (10, 0.9), (6, 0.3)])
+        expected = (0.6 / 0.3 - 4) + (0.9 / 0.3 - 4) + (0.3 / 0.3 - 0)
+        assert scoring.score(matchset) == pytest.approx(expected)
+
+    def test_contribution_has_unit_slope(self):
+        scoring = AdditiveMed()
+        m = Match(10, 0.6)
+        at_peak = scoring.contribution(0, m, 10)
+        assert scoring.contribution(0, m, 13) == pytest.approx(at_peak - 3)
+        assert scoring.contribution(0, m, 7) == pytest.approx(at_peak - 3)
+
+    def test_win_equals_med_for_three_terms(self):
+        """The paper's note: WIN and MED coincide for |Q| ≤ 3 (footnote-9 forms)."""
+        from repro.core.scoring.win import LinearAdditiveWin
+
+        win = LinearAdditiveWin(scale=0.3)
+        med = AdditiveMed(scale=0.3)
+        rng = random.Random(5)
+        for _ in range(100):
+            matchset = ms(
+                Q3,
+                [(rng.randint(0, 40), rng.uniform(0.1, 1.0)) for _ in range(3)],
+            )
+            assert win.score(matchset) == pytest.approx(med.score(matchset))
+
+
+class TestLemma1:
+    """Replacing a match with one dominating at median(M) never hurts."""
+
+    @given(st.data())
+    def test_replacement_never_decreases_score(self, data):
+        scoring = AdditiveMed()
+        n = data.draw(st.integers(2, 5))
+        query = Query.of(*(f"t{i}" for i in range(n)))
+        matches = [
+            Match(data.draw(st.integers(0, 20)), data.draw(st.floats(0.1, 1.0)))
+            for _ in range(n)
+        ]
+        matchset = MatchSet.from_sequence(query, matches)
+        median = matchset.median_location
+        j = data.draw(st.integers(0, n - 1))
+        replacement = Match(
+            data.draw(st.integers(0, 20)), data.draw(st.floats(0.1, 1.0))
+        )
+        # Only the Lemma's hypothesis case: replacement dominates at median.
+        if scoring.contribution(j, replacement, median) >= scoring.contribution(
+            j, matches[j], median
+        ):
+            swapped = list(matches)
+            swapped[j] = replacement
+            replaced = MatchSet.from_sequence(query, swapped)
+            assert scoring.score(replaced) >= scoring.score(matchset) - 1e-9
+
+
+class TestCustomMed:
+    def test_per_term_callables(self):
+        scoring = CustomMed(g=[lambda x: x, lambda x: 2 * x, lambda x: 3 * x], f=lambda x: x)
+        matchset = ms(Q3, [(5, 1.0), (5, 1.0), (5, 1.0)])
+        assert scoring.score(matchset) == pytest.approx(6.0)

@@ -1,0 +1,102 @@
+"""Type-anchored scoring ([7]) and its linear join."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.max_join import max_join
+from repro.core.algorithms.naive import naive_join
+from repro.core.errors import ScoringContractError
+from repro.core.match import MatchList
+from repro.core.query import Query
+from repro.core.algorithms.type_anchored import type_anchored_join
+from repro.core.scoring.type_anchored import TypeAnchoredMax
+
+from tests.conftest import join_instances
+
+
+class TestTypeAnchoredMax:
+    def test_score_anchors_at_type_match(self):
+        q = Query.of("physicist", "invented")
+        scoring = TypeAnchoredMax(type_term_index=0, alpha=0.5)
+        lists = [
+            MatchList.from_pairs([(0, 1.0)]),
+            MatchList.from_pairs([(4, 1.0)]),
+        ]
+        result = naive_join(q, lists, scoring)
+        # Anchored at location 0 (the type match), not at a midpoint.
+        import math
+
+        assert result.score == pytest.approx(1.0 + math.exp(-0.5 * 4))
+
+    def test_rejected_by_generic_max_join(self):
+        q = Query.of("a", "b")
+        scoring = TypeAnchoredMax(0)
+        lists = [MatchList.from_pairs([(0, 1.0)]), MatchList.from_pairs([(1, 1.0)])]
+        with pytest.raises(ScoringContractError):
+            max_join(q, lists, scoring)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ScoringContractError):
+            TypeAnchoredMax(-1)
+        with pytest.raises(ScoringContractError):
+            TypeAnchoredMax(0, alpha=0)
+
+    def test_index_outside_query_rejected(self):
+        q = Query.of("a")
+        scoring = TypeAnchoredMax(3)
+        with pytest.raises(ScoringContractError):
+            type_anchored_join(q, [MatchList.from_pairs([(0, 1.0)])], scoring)
+
+
+class TestTypeAnchoredJoin:
+    def test_wrong_scoring_rejected(self):
+        from repro.core.scoring.presets import trec_max
+
+        q = Query.of("a")
+        with pytest.raises(ScoringContractError):
+            type_anchored_join(q, [MatchList.from_pairs([(0, 1.0)])], trec_max())
+
+    def test_empty_list_gives_empty_result(self):
+        q = Query.of("a", "b")
+        scoring = TypeAnchoredMax(0)
+        assert not type_anchored_join(
+            q, [MatchList.from_pairs([(0, 1.0)]), MatchList()], scoring
+        )
+
+    def test_prefers_keywords_near_a_type_match(self):
+        """The [7] intuition: answers cluster around the type term."""
+        q = Query.of("physicist", "dental floss")
+        scoring = TypeAnchoredMax(0, alpha=0.3)
+        lists = [
+            # two physicist mentions; the second is near the keywords
+            MatchList.from_pairs([(0, 1.0), (50, 0.7)]),
+            MatchList.from_pairs([(52, 1.0)]),
+        ]
+        result = type_anchored_join(q, lists, scoring)
+        assert result.matchset["physicist"].location == 50
+
+    @settings(max_examples=120, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5))
+    def test_agrees_with_naive(self, instance):
+        query, lists = instance
+        for t in range(len(query)):
+            scoring = TypeAnchoredMax(t, alpha=0.2)
+            fast = type_anchored_join(query, lists, scoring)
+            slow = naive_join(query, lists, scoring)
+            assert fast.score == pytest.approx(slow.score), f"type index {t}"
+
+    @settings(max_examples=60, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4))
+    def test_restricted_anchor_never_beats_free_anchor(self, instance):
+        """TypeAnchoredMax maximizes over a subset of Eq. (5)'s anchors,
+        so its optimum is bounded by the free-anchor optimum."""
+        from repro.core.algorithms.max_join import max_join as free_join
+        from repro.core.scoring.maxloc import AdditiveExponentialMax
+
+        query, lists = instance
+        free = free_join(query, lists, AdditiveExponentialMax(alpha=0.2))
+        for t in range(len(query)):
+            anchored = type_anchored_join(
+                query, lists, TypeAnchoredMax(t, alpha=0.2)
+            )
+            assert anchored.score <= free.score + 1e-9

@@ -1,0 +1,100 @@
+"""WIN scoring functions: closed forms and Definition 3 properties."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ScoringContractError
+from repro.core.match import Match
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+from repro.core.scoring.win import CustomWin, ExponentialProductWin, LinearAdditiveWin
+
+Q3 = Query.of("a", "b", "c")
+
+
+def ms(locs_scores):
+    return MatchSet.from_sequence(Q3, [Match(l, s) for l, s in locs_scores])
+
+
+class TestExponentialProductWin:
+    def test_matches_equation_1(self):
+        scoring = ExponentialProductWin(alpha=0.1)
+        matchset = ms([(2, 0.5), (10, 0.8), (6, 0.9)])
+        expected = 0.5 * 0.8 * 0.9 * math.exp(-0.1 * 8)
+        assert scoring.score(matchset) == pytest.approx(expected)
+
+    def test_zero_window_no_decay(self):
+        scoring = ExponentialProductWin(alpha=0.5)
+        matchset = ms([(4, 0.5), (4, 0.8), (4, 0.9)])
+        assert scoring.score(matchset) == pytest.approx(0.5 * 0.8 * 0.9)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ScoringContractError):
+            ExponentialProductWin(alpha=0.0)
+
+    def test_rejects_nonpositive_scores(self):
+        with pytest.raises(ScoringContractError):
+            ExponentialProductWin().g(0, 0.0)
+
+    @given(
+        st.floats(0.05, 1.0), st.floats(0.05, 1.0),
+        st.integers(0, 50), st.integers(0, 50),
+    )
+    def test_f_monotonicity(self, x1, x2, y1, y2):
+        scoring = ExponentialProductWin(alpha=0.1)
+        gx1, gx2 = math.log(x1), math.log(x2)
+        if gx1 >= gx2:
+            assert scoring.f(gx1, y1) >= scoring.f(gx2, y1)
+        if y1 >= y2:
+            assert scoring.f(gx1, y1) <= scoring.f(gx1, y2)
+
+    @given(
+        st.floats(-3, 0), st.floats(-3, 0),
+        st.floats(0, 50), st.floats(0, 50), st.floats(0, 10),
+    )
+    def test_optimal_substructure(self, x, x2, y, y2, delta):
+        """f(x,y) ≥ f(x',y') → f(x+δ,y) ≥ f(x'+δ,y') and same in y."""
+        scoring = ExponentialProductWin(alpha=0.1)
+        if scoring.f(x, y) >= scoring.f(x2, y2):
+            assert scoring.f(x + delta, y) >= scoring.f(x2 + delta, y2) - 1e-12
+            assert scoring.f(x, y + delta) >= scoring.f(x2, y2 + delta) - 1e-12
+
+
+class TestLinearAdditiveWin:
+    def test_matches_footnote_9(self):
+        scoring = LinearAdditiveWin(scale=0.3)
+        matchset = ms([(2, 0.6), (10, 0.9), (6, 0.3)])
+        expected = (0.6 + 0.9 + 0.3) / 0.3 - 8
+        assert scoring.score(matchset) == pytest.approx(expected)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ScoringContractError):
+            LinearAdditiveWin(scale=-1)
+
+    @given(
+        st.floats(-20, 20), st.floats(-20, 20),
+        st.floats(0, 50), st.floats(0, 50), st.floats(0, 10),
+    )
+    def test_optimal_substructure(self, x, x2, y, y2, delta):
+        scoring = LinearAdditiveWin()
+        if scoring.f(x, y) >= scoring.f(x2, y2):
+            assert scoring.f(x + delta, y) >= scoring.f(x2 + delta, y2) - 1e-12
+            assert scoring.f(x, y + delta) >= scoring.f(x2, y2 + delta) - 1e-12
+
+
+class TestCustomWin:
+    def test_single_callable_applied_to_all_terms(self):
+        scoring = CustomWin(g=lambda x: 2 * x, f=lambda x, y: x - y)
+        matchset = ms([(0, 0.5), (4, 0.5), (2, 0.5)])
+        assert scoring.score(matchset) == pytest.approx(3 * 1.0 - 4)
+
+    def test_per_term_callables(self):
+        scoring = CustomWin(
+            g=[lambda x: x, lambda x: 10 * x, lambda x: 100 * x],
+            f=lambda x, y: x - y,
+        )
+        matchset = ms([(0, 1.0), (1, 1.0), (2, 1.0)])
+        assert scoring.score(matchset) == pytest.approx(111 - 2)

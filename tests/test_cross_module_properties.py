@@ -1,0 +1,108 @@
+"""Cross-module invariants.
+
+Each of these properties ties two independently implemented subsystems
+together; a bug in either side breaks the equality, so they double as
+integration tests and as mutual oracles.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.by_location import med_by_location
+from repro.core.algorithms.dedup import dedup_join
+from repro.core.algorithms.med_join import med_join
+from repro.core.algorithms.naive import naive_join_valid
+from repro.core.algorithms.streaming import med_by_location_streaming
+from repro.core.algorithms.topk import top_k_matchsets
+from repro.core.algorithms.win_join import win_join
+from repro.core.algorithms.win_kbest import win_join_valid_lazy
+from repro.core.api import best_matchsets_by_location, extract_matchsets
+from repro.core.query import Query
+from repro.core.scoring.presets import trec_med, trec_win
+from repro.index.inverted import InvertedIndex
+from repro.index.matchlists import ConceptIndex
+from repro.lexicon.graph import LexicalGraph
+from repro.matching.semantic import SemanticMatcher
+from repro.text.document import Corpus, Document
+
+from tests.conftest import join_instances
+
+
+class TestJoinConsistency:
+    @settings(max_examples=80, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4, max_location=12))
+    def test_three_valid_join_implementations_agree(self, instance):
+        """Section VI restarts, lazy k-best enumeration and exhaustive
+        filtering are three very different searches for the same object."""
+        query, lists = instance
+        scoring = trec_win()
+        restart = dedup_join(query, lists, scoring, win_join)
+        lazy = win_join_valid_lazy(query, lists, scoring)
+        oracle = naive_join_valid(query, lists, scoring)
+        assert bool(restart) == bool(lazy) == bool(oracle)
+        if oracle:
+            assert restart.score == pytest.approx(oracle.score)
+            assert lazy.score == pytest.approx(oracle.score)
+
+    @settings(max_examples=60, deadline=None)
+    @given(join_instances(max_terms=4, max_len=5))
+    def test_med_three_way_agreement(self, instance):
+        """Overall join == best of batch by-location == best of streaming."""
+        query, lists = instance
+        scoring = trec_med()
+        overall = med_join(query, lists, scoring).score
+        batch = max(r.score for r in med_by_location(query, lists, scoring))
+        stream = max(
+            r.score for r in med_by_location_streaming(query, lists, scoring)
+        )
+        assert overall == pytest.approx(batch)
+        assert overall == pytest.approx(stream)
+
+
+class TestExtractionConsistency:
+    @settings(max_examples=50, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4))
+    def test_extract_results_are_by_location_results(self, instance):
+        query, lists = instance
+        scoring = trec_med()
+        by_location = {
+            (r.anchor, r.score)
+            for r in best_matchsets_by_location(query, lists, scoring)
+        }
+        for r in extract_matchsets(query, lists, scoring, require_valid=False):
+            assert (r.anchor, r.score) in by_location
+
+    @settings(max_examples=50, deadline=None)
+    @given(join_instances(max_terms=3, max_len=4))
+    def test_unbounded_topk_equals_sorted_by_location(self, instance):
+        query, lists = instance
+        scoring = trec_med()
+        everything = sorted(
+            best_matchsets_by_location(query, lists, scoring),
+            key=lambda r: (-r.score, r.anchor),
+        )
+        got = top_k_matchsets(query, lists, scoring, 10_000)
+        assert [(r.anchor, r.score) for r in got] == [
+            (r.anchor, r.score) for r in everything
+        ]
+
+
+class TestOnlineOfflineMatching:
+    def test_semantic_matcher_and_concept_index_agree(self):
+        """The online matcher and the inverted-index derivation are two
+        implementations of the same footnote-1 semantics; on stopword-free
+        text they must produce identical match lists."""
+        graph = LexicalGraph()
+        graph.add_hyponyms("pc maker", "lenovo", "dell")
+        graph.add_edge("pc maker", "maker")
+        text = "lenovo beats dell while another maker struggles"
+        doc = Document("d", text)
+        corpus = Corpus([doc])
+        index = InvertedIndex.build(corpus)
+        concept_index = ConceptIndex(index, lexicon=graph)
+
+        online = SemanticMatcher("pc maker", lexicon=graph).matches(doc)
+        offline = concept_index.match_list("pc maker", "d")
+        assert [(m.location, m.score) for m in online] == [
+            (m.location, m.score) for m in offline
+        ]

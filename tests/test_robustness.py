@@ -1,0 +1,95 @@
+"""Robustness fuzzing: arbitrary text must never crash the pipeline.
+
+These properties assert the absence of crashes and the preservation of
+structural invariants (sorted lists, aligned terms, scores within the
+matcher's declared range) for *any* unicode input — the contract a
+production ingestion path needs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import best_matchset
+from repro.core.query import Query
+from repro.core.scoring.presets import trec_max
+from repro.matching.dates import DateMatcher
+from repro.matching.fuzzy import FuzzyMatcher
+from repro.matching.pipeline import QueryMatcher
+from repro.matching.places import PlaceMatcher
+from repro.matching.semantic import SemanticMatcher
+from repro.text.document import Document
+from repro.text.stemmer import stem
+from repro.text.tokenizer import tokenize
+
+_text = st.text(max_size=300)
+
+
+class TestMatcherRobustness:
+    @settings(max_examples=60, deadline=None)
+    @given(_text)
+    def test_semantic_matcher_never_crashes(self, text):
+        doc = Document("d", text)
+        lst = SemanticMatcher("pc maker").matches(doc)
+        assert all(0 <= m.location < max(len(doc.tokens), 1) for m in lst)
+        assert all(0 < m.score <= 1.0 for m in lst)
+        assert list(lst.locations) == sorted(lst.locations)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_text)
+    def test_date_and_place_matchers_never_crash(self, text):
+        doc = Document("d", text)
+        for matcher in (DateMatcher(), PlaceMatcher()):
+            lst = matcher.matches(doc)
+            assert list(lst.locations) == sorted(lst.locations)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_text)
+    def test_fuzzy_matcher_never_crashes(self, text):
+        doc = Document("d", text)
+        lst = FuzzyMatcher("lenovo", max_distance=2).matches(doc)
+        assert all(0 <= m.score <= 1.0 for m in lst)
+
+
+class TestPipelineRobustness:
+    @settings(max_examples=40, deadline=None)
+    @given(_text)
+    def test_full_pipeline_on_arbitrary_text(self, text):
+        query = Query.of("pc maker", "sports", "partnership")
+        matcher = QueryMatcher(query)
+        doc = Document("d", text)
+        lists = matcher.match_lists(doc)
+        assert [lst.term for lst in lists] == list(query)
+        result = best_matchset(query, lists, trec_max())
+        if result:
+            assert result.matchset is not None
+            assert set(result.matchset) == set(query)
+
+
+class TestTextRobustness:
+    @settings(max_examples=100, deadline=None)
+    @given(_text)
+    def test_tokenizer_round_trip_invariants(self, text):
+        tokens = tokenize(text)
+        for a, b in zip(tokens, tokens[1:]):
+            assert a.end <= b.start  # non-overlapping, ordered spans
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=40))
+    def test_stemmer_total(self, word):
+        # stem() accepts any string and terminates.
+        assert isinstance(stem(word), str)
+
+
+class TestSearchSystemRobustness:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(_text, min_size=1, max_size=5))
+    def test_system_over_arbitrary_corpora(self, texts):
+        from repro.system import SearchSystem
+
+        system = SearchSystem()
+        system.add_texts((f"d{i}", text) for i, text in enumerate(texts))
+        ranked = system.ask('"pc maker", sports, partnership', top_k=10)
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+        for r in ranked:
+            assert r.doc_id in system.corpus

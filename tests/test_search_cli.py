@@ -1,0 +1,105 @@
+"""The repro-search CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def news_file(tmp_path):
+    path = tmp_path / "news.txt"
+    path.write_text(
+        "As part of the new deal, Lenovo will become the official PC "
+        "partner of the NBA. The laptop maker has a similar partnership "
+        "with the Olympic Games."
+    )
+    return str(path)
+
+
+@pytest.fixture
+def cfp_file(tmp_path):
+    path = tmp_path / "cfp.txt"
+    path.write_text(
+        "CALL FOR PAPERS. The workshop will be held in Pisa, Italy on "
+        "June 24-26, 2008, at the local university."
+    )
+    return str(path)
+
+
+class TestAsk:
+    def test_finds_answer(self, news_file, capsys):
+        rc = main(["ask", '"pc maker", sports, partnership', news_file])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "news.txt" in out
+        assert "sports=" in out
+
+    def test_scoring_flag(self, news_file, capsys):
+        rc = main(["ask", "--scoring", "win", '"pc maker", sports', news_file])
+        assert rc == 0
+        assert "score=" in capsys.readouterr().out
+
+    def test_no_match_returns_nonzero(self, news_file, capsys):
+        rc = main(["ask", "quantum:exact, chromodynamics:exact", news_file])
+        assert rc == 1
+        assert "no document" in capsys.readouterr().out
+
+    def test_bad_query_exits(self, news_file):
+        with pytest.raises(SystemExit):
+            main(["ask", '"unterminated', news_file])
+
+    def test_missing_file_exits(self):
+        with pytest.raises(SystemExit):
+            main(["ask", "a, b", "/nonexistent/file.txt"])
+
+
+class TestExtract:
+    def test_extracts_fields(self, cfp_file, capsys):
+        rc = main(
+            ["extract", "conference|workshop, when:date, where:place", cfp_file]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "when=" in out and "where=" in out
+
+    def test_min_score_filter_can_empty_results(self, cfp_file, capsys):
+        rc = main(
+            [
+                "extract",
+                "--min-score",
+                "1e9",
+                "conference|workshop, when:date, where:place",
+                cfp_file,
+            ]
+        )
+        assert rc == 1
+        assert "no matchsets" in capsys.readouterr().out
+
+    def test_top_limits_per_document(self, cfp_file, capsys):
+        rc = main(
+            [
+                "extract",
+                "--top",
+                "1",
+                "--gap",
+                "1",
+                "conference|workshop, when:date, where:place",
+                cfp_file,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("cfp.txt@") == 1
+
+
+class TestFusedAsk:
+    def test_scoring_all_fuses_rankings(self, news_file, capsys):
+        rc = main(["ask", "--scoring", "all", '"pc maker", sports', news_file])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fused ranking" in out
+        assert "per-family ranks" in out
+
+    def test_extract_rejects_scoring_all(self, cfp_file):
+        with pytest.raises(SystemExit):
+            main(["extract", "--scoring", "all", "a, b", cfp_file])

@@ -1,0 +1,118 @@
+"""The SearchSystem façade."""
+
+import pytest
+
+from repro.system import SearchSystem
+from repro.text.document import Document
+
+NEWS = [
+    ("news-1", "Lenovo announced a marketing partnership with the NBA."),
+    ("news-2", "Dell explored an alliance with the Olympic Games organizers."),
+    ("news-3", "A bakery opened downtown; nothing about computers here."),
+    ("cfp-1", "CALL FOR PAPERS: the workshop will be held in Pisa, Italy on June 24, 2008."),
+]
+
+
+@pytest.fixture
+def system():
+    s = SearchSystem()
+    s.add_texts(NEWS)
+    return s
+
+
+class TestCorpusManagement:
+    def test_add_and_len(self, system):
+        assert len(system) == 4
+
+    def test_duplicate_ids_rejected(self, system):
+        with pytest.raises(ValueError):
+            system.add(Document("news-1", "again"))
+
+
+class TestAsk:
+    def test_offline_path_for_semantic_queries(self, system):
+        query, matcher = system._plan('"pc maker", sports, partnership')
+        assert matcher is None  # all-semantic → index-derived lists
+        ranked = system.ask('"pc maker", sports, partnership')
+        assert ranked
+        assert ranked[0].doc_id == "news-1"
+
+    def test_online_path_for_special_matchers(self, system):
+        query, matcher = system._plan("conference|workshop, when:date, where:place")
+        assert matcher is not None  # dates/places need the online matchers
+        ranked = system.ask("conference|workshop, when:date, where:place")
+        assert ranked
+        assert ranked[0].doc_id == "cfp-1"
+
+    def test_offline_and_online_agree_on_semantic_queries(self, system):
+        """Both match-list derivations feed the same join; on a semantic
+        query they must produce the same ranking."""
+        from repro.core.query import Query
+        from repro.matching.pipeline import QueryMatcher
+        from repro.retrieval.ranking import rank_documents
+
+        offline = system.ask('"pc maker", sports, partnership', top_k=10)
+        query = Query.of("pc maker", "sports", "partnership")
+        online = rank_documents(system.corpus, query, system.scoring)
+        assert [(r.doc_id, pytest.approx(r.score)) for r in offline] == [
+            (r.doc_id, pytest.approx(r.score)) for r in online
+        ]
+
+    def test_top_k_limits(self, system):
+        assert len(system.ask("partnership, sports", top_k=1)) <= 1
+
+    def test_no_results_for_unmatchable_query(self, system):
+        assert system.ask("quantum:exact, chromodynamics:exact") == []
+
+
+class TestExtract:
+    def test_extraction_fields(self, system):
+        results = system.extract("conference|workshop, when:date, where:place")
+        assert results
+        record = results[0].as_dict()
+        assert record["where"] in {"pisa", "italy"}
+        assert record["when"] in {"june", "2008", "24"}
+
+    def test_min_score_filter(self, system):
+        everything = system.extract("partnership, sports")
+        assert everything
+        nothing = system.extract("partnership, sports", min_score=1e9)
+        assert nothing == []
+
+
+class TestPersistence:
+    def test_save_and_load_round_trip(self, system, tmp_path):
+        path = tmp_path / "system.json"
+        system.save(path)
+        loaded = SearchSystem.load(path)
+        assert len(loaded) == len(system)
+        a = system.ask('"pc maker", sports, partnership')
+        b = loaded.ask('"pc maker", sports, partnership')
+        assert [(r.doc_id, r.score) for r in a] == [(r.doc_id, r.score) for r in b]
+
+    def test_loaded_system_accepts_new_documents(self, system, tmp_path):
+        path = tmp_path / "system.json"
+        system.save(path)
+        loaded = SearchSystem.load(path)
+        loaded.add(Document("new-1", "Acer struck a partnership with a tennis league."))
+        ranked = loaded.ask("partnership, sports", top_k=10)
+        assert any(r.doc_id == "new-1" for r in ranked)
+
+
+class TestRemoval:
+    def test_removed_document_disappears_from_results(self, system):
+        assert system.ask("partnership, sports")[0].doc_id == "news-1"
+        system.remove("news-1")
+        assert len(system) == 3
+        ranked = system.ask("partnership, sports", top_k=10)
+        assert all(r.doc_id != "news-1" for r in ranked)
+
+    def test_remove_unknown_raises(self, system):
+        with pytest.raises(KeyError):
+            system.remove("nope")
+
+    def test_index_vocabulary_shrinks(self, system):
+        before = system.index.vocabulary_size
+        system.remove("cfp-1")
+        assert system.index.vocabulary_size < before
+        assert system.index.positions("pisa", "cfp-1") == ()

@@ -1,0 +1,42 @@
+"""Document and Corpus tests."""
+
+import pytest
+
+from repro.text.document import Corpus, Document
+
+
+class TestDocument:
+    def test_tokens_lazy_and_cached(self):
+        doc = Document("d1", "alpha beta gamma")
+        assert doc._tokens is None
+        tokens = doc.tokens
+        assert [t.text for t in tokens] == ["alpha", "beta", "gamma"]
+        assert doc.tokens is tokens  # cached
+
+    def test_len_counts_tokens(self):
+        assert len(Document("d", "one two three")) == 3
+
+    def test_metadata_defaults_to_empty_dict(self):
+        doc = Document("d", "x")
+        assert doc.metadata == {}
+        doc.metadata["k"] = 1
+        assert doc.metadata["k"] == 1
+
+
+class TestCorpus:
+    def test_add_and_lookup(self):
+        corpus = Corpus([Document("a", "x"), Document("b", "y")])
+        assert len(corpus) == 2
+        assert corpus["a"].text == "x"
+        assert "b" in corpus
+        assert "z" not in corpus
+
+    def test_duplicate_ids_rejected(self):
+        corpus = Corpus([Document("a", "x")])
+        with pytest.raises(ValueError):
+            corpus.add(Document("a", "y"))
+
+    def test_iteration_preserves_order(self):
+        docs = [Document(f"d{i}", "t") for i in range(5)]
+        corpus = Corpus(docs)
+        assert [d.doc_id for d in corpus] == [f"d{i}" for i in range(5)]

@@ -1,0 +1,68 @@
+"""Corpus loaders."""
+
+import json
+
+import pytest
+
+from repro.core.io import SerializationError
+from repro.text.document import Corpus, Document
+from repro.text.io import load_directory, load_jsonl, save_jsonl
+
+
+class TestLoadDirectory:
+    def test_loads_txt_files_in_order(self, tmp_path):
+        (tmp_path / "b.txt").write_text("beta")
+        (tmp_path / "a.txt").write_text("alpha")
+        (tmp_path / "ignored.md").write_text("nope")
+        corpus = load_directory(tmp_path)
+        assert [d.doc_id for d in corpus] == ["a", "b"]
+        assert corpus["a"].text == "alpha"
+
+    def test_custom_pattern(self, tmp_path):
+        (tmp_path / "x.md").write_text("md")
+        corpus = load_directory(tmp_path, pattern="*.md")
+        assert len(corpus) == 1
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_directory(tmp_path / "nope")
+
+
+class TestJsonl:
+    def test_round_trip_with_metadata(self, tmp_path):
+        corpus = Corpus(
+            [
+                Document("d1", "first text", metadata={"label": "a", "n": 1}),
+                Document("d2", "second text"),
+            ]
+        )
+        path = tmp_path / "corpus.jsonl"
+        save_jsonl(corpus, path)
+        loaded = load_jsonl(path)
+        assert [d.doc_id for d in loaded] == ["d1", "d2"]
+        assert loaded["d1"].text == "first text"
+        assert loaded["d1"].metadata == {"label": "a", "n": 1}
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text('{"id": "a", "text": "t"}\n\n')
+        assert len(load_jsonl(path)) == 1
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text(json.dumps({"id": "a"}))
+        with pytest.raises(SerializationError):
+            load_jsonl(path)
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text("{broken")
+        with pytest.raises(SerializationError):
+            load_jsonl(path)
+
+    def test_unserializable_metadata_dropped(self, tmp_path):
+        doc = Document("d", "text", metadata={"ok": 1, "bad": object()})
+        path = tmp_path / "corpus.jsonl"
+        save_jsonl([doc], path)
+        loaded = load_jsonl(path)
+        assert loaded["d"].metadata == {"ok": 1}

@@ -1,0 +1,92 @@
+"""Sentence segmentation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.sentences import sentence_index, split_sentences
+from repro.text.tokenizer import tokenize
+
+
+class TestSplitSentences:
+    def test_basic_split(self):
+        text = "Lenovo partners with the NBA. The deal was announced today."
+        spans = split_sentences(text)
+        assert len(spans) == 2
+        assert text[spans[0][0] : spans[0][1]].startswith("Lenovo")
+        assert text[spans[1][0] : spans[1][1]].startswith("The deal")
+
+    def test_question_and_exclamation(self):
+        spans = split_sentences("Who invented dental floss? Nobody knows! Ask around.")
+        assert len(spans) == 3
+
+    def test_abbreviations_do_not_split(self):
+        spans = split_sentences("Dr. Smith visited the U.S. office. He left early.")
+        assert len(spans) == 2
+
+    def test_initials_do_not_split(self):
+        spans = split_sentences("J. Smith and K. Jones wrote it together.")
+        assert len(spans) == 1
+
+    def test_blank_line_splits(self):
+        spans = split_sentences("First paragraph here\n\nsecond paragraph there")
+        assert len(spans) == 2
+
+    def test_bullet_lines_split(self):
+        spans = split_sentences("Important dates\n  - submission May 5\n  - notify June 2")
+        assert len(spans) == 3
+
+    def test_empty_text(self):
+        assert split_sentences("") == []
+
+    @settings(max_examples=80)
+    @given(st.text(max_size=300))
+    def test_spans_partition_the_text(self, text):
+        spans = split_sentences(text)
+        if not text:
+            assert spans == []
+            return
+        assert spans[0][0] == 0
+        assert spans[-1][1] == len(text)
+        for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+            assert a_end == b_start
+            assert a_start < a_end
+
+
+class TestSentenceIndex:
+    def test_tokens_mapped_to_sentences(self):
+        text = "Lenovo partners with the NBA. The deal was announced."
+        tokens = tokenize(text)
+        idx = sentence_index(tokens, text)
+        assert idx[0] == 0  # lenovo
+        assert idx[-1] == 1  # announced
+
+    def test_monotone_nondecreasing(self):
+        text = "One sentence. Two sentences. Three sentences."
+        tokens = tokenize(text)
+        idx = sentence_index(tokens, text)
+        assert idx == sorted(idx)
+
+
+class TestWithinSentenceExtraction:
+    def test_cross_sentence_matchsets_filtered(self):
+        from repro.core.query import Query
+        from repro.core.scoring.presets import trec_win
+        from repro.extraction.extractor import MatchsetExtractor
+        from repro.text.document import Document
+
+        doc = Document(
+            "d",
+            "Lenovo signed a partnership with the NBA. "
+            "Much later, Dell mentioned tennis without any partnership news.",
+        )
+        query = Query.of("pc maker", "sports", "partnership")
+        loose = MatchsetExtractor(query, trec_win()).extract(doc)
+        strict = MatchsetExtractor(query, trec_win(), within_sentence=True).extract(doc)
+        assert len(strict) <= len(loose)
+        # The surviving extractions stay inside the first sentence.
+        from repro.text.sentences import sentence_index
+
+        idx = sentence_index(doc.tokens, doc.text)
+        for e in strict:
+            assert len({idx[loc] for _t, _x, loc in e.fields}) == 1
+        assert strict  # the first sentence holds a complete matchset

@@ -1,0 +1,129 @@
+"""Porter stemmer tests against the algorithm's published examples."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.stemmer import PorterStemmer, stem
+
+# (word, expected stem) pairs taken from Porter's 1980 paper examples.
+PORTER_FIXTURES = {
+    # step 1a
+    "caresses": "caress",
+    "ponies": "poni",
+    "ties": "ti",
+    "caress": "caress",
+    "cats": "cat",
+    # step 1b
+    "feed": "feed",
+    "agreed": "agre",
+    "plastered": "plaster",
+    "bled": "bled",
+    "motoring": "motor",
+    "sing": "sing",
+    "conflated": "conflat",
+    "troubled": "troubl",
+    "sized": "size",
+    "hopping": "hop",
+    "tanned": "tan",
+    "falling": "fall",
+    "hissing": "hiss",
+    "fizzed": "fizz",
+    "failing": "fail",
+    "filing": "file",
+    # step 1c
+    "happy": "happi",
+    "sky": "sky",
+    # step 2
+    "relational": "relat",
+    "conditional": "condit",
+    "rational": "ration",
+    "valenci": "valenc",
+    "hesitanci": "hesit",
+    "digitizer": "digit",
+    "conformabli": "conform",
+    "radicalli": "radic",
+    "differentli": "differ",
+    "vileli": "vile",
+    "analogousli": "analog",
+    "vietnamization": "vietnam",
+    "predication": "predic",
+    "operator": "oper",
+    "feudalism": "feudal",
+    "decisiveness": "decis",
+    "hopefulness": "hope",
+    "callousness": "callous",
+    "formaliti": "formal",
+    "sensitiviti": "sensit",
+    "sensibiliti": "sensibl",
+    # step 3
+    "triplicate": "triplic",
+    "formative": "form",
+    "formalize": "formal",
+    "electriciti": "electr",
+    "electrical": "electr",
+    "hopeful": "hope",
+    "goodness": "good",
+    # step 4
+    "revival": "reviv",
+    "allowance": "allow",
+    "inference": "infer",
+    "airliner": "airlin",
+    "gyroscopic": "gyroscop",
+    "adjustable": "adjust",
+    "defensible": "defens",
+    "irritant": "irrit",
+    "replacement": "replac",
+    "adjustment": "adjust",
+    "dependent": "depend",
+    "adoption": "adopt",
+    "communism": "commun",
+    "activate": "activ",
+    "angulariti": "angular",
+    "homologous": "homolog",
+    "effective": "effect",
+    "bowdlerize": "bowdler",
+    # step 5
+    "probate": "probat",
+    "rate": "rate",
+    "cease": "ceas",
+    "controll": "control",
+    "roll": "roll",
+}
+
+
+class TestPorterFixtures:
+    @pytest.mark.parametrize("word,expected", sorted(PORTER_FIXTURES.items()))
+    def test_known_stems(self, word, expected):
+        assert PorterStemmer().stem(word) == expected
+
+
+class TestStemmerBehaviour:
+    def test_short_words_unchanged(self):
+        assert stem("at") == "at"
+        assert stem("by") == "by"
+        assert stem("a") == "a"
+
+    def test_case_insensitive(self):
+        assert stem("Partnership") == stem("partnership")
+
+    def test_non_alpha_tokens_unchanged(self):
+        assert stem("2008") == "2008"
+        assert stem("hewlett-packard") == "hewlett-packard"
+
+    def test_inflections_share_a_stem(self):
+        assert stem("partner") == stem("partners")
+        assert stem("building") == stem("builds")
+        assert stem("marry") == stem("married")
+
+    def test_module_level_function_matches_instance(self):
+        assert stem("relational") == PorterStemmer().stem("relational")
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=15))
+    def test_stem_never_longer_than_word(self, word):
+        assert len(stem(word)) <= len(word)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=15))
+    def test_stem_is_deterministic_and_nonempty(self, word):
+        assert stem(word) == stem(word)
+        assert stem(word)

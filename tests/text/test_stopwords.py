@@ -1,0 +1,23 @@
+"""Stopword list tests."""
+
+from repro.text.stopwords import STOPWORDS, is_stopword
+
+
+def test_common_function_words_present():
+    for word in ("the", "and", "of", "in", "is", "was"):
+        assert word in STOPWORDS
+
+
+def test_content_words_absent():
+    for word in ("lenovo", "conference", "partnership", "city"):
+        assert word not in STOPWORDS
+
+
+def test_is_stopword_case_insensitive():
+    assert is_stopword("The")
+    assert is_stopword("AND")
+    assert not is_stopword("NBA")
+
+
+def test_reasonable_size():
+    assert 100 <= len(STOPWORDS) <= 250

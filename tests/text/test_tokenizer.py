@@ -1,0 +1,64 @@
+"""Tokenizer tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenizer import Token, tokenize
+
+
+class TestTokenize:
+    def test_basic_words(self):
+        tokens = tokenize("Lenovo partners with the NBA")
+        assert [t.text for t in tokens] == ["lenovo", "partners", "with", "the", "nba"]
+
+    def test_positions_count_tokens(self):
+        tokens = tokenize("a b  c,   d")
+        assert [t.position for t in tokens] == [0, 1, 2, 3]
+
+    def test_character_offsets(self):
+        text = "Hello,  world"
+        tokens = tokenize(text)
+        assert text[tokens[0].start : tokens[0].end] == "Hello"
+        assert text[tokens[1].start : tokens[1].end] == "world"
+
+    def test_raw_preserves_case(self):
+        tokens = tokenize("Hewlett-Packard")
+        assert tokens[0].raw == "Hewlett-Packard"
+        assert tokens[0].text == "hewlett-packard"
+
+    def test_lowercase_can_be_disabled(self):
+        tokens = tokenize("NBA", lowercase=False)
+        assert tokens[0].text == "NBA"
+
+    def test_hyphen_and_apostrophe_glue(self):
+        tokens = tokenize("don't use state-of-the-art tricks")
+        assert tokens[0].text == "don't"
+        assert tokens[2].text == "state-of-the-art"
+
+    def test_numeric_dates_stay_whole(self):
+        tokens = tokenize("due 06/24/2008 or 24-26")
+        texts = [t.text for t in tokens]
+        assert "06/24/2008" in texts
+        assert "24-26" in texts
+
+    def test_abbreviations(self):
+        tokens = tokenize("in the U.S. market")
+        assert "u.s" in [t.text for t in tokens] or "u.s." in [t.text for t in tokens]
+
+    def test_empty_and_punctuation_only(self):
+        assert tokenize("") == []
+        assert tokenize("... !!! ---") == []
+
+    def test_numbers(self):
+        tokens = tokenize("between 1990 and 2010")
+        assert [t.text for t in tokens] == ["between", "1990", "and", "2010"]
+
+    @given(st.text(max_size=200))
+    def test_positions_are_consecutive(self, text):
+        tokens = tokenize(text)
+        assert [t.position for t in tokens] == list(range(len(tokens)))
+
+    @given(st.text(max_size=200))
+    def test_offsets_slice_back_to_raw(self, text):
+        for t in tokenize(text):
+            assert text[t.start : t.end] == t.raw
