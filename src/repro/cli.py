@@ -10,6 +10,7 @@ Examples::
     repro-search ask '"pc maker", sports, partnership' news/*.txt
     repro-search extract 'conference|workshop, when:date, where:place' cfp.txt
     repro-search ask --scoring win --top 3 'lenovo:exact, nba:exact' doc.txt
+    repro-search serve news/*.txt --port 8080 --workers 4
 """
 
 from __future__ import annotations
@@ -117,6 +118,41 @@ def _cmd_extract(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Serve the files over HTTP (see docs/SERVING.md)."""
+    from repro.service import SearchServer
+    from repro.system import SearchSystem
+
+    corpus = _load_corpus(args.files)
+    system = SearchSystem()
+    system.add(*corpus)
+    server = SearchServer.for_system(
+        system,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_size=args.cache_size,
+        default_timeout=args.timeout,
+        verbose=True,
+    )
+    host, port = server.address
+    print(
+        f"serving {len(system)} documents on http://{host}:{port} "
+        f"({args.workers} workers; endpoints: /search /metrics /healthz; "
+        "Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down …")
+    finally:
+        # Stops the HTTP loop and joins every worker thread, so a SIGINT
+        # exit leaves no orphans behind.
+        server.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-search",
@@ -147,6 +183,23 @@ def main(argv: list[str] | None = None) -> int:
         "--gap", type=int, default=10, help="minimum anchor distance between extractions"
     )
     extract.set_defaults(func=_cmd_extract)
+
+    serve = sub.add_parser(
+        "serve", help="serve the files over HTTP (JSON /search endpoint)"
+    )
+    serve.add_argument("files", nargs="+", help="text files to index and serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--queue-size", type=int, default=64)
+    serve.add_argument("--cache-size", type=int, default=1024, help="0 disables")
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request deadline budget in seconds (default: untimed)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -124,6 +124,26 @@ class InvertedIndex:
             p for p in first if all(p + k + 1 in positions for k, positions in enumerate(rest))
         )
 
+    def phrase_documents(self, words: Iterable[str]) -> set[str]:
+        """Documents containing a phrase (consecutive tokens).
+
+        For a single word this is just the posting's document set; for a
+        longer phrase each candidate document is confirmed positionally.
+        """
+        word_list = list(words)
+        if not word_list:
+            return set()
+        posting = self.postings(word_list[0])
+        if posting is None:
+            return set()
+        if len(word_list) == 1:
+            return set(posting.documents())
+        return {
+            doc_id
+            for doc_id in posting.documents()
+            if self.phrase_positions(word_list, doc_id)
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"InvertedIndex({self.document_count} docs, "

@@ -75,9 +75,31 @@ class ConceptIndex:
                     )
         return MatchList(best.values(), term=concept)
 
-    def match_lists(self, concepts: list[str], doc_id: str) -> list[MatchList]:
-        """Match lists for several concepts in one document."""
-        return [self.match_list(c, doc_id) for c in concepts]
+    def match_lists(
+        self,
+        concepts: list[str],
+        doc_id: str,
+        *,
+        memo: dict[tuple[str, str], MatchList] | None = None,
+    ) -> list[MatchList]:
+        """Match lists for several concepts in one document.
+
+        ``memo`` is an optional ``(concept, doc_id) → MatchList`` cache
+        shared across calls — the batching hook: when several queries in
+        a micro-batch mention the same term, each term's list is
+        materialized from the index once.  Match lists are immutable, so
+        sharing is safe.
+        """
+        if memo is None:
+            return [self.match_list(c, doc_id) for c in concepts]
+        lists: list[MatchList] = []
+        for concept in concepts:
+            key = (concept, doc_id)
+            found = memo.get(key)
+            if found is None:
+                found = memo[key] = self.match_list(concept, doc_id)
+            lists.append(found)
+        return lists
 
     def candidate_documents(self, concepts: list[str]) -> list[str]:
         """Documents where *every* concept has at least one occurrence.
@@ -89,12 +111,7 @@ class ConceptIndex:
         for concept in concepts:
             docs: set[str] = set()
             for words, _score in self.expansion(concept):
-                posting = self.index.postings(words[0])
-                if posting is None:
-                    continue
-                for doc_id in posting.documents():
-                    if len(words) == 1 or self.index.phrase_positions(words, doc_id):
-                        docs.add(doc_id)
+                docs |= self.index.phrase_documents(words)
             doc_sets.append(docs)
         if not doc_sets:
             return []

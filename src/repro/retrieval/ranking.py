@@ -9,6 +9,7 @@ where it did (the extracted answer).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -40,6 +41,7 @@ def rank_match_lists(
     scoring: ScoringFunction,
     *,
     avoid_duplicates: bool = True,
+    top_k: int | None = None,
 ) -> list[RankedDocument]:
     """Rank pre-computed per-document match lists.
 
@@ -47,6 +49,10 @@ def rank_match_lists(
     documents with no complete (or no valid) matchset are dropped.
     Results are sorted by descending score, doc id breaking ties for
     determinism.
+
+    ``top_k`` keeps only the best *k* documents via a heap select
+    instead of a full sort — the ``(-score, doc_id)`` key is a total
+    order, so the result is exactly the first *k* of the full ranking.
     """
     ranked: list[RankedDocument] = []
     for doc_id, lists in per_document_lists:
@@ -58,7 +64,10 @@ def rank_match_lists(
             ranked.append(
                 RankedDocument(doc_id, result.score, result.matchset, result.invocations)
             )
-    ranked.sort(key=lambda r: (-r.score, r.doc_id))
+    key = lambda r: (-r.score, r.doc_id)
+    if top_k is not None and top_k < len(ranked):
+        return heapq.nsmallest(max(top_k, 0), ranked, key=key)
+    ranked.sort(key=key)
     return ranked
 
 

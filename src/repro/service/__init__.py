@@ -1,0 +1,46 @@
+"""The serving subsystem: concurrent, cached, deadline-aware search.
+
+Layers (each usable on its own, composed by :class:`SearchServer`):
+
+* :class:`QueryExecutor` — worker pool + bounded queue + admission
+  control + deadlines + graceful degradation (:mod:`.executor`);
+* :class:`MicroBatcher` — groups concurrent queries sharing index terms
+  into one :meth:`~repro.system.SearchSystem.ask_many` pass (:mod:`.batching`);
+* :class:`ResultCache` — LRU results keyed on (query, scoring, index
+  generation, top-k) (:mod:`.cache`);
+* :class:`ServiceMetrics` — counters + latency quantiles with a
+  ``snapshot()`` API (:mod:`.metrics`);
+* :class:`SearchServer` — stdlib HTTP endpoints ``/search``,
+  ``/metrics``, ``/healthz`` (:mod:`.server`), also behind the
+  ``repro-search serve`` CLI.
+
+See ``docs/SERVING.md`` for the architecture and semantics.
+"""
+
+from repro.service.batching import MicroBatcher, query_terms
+from repro.service.cache import ResultCache, make_key, normalize_query
+from repro.service.executor import (
+    SCORING_PRESETS,
+    DeadlineExceeded,
+    QueryExecutor,
+    QueryRejected,
+    QueryResponse,
+)
+from repro.service.metrics import LatencyReservoir, ServiceMetrics
+from repro.service.server import SearchServer
+
+__all__ = [
+    "DeadlineExceeded",
+    "LatencyReservoir",
+    "MicroBatcher",
+    "QueryExecutor",
+    "QueryRejected",
+    "QueryResponse",
+    "ResultCache",
+    "SCORING_PRESETS",
+    "SearchServer",
+    "ServiceMetrics",
+    "make_key",
+    "normalize_query",
+    "query_terms",
+]

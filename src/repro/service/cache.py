@@ -1,0 +1,135 @@
+"""Size-bounded LRU result cache, keyed by index generation.
+
+A ranking is a pure function of (query, scoring, top-k, index state).
+Rather than eagerly flushing entries on every mutation, the cache folds
+the index state into the key as :attr:`SearchSystem.index_generation` —
+a counter bumped by every ``add()``/``remove()``/``load()``.  A stale
+entry can never be *returned* (its key embeds a generation nobody asks
+for anymore); stale entries are *evicted* lazily by LRU order, or
+explicitly via :meth:`drop_older_generations`.
+
+Keys normalize the query text (case, whitespace around commas) so
+trivially different spellings of the same query share an entry.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["CacheKey", "ResultCache", "normalize_query"]
+
+_COMMA_SPACE = re.compile(r"\s*,\s*")
+_SPACE = re.compile(r"\s+")
+
+#: (normalized query, scoring preset, index generation, top_k)
+CacheKey = tuple[str, str, int, int]
+
+
+def normalize_query(query_text: str) -> str:
+    """Canonical spelling of a query-language query for cache keying.
+
+    Lowercases, collapses runs of whitespace, and strips spaces around
+    the top-level commas:  ``'Sports,  Partnership'`` and
+    ``'sports, partnership'`` hit the same entry.  Quoting is preserved
+    (quotes only protect commas; case and spacing are insensitive either
+    way by the time matchers see the term).
+    """
+    collapsed = _SPACE.sub(" ", query_text.strip().lower())
+    return _COMMA_SPACE.sub(",", collapsed)
+
+
+def make_key(
+    query_text: str, scoring_name: str, generation: int, top_k: int
+) -> CacheKey:
+    """The cache key for one request."""
+    return (normalize_query(query_text), scoring_name, generation, top_k)
+
+
+class ResultCache:
+    """Thread-safe LRU mapping of :data:`CacheKey` to ranked results.
+
+    Values are stored as-is; callers must treat them as immutable (the
+    serving layer stores tuples of :class:`RankedDocument`, which are
+    frozen dataclasses).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, refreshed to most-recently-used; else None."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh an entry, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def drop_older_generations(self, current_generation: int) -> int:
+        """Evict every entry whose key's generation predates ``current``.
+
+        Optional housekeeping: generation-keyed lookups already make
+        stale entries unreachable, this just frees their memory eagerly
+        (the executor calls it after a mutation). Returns entries dropped.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple)
+                and len(key) == 4
+                and isinstance(key[2], int)
+                and key[2] < current_generation
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.evictions += len(stale)
+            return len(stale)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        return (
+            f"ResultCache({stats['size']}/{stats['capacity']}, "
+            f"{stats['hits']} hits, {stats['misses']} misses)"
+        )

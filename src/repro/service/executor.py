@@ -1,0 +1,474 @@
+"""Concurrent query execution: pool, admission control, deadlines.
+
+:class:`QueryExecutor` is the serving core.  It wraps one
+:class:`~repro.system.SearchSystem` behind a bounded queue and a worker
+pool, and layers on the serving concerns the synchronous façade does not
+have:
+
+* **Admission control** — ``submit()`` never blocks: when the backlog is
+  full the request is rejected immediately (:class:`QueryRejected`), so
+  overload produces fast failures instead of unbounded queueing.
+* **Deadlines** — each request may carry a timeout.  A request whose
+  deadline expires while queued fails with :class:`DeadlineExceeded`
+  without running its join.
+* **Graceful degradation** — a request close to its deadline (less than
+  ``degradation_margin`` of its budget left) is answered with the
+  cheaper approximate join (``avoid_duplicates=False``, skipping the
+  Section VI duplicate-elimination loop) and marked ``degraded``.
+* **Result caching** — exact results are cached keyed on (normalized
+  query, scoring preset, index generation, top-k); see
+  :mod:`repro.service.cache`.  Degraded results are never cached.
+* **Micro-batching** — workers drain the backlog and execute
+  term-sharing groups through :meth:`SearchSystem.ask_many`; see
+  :mod:`repro.service.batching`.
+* **Consistent mutation** — :meth:`apply` runs a mutator under a write
+  lock while queries hold read locks, so a ranking never observes a
+  half-applied mutation and every cached entry's generation is exact.
+
+Responses are byte-identical to the serial ``SearchSystem.ask`` path:
+caching keys on the index generation, batching shares only immutable
+match lists, and degradation only triggers under deadline pressure
+(never for untimed requests).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Sequence, TypeVar
+
+from repro.core.scoring.base import ScoringFunction
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+from repro.retrieval.ranking import RankedDocument
+from repro.service.batching import MicroBatcher
+from repro.service.cache import ResultCache, make_key
+from repro.service.metrics import ServiceMetrics
+from repro.system import SearchSystem
+
+__all__ = [
+    "DeadlineExceeded",
+    "QueryExecutor",
+    "QueryRejected",
+    "QueryResponse",
+    "SCORING_PRESETS",
+]
+
+T = TypeVar("T")
+
+SCORING_PRESETS: dict[str, Callable[[], ScoringFunction]] = {
+    "win": trec_win,
+    "med": trec_med,
+    "max": trec_max,
+}
+
+
+class QueryRejected(RuntimeError):
+    """Admission control refused the request (backlog full or shut down)."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's deadline expired before it could be executed."""
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResponse:
+    """One served query: the ranking plus how it was produced."""
+
+    query_text: str
+    results: tuple[RankedDocument, ...]
+    cached: bool
+    degraded: bool
+    generation: int
+    latency_s: float
+
+
+@dataclass(slots=True)
+class _Request:
+    query_text: str
+    top_k: int
+    scoring_name: str
+    scoring: ScoringFunction | None
+    timeout_s: float | None
+    deadline: float | None
+    submitted_at: float
+    future: Future = field(default_factory=Future)
+
+    @property
+    def batch_key(self) -> Hashable:
+        return (self.scoring_name, self.top_k)
+
+
+class _ReadWriteLock:
+    """Writer-preferring read/write lock (stdlib has none).
+
+    Queries share read access; :meth:`QueryExecutor.apply` mutations take
+    exclusive write access.  Writers block new readers, so a stream of
+    queries cannot starve an ``add()``.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextlib.contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+_SENTINEL: Any = object()
+
+
+class QueryExecutor:
+    """Thread-pooled, deadline-aware, caching query server over a system.
+
+    Parameters
+    ----------
+    system:
+        The search system to serve.  Mutate it through :meth:`apply` —
+        direct mutation while queries are in flight is not synchronized.
+    workers:
+        Worker threads.  Joins are pure Python (GIL-bound), so workers
+        buy pipelining and isolation rather than CPU parallelism.
+    queue_size:
+        Backlog bound; ``submit`` beyond it raises :class:`QueryRejected`.
+    cache_size:
+        Result-cache capacity; ``0`` disables caching.
+    default_timeout:
+        Deadline budget (seconds) applied when ``submit`` gets no
+        explicit timeout; ``None`` means untimed.
+    degradation_margin:
+        Fraction of the timeout budget below which a request falls back
+        to the approximate join.  ``0`` disables degradation.
+    max_batch:
+        Micro-batch bound; ``1`` disables batching.
+    batch_wait_s:
+        Batch collection window.  ``0`` (default, latency-optimized)
+        batches only what is already queued; ``> 0``
+        (throughput-optimized) lets a worker wait up to this long for
+        the backlog to fill before executing, amortizing per-request
+        overhead across the batch at the cost of adding up to the
+        window to an isolated request's latency.  A full batch departs
+        immediately, so under load the effective wait tends to zero.
+    """
+
+    def __init__(
+        self,
+        system: SearchSystem,
+        *,
+        workers: int = 4,
+        queue_size: int = 64,
+        cache_size: int = 1024,
+        cache: ResultCache | None = None,
+        metrics: ServiceMetrics | None = None,
+        default_timeout: float | None = None,
+        degradation_margin: float = 0.25,
+        max_batch: int = 8,
+        batch_wait_s: float = 0.0,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if queue_size <= 0:
+            raise ValueError(f"queue_size must be positive, got {queue_size}")
+        if not 0.0 <= degradation_margin < 1.0:
+            raise ValueError(
+                f"degradation_margin must be in [0, 1), got {degradation_margin}"
+            )
+        if batch_wait_s < 0:
+            raise ValueError(f"batch_wait_s must be >= 0, got {batch_wait_s}")
+        self.system = system
+        self.cache = cache if cache is not None else (
+            ResultCache(cache_size) if cache_size > 0 else None
+        )
+        self.metrics = metrics or ServiceMetrics()
+        self.batcher = MicroBatcher(max_batch=max_batch) if max_batch > 1 else None
+        self.batch_wait_s = batch_wait_s
+        self.default_timeout = default_timeout
+        self.degradation_margin = degradation_margin
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._rwlock = _ReadWriteLock()
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-query-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- client API ----------------------------------------------------------
+
+    def submit(
+        self,
+        query_text: str,
+        *,
+        top_k: int = 5,
+        scoring: str | None = None,
+        timeout: float | None = None,
+    ) -> "Future[QueryResponse]":
+        """Enqueue one query; never blocks.
+
+        ``scoring`` is a preset name (``win``/``med``/``max``) or None
+        for the system default.  Raises :class:`QueryRejected` when the
+        backlog is full or the executor is shut down.
+        """
+        if self._closed:
+            raise QueryRejected("executor is shut down")
+        if scoring is not None and scoring not in SCORING_PRESETS:
+            raise ValueError(
+                f"unknown scoring preset {scoring!r}; "
+                f"expected one of {sorted(SCORING_PRESETS)}"
+            )
+        timeout_s = self.default_timeout if timeout is None else timeout
+        now = time.monotonic()
+        request = _Request(
+            query_text=query_text,
+            top_k=top_k,
+            scoring_name=scoring or "default",
+            scoring=SCORING_PRESETS[scoring]() if scoring else None,
+            timeout_s=timeout_s,
+            deadline=now + timeout_s if timeout_s is not None else None,
+            submitted_at=now,
+        )
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.metrics.increment("rejected_total")
+            raise QueryRejected(
+                f"backlog full ({self._queue.maxsize} pending)"
+            ) from None
+        self.metrics.increment("requests_total")
+        self.metrics.set_queue_depth(self._queue.qsize())
+        return request.future
+
+    def ask(
+        self,
+        query_text: str,
+        *,
+        top_k: int = 5,
+        scoring: str | None = None,
+        timeout: float | None = None,
+    ) -> QueryResponse:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(
+            query_text, top_k=top_k, scoring=scoring, timeout=timeout
+        ).result()
+
+    def apply(self, mutator: Callable[[SearchSystem], T]) -> T:
+        """Run a mutation exclusively (no query observes it half-done).
+
+        ``mutator`` receives the system; e.g.
+        ``executor.apply(lambda s: s.add(doc))``.  Afterwards, cache
+        entries from older generations are dropped eagerly.
+        """
+        with self._rwlock.write():
+            result = mutator(self.system)
+        if self.cache is not None:
+            self.cache.drop_older_generations(self.system.index_generation)
+        return result
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and stop workers; idempotent.
+
+        Already-queued requests are still served (graceful drain).  Safe
+        to call from several threads or repeatedly; later calls join the
+        same teardown.
+        """
+        with self._state_lock:
+            first = not self._closed
+            self._closed = True
+        if first:
+            for _ in self._threads:
+                self._queue.put(_SENTINEL)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    # -- worker internals ----------------------------------------------------
+
+    def _drain_backlog(self, first: _Request) -> list[_Request]:
+        """The request just taken plus whatever else is (or soon becomes)
+        ready, bounded by ``max_batch`` and the collection window."""
+        backlog = [first]
+        if self.batcher is None:
+            return backlog
+        window_end = (
+            time.monotonic() + self.batch_wait_s if self.batch_wait_s > 0 else None
+        )
+        while len(backlog) < self.batcher.max_batch:
+            try:
+                if window_end is None:
+                    item = self._queue.get_nowait()
+                else:
+                    remaining = window_end - time.monotonic()
+                    if remaining <= 0:
+                        item = self._queue.get_nowait()
+                    else:
+                        item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                # Not ours to consume mid-batch; hand it back for the
+                # worker that will exit next.
+                self._queue.put(item)
+                break
+            backlog.append(item)
+        return backlog
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                break
+            backlog = self._drain_backlog(item)
+            self.metrics.set_queue_depth(self._queue.qsize())
+            plans = (
+                self.batcher.plan(backlog) if self.batcher else [[r] for r in backlog]
+            )
+            for batch in plans:
+                try:
+                    self._execute_batch(batch)
+                except BaseException as exc:  # never kill the worker
+                    self.metrics.increment("errors_total", len(batch))
+                    for request in batch:
+                        if not request.future.done():
+                            request.future.set_exception(exc)
+
+    def _finish(self, request: _Request, response: QueryResponse) -> None:
+        self.metrics.observe_latency(response.latency_s)
+        request.future.set_result(response)
+
+    def _execute_batch(self, batch: Sequence[_Request]) -> None:
+        with self._rwlock.read():
+            # Classify under the read lock: time spent queued *and*
+            # waiting out a mutation counts against the deadline budget.
+            now = time.monotonic()
+            exact: list[_Request] = []
+            degraded: list[_Request] = []
+            for request in batch:
+                if request.future.cancelled():
+                    continue
+                if request.deadline is not None:
+                    remaining = request.deadline - now
+                    if remaining <= 0:
+                        self.metrics.increment("deadline_misses")
+                        request.future.set_exception(
+                            DeadlineExceeded(
+                                f"deadline expired {-remaining:.3f}s before execution"
+                            )
+                        )
+                        continue
+                    assert request.timeout_s is not None
+                    if remaining < self.degradation_margin * request.timeout_s:
+                        degraded.append(request)
+                        continue
+                exact.append(request)
+
+            generation = self.system.index_generation
+            to_run: list[_Request] = []
+            for request in exact:
+                cached = None
+                if self.cache is not None:
+                    key = make_key(
+                        request.query_text,
+                        request.scoring_name,
+                        generation,
+                        request.top_k,
+                    )
+                    cached = self.cache.get(key)
+                    self.metrics.increment(
+                        "cache_hits" if cached is not None else "cache_misses"
+                    )
+                if cached is not None:
+                    self._finish(
+                        request,
+                        QueryResponse(
+                            query_text=request.query_text,
+                            results=cached,
+                            cached=True,
+                            degraded=False,
+                            generation=generation,
+                            latency_s=time.monotonic() - request.submitted_at,
+                        ),
+                    )
+                else:
+                    to_run.append(request)
+
+            if len(to_run) > 1:
+                self.metrics.increment("batches")
+                self.metrics.increment("batched_queries", len(to_run))
+            for group, avoid_duplicates in ((to_run, True), (degraded, False)):
+                if not group:
+                    continue
+                rankings = self.system.ask_many(
+                    [r.query_text for r in group],
+                    top_k=group[0].top_k,
+                    scoring=group[0].scoring,
+                    avoid_duplicates=avoid_duplicates,
+                )
+                self.metrics.increment("joins_executed", len(group))
+                if not avoid_duplicates:
+                    self.metrics.increment("degraded_responses", len(group))
+                for request, ranking in zip(group, rankings):
+                    results = tuple(ranking)
+                    if avoid_duplicates and self.cache is not None:
+                        self.cache.put(
+                            make_key(
+                                request.query_text,
+                                request.scoring_name,
+                                generation,
+                                request.top_k,
+                            ),
+                            results,
+                        )
+                    self._finish(
+                        request,
+                        QueryResponse(
+                            query_text=request.query_text,
+                            results=results,
+                            cached=False,
+                            degraded=not avoid_duplicates,
+                            generation=generation,
+                            latency_s=time.monotonic() - request.submitted_at,
+                        ),
+                    )

@@ -1,0 +1,140 @@
+"""Lightweight serving metrics: counters, latency quantiles, snapshots.
+
+No external dependencies, no background threads — just thread-safe
+counters and a bounded latency reservoir cheap enough to update on every
+request.  :meth:`ServiceMetrics.snapshot` returns one plain dict, which
+is what the ``/metrics`` endpoint serializes and what benchmarks and
+tests assert against.
+
+Metric glossary (see also docs/SERVING.md):
+
+``requests_total``      every request admitted to the executor
+``rejected_total``      requests refused by admission control (queue full)
+``cache_hits``/``cache_misses``  result-cache outcomes
+``joins_executed``      requests answered by actually running best-joins
+``batches``/``batched_queries``  micro-batcher activity
+``deadline_misses``     requests whose deadline expired before execution
+``degraded_responses``  requests answered by the cheap approximate join
+``errors_total``        requests that raised during execution
+``queue_depth``         current executor backlog (gauge)
+``latency_p50``/``latency_p95``  request latency quantiles (seconds)
+``qps``                 completed requests / elapsed wall-clock
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["LatencyReservoir", "ServiceMetrics"]
+
+
+class LatencyReservoir:
+    """A bounded sliding window of latency samples with quantiles.
+
+    Keeps the most recent ``size`` samples (a deque, O(1) record) and
+    computes quantiles by sorting on demand — snapshots are rare next to
+    records, so this is the right trade for a serving hot path.
+    """
+
+    def __init__(self, size: int = 2048) -> None:
+        if size <= 0:
+            raise ValueError(f"reservoir size must be positive, got {size}")
+        self._samples: deque[float] = deque(maxlen=size)
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(value)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile (0 ≤ q ≤ 1) of the window, None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return None
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency reservoir for the serving layer."""
+
+    _COUNTERS = (
+        "requests_total",
+        "rejected_total",
+        "cache_hits",
+        "cache_misses",
+        "joins_executed",
+        "batches",
+        "batched_queries",
+        "deadline_misses",
+        "degraded_responses",
+        "errors_total",
+    )
+
+    def __init__(self, *, reservoir_size: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._counts = {name: 0 for name in self._COUNTERS}
+        self._latency = LatencyReservoir(reservoir_size)
+        self._queue_depth = 0
+        self._started = time.monotonic()
+        self._completed = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        if name not in self._counts:
+            raise KeyError(f"unknown counter {name!r}")
+        with self._lock:
+            self._counts[name] += amount
+
+    def count(self, name: str) -> int:
+        with self._lock:
+            return self._counts[name]
+
+    def set_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self._queue_depth = depth
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one completed request's latency."""
+        self._latency.record(seconds)
+        with self._lock:
+            self._completed += 1
+
+    # -- reading -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One consistent view of every metric, as a plain dict."""
+        with self._lock:
+            counts = dict(self._counts)
+            depth = self._queue_depth
+            completed = self._completed
+            elapsed = time.monotonic() - self._started
+        hits, misses = counts["cache_hits"], counts["cache_misses"]
+        lookups = hits + misses
+        return {
+            **counts,
+            "queue_depth": depth,
+            "completed_total": completed,
+            "uptime_s": elapsed,
+            "qps": completed / elapsed if elapsed > 0 else 0.0,
+            "cache_hit_rate": hits / lookups if lookups else 0.0,
+            "latency_p50": self._latency.quantile(0.50),
+            "latency_p95": self._latency.quantile(0.95),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        snap = self.snapshot()
+        return (
+            f"ServiceMetrics(requests={snap['requests_total']}, "
+            f"qps={snap['qps']:.1f}, hit_rate={snap['cache_hit_rate']:.2f})"
+        )

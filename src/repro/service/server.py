@@ -1,0 +1,238 @@
+"""Stdlib JSON/HTTP front end for the query executor.
+
+:class:`SearchServer` binds a :class:`~repro.service.QueryExecutor` to a
+``ThreadingHTTPServer`` with three endpoints:
+
+``GET /search?q=<query>[&top_k=N][&scoring=win|med|max][&timeout_ms=T]``
+    Rank documents; also accepts ``POST /search`` with the same fields
+    as a JSON body.  Overload maps to ``503``, an expired deadline to
+    ``504``, a bad query to ``400``.
+``GET /metrics``
+    JSON :meth:`ServiceMetrics.snapshot` plus cache stats.
+``GET /healthz``
+    Liveness: ``{"status": "ok", "documents": N, "generation": G}``.
+
+No framework, no dependencies: this is the serving seam later PRs grow
+behind (sharding, async transports) while keeping the same endpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.executor import (
+    DeadlineExceeded,
+    QueryExecutor,
+    QueryRejected,
+    QueryResponse,
+)
+
+__all__ = ["SearchServer"]
+
+
+def _response_payload(response: QueryResponse) -> dict:
+    return {
+        "query": response.query_text,
+        "cached": response.cached,
+        "degraded": response.degraded,
+        "generation": response.generation,
+        "latency_ms": round(response.latency_s * 1000.0, 3),
+        "results": [
+            {"rank": rank, "doc_id": doc.doc_id, "score": doc.score}
+            for rank, doc in enumerate(response.results, 1)
+        ],
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set by SearchServer on the server object; typed here for clarity.
+    server: "_Server"  # type: ignore[assignment]
+
+    protocol_version = "HTTP/1.1"
+    # Status line, headers, and body go out in separate send()s; without
+    # TCP_NODELAY, Nagle + the peer's delayed ACK stall every keep-alive
+    # response ~40ms (22 QPS from a sub-millisecond handler).
+    disable_nagle_algorithm = True
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlsplit(self.path)
+        if url.path == "/healthz":
+            system = self.server.executor.system
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "documents": len(system),
+                    "generation": system.index_generation,
+                },
+            )
+        elif url.path == "/metrics":
+            snapshot = self.server.executor.metrics.snapshot()
+            cache = self.server.executor.cache
+            if cache is not None:
+                snapshot["cache"] = cache.stats()
+            self._send_json(200, snapshot)
+        elif url.path == "/search":
+            params = {k: v[-1] for k, v in parse_qs(url.query).items()}
+            self._search(params)
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {url.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if urlsplit(self.path).path != "/search":
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            params = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            self._send_json(400, {"error": f"bad JSON body: {exc}"})
+            return
+        if not isinstance(params, dict):
+            self._send_json(400, {"error": "JSON body must be an object"})
+            return
+        self._search({str(k): v for k, v in params.items()})
+
+    def _search(self, params: dict) -> None:
+        query_text = params.get("q") or params.get("query")
+        if not query_text:
+            self._send_json(400, {"error": "missing query parameter 'q'"})
+            return
+        try:
+            top_k = int(params.get("top_k", 5))
+            timeout_ms = params.get("timeout_ms")
+            timeout = float(timeout_ms) / 1000.0 if timeout_ms is not None else None
+        except (TypeError, ValueError) as exc:
+            self._send_json(400, {"error": f"bad parameter: {exc}"})
+            return
+        scoring = params.get("scoring") or None
+        try:
+            future = self.server.executor.submit(
+                str(query_text), top_k=top_k, scoring=scoring, timeout=timeout
+            )
+            response = future.result()
+        except QueryRejected as exc:
+            self._send_json(503, {"error": f"overloaded: {exc}"})
+        except DeadlineExceeded as exc:
+            self._send_json(504, {"error": f"deadline exceeded: {exc}"})
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # query-language errors etc.
+            self._send_json(400, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._send_json(200, _response_payload(response))
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    executor: QueryExecutor
+    verbose: bool
+
+
+class SearchServer:
+    """Serve a :class:`QueryExecutor` over HTTP.
+
+    Owns nothing it did not create: pass an executor and the caller
+    keeps responsibility for shutting the executor down; let the server
+    build one (``SearchServer(executor=QueryExecutor(system))`` vs
+    ``SearchServer.for_system(system)``) and :meth:`close` tears both
+    down.  ``port=0`` binds an ephemeral port (see :attr:`address`).
+    """
+
+    def __init__(
+        self,
+        executor: QueryExecutor,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+        owns_executor: bool = False,
+    ) -> None:
+        self.executor = executor
+        self._owns_executor = owns_executor
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.executor = executor
+        self._httpd.verbose = verbose
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    @classmethod
+    def for_system(
+        cls,
+        system,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+        **executor_options,
+    ) -> "SearchServer":
+        """Build server + executor in one go; :meth:`close` owns both."""
+        executor = QueryExecutor(system, **executor_options)
+        return cls(
+            executor, host=host, port=port, verbose=verbose, owns_executor=True
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolved even when ``port=0``."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "SearchServer":
+        """Serve in a background thread (for tests/embedding); returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (CLI path)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving; idempotent and safe mid-request.
+
+        Shuts the HTTP loop first (no new requests), then the executor
+        if this server created it, so no worker threads are orphaned.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+        if self._owns_executor:
+            self.executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SearchServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

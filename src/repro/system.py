@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.core.query import Query
 from repro.core.scoring.base import ScoringFunction
@@ -62,14 +62,29 @@ class SearchSystem:
         self.corpus = Corpus()
         self.index = InvertedIndex()
         self._concepts = ConceptIndex(self.index, lexicon=lexicon)
+        self._generation = 0
 
     # -- corpus management ---------------------------------------------------
+
+    @property
+    def index_generation(self) -> int:
+        """Monotonic counter of index mutations.
+
+        Increments on every :meth:`add` / :meth:`add_texts` /
+        :meth:`remove` call and on :meth:`load`.  Rankings computed for a
+        query are only valid within one generation: any cached result
+        must be keyed on (or invalidated by) this counter, which is
+        exactly what :class:`repro.service.ResultCache` does.
+        """
+        return self._generation
 
     def add(self, *documents: Document) -> None:
         """Add documents (indexed immediately)."""
         for doc in documents:
             self.corpus.add(doc)
             self.index.add_document(doc)
+        if documents:
+            self._generation += 1
 
     def add_texts(self, texts: Iterable[tuple[str, str]]) -> None:
         """Add ``(doc_id, text)`` pairs."""
@@ -79,6 +94,7 @@ class SearchSystem:
         """Remove a document from the corpus and the index."""
         self.corpus.remove(doc_id)
         self.index.remove_document(doc_id)
+        self._generation += 1
 
     def __len__(self) -> int:
         return len(self.corpus)
@@ -93,11 +109,16 @@ class SearchSystem:
             return query, None
         return query, QueryMatcher(query, matchers, lexicon=self.lexicon)
 
-    def _per_document_lists(self, query: Query, matcher: QueryMatcher | None):
+    def _per_document_lists(
+        self,
+        query: Query,
+        matcher: QueryMatcher | None,
+        memo: dict | None = None,
+    ):
         if matcher is None:
             terms = list(query)
             for doc_id in self._concepts.candidate_documents(terms):
-                yield doc_id, self._concepts.match_lists(terms, doc_id)
+                yield doc_id, self._concepts.match_lists(terms, doc_id, memo=memo)
         else:
             for doc in self.corpus:
                 yield doc.doc_id, matcher.match_lists(doc)
@@ -108,15 +129,57 @@ class SearchSystem:
         *,
         top_k: int = 5,
         scoring: ScoringFunction | None = None,
+        avoid_duplicates: bool = True,
     ) -> list[RankedDocument]:
-        """Rank documents for a query-language query."""
+        """Rank documents for a query-language query.
+
+        ``avoid_duplicates=False`` skips the Section VI duplicate-free
+        join — a cheaper, approximate ranking the serving layer falls
+        back to when a request's deadline is nearly spent.
+        """
         query, matcher = self._plan(query_text)
-        ranked = rank_match_lists(
+        return rank_match_lists(
             self._per_document_lists(query, matcher),
             query,
             scoring or self.scoring,
+            avoid_duplicates=avoid_duplicates,
+            top_k=top_k,
         )
-        return ranked[:top_k]
+
+    def ask_many(
+        self,
+        queries: Sequence[str],
+        *,
+        top_k: int = 5,
+        scoring: ScoringFunction | None = None,
+        avoid_duplicates: bool = True,
+    ) -> list[list[RankedDocument]]:
+        """Rank documents for several queries in one pass.
+
+        The batch hook behind :class:`repro.service.MicroBatcher`: all
+        offline (index-derived) queries in the batch share one
+        ``(term, doc_id) → MatchList`` memo, so a term appearing in
+        several concurrent queries has its match lists materialized from
+        the index once instead of once per query.  Results are
+        guaranteed identical to calling :meth:`ask` per query — match
+        lists are immutable, so sharing them cannot change a join.
+        """
+        memo: dict = {}
+        results: list[list[RankedDocument]] = []
+        for query_text in queries:
+            query, matcher = self._plan(query_text)
+            results.append(
+                rank_match_lists(
+                    self._per_document_lists(
+                        query, matcher, memo=memo if matcher is None else None
+                    ),
+                    query,
+                    scoring or self.scoring,
+                    avoid_duplicates=avoid_duplicates,
+                    top_k=top_k,
+                )
+            )
+        return results
 
     def extract(
         self,
@@ -171,4 +234,7 @@ class SearchSystem:
             system.corpus.add(Document(record["id"], record["text"]))
         system.index = index_from_dict(payload["index"])
         system._concepts = ConceptIndex(system.index, lexicon=lexicon)
+        # Loading replaces the whole index: a fresh-but-nonzero generation
+        # so any cache keyed on the pre-load counter is invalid.
+        system._generation += 1
         return system

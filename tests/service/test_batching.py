@@ -1,0 +1,72 @@
+"""Micro-batch planning: term extraction, grouping, splitting."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.service.batching import MicroBatcher, query_terms
+
+
+@dataclass
+class FakeRequest:
+    query_text: str
+    key: object = "k"
+
+    @property
+    def batch_key(self):
+        return self.key
+
+
+class TestQueryTerms:
+    def test_simple_split(self):
+        assert query_terms("a, b, c") == ("a", "b", "c")
+
+    def test_quotes_protect_commas(self):
+        # Splitting honours the quotes; spacing inside them is normalized
+        # like any other whitespace.
+        assert query_terms('"pc maker, inc", sports') == ("pc maker,inc", "sports")
+
+    def test_normalization_applies(self):
+        assert query_terms("Sports ,  PARTNERSHIP") == ("sports", "partnership")
+
+    def test_empty_terms_dropped(self):
+        assert query_terms("a,, b,") == ("a", "b")
+
+
+class TestPlan:
+    def test_shared_terms_grouped(self):
+        batcher = MicroBatcher(max_batch=8)
+        a = FakeRequest("sports, partnership")
+        b = FakeRequest("partnership, lenovo")
+        c = FakeRequest("unrelated, thing")
+        plan = batcher.plan([a, b, c])
+        assert [sorted(r.query_text for r in batch) for batch in plan] == [
+            sorted([a.query_text, b.query_text]),
+            [c.query_text],
+        ]
+
+    def test_transitive_sharing_joins_components(self):
+        batcher = MicroBatcher(max_batch=8)
+        a = FakeRequest("x, y")
+        b = FakeRequest("y, z")
+        c = FakeRequest("z, w")
+        assert batcher.plan([a, b, c]) == [[a, b, c]]
+
+    def test_incompatible_keys_never_share_a_batch(self):
+        batcher = MicroBatcher(max_batch=8)
+        a = FakeRequest("sports, partnership", key=("max", 5))
+        b = FakeRequest("sports, partnership", key=("win", 5))
+        plan = batcher.plan([a, b])
+        assert len(plan) == 2
+
+    def test_max_batch_splits_components(self):
+        batcher = MicroBatcher(max_batch=2)
+        requests = [FakeRequest("common, t%d" % i) for i in range(5)]
+        plan = batcher.plan(requests)
+        assert [len(batch) for batch in plan] == [2, 2, 1]
+        flat = [r for batch in plan for r in batch]
+        assert flat == requests  # order-stable, nothing lost or duplicated
+
+    def test_invalid_max_batch_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)

@@ -1,0 +1,89 @@
+"""The LRU result cache and its generation-based invalidation."""
+
+import pytest
+
+from repro.service.cache import ResultCache, make_key, normalize_query
+
+
+class TestNormalizeQuery:
+    def test_case_and_whitespace_insensitive(self):
+        assert normalize_query("Sports,  Partnership") == normalize_query(
+            "sports, partnership"
+        )
+
+    def test_comma_spacing_collapsed(self):
+        assert normalize_query("a ,b") == normalize_query("a,   b") == "a,b"
+
+    def test_distinct_queries_stay_distinct(self):
+        assert normalize_query("a, b") != normalize_query("b, a")
+
+    def test_inner_spaces_collapse_but_survive(self):
+        assert normalize_query('"pc  maker", sports') == '"pc maker",sports'
+
+
+class TestMakeKey:
+    def test_key_embeds_generation(self):
+        young = make_key("a, b", "max", 1, 5)
+        old = make_key("a, b", "max", 2, 5)
+        assert young != old
+
+    def test_key_embeds_top_k_and_scoring(self):
+        assert make_key("q", "max", 1, 5) != make_key("q", "max", 1, 10)
+        assert make_key("q", "max", 1, 5) != make_key("q", "win", 1, 5)
+
+
+class TestResultCache:
+    def test_get_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get("k") is None
+        cache.put("k", ("v",))
+        assert cache.get("k") == ("v",)
+        assert cache.stats() == {
+            "size": 1,
+            "capacity": 4,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_capacity_evicts_lru(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh: b is now the LRU entry
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: nothing evicted
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(0)
+
+    def test_clear(self):
+        cache = ResultCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_drop_older_generations(self):
+        cache = ResultCache(8)
+        cache.put(make_key("q1", "max", 1, 5), "old")
+        cache.put(make_key("q2", "max", 1, 5), "old")
+        cache.put(make_key("q1", "max", 2, 5), "new")
+        cache.put("not-a-cache-key", "kept")
+        dropped = cache.drop_older_generations(2)
+        assert dropped == 2
+        assert cache.get(make_key("q1", "max", 2, 5)) == "new"
+        assert cache.get("not-a-cache-key") == "kept"
+        assert cache.get(make_key("q1", "max", 1, 5)) is None

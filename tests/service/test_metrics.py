@@ -1,0 +1,79 @@
+"""Counters, latency reservoir, and snapshots."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import LatencyReservoir, ServiceMetrics
+
+
+class TestLatencyReservoir:
+    def test_empty_quantile_is_none(self):
+        assert LatencyReservoir().quantile(0.5) is None
+
+    def test_quantiles_of_known_samples(self):
+        reservoir = LatencyReservoir()
+        for v in range(1, 101):  # 1..100
+            reservoir.record(float(v))
+        assert reservoir.quantile(0.0) == 1.0
+        assert reservoir.quantile(1.0) == 100.0
+        assert reservoir.quantile(0.5) == pytest.approx(50.0, abs=1.0)
+        assert reservoir.quantile(0.95) == pytest.approx(95.0, abs=1.0)
+
+    def test_window_is_bounded(self):
+        reservoir = LatencyReservoir(size=10)
+        for v in range(100):
+            reservoir.record(float(v))
+        assert len(reservoir) == 10
+        assert reservoir.quantile(0.0) == 90.0  # only the newest survive
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(0)
+        with pytest.raises(ValueError):
+            LatencyReservoir().quantile(1.5)
+
+
+class TestServiceMetrics:
+    def test_counters_roundtrip(self):
+        metrics = ServiceMetrics()
+        metrics.increment("requests_total")
+        metrics.increment("cache_hits", 3)
+        assert metrics.count("requests_total") == 1
+        assert metrics.count("cache_hits") == 3
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            ServiceMetrics().increment("nope")
+
+    def test_snapshot_derives_rates(self):
+        metrics = ServiceMetrics()
+        metrics.increment("cache_hits", 3)
+        metrics.increment("cache_misses", 1)
+        metrics.observe_latency(0.010)
+        metrics.observe_latency(0.030)
+        snap = metrics.snapshot()
+        assert snap["cache_hit_rate"] == pytest.approx(0.75)
+        assert snap["completed_total"] == 2
+        assert snap["qps"] > 0
+        assert 0.010 <= snap["latency_p50"] <= 0.030
+        assert snap["latency_p95"] == pytest.approx(0.030)
+
+    def test_snapshot_with_no_traffic(self):
+        snap = ServiceMetrics().snapshot()
+        assert snap["cache_hit_rate"] == 0.0
+        assert snap["latency_p50"] is None
+
+    def test_thread_safety_of_increments(self):
+        metrics = ServiceMetrics()
+
+        def spin():
+            for _ in range(1000):
+                metrics.increment("requests_total")
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.count("requests_total") == 8000

@@ -1,0 +1,156 @@
+"""The HTTP front end: endpoints, error mapping, lifecycle."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import SearchServer
+from repro.system import SearchSystem
+
+NEWS = [
+    ("news-1", "Lenovo announced a marketing partnership with the NBA."),
+    ("news-2", "Dell explored an alliance with the Olympic Games organizers."),
+    ("news-3", "A bakery opened downtown; nothing about computers here."),
+]
+
+
+@pytest.fixture
+def server():
+    system = SearchSystem()
+    system.add_texts(NEWS)
+    with SearchServer.for_system(system, workers=2) as srv:
+        yield srv
+
+
+def get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def post(server, path, payload):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, payload = get(server, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "documents": 3, "generation": 1}
+
+    def test_search_get(self, server):
+        status, payload = get(server, "/search?q=partnership,+sports&top_k=2")
+        assert status == 200
+        assert payload["results"][0]["doc_id"] == "news-1"
+        assert len(payload["results"]) <= 2
+        assert payload["cached"] is False
+        assert payload["degraded"] is False
+
+    def test_search_post(self, server):
+        status, payload = post(
+            server, "/search", {"q": "partnership, sports", "top_k": 1}
+        )
+        assert status == 200
+        assert payload["results"][0]["doc_id"] == "news-1"
+
+    def test_search_repeat_is_cached(self, server):
+        get(server, "/search?q=partnership,+sports")
+        status, payload = get(server, "/search?q=partnership,+sports")
+        assert status == 200 and payload["cached"] is True
+
+    def test_metrics_snapshot(self, server):
+        get(server, "/search?q=partnership,+sports")
+        status, payload = get(server, "/metrics")
+        assert status == 200
+        assert payload["requests_total"] >= 1
+        assert "latency_p95" in payload
+        assert payload["cache"]["capacity"] > 0
+
+    def test_scoring_parameter(self, server):
+        status, payload = get(server, "/search?q=partnership,+sports&scoring=win")
+        assert status == 200 and payload["results"]
+
+    def test_timeout_parameter(self, server):
+        status, payload = get(
+            server, "/search?q=partnership,+sports&timeout_ms=30000"
+        )
+        assert status == 200
+
+
+class TestErrorMapping:
+    def test_unknown_endpoint_404(self, server):
+        assert get(server, "/nope")[0] == 404
+        assert post(server, "/nope", {})[0] == 404
+
+    def test_missing_query_400(self, server):
+        assert get(server, "/search")[0] == 400
+        assert post(server, "/search", {})[0] == 400
+
+    def test_bad_parameter_400(self, server):
+        assert get(server, "/search?q=a,b&top_k=many")[0] == 400
+
+    def test_bad_query_syntax_400(self, server):
+        assert get(server, "/search?q=%22unterminated")[0] == 400
+
+    def test_unknown_scoring_400(self, server):
+        assert get(server, "/search?q=a,b&scoring=bm25")[0] == 400
+
+    def test_bad_json_body_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/search", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestConcurrentClients:
+    def test_parallel_requests_all_answered(self, server):
+        results: list[tuple[int, dict]] = []
+        lock = threading.Lock()
+
+        def client():
+            outcome = get(server, "/search?q=partnership,+sports&top_k=3")
+            with lock:
+                results.append(outcome)
+
+        threads = [threading.Thread(target=client) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 16
+        assert all(status == 200 for status, _ in results)
+        rankings = {
+            tuple((r["doc_id"], r["score"]) for r in payload["results"])
+            for _, payload in results
+        }
+        assert len(rankings) == 1  # identical answers for identical queries
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        system = SearchSystem()
+        system.add_texts(NEWS)
+        server = SearchServer.for_system(system, workers=1).start()
+        server.close()
+        server.close()
+        assert all(not w.is_alive() for w in server.executor._threads)
+
+    def test_ephemeral_port_resolved(self, server):
+        host, port = server.address
+        assert port != 0

@@ -65,6 +65,64 @@ class TestAsk:
         assert system.ask("quantum:exact, chromodynamics:exact") == []
 
 
+class TestIndexGeneration:
+    def test_fresh_system_starts_at_zero(self):
+        assert SearchSystem().index_generation == 0
+
+    def test_add_increments(self, system):
+        before = system.index_generation
+        system.add(Document("gen-1", "one more document"))
+        assert system.index_generation == before + 1
+
+    def test_empty_add_does_not_increment(self, system):
+        before = system.index_generation
+        system.add()
+        assert system.index_generation == before
+
+    def test_remove_increments(self, system):
+        before = system.index_generation
+        system.remove("news-3")
+        assert system.index_generation == before + 1
+
+    def test_load_yields_nonzero_generation(self, system, tmp_path):
+        path = tmp_path / "system.json"
+        system.save(path)
+        assert SearchSystem.load(path).index_generation > 0
+
+
+class TestAskMany:
+    QUERIES = [
+        '"pc maker", sports, partnership',
+        "partnership, sports",
+        "conference|workshop, when:date, where:place",
+        "partnership, sports",  # repeated: exercises the shared memo
+    ]
+
+    def test_identical_to_serial_ask(self, system):
+        batched = system.ask_many(self.QUERIES, top_k=10)
+        for query, ranked in zip(self.QUERIES, batched):
+            serial = system.ask(query, top_k=10)
+            assert [(r.doc_id, r.score) for r in ranked] == [
+                (r.doc_id, r.score) for r in serial
+            ]
+
+    def test_empty_batch(self, system):
+        assert system.ask_many([]) == []
+
+    def test_shared_memo_materializes_each_term_list_once(self, system, monkeypatch):
+        calls: list[tuple[str, str]] = []
+        original = type(system._concepts).match_list
+
+        def counting(self_, concept, doc_id):
+            calls.append((concept, doc_id))
+            return original(self_, concept, doc_id)
+
+        monkeypatch.setattr(type(system._concepts), "match_list", counting)
+        system.ask_many(["partnership, sports", "sports, partnership"])
+        assert calls, "offline path did not run"
+        assert len(calls) == len(set(calls)), "a (term, doc) list was rebuilt"
+
+
 class TestExtract:
     def test_extraction_fields(self, system):
         results = system.extract("conference|workshop, when:date, where:place")
