@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench bench-full serve-bench figures examples clean
+.PHONY: install test check bench bench-full bench-joins serve-bench figures examples clean
 
 install:
 	pip install -e .
@@ -15,6 +15,8 @@ test:
 check:
 	$(PYTHON) -m compileall -q src
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest tests/
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) benchmarks/bench_join_kernels.py --check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -23,6 +25,13 @@ bench:
 bench-full:
 	REPRO_BENCH_DOCS=500 REPRO_BENCH_TREC_DOCS=1000 \
 		$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Columnar join kernels vs the object path across all three scoring
+# families; writes BENCH_join_kernels.json at the repository root and
+# fails if the kernel path is < 2x at |Q|=3, 10k matches/list.
+bench-joins:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) benchmarks/bench_join_kernels.py
 
 # Serving-layer QPS/latency at concurrency {1,4,16}, cache on/off;
 # writes benchmarks/results/service_throughput.txt.

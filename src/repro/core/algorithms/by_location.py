@@ -42,6 +42,8 @@ from typing import Iterator, Sequence
 from repro.core.algorithms.base import LocationResult, validate_inputs
 from repro.core.algorithms.envelope import DominatingScanner, dominance_stack
 from repro.core.errors import ScoringContractError
+from repro.core.kernels import joins as kernel_joins
+from repro.core.kernels.columnar import kernels_enabled, lower
 from repro.core.match import Match, MatchList, merge_by_location
 from repro.core.matchset import MatchSet
 from repro.core.query import Query
@@ -72,6 +74,9 @@ def win_by_location(
             f"win_by_location needs a WinScoring, got {type(scoring).__name__}"
         )
     if not validate_inputs(query, lists):
+        return
+    if kernels_enabled():
+        yield from kernel_joins.win_by_location_kernel(query, lists, scoring)
         return
 
     n = len(query)
@@ -269,10 +274,17 @@ def med_by_location(
     n = len(query)
     terms = query.terms
     median_rank = (n + 1) // 2  # 1-based from the greatest location
-    indexes = [
-        _SideIndex(lists[j], [scoring.g(j, m.score) for m in lists[j]])
-        for j in range(n)
-    ]
+    if kernels_enabled():
+        # Same g values, read from the cached columnar lowering instead
+        # of one scoring.g call per match.
+        indexes = [
+            _SideIndex(lists[j], lower(lists[j], scoring, j).g) for j in range(n)
+        ]
+    else:
+        indexes = [
+            _SideIndex(lists[j], [scoring.g(j, m.score) for m in lists[j]])
+            for j in range(n)
+        ]
 
     anchor_locations = sorted({loc for lst in lists for loc in lst.locations})
     for location in anchor_locations:
@@ -336,6 +348,9 @@ def max_by_location(
             "max_by_location requires the at-most-one-crossing property"
         )
     if not validate_inputs(query, lists):
+        return
+    if kernels_enabled() and kernel_joins.max_kernel_supported(scoring):
+        yield from kernel_joins.max_by_location_kernel(query, lists, scoring)
         return
 
     n = len(query)

@@ -26,6 +26,8 @@ import itertools
 from typing import Sequence
 
 from repro.core.algorithms.base import JoinAlgorithm, JoinResult, validate_inputs
+from repro.core.errors import InvalidMatchListError
+from repro.core.kernels.columnar import derive_kernels
 from repro.core.match import Match, MatchList
 from repro.core.query import Query
 from repro.core.scoring.base import ScoringFunction
@@ -38,21 +40,58 @@ __all__ = ["dedup_join"]
 _Removal = tuple[str, Match, int]
 
 
+def _removed_indices(lst: MatchList, to_remove: Sequence[Match]) -> set[int]:
+    """Indices ``list.remove`` would take for ``to_remove``, applied in order.
+
+    Each removal claims the first not-yet-claimed value-equal occurrence
+    — the same occurrence sequential :meth:`MatchList.without` calls
+    would delete — located by bisecting to the match's equal-location
+    run instead of scanning from the front.
+    """
+    removed: set[int] = set()
+    locations = lst.locations
+    for match in to_remove:
+        i = lst.first_at_or_after(match.location)
+        while i < len(locations) and locations[i] == match.location:
+            if i not in removed and lst[i] == match:
+                removed.add(i)
+                break
+            i += 1
+        else:
+            raise InvalidMatchListError(f"{match!r} not present in list")
+    return removed
+
+
 def _apply_removals(
     query: Query,
     lists: Sequence[MatchList],
     removals: frozenset[_Removal],
 ) -> list[MatchList] | None:
-    """Match lists with the removals applied; None when a list empties."""
+    """Match lists with the removals applied; None when a list empties.
+
+    Reduced lists are built by index so the parent's cached columnar
+    kernels can be derived structurally (:func:`derive_kernels`) — a
+    Section VI restart then re-joins without re-transforming a single
+    score.
+    """
     by_term: dict[str, list[Match]] = {}
     for term, match, _occurrence in removals:
         by_term.setdefault(term, []).append(match)
     modified: list[MatchList] = []
     for j, term in enumerate(query.terms):
         lst = lists[j]
-        for match in by_term.get(term, ()):
-            lst = lst.without(match)
-        if not len(lst):
+        to_remove = by_term.get(term)
+        if to_remove:
+            removed = _removed_indices(lst, to_remove)
+            if len(removed) == len(lst):
+                return None
+            kept = [i for i in range(len(lst)) if i not in removed]
+            child = MatchList(
+                (lst[i] for i in kept), term=lst.term, presorted=True
+            )
+            derive_kernels(lst, child, kept)
+            lst = child
+        elif not len(lst):
             return None
         modified.append(lst)
     return modified

@@ -31,6 +31,8 @@ from typing import Sequence
 from repro.core.algorithms.base import JoinResult, validate_inputs
 from repro.core.algorithms.envelope import DominatingScanner, UpperEnvelope, dominance_stack
 from repro.core.errors import ScoringContractError
+from repro.core.kernels import joins as kernel_joins
+from repro.core.kernels.columnar import kernels_enabled
 from repro.core.match import Match, MatchList
 from repro.core.matchset import MatchSet
 from repro.core.query import Query
@@ -65,6 +67,8 @@ def max_join(
         )
     if not validate_inputs(query, lists):
         return JoinResult.empty()
+    if kernels_enabled() and kernel_joins.max_kernel_supported(scoring):
+        return kernel_joins.max_join_kernel(query, lists, scoring)
 
     n = len(query)
     contributions = [

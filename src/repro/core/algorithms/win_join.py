@@ -30,6 +30,8 @@ from typing import Sequence
 
 from repro.core.algorithms.base import JoinResult, validate_inputs
 from repro.core.errors import ScoringContractError
+from repro.core.kernels import joins as kernel_joins
+from repro.core.kernels.columnar import kernels_enabled
 from repro.core.match import Match, MatchList, merge_by_location
 from repro.core.matchset import MatchSet
 from repro.core.query import Query
@@ -74,6 +76,10 @@ def win_join(
         )
     if not validate_inputs(query, lists):
         return JoinResult.empty()
+    if kernels_enabled():
+        # Byte-identical columnar twin; WIN joins consume only the pure
+        # g/f hooks, so every WinScoring is kernel-eligible.
+        return kernel_joins.win_join_kernel(query, lists, scoring)
 
     n = len(query)
     full = (1 << n) - 1

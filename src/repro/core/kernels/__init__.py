@@ -1,0 +1,42 @@
+"""Columnar join kernels: primitive-array inner loops for the best-joins.
+
+See :mod:`repro.core.kernels.columnar` for the lowering/caching layer and
+:mod:`repro.core.kernels.joins` for the kernel-path join implementations.
+Disable the whole layer with ``REPRO_NO_KERNELS=1``.
+"""
+
+from repro.core.kernels.columnar import (
+    STATS,
+    KernelStats,
+    ListKernel,
+    derive_kernels,
+    kernels_enabled,
+    lower,
+    max_g_sum,
+)
+from repro.core.kernels.joins import (
+    max_by_location_kernel,
+    max_join_kernel,
+    max_kernel_supported,
+    med_join_kernel,
+    med_kernel_supported,
+    win_by_location_kernel,
+    win_join_kernel,
+)
+
+__all__ = [
+    "ListKernel",
+    "KernelStats",
+    "STATS",
+    "kernels_enabled",
+    "lower",
+    "derive_kernels",
+    "max_g_sum",
+    "win_join_kernel",
+    "med_join_kernel",
+    "max_join_kernel",
+    "win_by_location_kernel",
+    "max_by_location_kernel",
+    "med_kernel_supported",
+    "max_kernel_supported",
+]

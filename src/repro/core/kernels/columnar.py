@@ -1,0 +1,261 @@
+"""Columnar lowering of ``(MatchList, ScoringFunction)`` pairs.
+
+The join algorithms are linear in the total match-list size, but the
+object path pays Python overhead on every step: each inner-loop
+iteration touches a frozen :class:`~repro.core.match.Match` dataclass
+and re-calls ``scoring.g(...)`` even though ``g`` is a pure function of
+the (immutable) match score.  A :class:`ListKernel` pays those costs
+*once* per ``(match list, scoring, term index)`` triple: it lowers the
+list into parallel primitive arrays —
+
+* ``locations`` — ``array('q')`` of match locations,
+* ``g`` — ``array('d')`` of g-transformed scores (the family's
+  per-term transform at distance zero),
+* ``scores`` — ``array('d')`` of raw match scores (MAX family only;
+  distance-decayed contributions still need them),
+* ``token_ids`` — token identities for duplicate detection,
+
+plus a cached ``max_g`` (``max_j g_j`` over the list), which is exactly
+the per-attribute max-score metadata Fagin-style threshold algorithms
+precompute: it turns the top-k upper bound of
+:func:`repro.retrieval.topk_retrieval.score_upper_bound` into an
+``O(|Q|)`` sum of constants instead of an ``O(Σ|L_j|)`` rescan.
+
+Kernels are memoized on the match list itself (lists are immutable, so
+a kernel can never go stale) under a key derived from
+:meth:`~repro.core.scoring.base.ScoringFunction.kernel_key`, letting
+scoring *instances* that are configured identically — e.g. the fresh
+preset objects :class:`repro.service.QueryExecutor` builds per request
+— share one lowering.  Index mutations produce new ``MatchList``
+objects (the :class:`~repro.index.matchlists.ConceptIndex` list cache
+is keyed by ``SearchSystem.index_generation``), so kernel lifetime is
+generation-exact by construction.
+
+``g`` must be pure (deterministic, side-effect free) for memoization to
+be sound; every scoring function in this library is.  Setting the
+environment variable ``REPRO_NO_KERNELS=1`` disables the kernel path
+everywhere and restores the original object-path joins — the escape
+hatch the differential tests use to prove byte-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Sequence
+
+from repro.core.errors import ScoringContractError
+from repro.core.match import MatchList
+from repro.core.scoring.base import MaxScoring, MedScoring, ScoringFunction, WinScoring
+
+__all__ = [
+    "ListKernel",
+    "KernelStats",
+    "STATS",
+    "kernels_enabled",
+    "lower",
+    "derive_kernels",
+    "max_g_sum",
+]
+
+# Per-list cap on cached kernels; evicts insertion-oldest beyond this.
+# A list is normally joined under a handful of scoring configurations.
+_CACHE_CAP = 8
+
+_DISABLING_VALUES = frozenset({"1", "true", "yes", "on"})
+
+
+def kernels_enabled() -> bool:
+    """True unless ``REPRO_NO_KERNELS`` selects the object path."""
+    return os.environ.get("REPRO_NO_KERNELS", "").lower() not in _DISABLING_VALUES
+
+
+class KernelStats:
+    """Process-wide lowering counters (benchmark instrumentation).
+
+    ``lowerings`` counts full O(|L|) list scans (kernel builds),
+    ``cache_hits`` counts O(1) reuses, ``derived`` counts kernels
+    copied structurally from a parent (dedup restarts — no ``g``
+    recomputation).  The join-kernel benchmark uses ``lowerings`` to
+    prove that top-k bounding stops rescanning match lists once warm.
+    """
+
+    __slots__ = ("lowerings", "cache_hits", "derived")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.lowerings = 0
+        self.cache_hits = 0
+        self.derived = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "lowerings": self.lowerings,
+            "cache_hits": self.cache_hits,
+            "derived": self.derived,
+        }
+
+
+STATS = KernelStats()
+
+
+class ListKernel:
+    """One match list lowered to primitive parallel arrays.
+
+    ``g`` holds the family transform of each match score: ``g_j(x)``
+    for WIN/MED, ``g_j(x, 0)`` for MAX (the distance-zero contribution,
+    as the dominance-stack passes evaluate it).  ``g_bound`` holds the
+    values the top-k upper bound maximizes over — identical to ``g``
+    for WIN/MED; for MAX it is ``g_j(x, 0.0)``, mirroring the float
+    literal the object-path bound uses so results stay byte-identical.
+    ``max_g = max(g_bound)`` is the per-list max-score constant.
+    """
+
+    __slots__ = (
+        "n",
+        "locations",
+        "g",
+        "g_bound",
+        "scores",
+        "token_ids",
+        "max_g",
+        "_hold",
+        "_stack",
+    )
+
+    def __init__(
+        self,
+        locations: array,
+        g: array,
+        g_bound: array,
+        scores: array | None,
+        token_ids,
+        *,
+        hold: object = None,
+    ) -> None:
+        self.n = len(locations)
+        self.locations = locations
+        self.g = g
+        self.g_bound = g_bound
+        self.scores = scores
+        self.token_ids = token_ids
+        self.max_g = max(g_bound)
+        # Keeps an id-keyed scoring alive so its id() cannot be recycled
+        # into a colliding cache key while this kernel is cached.
+        self._hold = hold
+        # Lazily-built dominance stack (MED/MAX joins).  A kernel is
+        # specific to one (scoring config, term index), which fully
+        # determines the stack, so it is cached here once computed.
+        self._stack: list[int] | None = None
+
+    def take(self, kept: Sequence[int]) -> "ListKernel":
+        """A kernel over the sub-list at ``kept`` indices (in order).
+
+        Structural copy — no ``g`` calls — used when the Section VI
+        duplicate-handling method reruns a join on a list with a few
+        matches removed.
+        """
+        locations = array("q", (self.locations[i] for i in kept))
+        g = array("d", (self.g[i] for i in kept))
+        if self.g_bound is self.g:
+            g_bound = g
+        else:
+            g_bound = array("d", (self.g_bound[i] for i in kept))
+        scores = (
+            None if self.scores is None else array("d", (self.scores[i] for i in kept))
+        )
+        toks = self.token_ids
+        try:
+            token_ids = array("q", (toks[i] for i in kept))
+        except (TypeError, OverflowError):
+            token_ids = tuple(toks[i] for i in kept)
+        return ListKernel(locations, g, g_bound, scores, token_ids, hold=self._hold)
+
+
+def _build(lst: MatchList, scoring: ScoringFunction, j: int, hold: object) -> ListKernel:
+    locations = array("q", lst.locations)
+    try:
+        token_ids = array("q", (m.token_id for m in lst))
+    except (TypeError, OverflowError):
+        token_ids = tuple(m.token_id for m in lst)
+    if isinstance(scoring, (WinScoring, MedScoring)):
+        gf = scoring.g
+        g = array("d", (gf(j, m.score) for m in lst))
+        return ListKernel(locations, g, g, None, token_ids, hold=hold)
+    if isinstance(scoring, MaxScoring):
+        gf = scoring.g
+        scores = array("d", (m.score for m in lst))
+        # The joins evaluate distance-zero contributions with an int 0
+        # (via abs(loc - loc)); the top-k bound uses the literal 0.0.
+        # Both are lowered so each consumer sees the exact floats the
+        # object path would compute.
+        g = array("d", (gf(j, x, 0) for x in scores))
+        g_bound = array("d", (gf(j, x, 0.0) for x in scores))
+        return ListKernel(locations, g, g_bound, scores, token_ids, hold=hold)
+    raise ScoringContractError(
+        f"no kernel lowering for scoring family {type(scoring).__name__}"
+    )
+
+
+def lower(lst: MatchList, scoring: ScoringFunction, j: int) -> ListKernel:
+    """The (cached) kernel for ``lst`` joined as term ``j`` of a query.
+
+    The cache key includes the term index because Definition 3/5/7
+    allow a different transform ``g_j`` per term; lists produced by the
+    index layer are usually joined at a stable position, so the split
+    costs little.
+    """
+    base = scoring.kernel_key()
+    if base is None:
+        key = ("@id", id(scoring), j)
+        hold = scoring
+    else:
+        key = (base, j)
+        hold = None
+    cache = lst._kernel_cache
+    if cache is None:
+        cache = lst._kernel_cache = {}
+    else:
+        found = cache.get(key)
+        if found is not None:
+            STATS.cache_hits += 1
+            return found
+    kernel = _build(lst, scoring, j, hold)
+    STATS.lowerings += 1
+    if len(cache) >= _CACHE_CAP:
+        try:
+            del cache[next(iter(cache))]
+        except (StopIteration, KeyError, RuntimeError):  # concurrent evictions
+            pass
+    cache[key] = kernel
+    return kernel
+
+
+def derive_kernels(parent: MatchList, child: MatchList, kept: Sequence[int]) -> None:
+    """Seed ``child``'s kernel cache from ``parent``'s, filtered to ``kept``.
+
+    ``child`` must hold exactly the matches of ``parent`` at the
+    ``kept`` indices, in order.  Every kernel cached on the parent is
+    copied structurally — this is the g-transform memoization that
+    keeps Section VI restarts from re-transforming scores.
+    """
+    cache = parent._kernel_cache
+    if not cache:
+        return
+    derived = {key: kernel.take(kept) for key, kernel in list(cache.items())}
+    child._kernel_cache = derived
+    STATS.derived += len(derived)
+
+
+def max_g_sum(lists: Sequence[MatchList], scoring: ScoringFunction) -> float:
+    """``Σ_j max_m g_j`` over the lists — the O(|Q|) upper-bound total.
+
+    Each term contributes its kernel's cached ``max_g``; after the
+    first lowering of a list this is O(1) per term per call.
+    """
+    total = 0.0
+    for j, lst in enumerate(lists):
+        total += lower(lst, scoring, j).max_g
+    return total

@@ -1,0 +1,828 @@
+"""Primitive-array inner loops for the WIN/MED/MAX best-joins.
+
+Each function here is the kernel-path twin of one object-path join in
+:mod:`repro.core.algorithms`: identical control flow, identical
+floating-point operations in identical order, but driven by the
+:class:`~repro.core.kernels.columnar.ListKernel` arrays — match indices
+instead of :class:`~repro.core.match.Match` objects, precomputed ``g``
+values instead of per-step ``scoring.g(...)`` calls, and index chains or
+index tuples instead of per-candidate dicts.  ``Match``/``MatchSet``
+objects are materialized only for the winning matchset at the end.
+
+Byte-identical equivalence with the object path is a hard contract
+(the dispatchers in the algorithm modules rely on it, and
+``tests/algorithms/test_kernel_differential.py`` enforces it):
+
+* The merged location-ordered scan iterates ``(location, term, pos)``
+  triples in sorted tuple order — exactly the pop order of the k-way
+  heap in :func:`~repro.core.match.merge_by_location`.
+* Score arithmetic mirrors the object path operation for operation,
+  down to int-vs-float distinctions (``g − abs(Δ)`` with an int
+  ``abs``, ``sum()`` folds starting from int ``0``, int ``0`` distances
+  in MAX dominance passes).
+* Tie-breaks use the same strict ``>`` / ``>=`` comparisons on the same
+  candidate order.
+
+The MED and MAX kernels inline ``MedScoring.contribution``/``score``
+and ``MaxScoring.contribution``; :func:`med_kernel_supported` and
+:func:`max_kernel_supported` gate the kernel path to scoring classes
+that have not overridden those hooks, so user subclasses with custom
+contribution semantics silently keep the object path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from itertools import repeat
+from typing import Iterator, Sequence
+
+from repro.core.algorithms.base import JoinResult, LocationResult
+from repro.core.kernels.columnar import ListKernel, lower
+from repro.core.match import MatchList
+from repro.core.matchset import MatchSet
+from repro.core.query import Query
+from repro.core.scoring.base import MaxScoring, MedScoring, WinScoring
+from repro.core.scoring.maxloc import AdditiveExponentialMax
+from repro.core.scoring.win import ExponentialProductWin, LinearAdditiveWin
+
+__all__ = [
+    "win_join_kernel",
+    "med_join_kernel",
+    "max_join_kernel",
+    "win_by_location_kernel",
+    "max_by_location_kernel",
+    "med_kernel_supported",
+    "max_kernel_supported",
+]
+
+_NEG_INF = float("-inf")
+
+
+def med_kernel_supported(scoring: MedScoring) -> bool:
+    """True when ``scoring`` keeps the stock MED contribution/score hooks."""
+    t = type(scoring)
+    return (
+        t.contribution is MedScoring.contribution
+        and t.contribution_total is MedScoring.contribution_total
+        and t.score is MedScoring.score
+    )
+
+
+def max_kernel_supported(scoring: MaxScoring) -> bool:
+    """True when ``scoring`` keeps the stock MAX contribution hook."""
+    return type(scoring).contribution is MaxScoring.contribution
+
+
+def _merged(kernels: Sequence[ListKernel]) -> list[tuple[int, int, int]]:
+    """All matches as ``(location, term, pos)`` triples in scan order.
+
+    ``sorted`` on the triples gives exactly the heap-pop order of
+    :func:`~repro.core.match.merge_by_location` (non-decreasing
+    location, ties by term index): every triple is distinct, so the
+    sorted sequence is the unique total order both share.
+    """
+    entries: list[tuple[int, int, int]] = []
+    for j, kern in enumerate(kernels):
+        locs = kern.locations
+        entries.extend((locs[i], j, i) for i in range(kern.n))
+    entries.sort()
+    return entries
+
+
+def _merged_with_g(kernels: Sequence[ListKernel]) -> list[tuple[int, int, int, float]]:
+    """:func:`_merged` with each entry's ``g`` value carried along.
+
+    Sorting compares the unique ``(location, term, pos)`` prefix, so the
+    trailing ``g`` never participates and the order is exactly
+    :func:`_merged`'s.  ``zip`` walks the primitive arrays at C speed.
+    """
+    entries: list[tuple[int, int, int, float]] = []
+    for j, kern in enumerate(kernels):
+        entries.extend(zip(kern.locations, repeat(j), range(kern.n), kern.g))
+    entries.sort()
+    return entries
+
+
+def _merged_lazy(kernels: Sequence[ListKernel]) -> Iterator[tuple[int, int, int]]:
+    """Streaming variant of :func:`_merged` (same order, O(|Q|) state)."""
+
+    def one(j: int, kern: ListKernel) -> Iterator[tuple[int, int, int]]:
+        locs = kern.locations
+        return ((locs[i], j, i) for i in range(kern.n))
+
+    return heapq.merge(*(one(j, kern) for j, kern in enumerate(kernels)))
+
+
+def _chain_matchset(query: Query, lists: Sequence[MatchList], chain) -> MatchSet:
+    picked = {}
+    node = chain
+    while node is not None:
+        j, i, node = node
+        picked[query[j]] = lists[j][i]
+    return MatchSet(query, picked)
+
+
+def _chain_is_valid(kernels: Sequence[ListKernel], chain) -> bool:
+    token_ids = set()
+    count = 0
+    node = chain
+    while node is not None:
+        j, i, node = node
+        token_ids.add(kernels[j].token_ids[i])
+        count += 1
+    return len(token_ids) == count
+
+
+def _picks_matchset(
+    query: Query, lists: Sequence[MatchList], picks: Sequence[int]
+) -> MatchSet:
+    terms = query.terms
+    return MatchSet(query, {terms[k]: lists[k][picks[k]] for k in range(len(terms))})
+
+
+# ---------------------------------------------------------------------------
+# WIN (Algorithm 1)
+# ---------------------------------------------------------------------------
+
+def _win_dp_generic(kernels, merged, masks_rest, full, f):
+    """The Algorithm 1 subset DP over state arrays, generic ``f``.
+
+    States live in parallel arrays (``sg`` g-sums, ``sl`` min
+    locations, ``sc`` index chains; ``sc[mask] is None`` means the
+    subset is still unreachable) — same transitions, comparisons, and
+    floating-point expressions as the object path, minus the per-step
+    tuple/dict traffic.  The singleton mask is handled before the
+    ``masks_rest`` loop: within one merged entry every non-singleton
+    update reads only masks without ``j`` and writes only masks with
+    ``j``, so hoisting the singleton (also a ``j``-mask write) cannot
+    change any state another update in the same entry reads.
+    """
+    sg = [0.0] * (full + 1)
+    sl = [0] * (full + 1)
+    sc: list[object] = [None] * (full + 1)
+    best_chain = None
+    best_score = _NEG_INF
+    best_valid_chain = None
+    best_valid_score = _NEG_INF
+
+    for l, j, i, g in merged:
+        bit = 1 << j
+        if sc[bit] is None or f(sg[bit], l - sl[bit]) < f(g, 0.0):
+            sg[bit] = g
+            sl[bit] = l
+            sc[bit] = (j, i, None)
+        for mask, other in masks_rest[j]:
+            prev_chain = sc[other]
+            if prev_chain is None:
+                continue
+            cand_g = sg[other] + g
+            cand_lmin = sl[other]
+            if sc[mask] is None or (
+                f(sg[mask], l - sl[mask]) < f(cand_g, l - cand_lmin)
+            ):
+                sg[mask] = cand_g
+                sl[mask] = cand_lmin
+                sc[mask] = (j, i, prev_chain)
+
+        chain = sc[full]
+        if chain is not None:
+            s = f(sg[full], l - sl[full])
+            if best_chain is None or s > best_score:
+                best_score = s
+                best_chain = chain
+            if (
+                best_valid_chain is None or s > best_valid_score
+            ) and _chain_is_valid(kernels, chain):
+                best_valid_score = s
+                best_valid_chain = chain
+
+    return best_score, best_chain, best_valid_score, best_valid_chain
+
+
+def _win_dp_linear(kernels, merged, masks_rest, full):
+    """:func:`_win_dp_generic` with ``LinearAdditiveWin.f`` inlined.
+
+    ``f(x, y) = x − y``, so every comparison becomes plain arithmetic —
+    the expressions below are textually ``f``'s body, keeping the floats
+    (and therefore every tie-break) byte-identical.
+
+    The complete-state check additionally skips entries whose full-state
+    chain is unchanged since it was last evaluated (``checked``): with
+    the location non-decreasing and this ``f`` non-increasing in the
+    window, an unchanged state's score can only have dropped, so neither
+    the best nor the best-valid tracker could accept it — every skipped
+    evaluation is one the object path provably rejects.
+    """
+    sg = [0.0] * (full + 1)
+    sl = [0] * (full + 1)
+    sc: list[object] = [None] * (full + 1)
+    best_chain = None
+    best_score = _NEG_INF
+    best_valid_chain = None
+    best_valid_score = _NEG_INF
+    checked = None
+
+    for l, j, i, g in merged:
+        bit = 1 << j
+        if sc[bit] is None or sg[bit] - (l - sl[bit]) < g - 0.0:
+            sg[bit] = g
+            sl[bit] = l
+            sc[bit] = (j, i, None)
+        for mask, other in masks_rest[j]:
+            prev_chain = sc[other]
+            if prev_chain is None:
+                continue
+            cand_g = sg[other] + g
+            cand_lmin = sl[other]
+            if sc[mask] is None or (
+                sg[mask] - (l - sl[mask]) < cand_g - (l - cand_lmin)
+            ):
+                sg[mask] = cand_g
+                sl[mask] = cand_lmin
+                sc[mask] = (j, i, prev_chain)
+
+        chain = sc[full]
+        if chain is not None and chain is not checked:
+            checked = chain
+            s = sg[full] - (l - sl[full])
+            if best_chain is None or s > best_score:
+                best_score = s
+                best_chain = chain
+            if (
+                best_valid_chain is None or s > best_valid_score
+            ) and _chain_is_valid(kernels, chain):
+                best_valid_score = s
+                best_valid_chain = chain
+
+    return best_score, best_chain, best_valid_score, best_valid_chain
+
+
+def _win_dp_expprod(kernels, merged, masks_rest, full, alpha):
+    """:func:`_win_dp_generic` with ``ExponentialProductWin.f`` inlined:
+    ``f(x, y) = exp(x − α·y)``, hoisting ``exp`` and ``α`` out of the
+    loop.  Applies the same unchanged-chain skip as the linear variant
+    (this ``f`` is also non-increasing in the window)."""
+    exp = math.exp
+    sg = [0.0] * (full + 1)
+    sl = [0] * (full + 1)
+    sc: list[object] = [None] * (full + 1)
+    best_chain = None
+    best_score = _NEG_INF
+    best_valid_chain = None
+    best_valid_score = _NEG_INF
+    checked = None
+
+    for l, j, i, g in merged:
+        bit = 1 << j
+        if sc[bit] is None or exp(sg[bit] - alpha * (l - sl[bit])) < exp(
+            g - alpha * 0.0
+        ):
+            sg[bit] = g
+            sl[bit] = l
+            sc[bit] = (j, i, None)
+        for mask, other in masks_rest[j]:
+            prev_chain = sc[other]
+            if prev_chain is None:
+                continue
+            cand_g = sg[other] + g
+            cand_lmin = sl[other]
+            if sc[mask] is None or exp(sg[mask] - alpha * (l - sl[mask])) < exp(
+                cand_g - alpha * (l - cand_lmin)
+            ):
+                sg[mask] = cand_g
+                sl[mask] = cand_lmin
+                sc[mask] = (j, i, prev_chain)
+
+        chain = sc[full]
+        if chain is not None and chain is not checked:
+            checked = chain
+            s = exp(sg[full] - alpha * (l - sl[full]))
+            if best_chain is None or s > best_score:
+                best_score = s
+                best_chain = chain
+            if (
+                best_valid_chain is None or s > best_valid_score
+            ) and _chain_is_valid(kernels, chain):
+                best_valid_score = s
+                best_valid_chain = chain
+
+    return best_score, best_chain, best_valid_score, best_valid_chain
+
+
+def win_join_kernel(
+    query: Query, lists: Sequence[MatchList], scoring: WinScoring
+) -> JoinResult:
+    """Kernel twin of :func:`~repro.core.algorithms.win_join.win_join`.
+
+    Same subset DP; chains are ``(term, pos, parent)`` index cells.
+    Inputs are pre-validated by the dispatching object-path function.
+    The DP body is specialized per concrete combiner — stock ``f``
+    implementations are inlined into the comparisons (identical
+    expressions, so identical floats); anything else takes the generic
+    body with ``f`` calls.
+    """
+    n = len(query)
+    full = (1 << n) - 1
+    # Per term: every non-singleton mask containing the term, paired with
+    # the predecessor mask it extends (mask minus the term's bit).
+    masks_rest = [
+        [
+            (mask, mask ^ (1 << j))
+            for mask in range(1, full + 1)
+            if mask >> j & 1 and mask != 1 << j
+        ]
+        for j in range(n)
+    ]
+    kernels = [lower(lists[j], scoring, j) for j in range(n)]
+    merged = _merged_with_g(kernels)
+
+    tf = type(scoring).f
+    if tf is LinearAdditiveWin.f:
+        dp = _win_dp_linear(kernels, merged, masks_rest, full)
+    elif tf is ExponentialProductWin.f:
+        dp = _win_dp_expprod(kernels, merged, masks_rest, full, scoring.alpha)
+    else:
+        dp = _win_dp_generic(kernels, merged, masks_rest, full, scoring.f)
+    best_score, best_chain, best_valid_score, best_valid_chain = dp
+
+    assert best_chain is not None
+    return JoinResult(
+        _chain_matchset(query, lists, best_chain),
+        best_score,
+        valid_matchset=(
+            _chain_matchset(query, lists, best_valid_chain)
+            if best_valid_chain is not None
+            else None
+        ),
+        valid_score=best_valid_score if best_valid_chain is not None else None,
+    )
+
+
+def win_by_location_kernel(
+    query: Query, lists: Sequence[MatchList], scoring: WinScoring
+) -> Iterator[LocationResult]:
+    """Kernel twin of :func:`~repro.core.algorithms.by_location.win_by_location`.
+
+    Uses the lazy merge so the streaming (emit-as-soon-as-complete)
+    property of the object path is preserved.
+    """
+    n = len(query)
+    full = (1 << n) - 1
+    masks_with = [
+        [mask for mask in range(1, full + 1) if mask >> j & 1] for j in range(n)
+    ]
+    kernels = [lower(lists[j], scoring, j) for j in range(n)]
+    g_arrays = [kern.g for kern in kernels]
+    states: list[tuple[float, int, object] | None] = [None] * (full + 1)
+    f = scoring.f
+
+    pending_anchor: int | None = None
+    pending_score = _NEG_INF
+    pending_chain: object = None
+
+    for l, j, i in _merged_lazy(kernels):
+        g = g_arrays[j][i]
+        if pending_anchor is not None and l > pending_anchor:
+            if pending_chain is not None:
+                yield LocationResult(
+                    pending_anchor,
+                    _chain_matchset(query, lists, pending_chain),
+                    pending_score,
+                )
+            pending_anchor, pending_score, pending_chain = None, _NEG_INF, None
+
+        bit = 1 << j
+        for mask in masks_with[j]:
+            current = states[mask]
+            if mask == bit:
+                if current is None or f(current[0], l - current[1]) < f(g, 0.0):
+                    states[mask] = (g, l, (j, i, None))
+                continue
+            prev = states[mask ^ bit]
+            if prev is None:
+                continue
+            if current is None or (
+                f(current[0], l - current[1]) < f(prev[0] + g, l - prev[1])
+            ):
+                states[mask] = (prev[0] + g, prev[1], (j, i, prev[2]))
+
+        rest = states[full ^ bit]
+        if n == 1:
+            candidate_score = f(g, 0.0)
+            candidate_chain = (j, i, None)
+        elif rest is not None:
+            candidate_score = f(rest[0] + g, l - rest[1])
+            candidate_chain = (j, i, rest[2])
+        else:
+            continue
+        if pending_anchor is None:
+            pending_anchor = l
+        if candidate_score > pending_score:
+            pending_score = candidate_score
+            pending_chain = candidate_chain
+
+    if pending_anchor is not None and pending_chain is not None:
+        yield LocationResult(
+            pending_anchor,
+            _chain_matchset(query, lists, pending_chain),
+            pending_score,
+        )
+
+
+# ---------------------------------------------------------------------------
+# MED (Algorithm 2)
+# ---------------------------------------------------------------------------
+
+def _med_stack(kern: ListKernel) -> list[int]:
+    """Columnar dominance stack under MED contributions.
+
+    Index twin of :func:`~repro.core.algorithms.envelope.dominance_stack`
+    with ``c(i, l) = g[i] − |loc[i] − l|``; a match's contribution at
+    its own location is ``g − 0 == g`` exactly, so the comparisons
+    reduce to the forms below.
+    """
+    locs = kern.locations
+    g = kern.g
+    stack: list[int] = []
+    for i in range(kern.n):
+        li = locs[i]
+        gi = g[i]
+        if stack:
+            t = stack[-1]
+            if gi < g[t] - (li - locs[t]):
+                continue
+            while stack:
+                t = stack[-1]
+                if gi - (li - locs[t]) >= g[t]:
+                    stack.pop()
+                else:
+                    break
+        stack.append(i)
+    return stack
+
+
+class _MedScanner:
+    """Columnar :class:`~repro.core.algorithms.envelope.DominatingScanner`
+    for MED contributions; returns match indices (−1 = none)."""
+
+    __slots__ = ("_stack", "_locs", "_g", "_pos", "_last")
+
+    def __init__(self, kern: ListKernel) -> None:
+        stack = kern._stack
+        if stack is None:
+            stack = kern._stack = _med_stack(kern)
+        self._stack = stack
+        self._locs = kern.locations
+        self._g = kern.g
+        self._pos = 0
+        self._last = -1
+
+    def dominating_at(self, location: int) -> int:
+        stack = self._stack
+        locs = self._locs
+        pos = self._pos
+        while pos < len(stack) and locs[stack[pos]] <= location:
+            self._last = stack[pos]
+            pos += 1
+        self._pos = pos
+        before = self._last
+        if pos < len(stack):
+            after = stack[pos]
+            g = self._g
+            # Tie toward the successor (>=), as in the object scanner.
+            if before < 0 or g[after] - (locs[after] - location) >= g[before] - (
+                location - locs[before]
+            ):
+                return after
+        return before
+
+
+def med_join_kernel(
+    query: Query, lists: Sequence[MatchList], scoring: MedScoring
+) -> JoinResult:
+    """Kernel twin of :func:`~repro.core.algorithms.med_join.med_join`.
+
+    The median-rank check guarantees the candidate's upper median *is*
+    the scanned location, so the candidate score is evaluated directly
+    at it — the same fold ``f(Σ_k (g_k − |loc_k − median|))`` that
+    ``scoring.score`` performs on the materialized matchset, term by
+    term from int ``0``.
+    """
+    n = len(query)
+    kernels = [lower(lists[j], scoring, j) for j in range(n)]
+    scanners = [_MedScanner(kern) for kern in kernels]
+    median_rank = (n + 1) // 2  # 1-based rank of the median from the greatest
+    f = scoring.f
+
+    best_picks: tuple[int, ...] | None = None
+    best_score = _NEG_INF
+    best_valid_picks: tuple[int, ...] | None = None
+    best_valid_score = _NEG_INF
+
+    picks = [0] * n
+    for location, j, i in _merged(kernels):
+        picks[j] = i
+        strictly_after = 0
+        at_or_after = 1  # the anchor match itself
+        for k in range(n):
+            if k == j:
+                continue
+            idx = scanners[k].dominating_at(location)
+            picks[k] = idx
+            loc_k = kernels[k].locations[idx]
+            if loc_k > location:
+                strictly_after += 1
+                at_or_after += 1
+            elif loc_k == location:
+                at_or_after += 1
+        if strictly_after > median_rank - 1 or at_or_after < median_rank:
+            continue
+        total = 0
+        for k in range(n):
+            kern = kernels[k]
+            idx = picks[k]
+            total = total + (kern.g[idx] - abs(kern.locations[idx] - location))
+        s = f(total)
+        if best_picks is None or s > best_score:
+            best_picks, best_score = tuple(picks), s
+        if best_valid_picks is None or s > best_valid_score:
+            token_ids = {kernels[k].token_ids[picks[k]] for k in range(n)}
+            if len(token_ids) == n:
+                best_valid_picks, best_valid_score = tuple(picks), s
+
+    assert best_picks is not None
+    best_valid = (
+        _picks_matchset(query, lists, best_valid_picks)
+        if best_valid_picks is not None
+        else None
+    )
+    return JoinResult(
+        _picks_matchset(query, lists, best_picks),
+        best_score,
+        valid_matchset=best_valid,
+        valid_score=best_valid_score if best_valid is not None else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# MAX (Section V, specialized)
+# ---------------------------------------------------------------------------
+
+def _max_stack(kern: ListKernel, gf, j: int) -> list[int]:
+    """Columnar dominance stack under MAX contributions.
+
+    ``c(i, l) = g(j, score[i], |loc[i] − l|)``; at a match's own
+    location the distance is the int ``0``, which is exactly what the
+    lowered ``kern.g`` array holds.
+    """
+    locs = kern.locations
+    scores = kern.scores
+    g0 = kern.g
+    stack: list[int] = []
+    for i in range(kern.n):
+        li = locs[i]
+        if stack:
+            t = stack[-1]
+            if g0[i] < gf(j, scores[t], li - locs[t]):
+                continue
+            while stack:
+                t = stack[-1]
+                if gf(j, scores[i], li - locs[t]) >= g0[t]:
+                    stack.pop()
+                else:
+                    break
+        stack.append(i)
+    return stack
+
+
+def _max_stack_exp(kern: ListKernel, alpha: float) -> list[int]:
+    """:func:`_max_stack` with ``AdditiveExponentialMax.g`` inlined:
+    ``g(j, x, y) = x·exp(−α·y)`` (identical expression, identical
+    floats)."""
+    exp = math.exp
+    locs = kern.locations
+    scores = kern.scores
+    g0 = kern.g
+    stack: list[int] = []
+    for i in range(kern.n):
+        li = locs[i]
+        if stack:
+            t = stack[-1]
+            if g0[i] < scores[t] * exp(-alpha * (li - locs[t])):
+                continue
+            while stack:
+                t = stack[-1]
+                if scores[i] * exp(-alpha * (li - locs[t])) >= g0[t]:
+                    stack.pop()
+                else:
+                    break
+        stack.append(i)
+    return stack
+
+
+def _max_specialized_alpha(scoring: MaxScoring) -> float | None:
+    """``α`` when ``scoring`` uses the stock AdditiveExponentialMax
+    transform (the inline-specialization guard), else None."""
+    if type(scoring).g is AdditiveExponentialMax.g:
+        return scoring.alpha
+    return None
+
+
+def _max_stack_for(kern: ListKernel, scoring: MaxScoring, j: int) -> list[int]:
+    """The (cached) dominance stack for one MAX kernel."""
+    stack = kern._stack
+    if stack is None:
+        alpha = _max_specialized_alpha(scoring)
+        if alpha is not None:
+            stack = _max_stack_exp(kern, alpha)
+        else:
+            stack = _max_stack(kern, scoring.g, j)
+        kern._stack = stack
+    return stack
+
+
+class _MaxScanner:
+    """Columnar dominating-match scanner for MAX contributions."""
+
+    __slots__ = ("_stack", "_locs", "_scores", "_gf", "_j", "_pos", "_last")
+
+    def __init__(self, stack: list[int], kern: ListKernel, gf, j: int) -> None:
+        self._stack = stack
+        self._locs = kern.locations
+        self._scores = kern.scores
+        self._gf = gf
+        self._j = j
+        self._pos = 0
+        self._last = -1
+
+    def dominating_at(self, location: int) -> int:
+        stack = self._stack
+        locs = self._locs
+        pos = self._pos
+        while pos < len(stack) and locs[stack[pos]] <= location:
+            self._last = stack[pos]
+            pos += 1
+        self._pos = pos
+        before = self._last
+        if pos < len(stack):
+            after = stack[pos]
+            gf = self._gf
+            j = self._j
+            scores = self._scores
+            if before < 0 or gf(j, scores[after], locs[after] - location) >= gf(
+                j, scores[before], location - locs[before]
+            ):
+                return after
+        return before
+
+
+class _MaxScannerExp:
+    """:class:`_MaxScanner` with ``AdditiveExponentialMax.g`` inlined."""
+
+    __slots__ = ("_stack", "_locs", "_scores", "_alpha", "_pos", "_last")
+
+    def __init__(self, stack: list[int], kern: ListKernel, alpha: float) -> None:
+        self._stack = stack
+        self._locs = kern.locations
+        self._scores = kern.scores
+        self._alpha = alpha
+        self._pos = 0
+        self._last = -1
+
+    def dominating_at(self, location: int) -> int:
+        stack = self._stack
+        locs = self._locs
+        pos = self._pos
+        while pos < len(stack) and locs[stack[pos]] <= location:
+            self._last = stack[pos]
+            pos += 1
+        self._pos = pos
+        before = self._last
+        if pos < len(stack):
+            after = stack[pos]
+            scores = self._scores
+            alpha = self._alpha
+            exp = math.exp
+            if before < 0 or scores[after] * exp(
+                -alpha * (locs[after] - location)
+            ) >= scores[before] * exp(-alpha * (location - locs[before])):
+                return after
+        return before
+
+
+def _max_scanners(kernels: Sequence[ListKernel], scoring: MaxScoring):
+    """One dominating-match scanner per term, specialized when possible."""
+    alpha = _max_specialized_alpha(scoring)
+    if alpha is not None:
+        return [
+            _MaxScannerExp(_max_stack_for(kern, scoring, j), kern, alpha)
+            for j, kern in enumerate(kernels)
+        ]
+    gf = scoring.g
+    return [
+        _MaxScanner(_max_stack_for(kern, scoring, j), kern, gf, j)
+        for j, kern in enumerate(kernels)
+    ]
+
+
+def max_join_kernel(
+    query: Query, lists: Sequence[MatchList], scoring: MaxScoring
+) -> JoinResult:
+    """Kernel twin of :func:`~repro.core.algorithms.max_join.max_join`.
+
+    Dominance stacks are cached on the kernels (they are pure functions
+    of one kernel); with the stock AdditiveExponentialMax transform the
+    candidate loop runs with ``g`` inlined (identical expression →
+    identical floats).
+    """
+    n = len(query)
+    kernels = [lower(lists[j], scoring, j) for j in range(n)]
+    stacks = [_max_stack_for(kernels[j], scoring, j) for j in range(n)]
+    scanners = _max_scanners(kernels, scoring)
+    alpha = _max_specialized_alpha(scoring)
+    locs_arrays = [kern.locations for kern in kernels]
+    score_arrays = [kern.scores for kern in kernels]
+
+    candidate_locations = sorted(
+        {locs_arrays[j][i] for j in range(n) for i in stacks[j]}
+    )
+
+    best_picks: list[int] | None = None
+    best_total = _NEG_INF
+    best_valid_picks: list[int] | None = None
+    best_valid_total = _NEG_INF
+    if alpha is not None:
+        exp = math.exp
+        for location in candidate_locations:
+            total = 0.0
+            picks = []
+            for k in range(n):
+                idx = scanners[k].dominating_at(location)
+                picks.append(idx)
+                d = locs_arrays[k][idx] - location
+                if d < 0:
+                    d = -d
+                total += score_arrays[k][idx] * exp(-alpha * d)
+            if best_picks is None or total > best_total:
+                best_picks, best_total = picks, total
+            if best_valid_picks is None or total > best_valid_total:
+                token_ids = {kernels[k].token_ids[picks[k]] for k in range(n)}
+                if len(token_ids) == n:
+                    best_valid_picks, best_valid_total = picks, total
+    else:
+        gf = scoring.g
+        for location in candidate_locations:
+            total = 0.0
+            picks = []
+            for k in range(n):
+                idx = scanners[k].dominating_at(location)
+                picks.append(idx)
+                d = locs_arrays[k][idx] - location
+                if d < 0:
+                    d = -d
+                total += gf(k, score_arrays[k][idx], d)
+            if best_picks is None or total > best_total:
+                best_picks, best_total = picks, total
+            if best_valid_picks is None or total > best_valid_total:
+                token_ids = {kernels[k].token_ids[picks[k]] for k in range(n)}
+                if len(token_ids) == n:
+                    best_valid_picks, best_valid_total = picks, total
+
+    assert best_picks is not None
+    valid_matchset = (
+        _picks_matchset(query, lists, best_valid_picks)
+        if best_valid_picks is not None
+        else None
+    )
+    return JoinResult(
+        _picks_matchset(query, lists, best_picks),
+        scoring.f(best_total),
+        valid_matchset=valid_matchset,
+        valid_score=scoring.f(best_valid_total) if valid_matchset is not None else None,
+    )
+
+
+def max_by_location_kernel(
+    query: Query, lists: Sequence[MatchList], scoring: MaxScoring
+) -> Iterator[LocationResult]:
+    """Kernel twin of :func:`~repro.core.algorithms.by_location.max_by_location`."""
+    n = len(query)
+    terms = query.terms
+    kernels = [lower(lists[j], scoring, j) for j in range(n)]
+    gf = scoring.g
+    scanners = _max_scanners(kernels, scoring)
+
+    anchor_locations = sorted({l for kern in kernels for l in kern.locations})
+    for location in anchor_locations:
+        total = 0.0
+        picked = {}
+        for k in range(n):
+            idx = scanners[k].dominating_at(location)
+            kern = kernels[k]
+            picked[terms[k]] = lists[k][idx]
+            d = kern.locations[idx] - location
+            if d < 0:
+                d = -d
+            total += gf(k, kern.scores[idx], d)
+        yield LocationResult(location, MatchSet(query, picked), scoring.f(total))

@@ -78,7 +78,7 @@ class MatchList(Sequence[Match]):
     helpers used by the join algorithms.
     """
 
-    __slots__ = ("_matches", "_locations", "term")
+    __slots__ = ("_matches", "_locations", "term", "_kernel_cache")
 
     def __init__(
         self,
@@ -87,6 +87,10 @@ class MatchList(Sequence[Match]):
         term: str | None = None,
         presorted: bool = False,
     ) -> None:
+        # Lazily-populated cache of columnar lowerings (see
+        # repro.core.kernels.columnar); sound because the list is
+        # immutable.  Not part of equality or the hash.
+        self._kernel_cache: dict | None = None
         items = list(matches)
         for m in items:
             if not isinstance(m, Match):
@@ -174,14 +178,20 @@ def merge_by_location(lists: Sequence[MatchList]) -> Iterator[tuple[int, Match]]
     """
     import heapq
 
+    locations = [lst.locations for lst in lists]
     heap: list[tuple[int, int, int]] = []  # (location, term_index, pos)
-    for j, lst in enumerate(lists):
-        if len(lst):
-            heap.append((lst[0].location, j, 0))
+    for j, locs in enumerate(locations):
+        if locs:
+            heap.append((locs[0], j, 0))
     heapq.heapify(heap)
     while heap:
-        location, j, pos = heapq.heappop(heap)
+        _location, j, pos = heap[0]
         yield j, lists[j][pos]
         nxt = pos + 1
-        if nxt < len(lists[j]):
-            heapq.heappush(heap, (lists[j][nxt].location, j, nxt))
+        locs = locations[j]
+        if nxt < len(locs):
+            # replace = pop + push in one sift; the popped root was
+            # already the minimum, so the yield order is unchanged.
+            heapq.heapreplace(heap, (locs[nxt], j, nxt))
+        else:
+            heapq.heappop(heap)

@@ -45,6 +45,23 @@ class ScoringFunction(abc.ABC):
     def score(self, matchset: MatchSet) -> float:
         """The matchset score ``score(M, Q)``."""
 
+    def kernel_key(self) -> object | None:
+        """Hashable configuration identity for columnar-kernel caching.
+
+        Two instances with equal (non-None) kernel keys must have
+        byte-identical ``g`` behaviour: the kernel layer
+        (:mod:`repro.core.kernels`) then shares one lowering of a match
+        list between them, which is what lets per-request scoring
+        presets hit a warm cache.  Include the concrete ``type`` in the
+        key so subclasses that override ``g`` without overriding
+        ``kernel_key`` can never collide with their parent.
+
+        The default returns None: the kernel cache falls back to keying
+        by instance identity (correct for any pure ``g``, but shared
+        only across calls with the same instance).
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 

@@ -58,6 +58,9 @@ class PureProximityWin(WinScoring):
     def f(self, x: float, y: float) -> float:
         return -y
 
+    def kernel_key(self) -> object:
+        return (type(self),)
+
 
 class WeightedAdditiveMed(MedScoring):
     """MED with per-term weights: ``g_j(x) = w_j · x / scale``.
@@ -87,6 +90,9 @@ class WeightedAdditiveMed(MedScoring):
 
     def f(self, x: float) -> float:
         return x
+
+    def kernel_key(self) -> object:
+        return (type(self), self.weights, self.scale)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"WeightedAdditiveMed(weights={self.weights}, scale={self.scale})"
@@ -119,6 +125,9 @@ class LinearDecayMax(MaxScoring):
 
     def f(self, x: float) -> float:
         return x
+
+    def kernel_key(self) -> object:
+        return (type(self), self.alpha, self.scale)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LinearDecayMax(alpha={self.alpha}, scale={self.scale})"

@@ -49,6 +49,9 @@ class ExponentialProductMax(MaxScoring):
     def f(self, x: float) -> float:
         return math.exp(x)
 
+    def kernel_key(self) -> object:
+        return (type(self), self.alpha)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ExponentialProductMax(alpha={self.alpha})"
 
@@ -73,6 +76,9 @@ class AdditiveExponentialMax(MaxScoring):
 
     def f(self, x: float) -> float:
         return x
+
+    def kernel_key(self) -> object:
+        return (type(self), self.alpha)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AdditiveExponentialMax(alpha={self.alpha})"

@@ -41,6 +41,9 @@ class ExponentialProductMed(MedScoring):
     def f(self, x: float) -> float:
         return math.exp(self.alpha * x)
 
+    def kernel_key(self) -> object:
+        return (type(self), self.alpha)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ExponentialProductMed(alpha={self.alpha})"
 
@@ -58,6 +61,9 @@ class AdditiveMed(MedScoring):
 
     def f(self, x: float) -> float:
         return x
+
+    def kernel_key(self) -> object:
+        return (type(self), self.scale)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AdditiveMed(scale={self.scale})"

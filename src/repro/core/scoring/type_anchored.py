@@ -51,6 +51,9 @@ class TypeAnchoredMax(MaxScoring):
     def f(self, x: float) -> float:
         return x
 
+    def kernel_key(self) -> object:
+        return (type(self), self.type_term_index, self.alpha)
+
     def anchor_candidates(self, matchset: MatchSet) -> Iterable[int]:
         """The single admissible reference point: the type term's match."""
         if self.type_term_index >= len(matchset):

@@ -44,6 +44,9 @@ class ExponentialProductWin(WinScoring):
     def f(self, x: float, y: float) -> float:
         return math.exp(x - self.alpha * y)
 
+    def kernel_key(self) -> object:
+        return (type(self), self.alpha)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ExponentialProductWin(alpha={self.alpha})"
 
@@ -66,6 +69,9 @@ class LinearAdditiveWin(WinScoring):
 
     def f(self, x: float, y: float) -> float:
         return x - y
+
+    def kernel_key(self) -> object:
+        return (type(self), self.scale)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LinearAdditiveWin(scale={self.scale})"

@@ -14,6 +14,8 @@ don't care which path produced their input.
 
 from __future__ import annotations
 
+import threading
+
 from repro.core.match import Match, MatchList
 from repro.index.inverted import InvertedIndex
 from repro.lexicon.graph import LexicalGraph
@@ -43,6 +45,16 @@ class ConceptIndex:
         self.per_edge_penalty = per_edge_penalty
         # concept -> [(lemma words, score)], cached across documents.
         self._expansions: dict[str, list[tuple[tuple[str, ...], float]]] = {}
+        # Generation-keyed (concept, doc_id) -> MatchList cache (see
+        # match_lists); also the anchor that keeps columnar kernels warm
+        # across queries within one index generation.
+        self._list_cache: dict[tuple[str, str], MatchList] = {}
+        self._list_cache_generation: int | None = None
+        self._list_cache_lock = threading.Lock()
+
+    # Bound on cached match lists; beyond it the oldest entries are
+    # evicted FIFO (dicts preserve insertion order).
+    _LIST_CACHE_CAP = 65536
 
     def expansion(self, concept: str) -> list[tuple[tuple[str, ...], float]]:
         """The scored lemma expansion of a concept (cached)."""
@@ -81,6 +93,7 @@ class ConceptIndex:
         doc_id: str,
         *,
         memo: dict[tuple[str, str], MatchList] | None = None,
+        generation: int | None = None,
     ) -> list[MatchList]:
         """Match lists for several concepts in one document.
 
@@ -89,7 +102,16 @@ class ConceptIndex:
         a micro-batch mention the same term, each term's list is
         materialized from the index once.  Match lists are immutable, so
         sharing is safe.
+
+        ``generation`` additionally enables the index's *persistent*
+        cache: lists survive across requests until the caller reports a
+        different generation (i.e. the corpus changed), at which point
+        the cache is dropped wholesale.  Returning the same ``MatchList``
+        object across queries is what keeps its columnar kernels — and
+        the cached ``max_g`` bound constants — warm between requests.
         """
+        if generation is not None:
+            return self._match_lists_cached(concepts, doc_id, memo, generation)
         if memo is None:
             return [self.match_list(c, doc_id) for c in concepts]
         lists: list[MatchList] = []
@@ -99,6 +121,53 @@ class ConceptIndex:
             if found is None:
                 found = memo[key] = self.match_list(concept, doc_id)
             lists.append(found)
+        return lists
+
+    def _match_lists_cached(
+        self,
+        concepts: list[str],
+        doc_id: str,
+        memo: dict[tuple[str, str], MatchList] | None,
+        generation: int,
+    ) -> list[MatchList]:
+        lists: list[MatchList] = []
+        with self._list_cache_lock:
+            cache = self._list_cache
+            if self._list_cache_generation != generation:
+                cache.clear()
+                self._list_cache_generation = generation
+            missing = [
+                c
+                for c in concepts
+                if (c, doc_id) not in cache
+                and (memo is None or (c, doc_id) not in memo)
+            ]
+        # Materialize outside the lock: match_list only reads immutable
+        # index/lexicon state, and a racing duplicate build is harmless.
+        built = {
+            (c, doc_id): self.match_list(c, doc_id) for c in dict.fromkeys(missing)
+        }
+        with self._list_cache_lock:
+            cache = self._list_cache
+            if self._list_cache_generation != generation:
+                cache.clear()
+                self._list_cache_generation = generation
+            for key, lst in built.items():
+                cache.setdefault(key, lst)
+            while len(cache) > self._LIST_CACHE_CAP:
+                cache.pop(next(iter(cache)))
+            for concept in concepts:
+                key = (concept, doc_id)
+                found = cache.get(key)
+                if found is None and memo is not None:
+                    found = memo.get(key)
+                if found is None:
+                    # Evicted between the two locked sections; fall back
+                    # to the freshly built copy.
+                    found = built.get(key) or self.match_list(concept, doc_id)
+                if memo is not None:
+                    memo.setdefault(key, found)
+                lists.append(found)
         return lists
 
     def candidate_documents(self, concepts: list[str]) -> list[str]:

@@ -1,0 +1,88 @@
+"""Thread-local join instrumentation for the retrieval layer.
+
+The ranking loops (:func:`repro.retrieval.ranking.rank_match_lists`,
+:func:`repro.retrieval.topk_retrieval.rank_top_k`) are the hot path of
+the serving stack; this module lets a caller observe them without
+changing their signatures or paying overhead when nobody is watching.
+
+:func:`collect_join_stats` installs a :class:`JoinStats` collector for
+the current thread; while it is active, the ranking loops add to it
+
+* ``joins_run`` — best-joins actually executed,
+* ``joins_skipped`` — candidate documents pruned by the upper-bound
+  test in :func:`~repro.retrieval.topk_retrieval.rank_top_k` without
+  running a join (the WAND-style skip; empty-list documents count as
+  neither),
+* ``join_ns`` — wall-clock nanoseconds spent inside best-join calls.
+
+Collectors nest: on exit, an inner collector's totals are folded into
+the outer one, so a per-request measurement inside a per-process
+measurement counts once in each.  The state is per-thread, matching the
+one-request-per-worker-thread model of :mod:`repro.service`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["JoinStats", "collect_join_stats", "current_join_stats"]
+
+
+class JoinStats:
+    """Mutable counters for one instrumentation scope."""
+
+    __slots__ = ("joins_run", "joins_skipped", "join_ns")
+
+    def __init__(self) -> None:
+        self.joins_run = 0
+        self.joins_skipped = 0
+        self.join_ns = 0
+
+    @property
+    def bound_skip_rate(self) -> float:
+        """Fraction of bound-checked candidates pruned without a join."""
+        considered = self.joins_run + self.joins_skipped
+        return self.joins_skipped / considered if considered else 0.0
+
+    def add(self, other: "JoinStats") -> None:
+        self.joins_run += other.joins_run
+        self.joins_skipped += other.joins_skipped
+        self.join_ns += other.join_ns
+
+    def snapshot(self) -> dict:
+        return {
+            "joins_run": self.joins_run,
+            "joins_skipped": self.joins_skipped,
+            "join_ns": self.join_ns,
+            "bound_skip_rate": self.bound_skip_rate,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JoinStats(run={self.joins_run}, skipped={self.joins_skipped}, "
+            f"ns={self.join_ns})"
+        )
+
+
+_local = threading.local()
+
+
+def current_join_stats() -> JoinStats | None:
+    """The active collector for this thread, or None."""
+    return getattr(_local, "stats", None)
+
+
+@contextmanager
+def collect_join_stats() -> Iterator[JoinStats]:
+    """Collect join statistics for the duration of the ``with`` block."""
+    outer = getattr(_local, "stats", None)
+    stats = JoinStats()
+    _local.stats = stats
+    try:
+        yield stats
+    finally:
+        _local.stats = outer
+        if outer is not None:
+            outer.add(stats)

@@ -10,11 +10,13 @@ where it did (the extracted answer).
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.algorithms.base import JoinResult
 from repro.core.api import best_matchset
+from repro.retrieval.instrumentation import current_join_stats
 from repro.core.match import MatchList
 from repro.core.matchset import MatchSet
 from repro.core.query import Query
@@ -53,12 +55,25 @@ def rank_match_lists(
     ``top_k`` keeps only the best *k* documents via a heap select
     instead of a full sort — the ``(-score, doc_id)`` key is a total
     order, so the result is exactly the first *k* of the full ranking.
+    ``top_k`` must be positive when given (matching ``rank_top_k``).
     """
+    if top_k is not None and top_k <= 0:
+        raise ValueError(f"top_k must be positive, got {top_k}")
+    stats = current_join_stats()
     ranked: list[RankedDocument] = []
     for doc_id, lists in per_document_lists:
-        result: JoinResult = best_matchset(
-            query, lists, scoring, avoid_duplicates=avoid_duplicates
-        )
+        if stats is None:
+            result: JoinResult = best_matchset(
+                query, lists, scoring, avoid_duplicates=avoid_duplicates
+            )
+        else:
+            if all(len(lst) > 0 for lst in lists):
+                stats.joins_run += 1
+            started = time.perf_counter_ns()
+            result = best_matchset(
+                query, lists, scoring, avoid_duplicates=avoid_duplicates
+            )
+            stats.join_ns += time.perf_counter_ns() - started
         if result:
             assert result.matchset is not None and result.score is not None
             ranked.append(
@@ -66,7 +81,7 @@ def rank_match_lists(
             )
     key = lambda r: (-r.score, r.doc_id)
     if top_k is not None and top_k < len(ranked):
-        return heapq.nsmallest(max(top_k, 0), ranked, key=key)
+        return heapq.nsmallest(top_k, ranked, key=key)
     ranked.sort(key=key)
     return ranked
 

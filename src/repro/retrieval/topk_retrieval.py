@@ -20,14 +20,17 @@ the returned statistics report how many joins the bound avoided.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.api import best_matchset
 from repro.core.errors import ScoringContractError
+from repro.core.kernels.columnar import kernels_enabled, max_g_sum
 from repro.core.match import MatchList
 from repro.core.query import Query
 from repro.core.scoring.base import MaxScoring, MedScoring, ScoringFunction, WinScoring
+from repro.retrieval.instrumentation import current_join_stats
 from repro.retrieval.ranking import RankedDocument
 
 __all__ = ["score_upper_bound", "TopKResult", "rank_top_k"]
@@ -40,7 +43,18 @@ def score_upper_bound(
 
     Assumes every list is non-empty; callers skip empty-join documents
     before bounding.
+
+    On the kernel path each list's ``max_j g_j`` is a constant cached on
+    the columnar lowering (:mod:`repro.core.kernels`), so after the first
+    call per (list, scoring) pair the bound is an O(|Q|) sum — the
+    per-attribute max-score precomputation of Fagin-style threshold
+    algorithms — instead of an O(Σ|L_j|) rescan per candidate document.
     """
+    if kernels_enabled():
+        if isinstance(scoring, WinScoring):
+            return scoring.f(max_g_sum(lists, scoring), 0.0)
+        if isinstance(scoring, (MedScoring, MaxScoring)):
+            return scoring.f(max_g_sum(lists, scoring))
     if isinstance(scoring, WinScoring):
         total = sum(
             max(scoring.g(j, m.score) for m in lst) for j, lst in enumerate(lists)
@@ -93,11 +107,15 @@ def rank_top_k(
         raise ValueError(f"k must be positive, got {k}")
     # Floor heap holds (score, reversed doc-id key) so that the heap's
     # smallest element is the currently weakest kept document under the
-    # (-score, doc_id) output order.
+    # (-score, doc_id) output order.  ``kept`` is keyed by the same
+    # reversed key, so evicting the heap's victim is one dict delete
+    # instead of an O(k) scan.
     floor: list[tuple[float, tuple[int, ...]]] = []
-    kept: dict[str, RankedDocument] = {}
+    kept: dict[tuple[int, ...], RankedDocument] = {}
     seen = 0
     joins = 0
+    bound_skips = 0
+    stats = current_join_stats()
 
     def id_key(doc_id: str) -> tuple[int, ...]:
         # Reverse lexicographic so the heap evicts the tie with the
@@ -108,31 +126,50 @@ def rank_top_k(
         seen += 1
         if any(len(lst) == 0 for lst in lists):
             continue
+        key: tuple[int, ...] | None = None
         if len(floor) == k:
             weakest_score, weakest_key = floor[0]
             bound = score_upper_bound(scoring, lists)
-            if bound < weakest_score or (
-                bound == weakest_score and id_key(doc_id) < weakest_key
-            ):
+            if bound < weakest_score:
+                bound_skips += 1
                 continue  # provably outside the top k
+            if bound == weakest_score:
+                key = id_key(doc_id)
+                if key < weakest_key:
+                    bound_skips += 1
+                    continue
         joins += 1
-        result = best_matchset(
-            query, lists, scoring, avoid_duplicates=avoid_duplicates
-        )
+        if stats is None:
+            result = best_matchset(
+                query, lists, scoring, avoid_duplicates=avoid_duplicates
+            )
+        else:
+            started = time.perf_counter_ns()
+            result = best_matchset(
+                query, lists, scoring, avoid_duplicates=avoid_duplicates
+            )
+            stats.join_ns += time.perf_counter_ns() - started
         if not result:
             continue
         assert result.matchset is not None and result.score is not None
-        entry = (result.score, id_key(doc_id))
+        if key is None:
+            key = id_key(doc_id)
+        entry = (result.score, key)
         if len(floor) < k:
             heapq.heappush(floor, entry)
-            kept[doc_id] = RankedDocument(doc_id, result.score, result.matchset)
+            kept[key] = RankedDocument(
+                doc_id, result.score, result.matchset, result.invocations
+            )
         elif entry > floor[0]:
             _old_score, old_key = heapq.heapreplace(floor, entry)
-            evicted = next(
-                d for d in kept if id_key(d) == old_key
+            del kept[old_key]
+            kept[key] = RankedDocument(
+                doc_id, result.score, result.matchset, result.invocations
             )
-            del kept[evicted]
-            kept[doc_id] = RankedDocument(doc_id, result.score, result.matchset)
+
+    if stats is not None:
+        stats.joins_run += joins
+        stats.joins_skipped += bound_skips
 
     ranked = sorted(kept.values(), key=lambda r: (-r.score, r.doc_id))
     return TopKResult(ranked, seen, joins)

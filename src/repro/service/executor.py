@@ -43,6 +43,7 @@ from typing import Any, Callable, Hashable, Sequence, TypeVar
 
 from repro.core.scoring.base import ScoringFunction
 from repro.core.scoring.presets import trec_max, trec_med, trec_win
+from repro.retrieval.instrumentation import collect_join_stats
 from repro.retrieval.ranking import RankedDocument
 from repro.service.batching import MicroBatcher
 from repro.service.cache import ResultCache, make_key
@@ -440,12 +441,16 @@ class QueryExecutor:
             for group, avoid_duplicates in ((to_run, True), (degraded, False)):
                 if not group:
                     continue
-                rankings = self.system.ask_many(
-                    [r.query_text for r in group],
-                    top_k=group[0].top_k,
-                    scoring=group[0].scoring,
-                    avoid_duplicates=avoid_duplicates,
-                )
+                with collect_join_stats() as join_stats:
+                    rankings = self.system.ask_many(
+                        [r.query_text for r in group],
+                        top_k=group[0].top_k,
+                        scoring=group[0].scoring,
+                        avoid_duplicates=avoid_duplicates,
+                    )
+                self.metrics.increment("joins_run", join_stats.joins_run)
+                self.metrics.increment("joins_skipped", join_stats.joins_skipped)
+                self.metrics.increment("join_micros", join_stats.join_ns // 1000)
                 self.metrics.increment("joins_executed", len(group))
                 if not avoid_duplicates:
                     self.metrics.increment("degraded_responses", len(group))

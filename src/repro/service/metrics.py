@@ -78,6 +78,9 @@ class ServiceMetrics:
         "deadline_misses",
         "degraded_responses",
         "errors_total",
+        "joins_run",
+        "joins_skipped",
+        "join_micros",
     )
 
     def __init__(self, *, reservoir_size: int = 2048) -> None:
@@ -121,6 +124,7 @@ class ServiceMetrics:
             elapsed = time.monotonic() - self._started
         hits, misses = counts["cache_hits"], counts["cache_misses"]
         lookups = hits + misses
+        considered = counts["joins_run"] + counts["joins_skipped"]
         return {
             **counts,
             "queue_depth": depth,
@@ -128,6 +132,9 @@ class ServiceMetrics:
             "uptime_s": elapsed,
             "qps": completed / elapsed if elapsed > 0 else 0.0,
             "cache_hit_rate": hits / lookups if lookups else 0.0,
+            "bound_skip_rate": (
+                counts["joins_skipped"] / considered if considered else 0.0
+            ),
             "latency_p50": self._latency.quantile(0.50),
             "latency_p95": self._latency.quantile(0.95),
         }

@@ -23,7 +23,12 @@ import pathlib
 from typing import Iterable, Sequence
 
 from repro.core.query import Query
-from repro.core.scoring.base import ScoringFunction
+from repro.core.scoring.base import (
+    MaxScoring,
+    MedScoring,
+    ScoringFunction,
+    WinScoring,
+)
 from repro.core.scoring.presets import trec_max
 from repro.extraction.extractor import Extraction, MatchsetExtractor
 from repro.index.inverted import InvertedIndex
@@ -34,6 +39,7 @@ from repro.matching.pipeline import QueryMatcher
 from repro.matching.queries import parse_query
 from repro.matching.semantic import SemanticMatcher
 from repro.retrieval.ranking import RankedDocument, rank_match_lists
+from repro.retrieval.topk_retrieval import rank_top_k
 from repro.text.document import Corpus, Document
 
 __all__ = ["SearchSystem"]
@@ -118,10 +124,44 @@ class SearchSystem:
         if matcher is None:
             terms = list(query)
             for doc_id in self._concepts.candidate_documents(terms):
-                yield doc_id, self._concepts.match_lists(terms, doc_id, memo=memo)
+                # Passing the generation turns on the index's persistent
+                # list cache, so repeat queries reuse the same MatchList
+                # objects — and with them the warm columnar kernels and
+                # cached max-score bounds.
+                yield doc_id, self._concepts.match_lists(
+                    terms, doc_id, memo=memo, generation=self._generation
+                )
         else:
             for doc in self.corpus:
                 yield doc.doc_id, matcher.match_lists(doc)
+
+    def _rank(
+        self,
+        query: Query,
+        matcher: QueryMatcher | None,
+        scoring: ScoringFunction,
+        *,
+        top_k: int | None,
+        avoid_duplicates: bool,
+        memo: dict | None = None,
+    ) -> list[RankedDocument]:
+        """Rank one planned query, bound-skipping when top_k allows it.
+
+        With a ``top_k`` and a boundable scoring family the WAND-style
+        :func:`rank_top_k` loop is used: documents whose cached max-score
+        bound cannot beat the current k-floor are skipped without running
+        a join.  The result is provably identical to the heap-select in
+        :func:`rank_match_lists` (same scores, same tie order).
+        """
+        per_doc = self._per_document_lists(query, matcher, memo=memo)
+        bounded = isinstance(scoring, (WinScoring, MedScoring, MaxScoring))
+        if top_k is not None and top_k > 0 and bounded:
+            return rank_top_k(
+                per_doc, query, scoring, top_k, avoid_duplicates=avoid_duplicates
+            ).ranked
+        return rank_match_lists(
+            per_doc, query, scoring, avoid_duplicates=avoid_duplicates, top_k=top_k
+        )
 
     def ask(
         self,
@@ -138,12 +178,12 @@ class SearchSystem:
         back to when a request's deadline is nearly spent.
         """
         query, matcher = self._plan(query_text)
-        return rank_match_lists(
-            self._per_document_lists(query, matcher),
+        return self._rank(
             query,
+            matcher,
             scoring or self.scoring,
-            avoid_duplicates=avoid_duplicates,
             top_k=top_k,
+            avoid_duplicates=avoid_duplicates,
         )
 
     def ask_many(
@@ -169,14 +209,13 @@ class SearchSystem:
         for query_text in queries:
             query, matcher = self._plan(query_text)
             results.append(
-                rank_match_lists(
-                    self._per_document_lists(
-                        query, matcher, memo=memo if matcher is None else None
-                    ),
+                self._rank(
                     query,
+                    matcher,
                     scoring or self.scoring,
-                    avoid_duplicates=avoid_duplicates,
                     top_k=top_k,
+                    avoid_duplicates=avoid_duplicates,
+                    memo=memo if matcher is None else None,
                 )
             )
         return results

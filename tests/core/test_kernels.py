@@ -1,0 +1,203 @@
+"""Unit tests for the columnar kernel layer (:mod:`repro.core.kernels`)."""
+
+import os
+
+import pytest
+
+from repro.core.kernels.columnar import (
+    _CACHE_CAP,
+    STATS,
+    ListKernel,
+    derive_kernels,
+    kernels_enabled,
+    lower,
+    max_g_sum,
+)
+from repro.core.kernels.joins import max_kernel_supported, med_kernel_supported
+from repro.core.match import Match, MatchList
+from repro.core.scoring.base import MaxScoring, WinScoring
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+
+
+@pytest.fixture
+def lst():
+    return MatchList.from_pairs([(3, 0.5), (7, 1.0), (12, 0.25)])
+
+
+class TestLowering:
+    def test_arrays_mirror_the_list(self, lst):
+        scoring = trec_win()
+        kernel = lower(lst, scoring, 0)
+        assert list(kernel.locations) == [3, 7, 12]
+        assert list(kernel.g) == [scoring.g(0, m.score) for m in lst]
+        assert kernel.g_bound is kernel.g
+        assert kernel.scores is None
+        assert kernel.max_g == max(kernel.g)
+        assert kernel.n == len(lst)
+
+    def test_max_family_keeps_raw_scores_and_float_bound(self, lst):
+        scoring = trec_max()
+        kernel = lower(lst, scoring, 1)
+        assert list(kernel.scores) == [m.score for m in lst]
+        assert list(kernel.g) == [scoring.g(1, m.score, 0) for m in lst]
+        assert list(kernel.g_bound) == [scoring.g(1, m.score, 0.0) for m in lst]
+        assert kernel.max_g == max(kernel.g_bound)
+
+    def test_token_ids_lowered(self):
+        lst = MatchList(
+            [Match(2, 0.5, token_id=42), Match(9, 0.75, token_id=42)]
+        )
+        kernel = lower(lst, trec_med(), 0)
+        assert list(kernel.token_ids) == [42, 42]
+
+    def test_term_index_is_part_of_the_key(self, lst):
+        scoring = trec_win()
+        assert lower(lst, scoring, 0) is not lower(lst, scoring, 1)
+
+
+class TestCache:
+    def test_same_instance_hits(self, lst):
+        scoring = trec_win()
+        STATS.reset()
+        first = lower(lst, scoring, 0)
+        assert lower(lst, scoring, 0) is first
+        assert STATS.snapshot() == {"lowerings": 1, "cache_hits": 1, "derived": 0}
+
+    def test_equal_presets_share_via_kernel_key(self, lst):
+        # Two fresh preset objects are configured identically, so their
+        # kernel_key matches and the lowering is shared.
+        a, b = trec_max(), trec_max()
+        assert a is not b
+        assert a.kernel_key() == b.kernel_key()
+        assert lower(lst, a, 0) is lower(lst, b, 0)
+
+    def test_different_params_do_not_share(self, lst):
+        from repro.core.scoring.win import ExponentialProductWin
+
+        a = ExponentialProductWin(alpha=0.1)
+        b = ExponentialProductWin(alpha=0.2)
+        assert lower(lst, a, 0) is not lower(lst, b, 0)
+
+    def test_keyless_scoring_cached_by_identity(self, lst):
+        class Custom(WinScoring):
+            def g(self, j, x):
+                return 2.0 * x
+
+            def f(self, s, w):
+                return s - w
+
+        scoring = Custom()
+        assert scoring.kernel_key() is None
+        kernel = lower(lst, scoring, 0)
+        assert lower(lst, scoring, 0) is kernel
+        # The kernel holds the scoring alive so id() can't be recycled
+        # into a colliding key.
+        assert kernel._hold is scoring
+
+    def test_fifo_eviction_at_cap(self, lst):
+        from repro.core.scoring.win import ExponentialProductWin
+
+        scorings = [ExponentialProductWin(alpha=0.01 * (i + 1)) for i in range(_CACHE_CAP + 1)]
+        kernels = [lower(lst, s, 0) for s in scorings]
+        # The oldest entry was evicted: lowering it again builds afresh.
+        STATS.reset()
+        rebuilt = lower(lst, scorings[0], 0)
+        assert rebuilt is not kernels[0]
+        assert STATS.lowerings == 1
+        # The newest survived.
+        assert lower(lst, scorings[-1], 0) is kernels[-1]
+
+
+class TestDerive:
+    def test_take_is_structural(self, lst):
+        kernel = lower(lst, trec_max(), 0)
+        sub = kernel.take([0, 2])
+        assert list(sub.locations) == [3, 12]
+        assert list(sub.g) == [kernel.g[0], kernel.g[2]]
+        assert list(sub.g_bound) == [kernel.g_bound[0], kernel.g_bound[2]]
+        assert list(sub.scores) == [kernel.scores[0], kernel.scores[2]]
+        assert sub.max_g == max(sub.g_bound)
+
+    def test_derive_kernels_seeds_the_child(self, lst):
+        scoring = trec_win()
+        lower(lst, scoring, 0)
+        child = MatchList([lst[0], lst[2]], presorted=True)
+        derive_kernels(lst, child, [0, 2])
+        STATS.reset()
+        kernel = lower(child, scoring, 0)
+        # Served from the derived cache: no fresh lowering, no g calls.
+        assert STATS.lowerings == 0
+        assert STATS.cache_hits == 1
+        assert list(kernel.locations) == [3, 12]
+
+
+class TestBound:
+    def test_max_g_sum_matches_object_rescan(self):
+        lists = [
+            MatchList.from_pairs([(1, 0.3), (5, 0.9)]),
+            MatchList.from_pairs([(2, 0.7), (8, 0.4)]),
+        ]
+        for scoring in (trec_win(), trec_med()):
+            expected = sum(
+                max(scoring.g(j, m.score) for m in lst)
+                for j, lst in enumerate(lists)
+            )
+            assert max_g_sum(lists, scoring) == expected
+        scoring = trec_max()
+        expected = sum(
+            max(scoring.g(j, m.score, 0.0) for m in lst)
+            for j, lst in enumerate(lists)
+        )
+        assert max_g_sum(lists, scoring) == expected
+
+    def test_bound_is_o1_once_warm(self):
+        lists = [MatchList.from_pairs([(i, 0.5) for i in range(100)])]
+        scoring = trec_win()
+        max_g_sum(lists, scoring)
+        STATS.reset()
+        for _ in range(10):
+            max_g_sum(lists, scoring)
+        assert STATS.lowerings == 0, "warm bound must not rescan the list"
+        assert STATS.cache_hits == 10
+
+
+class TestToggles:
+    def test_escape_hatch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_KERNELS", raising=False)
+        assert kernels_enabled()
+        for value in ("1", "true", "YES", "on"):
+            monkeypatch.setenv("REPRO_NO_KERNELS", value)
+            assert not kernels_enabled()
+        monkeypatch.setenv("REPRO_NO_KERNELS", "0")
+        assert kernels_enabled()
+
+    def test_guards_accept_the_presets(self):
+        assert med_kernel_supported(trec_med())
+        assert max_kernel_supported(trec_max())
+
+    def test_guards_reject_overridden_contributions(self):
+        from repro.core.scoring.base import MedScoring
+
+        class Odd(MaxScoring):
+            def g(self, j, x, d):
+                return x - d
+
+            def f(self, s):
+                return s
+
+            def contribution(self, j, match, location):  # non-standard
+                return 0.0
+
+        assert not max_kernel_supported(Odd())
+
+        class OddMed(MedScoring):
+            def g(self, j, x):
+                return x
+
+            def f(self, s):
+                return s
+
+            def score(self, matchset):  # non-standard
+                return 0.0
+
+        assert not med_kernel_supported(OddMed())

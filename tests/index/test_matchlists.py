@@ -66,3 +66,46 @@ class TestConceptIndex:
         concept_index, _ = setup
         first = concept_index.expansion("pc maker")
         assert concept_index.expansion("pc maker") is first
+
+
+class TestGenerationCache:
+    def test_same_generation_returns_same_objects(self, setup):
+        concept_index, _ = setup
+        first = concept_index.match_lists(["pc maker"], "d1", generation=1)
+        again = concept_index.match_lists(["pc maker"], "d1", generation=1)
+        assert again[0] is first[0]
+
+    def test_generation_change_invalidates(self, setup):
+        concept_index, _ = setup
+        first = concept_index.match_lists(["pc maker"], "d1", generation=1)
+        later = concept_index.match_lists(["pc maker"], "d1", generation=2)
+        assert later[0] is not first[0]
+        assert list(later[0]) == list(first[0])
+
+    def test_without_generation_no_persistence(self, setup):
+        concept_index, _ = setup
+        first = concept_index.match_lists(["pc maker"], "d1")
+        again = concept_index.match_lists(["pc maker"], "d1")
+        assert again[0] is not first[0]
+
+    def test_memo_interops_with_cache(self, setup):
+        concept_index, _ = setup
+        memo: dict = {}
+        first = concept_index.match_lists(
+            ["pc maker"], "d1", memo=memo, generation=1
+        )
+        assert memo[("pc maker", "d1")] is first[0]
+        # A memo pre-seeded list is reused rather than rebuilt.
+        again = concept_index.match_lists(
+            ["pc maker"], "d1", memo=memo, generation=1
+        )
+        assert again[0] is first[0]
+
+    def test_cap_evicts_oldest(self, setup):
+        concept_index, _ = setup
+        concept_index._LIST_CACHE_CAP = 2
+        concept_index.match_lists(["pc maker"], "d1", generation=1)
+        concept_index.match_lists(["pc maker"], "d3", generation=1)
+        concept_index.match_lists(["laptop"], "d1", generation=1)
+        assert ("pc maker", "d1") not in concept_index._list_cache
+        assert len(concept_index._list_cache) == 2

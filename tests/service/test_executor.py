@@ -70,6 +70,19 @@ class TestBasicServing:
             assert executor.metrics.count("cache_hits") == 1
             assert ranking_key(second.results) == ranking_key(first.results)
 
+    def test_join_instrumentation_reaches_metrics(self, system):
+        with QueryExecutor(system, workers=1) as executor:
+            executor.ask("partnership, sports")
+            run = executor.metrics.count("joins_run")
+            skipped = executor.metrics.count("joins_skipped")
+            assert run > 0
+            assert skipped >= 0
+            assert executor.metrics.count("join_micros") >= 0
+            snap = executor.metrics.snapshot()
+            assert snap["bound_skip_rate"] == pytest.approx(
+                skipped / (run + skipped)
+            )
+
     def test_normalized_spellings_share_cache_entry(self, system):
         with QueryExecutor(system, workers=1) as executor:
             executor.ask("partnership, sports")

@@ -63,6 +63,18 @@ class TestServiceMetrics:
         snap = ServiceMetrics().snapshot()
         assert snap["cache_hit_rate"] == 0.0
         assert snap["latency_p50"] is None
+        assert snap["bound_skip_rate"] == 0.0
+
+    def test_join_counters_and_skip_rate(self):
+        metrics = ServiceMetrics()
+        metrics.increment("joins_run", 3)
+        metrics.increment("joins_skipped", 9)
+        metrics.increment("join_micros", 1500)
+        snap = metrics.snapshot()
+        assert snap["joins_run"] == 3
+        assert snap["joins_skipped"] == 9
+        assert snap["join_micros"] == 1500
+        assert snap["bound_skip_rate"] == pytest.approx(0.75)
 
     def test_thread_safety_of_increments(self):
         metrics = ServiceMetrics()

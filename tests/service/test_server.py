@@ -79,6 +79,8 @@ class TestEndpoints:
         assert payload["requests_total"] >= 1
         assert "latency_p95" in payload
         assert payload["cache"]["capacity"] > 0
+        assert payload["joins_run"] >= 1
+        assert 0.0 <= payload["bound_skip_rate"] <= 1.0
 
     def test_scoring_parameter(self, server):
         status, payload = get(server, "/search?q=partnership,+sports&scoring=win")
