@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench bench-full bench-joins serve-bench figures examples clean
+.PHONY: install test check chaos bench bench-full bench-joins serve-bench figures examples clean
 
 install:
 	pip install -e .
@@ -14,9 +14,21 @@ test:
 # Self-contained: runs from the source tree without an editable install.
 check:
 	$(PYTHON) -m compileall -q src
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest tests/
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -m pytest tests/ --ignore=tests/reliability
+	$(MAKE) chaos
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) benchmarks/bench_join_kernels.py --check
+
+# Fault-injection suite (tests/reliability): armed fault points, worker
+# crashes, crash-safe snapshots, breaker/readiness behavior.  Each test
+# runs under a faulthandler watchdog — a wedged test dumps every
+# thread's traceback and aborts instead of hanging CI — and must return
+# the process to its thread-count baseline (no leaked workers/servers).
+chaos:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		REPRO_CHAOS_TEST_TIMEOUT=$${REPRO_CHAOS_TEST_TIMEOUT:-120} \
+		$(PYTHON) -m pytest tests/reliability -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -119,10 +119,16 @@ def _cmd_extract(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    """Serve the files over HTTP (see docs/SERVING.md)."""
+    """Serve the files over HTTP (see docs/SERVING.md, docs/RELIABILITY.md)."""
+    import signal
+
+    from repro.reliability import configure_from_env
     from repro.service import SearchServer
     from repro.system import SearchSystem
 
+    armed = configure_from_env()
+    if armed:
+        print(f"repro-search: REPRO_FAULTS armed fault points: {', '.join(armed)}")
     corpus = _load_corpus(args.files)
     system = SearchSystem()
     system.add(*corpus)
@@ -134,22 +140,31 @@ def _cmd_serve(args) -> int:
         queue_size=args.queue_size,
         cache_size=args.cache_size,
         default_timeout=args.timeout,
+        watchdog_interval=args.watchdog_interval,
         verbose=True,
     )
     host, port = server.address
     print(
         f"serving {len(system)} documents on http://{host}:{port} "
-        f"({args.workers} workers; endpoints: /search /metrics /healthz; "
-        "Ctrl-C to stop)"
+        f"({args.workers} workers; endpoints: /search /metrics /healthz /readyz; "
+        "Ctrl-C or SIGTERM to stop)"
     )
+
+    def _graceful(signum, frame):  # SIGTERM → same drain path as Ctrl-C
+        raise KeyboardInterrupt
+
+    previous_handler = signal.signal(signal.SIGTERM, _graceful)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("\nshutting down …")
+        print(f"\ndraining (budget {args.drain_timeout:.1f}s) …")
     finally:
-        # Stops the HTTP loop and joins every worker thread, so a SIGINT
-        # exit leaves no orphans behind.
-        server.close()
+        # Flips /readyz to 503, stops the HTTP loop, drains in-flight
+        # requests within the budget (the rest fail with a structured
+        # shutting_down error), and joins every worker thread, so a
+        # SIGINT/SIGTERM exit leaves no orphans behind.
+        server.close(drain_timeout=args.drain_timeout)
+        signal.signal(signal.SIGTERM, previous_handler)
     return 0
 
 
@@ -198,6 +213,18 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=None,
         help="per-request deadline budget in seconds (default: untimed)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="graceful-shutdown drain budget in seconds (default: 5)",
+    )
+    serve.add_argument(
+        "--watchdog-interval",
+        type=float,
+        default=1.0,
+        help="seconds between worker health sweeps; 0 disables (default: 1)",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -2,75 +2,191 @@
 
 The paper's offline pipeline precomputes inverted lists once and derives
 match lists at query time (footnote 1); persisting the index is what
-makes "once" meaningful across processes.  The format is versioned JSON:
-compact enough for the in-memory index sizes this library targets, and
-trivially inspectable.
+makes "once" meaningful across processes.  The format is versioned JSON
+inside a crash-safe snapshot envelope (:mod:`repro.reliability.snapshot`):
+atomic temp-file + fsync + rename writes, a content checksum that turns
+truncation or tampering into a structured :class:`SnapshotCorrupted`,
+and automatic fallback to the previous ``.bak`` generation on load.
+
+Format history:
+
+* **v1** — raw JSON dict, postings as ``{token: {doc_id: [positions]}}``.
+  Still readable (both bare on disk and inside an envelope).
+* **v2** — postings as ``{token: [[doc_id, [positions]], …]}`` pairs, so
+  a duplicated doc id is *detectable* instead of silently collapsed by
+  JSON object semantics; written inside the checksummed envelope.
 """
 
 from __future__ import annotations
 
-import json
 import pathlib
 from typing import Any
 
 from repro.core.io import SerializationError
 from repro.index.inverted import InvertedIndex
+from repro.index.postings import PostingList
+from repro.reliability.faults import FAULTS
+from repro.reliability.snapshot import (
+    SnapshotCorrupted,
+    read_snapshot,
+    write_snapshot,
+)
 
-__all__ = ["save_index", "load_index", "INDEX_FORMAT_VERSION"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "index_to_dict",
+    "index_from_dict",
+    "INDEX_FORMAT_VERSION",
+    "SnapshotCorrupted",
+]
 
-INDEX_FORMAT_VERSION = 1
+INDEX_FORMAT_VERSION = 2
+_ACCEPTED_VERSIONS = (1, 2)
 
 
 def index_to_dict(index: InvertedIndex) -> dict[str, Any]:
-    """The index's full state as a JSON-compatible dict."""
+    """The index's full state as a JSON-compatible dict (format v2)."""
     return {
         "version": INDEX_FORMAT_VERSION,
         "stem": index._stem,
         "drop_stopwords": index._drop_stopwords,
         "doc_lengths": dict(index._doc_lengths),
         "postings": {
-            token: {doc_id: list(posting.positions(doc_id)) for doc_id in posting.documents()}
+            token: [
+                [doc_id, list(posting.positions(doc_id))]
+                for doc_id in posting.documents()
+            ]
             for token, posting in index._postings.items()
         },
     }
 
 
+def _check_positions(token: str, doc_id: Any, positions: Any) -> list[int]:
+    if not isinstance(positions, list):
+        raise SerializationError(
+            f"token {token!r}, document {doc_id!r}: positions must be a list, "
+            f"got {type(positions).__name__}"
+        )
+    for position in positions:
+        if isinstance(position, bool) or not isinstance(position, int):
+            raise SerializationError(
+                f"token {token!r}, document {doc_id!r}: position "
+                f"{position!r} is not an integer"
+            )
+        if position < 0:
+            raise SerializationError(
+                f"token {token!r}, document {doc_id!r}: negative position "
+                f"{position}"
+            )
+    return positions
+
+
+def _posting_items(token: str, docs: Any) -> list[tuple[str, list[int]]]:
+    """Normalize v1 dict / v2 pair-list posting records, validating shape."""
+    if isinstance(docs, dict):
+        return list(docs.items())
+    if isinstance(docs, list):
+        items = []
+        for entry in docs:
+            if not isinstance(entry, list) or len(entry) != 2:
+                raise SerializationError(
+                    f"token {token!r}: posting entry must be a "
+                    f"[doc_id, positions] pair, got {entry!r}"
+                )
+            items.append((entry[0], entry[1]))
+        return items
+    raise SerializationError(
+        f"token {token!r}: postings must be a dict or a list of pairs, "
+        f"got {type(docs).__name__}"
+    )
+
+
 def index_from_dict(data: dict[str, Any]) -> InvertedIndex:
-    """Rebuild an index from :func:`index_to_dict` output."""
+    """Rebuild an index from :func:`index_to_dict` output (v1 or v2).
+
+    The record is vetted before anything is trusted: positions must be
+    non-negative integers in strictly increasing order, doc ids must be
+    strings known to ``doc_lengths``, and a doc id may appear at most
+    once per token — a malformed snapshot raises
+    :class:`SerializationError` instead of building a silently-invalid
+    index.
+    """
     version = data.get("version")
-    if version != INDEX_FORMAT_VERSION:
+    if version not in _ACCEPTED_VERSIONS:
         raise SerializationError(
             f"unsupported index format version {version!r} "
-            f"(this build reads {INDEX_FORMAT_VERSION})"
+            f"(this build reads {sorted(_ACCEPTED_VERSIONS)})"
         )
     index = InvertedIndex(
         stem=data.get("stem", True),
         drop_stopwords=data.get("drop_stopwords", False),
     )
     try:
-        index._doc_lengths.update(data["doc_lengths"])
-        for token, docs in data["postings"].items():
-            from repro.index.postings import PostingList
-
-            posting = PostingList(token)
-            for doc_id, positions in docs.items():
-                for position in positions:
+        doc_lengths = data["doc_lengths"]
+        postings = data["postings"]
+    except KeyError as exc:
+        raise SerializationError(f"bad index record: missing {exc}") from exc
+    if not isinstance(doc_lengths, dict) or not isinstance(postings, dict):
+        raise SerializationError(
+            "bad index record: doc_lengths and postings must be objects"
+        )
+    for doc_id, length in doc_lengths.items():
+        if not isinstance(doc_id, str):
+            raise SerializationError(f"doc id {doc_id!r} is not a string")
+        if isinstance(length, bool) or not isinstance(length, int) or length < 0:
+            raise SerializationError(
+                f"document {doc_id!r}: length must be a non-negative "
+                f"integer, got {length!r}"
+            )
+    index._doc_lengths.update(doc_lengths)
+    for token, docs in postings.items():
+        posting = PostingList(token)
+        seen: set[str] = set()
+        for doc_id, positions in _posting_items(token, docs):
+            if not isinstance(doc_id, str):
+                raise SerializationError(
+                    f"token {token!r}: doc id {doc_id!r} is not a string"
+                )
+            if doc_id in seen:
+                raise SerializationError(
+                    f"token {token!r}: duplicate doc id {doc_id!r}"
+                )
+            seen.add(doc_id)
+            if doc_id not in doc_lengths:
+                raise SerializationError(
+                    f"token {token!r}: posting references unknown "
+                    f"document {doc_id!r}"
+                )
+            for position in _check_positions(token, doc_id, positions):
+                try:
                     posting.add(doc_id, position)
-            index._postings[token] = posting
-    except (KeyError, TypeError, ValueError) as exc:
-        raise SerializationError(f"bad index record: {exc}") from exc
+                except ValueError as exc:  # out-of-order / duplicate position
+                    raise SerializationError(f"bad index record: {exc}") from exc
+        index._postings[token] = posting
     return index
 
 
 def save_index(index: InvertedIndex, path: str | pathlib.Path) -> None:
-    """Persist an index to a JSON file."""
-    pathlib.Path(path).write_text(json.dumps(index_to_dict(index)))
+    """Persist an index crash-safely (atomic write, checksum, ``.bak``)."""
+    write_snapshot(
+        path,
+        kind="index",
+        version=INDEX_FORMAT_VERSION,
+        payload=index_to_dict(index),
+    )
 
 
-def load_index(path: str | pathlib.Path) -> InvertedIndex:
-    """Load an index saved by :func:`save_index`."""
-    try:
-        data = json.loads(pathlib.Path(path).read_text())
-    except json.JSONDecodeError as exc:
-        raise SerializationError(f"not valid JSON: {path}") from exc
-    return index_from_dict(data)
+def load_index(path: str | pathlib.Path, *, fallback: bool = True) -> InvertedIndex:
+    """Load an index saved by :func:`save_index`.
+
+    Corrupt or missing primaries fall back to the ``.bak`` generation
+    unless ``fallback=False``; corruption with no usable backup raises
+    :class:`SnapshotCorrupted` (a :class:`SerializationError`).  Legacy
+    v1 files (bare JSON, no envelope) still load.
+    """
+    FAULTS.inject("index.load")
+    _, payload = read_snapshot(
+        path, kind="index", versions=_ACCEPTED_VERSIONS, fallback=fallback
+    )
+    return index_from_dict(payload)

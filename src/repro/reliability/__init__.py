@@ -1,0 +1,63 @@
+"""Reliability primitives: faults, retries, breakers, watchdogs, snapshots.
+
+The subsystem the serving and persistence layers lean on to honor their
+contracts under failure (see ``docs/RELIABILITY.md``):
+
+* :mod:`.faults` — named fault points with an armable registry
+  (:data:`FAULTS`, ``REPRO_FAULTS`` env spec) that tests and operators
+  use to raise, delay, or corrupt at instrumented sites;
+* :mod:`.retry` — :func:`call_with_retry` with exponential backoff and
+  jitter for transient failures;
+* :mod:`.breaker` — :class:`CircuitBreaker`, one per scoring family in
+  the executor, shedding load to the degraded join while open;
+* :mod:`.watchdog` — :class:`Watchdog`, the periodic check thread that
+  respawns dead/stalled executor workers;
+* :mod:`.snapshot` — crash-safe snapshot envelopes (atomic write +
+  checksum + ``.bak`` fallback) behind ``save_index``/``load_index``
+  and ``SearchSystem.save``/``load``.
+"""
+
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.faults import (
+    FAULT_POINTS,
+    FAULTS,
+    FaultRegistry,
+    FaultSpec,
+    InjectedFault,
+    TransientFault,
+    WorkerCrash,
+    configure_from_env,
+    inject,
+)
+from repro.reliability.retry import RetryPolicy, call_with_retry
+from repro.reliability.snapshot import (
+    BACKUP_SUFFIX,
+    SNAPSHOT_FORMAT,
+    SnapshotCorrupted,
+    backup_path,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.reliability.watchdog import Watchdog
+
+__all__ = [
+    "BACKUP_SUFFIX",
+    "CircuitBreaker",
+    "FAULTS",
+    "FAULT_POINTS",
+    "FaultRegistry",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "SNAPSHOT_FORMAT",
+    "SnapshotCorrupted",
+    "TransientFault",
+    "Watchdog",
+    "WorkerCrash",
+    "backup_path",
+    "call_with_retry",
+    "configure_from_env",
+    "inject",
+    "read_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,133 @@
+"""A per-dependency circuit breaker.
+
+The executor keeps one breaker per scoring family around the exact
+best-join.  Repeated failures open the breaker; while open, requests
+are shed to the degraded (approximate) join instead of queuing up
+behind a failing path — the response-time-guarantee stance of
+Veretennikov (PAPERS.md) applied to faults rather than deadlines.
+After ``reset_timeout_s`` one probe request is let through
+(*half-open*); success closes the breaker, failure re-opens it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Closed → open after ``failure_threshold`` consecutive failures.
+
+    Thread-safe; ``clock`` is injectable for deterministic tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s < 0:
+            raise ValueError(f"reset_timeout_s must be >= 0, got {reset_timeout_s}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._opened_count = 0
+
+    # -- decisions ------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the protected operation be attempted right now?
+
+        While open, returns False until ``reset_timeout_s`` has elapsed;
+        then grants exactly one half-open probe until its outcome is
+        recorded.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at < self.reset_timeout_s:
+                    return False
+                self._state = self.HALF_OPEN
+                self._probe_in_flight = True
+                return True
+            # half-open: one probe at a time
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    # -- outcomes -------------------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._probe_in_flight = False
+
+    def abandon_probe(self) -> None:
+        """Give back a granted probe without recording an outcome.
+
+        For attempts that failed for reasons that say nothing about the
+        protected dependency (e.g. a malformed request): the breaker
+        stays half-open and the next :meth:`allow` grants a new probe.
+        """
+        with self._lock:
+            self._probe_in_flight = False
+
+    def record_failure(self) -> bool:
+        """Record a failure; True when this transition *opened* the breaker."""
+        with self._lock:
+            self._probe_in_flight = False
+            if self._state == self.HALF_OPEN:
+                opened = True
+            else:
+                self._failures += 1
+                opened = (
+                    self._state == self.CLOSED
+                    and self._failures >= self.failure_threshold
+                )
+            if opened:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._opened_count += 1
+                self._failures = 0
+            return opened
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "opened_count": self._opened_count,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout_s": self.reset_timeout_s,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircuitBreaker({self.state}, failures={self._failures})"

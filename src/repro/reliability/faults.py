@@ -1,0 +1,279 @@
+"""Named fault points and an armable injection registry.
+
+Production code calls :func:`inject` (or ``FAULTS.inject``) at the
+places where reality can fail — loading a snapshot, running a join,
+touching the result cache, a worker's loop.  Unarmed, a fault point is a
+single attribute check; armed, it raises, delays, or corrupts a value,
+which is how the chaos suite (``tests/reliability/``) drives the
+serving and persistence layers through failures without monkeypatching
+internals.
+
+Arming happens programmatically (tests) or declaratively through the
+``REPRO_FAULTS`` environment variable (operators reproducing an
+incident)::
+
+    REPRO_FAULTS="cache.get:error,join.execute:transient:2,index.load:delay:0.05"
+
+Grammar: comma-separated ``point[:mode[:arg]]`` items.  ``mode``
+defaults to ``error``; ``arg`` is a trigger count for raising modes and
+a duration in seconds for ``delay``.
+
+Modes
+-----
+``error``
+    Raise :class:`InjectedFault` (not retried by the serving layer).
+``transient``
+    Raise :class:`TransientFault` — the retry wrapper treats it as
+    safe to retry.
+``crash``
+    Raise :class:`WorkerCrash` — the executor's worker loop lets it
+    escape, simulating a dead worker thread.
+``delay``
+    Sleep ``delay_s`` seconds, then continue normally.
+``corrupt``
+    Pass the value flowing through the fault point to a corruption
+    function (default: truncate strings/bytes to half length).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "FAULTS",
+    "FAULT_POINTS",
+    "FaultRegistry",
+    "FaultSpec",
+    "InjectedFault",
+    "TransientFault",
+    "WorkerCrash",
+    "configure_from_env",
+    "inject",
+]
+
+_MISSING = object()
+
+#: The fault points the library itself instruments (tests may arm
+#: ad-hoc names too; the registry does not restrict them).
+FAULT_POINTS: dict[str, str] = {
+    "index.load": "entry of load_index, before the snapshot is read",
+    "snapshot.write": "snapshot payload just before the temp-file write "
+    "(corrupt mode truncates the bytes that reach disk)",
+    "snapshot.rename": "after the temp file is fsynced but before the "
+    "atomic rename — a simulated kill -9 mid-save",
+    "join.execute": "the exact best-join execution inside the executor",
+    "cache.get": "result-cache lookups (the executor degrades to a miss)",
+    "cache.put": "result-cache writes (the entry is skipped)",
+    "worker.loop": "top of an executor worker's loop (kills the worker)",
+}
+
+_MODES = ("error", "transient", "crash", "delay", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by an armed fault point — a simulated failure."""
+
+    def __init__(self, point: str, message: str | None = None) -> None:
+        super().__init__(message or f"injected fault at {point!r}")
+        self.point = point
+
+
+class TransientFault(InjectedFault):
+    """An injected failure that callers may safely retry."""
+
+
+class WorkerCrash(InjectedFault):
+    """An injected failure that simulates a worker thread dying."""
+
+
+def _default_corrupt(value: Any) -> Any:
+    """Truncate strings/bytes to half length; other values pass through."""
+    if isinstance(value, (str, bytes)):
+        return value[: len(value) // 2]
+    return value
+
+
+_MODE_EXCEPTIONS: dict[str, type[InjectedFault]] = {
+    "error": InjectedFault,
+    "transient": TransientFault,
+    "crash": WorkerCrash,
+}
+
+
+@dataclass
+class FaultSpec:
+    """How one armed fault point behaves."""
+
+    mode: str = "error"
+    times: int | None = None  # None = fire forever
+    probability: float = 1.0
+    delay_s: float = 0.05
+    exception: type[BaseException] | None = None
+    corrupt: Callable[[Any], Any] | None = None
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; expected one of {_MODES}"
+            )
+        if self.times is not None and self.times <= 0:
+            raise ValueError(f"times must be positive or None, got {self.times}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+
+class FaultRegistry:
+    """Thread-safe registry of armed fault points.
+
+    The module-level :data:`FAULTS` instance is what library code
+    injects through; tests normally use it too (and reset it between
+    tests).  Independent registries are only needed for isolation
+    experiments.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._specs: dict[str, FaultSpec] = {}
+        self._fired: dict[str, int] = {}
+        # Fast-path flag: read without the lock on every inject() call.
+        self._active = False
+
+    # -- arming ---------------------------------------------------------------
+
+    def arm(self, point: str, mode: str = "error", **options: Any) -> FaultSpec:
+        """Arm ``point`` with a :class:`FaultSpec` built from ``options``."""
+        spec = FaultSpec(mode=mode, **options)
+        with self._lock:
+            self._specs[point] = spec
+            self._active = True
+        return spec
+
+    def disarm(self, point: str) -> bool:
+        """Disarm ``point``; True when it was armed."""
+        with self._lock:
+            removed = self._specs.pop(point, None) is not None
+            self._active = bool(self._specs)
+        return removed
+
+    def reset(self) -> None:
+        """Disarm everything and forget all fired counts."""
+        with self._lock:
+            self._specs.clear()
+            self._fired.clear()
+            self._active = False
+
+    @contextmanager
+    def arming(self, point: str, mode: str = "error", **options: Any) -> Iterator[FaultSpec]:
+        """Scoped :meth:`arm`: the point is disarmed on exit."""
+        spec = self.arm(point, mode, **options)
+        try:
+            yield spec
+        finally:
+            self.disarm(point)
+
+    # -- introspection --------------------------------------------------------
+
+    def fired(self, point: str) -> int:
+        """How many times ``point`` has fired since the last reset."""
+        with self._lock:
+            return self._fired.get(point, 0)
+
+    def armed(self) -> dict[str, str]:
+        """Currently armed points mapped to their mode (for health pages)."""
+        with self._lock:
+            return {point: spec.mode for point, spec in self._specs.items()}
+
+    # -- the hot path ---------------------------------------------------------
+
+    def inject(self, point: str, value: Any = _MISSING) -> Any:
+        """Fire ``point`` if armed; returns ``value`` (possibly corrupted).
+
+        Call sites that pass a value get it back unchanged unless a
+        ``corrupt``-mode fault is armed; call sites that pass nothing
+        get ``None``.  Raising modes raise; ``delay`` sleeps first.
+        """
+        result = None if value is _MISSING else value
+        if not self._active:
+            return result
+        with self._lock:
+            spec = self._specs.get(point)
+            if spec is None:
+                return result
+            if spec.times is not None and spec.fired >= spec.times:
+                return result
+            if spec.probability < 1.0 and random.random() >= spec.probability:
+                return result
+            spec.fired += 1
+            self._fired[point] = self._fired.get(point, 0) + 1
+            if spec.times is not None and spec.fired >= spec.times:
+                # Exhausted: disarm so the fast path recovers.
+                del self._specs[point]
+                self._active = bool(self._specs)
+        if spec.mode == "delay":
+            time.sleep(spec.delay_s)
+            return result
+        if spec.mode == "corrupt":
+            transform = spec.corrupt or _default_corrupt
+            return transform(result)
+        if spec.exception is not None:
+            raise spec.exception(f"injected fault at {point!r}")
+        raise _MODE_EXCEPTIONS[spec.mode](point)
+
+    # -- env configuration ----------------------------------------------------
+
+    def load_spec(self, spec_string: str) -> list[str]:
+        """Arm points from a ``REPRO_FAULTS``-style string; returns them."""
+        armed: list[str] = []
+        for item in spec_string.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            parts = item.split(":")
+            if len(parts) > 3:
+                raise ValueError(f"bad fault spec item {item!r}")
+            point = parts[0]
+            mode = parts[1] if len(parts) > 1 and parts[1] else "error"
+            options: dict[str, Any] = {}
+            if len(parts) == 3:
+                try:
+                    if mode == "delay":
+                        options["delay_s"] = float(parts[2])
+                    else:
+                        options["times"] = int(parts[2])
+                except ValueError as exc:
+                    raise ValueError(f"bad fault spec item {item!r}: {exc}") from exc
+            self.arm(point, mode, **options)
+            armed.append(point)
+        return armed
+
+
+#: Default registry used by every instrumented call site.
+FAULTS = FaultRegistry()
+
+
+def inject(point: str, value: Any = _MISSING) -> Any:
+    """Module-level shorthand for :meth:`FAULTS.inject`."""
+    return FAULTS.inject(point, value)
+
+
+def configure_from_env(
+    variable: str = "REPRO_FAULTS", registry: FaultRegistry | None = None
+) -> list[str]:
+    """Arm the registry from an environment variable; returns armed points.
+
+    A no-op when the variable is unset or empty, so production startup
+    can call this unconditionally.
+    """
+    spec_string = os.environ.get(variable, "")
+    if not spec_string:
+        return []
+    return (registry or FAULTS).load_spec(spec_string)

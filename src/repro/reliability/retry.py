@@ -1,0 +1,87 @@
+"""Retry with exponential backoff and jitter.
+
+Thin and synchronous by design: the serving layer retries *transient*
+failures (connection-reset-shaped errors, :class:`TransientFault` from
+an armed fault point) a bounded number of times, with exponentially
+growing, jittered pauses so a thundering herd of workers does not
+hammer a struggling dependency in lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.reliability.faults import TransientFault
+
+__all__ = ["RetryPolicy", "call_with_retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts to make and how long to pause between them.
+
+    Delay before retry ``n`` (1-based) is
+    ``min(max_delay_s, base_delay_s * multiplier**(n-1))``, scaled by a
+    uniform jitter factor in ``[1 - jitter, 1]``.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.02
+    max_delay_s: float = 1.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_for(
+        self, attempt: int, rand: Callable[[], float] = random.random
+    ) -> float:
+        """The jittered pause after failed attempt number ``attempt``."""
+        raw = min(self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            raw *= 1.0 - self.jitter * rand()
+        return raw
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy | None = None,
+    *,
+    retry_on: tuple[type[BaseException], ...] = (TransientFault,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+) -> T:
+    """Call ``fn`` up to ``policy.max_attempts`` times.
+
+    Only exceptions matching ``retry_on`` are retried; anything else
+    propagates immediately.  ``on_retry(attempt, exc, delay)`` is called
+    before each pause (metrics hook).  The last failure propagates
+    unwrapped.
+    """
+    policy = policy or RetryPolicy()
+    attempt = 1
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            delay = policy.delay_for(attempt)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            if delay > 0:
+                sleep(delay)
+            attempt += 1

@@ -1,0 +1,185 @@
+"""Crash-safe snapshot files: atomic write, checksum, ``.bak`` fallback.
+
+A snapshot is a JSON *envelope* around a payload dict::
+
+    {"format": "repro-snapshot", "kind": "index", "version": 2,
+     "checksum": "sha256:…", "payload": {…}}
+
+* **Atomic write** — the envelope is written to a temp file in the same
+  directory, flushed and fsynced, then ``os.replace``d over the target,
+  so a crash at any instant leaves either the old complete file or the
+  new complete file, never a torn one.  The previous generation is
+  rotated to ``<path>.bak`` first.
+* **Corruption detection** — the checksum covers a canonical dump of
+  the payload; truncation, bit rot, or hand-editing surfaces as a
+  structured :class:`SnapshotCorrupted` instead of an arbitrary
+  traceback (or worse, a silently wrong index).
+* **Fallback** — :func:`read_snapshot` falls back to the ``.bak``
+  generation when the primary is corrupt or missing, so one bad write
+  never takes the dataset down.
+
+Fault points ``snapshot.write`` (corrupt the bytes that reach disk) and
+``snapshot.rename`` (crash between write and rename) let tests prove
+those guarantees; see :mod:`repro.reliability.faults`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Sequence
+
+from repro.core.io import SerializationError
+from repro.reliability.faults import FAULTS
+
+__all__ = [
+    "BACKUP_SUFFIX",
+    "SNAPSHOT_FORMAT",
+    "SnapshotCorrupted",
+    "backup_path",
+    "read_snapshot",
+    "write_snapshot",
+]
+
+SNAPSHOT_FORMAT = "repro-snapshot"
+BACKUP_SUFFIX = ".bak"
+
+
+class SnapshotCorrupted(SerializationError):
+    """A snapshot failed integrity checks (truncated, tampered, torn)."""
+
+
+def backup_path(path: str | pathlib.Path) -> pathlib.Path:
+    """Where the previous generation of ``path`` is kept."""
+    path = pathlib.Path(path)
+    return path.with_name(path.name + BACKUP_SUFFIX)
+
+
+def _payload_json(payload: dict[str, Any]) -> str:
+    """Canonical payload dump — the exact string the checksum covers."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload_json: str) -> str:
+    return "sha256:" + hashlib.sha256(payload_json.encode("utf-8")).hexdigest()
+
+
+def _fsync_directory(path: pathlib.Path) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_snapshot(
+    path: str | pathlib.Path, *, kind: str, version: int, payload: dict[str, Any]
+) -> None:
+    """Atomically persist ``payload`` under a checksummed envelope.
+
+    The existing file (if any) is rotated to ``.bak`` immediately before
+    the rename, so at every instant at least one complete generation is
+    loadable — a crash between rotation and rename is exactly what the
+    ``.bak`` fallback in :func:`read_snapshot` recovers from.
+    """
+    path = pathlib.Path(path)
+    payload_json = _payload_json(payload)
+    envelope = {
+        "format": SNAPSHOT_FORMAT,
+        "kind": kind,
+        "version": version,
+        "checksum": _checksum(payload_json),
+        "payload": payload,
+    }
+    data = json.dumps(envelope)
+    data = FAULTS.inject("snapshot.write", data)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    # A fault armed here simulates kill -9 after the write, before the
+    # rename: the target still holds the previous complete generation.
+    FAULTS.inject("snapshot.rename")
+    if path.exists():
+        os.replace(path, backup_path(path))
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+
+
+def _read_one(
+    path: pathlib.Path, *, kind: str, versions: Sequence[int]
+) -> tuple[int | None, dict[str, Any]]:
+    text = path.read_text(encoding="utf-8")  # FileNotFoundError propagates
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SnapshotCorrupted(
+            f"{path}: not valid JSON (truncated or corrupt): {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise SnapshotCorrupted(f"{path}: snapshot must be a JSON object")
+    if data.get("format") != SNAPSHOT_FORMAT:
+        # Legacy pre-envelope file: the payload *is* the file.  Callers
+        # re-check the payload's own embedded version.
+        version = data.get("version")
+        return (version if isinstance(version, int) else None), data
+    if data.get("kind") != kind:
+        raise SerializationError(
+            f"{path}: snapshot holds kind {data.get('kind')!r}, expected {kind!r}"
+        )
+    version = data.get("version")
+    if version not in versions:
+        raise SerializationError(
+            f"{path}: unsupported snapshot version {version!r} "
+            f"(this build reads {sorted(versions)})"
+        )
+    payload = data.get("payload")
+    if not isinstance(payload, dict):
+        raise SnapshotCorrupted(f"{path}: snapshot has no payload object")
+    declared = data.get("checksum")
+    actual = _checksum(_payload_json(payload))
+    if declared != actual:
+        raise SnapshotCorrupted(
+            f"{path}: checksum mismatch (file says {declared!r}, "
+            f"payload hashes to {actual!r})"
+        )
+    return version, payload
+
+
+def read_snapshot(
+    path: str | pathlib.Path,
+    *,
+    kind: str,
+    versions: Sequence[int],
+    fallback: bool = True,
+) -> tuple[int | None, dict[str, Any]]:
+    """Read an envelope; returns ``(version, payload)``.
+
+    Legacy (pre-envelope) files are returned as-is with their embedded
+    version for the caller to vet.  When the primary is corrupt or
+    missing and ``fallback`` is set, the ``.bak`` generation is tried
+    before giving up; version/kind mismatches never fall back (the file
+    is intact — reading an older generation instead would be silent
+    data loss).
+    """
+    path = pathlib.Path(path)
+    try:
+        return _read_one(path, kind=kind, versions=versions)
+    except (FileNotFoundError, SnapshotCorrupted) as primary_error:
+        if fallback:
+            bak = backup_path(path)
+            if bak.exists():
+                try:
+                    return _read_one(bak, kind=kind, versions=versions)
+                except (SnapshotCorrupted, SerializationError):
+                    pass
+        raise primary_error

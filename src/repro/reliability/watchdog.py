@@ -1,0 +1,66 @@
+"""A periodic watchdog thread.
+
+Runs a check callback every ``interval_s`` on a daemon thread until
+stopped.  The executor uses one to detect dead or stalled workers and
+respawn them; the callback itself lives with the thing being watched —
+this class only owns the cadence and the lifecycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog:
+    """Call ``check()`` every ``interval_s`` seconds until :meth:`stop`.
+
+    Exceptions from ``check`` never kill the watchdog; they are counted
+    in :attr:`check_errors` (a watchdog that dies of the disease it
+    monitors is worse than none).
+    """
+
+    def __init__(
+        self,
+        check: Callable[[], object],
+        interval_s: float = 1.0,
+        *,
+        name: str = "repro-watchdog",
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self._check = check
+        self.interval_s = interval_s
+        self.check_errors = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+
+    def start(self) -> "Watchdog":
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Signal the loop to exit and join it; idempotent."""
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive()
+
+    def kick(self) -> None:
+        """Run one check synchronously on the calling thread (tests)."""
+        self._run_check()
+
+    def _run_check(self) -> None:
+        try:
+            self._check()
+        except Exception:
+            self.check_errors += 1
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._run_check()

@@ -11,10 +11,12 @@ Layers (each usable on its own, composed by :class:`SearchServer`):
 * :class:`ServiceMetrics` — counters + latency quantiles with a
   ``snapshot()`` API (:mod:`.metrics`);
 * :class:`SearchServer` — stdlib HTTP endpoints ``/search``,
-  ``/metrics``, ``/healthz`` (:mod:`.server`), also behind the
-  ``repro-search serve`` CLI.
+  ``/metrics``, ``/healthz``, ``/readyz`` (:mod:`.server`), also behind
+  the ``repro-search serve`` CLI.
 
-See ``docs/SERVING.md`` for the architecture and semantics.
+The fault-tolerance primitives the executor leans on (fault points,
+retry, circuit breaker, watchdog) live in :mod:`repro.reliability`; see
+``docs/SERVING.md`` and ``docs/RELIABILITY.md``.
 """
 
 from repro.service.batching import MicroBatcher, query_terms
@@ -25,6 +27,7 @@ from repro.service.executor import (
     QueryExecutor,
     QueryRejected,
     QueryResponse,
+    ShutdownDrained,
 )
 from repro.service.metrics import LatencyReservoir, ServiceMetrics
 from repro.service.server import SearchServer
@@ -40,6 +43,7 @@ __all__ = [
     "SCORING_PRESETS",
     "SearchServer",
     "ServiceMetrics",
+    "ShutdownDrained",
     "make_key",
     "normalize_query",
     "query_terms",

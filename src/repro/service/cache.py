@@ -19,6 +19,8 @@ import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
+from repro.reliability.faults import FAULTS
+
 __all__ = ["CacheKey", "ResultCache", "normalize_query"]
 
 _COMMA_SPACE = re.compile(r"\s*,\s*")
@@ -71,7 +73,12 @@ class ResultCache:
             return len(self._entries)
 
     def get(self, key: Hashable) -> Any | None:
-        """The cached value, refreshed to most-recently-used; else None."""
+        """The cached value, refreshed to most-recently-used; else None.
+
+        ``cache.get`` is a fault point: the chaos suite arms it to prove
+        the executor fails open (treats the lookup as a miss).
+        """
+        FAULTS.inject("cache.get")
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -81,7 +88,12 @@ class ResultCache:
             return None
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert/refresh an entry, evicting the LRU entry when full."""
+        """Insert/refresh an entry, evicting the LRU entry when full.
+
+        ``cache.put`` is a fault point; a failed put must leave the
+        cache unchanged (the executor then simply skips caching).
+        """
+        FAULTS.inject("cache.put")
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)

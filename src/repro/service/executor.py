@@ -1,4 +1,4 @@
-"""Concurrent query execution: pool, admission control, deadlines.
+"""Concurrent query execution: pool, admission control, deadlines, faults.
 
 :class:`QueryExecutor` is the serving core.  It wraps one
 :class:`~repro.system.SearchSystem` behind a bounded queue and a worker
@@ -17,18 +17,28 @@ have:
   Section VI duplicate-elimination loop) and marked ``degraded``.
 * **Result caching** — exact results are cached keyed on (normalized
   query, scoring preset, index generation, top-k); see
-  :mod:`repro.service.cache`.  Degraded results are never cached.
+  :mod:`repro.service.cache`.  Degraded results are never cached, and a
+  failing cache degrades to a miss (fail-open) rather than failing the
+  request.
 * **Micro-batching** — workers drain the backlog and execute
   term-sharing groups through :meth:`SearchSystem.ask_many`; see
   :mod:`repro.service.batching`.
 * **Consistent mutation** — :meth:`apply` runs a mutator under a write
   lock while queries hold read locks, so a ranking never observes a
   half-applied mutation and every cached entry's generation is exact.
+* **Fault tolerance** — transient failures of the exact join are
+  retried with exponential backoff and jitter; repeated failures open a
+  per-scoring-family :class:`~repro.reliability.CircuitBreaker` that
+  sheds load to the degraded join; a :class:`~repro.reliability.Watchdog`
+  respawns dead or stalled workers; :meth:`shutdown` stops admission,
+  drains in-flight work within an optional budget, then fails the rest
+  with :class:`ShutdownDrained`.  :meth:`health` feeds the server's
+  ``/readyz`` probe.
 
-Responses are byte-identical to the serial ``SearchSystem.ask`` path:
-caching keys on the index generation, batching shares only immutable
-match lists, and degradation only triggers under deadline pressure
-(never for untimed requests).
+Exact responses are byte-identical to the serial ``SearchSystem.ask``
+path: caching keys on the index generation, batching shares only
+immutable match lists, and degradation only triggers under deadline
+pressure or an open breaker.
 """
 
 from __future__ import annotations
@@ -43,6 +53,11 @@ from typing import Any, Callable, Hashable, Sequence, TypeVar
 
 from repro.core.scoring.base import ScoringFunction
 from repro.core.scoring.presets import trec_max, trec_med, trec_win
+from repro.matching.queries import QuerySyntaxError
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.faults import FAULTS, InjectedFault, TransientFault
+from repro.reliability.retry import RetryPolicy, call_with_retry
+from repro.reliability.watchdog import Watchdog
 from repro.retrieval.instrumentation import collect_join_stats
 from repro.retrieval.ranking import RankedDocument
 from repro.service.batching import MicroBatcher
@@ -56,6 +71,7 @@ __all__ = [
     "QueryRejected",
     "QueryResponse",
     "SCORING_PRESETS",
+    "ShutdownDrained",
 ]
 
 T = TypeVar("T")
@@ -69,6 +85,10 @@ SCORING_PRESETS: dict[str, Callable[[], ScoringFunction]] = {
 
 class QueryRejected(RuntimeError):
     """Admission control refused the request (backlog full or shut down)."""
+
+
+class ShutdownDrained(QueryRejected):
+    """The executor shut down before this queued request could run."""
 
 
 class DeadlineExceeded(TimeoutError):
@@ -101,6 +121,17 @@ class _Request:
     @property
     def batch_key(self) -> Hashable:
         return (self.scoring_name, self.top_k)
+
+
+@dataclass(slots=True)
+class _WorkerSlot:
+    """One worker position: its live thread plus watchdog bookkeeping."""
+
+    index: int
+    thread: threading.Thread | None = None
+    replaced: bool = False
+    state: str = "idle"  # idle | busy | dead
+    beat_at: float = 0.0
 
 
 class _ReadWriteLock:
@@ -151,7 +182,7 @@ _SENTINEL: Any = object()
 
 
 class QueryExecutor:
-    """Thread-pooled, deadline-aware, caching query server over a system.
+    """Thread-pooled, deadline-aware, caching, self-healing query server.
 
     Parameters
     ----------
@@ -181,6 +212,20 @@ class QueryExecutor:
         overhead across the batch at the cost of adding up to the
         window to an isolated request's latency.  A full batch departs
         immediately, so under load the effective wait tends to zero.
+    watchdog_interval:
+        Seconds between worker health sweeps (dead/stalled workers are
+        respawned); ``0`` disables the watchdog thread —
+        :meth:`check_workers` can still be called manually.
+    stall_timeout_s:
+        A worker busy on one batch for longer than this is considered
+        stuck: a replacement is spawned and the stuck thread retires
+        when its batch finally finishes.
+    breaker_threshold / breaker_reset_s:
+        Per-scoring-family circuit breaker: consecutive exact-join
+        failures before opening, and how long to stay open before a
+        half-open probe.
+    retry:
+        :class:`RetryPolicy` for transient exact-join failures.
     """
 
     def __init__(
@@ -196,6 +241,11 @@ class QueryExecutor:
         degradation_margin: float = 0.25,
         max_batch: int = 8,
         batch_wait_s: float = 0.0,
+        watchdog_interval: float = 1.0,
+        stall_timeout_s: float = 30.0,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 30.0,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -207,6 +257,12 @@ class QueryExecutor:
             )
         if batch_wait_s < 0:
             raise ValueError(f"batch_wait_s must be >= 0, got {batch_wait_s}")
+        if watchdog_interval < 0:
+            raise ValueError(
+                f"watchdog_interval must be >= 0, got {watchdog_interval}"
+            )
+        if stall_timeout_s <= 0:
+            raise ValueError(f"stall_timeout_s must be positive, got {stall_timeout_s}")
         self.system = system
         self.cache = cache if cache is not None else (
             ResultCache(cache_size) if cache_size > 0 else None
@@ -216,18 +272,33 @@ class QueryExecutor:
         self.batch_wait_s = batch_wait_s
         self.default_timeout = default_timeout
         self.degradation_margin = degradation_margin
+        self.retry_policy = retry or RetryPolicy(
+            max_attempts=3, base_delay_s=0.02, max_delay_s=0.25
+        )
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset_s = breaker_reset_s
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._stall_timeout_s = stall_timeout_s
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._rwlock = _ReadWriteLock()
         self._state_lock = threading.Lock()
         self._closed = False
-        self._threads = [
-            threading.Thread(
-                target=self._worker_loop, name=f"repro-query-{i}", daemon=True
-            )
-            for i in range(workers)
-        ]
-        for thread in self._threads:
-            thread.start()
+        self._draining = False
+        self._slots: list[_WorkerSlot] = []
+        # Every worker thread ever spawned (originals + watchdog respawns);
+        # shutdown joins them all so nothing is orphaned.
+        self._threads: list[threading.Thread] = []
+        for index in range(workers):
+            self._slots.append(self._spawn_worker(index))
+        self._watchdog = (
+            Watchdog(
+                self.check_workers,
+                interval_s=watchdog_interval,
+                name="repro-exec-watchdog",
+            ).start()
+            if watchdog_interval > 0
+            else None
+        )
 
     # -- client API ----------------------------------------------------------
 
@@ -297,27 +368,163 @@ class QueryExecutor:
         with self._rwlock.write():
             result = mutator(self.system)
         if self.cache is not None:
-            self.cache.drop_older_generations(self.system.index_generation)
+            try:
+                self.cache.drop_older_generations(self.system.index_generation)
+            except Exception:
+                self.metrics.increment("cache_errors")
         return result
+
+    # -- health ---------------------------------------------------------------
+
+    def health(self) -> dict:
+        """A structured health report (the ``/readyz`` backing data).
+
+        ``ready`` means the executor is accepting work and at least one
+        worker is alive; ``status`` is ``ok`` / ``degraded`` (some
+        workers down or a breaker not closed) / ``unhealthy``.
+        """
+        with self._state_lock:
+            slots = list(self._slots)
+            closed = self._closed
+            draining = self._draining
+            breakers = {name: br.snapshot() for name, br in self._breakers.items()}
+        alive = sum(
+            1 for slot in slots if slot.thread is not None and slot.thread.is_alive()
+        )
+        open_breakers = sorted(
+            name for name, snap in breakers.items() if snap["state"] != "closed"
+        )
+        accepting = not closed
+        ready = accepting and alive > 0
+        if not ready:
+            status = "unhealthy"
+        elif alive < len(slots) or open_breakers:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "ready": ready,
+            "accepting": accepting,
+            "draining": draining,
+            "workers": {
+                "configured": len(slots),
+                "alive": alive,
+                "restarts": self.metrics.count("worker_restarts"),
+            },
+            "queue": {
+                "depth": self._queue.qsize(),
+                "capacity": self._queue.maxsize,
+            },
+            "breakers": breakers,
+            "open_breakers": open_breakers,
+        }
+
+    def check_workers(self) -> dict:
+        """One watchdog sweep: respawn dead workers, replace stalled ones.
+
+        Runs on the watchdog thread every ``watchdog_interval`` seconds;
+        callable directly for deterministic tests.  Returns what it did.
+        """
+        restarted = stalled = 0
+        with self._state_lock:
+            if self._closed:
+                return {"restarted": 0, "stalled": 0}
+            now = time.monotonic()
+            for slot in list(self._slots):
+                if slot.thread is None or not slot.thread.is_alive():
+                    self._slots[slot.index] = self._spawn_worker(slot.index)
+                    restarted += 1
+                elif (
+                    slot.state == "busy"
+                    and now - slot.beat_at > self._stall_timeout_s
+                    and not slot.replaced
+                ):
+                    # Python threads cannot be killed: abandon the stuck
+                    # one (it retires after its batch) and staff the slot.
+                    slot.replaced = True
+                    self._slots[slot.index] = self._spawn_worker(slot.index)
+                    restarted += 1
+                    stalled += 1
+        if restarted:
+            self.metrics.increment("worker_restarts", restarted)
+        if stalled:
+            self.metrics.increment("workers_stalled", stalled)
+        return {"restarted": restarted, "stalled": stalled}
 
     # -- lifecycle -----------------------------------------------------------
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and stop workers; idempotent.
+    def shutdown(
+        self, wait: bool = True, *, drain_timeout: float | None = None
+    ) -> None:
+        """Stop admission, drain, stop workers; idempotent.
 
-        Already-queued requests are still served (graceful drain).  Safe
-        to call from several threads or repeatedly; later calls join the
-        same teardown.
+        Already-queued requests are still served (graceful drain).  With
+        a ``drain_timeout``, requests still queued when the budget
+        expires fail with :class:`ShutdownDrained` instead of hanging
+        their futures.  Safe to call from several threads or repeatedly;
+        later calls join the same teardown.
         """
         with self._state_lock:
             first = not self._closed
             self._closed = True
+            self._draining = True
         if first:
-            for _ in self._threads:
-                self._queue.put(_SENTINEL)
+            if self._watchdog is not None:
+                # Stop the watchdog *before* counting workers so a
+                # concurrent sweep cannot spawn one that gets no sentinel.
+                self._watchdog.stop()
+            remaining = sum(1 for thread in self._threads if thread.is_alive())
+            while remaining > 0:
+                try:
+                    self._queue.put_nowait(_SENTINEL)
+                    remaining -= 1
+                except queue.Full:
+                    # Full backlog: wait for a live worker to make room;
+                    # with none left there is nobody to signal anyway.
+                    if not any(t.is_alive() for t in self._threads):
+                        break
+                    time.sleep(0.01)
         if wait:
+            deadline = (
+                time.monotonic() + drain_timeout if drain_timeout is not None else None
+            )
             for thread in self._threads:
-                thread.join()
+                if deadline is None:
+                    thread.join()
+                else:
+                    thread.join(max(0.0, deadline - time.monotonic()))
+            # Anything still queued can no longer be served — every
+            # worker is either joined or past its drain budget.  Fail
+            # those futures with a structured error instead of letting
+            # them hang.
+            dropped = self._fail_pending("executor shut down before execution")
+            if dropped:
+                self.metrics.increment("drain_dropped", dropped)
+        with self._state_lock:
+            self._draining = False
+
+    def _fail_pending(self, reason: str) -> int:
+        """Fail every request still queued; sentinels are put back."""
+        pending: list[_Request] = []
+        sentinels = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                sentinels += 1
+            else:
+                pending.append(item)
+        for _ in range(sentinels):
+            self._queue.put(_SENTINEL)
+        dropped = 0
+        for request in pending:
+            if not request.future.done():
+                request.future.set_exception(ShutdownDrained(reason))
+                dropped += 1
+        return dropped
 
     def __enter__(self) -> "QueryExecutor":
         return self
@@ -326,6 +533,19 @@ class QueryExecutor:
         self.shutdown(wait=True)
 
     # -- worker internals ----------------------------------------------------
+
+    def _spawn_worker(self, index: int) -> _WorkerSlot:
+        slot = _WorkerSlot(index=index, beat_at=time.monotonic())
+        thread = threading.Thread(
+            target=self._worker_loop,
+            args=(slot,),
+            name=f"repro-query-{index}",
+            daemon=True,
+        )
+        slot.thread = thread
+        self._threads.append(thread)
+        thread.start()
+        return slot
 
     def _drain_backlog(self, first: _Request) -> list[_Request]:
         """The request just taken plus whatever else is (or soon becomes)
@@ -356,28 +576,151 @@ class QueryExecutor:
             backlog.append(item)
         return backlog
 
-    def _worker_loop(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is _SENTINEL:
-                break
-            backlog = self._drain_backlog(item)
-            self.metrics.set_queue_depth(self._queue.qsize())
-            plans = (
-                self.batcher.plan(backlog) if self.batcher else [[r] for r in backlog]
-            )
-            for batch in plans:
-                try:
-                    self._execute_batch(batch)
-                except BaseException as exc:  # never kill the worker
-                    self.metrics.increment("errors_total", len(batch))
-                    for request in batch:
-                        if not request.future.done():
-                            request.future.set_exception(exc)
+    def _worker_loop(self, slot: _WorkerSlot) -> None:
+        try:
+            while True:
+                # Chaos hook: an armed ``worker.loop`` fault raises here,
+                # at the idle point, simulating a worker death without
+                # taking an in-flight request down with it.
+                FAULTS.inject("worker.loop")
+                slot.state = "idle"
+                slot.beat_at = time.monotonic()
+                item = self._queue.get()
+                if item is _SENTINEL:
+                    break
+                if slot.replaced:
+                    # A watchdog replacement took this slot; hand the
+                    # request to a live worker and retire.
+                    try:
+                        self._queue.put_nowait(item)
+                    except queue.Full:
+                        if not item.future.done():
+                            item.future.set_exception(
+                                QueryRejected("worker retired with a full backlog")
+                            )
+                    break
+                slot.state = "busy"
+                slot.beat_at = time.monotonic()
+                backlog = self._drain_backlog(item)
+                self.metrics.set_queue_depth(self._queue.qsize())
+                plans = (
+                    self.batcher.plan(backlog)
+                    if self.batcher
+                    else [[r] for r in backlog]
+                )
+                for batch in plans:
+                    try:
+                        self._execute_batch(batch)
+                    except BaseException as exc:  # never kill the worker
+                        self.metrics.increment("errors_total", len(batch))
+                        for request in batch:
+                            if not request.future.done():
+                                request.future.set_exception(exc)
+                if slot.replaced:
+                    break
+        except InjectedFault:
+            pass  # simulated crash — the watchdog finds the dead slot
+        finally:
+            slot.state = "dead"
+
+    # -- execution -----------------------------------------------------------
 
     def _finish(self, request: _Request, response: QueryResponse) -> None:
         self.metrics.observe_latency(response.latency_s)
         request.future.set_result(response)
+
+    def _breaker(self, scoring_name: str) -> CircuitBreaker:
+        with self._state_lock:
+            breaker = self._breakers.get(scoring_name)
+            if breaker is None:
+                breaker = self._breakers[scoring_name] = CircuitBreaker(
+                    failure_threshold=self._breaker_threshold,
+                    reset_timeout_s=self._breaker_reset_s,
+                )
+            return breaker
+
+    def _cache_get(self, key: Hashable) -> Any | None:
+        """Result-cache lookup that fails open (a broken cache is a miss)."""
+        if self.cache is None:
+            return None
+        try:
+            return self.cache.get(key)
+        except Exception:
+            self.metrics.increment("cache_errors")
+            return None
+
+    def _cache_put(self, key: Hashable, value: Any) -> None:
+        if self.cache is None:
+            return
+        try:
+            self.cache.put(key, value)
+        except Exception:
+            self.metrics.increment("cache_errors")
+
+    def _run_join(
+        self, group: Sequence[_Request], *, avoid_duplicates: bool
+    ) -> list[list[RankedDocument]]:
+        """Execute one homogeneous group, retrying transient exact failures."""
+
+        def attempt() -> list[list[RankedDocument]]:
+            if avoid_duplicates:
+                # The fault point models the expensive Section VI join
+                # failing; the approximate join is the recovery path and
+                # stays uninstrumented.
+                FAULTS.inject("join.execute")
+            with collect_join_stats() as join_stats:
+                rankings = self.system.ask_many(
+                    [r.query_text for r in group],
+                    top_k=group[0].top_k,
+                    scoring=group[0].scoring,
+                    avoid_duplicates=avoid_duplicates,
+                )
+            self.metrics.increment("joins_run", join_stats.joins_run)
+            self.metrics.increment("joins_skipped", join_stats.joins_skipped)
+            self.metrics.increment("join_micros", join_stats.join_ns // 1000)
+            self.metrics.increment("joins_executed", len(group))
+            return rankings
+
+        if not avoid_duplicates:
+            return attempt()
+        return call_with_retry(
+            attempt,
+            self.retry_policy,
+            retry_on=(TransientFault,),
+            on_retry=lambda *_: self.metrics.increment("retries_total"),
+        )
+
+    def _deliver(
+        self,
+        group: Sequence[_Request],
+        rankings: Sequence[Sequence[RankedDocument]],
+        generation: int,
+        *,
+        exact: bool,
+    ) -> None:
+        for request, ranking in zip(group, rankings):
+            results = tuple(ranking)
+            if exact:
+                self._cache_put(
+                    make_key(
+                        request.query_text,
+                        request.scoring_name,
+                        generation,
+                        request.top_k,
+                    ),
+                    results,
+                )
+            self._finish(
+                request,
+                QueryResponse(
+                    query_text=request.query_text,
+                    results=results,
+                    cached=False,
+                    degraded=not exact,
+                    generation=generation,
+                    latency_s=time.monotonic() - request.submitted_at,
+                ),
+            )
 
     def _execute_batch(self, batch: Sequence[_Request]) -> None:
         with self._rwlock.read():
@@ -408,15 +751,14 @@ class QueryExecutor:
             generation = self.system.index_generation
             to_run: list[_Request] = []
             for request in exact:
-                cached = None
+                key = make_key(
+                    request.query_text,
+                    request.scoring_name,
+                    generation,
+                    request.top_k,
+                )
+                cached = self._cache_get(key) if self.cache is not None else None
                 if self.cache is not None:
-                    key = make_key(
-                        request.query_text,
-                        request.scoring_name,
-                        generation,
-                        request.top_k,
-                    )
-                    cached = self.cache.get(key)
                     self.metrics.increment(
                         "cache_hits" if cached is not None else "cache_misses"
                     )
@@ -435,45 +777,38 @@ class QueryExecutor:
                 else:
                     to_run.append(request)
 
+            if not to_run and not degraded:
+                return
+            breaker = self._breaker(batch[0].scoring_name)
+            if to_run and not breaker.allow():
+                # Open breaker: shed to the approximate join instead of
+                # queueing up behind a failing exact path.
+                self.metrics.increment("breaker_shed_total", len(to_run))
+                degraded.extend(to_run)
+                to_run = []
+
             if len(to_run) > 1:
                 self.metrics.increment("batches")
                 self.metrics.increment("batched_queries", len(to_run))
-            for group, avoid_duplicates in ((to_run, True), (degraded, False)):
-                if not group:
-                    continue
-                with collect_join_stats() as join_stats:
-                    rankings = self.system.ask_many(
-                        [r.query_text for r in group],
-                        top_k=group[0].top_k,
-                        scoring=group[0].scoring,
-                        avoid_duplicates=avoid_duplicates,
-                    )
-                self.metrics.increment("joins_run", join_stats.joins_run)
-                self.metrics.increment("joins_skipped", join_stats.joins_skipped)
-                self.metrics.increment("join_micros", join_stats.join_ns // 1000)
-                self.metrics.increment("joins_executed", len(group))
-                if not avoid_duplicates:
-                    self.metrics.increment("degraded_responses", len(group))
-                for request, ranking in zip(group, rankings):
-                    results = tuple(ranking)
-                    if avoid_duplicates and self.cache is not None:
-                        self.cache.put(
-                            make_key(
-                                request.query_text,
-                                request.scoring_name,
-                                generation,
-                                request.top_k,
-                            ),
-                            results,
-                        )
-                    self._finish(
-                        request,
-                        QueryResponse(
-                            query_text=request.query_text,
-                            results=results,
-                            cached=False,
-                            degraded=not avoid_duplicates,
-                            generation=generation,
-                            latency_s=time.monotonic() - request.submitted_at,
-                        ),
-                    )
+            if to_run:
+                try:
+                    rankings = self._run_join(to_run, avoid_duplicates=True)
+                except (QuerySyntaxError, ValueError):
+                    # Request errors (bad query, bad top_k): the caller's
+                    # fault, not the join path's — fail the futures and
+                    # leave the breaker alone (returning any half-open
+                    # probe this attempt may have held).
+                    breaker.abandon_probe()
+                    raise
+                except Exception:
+                    if breaker.record_failure():
+                        self.metrics.increment("breaker_open_total")
+                    degraded.extend(to_run)
+                else:
+                    breaker.record_success()
+                    self._deliver(to_run, rankings, generation, exact=True)
+
+            if degraded:
+                rankings = self._run_join(degraded, avoid_duplicates=False)
+                self.metrics.increment("degraded_responses", len(degraded))
+                self._deliver(degraded, rankings, generation, exact=False)

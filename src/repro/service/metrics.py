@@ -16,6 +16,13 @@ Metric glossary (see also docs/SERVING.md):
 ``deadline_misses``     requests whose deadline expired before execution
 ``degraded_responses``  requests answered by the cheap approximate join
 ``errors_total``        requests that raised during execution
+``worker_restarts``     workers respawned by the watchdog (dead or stalled)
+``workers_stalled``     workers replaced for exceeding the stall timeout
+``retries_total``       transient-failure retries of the exact join
+``breaker_open_total``  circuit-breaker open transitions
+``breaker_shed_total``  requests shed to the degraded join by an open breaker
+``cache_errors``        result-cache operations that raised (failed open)
+``drain_dropped``       queued requests failed when the drain budget expired
 ``queue_depth``         current executor backlog (gauge)
 ``latency_p50``/``latency_p95``  request latency quantiles (seconds)
 ``qps``                 completed requests / elapsed wall-clock
@@ -81,6 +88,13 @@ class ServiceMetrics:
         "joins_run",
         "joins_skipped",
         "join_micros",
+        "worker_restarts",
+        "workers_stalled",
+        "retries_total",
+        "breaker_open_total",
+        "breaker_shed_total",
+        "cache_errors",
+        "drain_dropped",
     )
 
     def __init__(self, *, reservoir_size: int = 2048) -> None:

@@ -1,16 +1,21 @@
 """Stdlib JSON/HTTP front end for the query executor.
 
 :class:`SearchServer` binds a :class:`~repro.service.QueryExecutor` to a
-``ThreadingHTTPServer`` with three endpoints:
+``ThreadingHTTPServer`` with these endpoints:
 
 ``GET /search?q=<query>[&top_k=N][&scoring=win|med|max][&timeout_ms=T]``
     Rank documents; also accepts ``POST /search`` with the same fields
     as a JSON body.  Overload maps to ``503``, an expired deadline to
-    ``504``, a bad query to ``400``.
+    ``504``, a bad query or malformed parameter to ``400``.  Every
+    error body is structured: ``{"error": {"code": …, "message": …}}``.
 ``GET /metrics``
     JSON :meth:`ServiceMetrics.snapshot` plus cache stats.
 ``GET /healthz``
-    Liveness: ``{"status": "ok", "documents": N, "generation": G}``.
+    Liveness: the process is up and can describe itself.
+``GET /readyz``
+    Readiness: 200 with the executor health report while the executor
+    is accepting work and has live workers; 503 while draining, shut
+    down, or with every worker dead (load balancers stop routing here).
 
 No framework, no dependencies: this is the serving seam later PRs grow
 behind (sharding, async transports) while keeping the same endpoints.
@@ -23,11 +28,14 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from repro.matching.queries import QuerySyntaxError
 from repro.service.executor import (
+    SCORING_PRESETS,
     DeadlineExceeded,
     QueryExecutor,
     QueryRejected,
     QueryResponse,
+    ShutdownDrained,
 )
 
 __all__ = ["SearchServer"]
@@ -45,6 +53,43 @@ def _response_payload(response: QueryResponse) -> dict:
             for rank, doc in enumerate(response.results, 1)
         ],
     }
+
+
+class _BadParameter(ValueError):
+    """A malformed query parameter (maps to a structured 400)."""
+
+
+def _parse_top_k(params: dict) -> int:
+    raw = params.get("top_k", 5)
+    try:
+        top_k = int(str(raw))
+    except (TypeError, ValueError):
+        raise _BadParameter(f"top_k must be an integer, got {raw!r}") from None
+    if top_k < 1:
+        raise _BadParameter(f"top_k must be >= 1, got {top_k}")
+    return top_k
+
+
+def _parse_timeout(params: dict) -> float | None:
+    raw = params.get("timeout_ms")
+    if raw is None:
+        return None
+    try:
+        timeout_ms = float(str(raw))
+    except (TypeError, ValueError):
+        raise _BadParameter(f"timeout_ms must be a number, got {raw!r}") from None
+    if not 0 <= timeout_ms < float("inf"):
+        raise _BadParameter(f"timeout_ms must be finite and >= 0, got {raw!r}")
+    return timeout_ms / 1000.0
+
+
+def _parse_scoring(params: dict) -> str | None:
+    scoring = params.get("scoring") or None
+    if scoring is not None and scoring not in SCORING_PRESETS:
+        raise _BadParameter(
+            f"unknown scoring {scoring!r}; expected one of {sorted(SCORING_PRESETS)}"
+        )
+    return scoring
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -65,6 +110,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_error_json(self, status: int, code: str, message: str) -> None:
+        """Every error is machine-readable: an error code plus a message."""
+        self._send_json(status, {"error": {"code": code, "message": message}})
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:
             super().log_message(format, *args)
@@ -75,14 +124,21 @@ class _Handler(BaseHTTPRequestHandler):
         url = urlsplit(self.path)
         if url.path == "/healthz":
             system = self.server.executor.system
+            health = self.server.executor.health()
             self._send_json(
                 200,
                 {
-                    "status": "ok",
+                    "status": health["status"],
                     "documents": len(system),
                     "generation": system.index_generation,
                 },
             )
+        elif url.path == "/readyz":
+            health = self.server.executor.health()
+            if self.server.draining:
+                health["ready"] = False
+                health["status"] = "draining"
+            self._send_json(200 if health["ready"] else 503, health)
         elif url.path == "/metrics":
             snapshot = self.server.executor.metrics.snapshot()
             cache = self.server.executor.cache
@@ -93,49 +149,54 @@ class _Handler(BaseHTTPRequestHandler):
             params = {k: v[-1] for k, v in parse_qs(url.query).items()}
             self._search(params)
         else:
-            self._send_json(404, {"error": f"no such endpoint: {url.path}"})
+            self._send_error_json(404, "not_found", f"no such endpoint: {url.path}")
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         if urlsplit(self.path).path != "/search":
-            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            self._send_error_json(404, "not_found", f"no such endpoint: {self.path}")
             return
         length = int(self.headers.get("Content-Length") or 0)
         try:
             params = json.loads(self.rfile.read(length) or b"{}")
         except json.JSONDecodeError as exc:
-            self._send_json(400, {"error": f"bad JSON body: {exc}"})
+            self._send_error_json(400, "bad_json", f"bad JSON body: {exc}")
             return
         if not isinstance(params, dict):
-            self._send_json(400, {"error": "JSON body must be an object"})
+            self._send_error_json(400, "bad_json", "JSON body must be an object")
             return
         self._search({str(k): v for k, v in params.items()})
 
     def _search(self, params: dict) -> None:
         query_text = params.get("q") or params.get("query")
         if not query_text:
-            self._send_json(400, {"error": "missing query parameter 'q'"})
+            self._send_error_json(
+                400, "missing_parameter", "missing query parameter 'q'"
+            )
             return
         try:
-            top_k = int(params.get("top_k", 5))
-            timeout_ms = params.get("timeout_ms")
-            timeout = float(timeout_ms) / 1000.0 if timeout_ms is not None else None
-        except (TypeError, ValueError) as exc:
-            self._send_json(400, {"error": f"bad parameter: {exc}"})
+            top_k = _parse_top_k(params)
+            timeout = _parse_timeout(params)
+            scoring = _parse_scoring(params)
+        except _BadParameter as exc:
+            self._send_error_json(400, "invalid_parameter", str(exc))
             return
-        scoring = params.get("scoring") or None
         try:
             future = self.server.executor.submit(
                 str(query_text), top_k=top_k, scoring=scoring, timeout=timeout
             )
             response = future.result()
+        except ShutdownDrained as exc:
+            self._send_error_json(503, "shutting_down", str(exc))
         except QueryRejected as exc:
-            self._send_json(503, {"error": f"overloaded: {exc}"})
+            self._send_error_json(503, "overloaded", str(exc))
         except DeadlineExceeded as exc:
-            self._send_json(504, {"error": f"deadline exceeded: {exc}"})
+            self._send_error_json(504, "deadline_exceeded", str(exc))
+        except QuerySyntaxError as exc:
+            self._send_error_json(400, "bad_query", str(exc))
         except ValueError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except Exception as exc:  # query-language errors etc.
-            self._send_json(400, {"error": f"{type(exc).__name__}: {exc}"})
+            self._send_error_json(400, "bad_request", str(exc))
+        except Exception as exc:  # a genuine serving failure, not the client
+            self._send_error_json(500, "internal", f"{type(exc).__name__}: {exc}")
         else:
             self._send_json(200, _response_payload(response))
 
@@ -144,6 +205,7 @@ class _Server(ThreadingHTTPServer):
     daemon_threads = True
     executor: QueryExecutor
     verbose: bool
+    draining: bool = False
 
 
 class SearchServer:
@@ -170,6 +232,7 @@ class SearchServer:
         self._httpd = _Server((host, port), _Handler)
         self._httpd.executor = executor
         self._httpd.verbose = verbose
+        self._httpd.draining = False
         self._thread: threading.Thread | None = None
         self._closed = False
 
@@ -199,6 +262,11 @@ class SearchServer:
         host, port = self.address
         return f"http://{host}:{port}"
 
+    @property
+    def draining(self) -> bool:
+        """True once a graceful shutdown has begun (``/readyz`` says 503)."""
+        return self._httpd.draining
+
     def start(self) -> "SearchServer":
         """Serve in a background thread (for tests/embedding); returns self."""
         if self._thread is None:
@@ -214,22 +282,26 @@ class SearchServer:
         """Serve on the calling thread until :meth:`close` (CLI path)."""
         self._httpd.serve_forever()
 
-    def close(self) -> None:
-        """Stop serving; idempotent and safe mid-request.
+    def close(self, *, drain_timeout: float | None = None) -> None:
+        """Stop serving gracefully; idempotent and safe mid-request.
 
-        Shuts the HTTP loop first (no new requests), then the executor
-        if this server created it, so no worker threads are orphaned.
+        Marks the server draining first (``/readyz`` flips to 503 so
+        load balancers stop routing), shuts the HTTP loop (no new
+        requests), then the executor if this server created it — with
+        ``drain_timeout`` as the in-flight drain budget; queued requests
+        past the budget fail with a structured ``shutting_down`` error.
         """
         if self._closed:
             return
         self._closed = True
+        self._httpd.draining = True
         self._httpd.shutdown()
         if self._thread is not None:
             self._thread.join()
             self._thread = None
         self._httpd.server_close()
         if self._owns_executor:
-            self.executor.shutdown(wait=True)
+            self.executor.shutdown(wait=True, drain_timeout=drain_timeout)
 
     def __enter__(self) -> "SearchServer":
         return self.start()

@@ -18,10 +18,10 @@ regexes, fuzzy) run *online* over the stored documents.
 
 from __future__ import annotations
 
-import json
 import pathlib
 from typing import Iterable, Sequence
 
+from repro.core.io import SerializationError
 from repro.core.query import Query
 from repro.core.scoring.base import (
     MaxScoring,
@@ -38,6 +38,7 @@ from repro.lexicon.graph import LexicalGraph
 from repro.matching.pipeline import QueryMatcher
 from repro.matching.queries import parse_query
 from repro.matching.semantic import SemanticMatcher
+from repro.reliability.snapshot import read_snapshot, write_snapshot
 from repro.retrieval.ranking import RankedDocument, rank_match_lists
 from repro.retrieval.topk_retrieval import rank_top_k
 from repro.text.document import Corpus, Document
@@ -247,16 +248,26 @@ class SearchSystem:
 
     # -- persistence ------------------------------------------------------------
 
+    #: System snapshot payload version (v1 = pre-envelope raw JSON).
+    SNAPSHOT_VERSION = 2
+
     def save(self, path: str | pathlib.Path) -> None:
-        """Persist corpus + index as one JSON file."""
+        """Persist corpus + index as one crash-safe snapshot file.
+
+        Written atomically (temp file + fsync + rename) under a
+        checksummed envelope, keeping the previous generation as
+        ``<path>.bak`` — see :mod:`repro.reliability.snapshot`.
+        """
         payload = {
-            "version": 1,
+            "version": self.SNAPSHOT_VERSION,
             "documents": [
                 {"id": doc.doc_id, "text": doc.text} for doc in self.corpus
             ],
             "index": index_to_dict(self.index),
         }
-        pathlib.Path(path).write_text(json.dumps(payload))
+        write_snapshot(
+            path, kind="system", version=self.SNAPSHOT_VERSION, payload=payload
+        )
 
     @classmethod
     def load(
@@ -265,13 +276,28 @@ class SearchSystem:
         *,
         scoring: ScoringFunction | None = None,
         lexicon: LexicalGraph | None = None,
+        fallback: bool = True,
     ) -> "SearchSystem":
-        """Restore a system saved with :meth:`save`."""
-        payload = json.loads(pathlib.Path(path).read_text())
+        """Restore a system saved with :meth:`save`.
+
+        A corrupt or missing primary falls back to the ``.bak``
+        generation (disable with ``fallback=False``); malformed records
+        raise :class:`~repro.core.io.SerializationError` rather than
+        building a half-valid system.  Legacy (pre-envelope) files load
+        transparently.
+        """
+        _, payload = read_snapshot(
+            path, kind="system", versions=(1, cls.SNAPSHOT_VERSION), fallback=fallback
+        )
         system = cls(scoring=scoring, lexicon=lexicon)
-        for record in payload["documents"]:
-            system.corpus.add(Document(record["id"], record["text"]))
-        system.index = index_from_dict(payload["index"])
+        try:
+            records = payload["documents"]
+            for record in records:
+                system.corpus.add(Document(record["id"], record["text"]))
+            index_payload = payload["index"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"bad system snapshot: {exc}") from exc
+        system.index = index_from_dict(index_payload)
         system._concepts = ConceptIndex(system.index, lexicon=lexicon)
         # Loading replaces the whole index: a fresh-but-nonzero generation
         # so any cache keyed on the pre-load counter is invalid.

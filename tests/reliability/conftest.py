@@ -1,0 +1,48 @@
+"""Chaos-suite hygiene: fault cleanup, stray-thread checks, hang watchdog.
+
+Every test in ``tests/reliability/``:
+
+* starts and ends with a clean fault registry (a leaked armed fault
+  would poison unrelated tests);
+* must return the process to its thread-count baseline — executors,
+  watchdogs, and HTTP servers all have to be torn down, even when the
+  test injected worker crashes;
+* runs under a per-test watchdog: if a test wedges (deadlocked future,
+  stuck drain), ``faulthandler`` dumps every thread's traceback and
+  kills the process rather than hanging CI.  Budget comes from
+  ``REPRO_CHAOS_TEST_TIMEOUT`` (seconds, default 120, 0 disables).
+"""
+
+import faulthandler
+import os
+import threading
+import time
+
+import pytest
+
+from repro.reliability.faults import FAULTS
+
+
+@pytest.fixture(autouse=True)
+def chaos_hygiene():
+    FAULTS.reset()
+    baseline = threading.active_count()
+    timeout = float(os.environ.get("REPRO_CHAOS_TEST_TIMEOUT", "120") or 0)
+    if timeout > 0:
+        faulthandler.dump_traceback_later(timeout, exit=True)
+    try:
+        yield
+    finally:
+        if timeout > 0:
+            faulthandler.cancel_dump_traceback_later()
+        FAULTS.reset()
+    # Teardown ran inside the test (context managers / explicit close);
+    # give retiring daemon threads a moment to finish dying.
+    deadline = time.monotonic() + 10.0
+    while threading.active_count() > baseline and time.monotonic() < deadline:
+        time.sleep(0.02)
+    leaked = threading.active_count() - baseline
+    assert leaked <= 0, (
+        f"chaos test leaked {leaked} thread(s): "
+        f"{[t.name for t in threading.enumerate()]}"
+    )

@@ -1,0 +1,107 @@
+"""Circuit-breaker state machine: closed → open → half-open → closed."""
+
+import pytest
+
+from repro.reliability.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0, clock=clock)
+
+
+class TestStateMachine:
+    def test_closed_allows_and_counts_failures(self, breaker):
+        assert breaker.allow()
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_opens_at_threshold(self, breaker):
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.record_failure() is True  # the opening transition
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.allow() is False
+
+    def test_success_resets_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        for _ in range(2):
+            assert breaker.record_failure() is False
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_after_reset_timeout(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.allow() is False
+        clock.advance(10.0)
+        assert breaker.allow() is True  # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow() is False  # only one probe at a time
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.record_failure() is True  # re-opened
+        assert breaker.allow() is False
+        # and the timer restarted
+        clock.advance(9.0)
+        assert breaker.allow() is False
+        clock.advance(1.0)
+        assert breaker.allow() is True
+
+    def test_abandoned_probe_grants_another(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.abandon_probe()  # attempt said nothing about the dependency
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow() is True
+
+
+class TestIntrospection:
+    def test_snapshot(self, breaker):
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["failures"] == 1
+        assert snap["opened_count"] == 0
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.snapshot()["opened_count"] == 1
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=-1)

@@ -1,0 +1,214 @@
+"""End-to-end chaos: faults armed against a live HTTP server.
+
+The acceptance scenario from the issue: with faults armed on
+``index.load``, ``cache.get``, and ``worker.loop``, the server keeps
+answering (possibly degraded), ``/readyz`` flips to 503 and back, no
+request future hangs, and a crash simulated mid-save leaves a loadable
+previous snapshot (covered in ``test_snapshots.py``).
+"""
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.index.io import load_index, save_index
+from repro.reliability.faults import FAULTS, InjectedFault
+from repro.service import SearchServer
+from repro.system import SearchSystem
+
+NEWS = [
+    ("news-1", "Lenovo announced a marketing partnership with the NBA."),
+    ("news-2", "Dell explored an alliance with the Olympic Games organizers."),
+    ("news-3", "A bakery opened downtown; nothing about computers here."),
+    ("news-4", "Acer sponsors a cycling team in a sports partnership."),
+]
+
+QUERIES = [
+    "partnership, sports",
+    "alliance, games",
+    "bakery",
+    "sports, partnership",
+]
+
+
+def build_system() -> SearchSystem:
+    system = SearchSystem()
+    system.add_texts(NEWS)
+    return system
+
+
+def get(url, path):
+    try:
+        with urllib.request.urlopen(url + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestServingUnderFaults:
+    def test_server_keeps_answering_through_chaos(self, tmp_path):
+        system = build_system()
+        # The full acceptance fault set, armed before traffic arrives.
+        FAULTS.arm("index.load", "error", times=1)
+        FAULTS.arm("cache.get", "error", times=4)
+        FAULTS.arm("worker.loop", "crash", times=2)
+
+        snapshot = tmp_path / "index.json"
+        save_index(system.index, snapshot)
+        with pytest.raises(InjectedFault):
+            load_index(snapshot)  # a load elsewhere fails…
+
+        with SearchServer.for_system(
+            system, workers=2, watchdog_interval=0.05
+        ) as server:
+            # …but the already-loaded server answers every request, even
+            # while its cache throws and both original workers die.
+            for round_number in range(3):
+                for query in QUERIES:
+                    status, payload = get(
+                        server.url, f"/search?q={urllib.parse.quote(query)}"
+                    )
+                    assert status == 200, payload
+                    assert "results" in payload
+
+            metrics = server.executor.metrics
+            assert metrics.count("cache_errors") >= 1  # cache failed open
+            deadline = time.monotonic() + 5
+            while (
+                metrics.count("worker_restarts") < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            assert metrics.count("worker_restarts") >= 1
+            assert metrics.count("requests_total") == 3 * len(QUERIES)
+            assert metrics.count("errors_total") == 0
+
+            # After the chaos budget is exhausted the pool heals and
+            # readiness reports clean.
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                status, health = get(server.url, "/readyz")
+                if status == 200 and health["workers"]["alive"] == 2:
+                    break
+                time.sleep(0.02)
+            assert status == 200
+            assert health["ready"] is True
+
+        # The snapshot survives the earlier injected load failure.
+        assert load_index(snapshot).document_count == len(NEWS)
+
+
+class TestReadiness:
+    def test_readyz_flips_to_503_and_back(self):
+        system = build_system()
+        # One worker, no automatic watchdog: the sweep is driven by hand
+        # so the 503 window is deterministic.
+        with SearchServer.for_system(
+            system, workers=1, watchdog_interval=0
+        ) as server:
+            status, health = get(server.url, "/readyz")
+            assert status == 200 and health["ready"] is True
+
+            FAULTS.arm("worker.loop", "crash", times=1)
+            status, _ = get(server.url, "/search?q=bakery")
+            assert status == 200  # served before the worker loops and dies
+
+            deadline = time.monotonic() + 5
+            while (
+                server.executor.health()["workers"]["alive"] > 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            status, health = get(server.url, "/readyz")
+            assert status == 503
+            assert health["ready"] is False
+            assert health["status"] == "unhealthy"
+            assert health["workers"]["alive"] == 0
+
+            # One watchdog sweep staffs the pool; readiness recovers.
+            report = server.executor.check_workers()
+            assert report["restarted"] == 1
+            status, health = get(server.url, "/readyz")
+            assert status == 200
+            assert health["ready"] is True
+            assert health["workers"]["restarts"] == 1
+
+            status, _ = get(server.url, "/search?q=bakery")
+            assert status == 200
+
+    def test_healthz_reports_degraded_pool(self):
+        system = build_system()
+        with SearchServer.for_system(
+            system, workers=2, watchdog_interval=0
+        ) as server:
+            FAULTS.arm("worker.loop", "crash", times=1)
+            get(server.url, "/search?q=bakery")
+            deadline = time.monotonic() + 5
+            while (
+                server.executor.health()["workers"]["alive"] > 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            status, payload = get(server.url, "/healthz")
+            assert status == 200  # liveness, not readiness
+            assert payload["status"] == "degraded"
+
+
+class TestGracefulShutdown:
+    def test_close_drains_and_refuses_new_connections(self):
+        system = build_system()
+        server = SearchServer.for_system(system, workers=2).start()
+        url = server.url
+        status, _ = get(url, "/search?q=partnership,+sports")
+        assert status == 200
+        server.close(drain_timeout=1.0)
+        assert server.draining is True
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url + "/healthz", timeout=2)
+        # Idempotent: a second close is a no-op.
+        server.close()
+
+    def test_readyz_says_draining_during_close(self):
+        # The draining flag is what /readyz consults; exercise the flag
+        # directly since close() tears the listener down synchronously.
+        system = build_system()
+        with SearchServer.for_system(system, workers=1, watchdog_interval=0) as server:
+            server._httpd.draining = True
+            status, health = get(server.url, "/readyz")
+            assert status == 503
+            assert health["status"] == "draining"
+            assert health["ready"] is False
+            server._httpd.draining = False
+            status, _ = get(server.url, "/readyz")
+            assert status == 200
+
+
+class TestStructuredErrors:
+    def test_shutdown_executor_maps_to_structured_503(self):
+        system = build_system()
+        with SearchServer.for_system(system, workers=1, watchdog_interval=0) as server:
+            server.executor.shutdown(wait=True)
+            status, payload = get(server.url, "/search?q=bakery")
+            assert status == 503
+            assert payload["error"]["code"] == "overloaded"
+
+    def test_malformed_parameters_are_structured_400s(self):
+        system = build_system()
+        with SearchServer.for_system(system, workers=1, watchdog_interval=0) as server:
+            for path, code in [
+                ("/search?q=bakery&top_k=zero", "invalid_parameter"),
+                ("/search?q=bakery&top_k=0", "invalid_parameter"),
+                ("/search?q=bakery&timeout_ms=soon", "invalid_parameter"),
+                ("/search?q=bakery&timeout_ms=-5", "invalid_parameter"),
+                ("/search?q=bakery&scoring=turbo", "invalid_parameter"),
+                ("/search?q=%22unterminated", "bad_query"),
+                ("/search", "missing_parameter"),
+            ]:
+                status, payload = get(server.url, path)
+                assert status == 400, (path, payload)
+                assert payload["error"]["code"] == code
+                assert payload["error"]["message"]

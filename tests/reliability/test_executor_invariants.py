@@ -1,0 +1,232 @@
+"""Executor invariants under pressure: deadlines, caching, self-healing.
+
+Each test arms a named fault point and asserts the serving invariants
+the reliability layer exists to protect: expired requests never
+run, degraded results never reach the cache, futures never hang, and a
+broken dependency degrades service instead of taking it down.
+"""
+
+import time
+
+import pytest
+
+from repro.matching.queries import QuerySyntaxError
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.faults import FAULTS
+from repro.service import (
+    DeadlineExceeded,
+    QueryExecutor,
+    QueryRejected,
+    ShutdownDrained,
+)
+from repro.system import SearchSystem
+
+NEWS = [
+    ("news-1", "Lenovo announced a marketing partnership with the NBA."),
+    ("news-2", "Dell explored an alliance with the Olympic Games organizers."),
+    ("news-3", "A bakery opened downtown; nothing about computers here."),
+    ("news-4", "Acer sponsors a cycling team in a sports partnership."),
+]
+
+QUERY = "partnership, sports"
+OTHER = "alliance, games"
+
+
+@pytest.fixture
+def system():
+    built = SearchSystem()
+    built.add_texts(NEWS)
+    return built
+
+
+class TestDeadlines:
+    def test_queued_deadline_expires_without_running(self, system):
+        with QueryExecutor(
+            system, workers=1, max_batch=1, watchdog_interval=0
+        ) as executor:
+            # Pin the only worker inside a slow join, then let a queued
+            # request's deadline lapse behind it.
+            FAULTS.arm("join.execute", "delay", delay_s=0.4, times=1)
+            blocker = executor.submit(QUERY)
+            time.sleep(0.1)
+            victim = executor.submit(OTHER, timeout=0.05)
+            with pytest.raises(DeadlineExceeded):
+                victim.result(timeout=5)
+            blocker.result(timeout=5)
+            assert executor.metrics.count("deadline_misses") == 1
+            # The victim's join never ran: only the blocker executed.
+            assert executor.metrics.count("joins_executed") == 1
+
+
+class TestDegradedNeverCached:
+    def test_degraded_result_not_cached(self, system):
+        with QueryExecutor(system, workers=1, watchdog_interval=0) as executor:
+            FAULTS.arm("join.execute", "error", times=1)
+            first = executor.ask(QUERY)
+            assert first.degraded and not first.cached
+            assert executor.cache.stats()["size"] == 0
+            # The next ask misses (nothing was cached) and runs exact.
+            second = executor.ask(QUERY)
+            assert not second.degraded and not second.cached
+            third = executor.ask(QUERY)
+            assert third.cached
+
+    def test_degraded_not_cached_across_generation_bump(self, system):
+        with QueryExecutor(system, workers=1, watchdog_interval=0) as executor:
+            FAULTS.arm("join.execute", "error", times=1)
+            first = executor.ask(QUERY)
+            assert first.degraded
+            executor.apply(
+                lambda s: s.add_texts([("new-1", "A new sports partnership.")])
+            )
+            after = executor.ask(QUERY)
+            assert after.generation == first.generation + 1
+            assert not after.cached  # the degraded ranking never leaked
+
+
+class TestCacheFailOpen:
+    def test_cache_get_fault_is_a_miss(self, system):
+        with QueryExecutor(system, workers=1, watchdog_interval=0) as executor:
+            executor.ask(QUERY)  # warm the cache
+            FAULTS.arm("cache.get", "error", times=1)
+            broken = executor.ask(QUERY)
+            assert broken.cached is False  # recomputed, not failed
+            assert executor.metrics.count("cache_errors") == 1
+            healthy = executor.ask(QUERY)
+            assert healthy.cached is True
+
+    def test_cache_put_fault_skips_caching(self, system):
+        with QueryExecutor(system, workers=1, watchdog_interval=0) as executor:
+            FAULTS.arm("cache.put", "error", times=1)
+            executor.ask(QUERY)  # its put fails silently
+            second = executor.ask(QUERY)
+            assert second.cached is False
+            third = executor.ask(QUERY)
+            assert third.cached is True
+            assert executor.metrics.count("cache_errors") == 1
+
+
+class TestSelfHealing:
+    def test_no_hung_futures_under_worker_crashes(self, system):
+        with QueryExecutor(system, workers=2, watchdog_interval=0.05) as executor:
+            FAULTS.arm("worker.loop", "crash", times=2)
+            futures = [
+                executor.submit(QUERY if i % 2 else OTHER) for i in range(12)
+            ]
+            # Every future resolves even though both original workers die:
+            # the watchdog staffs the pool back up.
+            for future in futures:
+                assert future.result(timeout=10).results is not None
+            deadline = time.monotonic() + 5
+            while (
+                executor.metrics.count("worker_restarts") < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            assert executor.metrics.count("worker_restarts") >= 1
+            assert executor.health()["workers"]["alive"] >= 1
+
+    def test_stalled_worker_replaced(self, system):
+        with QueryExecutor(
+            system,
+            workers=1,
+            max_batch=1,
+            watchdog_interval=0,
+            stall_timeout_s=0.1,
+        ) as executor:
+            FAULTS.arm("join.execute", "delay", delay_s=0.6, times=1)
+            blocker = executor.submit(QUERY)
+            time.sleep(0.25)  # past the stall budget
+            report = executor.check_workers()
+            assert report == {"restarted": 1, "stalled": 1}
+            # The replacement serves new traffic while the stuck thread
+            # finishes its batch and retires.
+            quick = executor.submit(OTHER)
+            assert quick.result(timeout=5).results is not None
+            blocker.result(timeout=5)
+            assert executor.metrics.count("workers_stalled") == 1
+            assert executor.metrics.count("worker_restarts") == 1
+
+
+class TestCircuitBreaker:
+    def test_opens_sheds_and_recovers(self, system):
+        with QueryExecutor(
+            system,
+            workers=1,
+            watchdog_interval=0,
+            cache_size=0,
+            breaker_threshold=2,
+            breaker_reset_s=0.15,
+        ) as executor:
+            FAULTS.arm("join.execute", "error", times=2)
+            assert executor.ask(QUERY).degraded  # failure 1
+            assert executor.ask(QUERY).degraded  # failure 2 → opens
+            assert executor.metrics.count("breaker_open_total") == 1
+            assert executor.health()["open_breakers"] == ["default"]
+            # Open: the exact join is not even attempted (load shedding).
+            shed = executor.ask(QUERY)
+            assert shed.degraded
+            assert executor.metrics.count("breaker_shed_total") == 1
+            time.sleep(0.2)  # past the reset timeout → half-open probe
+            recovered = executor.ask(QUERY)
+            assert recovered.degraded is False
+            assert executor.health()["open_breakers"] == []
+            assert executor._breakers["default"].state == CircuitBreaker.CLOSED
+
+    def test_request_errors_leave_breaker_alone(self, system):
+        with QueryExecutor(
+            system, workers=1, watchdog_interval=0, breaker_threshold=1
+        ) as executor:
+            for _ in range(3):
+                with pytest.raises(QuerySyntaxError):
+                    executor.ask('"unterminated')
+            # Client mistakes say nothing about the join path's health.
+            assert executor.metrics.count("breaker_open_total") == 0
+            assert executor.ask(QUERY).degraded is False
+
+
+class TestTransientRetry:
+    def test_transient_faults_retried_to_exact_success(self, system):
+        with QueryExecutor(system, workers=1, watchdog_interval=0) as executor:
+            FAULTS.arm("join.execute", "transient", times=2)
+            response = executor.ask(QUERY)
+            assert response.degraded is False  # retries absorbed the faults
+            assert executor.metrics.count("retries_total") == 2
+            assert executor.metrics.count("breaker_open_total") == 0
+
+
+class TestGracefulShutdown:
+    def test_drain_budget_fails_queued_with_structured_error(self, system):
+        executor = QueryExecutor(
+            system, workers=1, max_batch=1, watchdog_interval=0
+        )
+        FAULTS.arm("join.execute", "delay", delay_s=0.5, times=1)
+        blocker = executor.submit(QUERY)
+        time.sleep(0.1)
+        victims = [executor.submit(OTHER) for _ in range(2)]
+        executor.shutdown(wait=True, drain_timeout=0.1)
+        for victim in victims:
+            with pytest.raises(ShutdownDrained):
+                victim.result(timeout=5)
+        assert executor.metrics.count("drain_dropped") == 2
+        blocker.result(timeout=5)  # in-flight work still completed
+        with pytest.raises(QueryRejected):
+            executor.submit(QUERY)
+
+    def test_untimed_drain_serves_everything(self, system):
+        executor = QueryExecutor(
+            system, workers=2, watchdog_interval=0.05
+        )
+        futures = [executor.submit(QUERY if i % 2 else OTHER) for i in range(8)]
+        executor.shutdown(wait=True)
+        for future in futures:
+            assert future.result(timeout=5).results is not None
+        assert executor.metrics.count("drain_dropped") == 0
+
+    def test_shutdown_is_idempotent(self, system):
+        executor = QueryExecutor(system, workers=1, watchdog_interval=0)
+        executor.shutdown(wait=True)
+        executor.shutdown(wait=True)
+        health = executor.health()
+        assert health["ready"] is False
+        assert health["status"] == "unhealthy"

@@ -1,0 +1,140 @@
+"""The fault-point registry: arming, modes, env spec, bookkeeping."""
+
+import time
+
+import pytest
+
+from repro.reliability.faults import (
+    FAULTS,
+    FaultRegistry,
+    FaultSpec,
+    InjectedFault,
+    TransientFault,
+    WorkerCrash,
+    configure_from_env,
+)
+
+
+@pytest.fixture
+def registry():
+    return FaultRegistry()
+
+
+class TestArming:
+    def test_unarmed_point_is_a_no_op(self, registry):
+        assert registry.inject("nowhere") is None
+        assert registry.inject("nowhere", 42) == 42
+
+    def test_error_mode_raises(self, registry):
+        registry.arm("p", "error")
+        with pytest.raises(InjectedFault) as excinfo:
+            registry.inject("p")
+        assert excinfo.value.point == "p"
+
+    def test_transient_and_crash_modes_raise_subtypes(self, registry):
+        registry.arm("t", "transient")
+        registry.arm("c", "crash")
+        with pytest.raises(TransientFault):
+            registry.inject("t")
+        with pytest.raises(WorkerCrash):
+            registry.inject("c")
+        # Both are InjectedFault, so one except clause can cover chaos.
+        assert issubclass(TransientFault, InjectedFault)
+        assert issubclass(WorkerCrash, InjectedFault)
+
+    def test_times_bounds_firing_and_auto_disarms(self, registry):
+        registry.arm("p", "error", times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                registry.inject("p")
+        assert registry.inject("p") is None  # exhausted
+        assert registry.armed() == {}  # fast path restored
+        assert registry.fired("p") == 2
+
+    def test_disarm_and_reset(self, registry):
+        registry.arm("p", "error")
+        assert registry.disarm("p") is True
+        assert registry.disarm("p") is False
+        assert registry.inject("p") is None
+        registry.arm("q", "error")
+        with pytest.raises(InjectedFault):
+            registry.inject("q")
+        registry.reset()
+        assert registry.inject("q") is None
+        assert registry.fired("q") == 0
+
+    def test_arming_context_manager(self, registry):
+        with registry.arming("p", "error"):
+            with pytest.raises(InjectedFault):
+                registry.inject("p")
+        assert registry.inject("p") is None
+
+    def test_probability_zero_never_fires(self, registry):
+        registry.arm("p", "error", probability=0.0)
+        for _ in range(50):
+            assert registry.inject("p") is None
+        assert registry.fired("p") == 0
+
+    def test_custom_exception(self, registry):
+        registry.arm("p", "error", exception=ConnectionResetError)
+        with pytest.raises(ConnectionResetError):
+            registry.inject("p")
+
+
+class TestModes:
+    def test_delay_mode_sleeps_then_continues(self, registry):
+        registry.arm("p", "delay", delay_s=0.05)
+        start = time.monotonic()
+        assert registry.inject("p", "payload") == "payload"
+        assert time.monotonic() - start >= 0.04
+
+    def test_corrupt_mode_default_truncates(self, registry):
+        registry.arm("p", "corrupt")
+        assert registry.inject("p", "abcdef") == "abc"
+        registry.arm("p", "corrupt")
+        assert registry.inject("p", b"12345678") == b"1234"
+
+    def test_corrupt_mode_custom_transform(self, registry):
+        registry.arm("p", "corrupt", corrupt=lambda v: v[::-1])
+        assert registry.inject("p", "abc") == "cba"
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(mode="explode")
+        with pytest.raises(ValueError):
+            FaultSpec(times=0)
+        with pytest.raises(ValueError):
+            FaultSpec(probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(delay_s=-1)
+
+
+class TestEnvSpec:
+    def test_load_spec_grammar(self, registry):
+        armed = registry.load_spec("a.b:error:2, c.d:delay:0.01 ,e.f")
+        assert armed == ["a.b", "c.d", "e.f"]
+        assert registry.armed() == {"a.b": "error", "c.d": "delay", "e.f": "error"}
+        with pytest.raises(InjectedFault):
+            registry.inject("e.f")
+
+    def test_bad_spec_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.load_spec("a:error:two")
+        with pytest.raises(ValueError):
+            registry.load_spec("a:b:c:d")
+
+    def test_configure_from_env(self, registry, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert configure_from_env(registry=registry) == []
+        monkeypatch.setenv("REPRO_FAULTS", "cache.get:transient:1")
+        assert configure_from_env(registry=registry) == ["cache.get"]
+        with pytest.raises(TransientFault):
+            registry.inject("cache.get")
+
+
+class TestDefaultRegistry:
+    def test_module_level_registry_is_shared(self):
+        FAULTS.arm("tests.shared", "error", times=1)
+        with pytest.raises(InjectedFault):
+            FAULTS.inject("tests.shared")
+        assert FAULTS.fired("tests.shared") == 1

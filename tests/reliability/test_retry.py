@@ -1,0 +1,79 @@
+"""Retry with exponential backoff and jitter."""
+
+import pytest
+
+from repro.reliability.faults import InjectedFault, TransientFault
+from repro.reliability.retry import RetryPolicy, call_with_retry
+
+
+def _flaky(failures, exc=TransientFault):
+    """A callable that fails ``failures`` times, then returns 'ok'."""
+    state = {"left": failures}
+
+    def fn():
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise exc("p")
+        return "ok"
+
+    return fn
+
+
+class TestCallWithRetry:
+    def test_succeeds_after_transient_failures(self):
+        sleeps = []
+        result = call_with_retry(
+            _flaky(2), RetryPolicy(max_attempts=3), sleep=sleeps.append
+        )
+        assert result == "ok"
+        assert len(sleeps) == 2
+
+    def test_exhausted_attempts_raise_last_error(self):
+        with pytest.raises(TransientFault):
+            call_with_retry(
+                _flaky(5), RetryPolicy(max_attempts=3), sleep=lambda _: None
+            )
+
+    def test_non_retryable_raises_immediately(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise InjectedFault("p")  # not TransientFault
+
+        with pytest.raises(InjectedFault):
+            call_with_retry(fn, RetryPolicy(max_attempts=5), sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_on_retry_hook_sees_each_attempt(self):
+        seen = []
+        call_with_retry(
+            _flaky(2),
+            RetryPolicy(max_attempts=3),
+            sleep=lambda _: None,
+            on_retry=lambda attempt, exc, delay: seen.append((attempt, delay)),
+        )
+        assert [attempt for attempt, _ in seen] == [1, 2]
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay_s=0.1, max_delay_s=0.5, multiplier=2.0, jitter=0.0
+        )
+        delays = [policy.delay_for(n) for n in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=1.0, jitter=0.5)
+        for _ in range(100):
+            delay = policy.delay_for(1)
+            assert 0.05 <= delay <= 0.1
+
+    def test_bad_policies_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)

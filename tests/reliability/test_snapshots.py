@@ -1,0 +1,332 @@
+"""Crash-safe snapshots: round trips, corruption detection, fallback."""
+
+import json
+
+import pytest
+
+from repro.core.io import SerializationError
+from repro.index.inverted import InvertedIndex
+from repro.index.io import (
+    INDEX_FORMAT_VERSION,
+    index_from_dict,
+    index_to_dict,
+    load_index,
+    save_index,
+)
+from repro.reliability.faults import FAULTS, InjectedFault
+from repro.reliability.snapshot import (
+    SnapshotCorrupted,
+    backup_path,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.system import SearchSystem
+from repro.text.document import Corpus, Document
+
+
+@pytest.fixture
+def index():
+    corpus = Corpus(
+        [
+            Document("d1", "Lenovo partners with the NBA on marketing"),
+            Document("d2", "Dell and Lenovo are PC makers"),
+        ]
+    )
+    return InvertedIndex.build(corpus)
+
+
+def _assert_same_index(left: InvertedIndex, right: InvertedIndex) -> None:
+    assert left.document_count == right.document_count
+    assert left.vocabulary_size == right.vocabulary_size
+    for token, posting in left._postings.items():
+        for doc_id in posting.documents():
+            assert right.positions(token, doc_id) == posting.positions(doc_id)
+
+
+class TestRoundTrips:
+    def test_plain_round_trip(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        _assert_same_index(index, load_index(path))
+
+    def test_empty_index_round_trip(self, tmp_path):
+        path = tmp_path / "index.json"
+        empty = InvertedIndex()
+        save_index(empty, path)
+        loaded = load_index(path)
+        assert loaded.document_count == 0
+        assert loaded.vocabulary_size == 0
+
+    def test_unicode_tokens_and_doc_ids_round_trip(self, tmp_path):
+        # The tokenizer is ASCII-run based, but the persistence layer
+        # must not be: feed unicode tokens/ids through the dict format.
+        payload = {
+            "version": INDEX_FORMAT_VERSION,
+            "stem": False,
+            "drop_stopwords": False,
+            "doc_lengths": {"naïve-doc": 3, "東京-doc": 2},
+            "postings": {
+                "café": [["naïve-doc", [0, 2]], ["東京-doc", [1]]],
+                "смысл": [["東京-doc", [0]]],
+            },
+        }
+        index = index_from_dict(payload)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.positions("café", "naïve-doc") == (0, 2)
+        assert loaded.positions("смысл", "東京-doc") == (0,)
+        assert loaded.document_length("naïve-doc") == 3
+
+    def test_legacy_v1_file_still_loads(self, index, tmp_path):
+        # A pre-envelope snapshot: bare payload with dict-form postings.
+        payload = index_to_dict(index)
+        payload["version"] = 1
+        payload["postings"] = {
+            token: {doc_id: positions for doc_id, positions in docs}
+            for token, docs in payload["postings"].items()
+        }
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(payload))
+        _assert_same_index(index, load_index(path))
+
+
+class TestCorruptionDetection:
+    def test_version_mismatch_rejected(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        envelope = json.loads(path.read_text())
+        envelope["version"] = INDEX_FORMAT_VERSION + 9
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SerializationError, match="version"):
+            load_index(path)
+
+    def test_legacy_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text(json.dumps({"version": INDEX_FORMAT_VERSION + 9}))
+        with pytest.raises(SerializationError, match="version"):
+            load_index(path)
+
+    def test_truncated_file_detected(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(SnapshotCorrupted):
+            load_index(path)
+
+    def test_tampered_payload_fails_checksum(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["doc_lengths"]["d1"] = 999
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SnapshotCorrupted, match="checksum"):
+            load_index(path)
+
+    def test_wrong_kind_rejected(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        write_snapshot(path, kind="system", version=2, payload={"version": 2})
+        with pytest.raises(SerializationError, match="kind"):
+            load_index(path)
+
+
+class TestBadRecords:
+    def _payload(self, **overrides):
+        payload = {
+            "version": INDEX_FORMAT_VERSION,
+            "stem": True,
+            "drop_stopwords": False,
+            "doc_lengths": {"d1": 4},
+            "postings": {"tok": [["d1", [0, 2]]]},
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(SerializationError, match="negative"):
+            index_from_dict(self._payload(postings={"tok": [["d1", [-1, 2]]]}))
+
+    def test_non_integer_position_rejected(self):
+        with pytest.raises(SerializationError, match="not an integer"):
+            index_from_dict(self._payload(postings={"tok": [["d1", [0, "2"]]]}))
+        with pytest.raises(SerializationError, match="not an integer"):
+            index_from_dict(self._payload(postings={"tok": [["d1", [True]]]}))
+
+    def test_duplicate_doc_id_rejected(self):
+        with pytest.raises(SerializationError, match="duplicate doc id"):
+            index_from_dict(
+                self._payload(postings={"tok": [["d1", [0]], ["d1", [5]]]})
+            )
+
+    def test_unknown_document_rejected(self):
+        with pytest.raises(SerializationError, match="unknown"):
+            index_from_dict(self._payload(postings={"tok": [["ghost", [0]]]}))
+
+    def test_out_of_order_positions_rejected(self):
+        with pytest.raises(SerializationError):
+            index_from_dict(self._payload(postings={"tok": [["d1", [3, 1]]]}))
+
+    def test_bad_doc_length_rejected(self):
+        with pytest.raises(SerializationError, match="length"):
+            index_from_dict(self._payload(doc_lengths={"d1": -1}))
+        with pytest.raises(SerializationError, match="length"):
+            index_from_dict(self._payload(doc_lengths={"d1": "four"}))
+
+
+class TestCrashSafety:
+    def test_crash_between_write_and_rename_keeps_previous(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)  # generation 1 lands safely
+
+        bigger = InvertedIndex.build(
+            Corpus([Document("d9", "an entirely different corpus")])
+        )
+        FAULTS.arm("snapshot.rename", "error", times=1)
+        with pytest.raises(InjectedFault):
+            save_index(bigger, path)  # simulated kill -9 mid-save
+
+        # The previous snapshot is untouched and loadable.
+        recovered = load_index(path)
+        _assert_same_index(index, recovered)
+        # And a retry completes the interrupted save.
+        save_index(bigger, path)
+        assert load_index(path).document_count == 1
+
+    def test_corrupted_bytes_on_disk_detected(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        FAULTS.arm("snapshot.write", "corrupt", times=1)
+        save_index(index, path)  # the bytes that reached disk are truncated
+        with pytest.raises(SnapshotCorrupted):
+            load_index(path, fallback=False)
+
+    def test_fallback_to_backup_generation(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)  # generation 1
+        second = InvertedIndex.build(Corpus([Document("solo", "one doc only")]))
+        save_index(second, path)  # generation 2; generation 1 → .bak
+        assert backup_path(path).exists()
+
+        # Corrupt the primary: load falls back to the .bak generation.
+        text = path.read_text()
+        path.write_text(text[: len(text) // 3])
+        recovered = load_index(path)
+        _assert_same_index(index, recovered)
+
+        # With fallback disabled the corruption surfaces.
+        with pytest.raises(SnapshotCorrupted):
+            load_index(path, fallback=False)
+
+    def test_missing_primary_falls_back(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        save_index(index, path)  # create the .bak
+        path.unlink()
+        _assert_same_index(index, load_index(path))
+
+    def test_missing_everything_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(tmp_path / "absent.json")
+
+    def test_index_load_fault_point(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        FAULTS.arm("index.load", "error", times=1)
+        with pytest.raises(InjectedFault):
+            load_index(path)
+        _assert_same_index(index, load_index(path))  # next load is clean
+
+
+class TestSystemSnapshots:
+    def test_system_round_trip_through_envelope(self, tmp_path):
+        system = SearchSystem()
+        system.add_texts(
+            [
+                ("s1", "Lenovo partners with the NBA."),
+                ("s2", "A völkisch café in 東京 serves naïve pastries."),
+            ]
+        )
+        path = tmp_path / "system.json"
+        system.save(path)
+        envelope = json.loads(path.read_text())
+        assert envelope["format"] == "repro-snapshot"
+        assert envelope["kind"] == "system"
+        loaded = SearchSystem.load(path)
+        assert len(loaded) == 2
+        assert loaded.corpus["s2"].text == system.corpus["s2"].text
+
+    def test_system_crash_mid_save_keeps_previous(self, tmp_path):
+        path = tmp_path / "system.json"
+        system = SearchSystem()
+        system.add_texts([("s1", "Lenovo partners with the NBA.")])
+        system.save(path)
+        system.add_texts([("s2", "Dell explored an alliance.")])
+        FAULTS.arm("snapshot.rename", "error", times=1)
+        with pytest.raises(InjectedFault):
+            system.save(path)
+        assert len(SearchSystem.load(path)) == 1  # previous generation intact
+
+    def test_legacy_system_file_still_loads(self, tmp_path):
+        payload = {
+            "version": 1,
+            "documents": [{"id": "s1", "text": "Lenovo partners with the NBA."}],
+            "index": {
+                "version": 1,
+                "stem": True,
+                "drop_stopwords": False,
+                "doc_lengths": {"s1": 6},
+                "postings": {"lenovo": {"s1": [0]}},
+            },
+        }
+        path = tmp_path / "legacy-system.json"
+        path.write_text(json.dumps(payload))
+        loaded = SearchSystem.load(path)
+        assert len(loaded) == 1
+
+    def test_duplicate_documents_rejected(self, tmp_path):
+        payload = {
+            "version": 1,
+            "documents": [
+                {"id": "dup", "text": "once"},
+                {"id": "dup", "text": "twice"},
+            ],
+            "index": {
+                "version": 1,
+                "stem": True,
+                "drop_stopwords": False,
+                "doc_lengths": {},
+                "postings": {},
+            },
+        }
+        path = tmp_path / "dup.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError, match="duplicate"):
+            SearchSystem.load(path)
+
+
+class TestEnvelopeEdgeCases:
+    def test_non_object_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SnapshotCorrupted):
+            read_snapshot(path, kind="index", versions=(1, 2))
+
+    def test_envelope_without_payload_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(
+            json.dumps({"format": "repro-snapshot", "kind": "index", "version": 2})
+        )
+        with pytest.raises(SnapshotCorrupted, match="payload"):
+            read_snapshot(path, kind="index", versions=(1, 2))
+
+    def test_version_mismatch_does_not_fall_back(self, index, tmp_path):
+        # An intact-but-newer snapshot must error loudly, not silently
+        # serve the stale .bak generation.
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        save_index(index, path)  # .bak exists and is valid
+        envelope = json.loads(path.read_text())
+        envelope["version"] = 99
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SerializationError, match="version"):
+            load_index(path)
