@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check chaos bench bench-full bench-joins serve-bench figures examples clean
+.PHONY: install test check chaos bench bench-full bench-joins bench-obs serve-bench figures examples clean
 
 install:
 	pip install -e .
@@ -19,6 +19,8 @@ check:
 	$(MAKE) chaos
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) benchmarks/bench_join_kernels.py --check
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) benchmarks/bench_observability.py --check
 
 # Fault-injection suite (tests/reliability): armed fault points, worker
 # crashes, crash-safe snapshots, breaker/readiness behavior.  Each test
@@ -45,6 +47,13 @@ bench-joins:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) benchmarks/bench_join_kernels.py
 
+# Tracing overhead gate (< 5% p50 with tracing on, ~0 when sampled out)
+# plus the per-stage latency breakdown of the serving path; writes
+# BENCH_observability.json at the repository root.
+bench-obs:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) benchmarks/bench_observability.py
+
 # Serving-layer QPS/latency at concurrency {1,4,16}, cache on/off;
 # writes benchmarks/results/service_throughput.txt.
 serve-bench:
@@ -54,10 +63,13 @@ serve-bench:
 figures:
 	$(PYTHON) -m repro.experiments.cli all --docs 100
 
+# Self-contained like `check`: runs from the source tree without an
+# editable install.
 examples:
 	@for example in examples/*.py; do \
 		echo "== $$example"; \
-		$(PYTHON) $$example > /dev/null || exit 1; \
+		PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+			$(PYTHON) $$example > /dev/null || exit 1; \
 	done; echo "all examples ran"
 
 clean:

@@ -88,7 +88,9 @@ def main() -> None:
             f"docs={[r['doc_id'] for r in after['results']]}"
         )
 
-        snapshot = fetch(server.url + "/metrics")
+        # /metrics defaults to Prometheus text now; the JSON snapshot
+        # lives under ?format=json (see docs/OBSERVABILITY.md).
+        snapshot = fetch(server.url + "/metrics?format=json")
         print("metrics snapshot:")
         for key in (
             "requests_total",

@@ -1,0 +1,136 @@
+"""Trace a request end to end through the serving path.
+
+Demonstrates the observability subsystem (docs/OBSERVABILITY.md):
+
+1. build a :class:`~repro.system.SearchSystem` and serve it over HTTP
+   with a tracing :class:`~repro.obs.Tracer` and a structured
+   :class:`~repro.obs.StructuredLogger` captured in memory;
+2. fire a few queries at ``/search`` — each response carries the
+   ``trace_id`` of the trace recorded for it;
+3. print one request's span tree (queue → batch → cache.get → join →
+   ask → plan/rank), the per-stage flame table aggregated over all
+   traces, an excerpt of the Prometheus ``/metrics`` page, and the
+   structured ``request`` log events;
+4. show a degraded request: a fault armed on the exact join tags the
+   trace ``outcome=degraded`` / ``degraded_by=join_failure``.
+"""
+
+import json
+import time
+import urllib.parse
+import urllib.request
+
+from repro.obs import MemorySink, StructuredLogger, aggregate_traces, format_flame
+from repro.reliability.faults import FAULTS
+from repro.service import SearchServer
+from repro.system import SearchSystem
+
+CORPUS = [
+    ("news-1", "Lenovo announced a marketing partnership with the NBA."),
+    ("news-2", "Dell explored an alliance with the Olympic Games organizers."),
+    ("news-3", "Acer sponsors a cycling team in a sports partnership."),
+    ("news-4", "The Olympic sponsor unveiled a marketing alliance deal."),
+]
+
+QUERIES = [
+    "partnership, sports",
+    "alliance, games",
+    "olympic, sponsor",
+]
+
+
+def fetch(server, query):
+    url = f"{server.url}/search?q={urllib.parse.quote(query)}"
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def wait_for_trace(tracer, trace_id, timeout=5.0):
+    """The handler finishes the trace just after sending the response,
+    so a freshly returned trace_id may take a beat to appear."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for trace in tracer.finished():
+            if trace.trace_id == trace_id:
+                return trace
+        time.sleep(0.01)
+    raise RuntimeError(f"trace {trace_id} never finished")
+
+
+def print_span_tree(trace):
+    spans = trace.spans
+    children = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    def walk(span, depth):
+        tags = {
+            k: v
+            for k, v in span.tags.items()
+            if k in ("outcome", "hit", "family", "candidates", "joins_run", "path")
+        }
+        suffix = f"  {tags}" if tags else ""
+        print(f"  {'  ' * depth}{span.name:<12} {span.duration_ms:8.3f}ms{suffix}")
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    walk(trace.root, 0)
+
+
+def main() -> None:
+    system = SearchSystem()
+    system.add_texts(CORPUS)
+    sink = MemorySink()
+    logger = StructuredLogger()
+    logger.add_sink(sink)
+
+    with SearchServer.for_system(system, workers=2, logger=logger) as server:
+        print(f"serving {len(system)} documents at {server.url}\n")
+        tracer = server.executor.tracer
+        for query in QUERIES:
+            payload = fetch(server, query)
+            wait_for_trace(tracer, payload["trace_id"])
+            print(
+                f"{query!r} -> {len(payload['results'])} results, "
+                f"trace {payload['trace_id']}"
+            )
+
+        traces = tracer.finished()
+        print(f"\nspan tree of trace {traces[0].trace_id} "
+              f"(query {traces[0].root.tags['query']!r}):")
+        print_span_tree(traces[0])
+
+        print("\nper-stage breakdown over all traces:")
+        print(format_flame(aggregate_traces(traces)))
+
+        print("Prometheus /metrics excerpt:")
+        with urllib.request.urlopen(server.url + "/metrics", timeout=10) as response:
+            for line in response.read().decode().splitlines():
+                if line.startswith(("repro_requests_total", "repro_request_latency_seconds_bucket")):
+                    print(f"  {line}")
+
+        # A fault on the exact join degrades (not fails) the request,
+        # and the trace records why.
+        FAULTS.arm("join.execute", "error", times=1)
+        try:
+            degraded = fetch(server, "marketing, alliance")
+        finally:
+            FAULTS.reset()
+        trace = wait_for_trace(tracer, degraded["trace_id"])
+        print(
+            f"\ndegraded request: outcome={trace.root.tags['outcome']} "
+            f"degraded_by={trace.root.tags['degraded_by']}"
+        )
+
+    print("\nstructured request events:")
+    for event in sink.named("request"):
+        print(
+            f"  trace={event['trace_id']} outcome={event['outcome']} "
+            f"latency={event['latency_ms']}ms queue={event['queue_ms']}ms"
+        )
+    fault_events = sink.named("fault.injected")
+    print(f"fault.injected events captured: {len(fault_events)}")
+
+
+if __name__ == "__main__":
+    main()

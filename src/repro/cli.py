@@ -11,6 +11,7 @@ Examples::
     repro-search extract 'conference|workshop, when:date, where:place' cfp.txt
     repro-search ask --scoring win --top 3 'lenovo:exact, nba:exact' doc.txt
     repro-search serve news/*.txt --port 8080 --workers 4
+    repro-search profile news/*.txt --query 'partnership, sports' --overhead
 """
 
 from __future__ import annotations
@@ -119,9 +120,10 @@ def _cmd_extract(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    """Serve the files over HTTP (see docs/SERVING.md, docs/RELIABILITY.md)."""
+    """Serve the files over HTTP (see docs/SERVING.md, docs/OBSERVABILITY.md)."""
     import signal
 
+    from repro.obs import StructuredLogger, Tracer
     from repro.reliability import configure_from_env
     from repro.service import SearchServer
     from repro.system import SearchSystem
@@ -141,6 +143,9 @@ def _cmd_serve(args) -> int:
         cache_size=args.cache_size,
         default_timeout=args.timeout,
         watchdog_interval=args.watchdog_interval,
+        tracer=Tracer(sample_rate=args.trace_sample_rate),
+        logger=StructuredLogger(sys.stderr),
+        slow_query_ms=args.slow_query_ms,
         verbose=True,
     )
     host, port = server.address
@@ -165,6 +170,53 @@ def _cmd_serve(args) -> int:
         # SIGINT/SIGTERM exit leaves no orphans behind.
         server.close(drain_timeout=args.drain_timeout)
         signal.signal(signal.SIGTERM, previous_handler)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Replay queries through an executor; print the per-stage breakdown."""
+    from repro.obs import format_flame, measure_overhead, profile_workload, quantile
+    from repro.system import SearchSystem
+
+    corpus = _load_corpus(args.files)
+    system = SearchSystem()
+    system.add(*corpus)
+    queries = args.query
+    report, latencies = profile_workload(
+        system,
+        queries,
+        repeat=args.repeat,
+        top_k=args.top,
+        scoring=args.scoring,
+        sample_rate=args.trace_sample_rate,
+    )
+    print(
+        f"profiled {len(latencies)} requests "
+        f"({len(queries)} queries x {args.repeat} repeats, "
+        f"scoring={args.scoring or 'default'}, "
+        f"sample_rate={args.trace_sample_rate}):\n"
+    )
+    print(format_flame(report))
+    p50, p95 = quantile(latencies, 0.50), quantile(latencies, 0.95)
+    print(f"end-to-end latency: p50={p50 * 1e3:.3f}ms p95={p95 * 1e3:.3f}ms")
+    if args.overhead:
+        print("\nmeasuring tracer overhead (off vs sampled-out vs on) …")
+        overhead = measure_overhead(
+            system,
+            queries,
+            repeat=args.repeat,
+            top_k=args.top,
+            scoring=args.scoring,
+        )
+        print(
+            f"p50 off={overhead['p50_off_ms']:.3f}ms "
+            f"sampled_out={overhead['p50_sampled_out_ms']:.3f}ms "
+            f"on={overhead['p50_on_ms']:.3f}ms"
+        )
+        print(
+            f"tracing-on overhead: {overhead['overhead_pct']:+.2f}% of p50 "
+            f"(sampled-out: {overhead['sampled_overhead_pct']:+.2f}%)"
+        )
     return 0
 
 
@@ -226,7 +278,51 @@ def main(argv: list[str] | None = None) -> int:
         default=1.0,
         help="seconds between worker health sweeps; 0 disables (default: 1)",
     )
+    serve.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=1.0,
+        help="fraction of requests that get a full trace (default: 1.0)",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        help="log a slow_query warning for requests slower than this "
+        "(default: disabled)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    profile = sub.add_parser(
+        "profile",
+        help="replay queries, print a flame-style per-stage latency breakdown",
+    )
+    profile.add_argument("files", nargs="+", help="text files to index")
+    profile.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        help="query to replay (repeat the flag for a mixed workload)",
+    )
+    profile.add_argument(
+        "--repeat", type=int, default=5, help="passes over the query list"
+    )
+    profile.add_argument(
+        "--scoring", choices=sorted(_SCORINGS), default=None, help="scoring preset"
+    )
+    profile.add_argument("--top", type=int, default=5, help="top-k per query")
+    profile.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=1.0,
+        help="tracer sample rate for the profiled run (default: 1.0)",
+    )
+    profile.add_argument(
+        "--overhead",
+        action="store_true",
+        help="also measure tracer overhead (off vs sampled-out vs on)",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,68 @@
+"""Observability: request tracing, metrics, structured logs, profiling.
+
+The four pieces the serving path (:mod:`repro.service`) is instrumented
+with (see ``docs/OBSERVABILITY.md``):
+
+* :class:`Tracer` / :class:`Trace` / :class:`Span` — per-request span
+  trees threaded explicitly through thread handoffs (:mod:`.trace`);
+* :class:`MetricsRegistry` — counters, gauges, and fixed-bucket
+  :class:`Histogram` metrics with Prometheus text exposition
+  (:mod:`.metrics`);
+* :class:`StructuredLogger` — JSON-lines request/reliability events
+  (:mod:`.log`);
+* :func:`profile_workload` / :func:`aggregate_traces` — the profiling
+  harness behind ``repro-search profile`` and ``make bench-obs``
+  (:mod:`.profile`).
+"""
+
+from repro.obs.log import LEVELS, MemorySink, StructuredLogger
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import (
+    ProfileReport,
+    StageStats,
+    aggregate_traces,
+    format_flame,
+    measure_overhead,
+    profile_workload,
+    quantile,
+)
+from repro.obs.trace import (
+    NULL_TRACE,
+    Span,
+    Trace,
+    Tracer,
+    current_trace,
+    span,
+    use_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "LEVELS",
+    "MemorySink",
+    "MetricsRegistry",
+    "NULL_TRACE",
+    "ProfileReport",
+    "Span",
+    "StageStats",
+    "StructuredLogger",
+    "Trace",
+    "Tracer",
+    "aggregate_traces",
+    "current_trace",
+    "format_flame",
+    "measure_overhead",
+    "profile_workload",
+    "quantile",
+    "span",
+    "use_trace",
+]

@@ -1,0 +1,157 @@
+"""Structured JSON logging for the serving path.
+
+One JSON object per line, one line per event.  The serving layer emits
+one ``request`` event per served query (trace id, scoring family,
+outcome, stage timings), ``slow_query`` warnings past a configurable
+threshold, and ``breaker.transition`` / ``fault.injected`` events for
+the reliability layer — each carrying the active trace id, so a log
+line joins back to its trace.
+
+No dependency on :mod:`logging` handlers: a :class:`StructuredLogger`
+writes to a stream (or any registered sink) under a lock, which keeps
+lines whole under concurrency and makes tests trivial
+(:class:`MemorySink`).  ``StructuredLogger(stream=None)`` with no sinks
+is disabled and near-free.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from typing import Any, Callable, TextIO
+
+__all__ = ["LEVELS", "MemorySink", "StructuredLogger"]
+
+LEVELS: dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _jsonable(value: Any) -> Any:
+    """Clamp arbitrary field values to something json.dumps accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+class MemorySink:
+    """Collects events in memory (tests, the profiling harness)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+
+    def __call__(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    @property
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def named(self, event_name: str) -> list[dict]:
+        return [e for e in self.events if e.get("event") == event_name]
+
+
+class StructuredLogger:
+    """Thread-safe JSON-lines logger with level filtering and sinks.
+
+    Parameters
+    ----------
+    stream:
+        Where JSON lines go (e.g. ``sys.stderr``); ``None`` writes
+        nowhere (sinks may still be added).
+    min_level:
+        Drop events below this level (``debug`` < ``info`` <
+        ``warning`` < ``error``).
+    clock:
+        Wall-clock source for the ``ts`` field (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        *,
+        min_level: str = "info",
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if min_level not in LEVELS:
+            raise ValueError(
+                f"unknown level {min_level!r}; expected one of {sorted(LEVELS)}"
+            )
+        self._stream = stream
+        self._min = LEVELS[min_level]
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sinks: list[Callable[[dict], None]] = []
+
+    # -- wiring --------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """False when there is nowhere for an event to go."""
+        with self._lock:
+            return self._stream is not None or bool(self._sinks)
+
+    def add_sink(self, sink: Callable[[dict], None]) -> None:
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[dict], None]) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    # -- emission ------------------------------------------------------------
+
+    def log(self, event: str, *, level: str = "info", **fields: Any) -> dict | None:
+        """Emit one event; returns the record (None when filtered/disabled)."""
+        severity = LEVELS.get(level)
+        if severity is None:
+            raise ValueError(f"unknown level {level!r}")
+        if severity < self._min or not self.enabled:
+            return None
+        record = {
+            "ts": round(self._clock(), 6),
+            "level": level,
+            "event": event,
+        }
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        line = json.dumps(record, separators=(",", ":"), sort_keys=False)
+        with self._lock:
+            stream = self._stream
+            sinks = list(self._sinks)
+            if stream is not None:
+                try:
+                    stream.write(line + "\n")
+                    stream.flush()
+                except (OSError, ValueError, io.UnsupportedOperation):
+                    pass  # a dead stream must never fail the request path
+        for sink in sinks:
+            try:
+                sink(record)
+            except Exception:
+                pass
+        return record
+
+    def debug(self, event: str, **fields: Any) -> dict | None:
+        return self.log(event, level="debug", **fields)
+
+    def info(self, event: str, **fields: Any) -> dict | None:
+        return self.log(event, level="info", **fields)
+
+    def warning(self, event: str, **fields: Any) -> dict | None:
+        return self.log(event, level="warning", **fields)
+
+    def error(self, event: str, **fields: Any) -> dict | None:
+        return self.log(event, level="error", **fields)

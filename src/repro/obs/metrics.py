@@ -1,0 +1,374 @@
+"""A metrics registry: counters, gauges, fixed-bucket histograms.
+
+Backs :class:`repro.service.ServiceMetrics` (one source of truth for the
+``/metrics`` endpoint) but is usable standalone.  Everything is
+thread-safe and dependency-free.
+
+* :class:`Counter` — monotonically increasing, optionally labelled.
+* :class:`Gauge` — a settable point-in-time value.
+* :class:`Histogram` — fixed bucket boundaries chosen at creation;
+  ``observe()`` is O(log buckets), and percentile *estimates* come from
+  linear interpolation inside the owning bucket (exact at bucket edges,
+  within one bucket's width otherwise — the standard Prometheus
+  trade-off).
+
+:meth:`MetricsRegistry.render_prometheus` emits the Prometheus text
+exposition format (version 0.0.4): ``# HELP``/``# TYPE`` comments, one
+sample per line, histogram ``_bucket``/``_sum``/``_count`` series with
+cumulative ``le`` labels.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+]
+
+#: Default latency buckets (seconds): sub-millisecond to 10s, roughly
+#: logarithmic — wide enough for a cold join, fine enough for p50 on a
+#: warm cache hit.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    """Shared naming/help plumbing for all metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        if not name or not all(c.isalnum() or c in "_:" for c in name):
+            raise ValueError(f"bad metric name {name!r}")
+        if name[0].isdigit():
+            raise ValueError(f"metric name cannot start with a digit: {name!r}")
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+
+class Counter(_Metric):
+    """A monotonically increasing count, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._values: dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        with self._lock:
+            return sum(self._values.values()) if self._values else 0
+
+    def samples(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items:
+            return [f"{self.name} 0"]
+        return [
+            f"{self.name}{_format_labels(key)} {_format_value(v)}"
+            for key, v in items
+        ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, cache size)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._values: dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0)
+
+    def samples(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items:
+            return [f"{self.name} 0"]
+        return [
+            f"{self.name}{_format_labels(key)} {_format_value(v)}"
+            for key, v in items
+        ]
+
+
+class _HistogramSeries:
+    """Per-label-set histogram state (bucket counts, sum, count)."""
+
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.counts = [0] * num_buckets  # non-cumulative, one per boundary
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-boundary histogram with percentile estimation.
+
+    ``buckets`` are *upper* bounds in strictly increasing order; an
+    implicit ``+Inf`` bucket catches the overflow.  Percentiles are
+    estimated by locating the target rank's bucket from the cumulative
+    counts and interpolating linearly inside it; values in the overflow
+    bucket report the largest finite boundary (a known-conservative
+    floor, exactly like Prometheus ``histogram_quantile``).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Iterable[float] = LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket boundaries must strictly increase: {bounds}")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket boundaries must be finite (+Inf is implicit)")
+        self.buckets = bounds
+        self._series: dict[_LabelKey, _HistogramSeries] = {}
+
+    def _get_series(self, labels: Mapping[str, str]) -> _HistogramSeries:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series.setdefault(key, _HistogramSeries(len(self.buckets) + 1))
+        return series
+
+    def observe(self, value: float, **labels: str) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._get_series(labels)
+            series.counts[index] += 1
+            series.sum += value
+            series.count += 1
+
+    def count(self, **labels: str) -> int:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.count if series else 0
+
+    def sum(self, **labels: str) -> float:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.sum if series else 0.0
+
+    def percentile(self, q: float, **labels: str) -> float | None:
+        """Estimated ``q``-quantile (0 ≤ q ≤ 1); None with no samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or series.count == 0:
+                return None
+            counts = list(series.counts)
+            total = series.count
+        rank = q * total
+        cumulative = 0
+        for i, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if i >= len(self.buckets):
+                    # Overflow bucket: the largest finite boundary is the
+                    # best defensible estimate.
+                    return self.buckets[-1]
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                upper = self.buckets[i]
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+        return self.buckets[-1]
+
+    def snapshot(self, **labels: str) -> dict:
+        """count/sum/p50/p95/p99 for one label set, as a plain dict."""
+        return {
+            "count": self.count(**labels),
+            "sum": self.sum(**labels),
+            "p50": self.percentile(0.50, **labels),
+            "p95": self.percentile(0.95, **labels),
+            "p99": self.percentile(0.99, **labels),
+        }
+
+    def label_sets(self) -> list[dict[str, str]]:
+        with self._lock:
+            return [dict(key) for key in sorted(self._series)]
+
+    def samples(self) -> list[str]:
+        with self._lock:
+            items = [
+                (key, list(s.counts), s.sum, s.count)
+                for key, s in sorted(self._series.items())
+            ]
+        if not items:
+            items = [((), [0] * (len(self.buckets) + 1), 0.0, 0)]
+        lines: list[str] = []
+        for key, counts, total_sum, count in items:
+            cumulative = 0
+            for boundary, bucket_count in zip(
+                self.buckets + (math.inf,), counts
+            ):
+                cumulative += bucket_count
+                le = _format_value(boundary)
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_format_labels(key, (('le', le),))} {cumulative}"
+                )
+            lines.append(f"{self.name}_sum{_format_labels(key)} {repr(total_sum)}")
+            lines.append(f"{self.name}_count{_format_labels(key)} {count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics with one text exposition.
+
+    Re-registering a name returns the existing metric — but only if the
+    kind matches (a counter cannot silently become a histogram).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, cls, name: str, help_text: str, *args) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = cls(name, help_text, *args)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._register(Counter, name, help_text)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._register(Gauge, name, help_text)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help_text, buckets)  # type: ignore[return-value]
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.samples())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict:
+        """Every metric as plain JSON-ready data (counters/gauges flat,
+        histograms as nested count/sum/percentile summaries)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict[str, object] = {}
+        for name, metric in sorted(metrics.items()):
+            if isinstance(metric, Histogram):
+                label_sets = metric.label_sets()
+                if not label_sets:
+                    out[name] = metric.snapshot()
+                elif label_sets == [{}]:
+                    out[name] = metric.snapshot()
+                else:
+                    out[name] = {
+                        ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "": (
+                            metric.snapshot(**labels)
+                        )
+                        for labels in label_sets
+                    }
+            elif isinstance(metric, (Counter, Gauge)):
+                out[name] = metric.total() if isinstance(metric, Counter) else metric.value()
+        return out

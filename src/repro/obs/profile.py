@@ -1,0 +1,295 @@
+"""Profiling harness: replay a workload, break latency down by stage.
+
+Drives a :class:`~repro.service.QueryExecutor` over a fixed query list,
+collects the finished traces from its tracer, and aggregates span
+durations by *path* (span names joined root-to-leaf, e.g.
+``request/batch/join/rank``) into a flame-style breakdown — which stage
+of the serving path the time actually went to, the per-stage cost
+attribution the paper's Section VII experiments reason about.
+
+Also measures tracer overhead: the same workload with tracing on
+(``sample_rate=1``), sampled out (``sample_rate=0``), and with no
+tracer instrumentation consumers at all, comparing p50 latency.  The
+``make bench-obs`` gate holds the "on" overhead under 5% of p50.
+
+Used by ``repro-search profile`` and ``benchmarks/bench_observability.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.obs.trace import Trace, Tracer
+
+__all__ = [
+    "ProfileReport",
+    "StageStats",
+    "aggregate_traces",
+    "format_flame",
+    "measure_overhead",
+    "profile_workload",
+    "quantile",
+]
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of a non-empty sample list."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class StageStats:
+    """Aggregated timings for one span path across many traces."""
+
+    path: str
+    count: int = 0
+    total_ns: int = 0
+    self_ns: int = 0
+    durations_ns: list[int] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return self.path.count("/")
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_ns / 1e6
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ns / self.count / 1e6 if self.count else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        return quantile(self.durations_ns, q) / 1e6
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "count": self.count,
+            "total_ms": round(self.total_ms, 3),
+            "self_ms": round(self.self_ns / 1e6, 3),
+            "mean_ms": round(self.mean_ms, 4),
+            "p50_ms": round(self.percentile_ms(0.50), 4),
+            "p95_ms": round(self.percentile_ms(0.95), 4),
+        }
+
+
+@dataclass
+class ProfileReport:
+    """The per-stage breakdown of a replayed workload."""
+
+    stages: list[StageStats]
+    traces: int
+    total_ns: int
+
+    def stage(self, path: str) -> StageStats | None:
+        for stage in self.stages:
+            if stage.path == path:
+                return stage
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "traces": self.traces,
+            "total_ms": round(self.total_ns / 1e6, 3),
+            "stages": [s.to_dict() for s in self.stages],
+        }
+
+
+def aggregate_traces(traces: Sequence[Trace]) -> ProfileReport:
+    """Fold many traces into one per-path stage table.
+
+    A span's path is its chain of ancestor names; ``self_ns`` is its
+    duration minus its direct children's, i.e. the flame graph's
+    "self time".  Stages are ordered depth-first by first appearance,
+    so :func:`format_flame` can print them as an indented tree.
+    """
+    stages: dict[str, StageStats] = {}
+    order: list[str] = []
+    total_ns = 0
+    for trace in traces:
+        spans = trace.spans
+        by_id = {s.span_id: s for s in spans}
+        children_ns: dict[str, int] = {}
+        paths: dict[str, str] = {}
+
+        def path_of(span) -> str:
+            cached = paths.get(span.span_id)
+            if cached is not None:
+                return cached
+            if span.parent_id is None or span.parent_id not in by_id:
+                path = span.name
+            else:
+                path = path_of(by_id[span.parent_id]) + "/" + span.name
+            paths[span.span_id] = path
+            return path
+
+        for span in spans:
+            if span.parent_id is not None:
+                children_ns[span.parent_id] = (
+                    children_ns.get(span.parent_id, 0) + span.duration_ns
+                )
+        total_ns += trace.root.duration_ns
+        for span in spans:
+            path = path_of(span)
+            stage = stages.get(path)
+            if stage is None:
+                stage = stages[path] = StageStats(path)
+                order.append(path)
+            stage.count += 1
+            stage.total_ns += span.duration_ns
+            stage.self_ns += max(
+                0, span.duration_ns - children_ns.get(span.span_id, 0)
+            )
+            stage.durations_ns.append(span.duration_ns)
+    # Depth-first presentation order: parents before children, stable
+    # within a level by first appearance.
+    ordered = sorted(order, key=lambda p: (p.split("/"),))
+    return ProfileReport(
+        stages=[stages[p] for p in ordered],
+        traces=len(traces),
+        total_ns=total_ns,
+    )
+
+
+def format_flame(report: ProfileReport, *, width: int = 40) -> str:
+    """Render the stage table as an indented, bar-annotated tree."""
+    if not report.stages:
+        return "(no traces collected)\n"
+    root_ns = max(report.total_ns, 1)
+    lines = [
+        f"{'stage':<44} {'count':>6} {'total ms':>10} "
+        f"{'mean ms':>9} {'p95 ms':>9}  share"
+    ]
+    for stage in report.stages:
+        share = stage.total_ns / root_ns
+        bar = "█" * max(1, round(min(1.0, share) * width // 4))
+        indent = "  " * stage.depth
+        label = f"{indent}{stage.name}"
+        lines.append(
+            f"{label:<44} {stage.count:>6} {stage.total_ms:>10.2f} "
+            f"{stage.mean_ms:>9.3f} {stage.percentile_ms(0.95):>9.3f}  "
+            f"{share * 100:5.1f}% {bar}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def profile_workload(
+    system,
+    queries: Sequence[str],
+    *,
+    repeat: int = 3,
+    top_k: int = 5,
+    scoring: str | None = None,
+    sample_rate: float | None = 1.0,
+    workers: int = 1,
+    cache_size: int = 0,
+    executor_options: dict | None = None,
+) -> tuple[ProfileReport, list[float]]:
+    """Replay ``queries`` through a fresh executor; report stages + latencies.
+
+    Returns ``(report, latencies_s)`` where latencies are each request's
+    end-to-end seconds as measured by the caller (tracer-independent, so
+    overhead comparisons across sample rates stay apples-to-apples).
+    ``sample_rate=None`` builds the executor with *no* tracer at all —
+    the true "tracing off" baseline.  Caching is off by default: a
+    profile should show the join path, not the cache hit path, unless
+    the caller opts in.
+    """
+    from repro.service.executor import QueryExecutor
+
+    tracer = (
+        Tracer(sample_rate=sample_rate, capacity=max(512, len(queries) * repeat))
+        if sample_rate is not None
+        else None
+    )
+    options = dict(executor_options or {})
+    options.setdefault("watchdog_interval", 0)
+    executor = QueryExecutor(
+        system,
+        workers=workers,
+        cache_size=cache_size,
+        tracer=tracer,
+        **options,
+    )
+    latencies: list[float] = []
+    try:
+        for _ in range(repeat):
+            for query in queries:
+                started = time.perf_counter()
+                executor.ask(query, top_k=top_k, scoring=scoring)
+                latencies.append(time.perf_counter() - started)
+    finally:
+        executor.shutdown(wait=True, drain_timeout=5.0)
+    report = (
+        aggregate_traces(tracer.finished())
+        if tracer is not None
+        else ProfileReport(stages=[], traces=0, total_ns=0)
+    )
+    return report, latencies
+
+
+def measure_overhead(
+    system,
+    queries: Sequence[str],
+    *,
+    repeat: int = 5,
+    top_k: int = 5,
+    scoring: str | None = None,
+    executor_options: dict | None = None,
+) -> dict:
+    """Tracer overhead: p50 latency traced vs sampled-out vs untraced.
+
+    ``overhead_pct`` compares tracing on (every request recorded)
+    against tracing off; ``sampled_overhead_pct`` compares
+    ``sample_rate=0`` (every request sampled out — the production
+    configuration for cheap tracing) against off.
+    """
+    # Warmup pass: populates the system-level caches (match lists,
+    # columnar kernels) so cold-start cost does not land on whichever
+    # configuration happens to run first.
+    profile_workload(
+        system,
+        queries,
+        repeat=1,
+        top_k=top_k,
+        scoring=scoring,
+        sample_rate=None,
+        executor_options=executor_options,
+    )
+    runs: dict[str, list[float]] = {}
+    for label, rate in (("off", None), ("sampled_out", 0.0), ("on", 1.0)):
+        _, latencies = profile_workload(
+            system,
+            queries,
+            repeat=repeat,
+            top_k=top_k,
+            scoring=scoring,
+            sample_rate=rate,
+            executor_options=executor_options,
+        )
+        runs[label] = latencies
+    p50 = {label: quantile(latencies, 0.50) for label, latencies in runs.items()}
+    p95 = {label: quantile(latencies, 0.95) for label, latencies in runs.items()}
+    overhead_pct = (p50["on"] - p50["off"]) / p50["off"] * 100.0
+    sampled_pct = (p50["sampled_out"] - p50["off"]) / p50["off"] * 100.0
+    return {
+        "requests_per_run": len(queries) * repeat,
+        "p50_off_ms": p50["off"] * 1e3,
+        "p50_sampled_out_ms": p50["sampled_out"] * 1e3,
+        "p50_on_ms": p50["on"] * 1e3,
+        "p95_off_ms": p95["off"] * 1e3,
+        "p95_on_ms": p95["on"] * 1e3,
+        "overhead_pct": overhead_pct,
+        "sampled_overhead_pct": sampled_pct,
+    }

@@ -1,0 +1,443 @@
+"""Request tracing: traces, spans, and explicit cross-thread context.
+
+A :class:`Tracer` produces per-request :class:`Trace` objects; each
+trace is a tree of :class:`Span` records (``trace_id``/``span_id``/
+``parent_id``, monotonic start, duration, tags).  The serving layer
+threads the *trace object itself* through queue handoffs — a request
+carries its trace from the submitting thread to the worker that executes
+it — so spans survive thread boundaries without relying on thread-locals
+alone.  Within one thread, :func:`use_trace` activates a trace and
+:func:`span` opens a child span on whatever trace is active, which is
+how deep layers (:meth:`SearchSystem.ask_many`, the ranking loops) add
+spans without changing their signatures.
+
+Sampling is decided once per trace: :meth:`Tracer.trace` returns the
+shared :data:`NULL_TRACE` singleton for sampled-out requests, so an
+unsampled request pays a single attribute check per instrumentation
+point instead of allocating spans.
+
+Finished traces land in a bounded ring buffer on the tracer (the
+profiling harness reads it) and are offered to any registered sinks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACE",
+    "Span",
+    "Trace",
+    "Tracer",
+    "current_trace",
+    "span",
+    "use_trace",
+]
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    ``start_ns`` is a monotonic timestamp (``time.monotonic_ns``), so
+    durations are robust against wall-clock adjustments; ``end_ns`` is
+    ``None`` until :meth:`finish`.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "start_ns", "end_ns", "tags")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        name: str,
+        start_ns: int,
+        tags: dict[str, Any] | None = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_ns = start_ns
+        self.end_ns: int | None = None
+        self.tags: dict[str, Any] = tags or {}
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def duration_ns(self) -> int:
+        """Nanoseconds from start to finish (0 while unfinished)."""
+        return (self.end_ns - self.start_ns) if self.end_ns is not None else 0
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    def set_tag(self, key: str, value: Any) -> "Span":
+        self.tags[key] = value
+        return self
+
+    def set_tags(self, **tags: Any) -> "Span":
+        self.tags.update(tags)
+        return self
+
+    def finish(self, clock_ns: Callable[[], int] = time.monotonic_ns) -> "Span":
+        """Stamp the end time; idempotent (the first finish wins)."""
+        if self.end_ns is None:
+            self.end_ns = clock_ns()
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "tags": dict(self.tags),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, {self.duration_ms:.3f}ms, tags={self.tags})"
+
+
+class _NullSpan:
+    """Absorbs span operations for sampled-out traces (shared singleton)."""
+
+    __slots__ = ()
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    name = ""
+    start_ns = 0
+    end_ns = 0
+    tags: dict[str, Any] = {}
+    finished = True
+    duration_ns = 0
+    duration_ms = 0.0
+
+    def set_tag(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def set_tags(self, **tags: Any) -> "_NullSpan":
+        return self
+
+    def finish(self, clock_ns: Callable[[], int] = time.monotonic_ns) -> "_NullSpan":
+        return self
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Trace:
+    """One request's span tree, safe to hand between threads.
+
+    The submitting thread creates the trace (and may :meth:`begin` spans
+    to be finished elsewhere); the executing thread activates it with
+    :func:`use_trace` so nested :func:`span` calls attach to it.  Each
+    thread keeps its own parent stack inside the trace, so two threads
+    touching the same trace cannot corrupt each other's span parenting.
+    """
+
+    is_recording = True
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        *,
+        tracer: "Tracer | None" = None,
+        clock_ns: Callable[[], int] = time.monotonic_ns,
+        tags: dict[str, Any] | None = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self._tracer = tracer
+        self._clock_ns = clock_ns
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._spans: list[Span] = []
+        self._stacks = threading.local()
+        self._finished = False
+        self.root = self.begin(name, parent=None, **(tags or {}))
+
+    # -- span creation -------------------------------------------------------
+
+    def _next_span_id(self) -> str:
+        return f"{self.trace_id}.{next(self._ids)}"
+
+    def begin(self, name: str, *, parent: Span | None = None, **tags: Any) -> Span:
+        """Start a span explicitly; the caller finishes it (any thread).
+
+        ``parent=None`` parents under this thread's active span (the
+        root when nothing is active) — except for the very first span,
+        which becomes the root itself.
+        """
+        if parent is None:
+            parent = self._current_parent()
+        new = Span(
+            self.trace_id,
+            self._next_span_id(),
+            parent.span_id if parent is not None else None,
+            name,
+            self._clock_ns(),
+            tags or None,
+        )
+        with self._lock:
+            self._spans.append(new)
+        return new
+
+    @contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[Span]:
+        """Open a child span under this thread's active span."""
+        new = self.begin(name, **tags)
+        self.push(new)
+        try:
+            yield new
+        finally:
+            self.pop()
+            new.finish(self._clock_ns)
+
+    # -- per-thread parent stack ---------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        return stack
+
+    def _current_parent(self) -> Span | None:
+        stack = self._stack()
+        if stack:
+            return stack[-1]
+        return getattr(self, "root", None)
+
+    def push(self, span: Span) -> None:
+        """Make ``span`` the parent of this thread's subsequent spans."""
+        self._stack().append(span)
+
+    def pop(self) -> Span | None:
+        stack = self._stack()
+        return stack.pop() if stack else None
+
+    # -- completion ----------------------------------------------------------
+
+    def finish(self, **tags: Any) -> "Trace":
+        """Finish the root span and report the trace; idempotent."""
+        with self._lock:
+            if self._finished:
+                return self
+            self._finished = True
+        if tags:
+            self.root.set_tags(**tags)
+        self.root.finish(self._clock_ns)
+        if self._tracer is not None:
+            self._tracer._completed(self)
+        return self
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.root.duration_ms
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name, in creation order."""
+        return [s for s in self.spans if s.name == name]
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.root.name,
+            "duration_ns": self.root.duration_ns,
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Trace({self.trace_id!r}, spans={len(self.spans)})"
+
+
+class _NullTrace:
+    """The sampled-out trace: every operation is a cheap no-op."""
+
+    is_recording = False
+    trace_id = ""
+    root = NULL_SPAN
+    spans: list[Span] = []
+    duration_ms = 0.0
+
+    def begin(self, name: str, *, parent: Span | None = None, **tags: Any):
+        return NULL_SPAN
+
+    @contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[_NullSpan]:
+        yield NULL_SPAN
+
+    def push(self, span: Any) -> None:
+        pass
+
+    def pop(self) -> None:
+        return None
+
+    def finish(self, **tags: Any) -> "_NullTrace":
+        return self
+
+    def find(self, name: str) -> list[Span]:
+        return []
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+NULL_TRACE = _NullTrace()
+
+
+class Tracer:
+    """Creates traces, applies sampling, and keeps the last N finished.
+
+    Parameters
+    ----------
+    sample_rate:
+        Probability that :meth:`trace` returns a recording trace; the
+        rest get :data:`NULL_TRACE`.  ``1.0`` records everything,
+        ``0.0`` disables tracing entirely.
+    capacity:
+        Ring-buffer size for finished traces (:meth:`finished`).
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_rate: float = 1.0,
+        capacity: int = 512,
+        clock_ns: Callable[[], int] = time.monotonic_ns,
+        rng: Callable[[], float] | None = None,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sample_rate = sample_rate
+        self.capacity = capacity
+        self._clock_ns = clock_ns
+        self._rng = rng or random.random
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._ring: list[Trace] = []
+        self._sinks: list[Callable[[Trace], None]] = []
+        self.started = 0
+        self.sampled_out = 0
+
+    def trace(self, name: str, **tags: Any):
+        """A new trace, or :data:`NULL_TRACE` when sampled out."""
+        with self._lock:
+            self.started += 1
+            sampled = self.sample_rate >= 1.0 or (
+                self.sample_rate > 0.0 and self._rng() < self.sample_rate
+            )
+            if not sampled:
+                self.sampled_out += 1
+                return NULL_TRACE
+            trace_id = f"t{next(self._ids):08x}"
+        return Trace(
+            name, trace_id, tracer=self, clock_ns=self._clock_ns, tags=tags or None
+        )
+
+    def add_sink(self, sink: Callable[[Trace], None]) -> None:
+        """Register a callable invoked with each finished trace."""
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[Trace], None]) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def _completed(self, trace: Trace) -> None:
+        with self._lock:
+            self._ring.append(trace)
+            if len(self._ring) > self.capacity:
+                del self._ring[: len(self._ring) - self.capacity]
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink(trace)
+            except Exception:
+                pass  # a broken sink must never fail the request
+
+    def finished(self) -> list[Trace]:
+        """The most recent finished traces, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def drain(self) -> list[Trace]:
+        """Return and clear the finished-trace buffer."""
+        with self._lock:
+            traces, self._ring = self._ring, []
+            return traces
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Tracer(sample_rate={self.sample_rate}, "
+            f"started={self.started}, buffered={len(self._ring)})"
+        )
+
+
+# -- ambient (per-thread) active trace ---------------------------------------
+
+_active = threading.local()
+
+
+def current_trace():
+    """The trace active on this thread (:data:`NULL_TRACE` when none)."""
+    return getattr(_active, "trace", None) or NULL_TRACE
+
+
+@contextmanager
+def use_trace(trace, parent: Span | None = None) -> Iterator[Any]:
+    """Activate ``trace`` on this thread for the duration of the block.
+
+    This is the explicit cross-thread handoff: a worker thread receives
+    the trace object with the work item and activates it here.  An
+    optional ``parent`` anchors spans opened inside the block under an
+    existing span (e.g. the request's ``join`` span) instead of the
+    root.
+    """
+    previous = getattr(_active, "trace", None)
+    _active.trace = trace
+    if parent is not None:
+        trace.push(parent)
+    try:
+        yield trace
+    finally:
+        if parent is not None:
+            trace.pop()
+        _active.trace = previous
+
+
+def span(name: str, **tags: Any):
+    """A child span on this thread's active trace (no-op when none).
+
+    Usage::
+
+        with span("rank", scoring="win") as sp:
+            ...
+            sp.set_tag("joins_run", stats.joins_run)
+    """
+    return current_trace().span(name, **tags)

@@ -34,6 +34,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         reset_timeout_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(
@@ -44,12 +45,24 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_timeout_s = reset_timeout_s
         self._clock = clock
+        # ``on_transition(old_state, new_state)`` fires outside the lock
+        # after every state change; exceptions are swallowed so an
+        # observer can never wedge the breaker.
+        self._on_transition = on_transition
         self._lock = threading.Lock()
         self._state = self.CLOSED
         self._failures = 0
         self._opened_at = 0.0
         self._probe_in_flight = False
         self._opened_count = 0
+
+    def _notify(self, old: str, new: str) -> None:
+        if self._on_transition is None or old == new:
+            return
+        try:
+            self._on_transition(old, new)
+        except Exception:
+            pass
 
     # -- decisions ------------------------------------------------------------
 
@@ -68,20 +81,26 @@ class CircuitBreaker:
                     return False
                 self._state = self.HALF_OPEN
                 self._probe_in_flight = True
-                return True
-            # half-open: one probe at a time
-            if self._probe_in_flight:
+                transitioned = True
+            elif self._probe_in_flight:
+                # half-open: one probe at a time
                 return False
-            self._probe_in_flight = True
-            return True
+            else:
+                self._probe_in_flight = True
+                transitioned = False
+        if transitioned:
+            self._notify(self.OPEN, self.HALF_OPEN)
+        return True
 
     # -- outcomes -------------------------------------------------------------
 
     def record_success(self) -> None:
         with self._lock:
+            old = self._state
             self._state = self.CLOSED
             self._failures = 0
             self._probe_in_flight = False
+        self._notify(old, self.CLOSED)
 
     def abandon_probe(self) -> None:
         """Give back a granted probe without recording an outcome.
@@ -96,6 +115,7 @@ class CircuitBreaker:
     def record_failure(self) -> bool:
         """Record a failure; True when this transition *opened* the breaker."""
         with self._lock:
+            old = self._state
             self._probe_in_flight = False
             if self._state == self.HALF_OPEN:
                 opened = True
@@ -110,7 +130,9 @@ class CircuitBreaker:
                 self._opened_at = self._clock()
                 self._opened_count += 1
                 self._failures = 0
-            return opened
+        if opened:
+            self._notify(old, self.OPEN)
+        return opened
 
     # -- introspection --------------------------------------------------------
 

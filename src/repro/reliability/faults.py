@@ -144,6 +144,7 @@ class FaultRegistry:
         self._lock = threading.Lock()
         self._specs: dict[str, FaultSpec] = {}
         self._fired: dict[str, int] = {}
+        self._listeners: list[Callable[[str, str], None]] = []
         # Fast-path flag: read without the lock on every inject() call.
         self._active = False
 
@@ -179,6 +180,32 @@ class FaultRegistry:
             yield spec
         finally:
             self.disarm(point)
+
+    # -- observers ------------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[str, str], None]) -> None:
+        """Call ``listener(point, mode)`` every time a fault fires.
+
+        Listeners run outside the registry lock and must not raise into
+        the fault path; exceptions are swallowed.  The observability
+        layer uses this to log injections with the active trace id.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[str, str], None]) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def _notify(self, point: str, mode: str) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(point, mode)
+            except Exception:
+                pass
 
     # -- introspection --------------------------------------------------------
 
@@ -218,6 +245,7 @@ class FaultRegistry:
                 # Exhausted: disarm so the fast path recovers.
                 del self._specs[point]
                 self._active = bool(self._specs)
+        self._notify(point, spec.mode)
         if spec.mode == "delay":
             time.sleep(spec.delay_s)
             return result

@@ -13,7 +13,10 @@ the current thread; while it is active, the ranking loops add to it
   test in :func:`~repro.retrieval.topk_retrieval.rank_top_k` without
   running a join (the WAND-style skip; empty-list documents count as
   neither),
-* ``join_ns`` — wall-clock nanoseconds spent inside best-join calls.
+* ``join_ns`` — wall-clock nanoseconds spent inside best-join calls,
+* ``dedup_invocations`` — best-join invocations behind the kept
+  results, counting the duplicate-elimination restarts of Section VI
+  (``RankedDocument.invocations`` summed over kept documents).
 
 Collectors nest: on exit, an inner collector's totals are folded into
 the outer one, so a per-request measurement inside a per-process
@@ -33,12 +36,16 @@ __all__ = ["JoinStats", "collect_join_stats", "current_join_stats"]
 class JoinStats:
     """Mutable counters for one instrumentation scope."""
 
-    __slots__ = ("joins_run", "joins_skipped", "join_ns")
+    __slots__ = ("joins_run", "joins_skipped", "join_ns", "dedup_invocations")
 
     def __init__(self) -> None:
         self.joins_run = 0
         self.joins_skipped = 0
         self.join_ns = 0
+        # Total best-join invocations behind the *kept* results,
+        # including the Section VI duplicate-elimination restarts
+        # (``RankedDocument.invocations`` summed over kept documents).
+        self.dedup_invocations = 0
 
     @property
     def bound_skip_rate(self) -> float:
@@ -50,12 +57,14 @@ class JoinStats:
         self.joins_run += other.joins_run
         self.joins_skipped += other.joins_skipped
         self.join_ns += other.join_ns
+        self.dedup_invocations += other.dedup_invocations
 
     def snapshot(self) -> dict:
         return {
             "joins_run": self.joins_run,
             "joins_skipped": self.joins_skipped,
             "join_ns": self.join_ns,
+            "dedup_invocations": self.dedup_invocations,
             "bound_skip_rate": self.bound_skip_rate,
         }
 

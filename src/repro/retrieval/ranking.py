@@ -76,6 +76,8 @@ def rank_match_lists(
             stats.join_ns += time.perf_counter_ns() - started
         if result:
             assert result.matchset is not None and result.score is not None
+            if stats is not None:
+                stats.dedup_invocations += result.invocations
             ranked.append(
                 RankedDocument(doc_id, result.score, result.matchset, result.invocations)
             )

@@ -170,6 +170,7 @@ def rank_top_k(
     if stats is not None:
         stats.joins_run += joins
         stats.joins_skipped += bound_skips
+        stats.dedup_invocations += sum(r.invocations for r in kept.values())
 
     ranked = sorted(kept.values(), key=lambda r: (-r.score, r.doc_id))
     return TopKResult(ranked, seen, joins)

@@ -54,6 +54,8 @@ from typing import Any, Callable, Hashable, Sequence, TypeVar
 from repro.core.scoring.base import ScoringFunction
 from repro.core.scoring.presets import trec_max, trec_med, trec_win
 from repro.matching.queries import QuerySyntaxError
+from repro.obs.log import StructuredLogger
+from repro.obs.trace import NULL_TRACE, Span, Tracer, current_trace, use_trace
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.faults import FAULTS, InjectedFault, TransientFault
 from repro.reliability.retry import RetryPolicy, call_with_retry
@@ -117,10 +119,26 @@ class _Request:
     deadline: float | None
     submitted_at: float
     future: Future = field(default_factory=Future)
+    # Observability context, carried *with* the request across the
+    # queue handoff (explicit object, not a thread-local): the trace,
+    # whether the executor owns its lifecycle (it created it), and the
+    # cross-thread spans begun on one thread and finished on another.
+    trace: Any = NULL_TRACE
+    owns_trace: bool = False
+    queue_span: Span | None = None
+    batch_span: Span | None = None
+    exec_started_at: float | None = None
+    join_s: float | None = None
 
     @property
     def batch_key(self) -> Hashable:
         return (self.scoring_name, self.top_k)
+
+    @property
+    def queue_wait_s(self) -> float:
+        if self.exec_started_at is None:
+            return 0.0
+        return max(0.0, self.exec_started_at - self.submitted_at)
 
 
 @dataclass(slots=True)
@@ -226,7 +244,23 @@ class QueryExecutor:
         half-open probe.
     retry:
         :class:`RetryPolicy` for transient exact-join failures.
+    tracer:
+        Span collection (:mod:`repro.obs`): every request gets a trace
+        whose spans cover queueing, batching, cache lookups, and the
+        join itself.  Defaults to a fresh always-sampling
+        :class:`~repro.obs.Tracer`; pass one with a lower
+        ``sample_rate`` to trace a fraction of requests, or ``None``
+        to disable tracing entirely.
+    logger:
+        Structured JSON event log (:class:`~repro.obs.StructuredLogger`):
+        one ``request`` event per served query plus breaker, retry, and
+        fault-injection events.  ``None`` (default) logs nothing.
+    slow_query_ms:
+        Requests slower than this (end to end, milliseconds) also emit
+        a ``slow_query`` warning event; ``None`` disables the slow log.
     """
+
+    _UNSET: Any = object()
 
     def __init__(
         self,
@@ -246,6 +280,9 @@ class QueryExecutor:
         breaker_threshold: int = 5,
         breaker_reset_s: float = 30.0,
         retry: RetryPolicy | None = None,
+        tracer: Tracer | None = _UNSET,
+        logger: StructuredLogger | None = None,
+        slow_query_ms: float | None = None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -268,6 +305,25 @@ class QueryExecutor:
             ResultCache(cache_size) if cache_size > 0 else None
         )
         self.metrics = metrics or ServiceMetrics()
+        self.tracer = Tracer() if tracer is self._UNSET else tracer
+        self.logger = logger
+        if slow_query_ms is not None and slow_query_ms < 0:
+            raise ValueError(f"slow_query_ms must be >= 0, got {slow_query_ms}")
+        self.slow_query_ms = slow_query_ms
+        self._fault_listener = None
+        if logger is not None:
+            # Fault injections anywhere on this request path get logged
+            # with the active trace id (removed again at shutdown).
+            def _on_fault(point: str, mode: str) -> None:
+                logger.warning(
+                    "fault.injected",
+                    point=point,
+                    mode=mode,
+                    trace_id=current_trace().trace_id or None,
+                )
+
+            self._fault_listener = _on_fault
+            FAULTS.add_listener(_on_fault)
         self.batcher = MicroBatcher(max_batch=max_batch) if max_batch > 1 else None
         self.batch_wait_s = batch_wait_s
         self.default_timeout = default_timeout
@@ -309,12 +365,18 @@ class QueryExecutor:
         top_k: int = 5,
         scoring: str | None = None,
         timeout: float | None = None,
+        trace: Any = None,
     ) -> "Future[QueryResponse]":
         """Enqueue one query; never blocks.
 
         ``scoring`` is a preset name (``win``/``med``/``max``) or None
         for the system default.  Raises :class:`QueryRejected` when the
         backlog is full or the executor is shut down.
+
+        ``trace`` attaches an existing :class:`~repro.obs.Trace` (the
+        HTTP server passes the one it opened; the caller then owns its
+        lifecycle).  Without one, the executor starts a trace from its
+        own tracer and finishes it when the response is delivered.
         """
         if self._closed:
             raise QueryRejected("executor is shut down")
@@ -324,6 +386,18 @@ class QueryExecutor:
                 f"expected one of {sorted(SCORING_PRESETS)}"
             )
         timeout_s = self.default_timeout if timeout is None else timeout
+        owns_trace = trace is None
+        if trace is None:
+            trace = (
+                self.tracer.trace(
+                    "request",
+                    query=query_text,
+                    scoring=scoring or "default",
+                    top_k=top_k,
+                )
+                if self.tracer is not None
+                else NULL_TRACE
+            )
         now = time.monotonic()
         request = _Request(
             query_text=query_text,
@@ -333,11 +407,23 @@ class QueryExecutor:
             timeout_s=timeout_s,
             deadline=now + timeout_s if timeout_s is not None else None,
             submitted_at=now,
+            trace=trace,
+            owns_trace=owns_trace,
+        )
+        request.queue_span = trace.begin(
+            "queue", parent=trace.root, depth_at_submit=self._queue.qsize()
         )
         try:
             self._queue.put_nowait(request)
         except queue.Full:
             self.metrics.increment("rejected_total")
+            request.queue_span.finish()
+            trace.root.set_tag("outcome", "shed")
+            self._log_request(
+                request, "shed", level="warning", reason="backlog_full"
+            )
+            if owns_trace:
+                trace.finish()
             raise QueryRejected(
                 f"backlog full ({self._queue.maxsize} pending)"
             ) from None
@@ -501,6 +587,9 @@ class QueryExecutor:
             dropped = self._fail_pending("executor shut down before execution")
             if dropped:
                 self.metrics.increment("drain_dropped", dropped)
+        if first and self._fault_listener is not None:
+            FAULTS.remove_listener(self._fault_listener)
+            self._fault_listener = None
         with self._state_lock:
             self._draining = False
 
@@ -522,7 +611,9 @@ class QueryExecutor:
         dropped = 0
         for request in pending:
             if not request.future.done():
-                request.future.set_exception(ShutdownDrained(reason))
+                if request.queue_span is not None:
+                    request.queue_span.finish()
+                self._fail(request, ShutdownDrained(reason), "shed")
                 dropped += 1
         return dropped
 
@@ -595,8 +686,10 @@ class QueryExecutor:
                         self._queue.put_nowait(item)
                     except queue.Full:
                         if not item.future.done():
-                            item.future.set_exception(
-                                QueryRejected("worker retired with a full backlog")
+                            self._fail(
+                                item,
+                                QueryRejected("worker retired with a full backlog"),
+                                "shed",
                             )
                     break
                 slot.state = "busy"
@@ -615,7 +708,7 @@ class QueryExecutor:
                         self.metrics.increment("errors_total", len(batch))
                         for request in batch:
                             if not request.future.done():
-                                request.future.set_exception(exc)
+                                self._fail(request, exc, "error")
                 if slot.replaced:
                     break
         except InjectedFault:
@@ -625,17 +718,96 @@ class QueryExecutor:
 
     # -- execution -----------------------------------------------------------
 
+    def _log_request(
+        self, request: _Request, outcome: str, *, level: str = "info", **extra: Any
+    ) -> None:
+        """One structured ``request`` event (plus the slow-query log)."""
+        if self.logger is None or not self.logger.enabled:
+            return
+        latency_ms = (time.monotonic() - request.submitted_at) * 1e3
+        fields = {
+            "trace_id": request.trace.trace_id or None,
+            "query": request.query_text,
+            "scoring": request.scoring_name,
+            "top_k": request.top_k,
+            "outcome": outcome,
+            "latency_ms": round(latency_ms, 3),
+            "queue_ms": round(request.queue_wait_s * 1e3, 3),
+            "join_ms": (
+                round(request.join_s * 1e3, 3) if request.join_s is not None else None
+            ),
+            **extra,
+        }
+        self.logger.log("request", level=level, **fields)
+        if (
+            self.slow_query_ms is not None
+            and latency_ms >= self.slow_query_ms
+            and outcome not in ("shed",)
+        ):
+            self.logger.warning(
+                "slow_query", threshold_ms=self.slow_query_ms, **fields
+            )
+
+    def _fail(
+        self,
+        request: _Request,
+        exc: BaseException,
+        outcome: str,
+        *,
+        level: str = "warning",
+    ) -> None:
+        """Fail one request's future with full observability teardown."""
+        request.trace.root.set_tag("outcome", outcome)
+        if request.batch_span is not None:
+            request.batch_span.finish()
+        self._log_request(
+            request, outcome, level=level, error=type(exc).__name__
+        )
+        if request.owns_trace:
+            request.trace.finish()
+        if not request.future.done():
+            request.future.set_exception(exc)
+
     def _finish(self, request: _Request, response: QueryResponse) -> None:
         self.metrics.observe_latency(response.latency_s)
+        outcome = "degraded" if response.degraded else "ok"
+        request.trace.root.set_tags(
+            outcome=outcome,
+            cached=response.cached,
+            generation=response.generation,
+        )
+        if request.batch_span is not None:
+            request.batch_span.finish()
+        self._log_request(
+            request, outcome, cached=response.cached, generation=response.generation
+        )
+        if request.owns_trace:
+            request.trace.finish()
         request.future.set_result(response)
 
     def _breaker(self, scoring_name: str) -> CircuitBreaker:
         with self._state_lock:
             breaker = self._breakers.get(scoring_name)
             if breaker is None:
+                on_transition = None
+                if self.logger is not None:
+                    # Every state change becomes one structured event
+                    # carrying the trace id active when it happened.
+                    def on_transition(
+                        old: str, new: str, family: str = scoring_name
+                    ) -> None:
+                        self.logger.warning(
+                            "breaker.transition",
+                            family=family,
+                            old_state=old,
+                            new_state=new,
+                            trace_id=current_trace().trace_id or None,
+                        )
+
                 breaker = self._breakers[scoring_name] = CircuitBreaker(
                     failure_threshold=self._breaker_threshold,
                     reset_timeout_s=self._breaker_reset_s,
+                    on_transition=on_transition,
                 )
             return breaker
 
@@ -660,26 +832,82 @@ class QueryExecutor:
     def _run_join(
         self, group: Sequence[_Request], *, avoid_duplicates: bool
     ) -> list[list[RankedDocument]]:
-        """Execute one homogeneous group, retrying transient exact failures."""
+        """Execute one homogeneous group, retrying transient exact failures.
+
+        Every request in the group gets its own ``join`` span (same
+        wall-clock interval — the join is shared across the batch), and
+        its trace is handed to :meth:`SearchSystem.ask_many` so the
+        system-level spans (``ask``/``plan``/``rank``) land on the right
+        trace, anchored under that request's join span.
+        """
+        family = group[0].scoring_name
+        attempts = 0
 
         def attempt() -> list[list[RankedDocument]]:
-            if avoid_duplicates:
-                # The fault point models the expensive Section VI join
-                # failing; the approximate join is the recovery path and
-                # stays uninstrumented.
-                FAULTS.inject("join.execute")
-            with collect_join_stats() as join_stats:
-                rankings = self.system.ask_many(
-                    [r.query_text for r in group],
-                    top_k=group[0].top_k,
-                    scoring=group[0].scoring,
-                    avoid_duplicates=avoid_duplicates,
+            nonlocal attempts
+            attempts += 1
+            spans = []
+            for request in group:
+                join_span = request.trace.begin(
+                    "join",
+                    parent=request.batch_span,
+                    family=family,
+                    exact=avoid_duplicates,
+                    batch_size=len(group),
+                    attempt=attempts,
                 )
+                request.trace.push(join_span)
+                spans.append(join_span)
+            started = time.perf_counter()
+            try:
+                if avoid_duplicates:
+                    # The fault point models the expensive Section VI join
+                    # failing; the approximate join is the recovery path and
+                    # stays uninstrumented.  The representative trace is
+                    # active so an injected fault logs its trace id.
+                    with use_trace(group[0].trace):
+                        FAULTS.inject("join.execute")
+                with collect_join_stats() as join_stats:
+                    rankings = self.system.ask_many(
+                        [r.query_text for r in group],
+                        top_k=group[0].top_k,
+                        scoring=group[0].scoring,
+                        avoid_duplicates=avoid_duplicates,
+                        traces=[r.trace for r in group],
+                    )
+            except BaseException as exc:
+                for request, join_span in zip(group, spans):
+                    request.trace.pop()
+                    join_span.set_tag("error", type(exc).__name__).finish()
+                raise
+            elapsed = time.perf_counter() - started
+            self.metrics.observe_join(family, elapsed)
             self.metrics.increment("joins_run", join_stats.joins_run)
             self.metrics.increment("joins_skipped", join_stats.joins_skipped)
             self.metrics.increment("join_micros", join_stats.join_ns // 1000)
             self.metrics.increment("joins_executed", len(group))
+            for request, join_span in zip(group, spans):
+                request.trace.pop()
+                request.join_s = elapsed
+                join_span.set_tags(
+                    joins_run=join_stats.joins_run,
+                    joins_skipped=join_stats.joins_skipped,
+                    join_micros=join_stats.join_ns // 1000,
+                    dedup_invocations=join_stats.dedup_invocations,
+                ).finish()
             return rankings
+
+        def on_retry(attempt_no: int, exc: BaseException, delay_s: float) -> None:
+            self.metrics.increment("retries_total")
+            if self.logger is not None:
+                self.logger.warning(
+                    "join.retry",
+                    family=family,
+                    attempt=attempt_no,
+                    delay_s=round(delay_s, 4),
+                    error=type(exc).__name__,
+                    trace_id=group[0].trace.trace_id or None,
+                )
 
         if not avoid_duplicates:
             return attempt()
@@ -687,7 +915,7 @@ class QueryExecutor:
             attempt,
             self.retry_policy,
             retry_on=(TransientFault,),
-            on_retry=lambda *_: self.metrics.increment("retries_total"),
+            on_retry=on_retry,
         )
 
     def _deliver(
@@ -701,15 +929,16 @@ class QueryExecutor:
         for request, ranking in zip(group, rankings):
             results = tuple(ranking)
             if exact:
-                self._cache_put(
-                    make_key(
-                        request.query_text,
-                        request.scoring_name,
-                        generation,
-                        request.top_k,
-                    ),
-                    results,
-                )
+                with use_trace(request.trace):
+                    self._cache_put(
+                        make_key(
+                            request.query_text,
+                            request.scoring_name,
+                            generation,
+                            request.top_k,
+                        ),
+                        results,
+                    )
             self._finish(
                 request,
                 QueryResponse(
@@ -730,20 +959,35 @@ class QueryExecutor:
             exact: list[_Request] = []
             degraded: list[_Request] = []
             for request in batch:
+                # The queue span ends here for everyone, including
+                # requests about to miss their deadline — queue wait is
+                # exactly the latency the histogram must attribute.
+                request.exec_started_at = time.monotonic()
+                if request.queue_span is not None:
+                    request.queue_span.finish()
+                self.metrics.observe_queue_wait(request.queue_wait_s)
                 if request.future.cancelled():
+                    if request.owns_trace:
+                        request.trace.finish(outcome="cancelled")
                     continue
+                request.batch_span = request.trace.begin(
+                    "batch", parent=request.trace.root, batch_size=len(batch)
+                )
                 if request.deadline is not None:
                     remaining = request.deadline - now
                     if remaining <= 0:
                         self.metrics.increment("deadline_misses")
-                        request.future.set_exception(
+                        self._fail(
+                            request,
                             DeadlineExceeded(
                                 f"deadline expired {-remaining:.3f}s before execution"
-                            )
+                            ),
+                            "timeout",
                         )
                         continue
                     assert request.timeout_s is not None
                     if remaining < self.degradation_margin * request.timeout_s:
+                        request.trace.root.set_tag("degraded_by", "deadline")
                         degraded.append(request)
                         continue
                 exact.append(request)
@@ -757,11 +1001,18 @@ class QueryExecutor:
                     generation,
                     request.top_k,
                 )
-                cached = self._cache_get(key) if self.cache is not None else None
                 if self.cache is not None:
+                    cache_span = request.trace.begin(
+                        "cache.get", parent=request.batch_span, generation=generation
+                    )
+                    with use_trace(request.trace):
+                        cached = self._cache_get(key)
+                    cache_span.set_tag("hit", cached is not None).finish()
                     self.metrics.increment(
                         "cache_hits" if cached is not None else "cache_misses"
                     )
+                else:
+                    cached = None
                 if cached is not None:
                     self._finish(
                         request,
@@ -780,12 +1031,26 @@ class QueryExecutor:
             if not to_run and not degraded:
                 return
             breaker = self._breaker(batch[0].scoring_name)
-            if to_run and not breaker.allow():
-                # Open breaker: shed to the approximate join instead of
-                # queueing up behind a failing exact path.
-                self.metrics.increment("breaker_shed_total", len(to_run))
-                degraded.extend(to_run)
-                to_run = []
+            if to_run:
+                with use_trace(to_run[0].trace):
+                    allowed = breaker.allow()
+                if not allowed:
+                    # Open breaker: shed to the approximate join instead
+                    # of queueing up behind a failing exact path.
+                    self.metrics.increment("breaker_shed_total", len(to_run))
+                    if self.logger is not None:
+                        self.logger.warning(
+                            "breaker.shed",
+                            family=batch[0].scoring_name,
+                            requests=len(to_run),
+                            trace_ids=[
+                                r.trace.trace_id or None for r in to_run
+                            ],
+                        )
+                    for request in to_run:
+                        request.trace.root.set_tag("degraded_by", "breaker")
+                    degraded.extend(to_run)
+                    to_run = []
 
             if len(to_run) > 1:
                 self.metrics.increment("batches")
@@ -801,8 +1066,11 @@ class QueryExecutor:
                     breaker.abandon_probe()
                     raise
                 except Exception:
-                    if breaker.record_failure():
-                        self.metrics.increment("breaker_open_total")
+                    with use_trace(to_run[0].trace):
+                        if breaker.record_failure():
+                            self.metrics.increment("breaker_open_total")
+                    for request in to_run:
+                        request.trace.root.set_tag("degraded_by", "join_failure")
                     degraded.extend(to_run)
                 else:
                     breaker.record_success()

@@ -1,12 +1,13 @@
-"""Lightweight serving metrics: counters, latency quantiles, snapshots.
+"""Serving metrics, backed by the :mod:`repro.obs` metrics registry.
 
-No external dependencies, no background threads — just thread-safe
-counters and a bounded latency reservoir cheap enough to update on every
-request.  :meth:`ServiceMetrics.snapshot` returns one plain dict, which
-is what the ``/metrics`` endpoint serializes and what benchmarks and
-tests assert against.
+:class:`ServiceMetrics` keeps the PR-1 API (``increment``/``count``/
+``observe_latency``/``snapshot``) and every historical JSON field name,
+but all counters, gauges, and histograms now live in one
+:class:`~repro.obs.MetricsRegistry` — the single source of truth that
+``/metrics`` renders as Prometheus text (and still as JSON under
+``?format=json``).
 
-Metric glossary (see also docs/SERVING.md):
+Metric glossary (see also docs/SERVING.md and docs/OBSERVABILITY.md):
 
 ``requests_total``      every request admitted to the executor
 ``rejected_total``      requests refused by admission control (queue full)
@@ -24,8 +25,14 @@ Metric glossary (see also docs/SERVING.md):
 ``cache_errors``        result-cache operations that raised (failed open)
 ``drain_dropped``       queued requests failed when the drain budget expired
 ``queue_depth``         current executor backlog (gauge)
-``latency_p50``/``latency_p95``  request latency quantiles (seconds)
+``latency_p50``/``latency_p95``/``latency_p99``  request latency quantiles
 ``qps``                 completed requests / elapsed wall-clock
+
+Histograms (fixed buckets, Prometheus ``_bucket``/``_sum``/``_count``):
+
+``repro_request_latency_seconds``   end-to-end request latency
+``repro_queue_wait_seconds``        admission-to-execution queue wait
+``repro_join_seconds{family=…}``    best-join time per scoring family
 """
 
 from __future__ import annotations
@@ -33,6 +40,8 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
 
 __all__ = ["LatencyReservoir", "ServiceMetrics"]
 
@@ -42,7 +51,10 @@ class LatencyReservoir:
 
     Keeps the most recent ``size`` samples (a deque, O(1) record) and
     computes quantiles by sorting on demand — snapshots are rare next to
-    records, so this is the right trade for a serving hot path.
+    records, so this is the right trade for a serving hot path.  The
+    fixed-bucket histograms answer the same question for Prometheus;
+    the reservoir stays because its quantiles are exact over the window
+    (no bucket-interpolation error) for the JSON snapshot.
     """
 
     def __init__(self, size: int = 2048) -> None:
@@ -71,77 +83,142 @@ class LatencyReservoir:
         return ordered[rank]
 
 
+#: JSON field name → (Prometheus metric name, help text).
+_COUNTER_SPECS: dict[str, tuple[str, str]] = {
+    "requests_total": ("repro_requests_total", "Requests admitted to the executor"),
+    "rejected_total": ("repro_rejected_total", "Requests refused by admission control"),
+    "cache_hits": ("repro_cache_hits_total", "Result-cache hits"),
+    "cache_misses": ("repro_cache_misses_total", "Result-cache misses"),
+    "joins_executed": ("repro_joins_executed_total", "Requests answered by running best-joins"),
+    "batches": ("repro_batches_total", "Micro-batches of size > 1 executed"),
+    "batched_queries": ("repro_batched_queries_total", "Requests served inside a micro-batch"),
+    "deadline_misses": ("repro_deadline_misses_total", "Requests expired before execution"),
+    "degraded_responses": ("repro_degraded_responses_total", "Requests answered by the approximate join"),
+    "errors_total": ("repro_errors_total", "Requests that raised during execution"),
+    "joins_run": ("repro_joins_run_total", "Best-joins executed by the ranking loops"),
+    "joins_skipped": ("repro_joins_skipped_total", "Candidates pruned by the upper-bound test"),
+    "join_micros": ("repro_join_micros_total", "Microseconds spent inside best-join calls"),
+    "worker_restarts": ("repro_worker_restarts_total", "Workers respawned by the watchdog"),
+    "workers_stalled": ("repro_workers_stalled_total", "Workers replaced after exceeding the stall timeout"),
+    "retries_total": ("repro_retries_total", "Transient-failure retries of the exact join"),
+    "breaker_open_total": ("repro_breaker_open_total", "Circuit-breaker open transitions"),
+    "breaker_shed_total": ("repro_breaker_shed_total", "Requests shed to the degraded join by an open breaker"),
+    "cache_errors": ("repro_cache_errors_total", "Result-cache operations that raised (failed open)"),
+    "drain_dropped": ("repro_drain_dropped_total", "Queued requests failed past the drain budget"),
+}
+
+
 class ServiceMetrics:
-    """Thread-safe counters + latency reservoir for the serving layer."""
+    """Thread-safe serving metrics over one :class:`MetricsRegistry`."""
 
-    _COUNTERS = (
-        "requests_total",
-        "rejected_total",
-        "cache_hits",
-        "cache_misses",
-        "joins_executed",
-        "batches",
-        "batched_queries",
-        "deadline_misses",
-        "degraded_responses",
-        "errors_total",
-        "joins_run",
-        "joins_skipped",
-        "join_micros",
-        "worker_restarts",
-        "workers_stalled",
-        "retries_total",
-        "breaker_open_total",
-        "breaker_shed_total",
-        "cache_errors",
-        "drain_dropped",
-    )
+    _COUNTERS = tuple(_COUNTER_SPECS)
 
-    def __init__(self, *, reservoir_size: int = 2048) -> None:
+    def __init__(
+        self,
+        *,
+        reservoir_size: int = 2048,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self._lock = threading.Lock()
-        self._counts = {name: 0 for name in self._COUNTERS}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(prom_name, help_text)
+            for name, (prom_name, help_text) in _COUNTER_SPECS.items()
+        }
+        self._queue_depth = self.registry.gauge(
+            "repro_queue_depth", "Current executor backlog"
+        )
+        self._latency_hist = self.registry.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end request latency",
+            LATENCY_BUCKETS,
+        )
+        self._queue_wait_hist = self.registry.histogram(
+            "repro_queue_wait_seconds",
+            "Admission-to-execution queue wait",
+            LATENCY_BUCKETS,
+        )
+        self._join_hist = self.registry.histogram(
+            "repro_join_seconds",
+            "Best-join execution time per scoring family",
+            LATENCY_BUCKETS,
+        )
+        self._completed_counter = self.registry.counter(
+            "repro_completed_total", "Requests completed (latency observed)"
+        )
+        self._uptime = self.registry.gauge(
+            "repro_uptime_seconds", "Seconds since metrics started"
+        )
         self._latency = LatencyReservoir(reservoir_size)
-        self._queue_depth = 0
         self._started = time.monotonic()
         self._completed = 0
 
     # -- recording -----------------------------------------------------------
 
     def increment(self, name: str, amount: int = 1) -> None:
-        if name not in self._counts:
+        counter = self._counters.get(name)
+        if counter is None:
             raise KeyError(f"unknown counter {name!r}")
-        with self._lock:
-            self._counts[name] += amount
+        counter.inc(amount)
 
     def count(self, name: str) -> int:
-        with self._lock:
-            return self._counts[name]
+        counter = self._counters.get(name)
+        if counter is None:
+            raise KeyError(f"unknown counter {name!r}")
+        return int(counter.total())
 
     def set_queue_depth(self, depth: int) -> None:
-        with self._lock:
-            self._queue_depth = depth
+        self._queue_depth.set(depth)
 
     def observe_latency(self, seconds: float) -> None:
-        """Record one completed request's latency."""
+        """Record one completed request's end-to-end latency."""
         self._latency.record(seconds)
+        self._latency_hist.observe(seconds)
+        self._completed_counter.inc()
         with self._lock:
             self._completed += 1
 
+    def observe_queue_wait(self, seconds: float) -> None:
+        """Record one request's admission-to-execution wait."""
+        self._queue_wait_hist.observe(seconds)
+
+    def observe_join(self, family: str, seconds: float) -> None:
+        """Record one best-join execution, labelled by scoring family."""
+        self._join_hist.observe(seconds, family=family)
+
     # -- reading -------------------------------------------------------------
 
+    def latency_percentile(self, q: float) -> float | None:
+        return self._latency.quantile(q)
+
+    def histogram_summaries(self) -> dict:
+        """count/sum/percentile summaries of every serving histogram."""
+        joins = {
+            labels.get("family", ""): self._join_hist.snapshot(**labels)
+            for labels in self._join_hist.label_sets()
+        }
+        return {
+            "request_latency_seconds": self._latency_hist.snapshot(),
+            "queue_wait_seconds": self._queue_wait_hist.snapshot(),
+            "join_seconds": joins,
+        }
+
     def snapshot(self) -> dict:
-        """One consistent view of every metric, as a plain dict."""
+        """One consistent view of every metric, as a plain dict.
+
+        Every PR-1/PR-3 field name is preserved; new data rides in new
+        keys (``latency_p99``, ``histograms``).
+        """
+        counts = {name: int(c.total()) for name, c in self._counters.items()}
         with self._lock:
-            counts = dict(self._counts)
-            depth = self._queue_depth
             completed = self._completed
-            elapsed = time.monotonic() - self._started
+        elapsed = time.monotonic() - self._started
         hits, misses = counts["cache_hits"], counts["cache_misses"]
         lookups = hits + misses
         considered = counts["joins_run"] + counts["joins_skipped"]
         return {
             **counts,
-            "queue_depth": depth,
+            "queue_depth": int(self._queue_depth.value()),
             "completed_total": completed,
             "uptime_s": elapsed,
             "qps": completed / elapsed if elapsed > 0 else 0.0,
@@ -151,7 +228,14 @@ class ServiceMetrics:
             ),
             "latency_p50": self._latency.quantile(0.50),
             "latency_p95": self._latency.quantile(0.95),
+            "latency_p99": self._latency.quantile(0.99),
+            "histograms": self.histogram_summaries(),
         }
+
+    def render_prometheus(self) -> str:
+        """The registry as Prometheus text exposition (``/metrics``)."""
+        self._uptime.set(round(time.monotonic() - self._started, 3))
+        return self.registry.render_prometheus()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         snap = self.snapshot()

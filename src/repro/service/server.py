@@ -9,7 +9,9 @@
     ``504``, a bad query or malformed parameter to ``400``.  Every
     error body is structured: ``{"error": {"code": …, "message": …}}``.
 ``GET /metrics``
-    JSON :meth:`ServiceMetrics.snapshot` plus cache stats.
+    Prometheus text exposition (version 0.0.4) of every counter, gauge,
+    and histogram; ``GET /metrics?format=json`` returns the legacy JSON
+    :meth:`ServiceMetrics.snapshot` plus cache stats.
 ``GET /healthz``
     Liveness: the process is up and can describe itself.
 ``GET /readyz``
@@ -29,6 +31,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.matching.queries import QuerySyntaxError
+from repro.obs.trace import NULL_TRACE
 from repro.service.executor import (
     SCORING_PRESETS,
     DeadlineExceeded,
@@ -53,6 +56,16 @@ def _response_payload(response: QueryResponse) -> dict:
             for rank, doc in enumerate(response.results, 1)
         ],
     }
+
+
+#: Result-cache stats mirrored as registry gauges at scrape time.
+_CACHE_GAUGES: dict[str, str] = {
+    "size": "Result-cache entries currently stored",
+    "capacity": "Result-cache capacity",
+    "hits": "Result-cache hits (cache's own counter)",
+    "misses": "Result-cache misses (cache's own counter)",
+    "evictions": "Result-cache LRU evictions",
+}
 
 
 class _BadParameter(ValueError):
@@ -102,13 +115,23 @@ class _Handler(BaseHTTPRequestHandler):
     # response ~40ms (22 QPS from a sub-millisecond handler).
     disable_nagle_algorithm = True
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
+        # Telemetry and health answers are point-in-time: a cached 200
+        # from /readyz or a stale /metrics scrape is actively wrong.
+        self.send_header("Cache-Control", "no-store")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send_body(
+            status, json.dumps(payload).encode(), "application/json"
+        )
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type)
 
     def _send_error_json(self, status: int, code: str, message: str) -> None:
         """Every error is machine-readable: an error code plus a message."""
@@ -140,11 +163,35 @@ class _Handler(BaseHTTPRequestHandler):
                 health["status"] = "draining"
             self._send_json(200 if health["ready"] else 503, health)
         elif url.path == "/metrics":
-            snapshot = self.server.executor.metrics.snapshot()
+            params = {k: v[-1] for k, v in parse_qs(url.query).items()}
+            fmt = params.get("format", "prometheus")
+            metrics = self.server.executor.metrics
             cache = self.server.executor.cache
-            if cache is not None:
-                snapshot["cache"] = cache.stats()
-            self._send_json(200, snapshot)
+            if fmt == "json":
+                snapshot = metrics.snapshot()
+                if cache is not None:
+                    snapshot["cache"] = cache.stats()
+                self._send_json(200, snapshot)
+            elif fmt == "prometheus":
+                if cache is not None:
+                    stats = cache.stats()
+                    registry = metrics.registry
+                    for key, help_text in _CACHE_GAUGES.items():
+                        registry.gauge(
+                            f"repro_result_cache_{key}", help_text
+                        ).set(stats[key])
+                self._send_text(
+                    200,
+                    metrics.render_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._send_error_json(
+                    400,
+                    "invalid_parameter",
+                    f"unknown metrics format {fmt!r}; "
+                    "expected 'prometheus' or 'json'",
+                )
         elif url.path == "/search":
             params = {k: v[-1] for k, v in parse_qs(url.query).items()}
             self._search(params)
@@ -180,25 +227,64 @@ class _Handler(BaseHTTPRequestHandler):
         except _BadParameter as exc:
             self._send_error_json(400, "invalid_parameter", str(exc))
             return
-        try:
-            future = self.server.executor.submit(
-                str(query_text), top_k=top_k, scoring=scoring, timeout=timeout
+        # The HTTP layer opens the trace (and therefore owns finishing
+        # it); the executor threads the same object through the queue
+        # handoff and tags the outcome wherever the request ends up.
+        tracer = self.server.executor.tracer
+        trace = (
+            tracer.trace(
+                "request",
+                query=str(query_text),
+                scoring=scoring or "default",
+                top_k=top_k,
+                transport="http",
             )
-            response = future.result()
-        except ShutdownDrained as exc:
-            self._send_error_json(503, "shutting_down", str(exc))
-        except QueryRejected as exc:
-            self._send_error_json(503, "overloaded", str(exc))
-        except DeadlineExceeded as exc:
-            self._send_error_json(504, "deadline_exceeded", str(exc))
-        except QuerySyntaxError as exc:
-            self._send_error_json(400, "bad_query", str(exc))
-        except ValueError as exc:
-            self._send_error_json(400, "bad_request", str(exc))
-        except Exception as exc:  # a genuine serving failure, not the client
-            self._send_error_json(500, "internal", f"{type(exc).__name__}: {exc}")
-        else:
-            self._send_json(200, _response_payload(response))
+            if tracer is not None
+            else NULL_TRACE
+        )
+        try:
+            try:
+                future = self.server.executor.submit(
+                    str(query_text),
+                    top_k=top_k,
+                    scoring=scoring,
+                    timeout=timeout,
+                    trace=trace,
+                )
+                response = future.result()
+            except ShutdownDrained as exc:
+                self._trace_outcome(trace, "shed")
+                self._send_error_json(503, "shutting_down", str(exc))
+            except QueryRejected as exc:
+                self._trace_outcome(trace, "shed")
+                self._send_error_json(503, "overloaded", str(exc))
+            except DeadlineExceeded as exc:
+                self._trace_outcome(trace, "timeout")
+                self._send_error_json(504, "deadline_exceeded", str(exc))
+            except QuerySyntaxError as exc:
+                self._trace_outcome(trace, "error")
+                self._send_error_json(400, "bad_query", str(exc))
+            except ValueError as exc:
+                self._trace_outcome(trace, "error")
+                self._send_error_json(400, "bad_request", str(exc))
+            except Exception as exc:  # a genuine serving failure, not the client
+                self._trace_outcome(trace, "error")
+                self._send_error_json(
+                    500, "internal", f"{type(exc).__name__}: {exc}"
+                )
+            else:
+                payload = _response_payload(response)
+                if trace.trace_id:
+                    payload["trace_id"] = trace.trace_id
+                self._send_json(200, payload)
+        finally:
+            trace.finish()
+
+    @staticmethod
+    def _trace_outcome(trace, outcome: str) -> None:
+        """Tag the outcome unless the executor already attributed one."""
+        if trace.is_recording and "outcome" not in trace.root.tags:
+            trace.root.set_tag("outcome", outcome)
 
 
 class _Server(ThreadingHTTPServer):

@@ -18,6 +18,7 @@ regexes, fuzzy) run *online* over the stored documents.
 
 from __future__ import annotations
 
+import contextlib
 import pathlib
 from typing import Iterable, Sequence
 
@@ -38,6 +39,8 @@ from repro.lexicon.graph import LexicalGraph
 from repro.matching.pipeline import QueryMatcher
 from repro.matching.queries import parse_query
 from repro.matching.semantic import SemanticMatcher
+from repro.obs.trace import NULL_SPAN, span as obs_span, use_trace
+from repro.retrieval.instrumentation import collect_join_stats
 from repro.reliability.snapshot import read_snapshot, write_snapshot
 from repro.retrieval.ranking import RankedDocument, rank_match_lists
 from repro.retrieval.topk_retrieval import rank_top_k
@@ -110,11 +113,17 @@ class SearchSystem:
 
     def _plan(self, query_text: str) -> tuple[Query, QueryMatcher | None]:
         """Parse the query; None matcher means the offline path applies."""
-        query, matchers = parse_query(query_text, lexicon=self.lexicon)
-        offline = all(isinstance(m, SemanticMatcher) for m in matchers.values())
-        if offline:
-            return query, None
-        return query, QueryMatcher(query, matchers, lexicon=self.lexicon)
+        with obs_span("plan") as sp:
+            query, matchers = parse_query(query_text, lexicon=self.lexicon)
+            offline = all(
+                isinstance(m, SemanticMatcher) for m in matchers.values()
+            )
+            sp.set_tags(
+                n_terms=len(matchers), path="offline" if offline else "online"
+            )
+            if offline:
+                return query, None
+            return query, QueryMatcher(query, matchers, lexicon=self.lexicon)
 
     def _per_document_lists(
         self,
@@ -156,13 +165,57 @@ class SearchSystem:
         """
         per_doc = self._per_document_lists(query, matcher, memo=memo)
         bounded = isinstance(scoring, (WinScoring, MedScoring, MaxScoring))
-        if top_k is not None and top_k > 0 and bounded:
-            return rank_top_k(
-                per_doc, query, scoring, top_k, avoid_duplicates=avoid_duplicates
-            ).ranked
-        return rank_match_lists(
-            per_doc, query, scoring, avoid_duplicates=avoid_duplicates, top_k=top_k
-        )
+
+        def run(source) -> list[RankedDocument]:
+            if top_k is not None and top_k > 0 and bounded:
+                return rank_top_k(
+                    source, query, scoring, top_k, avoid_duplicates=avoid_duplicates
+                ).ranked
+            return rank_match_lists(
+                source, query, scoring, avoid_duplicates=avoid_duplicates, top_k=top_k
+            )
+
+        with obs_span(
+            "rank",
+            scoring=type(scoring).__name__,
+            top_k=top_k,
+            avoid_duplicates=avoid_duplicates,
+            bounded=bounded,
+        ) as sp:
+            if sp is NULL_SPAN:
+                return run(per_doc)
+            # Recording: count candidates and per-term list sizes on the
+            # way through (the generator is consumed exactly once by the
+            # ranking loop), and scope the join counters to this span.
+            candidates = 0
+            term_positions: dict[str, int] = {}
+            term_names = [str(term) for term in query]
+
+            def counted():
+                nonlocal candidates
+                for doc_id, lists in source_iter:
+                    candidates += 1
+                    for index, lst in enumerate(lists):
+                        name = (
+                            term_names[index]
+                            if index < len(term_names)
+                            else str(index)
+                        )
+                        term_positions[name] = term_positions.get(name, 0) + len(lst)
+                    yield doc_id, lists
+
+            source_iter = per_doc
+            with collect_join_stats() as stats:
+                ranked = run(counted())
+            sp.set_tags(
+                candidates=candidates,
+                term_positions=term_positions,
+                joins_run=stats.joins_run,
+                joins_skipped=stats.joins_skipped,
+                join_us=stats.join_ns // 1000,
+                dedup_invocations=stats.dedup_invocations,
+            )
+            return ranked
 
     def ask(
         self,
@@ -178,14 +231,15 @@ class SearchSystem:
         join — a cheaper, approximate ranking the serving layer falls
         back to when a request's deadline is nearly spent.
         """
-        query, matcher = self._plan(query_text)
-        return self._rank(
-            query,
-            matcher,
-            scoring or self.scoring,
-            top_k=top_k,
-            avoid_duplicates=avoid_duplicates,
-        )
+        with obs_span("ask"):
+            query, matcher = self._plan(query_text)
+            return self._rank(
+                query,
+                matcher,
+                scoring or self.scoring,
+                top_k=top_k,
+                avoid_duplicates=avoid_duplicates,
+            )
 
     def ask_many(
         self,
@@ -194,6 +248,7 @@ class SearchSystem:
         top_k: int = 5,
         scoring: ScoringFunction | None = None,
         avoid_duplicates: bool = True,
+        traces: Sequence | None = None,
     ) -> list[list[RankedDocument]]:
         """Rank documents for several queries in one pass.
 
@@ -204,21 +259,37 @@ class SearchSystem:
         the index once instead of once per query.  Results are
         guaranteed identical to calling :meth:`ask` per query — match
         lists are immutable, so sharing them cannot change a join.
+
+        ``traces`` (one :class:`~repro.obs.Trace` per query, the
+        executor's per-request contexts) activates each query's trace
+        while that query is planned and ranked, so the system-level
+        spans land on the right request even though the batch shares one
+        thread.
         """
+        if traces is not None and len(traces) != len(queries):
+            raise ValueError(
+                f"traces/queries length mismatch: {len(traces)} != {len(queries)}"
+            )
         memo: dict = {}
         results: list[list[RankedDocument]] = []
-        for query_text in queries:
-            query, matcher = self._plan(query_text)
-            results.append(
-                self._rank(
-                    query,
-                    matcher,
-                    scoring or self.scoring,
-                    top_k=top_k,
-                    avoid_duplicates=avoid_duplicates,
-                    memo=memo if matcher is None else None,
-                )
+        for position, query_text in enumerate(queries):
+            scope = (
+                use_trace(traces[position])
+                if traces is not None
+                else contextlib.nullcontext()
             )
+            with scope, obs_span("ask"):
+                query, matcher = self._plan(query_text)
+                results.append(
+                    self._rank(
+                        query,
+                        matcher,
+                        scoring or self.scoring,
+                        top_k=top_k,
+                        avoid_duplicates=avoid_duplicates,
+                        memo=memo if matcher is None else None,
+                    )
+                )
         return results
 
     def extract(

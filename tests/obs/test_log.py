@@ -1,0 +1,98 @@
+"""Structured JSON logging: line shape, level filtering, sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.log import LEVELS, MemorySink, StructuredLogger
+
+
+def test_one_json_object_per_line():
+    stream = io.StringIO()
+    logger = StructuredLogger(stream, clock=lambda: 123.4567891)
+    record = logger.info("request", trace_id="t1", latency_ms=4.2, outcome="ok")
+    line = stream.getvalue()
+    assert line.endswith("\n") and line.count("\n") == 1
+    parsed = json.loads(line)
+    assert parsed == record
+    assert parsed["ts"] == 123.456789  # clock rounded to microseconds
+    assert parsed["level"] == "info"
+    assert parsed["event"] == "request"
+    assert parsed["trace_id"] == "t1"
+    assert parsed["outcome"] == "ok"
+
+
+def test_level_filtering():
+    sink = MemorySink()
+    logger = StructuredLogger(min_level="warning")
+    logger.add_sink(sink)
+    assert logger.info("dropped") is None
+    assert logger.warning("kept") is not None
+    assert logger.error("also_kept") is not None
+    assert [e["event"] for e in sink.events] == ["kept", "also_kept"]
+
+
+def test_unknown_levels_rejected():
+    with pytest.raises(ValueError):
+        StructuredLogger(min_level="loud")
+    logger = StructuredLogger(io.StringIO())
+    with pytest.raises(ValueError):
+        logger.log("x", level="loud")
+    assert set(LEVELS) == {"debug", "info", "warning", "error"}
+
+
+def test_disabled_logger_is_a_no_op():
+    logger = StructuredLogger()  # no stream, no sinks
+    assert not logger.enabled
+    assert logger.info("request") is None
+
+
+def test_non_jsonable_fields_are_clamped():
+    class Opaque:
+        def __repr__(self):
+            return "<opaque>"
+
+    sink = MemorySink()
+    logger = StructuredLogger()
+    logger.add_sink(sink)
+    logger.info("request", thing=Opaque(), nested={"k": (1, Opaque())})
+    event = sink.events[0]
+    assert event["thing"] == "<opaque>"
+    assert event["nested"] == {"k": [1, "<opaque>"]}
+    json.dumps(event)
+
+
+def test_dead_stream_never_fails_the_caller():
+    stream = io.StringIO()
+    stream.close()
+    sink = MemorySink()
+    logger = StructuredLogger(stream)
+    logger.add_sink(sink)
+    record = logger.info("request")  # write raises internally; swallowed
+    assert record is not None
+    assert sink.named("request") == [record]
+
+
+def test_broken_sink_does_not_stop_delivery():
+    good = MemorySink()
+    logger = StructuredLogger()
+    logger.add_sink(lambda event: (_ for _ in ()).throw(RuntimeError("boom")))
+    logger.add_sink(good)
+    logger.info("request")
+    assert len(good.events) == 1
+    logger.remove_sink(good)
+    logger.info("request")
+    assert len(good.events) == 1
+
+
+def test_memory_sink_named_and_clear():
+    sink = MemorySink()
+    logger = StructuredLogger()
+    logger.add_sink(sink)
+    logger.info("a")
+    logger.info("b")
+    logger.info("a")
+    assert len(sink.named("a")) == 2
+    sink.clear()
+    assert sink.events == []

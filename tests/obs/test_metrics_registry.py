@@ -1,0 +1,222 @@
+"""Metrics registry: bucket placement, percentile estimates, thread safety."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests_total", "Requests served.")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+        assert c.total() == 5
+
+    def test_labels_are_independent_series(self):
+        c = Counter("joins_total", "")
+        c.inc(2, family="win")
+        c.inc(3, family="max")
+        assert c.value(family="win") == 2
+        assert c.value(family="max") == 3
+        assert c.total() == 5
+
+    def test_counters_only_go_up(self):
+        c = Counter("requests_total", "")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_unobserved_counter_still_exposes_a_sample(self):
+        assert Counter("requests_total", "").samples() == ["requests_total 0"]
+
+
+class TestGauge:
+    def test_set_inc_value(self):
+        g = Gauge("queue_depth", "")
+        g.set(7)
+        g.inc(-2)
+        assert g.value() == 5
+
+
+class TestHistogramBuckets:
+    def test_value_equal_to_boundary_lands_in_that_bucket(self):
+        """``le`` is an inclusive upper bound: observing exactly 1.0 must
+        count toward the le="1" bucket, not the next one."""
+        h = Histogram("lat", "", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        samples = h.samples()
+        assert 'lat_bucket{le="1"} 1' in samples
+        assert 'lat_bucket{le="2"} 1' in samples
+        assert 'lat_bucket{le="+Inf"} 1' in samples
+
+    def test_value_just_past_boundary_lands_in_next_bucket(self):
+        h = Histogram("lat", "", buckets=(1.0, 2.0))
+        h.observe(1.0 + 1e-9)
+        samples = h.samples()
+        assert 'lat_bucket{le="1"} 0' in samples
+        assert 'lat_bucket{le="2"} 1' in samples
+
+    def test_overflow_goes_to_implicit_inf_bucket(self):
+        h = Histogram("lat", "", buckets=(1.0, 2.0))
+        h.observe(99.0)
+        samples = h.samples()
+        assert 'lat_bucket{le="2"} 0' in samples
+        assert 'lat_bucket{le="+Inf"} 1' in samples
+        assert h.count() == 1
+        assert h.sum() == 99.0
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", "", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("lat", "", buckets=(1.0, 1.0))  # not strictly increasing
+        with pytest.raises(ValueError):
+            Histogram("lat", "", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", "", buckets=(1.0, math.inf))  # +Inf is implicit
+
+    def test_metric_name_validation(self):
+        with pytest.raises(ValueError):
+            Counter("bad name", "")
+        with pytest.raises(ValueError):
+            Counter("1leading_digit", "")
+        Counter("ok_name:with_colon", "")  # colons are legal in Prometheus
+
+
+class TestHistogramPercentiles:
+    def test_uniform_distribution_interpolates_exactly(self):
+        """100 uniform samples over (0, 1] against quartile boundaries:
+        the interpolated estimates must hit the true quantiles."""
+        h = Histogram("lat", "", buckets=(0.25, 0.5, 0.75, 1.0))
+        for i in range(1, 101):
+            h.observe(i / 100)
+        assert h.percentile(0.50) == pytest.approx(0.5)
+        assert h.percentile(0.95) == pytest.approx(0.95)
+        assert h.percentile(1.0) == pytest.approx(1.0)
+        assert h.count() == 100
+        assert h.sum() == pytest.approx(50.5)
+
+    def test_point_mass_lands_inside_owning_bucket(self):
+        h = Histogram("lat", "", buckets=(1.0, 2.0, 4.0))
+        for _ in range(10):
+            h.observe(1.5)  # all mass in the (1, 2] bucket
+        p50 = h.percentile(0.50)
+        assert 1.0 < p50 <= 2.0
+
+    def test_overflow_reports_largest_finite_boundary(self):
+        h = Histogram("lat", "", buckets=(1.0, 2.0))
+        h.observe(50.0)
+        h.observe(60.0)
+        assert h.percentile(0.5) == 2.0
+
+    def test_empty_histogram_has_no_percentile(self):
+        h = Histogram("lat", "")
+        assert h.percentile(0.5) is None
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_snapshot_shape(self):
+        h = Histogram("lat", "", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["sum"] == 0.5
+        assert set(snap) == {"count", "sum", "p50", "p95", "p99"}
+
+    def test_labelled_series_are_independent(self):
+        h = Histogram("join", "", buckets=(1.0, 2.0))
+        h.observe(0.5, family="win")
+        h.observe(1.5, family="max")
+        assert h.count(family="win") == 1
+        assert h.count(family="max") == 1
+        assert h.count() == 0
+        assert h.label_sets() == [{"family": "max"}, {"family": "win"}]
+
+
+class TestThreadSafety:
+    def test_concurrent_observes_lose_nothing(self):
+        h = Histogram("lat", "", buckets=LATENCY_BUCKETS)
+        c = Counter("n", "")
+        threads, per_thread = 8, 2000
+
+        def hammer():
+            for _ in range(per_thread):
+                h.observe(0.5)
+                c.inc()
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert h.count() == threads * per_thread
+        assert h.sum() == threads * per_thread * 0.5  # 0.5 sums exactly
+        assert c.total() == threads * per_thread
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("requests_total", "Requests.")
+        b = reg.counter("requests_total")
+        assert a is b
+        assert reg.get("requests_total") is a
+
+    def test_kind_mismatch_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "")
+        with pytest.raises(ValueError):
+            reg.histogram("x", "")
+
+    def test_render_prometheus_format(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", "Requests served.").inc(3)
+        reg.gauge("queue_depth").set(2)
+        reg.histogram("lat", "Latency.", buckets=(1.0,)).observe(0.5)
+        text = reg.render_prometheus()
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert "# HELP requests_total Requests served." in lines
+        assert "# TYPE requests_total counter" in lines
+        assert "requests_total 3" in lines
+        # No help text -> no HELP line, but TYPE is always present.
+        assert not any(l.startswith("# HELP queue_depth") for l in lines)
+        assert "# TYPE queue_depth gauge" in lines
+        assert "# TYPE lat histogram" in lines
+        assert 'lat_bucket{le="1"} 1' in lines
+        assert 'lat_bucket{le="+Inf"} 1' in lines
+        assert "lat_sum 0.5" in lines
+        assert "lat_count 1" in lines
+        # Families come out name-sorted.
+        assert lines.index("# TYPE lat histogram") < lines.index(
+            "# TYPE queue_depth gauge"
+        )
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("errors_total").inc(1, kind='bad"quote\nnewline\\slash')
+        text = reg.render_prometheus()
+        assert 'kind="bad\\"quote\\nnewline\\\\slash"' in text
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("requests_total").inc(2)
+        reg.gauge("depth").set(1)
+        h = reg.histogram("join", buckets=(1.0, 2.0))
+        h.observe(0.5, family="win")
+        snap = reg.snapshot()
+        assert snap["requests_total"] == 2
+        assert snap["depth"] == 1
+        assert snap["join"]["family=win"]["count"] == 1
+        json.dumps(snap)  # must serialize cleanly

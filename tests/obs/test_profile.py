@@ -1,0 +1,140 @@
+"""Profiling harness: path aggregation, self time, quantiles, rendering."""
+
+import pytest
+
+from repro.obs.profile import (
+    ProfileReport,
+    aggregate_traces,
+    format_flame,
+    profile_workload,
+    quantile,
+)
+from repro.obs.trace import Tracer
+
+
+def make_trace(tracer):
+    """One deterministic request/batch/join trace.
+
+    Clock stamps (ns): root starts at 0, batch at 10, join at 20;
+    join ends at 60, batch at 80, root at 100.
+    """
+    trace = tracer.trace("request")
+    batch = trace.begin("batch", parent=trace.root)
+    join = trace.begin("join", parent=batch)
+    join.finish(lambda: 60)
+    batch.finish(lambda: 80)
+    trace.finish()
+    return trace
+
+
+def deterministic_tracer():
+    clock = iter([0, 10, 20, 100, 0, 10, 20, 100])
+    return Tracer(clock_ns=lambda: next(clock))
+
+
+class TestAggregateTraces:
+    def test_paths_durations_and_self_time(self):
+        report = aggregate_traces([make_trace(deterministic_tracer())])
+        assert [s.path for s in report.stages] == [
+            "request",
+            "request/batch",
+            "request/batch/join",
+        ]
+        root = report.stage("request")
+        batch = report.stage("request/batch")
+        join = report.stage("request/batch/join")
+        assert root.total_ns == 100
+        assert batch.total_ns == 70
+        assert join.total_ns == 40
+        # Self time = own duration minus direct children.
+        assert root.self_ns == 100 - 70
+        assert batch.self_ns == 70 - 40
+        assert join.self_ns == 40
+        assert report.traces == 1
+        assert report.total_ns == 100
+
+    def test_multiple_traces_accumulate(self):
+        tracer = deterministic_tracer()
+        report = aggregate_traces([make_trace(tracer), make_trace(tracer)])
+        assert report.stage("request").count == 2
+        assert report.stage("request/batch/join").total_ns == 80
+        assert report.total_ns == 200
+
+    def test_children_never_exceed_parent_in_this_tree(self):
+        report = aggregate_traces([make_trace(deterministic_tracer())])
+        assert report.stage("request/batch").total_ns <= report.stage(
+            "request"
+        ).total_ns
+
+    def test_to_dict_shape(self):
+        payload = aggregate_traces([make_trace(deterministic_tracer())]).to_dict()
+        assert payload["traces"] == 1
+        assert {s["path"] for s in payload["stages"]} == {
+            "request",
+            "request/batch",
+            "request/batch/join",
+        }
+        assert all(
+            {"count", "total_ms", "self_ms", "mean_ms", "p50_ms", "p95_ms"}
+            <= set(s)
+            for s in payload["stages"]
+        )
+
+
+class TestQuantile:
+    def test_nearest_rank(self):
+        samples = [5, 1, 4, 2, 3]
+        assert quantile(samples, 0.0) == 1
+        assert quantile(samples, 0.5) == 3
+        assert quantile(samples, 1.0) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+
+class TestFormatFlame:
+    def test_renders_indented_tree(self):
+        text = format_flame(aggregate_traces([make_trace(deterministic_tracer())]))
+        lines = text.splitlines()
+        assert lines[0].startswith("stage")
+        assert any(l.startswith("request") for l in lines)
+        assert any(l.startswith("  batch") for l in lines)  # depth-1 indent
+        assert any(l.startswith("    join") for l in lines)
+        assert "%" in text
+
+    def test_empty_report(self):
+        empty = ProfileReport(stages=[], traces=0, total_ns=0)
+        assert "no traces" in format_flame(empty)
+
+
+class TestProfileWorkload:
+    @pytest.fixture(scope="class")
+    def system(self):
+        from repro.system import SearchSystem
+        from repro.text.document import Document
+
+        system = SearchSystem()
+        system.add(
+            Document("d1", "the sports partnership was announced today"),
+            Document("d2", "a marketing partnership with the sports league"),
+        )
+        return system
+
+    def test_traced_run_produces_stage_report(self, system):
+        report, latencies = profile_workload(
+            system, ["partnership, sports"], repeat=2
+        )
+        assert len(latencies) == 2
+        assert report.traces == 2
+        assert report.stage("request") is not None
+        join = [s for s in report.stages if s.name == "join"]
+        assert join and join[0].count == 2
+
+    def test_untraced_baseline_has_no_report(self, system):
+        report, latencies = profile_workload(
+            system, ["partnership, sports"], repeat=1, sample_rate=None
+        )
+        assert report.traces == 0
+        assert report.stages == []
+        assert len(latencies) == 1

@@ -1,0 +1,188 @@
+"""Tracer/Trace/Span: span trees, cross-thread handoff, sampling."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACE,
+    Tracer,
+    current_trace,
+    span,
+    use_trace,
+)
+
+
+class TestSpanTree:
+    def test_nested_spans_parent_correctly(self):
+        tracer = Tracer()
+        trace = tracer.trace("request", query="q")
+        with trace.span("outer") as outer:
+            with trace.span("inner") as inner:
+                pass
+        trace.finish()
+        assert outer.parent_id == trace.root.span_id
+        assert inner.parent_id == outer.span_id
+        assert [s.name for s in trace.spans] == ["request", "outer", "inner"]
+        assert all(s.trace_id == trace.trace_id for s in trace.spans)
+
+    def test_span_ids_are_trace_scoped_and_unique(self):
+        trace = Tracer().trace("request")
+        for _ in range(5):
+            trace.begin("child").finish()
+        ids = [s.span_id for s in trace.spans]
+        assert len(set(ids)) == len(ids)
+        assert all(i.startswith(trace.trace_id + ".") for i in ids)
+
+    def test_durations_are_monotonic_and_nested(self):
+        clock = iter(range(0, 1000, 10))
+        tracer = Tracer(clock_ns=lambda: next(clock))
+        trace = tracer.trace("request")  # root starts at t=0
+        child = trace.begin("child")  # child starts at t=10
+        child.finish(lambda: 40)  # explicit end stamp at t=40
+        trace.finish()
+        assert child.duration_ns == 30
+        assert child.start_ns >= trace.root.start_ns
+
+    def test_finish_is_idempotent_first_wins(self):
+        trace = Tracer().trace("request")
+        sp = trace.begin("child")
+        sp.finish()
+        first_end = sp.end_ns
+        sp.finish()
+        assert sp.end_ns == first_end
+        trace.finish()
+        trace.finish()  # second finish is a no-op
+
+    def test_root_tags_via_finish(self):
+        trace = Tracer().trace("request")
+        trace.finish(outcome="ok")
+        assert trace.root.tags["outcome"] == "ok"
+
+    def test_to_dict_roundtrips_structure(self):
+        trace = Tracer().trace("request", query="q")
+        trace.begin("child", note="x").finish()
+        trace.finish()
+        payload = trace.to_dict()
+        assert payload["trace_id"] == trace.trace_id
+        assert [s["name"] for s in payload["spans"]] == ["request", "child"]
+        assert payload["spans"][1]["tags"] == {"note": "x"}
+
+
+class TestCrossThread:
+    def test_begin_on_one_thread_finish_on_another(self):
+        """The executor's queue-span pattern: begun at submit, finished
+        by whichever worker picks the request up."""
+        trace = Tracer().trace("request")
+        queue_span = trace.begin("queue", parent=trace.root)
+
+        def worker():
+            queue_span.finish()
+            inner = trace.begin("work", parent=queue_span)
+            inner.finish()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        trace.finish()
+        names = {s.name: s for s in trace.spans}
+        assert names["queue"].finished
+        assert names["work"].parent_id == names["queue"].span_id
+
+    def test_per_thread_parent_stacks_do_not_interfere(self):
+        """Two threads pushing different parents onto one trace must not
+        corrupt each other's parenting."""
+        trace = Tracer().trace("request")
+        anchors = [trace.begin(f"anchor{i}") for i in range(2)]
+        barrier = threading.Barrier(2)
+        children = {}
+
+        def worker(index):
+            with use_trace(trace, parent=anchors[index]):
+                barrier.wait()
+                children[index] = trace.begin(f"child{index}")
+                children[index].finish()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert children[0].parent_id == anchors[0].span_id
+        assert children[1].parent_id == anchors[1].span_id
+
+    def test_use_trace_activates_and_restores(self):
+        trace = Tracer().trace("request")
+        assert current_trace() is NULL_TRACE
+        with use_trace(trace):
+            assert current_trace() is trace
+            with span("ambient") as sp:
+                pass
+        assert current_trace() is NULL_TRACE
+        assert sp.name == "ambient"
+        assert sp.parent_id == trace.root.span_id
+
+    def test_ambient_span_without_trace_is_null(self):
+        with span("nothing") as sp:
+            assert sp is NULL_SPAN
+
+
+class TestSampling:
+    def test_sample_rate_zero_returns_null_trace(self):
+        tracer = Tracer(sample_rate=0.0)
+        trace = tracer.trace("request")
+        assert trace is NULL_TRACE
+        assert tracer.started == 1
+        assert tracer.sampled_out == 1
+        # Null trace absorbs everything without allocating.
+        assert trace.begin("x") is NULL_SPAN
+        with trace.span("y") as sp:
+            assert sp is NULL_SPAN
+        assert trace.finish() is NULL_TRACE
+
+    def test_fractional_sampling_uses_rng(self):
+        values = iter([0.2, 0.8, 0.2])
+        tracer = Tracer(sample_rate=0.5, rng=lambda: next(values))
+        kept = [tracer.trace("r") for _ in range(3)]
+        assert kept[0] is not NULL_TRACE
+        assert kept[1] is NULL_TRACE
+        assert kept[2] is not NULL_TRACE
+        assert tracer.sampled_out == 1
+
+    def test_invalid_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestRingBufferAndSinks:
+    def test_finished_traces_land_in_ring(self):
+        tracer = Tracer(capacity=2)
+        traces = [tracer.trace(f"r{i}").finish() for i in range(3)]
+        ring = tracer.finished()
+        assert len(ring) == 2
+        assert ring == traces[1:]
+
+    def test_drain_clears_the_ring(self):
+        tracer = Tracer()
+        tracer.trace("r").finish()
+        assert len(tracer.drain()) == 1
+        assert tracer.finished() == []
+
+    def test_sinks_receive_finished_traces_and_may_break(self):
+        tracer = Tracer()
+        seen = []
+
+        def bad_sink(trace):
+            raise RuntimeError("broken sink")
+
+        tracer.add_sink(bad_sink)
+        tracer.add_sink(seen.append)
+        trace = tracer.trace("r")
+        trace.finish()  # the broken sink must not stop delivery
+        assert seen == [trace]
+        tracer.remove_sink(seen.append)
+        tracer.trace("r2").finish()
+        assert len(seen) == 1

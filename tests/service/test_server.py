@@ -33,6 +33,50 @@ def get(server, path):
         return exc.code, json.loads(exc.read())
 
 
+def get_raw(server, path):
+    """GET returning (status, headers, body-text) without JSON parsing."""
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=10) as response:
+            return response.status, dict(response.headers), response.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read().decode()
+
+
+def parse_prometheus(text):
+    """Parse Prometheus text exposition into {series: value} + metadata.
+
+    Validates the 0.0.4 format strictly enough to catch regressions:
+    every sample line is ``name{labels} value`` with a float value, and
+    every sample's metric family has # HELP and # TYPE lines.
+    """
+    samples, helps, types = {}, {}, {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert kind in ("counter", "gauge", "histogram"), line
+            types[name] = kind
+        else:
+            assert not line.startswith("#"), f"unknown comment line: {line!r}"
+            series, _, value = line.rpartition(" ")
+            assert series, f"bad sample line: {line!r}"
+            family = series.split("{", 1)[0]
+            for suffix in ("_bucket", "_sum", "_count"):
+                if family.endswith(suffix) and family.removesuffix(suffix) in types:
+                    family = family.removesuffix(suffix)
+                    break
+            assert family in types, f"sample {series!r} has no # TYPE"
+            assert family in helps, f"sample {series!r} has no # HELP"
+            samples[series] = float(value)
+    return samples, helps, types
+
+
 def post(server, path, payload):
     request = urllib.request.Request(
         server.url + path,
@@ -74,13 +118,62 @@ class TestEndpoints:
 
     def test_metrics_snapshot(self, server):
         get(server, "/search?q=partnership,+sports")
-        status, payload = get(server, "/metrics")
+        status, payload = get(server, "/metrics?format=json")
         assert status == 200
         assert payload["requests_total"] >= 1
         assert "latency_p95" in payload
         assert payload["cache"]["capacity"] > 0
         assert payload["joins_run"] >= 1
         assert 0.0 <= payload["bound_skip_rate"] <= 1.0
+
+    def test_metrics_prometheus_default(self, server):
+        get(server, "/search?q=partnership,+sports")
+        status, headers, body = get_raw(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == "text/plain; version=0.0.4; charset=utf-8"
+        samples, helps, types = parse_prometheus(body)
+        assert samples["repro_requests_total"] >= 1.0
+        assert types["repro_requests_total"] == "counter"
+        assert types["repro_queue_depth"] == "gauge"
+        assert types["repro_request_latency_seconds"] == "histogram"
+        # Histogram contract: cumulative buckets ending at +Inf that
+        # agree with _count, plus a _sum.
+        inf = samples['repro_request_latency_seconds_bucket{le="+Inf"}']
+        assert inf == samples["repro_request_latency_seconds_count"] >= 1.0
+        assert "repro_request_latency_seconds_sum" in samples
+        buckets = [
+            value
+            for series, value in samples.items()
+            if series.startswith("repro_request_latency_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        # The served request ran a join: the family-labelled histogram
+        # and the result-cache gauges are both exposed.
+        assert any(
+            s.startswith("repro_join_seconds_count{family=") for s in samples
+        )
+        assert samples["repro_result_cache_capacity"] > 0
+
+    def test_metrics_unknown_format(self, server):
+        status, payload = get(server, "/metrics?format=xml")
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_parameter"
+
+    def test_telemetry_headers(self, server):
+        """/metrics, /healthz, /readyz must never be cached (satellite b)."""
+        for path in ("/metrics", "/metrics?format=json", "/healthz", "/readyz"):
+            status, headers, _ = get_raw(server, path)
+            assert status == 200, path
+            assert headers["Cache-Control"] == "no-store", path
+            if path == "/metrics":
+                assert headers["Content-Type"].startswith("text/plain"), path
+            else:
+                assert headers["Content-Type"] == "application/json", path
+
+    def test_search_response_carries_trace_id(self, server):
+        status, payload = get(server, "/search?q=partnership,+sports&top_k=1")
+        assert status == 200
+        assert payload["trace_id"].startswith("t")
 
     def test_scoring_parameter(self, server):
         status, payload = get(server, "/search?q=partnership,+sports&scoring=win")

@@ -1,0 +1,247 @@
+"""End-to-end tracing: span trees across the live serving path.
+
+Satellite coverage for the observability layer: N parallel HTTP
+requests must yield N disjoint, complete traces (every stage spanned,
+child durations bounded by their parents), and failure paths must tag
+the request root with the degraded/shed outcome taxonomy.
+"""
+
+import json
+import threading
+import time
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.obs import MemorySink, StructuredLogger
+from repro.reliability.faults import FAULTS
+from repro.service import QueryExecutor, QueryRejected, SearchServer
+from repro.system import SearchSystem
+
+NEWS = [
+    ("news-1", "Lenovo announced a marketing partnership with the NBA."),
+    ("news-2", "Dell explored an alliance with the Olympic Games organizers."),
+    ("news-3", "Acer sponsors a cycling team in a sports partnership."),
+    ("news-4", "The Olympic sponsor unveiled a marketing alliance deal."),
+    ("news-5", "A sports league signed a computer maker as partner."),
+    ("news-6", "The partnership brings sports marketing to the league."),
+]
+
+#: Six distinct queries so nothing is served from the result cache and
+#: every request exercises the full join path.
+QUERIES = [
+    "partnership, sports",
+    "alliance, games",
+    "marketing, partnership",
+    "olympic, sponsor",
+    "sports, league",
+    "marketing, alliance",
+]
+
+#: Stages every successfully served, uncached request must record.
+EXPECTED_STAGES = {
+    "request",
+    "queue",
+    "batch",
+    "cache.get",
+    "join",
+    "ask",
+    "plan",
+    "rank",
+}
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+@pytest.fixture
+def system():
+    built = SearchSystem()
+    built.add_texts(NEWS)
+    return built
+
+
+def wait_for_traces(tracer, expected, timeout=5.0):
+    """The trace finishes in the handler's ``finally`` — possibly after
+    the client already read the response — so poll briefly."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        traces = tracer.finished()
+        if len(traces) >= expected:
+            return traces
+        time.sleep(0.01)
+    raise AssertionError(
+        f"expected {expected} finished traces, got {len(tracer.finished())}"
+    )
+
+
+def assert_tree_is_complete(trace):
+    """The acceptance check: a connected span tree whose child
+    durations sum to no more than their parent's duration."""
+    spans = trace.spans
+    ids = {s.span_id for s in spans}
+    assert len(ids) == len(spans), "span ids must be unique"
+    assert all(s.trace_id == trace.trace_id for s in spans)
+    assert all(s.finished for s in spans), [s.name for s in spans if not s.finished]
+    roots = [s for s in spans if s.parent_id is None]
+    assert roots == [trace.root]
+    children_ns = {}
+    for s in spans:
+        if s.parent_id is not None:
+            assert s.parent_id in ids, f"{s.name} parented outside the trace"
+            children_ns[s.parent_id] = children_ns.get(s.parent_id, 0) + s.duration_ns
+    for s in spans:
+        assert children_ns.get(s.span_id, 0) <= s.duration_ns, (
+            f"children of {s.name} outlast it"
+        )
+
+
+class TestHttpTracing:
+    def test_parallel_requests_produce_disjoint_complete_traces(self, system):
+        sink = MemorySink()
+        logger = StructuredLogger()
+        logger.add_sink(sink)
+        with SearchServer.for_system(
+            system, workers=3, logger=logger
+        ) as server:
+            responses = [None] * len(QUERIES)
+            errors = []
+
+            def client(index):
+                query = urllib.parse.quote(QUERIES[index])
+                url = f"{server.url}/search?q={query}"
+                try:
+                    with urllib.request.urlopen(url, timeout=10) as response:
+                        responses[index] = json.loads(response.read())
+                except Exception as exc:  # surfaced below
+                    errors.append((index, exc))
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(QUERIES))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+            traces = wait_for_traces(server.executor.tracer, len(QUERIES))
+
+        by_id = {t.trace_id: t for t in traces}
+        assert len(by_id) == len(QUERIES), "traces must be disjoint"
+
+        # Every HTTP response names a finished trace, and that trace is
+        # the one carrying its query.
+        for payload in responses:
+            trace = by_id[payload["trace_id"]]
+            assert trace.root.tags["query"] == payload["query"]
+            assert trace.root.tags["outcome"] == "ok"
+            assert trace.root.tags["transport"] == "http"
+
+        for trace in traces:
+            names = {s.name for s in trace.spans}
+            assert EXPECTED_STAGES <= names, (
+                f"missing stages: {EXPECTED_STAGES - names}"
+            )
+            assert_tree_is_complete(trace)
+            # The in-trace join accounting matches the rank stage tags.
+            (rank,) = trace.find("rank")
+            assert rank.tags["joins_run"] >= 1
+            assert rank.tags["candidates"] >= 1
+
+        # One structured request event per request, joined by trace id.
+        events = sink.named("request")
+        assert len(events) == len(QUERIES)
+        assert {e["trace_id"] for e in events} == set(by_id)
+        assert all(e["outcome"] == "ok" for e in events)
+        assert all(e["latency_ms"] >= 0 for e in events)
+
+
+class TestFailureOutcomes:
+    def test_degraded_outcomes_tag_join_failure_then_breaker(self, system):
+        sink = MemorySink()
+        logger = StructuredLogger()
+        logger.add_sink(sink)
+        with QueryExecutor(
+            system,
+            workers=1,
+            max_batch=1,
+            cache_size=0,
+            watchdog_interval=0,
+            breaker_threshold=1,
+            logger=logger,
+        ) as executor:
+            # First request: the exact join dies -> degraded fallback,
+            # and the single-failure threshold opens the breaker.
+            FAULTS.arm("join.execute", "error", times=1)
+            first = executor.ask(QUERIES[0])
+            assert first.degraded
+            # Second request: the open breaker sheds the exact join
+            # pre-emptively -> degraded without touching the fault.
+            second = executor.ask(QUERIES[1])
+            assert second.degraded
+            traces = wait_for_traces(executor.tracer, 2)
+
+        outcomes = [t.root.tags["outcome"] for t in traces]
+        assert outcomes == ["degraded", "degraded"]
+        assert traces[0].root.tags["degraded_by"] == "join_failure"
+        assert traces[1].root.tags["degraded_by"] == "breaker"
+        for trace in traces:
+            assert_tree_is_complete(trace)
+
+        events = sink.named("request")
+        assert [e["outcome"] for e in events] == ["degraded", "degraded"]
+        assert {e["trace_id"] for e in events} == {t.trace_id for t in traces}
+        # The reliability layer's events carry trace ids too.
+        assert sink.named("fault.injected")
+        transitions = sink.named("breaker.transition")
+        assert any(
+            e["old_state"] == "closed" and e["new_state"] == "open"
+            for e in transitions
+        )
+
+    def test_full_queue_sheds_with_tagged_trace(self, system):
+        sink = MemorySink()
+        logger = StructuredLogger()
+        logger.add_sink(sink)
+        with QueryExecutor(
+            system,
+            workers=1,
+            queue_size=1,
+            max_batch=1,
+            cache_size=0,
+            watchdog_interval=0,
+            logger=logger,
+        ) as executor:
+            # Pin the only worker inside a slow join so submissions pile
+            # up behind it until the 1-slot queue overflows.
+            FAULTS.arm("join.execute", "delay", delay_s=0.3, times=1)
+            accepted = [executor.submit(QUERIES[0])]
+            shed = None
+            for query in QUERIES[1:] * 3:
+                try:
+                    accepted.append(executor.submit(query))
+                except QueryRejected:
+                    shed = query
+                    break
+            assert shed is not None, "queue never overflowed"
+            for future in accepted:
+                future.result(timeout=5)
+
+            shed_traces = [
+                t
+                for t in executor.tracer.finished()
+                if t.root.tags.get("outcome") == "shed"
+            ]
+            assert shed_traces, "shed request left no tagged trace"
+            assert shed_traces[0].root.tags["query"] == shed
+
+        events = sink.named("request")
+        shed_events = [e for e in events if e["outcome"] == "shed"]
+        assert shed_events and shed_events[0]["reason"] == "backlog_full"
+        assert shed_events[0]["trace_id"] == shed_traces[0].trace_id
