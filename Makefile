@@ -2,18 +2,42 @@
 
 PYTHON ?= python
 
-.PHONY: install test check chaos bench bench-full bench-joins bench-obs serve-bench figures examples clean
+.PHONY: install test check analyze typecheck chaos bench bench-full bench-joins bench-obs serve-bench figures examples clean
 
 install:
 	pip install -e .
 
+# Self-contained like `check`: runs from the source tree without an
+# editable install.
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -m pytest tests/
 
-# Cheap static pass (byte-compiles every module) + the test suite.
-# Self-contained: runs from the source tree without an editable install.
+# Static-analysis gate (pure stdlib, see docs/ANALYSIS.md): concurrency
+# lint over the serving path, determinism lint over the core
+# algorithms, observability-taxonomy checks, exception hygiene.
+# Exit codes: 0 clean, 1 findings / stale baseline, 2 internal error.
+analyze:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -m repro.analysis
+
+# Optional: mypy over the typed core package.  Skips (successfully)
+# when mypy is not installed, so `make check` works in the minimal
+# container.
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+			$(PYTHON) -m mypy --strict src/repro/core; \
+	else \
+		echo "typecheck: mypy not installed, skipping"; \
+	fi
+
+# Cheap static pass (byte-compiles every module) + the analysis gate +
+# the test suite.  Self-contained: runs from the source tree without an
+# editable install.
 check:
 	$(PYTHON) -m compileall -q src
+	$(MAKE) analyze
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) -m pytest tests/ --ignore=tests/reliability
 	$(MAKE) chaos

@@ -1,0 +1,37 @@
+"""repro.analysis — AST-based static-analysis gate for this codebase.
+
+Pure-stdlib (``ast``) rules enforcing the invariants the paper
+reproduction depends on: small ordered critical sections on the serving
+path, deterministic join/scoring algorithms, a single canonical
+observability taxonomy, and a disciplined core exception hierarchy.
+See ``docs/ANALYSIS.md`` for the rule catalogue and the suppression /
+baseline workflow.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, BaselineError
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.engine import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    AnalysisResult,
+    analyze,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, all_rules
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "DEFAULT_CONFIG",
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze",
+]

@@ -1,0 +1,151 @@
+"""The committed baseline of accepted findings.
+
+New rules on an existing tree surface pre-existing findings that are
+deliberate (e.g. the structured logger writes to its stream under a
+lock *on purpose*, to keep log lines whole).  Rather than littering the
+source with suppressions or blocking the gate forever, such findings
+live in a committed JSON baseline — each entry carrying a human
+``reason`` explaining why it is acceptable.  The gate then enforces
+three things:
+
+* a finding matching a baseline entry does not fail the build;
+* a baseline entry that no longer matches any finding is **stale** and
+  fails the build (baselines must shrink when the code improves);
+* every entry must carry a non-empty reason that is not a ``TODO``.
+
+``repro-search analyze --update-baseline`` rewrites the file from the
+current findings, preserving reasons of entries that survive.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "BaselineError"]
+
+_FORMAT_VERSION = 1
+_PLACEHOLDER_REASON = "TODO: justify"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (analysis exits with code 2)."""
+
+
+@dataclass(slots=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    message: str
+    reason: str
+    matched: bool = False
+
+    def fingerprint(self) -> tuple[str, str, str, str]:
+        return (self.rule, self.path, self.symbol, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "message": self.message,
+            "reason": self.reason,
+        }
+
+
+class Baseline:
+    """Load/match/update the committed baseline file."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries = entries or []
+        self._by_fingerprint = {e.fingerprint(): e for e in self.entries}
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Baseline":
+        file_path = pathlib.Path(path)
+        if not file_path.exists():
+            return cls([])
+        try:
+            payload = json.loads(file_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path}: not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            raise BaselineError(
+                f"baseline {path}: expected an object with version "
+                f"{_FORMAT_VERSION}, got {type(payload).__name__}"
+            )
+        entries = []
+        for index, raw in enumerate(payload.get("entries", [])):
+            if not isinstance(raw, dict):
+                raise BaselineError(f"baseline {path}: entry {index} is not an object")
+            try:
+                entry = BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    symbol=str(raw.get("symbol", "")),
+                    message=str(raw["message"]),
+                    reason=str(raw.get("reason", "")),
+                )
+            except KeyError as exc:
+                raise BaselineError(
+                    f"baseline {path}: entry {index} missing {exc}"
+                ) from exc
+            if not entry.reason.strip():
+                raise BaselineError(
+                    f"baseline {path}: entry {index} ({entry.rule} at "
+                    f"{entry.path}) has no reason; every accepted finding "
+                    "must be justified"
+                )
+            entries.append(entry)
+        return cls(entries)
+
+    def matches(self, finding: Finding) -> bool:
+        """True (and mark the entry live) when ``finding`` is baselined."""
+        entry = self._by_fingerprint.get(finding.fingerprint())
+        if entry is None:
+            return False
+        entry.matched = True
+        return True
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries that matched no current finding (must be removed)."""
+        return [e for e in self.entries if not e.matched]
+
+    def placeholder_entries(self) -> list[BaselineEntry]:
+        """Entries whose reason is still the update placeholder."""
+        return [
+            e for e in self.entries if e.reason.strip().startswith("TODO")
+        ]
+
+    def updated_with(self, findings: list[Finding]) -> "Baseline":
+        """A new baseline covering ``findings``, keeping known reasons."""
+        entries = []
+        for finding in findings:
+            existing = self._by_fingerprint.get(finding.fingerprint())
+            entries.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    symbol=finding.symbol,
+                    message=finding.message,
+                    reason=existing.reason if existing else _PLACEHOLDER_REASON,
+                )
+            )
+        return Baseline(entries)
+
+    def save(self, path: str | pathlib.Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                e.to_dict()
+                for e in sorted(self.entries, key=BaselineEntry.fingerprint)
+            ],
+        }
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def __len__(self) -> int:
+        return len(self.entries)

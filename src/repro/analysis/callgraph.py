@@ -1,0 +1,468 @@
+"""AST indexing and a conservative intra-package call graph.
+
+The concurrency rules need to answer "may this call block / invoke a
+user callback / acquire a lock?" for calls made inside critical
+sections — including *indirect* ones (``with self._lock: self._helper()``
+where ``_helper`` sleeps).  This module parses every file once, indexes
+classes, methods, lock attributes, and calls, and computes per-function
+summaries (blocking reasons, locks acquired) as a fixpoint over the
+resolvable part of the call graph.
+
+Resolution is deliberately conservative — precision over recall:
+
+* ``self.method(...)`` resolves within the lexically enclosing class;
+* ``function(...)`` resolves to a module-level function, including
+  names imported ``from`` another analyzed module;
+* ``module.function(...)`` resolves through ``import`` aliases;
+* ``ClassName(...)`` resolves to ``ClassName.__init__``.
+
+Anything else (``obj.method(...)`` on an arbitrary receiver) stays
+unresolved: the direct classifiers in the rules still examine such
+calls by method name and receiver text, but no summary is propagated
+through them.  This misses some chains; it never invents one.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.suppressions import SuppressionIndex
+
+__all__ = [
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "receiver_text",
+]
+
+
+def receiver_text(node: ast.expr) -> str:
+    """A stable textual rendering of a call receiver (for heuristics)."""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on valid ASTs
+        return ""
+
+
+def symbol_spans(tree: ast.Module) -> list[tuple[int, int, str]]:
+    """(start, end, symbol) spans for every function/method definition."""
+    spans: list[tuple[int, int, str]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                symbol = f"{prefix}{child.name}"
+                spans.append(
+                    (child.lineno, child.end_lineno or child.lineno, symbol)
+                )
+                visit(child, f"{symbol}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return spans
+
+
+def enclosing_symbol(spans: list[tuple[int, int, str]], line: int) -> str:
+    """The innermost definition whose span covers ``line`` ("" at top level)."""
+    best = ""
+    best_span: int | None = None
+    for start, end, symbol in spans:
+        if start <= line <= end:
+            if best_span is None or (end - start) < best_span:
+                best, best_span = symbol, end - start
+    return best
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    name: str
+    node: ast.ClassDef
+    #: Attribute name -> lock factory name ("Lock", "RLock", ...) for
+    #: attributes assigned a lock object in ``__init__``.
+    lock_attrs: dict[str, str] = field(default_factory=dict)
+    #: method name -> FunctionInfo
+    methods: dict[str, "FunctionInfo"] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    qualname: str  # "relpath::Class.method" or "relpath::function"
+    symbol: str  # "Class.method" or "function"
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    module: "ModuleInfo"
+    cls: ClassInfo | None = None
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    relpath: str  # posix path relative to the analysis root
+    display_path: str  # path as reported in findings
+    tree: ast.Module
+    source: str
+    suppressions: SuppressionIndex
+    #: local name -> dotted target ("time" -> "time", "obs_span" ->
+    #: "repro.obs.trace.span")
+    imports: dict[str, str] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def _index_imports(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _lock_attrs_of(cls_node: ast.ClassDef, config: AnalysisConfig) -> dict[str, str]:
+    """Attributes assigned a lock factory in ``__init__``."""
+    lock_attrs: dict[str, str] = {}
+    for item in cls_node.body:
+        if not (isinstance(item, ast.FunctionDef) and item.name == "__init__"):
+            continue
+        for node in ast.walk(item):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            factory = None
+            if isinstance(value, ast.Call):
+                func = value.func
+                if isinstance(func, ast.Attribute):
+                    factory = func.attr
+                elif isinstance(func, ast.Name):
+                    factory = func.id
+            if factory not in config.lock_factories:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    lock_attrs[target.attr] = factory
+    return lock_attrs
+
+
+def index_module(
+    relpath: str, display_path: str, source: str, config: AnalysisConfig
+) -> ModuleInfo:
+    tree = ast.parse(source, filename=display_path)
+    info = ModuleInfo(
+        relpath=relpath,
+        display_path=display_path,
+        tree=tree,
+        source=source,
+        suppressions=SuppressionIndex(source),
+        imports=_index_imports(tree),
+    )
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            cls = ClassInfo(
+                name=node.name,
+                node=node,
+                lock_attrs=_lock_attrs_of(node, config),
+            )
+            info.classes[node.name] = cls
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    symbol = f"{node.name}.{item.name}"
+                    fn = FunctionInfo(
+                        qualname=f"{relpath}::{symbol}",
+                        symbol=symbol,
+                        name=item.name,
+                        node=item,
+                        module=info,
+                        cls=cls,
+                    )
+                    cls.methods[item.name] = fn
+                    info.functions[symbol] = fn
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = FunctionInfo(
+                qualname=f"{relpath}::{node.name}",
+                symbol=node.name,
+                name=node.name,
+                node=node,
+                module=info,
+            )
+            info.functions[node.name] = fn
+    return info
+
+
+class ProjectIndex:
+    """Every analyzed module, plus root-relative lookups."""
+
+    def __init__(self, config: AnalysisConfig) -> None:
+        self.config = config
+        self.modules: dict[str, ModuleInfo] = {}  # relpath -> info
+
+    def add_file(self, relpath: str, display_path: str, source: str) -> ModuleInfo:
+        info = index_module(relpath, display_path, source, self.config)
+        self.modules[relpath] = info
+        return info
+
+    @classmethod
+    def from_root(
+        cls, root: pathlib.Path, config: AnalysisConfig, *, display_prefix: str = ""
+    ) -> "ProjectIndex":
+        index = cls(config)
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            relpath = path.relative_to(root).as_posix()
+            display = (
+                f"{display_prefix}/{relpath}" if display_prefix else relpath
+            )
+            index.add_file(relpath, display, path.read_text())
+        return index
+
+    def in_scope(self, relpath: str, prefixes: tuple[str, ...]) -> bool:
+        """Does ``relpath`` fall under any of the package prefixes?"""
+        return any(
+            relpath == prefix or relpath.startswith(prefix.rstrip("/") + "/")
+            for prefix in prefixes
+        )
+
+    def iter_functions(self, prefixes: tuple[str, ...] | None = None):
+        for relpath, module in self.modules.items():
+            if prefixes is not None and not self.in_scope(relpath, prefixes):
+                continue
+            yield from module.functions.values()
+
+    #: dotted module name → relpath, derived lazily for import resolution.
+    def _dotted_to_relpath(self) -> dict[str, str]:
+        mapping: dict[str, str] = {}
+        for relpath in self.modules:
+            dotted = relpath[:-3].replace("/", ".")  # strip .py
+            if dotted.endswith(".__init__"):
+                dotted = dotted[: -len(".__init__")]
+            mapping[dotted] = relpath
+        return mapping
+
+
+class CallGraph:
+    """Per-function summaries over the resolvable call graph.
+
+    ``blocking[qualname]`` is a set of ``(kind, detail)`` reasons the
+    function may block or run arbitrary user code; ``acquires[qualname]``
+    is the set of lock identities it may take, directly or transitively.
+    """
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.config = index.config
+        self._resolution_cache: dict[tuple[str, int], FunctionInfo | None] = {}
+        self.blocking: dict[str, set[tuple[str, str]]] = {}
+        self.acquires: dict[str, set[tuple[str, str]]] = {}
+        self._build()
+
+    # -- call resolution ------------------------------------------------------
+
+    def resolve_call(
+        self, call: ast.Call, fn: FunctionInfo
+    ) -> FunctionInfo | None:
+        """The analyzed function this call reaches, when resolvable."""
+        func = call.func
+        module = fn.module
+        dotted_map = self.index._dotted_to_relpath()
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name) and value.id == "self" and fn.cls:
+                return fn.cls.methods.get(func.attr)
+            if isinstance(value, ast.Name):
+                # ``module.function(...)`` through an import alias.
+                target = module.imports.get(value.id)
+                if target and target in dotted_map:
+                    callee_module = self.index.modules[dotted_map[target]]
+                    return callee_module.functions.get(func.attr)
+            return None
+        if isinstance(func, ast.Name):
+            name = func.id
+            local = module.functions.get(name)
+            if local is not None:
+                return local
+            cls = module.classes.get(name)
+            if cls is not None:
+                return cls.methods.get("__init__")
+            target = module.imports.get(name)
+            if target:
+                # ``from pkg.mod import thing`` — resolve thing in pkg.mod.
+                mod_part, _, attr = target.rpartition(".")
+                if mod_part in dotted_map:
+                    callee_module = self.index.modules[dotted_map[mod_part]]
+                    if attr in callee_module.classes:
+                        return callee_module.classes[attr].methods.get("__init__")
+                    return callee_module.functions.get(attr)
+        return None
+
+    # -- direct classification ------------------------------------------------
+
+    def lock_identity(
+        self, expr: ast.expr, fn: FunctionInfo
+    ) -> tuple[tuple[str, str], bool] | None:
+        """``(lock, exclusive)`` when ``expr`` acquires a lock, else None.
+
+        Recognizes ``self.<lock_attr>`` (exclusive) and
+        ``self.<lock_attr>.read()/.write()`` (shared/exclusive halves of
+        a read-write lock).
+        """
+        if fn.cls is None:
+            return None
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in fn.cls.lock_attrs
+        ):
+            return ((fn.cls.name, expr.attr), True)
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            inner = expr.func.value
+            if (
+                isinstance(inner, ast.Attribute)
+                and isinstance(inner.value, ast.Name)
+                and inner.value.id == "self"
+                and inner.attr in fn.cls.lock_attrs
+                and expr.func.attr in ("read", "write")
+            ):
+                return ((fn.cls.name, inner.attr), expr.func.attr == "write")
+        return None
+
+    def direct_blocking_reason(
+        self,
+        call: ast.Call,
+        fn: FunctionInfo,
+        held_lock_exprs: tuple[str, ...] = (),
+    ) -> tuple[str, str] | None:
+        """Classify one call as blocking/callback, receiver-sensitively.
+
+        ``held_lock_exprs`` are the source renderings of locks held at
+        the call site, used for the condition-variable exemption:
+        ``cond.wait()`` on the *held* condition releases it and is not a
+        blocking violation.
+        """
+        config = self.config
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            dotted = fn.module.imports.get(name, name)
+            if dotted in config.blocking_calls:
+                return ("blocking", dotted)
+            if name in config.blocking_functions:
+                return ("blocking", name)
+            if self._matches_callback(name):
+                return ("callback", name)
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        method = func.attr
+        receiver = receiver_text(func.value)
+        dotted = f"{fn.module.imports.get(receiver, receiver)}.{method}"
+        if dotted in config.blocking_calls:
+            return ("blocking", dotted)
+        if method in config.blocking_methods:
+            return ("blocking", f"{receiver}.{method}")
+        if method in config.queue_blocking_methods:
+            low = receiver.lower()
+            if any(hint in low for hint in config.blocking_receiver_hints):
+                if method == "wait" and receiver in held_lock_exprs:
+                    return None  # condition-variable wait releases the lock
+                return ("blocking", f"{receiver}.{method}")
+        if method in config.io_methods:
+            low = receiver.lower()
+            if any(hint in low for hint in config.io_receiver_hints):
+                return ("io", f"{receiver}.{method}")
+        if method in config.expensive_methods:
+            return ("expensive", f"{receiver}.{method}")
+        if self._matches_callback(method):
+            return ("callback", f"{receiver}.{method}")
+        return None
+
+    def _matches_callback(self, name: str) -> bool:
+        return any(pattern in name for pattern in self.config.callback_name_patterns)
+
+    # -- summaries ------------------------------------------------------------
+
+    def _build(self) -> None:
+        """Fixpoint of blocking reasons and acquired locks per function."""
+        functions = list(self.index.iter_functions())
+        direct_block: dict[str, set[tuple[str, str]]] = {}
+        direct_locks: dict[str, set[tuple[str, str]]] = {}
+        calls_of: dict[str, set[str]] = {}
+        by_qualname = {fn.qualname: fn for fn in functions}
+
+        for fn in functions:
+            reasons: set[tuple[str, str]] = set()
+            locks: set[tuple[str, str]] = set()
+            callees: set[str] = set()
+            held: list[str] = []
+
+            def visit(node: ast.AST) -> None:
+                if isinstance(node, ast.With):
+                    acquired = []
+                    for item in node.items:
+                        identity = self.lock_identity(item.context_expr, fn)
+                        if identity is not None:
+                            locks.add(identity[0])
+                            acquired.append(receiver_text(item.context_expr))
+                    held.extend(acquired)
+                    for child in node.body:
+                        visit(child)
+                    for _ in acquired:
+                        held.pop()
+                    return
+                if isinstance(node, ast.Call):
+                    reason = self.direct_blocking_reason(node, fn, tuple(held))
+                    if reason is not None:
+                        reasons.add(reason)
+                    callee = self.resolve_call(node, fn)
+                    if callee is not None and callee.qualname != fn.qualname:
+                        callees.add(callee.qualname)
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node is not fn.node:
+                        return  # nested defs summarize separately if indexed
+                for child in ast.iter_child_nodes(node):
+                    visit(child)
+
+            visit(fn.node)
+            direct_block[fn.qualname] = reasons
+            direct_locks[fn.qualname] = locks
+            calls_of[fn.qualname] = callees
+
+        # Propagate to a fixpoint (the graph is small; simple iteration).
+        blocking = {q: set(r) for q, r in direct_block.items()}
+        acquires = {q: set(l) for q, l in direct_locks.items()}
+        changed = True
+        while changed:
+            changed = False
+            for qualname, callees in calls_of.items():
+                for callee in callees:
+                    if callee not in by_qualname:
+                        continue
+                    inherited = {
+                        (kind, f"{detail} [via {by_qualname[callee].symbol}]")
+                        if "[via" not in detail
+                        else (kind, detail)
+                        for kind, detail in blocking.get(callee, ())
+                    }
+                    if not inherited <= blocking[qualname]:
+                        before = len(blocking[qualname])
+                        blocking[qualname] |= inherited
+                        changed |= len(blocking[qualname]) != before
+                    if not acquires.get(callee, set()) <= acquires[qualname]:
+                        acquires[qualname] |= acquires[callee]
+                        changed = True
+        self.blocking = blocking
+        self.acquires = acquires

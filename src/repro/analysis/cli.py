@@ -1,0 +1,111 @@
+"""Command-line entry point: ``repro-search analyze`` / ``python -m repro.analysis``.
+
+Exit codes: 0 clean, 1 findings (or stale/TODO baseline entries),
+2 internal error (unparseable source, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.config import DEFAULT_CONFIG
+from repro.analysis.engine import EXIT_ERROR, analyze, render_json
+from repro.analysis.rules import all_rules, rules_named
+
+__all__ = ["add_analyze_arguments", "run_analyze", "main"]
+
+_DEFAULT_ROOT = "src/repro"
+_DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=_DEFAULT_ROOT,
+        help=f"package root to analyze (default: {_DEFAULT_ROOT})",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report on stdout"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=_DEFAULT_BASELINE,
+        help=f"baseline file (default: {_DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline from current findings, keeping reasons "
+            "of surviving entries; new entries get a TODO reason"
+        ),
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only the named rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+
+
+def run_analyze(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:24s} {rule.summary}")
+        return 0
+    try:
+        rules = rules_named(args.rules) if args.rules else None
+    except KeyError as exc:
+        print(f"analyze: {exc.args[0]}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        baseline = (
+            Baseline([])
+            if args.no_baseline
+            else Baseline.load(args.baseline)
+        )
+    except BaselineError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        result = analyze(args.root, config=DEFAULT_CONFIG, baseline=baseline, rules=rules)
+    except (SyntaxError, OSError) as exc:
+        print(f"analyze: internal error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.update_baseline:
+        updated = baseline.updated_with(
+            result.active + result.baselined
+        )
+        updated.save(args.baseline)
+        print(
+            f"analyze: wrote {len(updated)} entr(ies) to {args.baseline}; "
+            "fill in any TODO reasons before committing"
+        )
+        return 0
+    print(render_json(result) if args.json else result.render_text())
+    return result.exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="static analysis gate for the repro codebase",
+    )
+    add_analyze_arguments(parser)
+    return run_analyze(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""Declared analysis policy: lock order, blocking calls, rule scopes.
+
+Everything a rule needs to know about *this* codebase that is not
+derivable from the AST lives here, so the rules themselves stay
+generic.  The tables are plain data; tests construct ad-hoc configs
+against fixture trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AnalysisConfig", "DEFAULT_CONFIG", "LockName"]
+
+#: A lock is identified by (class name, attribute name): the executor's
+#: state lock is ("QueryExecutor", "_state_lock").
+LockName = tuple[str, str]
+
+
+def _default_lock_order() -> list[LockName]:
+    # Outermost first.  A thread holding a lock may only acquire locks
+    # that appear *later* in this list; acquiring an earlier (or equal,
+    # for non-reentrant locks) one is a lock-order violation.  The
+    # table encodes the serving path's intended hierarchy:
+    #   rwlock (query/mutation exclusion)
+    #     → executor state lock
+    #       → leaf locks (breaker, registries, caches, sinks)
+    return [
+        ("QueryExecutor", "_rwlock"),
+        ("QueryExecutor", "_state_lock"),
+        ("CircuitBreaker", "_lock"),
+        ("FaultRegistry", "_lock"),
+        ("ResultCache", "_lock"),
+        ("ConceptIndex", "_list_cache_lock"),
+        ("ServiceMetrics", "_lock"),
+        ("LatencyReservoir", "_lock"),
+        ("MetricsRegistry", "_lock"),
+        ("Tracer", "_lock"),
+        ("Trace", "_lock"),
+        ("StructuredLogger", "_lock"),
+        ("MemorySink", "_lock"),
+    ]
+
+
+@dataclass(slots=True)
+class AnalysisConfig:
+    """Tunable policy for one analysis run."""
+
+    # -- concurrency ---------------------------------------------------------
+    #: Packages (path prefixes below the analysis root) the concurrency
+    #: rules apply to.
+    concurrency_packages: tuple[str, ...] = (
+        "service",
+        "reliability",
+        "obs",
+        "index",
+    )
+    #: Declared lock hierarchy, outermost first (see _default_lock_order).
+    lock_order: list[LockName] = field(default_factory=_default_lock_order)
+    #: Dotted module-level calls that block the calling thread.
+    blocking_calls: frozenset[str] = frozenset(
+        {
+            "time.sleep",
+            "os.fsync",
+            "os.replace",
+            "subprocess.run",
+            "subprocess.check_output",
+            "socket.create_connection",
+        }
+    )
+    #: Bare callables that block (I/O).
+    blocking_functions: frozenset[str] = frozenset({"open", "input"})
+    #: Method names that block regardless of receiver.
+    blocking_methods: frozenset[str] = frozenset({"sleep", "fsync", "recv", "sendall", "accept", "connect"})
+    #: Method names that block on queue-like receivers (``get``/``put``
+    #: without ``_nowait``; a ``wait`` on the *held* lock itself is the
+    #: condition-variable pattern and is exempt).
+    queue_blocking_methods: frozenset[str] = frozenset({"get", "put", "join", "wait"})
+    #: Receiver-name substrings that mark a queue/thread/stream-like
+    #: object for the receiver-sensitive blocking methods above.
+    blocking_receiver_hints: frozenset[str] = frozenset(
+        {"queue", "thread", "cond", "event", "stop", "sock", "proc"}
+    )
+    #: Method names that perform stream I/O (blocking on the receiver).
+    io_methods: frozenset[str] = frozenset(
+        {"write", "writelines", "read", "readline", "readlines", "flush"}
+    )
+    #: Receiver-name substrings that mark stream-like objects for
+    #: io_methods (``self._stream.write`` yes; ``array.write`` no).
+    io_receiver_hints: frozenset[str] = frozenset(
+        {"stream", "file", "wfile", "rfile", "stdout", "stderr", "sock"}
+    )
+    #: Method names that run joins / index materialization — expensive
+    #: work that must never run inside a critical section.
+    expensive_methods: frozenset[str] = frozenset(
+        {
+            "match_list",
+            "match_lists",
+            "ask",
+            "ask_many",
+            "extract",
+            "rank_match_lists",
+            "rank_top_k",
+            "best_join",
+            "execute",
+            "phrase_positions",
+        }
+    )
+    #: Variable/attribute name patterns whose *call* is a user callback
+    #: (listener, sink, hook): invoking one under a lock hands the
+    #: critical section to arbitrary user code.
+    callback_name_patterns: tuple[str, ...] = (
+        "listener",
+        "sink",
+        "callback",
+        "hook",
+        "mutator",
+        "on_transition",
+        "_check",
+        "_on_",
+        "on_",
+    )
+    #: Attribute names treated as lock objects when assigned a
+    #: ``threading.Lock()``/``RLock()``/``Condition()`` or a
+    #: ``*ReadWriteLock`` instance in ``__init__``.
+    lock_factories: frozenset[str] = frozenset(
+        {"Lock", "RLock", "Condition", "_ReadWriteLock", "ReadWriteLock"}
+    )
+
+    # -- determinism ---------------------------------------------------------
+    #: Packages in which join/scoring code must be deterministic.
+    determinism_packages: tuple[str, ...] = (
+        "core/algorithms",
+        "core/kernels",
+        "core/scoring",
+        "core/matchset.py",
+        "core/match.py",
+        "core/query.py",
+    )
+
+    # -- exception hygiene ---------------------------------------------------
+    #: Package in which only core/errors.py exceptions may be raised.
+    core_package: str = "core"
+    #: Module (relative path) that defines the allowed exceptions.
+    core_errors_module: str = "core/errors.py"
+    #: Exception names always allowed (control-flow / stdlib idioms).
+    allowed_raises: frozenset[str] = frozenset(
+        {"NotImplementedError", "StopIteration", "KeyboardInterrupt"}
+    )
+    #: Packages on the serving path where a silently-swallowed
+    #: exception (``except ...: pass``) is a finding.
+    serving_packages: tuple[str, ...] = ("service", "reliability", "obs")
+
+    # -- taxonomy ------------------------------------------------------------
+    #: Packages scanned for span/log/metric name literals.
+    taxonomy_packages: tuple[str, ...] = (
+        "service",
+        "obs",
+        "reliability",
+        "system.py",
+        "cli.py",
+    )
+    #: The documentation file every taxonomy name must appear in
+    #: (relative to the repository root; empty disables the doc check).
+    taxonomy_doc: str = "docs/OBSERVABILITY.md"
+    #: Canonical name sets.  ``None`` means "use the live registry in
+    #: :mod:`repro.obs.taxonomy`"; fixture tests substitute small sets.
+    taxonomy_spans: frozenset[str] | None = None
+    taxonomy_events: frozenset[str] | None = None
+    taxonomy_counters: frozenset[str] | None = None
+    taxonomy_prometheus: frozenset[str] | None = None
+
+
+DEFAULT_CONFIG = AnalysisConfig()

@@ -1,0 +1,159 @@
+"""The analysis engine: discover, parse, run rules, gate.
+
+``analyze()`` builds a :class:`ProjectIndex` over the package root,
+runs every registered rule, then classifies each finding as *active*,
+*suppressed* (an inline ``# repro: ignore[...]`` on the line), or
+*baselined* (matched by the committed baseline).  The run **fails**
+(exit 1) when any of these holds:
+
+* there is at least one active finding;
+* the baseline has stale entries (the code improved; shrink the file);
+* the baseline has placeholder ``TODO`` reasons (justify or fix).
+
+A malformed baseline or an unparseable source file is an internal
+error: exit 2, so CI can tell "the gate found problems" from "the gate
+itself is broken".
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.callgraph import ProjectIndex
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, RuleContext, all_rules
+
+__all__ = ["AnalysisResult", "analyze", "EXIT_CLEAN", "EXIT_FINDINGS", "EXIT_ERROR"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+@dataclass(slots=True)
+class AnalysisResult:
+    """Everything one run produced, pre-classified for reporting."""
+
+    active: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    placeholder_baseline: list[BaselineEntry] = field(default_factory=list)
+    files_analyzed: int = 0
+    rules_run: int = 0
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        return self.active + self.suppressed + self.baselined
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.active
+            and not self.stale_baseline
+            and not self.placeholder_baseline
+        )
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_CLEAN if self.ok else EXIT_FINDINGS
+
+    # -- reporting ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_analyzed": self.files_analyzed,
+            "rules_run": self.rules_run,
+            "active": [f.to_dict() for f in self.active],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": [e.to_dict() for e in self.stale_baseline],
+            "placeholder_baseline": [
+                e.to_dict() for e in self.placeholder_baseline
+            ],
+        }
+
+    def render_text(self) -> str:
+        lines: list[str] = []
+        for finding in sorted(
+            self.active, key=lambda f: (f.path, f.line, f.rule)
+        ):
+            lines.append(finding.render())
+        for entry in self.stale_baseline:
+            lines.append(
+                f"{entry.path}: [baseline-stale] entry for {entry.rule} "
+                f"({entry.message}) no longer matches any finding; remove it"
+            )
+        for entry in self.placeholder_baseline:
+            lines.append(
+                f"{entry.path}: [baseline-todo] entry for {entry.rule} still "
+                f"has a TODO reason; justify it or fix the code"
+            )
+        summary = (
+            f"{len(self.active)} finding(s), {len(self.suppressed)} "
+            f"suppressed, {len(self.baselined)} baselined, "
+            f"{len(self.stale_baseline)} stale baseline entr(ies) — "
+            f"{self.files_analyzed} file(s), {self.rules_run} rule(s)"
+        )
+        lines.append(("OK: " if self.ok else "FAIL: ") + summary)
+        return "\n".join(lines)
+
+
+def analyze(
+    root: str | pathlib.Path,
+    *,
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    baseline: Baseline | None = None,
+    rules: list[Rule] | None = None,
+    display_prefix: str | None = None,
+) -> AnalysisResult:
+    """Run the analyzer over the package rooted at ``root``."""
+    root_path = pathlib.Path(root)
+    prefix = (
+        display_prefix
+        if display_prefix is not None
+        else pathlib.PurePath(root).as_posix().strip("/")
+    )
+    index = ProjectIndex.from_root(root_path, config, display_prefix=prefix)
+    ctx = RuleContext(index=index)
+    selected = rules if rules is not None else all_rules()
+    baseline = baseline or Baseline([])
+
+    result = AnalysisResult(
+        files_analyzed=len(index.modules), rules_run=len(selected)
+    )
+    seen: set = set()
+    for rule in selected:
+        for finding in rule.run(ctx):
+            key = (finding.fingerprint(), finding.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            module = index.modules.get(_relpath_of(index, finding.path))
+            if module is not None and module.suppressions.is_suppressed(
+                finding.rule, finding.line
+            ):
+                result.suppressed.append(finding)
+            elif baseline.matches(finding):
+                result.baselined.append(finding)
+            else:
+                result.active.append(finding)
+    result.stale_baseline = baseline.stale_entries()
+    result.placeholder_baseline = baseline.placeholder_entries()
+    return result
+
+
+def _relpath_of(index: ProjectIndex, display_path: str) -> str:
+    for relpath, module in index.modules.items():
+        if module.display_path == display_path:
+            return relpath
+    return display_path
+
+
+def render_json(result: AnalysisResult) -> str:
+    return json.dumps(result.to_dict(), indent=2)

@@ -1,0 +1,45 @@
+"""Finding records produced by the static-analysis rules.
+
+A :class:`Finding` names the rule that fired, where it fired (path,
+line, enclosing symbol), and what is wrong.  Its :meth:`fingerprint`
+deliberately excludes the line number: the committed baseline matches
+findings by (rule, path, symbol, message) so that unrelated edits that
+shift lines do not invalidate baseline entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    message: str
+    symbol: str = ""  # enclosing Class.method / function, "" at module level
+    suppressed: bool = field(default=False, compare=False)
+    baselined: bool = field(default=False, compare=False)
+
+    def fingerprint(self) -> tuple[str, str, str, str]:
+        """Line-number-free identity used for baseline matching."""
+        return (self.rule, self.path, self.symbol, self.message)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        where = f" in {self.symbol}" if self.symbol else ""
+        return f"{self.location()}: [{self.rule}]{where}: {self.message}"

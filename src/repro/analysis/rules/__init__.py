@@ -1,0 +1,61 @@
+"""Rule registry for the static analyzer.
+
+Each rule family lives in its own module and registers one or more
+:class:`Rule` instances.  A rule is a named callable over the
+:class:`~repro.analysis.callgraph.ProjectIndex`; it yields
+:class:`~repro.analysis.findings.Finding` records and never mutates the
+index.  The engine applies suppressions and the baseline afterwards, so
+rules always report everything they see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.callgraph import CallGraph, ProjectIndex
+from repro.analysis.findings import Finding
+
+__all__ = ["Rule", "RuleContext", "all_rules"]
+
+
+@dataclass(slots=True)
+class RuleContext:
+    """Shared, lazily-built state handed to every rule."""
+
+    index: ProjectIndex
+    _graph: CallGraph | None = None
+
+    @property
+    def graph(self) -> CallGraph:
+        if self._graph is None:
+            self._graph = CallGraph(self.index)
+        return self._graph
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One named check: ``run(ctx)`` yields findings."""
+
+    name: str
+    summary: str
+    run: Callable[[RuleContext], Iterator[Finding]]
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, import-ordered by family."""
+    from repro.analysis.rules import concurrency, determinism, exceptions, taxonomy
+
+    rules: list[Rule] = []
+    for module in (concurrency, determinism, taxonomy, exceptions):
+        rules.extend(module.RULES)
+    return rules
+
+
+def rules_named(names: Iterable[str]) -> list[Rule]:
+    wanted = set(names)
+    selected = [rule for rule in all_rules() if rule.name in wanted]
+    missing = wanted - {rule.name for rule in selected}
+    if missing:
+        raise KeyError(f"unknown rule(s): {', '.join(sorted(missing))}")
+    return selected

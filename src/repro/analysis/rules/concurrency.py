@@ -1,0 +1,344 @@
+"""Concurrency rules: critical sections must stay small and ordered.
+
+Four rules over the packages in ``config.concurrency_packages``:
+
+``lock-blocking-call``
+    A blocking operation (sleep, stream I/O, queue get/put, join
+    execution, index materialization) runs while an exclusive lock is
+    held — directly, or through a resolvable call chain.
+
+``lock-callback``
+    A user-supplied callback (listener, sink, hook, mutator) is invoked
+    while an exclusive lock is held, handing the critical section to
+    arbitrary user code.
+
+``lock-order``
+    A lock is acquired while holding a lock that the declared
+    ``lock_order`` table places at the same or an inner level — or the
+    same non-reentrant lock is taken twice.
+
+``lock-unguarded-mutation``
+    An attribute that is assigned under the class's lock somewhere is
+    also assigned outside any lock (outside ``__init__``), so readers
+    holding the lock can still observe torn updates.
+
+Shared read-lock sections (``with self._rwlock.read():``) are exempt
+from the blocking rules by design: concurrent readers are the point of
+a read-write lock, and the serving path intentionally executes joins
+under shared read locks.  ``.write()`` sections are exclusive.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import FunctionInfo, receiver_text
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, RuleContext
+
+__all__ = ["RULES"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Held:
+    identity: tuple[str, str]
+    exclusive: bool
+    text: str  # source rendering of the acquired expression
+
+
+@dataclass(slots=True)
+class _LockEvents:
+    """Every lock-relevant event in one function body."""
+
+    calls: list[tuple[ast.Call, tuple[_Held, ...]]]
+    acquisitions: list[tuple[ast.With, _Held, tuple[_Held, ...]]]
+    assigns: list[tuple[ast.AST, str, tuple[_Held, ...]]]
+
+
+def _mutated_attr(target: ast.expr) -> str | None:
+    """The ``self.<attr>`` base of an assignment/deletion target."""
+    node = target
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _collect_events(fn: FunctionInfo, ctx: RuleContext) -> _LockEvents:
+    graph = ctx.graph
+    events = _LockEvents(calls=[], acquisitions=[], assigns=[])
+
+    def visit(node: ast.AST, held: tuple[_Held, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            if node is not fn.node:
+                return  # closure bodies run later, outside this section
+        if isinstance(node, ast.With):
+            inner = held
+            for item in node.items:
+                identity = graph.lock_identity(item.context_expr, fn)
+                if identity is not None:
+                    acquired = _Held(
+                        identity=identity[0],
+                        exclusive=identity[1],
+                        text=receiver_text(item.context_expr),
+                    )
+                    events.acquisitions.append((node, acquired, inner))
+                    inner = inner + (acquired,)
+            for child in node.body:
+                visit(child, inner)
+            for item in node.items:
+                visit(item.context_expr, held)
+            return
+        if isinstance(node, ast.Call):
+            events.calls.append((node, held))
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = _mutated_attr(target)
+                if attr is not None:
+                    events.assigns.append((node, attr, held))
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _mutated_attr(target)
+                if attr is not None:
+                    events.assigns.append((node, attr, held))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    visit(fn.node, ())
+    return events
+
+
+_BLOCK_KINDS = ("blocking", "io", "expensive")
+
+_KIND_LABEL = {
+    "blocking": "blocking call",
+    "io": "stream I/O",
+    "expensive": "join/index work",
+}
+
+
+def _describe_lock(held: tuple[_Held, ...]) -> str:
+    exclusive = [h for h in held if h.exclusive]
+    return exclusive[-1].text if exclusive else held[-1].text
+
+
+def _run_blocking(ctx: RuleContext):
+    yield from _scan_critical_sections(ctx, want_callbacks=False)
+
+
+def _run_callback(ctx: RuleContext):
+    yield from _scan_critical_sections(ctx, want_callbacks=True)
+
+
+def _scan_critical_sections(ctx: RuleContext, *, want_callbacks: bool):
+    config = ctx.index.config
+    graph = ctx.graph
+    rule = "lock-callback" if want_callbacks else "lock-blocking-call"
+    for fn in ctx.index.iter_functions(config.concurrency_packages):
+        events = _collect_events(fn, ctx)
+        for call, held in events.calls:
+            if not any(h.exclusive for h in held):
+                continue
+            lock = _describe_lock(held)
+            held_texts = tuple(h.text for h in held)
+            reason = graph.direct_blocking_reason(call, fn, held_texts)
+            if reason is not None:
+                kind, detail = reason
+                if want_callbacks and kind == "callback":
+                    yield Finding(
+                        rule=rule,
+                        path=fn.module.display_path,
+                        line=call.lineno,
+                        symbol=fn.symbol,
+                        message=(
+                            f"user callback {detail}() invoked while "
+                            f"holding {lock}"
+                        ),
+                    )
+                elif not want_callbacks and kind in _BLOCK_KINDS:
+                    yield Finding(
+                        rule=rule,
+                        path=fn.module.display_path,
+                        line=call.lineno,
+                        symbol=fn.symbol,
+                        message=(
+                            f"{_KIND_LABEL[kind]} {detail} while "
+                            f"holding {lock}"
+                        ),
+                    )
+            callee = graph.resolve_call(call, fn)
+            if callee is None:
+                continue
+            summary = graph.blocking.get(callee.qualname, set())
+            if want_callbacks:
+                details = sorted(d for k, d in summary if k == "callback")
+                if details:
+                    yield Finding(
+                        rule=rule,
+                        path=fn.module.display_path,
+                        line=call.lineno,
+                        symbol=fn.symbol,
+                        message=(
+                            f"call to {callee.symbol}() while holding {lock} "
+                            f"reaches user callback: {details[0]}"
+                        ),
+                    )
+            else:
+                details = sorted(
+                    (k, d) for k, d in summary if k in _BLOCK_KINDS
+                )
+                if details:
+                    kind, detail = details[0]
+                    yield Finding(
+                        rule=rule,
+                        path=fn.module.display_path,
+                        line=call.lineno,
+                        symbol=fn.symbol,
+                        message=(
+                            f"call to {callee.symbol}() while holding {lock} "
+                            f"reaches {_KIND_LABEL[kind]}: {detail}"
+                        ),
+                    )
+
+
+def _run_order(ctx: RuleContext):
+    config = ctx.index.config
+    graph = ctx.graph
+    rank = {lock: i for i, lock in enumerate(config.lock_order)}
+    for fn in ctx.index.iter_functions(config.concurrency_packages):
+        events = _collect_events(fn, ctx)
+        for node, acquired, held_before in events.acquisitions:
+            for outer in held_before:
+                yield from _order_violation(
+                    fn, node.lineno, outer, acquired.identity, rank,
+                    via=None,
+                )
+        for call, held in events.calls:
+            callee = graph.resolve_call(call, fn)
+            if callee is None or not held:
+                continue
+            for inner in sorted(graph.acquires.get(callee.qualname, ())):
+                for outer in held:
+                    yield from _order_violation(
+                        fn, call.lineno, outer, inner, rank,
+                        via=callee.symbol,
+                    )
+
+
+def _order_violation(
+    fn: FunctionInfo,
+    line: int,
+    outer: _Held,
+    inner: tuple[str, str],
+    rank: dict[tuple[str, str], int],
+    *,
+    via: str | None,
+):
+    suffix = f" via {via}()" if via else ""
+    inner_name = ".".join(inner)
+    outer_name = ".".join(outer.identity)
+    if inner == outer.identity:
+        # Same-class reentrancy is fine for RLocks.
+        cls = fn.cls
+        factory = cls.lock_attrs.get(inner[1]) if cls else None
+        if factory == "RLock":
+            return
+        # A condition used as its own guard (wait/notify pattern) nests
+        # legitimately only via RLock semantics; threading.Condition is
+        # not reentrant, so flag it too.
+        yield Finding(
+            rule="lock-order",
+            path=fn.module.display_path,
+            line=line,
+            symbol=fn.symbol,
+            message=(
+                f"re-acquisition of non-reentrant lock {inner_name}"
+                f"{suffix} while already holding it"
+            ),
+        )
+        return
+    if inner not in rank or outer.identity not in rank:
+        return
+    if rank[inner] <= rank[outer.identity]:
+        yield Finding(
+            rule="lock-order",
+            path=fn.module.display_path,
+            line=line,
+            symbol=fn.symbol,
+            message=(
+                f"acquires {inner_name}{suffix} while holding "
+                f"{outer_name}, violating the declared lock order"
+            ),
+        )
+
+
+def _run_unguarded(ctx: RuleContext):
+    config = ctx.index.config
+    for relpath, module in ctx.index.modules.items():
+        if not ctx.index.in_scope(relpath, config.concurrency_packages):
+            continue
+        for cls in module.classes.values():
+            if not cls.lock_attrs:
+                continue
+            guarded: set[str] = set()
+            per_method: dict[str, _LockEvents] = {}
+            for name, fn in cls.methods.items():
+                events = _collect_events(fn, ctx)
+                per_method[name] = events
+                for _node, attr, held in events.assigns:
+                    own = [h for h in held if h.identity[0] == cls.name]
+                    if own:
+                        guarded.add(attr)
+            for name, events in per_method.items():
+                if name == "__init__":
+                    continue
+                fn = cls.methods[name]
+                for node, attr, held in events.assigns:
+                    if attr not in guarded or attr in cls.lock_attrs:
+                        continue
+                    if any(h.identity[0] == cls.name for h in held):
+                        continue
+                    yield Finding(
+                        rule="lock-unguarded-mutation",
+                        path=module.display_path,
+                        line=node.lineno,
+                        symbol=fn.symbol,
+                        message=(
+                            f"self.{attr} is assigned under "
+                            f"{cls.name}'s lock elsewhere but mutated "
+                            f"here without it"
+                        ),
+                    )
+
+
+RULES = [
+    Rule(
+        name="lock-blocking-call",
+        summary="no blocking I/O, sleeps, or join work inside exclusive locks",
+        run=_run_blocking,
+    ),
+    Rule(
+        name="lock-callback",
+        summary="no user callbacks invoked while holding exclusive locks",
+        run=_run_callback,
+    ),
+    Rule(
+        name="lock-order",
+        summary="nested lock acquisition must follow the declared lock order",
+        run=_run_order,
+    ),
+    Rule(
+        name="lock-unguarded-mutation",
+        summary="lock-guarded attributes must not be mutated outside the lock",
+        run=_run_unguarded,
+    ),
+]

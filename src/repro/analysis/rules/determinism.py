@@ -1,0 +1,129 @@
+"""Determinism rule: join/scoring code must not read clocks or RNGs.
+
+The paper's algorithms are pure functions of (query, index, weights):
+two runs over the same index must produce byte-identical rankings, or
+the reproduction claims are unverifiable.  ``core-determinism`` forbids
+wall-clock reads and ambient randomness inside the algorithm packages:
+
+* ``time.time`` / ``time.time_ns`` / ``time.monotonic`` / ...
+* ``datetime.now`` / ``utcnow`` / ``today``
+* module-level ``random.random()`` / ``random.shuffle()`` / ...
+* ``os.urandom``, ``uuid.uuid1``/``uuid4``, anything from ``secrets``
+
+An explicitly *seeded* ``random.Random(seed)`` instance is allowed —
+the scoring contract checker uses one deliberately, and a seed passed
+in by the caller keeps the run reproducible.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import enclosing_symbol, symbol_spans
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, RuleContext
+
+__all__ = ["RULES"]
+
+#: Dotted calls that read ambient nondeterministic state.
+_FORBIDDEN_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Everything in ``secrets`` is nondeterministic by construction.
+_FORBIDDEN_MODULES = frozenset({"secrets"})
+
+#: Module-level ``random`` functions (the shared global RNG).  The
+#: seeded-instance constructor ``random.Random(seed)`` is *not* here.
+_RANDOM_MODULE = "random"
+
+
+def _dotted_name(node: ast.expr, imports: dict[str, str]) -> str | None:
+    """Render ``a.b.c`` call targets, resolving the leading import alias."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    head = imports.get(node.id, node.id)
+    parts.append(head)
+    return ".".join(reversed(parts))
+
+
+def _run(ctx: RuleContext):
+    config = ctx.index.config
+    for relpath, module in ctx.index.modules.items():
+        if not ctx.index.in_scope(relpath, config.determinism_packages):
+            continue
+        symbols = symbol_spans(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func, module.imports)
+            if dotted is None:
+                continue
+            message = _classify(dotted, node)
+            if message is None:
+                continue
+            yield Finding(
+                rule="core-determinism",
+                path=module.display_path,
+                line=node.lineno,
+                symbol=enclosing_symbol(symbols, node.lineno),
+                message=message,
+            )
+
+
+def _classify(dotted: str, call: ast.Call) -> str | None:
+    if dotted in _FORBIDDEN_CALLS:
+        return f"nondeterministic call {dotted}() in deterministic core code"
+    head, _, tail = dotted.partition(".")
+    if head in _FORBIDDEN_MODULES:
+        return f"nondeterministic call {dotted}() in deterministic core code"
+    if head == _RANDOM_MODULE and tail:
+        if tail == "Random":
+            if call.args or call.keywords:
+                return None  # explicitly seeded instance: reproducible
+            return (
+                "random.Random() without a seed in deterministic core "
+                "code; pass an explicit seed"
+            )
+        if tail == "SystemRandom":
+            return (
+                "random.SystemRandom() is never reproducible; use a "
+                "seeded random.Random(seed)"
+            )
+        return (
+            f"module-level random.{tail}() uses the shared global RNG; "
+            "use a seeded random.Random(seed) instance"
+        )
+    return None
+
+
+RULES = [
+    Rule(
+        name="core-determinism",
+        summary="no clocks or ambient randomness in join/scoring algorithms",
+        run=_run,
+    ),
+]

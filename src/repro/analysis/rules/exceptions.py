@@ -1,0 +1,159 @@
+"""Exception-hygiene rules.
+
+``except-bare``
+    A bare ``except:`` catches ``SystemExit``/``KeyboardInterrupt`` and
+    hides programming errors; flagged everywhere in the tree.
+
+``except-swallowed``
+    On the serving path (``config.serving_packages``) a handler whose
+    body is nothing but ``pass`` silently discards the exception.  Some
+    swallows are deliberate (a crashing log sink must not take down the
+    request); those carry an inline suppression that doubles as the
+    justification.
+
+``core-raise``
+    ``repro.core`` is a library: callers catch its documented exception
+    hierarchy, so every ``raise`` in core must use a class defined in
+    ``core/errors.py`` (or an explicitly allowed stdlib idiom such as
+    ``NotImplementedError``).  Bare re-raises and lowercase names
+    (captured exception variables) are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import enclosing_symbol, symbol_spans
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, RuleContext
+
+__all__ = ["RULES"]
+
+
+def _is_swallow_body(body: list[ast.stmt]) -> bool:
+    """True when the handler body does nothing at all."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+def _run_bare(ctx: RuleContext):
+    for module in ctx.index.modules.values():
+        symbols = symbol_spans(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield Finding(
+                    rule="except-bare",
+                    path=module.display_path,
+                    line=node.lineno,
+                    symbol=enclosing_symbol(symbols, node.lineno),
+                    message=(
+                        "bare 'except:' catches SystemExit and "
+                        "KeyboardInterrupt; name the exceptions"
+                    ),
+                )
+
+
+def _run_swallowed(ctx: RuleContext):
+    config = ctx.index.config
+    for relpath, module in ctx.index.modules.items():
+        if not ctx.index.in_scope(relpath, config.serving_packages):
+            continue
+        symbols = symbol_spans(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_swallow_body(node.body):
+                continue
+            caught = (
+                ast.unparse(node.type) if node.type is not None else "Exception"
+            )
+            yield Finding(
+                rule="except-swallowed",
+                path=module.display_path,
+                line=node.lineno,
+                symbol=enclosing_symbol(symbols, node.lineno),
+                message=(
+                    f"exception ({caught}) silently swallowed on the "
+                    "serving path; log it, re-raise, or justify with a "
+                    "suppression"
+                ),
+            )
+
+
+def _raised_name(exc: ast.expr) -> str | None:
+    """The class name a ``raise`` statement references, if static."""
+    node = exc
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _core_error_names(ctx: RuleContext) -> set[str]:
+    config = ctx.index.config
+    module = ctx.index.modules.get(config.core_errors_module)
+    if module is None:
+        return set()
+    return {
+        node.name
+        for node in module.tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+
+
+def _run_core_raise(ctx: RuleContext):
+    config = ctx.index.config
+    allowed = _core_error_names(ctx) | set(config.allowed_raises)
+    for relpath, module in ctx.index.modules.items():
+        if not ctx.index.in_scope(relpath, (config.core_package,)):
+            continue
+        symbols = symbol_spans(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            if node.exc is None:
+                continue  # bare re-raise inside a handler
+            name = _raised_name(node.exc)
+            if name is None:
+                continue  # dynamically built exception object
+            if name in allowed:
+                continue
+            if name[:1].islower():
+                continue  # a captured exception variable being re-raised
+            yield Finding(
+                rule="core-raise",
+                path=module.display_path,
+                line=node.lineno,
+                symbol=enclosing_symbol(symbols, node.lineno),
+                message=(
+                    f"core code raises {name}, which is not part of the "
+                    f"documented hierarchy in {config.core_errors_module}"
+                ),
+            )
+
+
+RULES = [
+    Rule(
+        name="except-bare",
+        summary="no bare 'except:' anywhere",
+        run=_run_bare,
+    ),
+    Rule(
+        name="except-swallowed",
+        summary="no silently swallowed exceptions on the serving path",
+        run=_run_swallowed,
+    ),
+    Rule(
+        name="core-raise",
+        summary="repro.core raises only its documented exception hierarchy",
+        run=_run_core_raise,
+    ),
+]

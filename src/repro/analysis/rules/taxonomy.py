@@ -1,0 +1,244 @@
+"""Taxonomy rules: every observability name comes from one registry.
+
+Span names, structured-log event names, counter names, and Prometheus
+metric names are extracted from call sites as string literals and
+checked against the canonical registry (:mod:`repro.obs.taxonomy` by
+default).  A name used at a call site but absent from the registry is a
+finding — drift between what the code emits and what dashboards/tests
+expect is exactly the failure mode the registry exists to prevent.
+
+Five rules:
+
+``taxonomy-span``        span literals vs ``SPAN_NAMES``
+``taxonomy-event``       log-event literals vs ``LOG_EVENTS``
+``taxonomy-metric``      counter / exported-metric literals vs the registry
+``taxonomy-prometheus``  every registry name must be a legal Prometheus name
+``taxonomy-docs``        every registry name must appear in the ops doc
+
+Extraction is receiver-sensitive: ``tracer.trace("x")`` and
+``obs_span("x")`` are span sites, ``logger.warning("event", ...)`` is a
+log site, ``metrics.increment("name")`` a counter site, and
+``registry.counter("prom_name", ...)`` an export site.  Non-literal
+first arguments are skipped — names built at runtime are checked where
+the building blocks are defined (the registry itself).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+
+from repro.analysis.callgraph import ModuleInfo, receiver_text
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, RuleContext
+
+__all__ = ["RULES"]
+
+_PROMETHEUS_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+_SPAN_FUNCS = frozenset({"span", "obs_span"})
+_SPAN_METHODS = frozenset({"span", "trace", "begin"})
+_LOG_METHODS = frozenset({"log", "debug", "info", "warning", "error", "exception"})
+_COUNTER_METHODS = frozenset({"increment", "count"})
+_EXPORT_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _canonical(ctx: RuleContext):
+    """(spans, events, counters, prometheus) honoring config overrides."""
+    config = ctx.index.config
+    if (
+        config.taxonomy_spans is not None
+        or config.taxonomy_events is not None
+        or config.taxonomy_counters is not None
+        or config.taxonomy_prometheus is not None
+    ):
+        return (
+            config.taxonomy_spans or frozenset(),
+            config.taxonomy_events or frozenset(),
+            config.taxonomy_counters or frozenset(),
+            config.taxonomy_prometheus or frozenset(),
+        )
+    from repro.obs import taxonomy
+
+    return (
+        taxonomy.SPAN_NAMES,
+        taxonomy.LOG_EVENTS,
+        taxonomy.COUNTER_NAMES,
+        taxonomy.PROMETHEUS_NAMES,
+    )
+
+
+def _literal_first_arg(call: ast.Call) -> str | None:
+    if call.args and isinstance(call.args[0], ast.Constant):
+        value = call.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def _iter_sites(module: ModuleInfo):
+    """Yield (kind, name, call) for every recognized literal call site."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _literal_first_arg(node)
+        if name is None:
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            target = module.imports.get(func.id, func.id)
+            if func.id in _SPAN_FUNCS or target.endswith(".span"):
+                yield ("span", name, node)
+            continue
+        if not isinstance(func, ast.Attribute):
+            continue
+        receiver = receiver_text(func.value).lower()
+        method = func.attr
+        if method in _SPAN_METHODS and "trace" in receiver:
+            yield ("span", name, node)
+        elif method in _LOG_METHODS and "logger" in receiver:
+            yield ("event", name, node)
+        elif method in _COUNTER_METHODS and "metrics" in receiver:
+            yield ("counter", name, node)
+        elif method in _EXPORT_METHODS and "registry" in receiver:
+            yield ("export", name, node)
+
+
+_SITE_RULES = {
+    "span": ("taxonomy-span", "span name", "SPAN_NAMES"),
+    "event": ("taxonomy-event", "log event", "LOG_EVENTS"),
+    "counter": ("taxonomy-metric", "counter name", "COUNTER_NAMES"),
+    "export": ("taxonomy-metric", "exported metric name", "PROMETHEUS_NAMES"),
+}
+
+
+def _run_sites(ctx: RuleContext, wanted_rule: str):
+    config = ctx.index.config
+    spans, events, counters, prometheus = _canonical(ctx)
+    canon = {
+        "span": spans,
+        "event": events,
+        "counter": counters,
+        "export": prometheus,
+    }
+    for relpath, module in ctx.index.modules.items():
+        if not ctx.index.in_scope(relpath, config.taxonomy_packages):
+            continue
+        if relpath == "obs/taxonomy.py":
+            continue  # the registry itself
+        for kind, name, call in _iter_sites(module):
+            rule, label, registry = _SITE_RULES[kind]
+            if rule != wanted_rule:
+                continue
+            if name in canon[kind]:
+                continue
+            yield Finding(
+                rule=rule,
+                path=module.display_path,
+                line=call.lineno,
+                symbol=name,
+                message=(
+                    f"{label} {name!r} is not in the canonical "
+                    f"registry ({registry} in repro.obs.taxonomy)"
+                ),
+            )
+
+
+def _run_span(ctx: RuleContext):
+    yield from _run_sites(ctx, "taxonomy-span")
+
+
+def _run_event(ctx: RuleContext):
+    yield from _run_sites(ctx, "taxonomy-event")
+
+
+def _run_metric(ctx: RuleContext):
+    yield from _run_sites(ctx, "taxonomy-metric")
+
+
+def _registry_path(ctx: RuleContext) -> str:
+    module = ctx.index.modules.get("obs/taxonomy.py")
+    return module.display_path if module else "<taxonomy>"
+
+
+def _run_prometheus(ctx: RuleContext):
+    _spans, _events, _counters, prometheus = _canonical(ctx)
+    path = _registry_path(ctx)
+    for name in sorted(prometheus):
+        if not _PROMETHEUS_NAME_RE.match(name):
+            yield Finding(
+                rule="taxonomy-prometheus",
+                path=path,
+                line=1,
+                symbol=name,
+                message=(
+                    f"{name!r} is not a legal Prometheus metric name "
+                    "([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                ),
+            )
+
+
+def _run_docs(ctx: RuleContext):
+    config = ctx.index.config
+    if not config.taxonomy_doc:
+        return
+    doc_path = pathlib.Path(config.taxonomy_doc)
+    spans, events, counters, prometheus = _canonical(ctx)
+    if not doc_path.exists():
+        yield Finding(
+            rule="taxonomy-docs",
+            path=config.taxonomy_doc,
+            line=1,
+            symbol="",
+            message="observability doc is missing",
+        )
+        return
+    text = doc_path.read_text()
+    for group, names in (
+        ("span", spans),
+        ("log event", events),
+        ("counter", counters),
+        ("metric", prometheus),
+    ):
+        for name in sorted(names):
+            if name not in text:
+                yield Finding(
+                    rule="taxonomy-docs",
+                    path=config.taxonomy_doc,
+                    line=1,
+                    symbol=name,
+                    message=(
+                        f"canonical {group} name {name!r} is not "
+                        f"documented in {config.taxonomy_doc}"
+                    ),
+                )
+
+
+RULES = [
+    Rule(
+        name="taxonomy-span",
+        summary="span literals must come from SPAN_NAMES",
+        run=_run_span,
+    ),
+    Rule(
+        name="taxonomy-event",
+        summary="log-event literals must come from LOG_EVENTS",
+        run=_run_event,
+    ),
+    Rule(
+        name="taxonomy-metric",
+        summary="counter/exported-metric literals must come from the registry",
+        run=_run_metric,
+    ),
+    Rule(
+        name="taxonomy-prometheus",
+        summary="registry names must be legal Prometheus names",
+        run=_run_prometheus,
+    ),
+    Rule(
+        name="taxonomy-docs",
+        summary="every registry name must appear in the observability doc",
+        run=_run_docs,
+    ),
+]

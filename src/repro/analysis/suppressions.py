@@ -1,0 +1,68 @@
+"""Per-line suppression comments: ``# repro: ignore[rule-name]``.
+
+A finding is suppressed when the line it fires on (or the nearest
+preceding comment-only line) carries a suppression naming its rule::
+
+    self._stream.write(line)  # repro: ignore[lock-blocking-call] why...
+
+    # repro: ignore[core-raise] stdlib-style precondition
+    raise ValueError("...")
+
+``# repro: ignore`` with no bracket suppresses every rule on that line;
+``# repro: ignore[a,b]`` suppresses the named rules.  Suppressions are
+deliberately line-scoped — there is no file- or block-scoped form, so a
+suppression can never hide more than the one statement it annotates.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["SuppressionIndex"]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([^\]]*)\])?")
+
+#: Matches every rule (a bare ``# repro: ignore``).
+_ALL = "*"
+
+
+class SuppressionIndex:
+    """Which rules are suppressed on which lines of one file."""
+
+    def __init__(self, source: str) -> None:
+        # line number (1-based) -> set of rule names ("*" = all)
+        self._by_line: dict[int, set[str]] = {}
+        carried: set[str] | None = None
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            rules: set[str] | None = None
+            if match:
+                inner = match.group(1)
+                if inner is None:
+                    rules = {_ALL}
+                else:
+                    rules = {r.strip() for r in inner.split(",") if r.strip()} or {_ALL}
+            stripped = text.strip()
+            if stripped.startswith("#"):
+                # Comment-only line: the suppression applies to the next
+                # code line (carry it forward past further comments).
+                if rules:
+                    carried = (carried or set()) | rules
+                continue
+            effective = set(rules or ())
+            if carried and stripped:
+                effective |= carried
+                carried = None
+            elif not stripped:
+                continue  # blank line: keep carrying
+            if effective:
+                self._by_line[lineno] = effective
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self._by_line.get(line)
+        if not rules:
+            return False
+        return _ALL in rules or rule in rules
+
+    def __len__(self) -> int:
+        return len(self._by_line)

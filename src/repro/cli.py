@@ -12,6 +12,7 @@ Examples::
     repro-search ask --scoring win --top 3 'lenovo:exact, nba:exact' doc.txt
     repro-search serve news/*.txt --port 8080 --workers 4
     repro-search profile news/*.txt --query 'partnership, sports' --overhead
+    repro-search analyze --list-rules
 """
 
 from __future__ import annotations
@@ -323,6 +324,15 @@ def main(argv: list[str] | None = None) -> int:
         help="also measure tracer overhead (off vs sampled-out vs on)",
     )
     profile.set_defaults(func=_cmd_profile)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the static-analysis gate over the source tree",
+    )
+    from repro.analysis.cli import add_analyze_arguments, run_analyze
+
+    add_analyze_arguments(analyze)
+    analyze.set_defaults(func=run_analyze)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -43,7 +43,7 @@ from repro.core.errors import ScoringContractError
 from repro.core.match import Match, MatchList, merge_by_location
 from repro.core.matchset import MatchSet
 from repro.core.query import Query
-from repro.core.scoring.base import MedScoring
+from repro.core.scoring.base import MaxScoring, MedScoring
 
 __all__ = ["med_by_location_streaming", "max_by_location_streaming", "MatchEvent"]
 
@@ -235,7 +235,7 @@ def med_by_location_streaming(
 def max_by_location_streaming(
     query: Query,
     source: Sequence[MatchList] | Iterable[MatchEvent],
-    scoring,
+    scoring: MaxScoring,
     *,
     score_upper_bound: float = 1.0,
 ) -> Iterator[LocationResult]:
@@ -249,8 +249,6 @@ def max_by_location_streaming(
     Matches the batch :func:`repro.core.algorithms.by_location.
     max_by_location` anchor-for-anchor on scores.
     """
-    from repro.core.scoring.base import MaxScoring
-
     if not isinstance(scoring, MaxScoring):
         raise ScoringContractError(
             f"max_by_location_streaming needs a MaxScoring, got {type(scoring).__name__}"

@@ -23,7 +23,7 @@ from repro.core.algorithms.by_location import (
     med_by_location,
     win_by_location,
 )
-from repro.core.errors import ScoringContractError
+from repro.core.errors import InvalidQueryError, ScoringContractError
 from repro.core.match import MatchList
 from repro.core.query import Query
 from repro.core.scoring.base import MaxScoring, MedScoring, ScoringFunction, WinScoring
@@ -72,7 +72,7 @@ def top_k_matchsets(
     deterministic.
     """
     if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
+        raise InvalidQueryError(f"k must be positive, got {k}")
     candidates = (
         r
         for r in _by_location(query, lists, scoring)

@@ -42,10 +42,10 @@ __all__ = ["win_join"]
 # A DP state is (g_sum, l_min, chain); ``chain`` is a persistent linked
 # list of (term_index, match, parent) cells so that updating a state is
 # O(1) instead of copying a |Q|-sized matchset.
-_Chain = tuple[int, Match, "._Chain | None"]  # type: ignore[name-defined]
+_Chain = tuple[int, Match, "_Chain | None"]
 
 
-def _chain_to_matchset(query: Query, chain) -> MatchSet:
+def _chain_to_matchset(query: Query, chain: _Chain | None) -> MatchSet:
     picked: dict[str, Match] = {}
     node = chain
     while node is not None:
@@ -88,15 +88,15 @@ def win_join(
 
     # states[mask] = (g_sum, l_min, chain) for the best partial matchset
     # over the terms in ``mask`` seen so far, or None.
-    states: list[tuple[float, int, object] | None] = [None] * (full + 1)
+    states: list[tuple[float, int, _Chain] | None] = [None] * (full + 1)
 
-    best_chain = None
+    best_chain: _Chain | None = None
     best_score = float("-inf")
-    best_valid_chain = None
+    best_valid_chain: _Chain | None = None
     best_valid_score = float("-inf")
 
-    def chain_is_valid(chain) -> bool:
-        token_ids = set()
+    def chain_is_valid(chain: _Chain | None) -> bool:
+        token_ids: set[object] = set()
         count = 0
         node = chain
         while node is not None:

@@ -32,7 +32,7 @@ import math
 from typing import Sequence
 
 from repro.core.algorithms.base import JoinResult, validate_inputs
-from repro.core.errors import ScoringContractError
+from repro.core.errors import InvalidQueryError, ScoringContractError
 from repro.core.match import Match, MatchList, merge_by_location
 from repro.core.matchset import MatchSet
 from repro.core.query import Query
@@ -40,8 +40,12 @@ from repro.core.scoring.base import WinScoring
 
 __all__ = ["win_join_kbest", "win_join_valid_lazy"]
 
+# A chain is a persistent linked list of (term_index, match, parent)
+# cells, as in :mod:`repro.core.algorithms.win_join`.
+_Chain = tuple[int, Match, "_Chain | None"]
 
-def _chain_to_matchset(query: Query, chain) -> MatchSet:
+
+def _chain_to_matchset(query: Query, chain: _Chain | None) -> MatchSet:
     picked: dict[str, Match] = {}
     node = chain
     while node is not None:
@@ -66,7 +70,7 @@ def win_join_kbest(
             f"win_join_kbest needs a WinScoring, got {type(scoring).__name__}"
         )
     if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
+        raise InvalidQueryError(f"k must be positive, got {k}")
     if not validate_inputs(query, lists):
         return []
 
@@ -77,14 +81,14 @@ def win_join_kbest(
     ]
     # states[mask]: list of (g_sum, l_min, chain) — the (≤ k) best partial
     # matchsets over the subset, under the evolving location.
-    states: list[list[tuple[float, int, object]]] = [[] for _ in range(full + 1)]
+    states: list[list[tuple[float, int, _Chain]]] = [[] for _ in range(full + 1)]
 
     f = scoring.f
     # Global top-k via a min-heap of (score, tiebreak, chain).
-    heap: list[tuple[float, int, object]] = []
+    heap: list[tuple[float, int, _Chain]] = []
     tiebreak = itertools.count()
 
-    def offer(score: float, chain) -> None:
+    def offer(score: float, chain: _Chain) -> None:
         if len(heap) < k:
             heapq.heappush(heap, (score, next(tiebreak), chain))
         elif score > heap[0][0]:
@@ -95,7 +99,7 @@ def win_join_kbest(
         l = match.location
         bit = 1 << j
         for mask in masks_with[j]:
-            created: list[tuple[float, int, object]]
+            created: list[tuple[float, int, _Chain]]
             if mask == bit:
                 created = [(g, l, (j, match, None))]
             else:

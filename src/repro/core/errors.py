@@ -16,6 +16,7 @@ __all__ = [
     "EmptyJoinError",
     "ScoringContractError",
     "NoValidMatchSetError",
+    "SerializationError",
 ]
 
 
@@ -50,3 +51,7 @@ class ScoringContractError(ReproError, TypeError):
 
 class NoValidMatchSetError(ReproError):
     """No duplicate-free matchset exists for the given match lists."""
+
+
+class SerializationError(ReproError, ValueError):
+    """Malformed or incompatible serialized data."""

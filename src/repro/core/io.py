@@ -15,7 +15,7 @@ import json
 import pathlib
 from typing import Any, Sequence
 
-from repro.core.errors import ReproError
+from repro.core.errors import ReproError, SerializationError
 from repro.core.match import Match, MatchList
 from repro.core.matchset import MatchSet
 from repro.core.query import Query
@@ -34,10 +34,6 @@ __all__ = [
 ]
 
 FORMAT_VERSION = 1
-
-
-class SerializationError(ReproError, ValueError):
-    """Malformed or incompatible serialized data."""
 
 
 def match_to_dict(match: Match) -> dict[str, Any]:

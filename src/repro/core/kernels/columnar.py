@@ -131,7 +131,7 @@ class ListKernel:
         g: array,
         g_bound: array,
         scores: array | None,
-        token_ids,
+        token_ids: Sequence[object],
         *,
         hold: object = None,
     ) -> None:

@@ -35,16 +35,21 @@ from __future__ import annotations
 import heapq
 import math
 from itertools import repeat
-from typing import Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.algorithms.base import JoinResult, LocationResult
 from repro.core.kernels.columnar import ListKernel, lower
-from repro.core.match import MatchList
+from repro.core.match import Match, MatchList
 from repro.core.matchset import MatchSet
 from repro.core.query import Query
 from repro.core.scoring.base import MaxScoring, MedScoring, WinScoring
 from repro.core.scoring.maxloc import AdditiveExponentialMax
 from repro.core.scoring.win import ExponentialProductWin, LinearAdditiveWin
+
+# A DP chain is a persistent linked list of (term_index, match_index,
+# parent) cells — the index-level twin of the object path's
+# (term_index, Match, parent) chains.
+_IdxChain = tuple[int, int, "_IdxChain | None"]
 
 __all__ = [
     "win_join_kernel",
@@ -114,8 +119,10 @@ def _merged_lazy(kernels: Sequence[ListKernel]) -> Iterator[tuple[int, int, int]
     return heapq.merge(*(one(j, kern) for j, kern in enumerate(kernels)))
 
 
-def _chain_matchset(query: Query, lists: Sequence[MatchList], chain) -> MatchSet:
-    picked = {}
+def _chain_matchset(
+    query: Query, lists: Sequence[MatchList], chain: _IdxChain | None
+) -> MatchSet:
+    picked: dict[str, Match] = {}
     node = chain
     while node is not None:
         j, i, node = node
@@ -123,8 +130,8 @@ def _chain_matchset(query: Query, lists: Sequence[MatchList], chain) -> MatchSet
     return MatchSet(query, picked)
 
 
-def _chain_is_valid(kernels: Sequence[ListKernel], chain) -> bool:
-    token_ids = set()
+def _chain_is_valid(kernels: Sequence[ListKernel], chain: _IdxChain | None) -> bool:
+    token_ids: set[object] = set()
     count = 0
     node = chain
     while node is not None:
@@ -145,7 +152,13 @@ def _picks_matchset(
 # WIN (Algorithm 1)
 # ---------------------------------------------------------------------------
 
-def _win_dp_generic(kernels, merged, masks_rest, full, f):
+def _win_dp_generic(
+    kernels: Sequence[ListKernel],
+    merged: Iterable[tuple[int, int, int, float]],
+    masks_rest: Sequence[Sequence[tuple[int, int]]],
+    full: int,
+    f: Callable[[float, float], float],
+) -> tuple[float, _IdxChain | None, float, _IdxChain | None]:
     """The Algorithm 1 subset DP over state arrays, generic ``f``.
 
     States live in parallel arrays (``sg`` g-sums, ``sl`` min
@@ -160,10 +173,10 @@ def _win_dp_generic(kernels, merged, masks_rest, full, f):
     """
     sg = [0.0] * (full + 1)
     sl = [0] * (full + 1)
-    sc: list[object] = [None] * (full + 1)
-    best_chain = None
+    sc: list[_IdxChain | None] = [None] * (full + 1)
+    best_chain: _IdxChain | None = None
     best_score = _NEG_INF
-    best_valid_chain = None
+    best_valid_chain: _IdxChain | None = None
     best_valid_score = _NEG_INF
 
     for l, j, i, g in merged:
@@ -200,7 +213,12 @@ def _win_dp_generic(kernels, merged, masks_rest, full, f):
     return best_score, best_chain, best_valid_score, best_valid_chain
 
 
-def _win_dp_linear(kernels, merged, masks_rest, full):
+def _win_dp_linear(
+    kernels: Sequence[ListKernel],
+    merged: Iterable[tuple[int, int, int, float]],
+    masks_rest: Sequence[Sequence[tuple[int, int]]],
+    full: int,
+) -> tuple[float, _IdxChain | None, float, _IdxChain | None]:
     """:func:`_win_dp_generic` with ``LinearAdditiveWin.f`` inlined.
 
     ``f(x, y) = x − y``, so every comparison becomes plain arithmetic —
@@ -216,12 +234,12 @@ def _win_dp_linear(kernels, merged, masks_rest, full):
     """
     sg = [0.0] * (full + 1)
     sl = [0] * (full + 1)
-    sc: list[object] = [None] * (full + 1)
-    best_chain = None
+    sc: list[_IdxChain | None] = [None] * (full + 1)
+    best_chain: _IdxChain | None = None
     best_score = _NEG_INF
-    best_valid_chain = None
+    best_valid_chain: _IdxChain | None = None
     best_valid_score = _NEG_INF
-    checked = None
+    checked: _IdxChain | None = None
 
     for l, j, i, g in merged:
         bit = 1 << j
@@ -258,7 +276,13 @@ def _win_dp_linear(kernels, merged, masks_rest, full):
     return best_score, best_chain, best_valid_score, best_valid_chain
 
 
-def _win_dp_expprod(kernels, merged, masks_rest, full, alpha):
+def _win_dp_expprod(
+    kernels: Sequence[ListKernel],
+    merged: Iterable[tuple[int, int, int, float]],
+    masks_rest: Sequence[Sequence[tuple[int, int]]],
+    full: int,
+    alpha: float,
+) -> tuple[float, _IdxChain | None, float, _IdxChain | None]:
     """:func:`_win_dp_generic` with ``ExponentialProductWin.f`` inlined:
     ``f(x, y) = exp(x − α·y)``, hoisting ``exp`` and ``α`` out of the
     loop.  Applies the same unchanged-chain skip as the linear variant
@@ -266,12 +290,12 @@ def _win_dp_expprod(kernels, merged, masks_rest, full, alpha):
     exp = math.exp
     sg = [0.0] * (full + 1)
     sl = [0] * (full + 1)
-    sc: list[object] = [None] * (full + 1)
-    best_chain = None
+    sc: list[_IdxChain | None] = [None] * (full + 1)
+    best_chain: _IdxChain | None = None
     best_score = _NEG_INF
-    best_valid_chain = None
+    best_valid_chain: _IdxChain | None = None
     best_valid_score = _NEG_INF
-    checked = None
+    checked: _IdxChain | None = None
 
     for l, j, i, g in merged:
         bit = 1 << j
@@ -569,7 +593,9 @@ def med_join_kernel(
 # MAX (Section V, specialized)
 # ---------------------------------------------------------------------------
 
-def _max_stack(kern: ListKernel, gf, j: int) -> list[int]:
+def _max_stack(
+    kern: ListKernel, gf: Callable[[int, float, float], float], j: int
+) -> list[int]:
     """Columnar dominance stack under MAX contributions.
 
     ``c(i, l) = g(j, score[i], |loc[i] − l|)``; at a match's own
@@ -647,7 +673,13 @@ class _MaxScanner:
 
     __slots__ = ("_stack", "_locs", "_scores", "_gf", "_j", "_pos", "_last")
 
-    def __init__(self, stack: list[int], kern: ListKernel, gf, j: int) -> None:
+    def __init__(
+        self,
+        stack: list[int],
+        kern: ListKernel,
+        gf: Callable[[int, float, float], float],
+        j: int,
+    ) -> None:
         self._stack = stack
         self._locs = kern.locations
         self._scores = kern.scores
@@ -711,7 +743,9 @@ class _MaxScannerExp:
         return before
 
 
-def _max_scanners(kernels: Sequence[ListKernel], scoring: MaxScoring):
+def _max_scanners(
+    kernels: Sequence[ListKernel], scoring: MaxScoring
+) -> list[_MaxScannerExp] | list[_MaxScanner]:
     """One dominating-match scanner per term, specialized when possible."""
     alpha = _max_specialized_alpha(scoring)
     if alpha is not None:

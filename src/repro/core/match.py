@@ -21,7 +21,7 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence, overload
 
 from repro.core.errors import InvalidMatchError, InvalidMatchListError
 
@@ -121,7 +121,13 @@ class MatchList(Sequence[Match]):
     def __len__(self) -> int:
         return len(self._matches)
 
-    def __getitem__(self, index):  # type: ignore[override]
+    @overload
+    def __getitem__(self, index: int) -> Match: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "MatchList": ...
+
+    def __getitem__(self, index: int | slice) -> "Match | MatchList":
         if isinstance(index, slice):
             return MatchList(self._matches[index], term=self.term, presorted=True)
         return self._matches[index]

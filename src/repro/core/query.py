@@ -10,7 +10,7 @@ opaque labels; interpretation happens in :mod:`repro.matching`.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence, overload
 
 from repro.core.errors import InvalidQueryError
 
@@ -49,7 +49,13 @@ class Query(Sequence[str]):
     def __len__(self) -> int:
         return len(self._terms)
 
-    def __getitem__(self, index):  # type: ignore[override]
+    @overload
+    def __getitem__(self, index: int) -> str: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> tuple[str, ...]: ...
+
+    def __getitem__(self, index: int | slice) -> "str | tuple[str, ...]":
         return self._terms[index]
 
     def __iter__(self) -> Iterator[str]:

@@ -147,6 +147,7 @@ class ConceptIndex:
         built = {
             (c, doc_id): self.match_list(c, doc_id) for c in dict.fromkeys(missing)
         }
+        resolved: dict[tuple[str, str], MatchList | None] = {}
         with self._list_cache_lock:
             cache = self._list_cache
             if self._list_cache_generation != generation:
@@ -162,12 +163,20 @@ class ConceptIndex:
                 if found is None and memo is not None:
                     found = memo.get(key)
                 if found is None:
-                    # Evicted between the two locked sections; fall back
-                    # to the freshly built copy.
-                    found = built.get(key) or self.match_list(concept, doc_id)
-                if memo is not None:
-                    memo.setdefault(key, found)
-                lists.append(found)
+                    # Evicted between the two locked sections.
+                    found = built.get(key)
+                resolved[key] = found
+        # A list evicted between the two locked sections is rebuilt out
+        # here: materialization reads the whole posting structure and
+        # must never run inside the cache's critical section.
+        for concept in concepts:
+            key = (concept, doc_id)
+            found = resolved[key]
+            if found is None:
+                found = self.match_list(concept, doc_id)
+            if memo is not None:
+                memo.setdefault(key, found)
+            lists.append(found)
         return lists
 
     def candidate_documents(self, concepts: list[str]) -> list[str]:

@@ -12,7 +12,10 @@ with (see ``docs/OBSERVABILITY.md``):
   (:mod:`.log`);
 * :func:`profile_workload` / :func:`aggregate_traces` — the profiling
   harness behind ``repro-search profile`` and ``make bench-obs``
-  (:mod:`.profile`).
+  (:mod:`.profile`);
+* :mod:`.taxonomy` — the canonical registry of span, event, counter,
+  and Prometheus names that the static analyzer (:mod:`repro.analysis`)
+  checks every call site against.
 """
 
 from repro.obs.log import LEVELS, MemorySink, StructuredLogger
@@ -32,6 +35,12 @@ from repro.obs.profile import (
     profile_workload,
     quantile,
 )
+from repro.obs.taxonomy import (
+    COUNTER_NAMES,
+    LOG_EVENTS,
+    PROMETHEUS_NAMES,
+    SPAN_NAMES,
+)
 from repro.obs.trace import (
     NULL_TRACE,
     Span,
@@ -43,15 +52,19 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "COUNTER_NAMES",
     "Counter",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
     "LEVELS",
+    "LOG_EVENTS",
     "MemorySink",
     "MetricsRegistry",
     "NULL_TRACE",
+    "PROMETHEUS_NAMES",
     "ProfileReport",
+    "SPAN_NAMES",
     "Span",
     "StageStats",
     "StructuredLogger",

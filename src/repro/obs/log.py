@@ -135,11 +135,15 @@ class StructuredLogger:
                 try:
                     stream.write(line + "\n")
                     stream.flush()
+                # repro: ignore[except-swallowed] a dead stream must
+                # never fail the request path
                 except (OSError, ValueError, io.UnsupportedOperation):
-                    pass  # a dead stream must never fail the request path
+                    pass
         for sink in sinks:
             try:
                 sink(record)
+            # repro: ignore[except-swallowed] a crashing log sink must
+            # never take down the request it is describing
             except Exception:
                 pass
         return record

@@ -1,0 +1,121 @@
+"""The canonical observability taxonomy: one registry of every name.
+
+Span names, structured-log event names, service counter names, and
+Prometheus metric names are *identifiers shared across layers*: the
+executor emits them, dashboards query them, docs/OBSERVABILITY.md
+documents them, and tests assert on them.  A misspelled span name does
+not fail loudly — it silently creates a new series nobody is looking
+at.  This module is the single source of truth those layers import
+(:mod:`repro.service.metrics` builds its counters from
+:data:`COUNTER_SPECS`; the server mirrors cache stats through
+:data:`CACHE_GAUGES`), and the static analyzer
+(:mod:`repro.analysis`, rule family ``taxonomy-*``) checks every
+literal name at every call site against it on each ``make analyze``.
+
+Adding a name is a three-step change, enforced mechanically: add it
+here, use it at the call site, and document it in
+``docs/OBSERVABILITY.md`` — the analyzer fails the build when any of
+the three is missing.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "CACHE_GAUGES",
+    "COUNTER_SPECS",
+    "COUNTER_NAMES",
+    "LOG_EVENTS",
+    "PROMETHEUS_NAMES",
+    "SPAN_NAMES",
+    "is_legal_prometheus_name",
+]
+
+#: Span names the serving and query layers may open
+#: (docs/OBSERVABILITY.md documents the tree they form).
+SPAN_NAMES: frozenset[str] = frozenset(
+    {
+        "request",  # trace root: one per served query (HTTP or executor)
+        "queue",  # admission → execution wait inside the executor
+        "batch",  # micro-batch membership of one request
+        "cache.get",  # result-cache lookup
+        "join",  # best-join execution (shared wall-clock across a batch)
+        "ask",  # SearchSystem.ask / one query of ask_many
+        "plan",  # query parse + matcher construction
+        "rank",  # the ranking loop over candidate documents
+    }
+)
+
+#: Structured-log event names (`StructuredLogger` emissions).
+LOG_EVENTS: frozenset[str] = frozenset(
+    {
+        "request",  # one per served query: outcome + stage timings
+        "slow_query",  # request past --slow-query-ms
+        "fault.injected",  # an armed fault point fired
+        "breaker.transition",  # circuit-breaker state change
+        "breaker.shed",  # a batch shed to the degraded join
+        "join.retry",  # transient exact-join failure being retried
+    }
+)
+
+#: Service counter (JSON field) name → (Prometheus name, help text).
+#: :class:`repro.service.ServiceMetrics` registers exactly these.
+COUNTER_SPECS: dict[str, tuple[str, str]] = {
+    "requests_total": ("repro_requests_total", "Requests admitted to the executor"),
+    "rejected_total": ("repro_rejected_total", "Requests refused by admission control"),
+    "cache_hits": ("repro_cache_hits_total", "Result-cache hits"),
+    "cache_misses": ("repro_cache_misses_total", "Result-cache misses"),
+    "joins_executed": ("repro_joins_executed_total", "Requests answered by running best-joins"),
+    "batches": ("repro_batches_total", "Micro-batches of size > 1 executed"),
+    "batched_queries": ("repro_batched_queries_total", "Requests served inside a micro-batch"),
+    "deadline_misses": ("repro_deadline_misses_total", "Requests expired before execution"),
+    "degraded_responses": ("repro_degraded_responses_total", "Requests answered by the approximate join"),
+    "errors_total": ("repro_errors_total", "Requests that raised during execution"),
+    "joins_run": ("repro_joins_run_total", "Best-joins executed by the ranking loops"),
+    "joins_skipped": ("repro_joins_skipped_total", "Candidates pruned by the upper-bound test"),
+    "join_micros": ("repro_join_micros_total", "Microseconds spent inside best-join calls"),
+    "worker_restarts": ("repro_worker_restarts_total", "Workers respawned by the watchdog"),
+    "workers_stalled": ("repro_workers_stalled_total", "Workers replaced after exceeding the stall timeout"),
+    "retries_total": ("repro_retries_total", "Transient-failure retries of the exact join"),
+    "breaker_open_total": ("repro_breaker_open_total", "Circuit-breaker open transitions"),
+    "breaker_shed_total": ("repro_breaker_shed_total", "Requests shed to the degraded join by an open breaker"),
+    "cache_errors": ("repro_cache_errors_total", "Result-cache operations that raised (failed open)"),
+    "drain_dropped": ("repro_drain_dropped_total", "Queued requests failed past the drain budget"),
+}
+
+#: The JSON-side counter names (what ``ServiceMetrics.increment`` takes).
+COUNTER_NAMES: frozenset[str] = frozenset(COUNTER_SPECS)
+
+#: Result-cache stats mirrored as registry gauges at scrape time:
+#: full Prometheus gauge name → (ResultCache.stats() key, help text).
+CACHE_GAUGES: dict[str, tuple[str, str]] = {
+    "repro_result_cache_size": ("size", "Result-cache entries currently stored"),
+    "repro_result_cache_capacity": ("capacity", "Result-cache capacity"),
+    "repro_result_cache_hits": ("hits", "Result-cache hits (cache's own counter)"),
+    "repro_result_cache_misses": ("misses", "Result-cache misses (cache's own counter)"),
+    "repro_result_cache_evictions": ("evictions", "Result-cache LRU evictions"),
+}
+
+#: Prometheus series the /metrics endpoint may expose: every counter's
+#: exposition name, the histograms, and the gauges.
+PROMETHEUS_NAMES: frozenset[str] = frozenset(
+    {prom_name for prom_name, _ in COUNTER_SPECS.values()}
+    | set(CACHE_GAUGES)
+    | {
+        "repro_queue_depth",
+        "repro_uptime_seconds",
+        "repro_completed_total",
+        "repro_request_latency_seconds",
+        "repro_queue_wait_seconds",
+        "repro_join_seconds",
+    }
+)
+
+#: Prometheus metric-name grammar (exposition format, no leading digit).
+_PROMETHEUS_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def is_legal_prometheus_name(name: str) -> bool:
+    """True when ``name`` is a legal Prometheus metric name."""
+    return bool(_PROMETHEUS_NAME_RE.match(name))

@@ -378,8 +378,10 @@ class Tracer:
         for sink in sinks:
             try:
                 sink(trace)
+            # repro: ignore[except-swallowed] a broken sink must never
+            # fail the request
             except Exception:
-                pass  # a broken sink must never fail the request
+                pass
 
     def finished(self) -> list[Trace]:
         """The most recent finished traces, oldest first."""

@@ -61,6 +61,8 @@ class CircuitBreaker:
             return
         try:
             self._on_transition(old, new)
+        # repro: ignore[except-swallowed] a crashing transition listener
+        # must not break the breaker's state machine
         except Exception:
             pass
 

@@ -204,6 +204,8 @@ class FaultRegistry:
         for listener in listeners:
             try:
                 listener(point, mode)
+            # repro: ignore[except-swallowed] a crashing chaos listener
+            # must not alter the experiment under test
             except Exception:
                 pass
 

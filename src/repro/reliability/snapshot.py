@@ -74,6 +74,8 @@ def _fsync_directory(path: pathlib.Path) -> None:
         return
     try:
         os.fsync(fd)
+    # repro: ignore[except-swallowed] directory fsync is advisory; some
+    # filesystems refuse it and the write is still correct
     except OSError:  # pragma: no cover - platform-dependent
         pass
     finally:
@@ -180,6 +182,8 @@ def read_snapshot(
             if bak.exists():
                 try:
                     return _read_one(bak, kind=kind, versions=versions)
+                # repro: ignore[except-swallowed] a corrupt backup falls
+                # through to re-raise the primary error below
                 except (SnapshotCorrupted, SerializationError):
                     pass
         raise primary_error

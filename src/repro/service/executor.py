@@ -711,8 +711,10 @@ class QueryExecutor:
                                 self._fail(request, exc, "error")
                 if slot.replaced:
                     break
+        # repro: ignore[except-swallowed] simulated crash — the watchdog
+        # finds the dead slot and restarts the worker
         except InjectedFault:
-            pass  # simulated crash — the watchdog finds the dead slot
+            pass
         finally:
             slot.state = "dead"
 

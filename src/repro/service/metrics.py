@@ -42,6 +42,7 @@ import time
 from collections import deque
 
 from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.taxonomy import COUNTER_SPECS as _COUNTER_SPECS
 
 __all__ = ["LatencyReservoir", "ServiceMetrics"]
 
@@ -83,29 +84,9 @@ class LatencyReservoir:
         return ordered[rank]
 
 
-#: JSON field name → (Prometheus metric name, help text).
-_COUNTER_SPECS: dict[str, tuple[str, str]] = {
-    "requests_total": ("repro_requests_total", "Requests admitted to the executor"),
-    "rejected_total": ("repro_rejected_total", "Requests refused by admission control"),
-    "cache_hits": ("repro_cache_hits_total", "Result-cache hits"),
-    "cache_misses": ("repro_cache_misses_total", "Result-cache misses"),
-    "joins_executed": ("repro_joins_executed_total", "Requests answered by running best-joins"),
-    "batches": ("repro_batches_total", "Micro-batches of size > 1 executed"),
-    "batched_queries": ("repro_batched_queries_total", "Requests served inside a micro-batch"),
-    "deadline_misses": ("repro_deadline_misses_total", "Requests expired before execution"),
-    "degraded_responses": ("repro_degraded_responses_total", "Requests answered by the approximate join"),
-    "errors_total": ("repro_errors_total", "Requests that raised during execution"),
-    "joins_run": ("repro_joins_run_total", "Best-joins executed by the ranking loops"),
-    "joins_skipped": ("repro_joins_skipped_total", "Candidates pruned by the upper-bound test"),
-    "join_micros": ("repro_join_micros_total", "Microseconds spent inside best-join calls"),
-    "worker_restarts": ("repro_worker_restarts_total", "Workers respawned by the watchdog"),
-    "workers_stalled": ("repro_workers_stalled_total", "Workers replaced after exceeding the stall timeout"),
-    "retries_total": ("repro_retries_total", "Transient-failure retries of the exact join"),
-    "breaker_open_total": ("repro_breaker_open_total", "Circuit-breaker open transitions"),
-    "breaker_shed_total": ("repro_breaker_shed_total", "Requests shed to the degraded join by an open breaker"),
-    "cache_errors": ("repro_cache_errors_total", "Result-cache operations that raised (failed open)"),
-    "drain_dropped": ("repro_drain_dropped_total", "Queued requests failed past the drain budget"),
-}
+# JSON field name → (Prometheus metric name, help text) now lives in
+# the shared taxonomy registry (repro.obs.taxonomy.COUNTER_SPECS) so
+# the analyzer, the docs, and this module agree on one set of names.
 
 
 class ServiceMetrics:

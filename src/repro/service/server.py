@@ -31,6 +31,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.matching.queries import QuerySyntaxError
+from repro.obs.taxonomy import CACHE_GAUGES
 from repro.obs.trace import NULL_TRACE
 from repro.service.executor import (
     SCORING_PRESETS,
@@ -58,14 +59,6 @@ def _response_payload(response: QueryResponse) -> dict:
     }
 
 
-#: Result-cache stats mirrored as registry gauges at scrape time.
-_CACHE_GAUGES: dict[str, str] = {
-    "size": "Result-cache entries currently stored",
-    "capacity": "Result-cache capacity",
-    "hits": "Result-cache hits (cache's own counter)",
-    "misses": "Result-cache misses (cache's own counter)",
-    "evictions": "Result-cache LRU evictions",
-}
 
 
 class _BadParameter(ValueError):
@@ -174,12 +167,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, snapshot)
             elif fmt == "prometheus":
                 if cache is not None:
+                    # Result-cache stats mirrored as registry gauges at
+                    # scrape time, under the taxonomy's canonical names.
                     stats = cache.stats()
                     registry = metrics.registry
-                    for key, help_text in _CACHE_GAUGES.items():
-                        registry.gauge(
-                            f"repro_result_cache_{key}", help_text
-                        ).set(stats[key])
+                    for prom_name, (key, help_text) in CACHE_GAUGES.items():
+                        registry.gauge(prom_name, help_text).set(stats[key])
                 self._send_text(
                     200,
                     metrics.render_prometheus(),

@@ -1,0 +1,51 @@
+"""Shared fixtures: build a throwaway package tree and analyze it."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import analyze
+from repro.analysis.rules import rules_named
+
+
+@pytest.fixture
+def run_analysis(tmp_path):
+    """Write fixture files, run selected rules, return the result.
+
+    ``files`` maps relative paths to (dedented) source snippets.
+    """
+
+    def _run(files, *, rules, config=None, baseline=None):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return analyze(
+            tmp_path,
+            config=config or FIXTURE_CONFIG,
+            rules=rules_named(rules),
+            baseline=baseline,
+            display_prefix="",
+        )
+
+    return _run
+
+
+#: A config scoped to the fixture layout used throughout these tests:
+#: concurrency code under svc/, deterministic code under core/algorithms/,
+#: taxonomy literals under svc/, core exceptions from core/errors.py.
+FIXTURE_CONFIG = AnalysisConfig(
+    concurrency_packages=("svc",),
+    lock_order=[("A", "_outer"), ("A", "_inner")],
+    determinism_packages=("core/algorithms",),
+    core_package="core",
+    core_errors_module="core/errors.py",
+    serving_packages=("svc",),
+    taxonomy_packages=("svc",),
+    taxonomy_doc="",
+    taxonomy_spans=frozenset({"request", "join"}),
+    taxonomy_events=frozenset({"request"}),
+    taxonomy_counters=frozenset({"requests_total"}),
+    taxonomy_prometheus=frozenset({"repro_requests_total"}),
+)

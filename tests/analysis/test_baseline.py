@@ -1,0 +1,182 @@
+"""Baseline load/match/stale/update semantics."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineEntry, BaselineError
+from repro.analysis.findings import Finding
+
+_FINDING = Finding(
+    rule="lock-blocking-call",
+    path="svc/w.py",
+    line=9,
+    symbol="Worker.bad",
+    message="blocking call time.sleep while holding self._lock",
+)
+
+
+def _baseline_payload(reason="it is fine"):
+    return {
+        "version": 1,
+        "entries": [
+            {
+                "rule": _FINDING.rule,
+                "path": _FINDING.path,
+                "symbol": _FINDING.symbol,
+                "message": _FINDING.message,
+                "reason": reason,
+            }
+        ],
+    }
+
+
+class TestLoad:
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert len(baseline) == 0
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(_baseline_payload()))
+        baseline = Baseline.load(path)
+        assert len(baseline) == 1
+        assert baseline.matches(_FINDING)
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_missing_reason_raises(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(_baseline_payload(reason="  ")))
+        with pytest.raises(BaselineError, match="justified"):
+            Baseline.load(path)
+
+
+class TestMatching:
+    def test_line_number_changes_still_match(self):
+        baseline = Baseline(
+            [
+                BaselineEntry(
+                    rule=_FINDING.rule,
+                    path=_FINDING.path,
+                    symbol=_FINDING.symbol,
+                    message=_FINDING.message,
+                    reason="ok",
+                )
+            ]
+        )
+        moved = Finding(
+            rule=_FINDING.rule,
+            path=_FINDING.path,
+            line=123,  # unrelated edits shifted the file
+            symbol=_FINDING.symbol,
+            message=_FINDING.message,
+        )
+        assert baseline.matches(moved)
+        assert baseline.stale_entries() == []
+
+    def test_unmatched_entry_is_stale(self):
+        entry = BaselineEntry(
+            rule="gone-rule",
+            path="svc/old.py",
+            symbol="Old.fn",
+            message="was fixed",
+            reason="ok",
+        )
+        baseline = Baseline([entry])
+        assert baseline.stale_entries() == [entry]
+
+    def test_todo_reason_flagged_as_placeholder(self):
+        entry = BaselineEntry(
+            rule="r", path="p", symbol="s", message="m", reason="TODO: justify"
+        )
+        assert Baseline([entry]).placeholder_entries() == [entry]
+
+
+class TestUpdate:
+    def test_update_preserves_existing_reasons(self, tmp_path):
+        baseline = Baseline(
+            [
+                BaselineEntry(
+                    rule=_FINDING.rule,
+                    path=_FINDING.path,
+                    symbol=_FINDING.symbol,
+                    message=_FINDING.message,
+                    reason="carefully justified",
+                )
+            ]
+        )
+        fresh = Finding(
+            rule="lock-callback",
+            path="svc/n.py",
+            line=4,
+            symbol="N.bad",
+            message="user callback listener() invoked while holding self._lock",
+        )
+        updated = baseline.updated_with([_FINDING, fresh])
+        by_rule = {e.rule: e for e in updated.entries}
+        assert by_rule["lock-blocking-call"].reason == "carefully justified"
+        assert by_rule["lock-callback"].reason.startswith("TODO")
+
+        path = tmp_path / "b.json"
+        updated.save(path)
+        reloaded = Baseline.load(path)
+        assert len(reloaded) == 2
+
+
+class TestEngineBaseline:
+    def test_baselined_finding_passes_and_stale_fails(self, run_analysis):
+        files = {
+            "svc/w.py": """
+            import threading, time
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def tolerated(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """
+        }
+        matching = BaselineEntry(
+            rule="lock-blocking-call",
+            path="svc/w.py",
+            symbol="Worker.tolerated",
+            message="blocking call time.sleep while holding self._lock",
+            reason="fixture: accepted on purpose",
+        )
+        stale = BaselineEntry(
+            rule="lock-blocking-call",
+            path="svc/gone.py",
+            symbol="Gone.fn",
+            message="was fixed long ago",
+            reason="obsolete",
+        )
+        result = run_analysis(
+            files,
+            rules=["lock-blocking-call"],
+            baseline=Baseline([matching]),
+        )
+        assert result.active == []
+        assert len(result.baselined) == 1
+        assert result.ok
+
+        result2 = run_analysis(
+            files,
+            rules=["lock-blocking-call"],
+            baseline=Baseline([matching, stale]),
+        )
+        assert result2.stale_baseline == [stale]
+        assert not result2.ok
+        assert result2.exit_code == 1

@@ -1,0 +1,344 @@
+"""Fixture tests for the concurrency rule family."""
+
+from tests.analysis.conftest import FIXTURE_CONFIG
+
+
+def _rules_of(result):
+    return [(f.rule, f.symbol) for f in result.active]
+
+
+class TestLockBlockingCall:
+    def test_direct_sleep_under_lock_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/w.py": """
+                import threading, time
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def bad(self):
+                        with self._lock:
+                            time.sleep(0.1)
+                """
+            },
+            rules=["lock-blocking-call"],
+        )
+        assert _rules_of(result) == [("lock-blocking-call", "Worker.bad")]
+        assert "time.sleep" in result.active[0].message
+
+    def test_sleep_outside_lock_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/w.py": """
+                import threading, time
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def good(self):
+                        time.sleep(0.1)
+                        with self._lock:
+                            x = 1
+                """
+            },
+            rules=["lock-blocking-call"],
+        )
+        assert result.active == []
+
+    def test_transitive_blocking_via_helper(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/w.py": """
+                import threading, time
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def _helper(self):
+                        time.sleep(0.5)
+
+                    def bad_indirect(self):
+                        with self._lock:
+                            self._helper()
+                """
+            },
+            rules=["lock-blocking-call"],
+        )
+        assert _rules_of(result) == [
+            ("lock-blocking-call", "Worker.bad_indirect")
+        ]
+        assert "_helper" in result.active[0].message
+
+    def test_queue_get_under_lock_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/w.py": """
+                import queue, threading
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._queue = queue.Queue()
+
+                    def bad(self):
+                        with self._lock:
+                            return self._queue.get()
+
+                    def fine(self):
+                        with self._lock:
+                            return self._queue.get_nowait()
+                """
+            },
+            rules=["lock-blocking-call"],
+        )
+        assert _rules_of(result) == [("lock-blocking-call", "Worker.bad")]
+
+    def test_condition_wait_on_held_lock_exempt(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/w.py": """
+                import threading
+
+                class Gate:
+                    def __init__(self):
+                        self._cond = threading.Condition()
+
+                    def await_open(self):
+                        with self._cond:
+                            while not self.open:
+                                self._cond.wait()
+                """
+            },
+            rules=["lock-blocking-call"],
+        )
+        assert result.active == []
+
+    def test_read_lock_sections_exempt(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/w.py": """
+                import threading, time
+
+                class _ReadWriteLock:
+                    pass
+
+                class Exec:
+                    def __init__(self):
+                        self._rwlock = _ReadWriteLock()
+
+                    def shared(self):
+                        with self._rwlock.read():
+                            time.sleep(0.1)
+
+                    def exclusive(self):
+                        with self._rwlock.write():
+                            time.sleep(0.1)
+                """
+            },
+            rules=["lock-blocking-call"],
+        )
+        assert _rules_of(result) == [("lock-blocking-call", "Exec.exclusive")]
+
+    def test_closure_body_not_attributed_to_lock(self, run_analysis):
+        # A nested def's body runs later, outside the critical section.
+        result = run_analysis(
+            {
+                "svc/w.py": """
+                import threading, time
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def register(self):
+                        with self._lock:
+                            def later():
+                                time.sleep(1.0)
+                            self._cb = later
+                """
+            },
+            rules=["lock-blocking-call"],
+        )
+        assert result.active == []
+
+
+class TestLockCallback:
+    def test_listener_call_under_lock_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/w.py": """
+                import threading
+
+                class Notifier:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._listeners = []
+
+                    def bad(self, event):
+                        with self._lock:
+                            for listener in self._listeners:
+                                listener(event)
+
+                    def good(self, event):
+                        with self._lock:
+                            listeners = list(self._listeners)
+                        for listener in listeners:
+                            listener(event)
+                """
+            },
+            rules=["lock-callback"],
+        )
+        assert _rules_of(result) == [("lock-callback", "Notifier.bad")]
+
+
+class TestLockOrder:
+    def test_inner_before_outer_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/a.py": """
+                import threading
+
+                class A:
+                    def __init__(self):
+                        self._outer = threading.Lock()
+                        self._inner = threading.Lock()
+
+                    def ok(self):
+                        with self._outer:
+                            with self._inner:
+                                pass
+
+                    def bad(self):
+                        with self._inner:
+                            with self._outer:
+                                pass
+                """
+            },
+            rules=["lock-order"],
+        )
+        assert _rules_of(result) == [("lock-order", "A.bad")]
+        assert "declared lock order" in result.active[0].message
+
+    def test_reacquisition_of_plain_lock_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/a.py": """
+                import threading
+
+                class A:
+                    def __init__(self):
+                        self._outer = threading.Lock()
+
+                    def deadlock(self):
+                        with self._outer:
+                            with self._outer:
+                                pass
+                """
+            },
+            rules=["lock-order"],
+        )
+        assert _rules_of(result) == [("lock-order", "A.deadlock")]
+        assert "re-acquisition" in result.active[0].message
+
+    def test_rlock_reentry_allowed(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/a.py": """
+                import threading
+
+                class A:
+                    def __init__(self):
+                        self._outer = threading.RLock()
+
+                    def reentrant(self):
+                        with self._outer:
+                            with self._outer:
+                                pass
+                """
+            },
+            rules=["lock-order"],
+        )
+        assert result.active == []
+
+    def test_transitive_reacquisition_via_helper(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/a.py": """
+                import threading
+
+                class A:
+                    def __init__(self):
+                        self._outer = threading.Lock()
+
+                    def _locked_op(self):
+                        with self._outer:
+                            pass
+
+                    def bad(self):
+                        with self._outer:
+                            self._locked_op()
+                """
+            },
+            rules=["lock-order"],
+        )
+        assert _rules_of(result) == [("lock-order", "A.bad")]
+        assert "via A._locked_op()" in result.active[0].message
+
+
+class TestUnguardedMutation:
+    def test_mutation_outside_lock_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/c.py": """
+                import threading
+
+                class Counter:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._n = 0
+
+                    def inc(self):
+                        with self._lock:
+                            self._n += 1
+
+                    def reset(self):
+                        self._n = 0
+                """
+            },
+            rules=["lock-unguarded-mutation"],
+        )
+        assert _rules_of(result) == [
+            ("lock-unguarded-mutation", "Counter.reset")
+        ]
+
+    def test_init_and_never_guarded_attrs_exempt(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/c.py": """
+                import threading
+
+                class Counter:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._n = 0          # __init__ is exempt
+                        self._name = "x"
+
+                    def rename(self, name):
+                        self._name = name    # never lock-guarded: fine
+
+                    def inc(self):
+                        with self._lock:
+                            self._n += 1
+                """
+            },
+            rules=["lock-unguarded-mutation"],
+        )
+        assert result.active == []
+
+    def test_fixture_config_matches_project_shape(self):
+        # The fixture lock-order table mirrors the real config's shape.
+        assert FIXTURE_CONFIG.lock_order[0] == ("A", "_outer")

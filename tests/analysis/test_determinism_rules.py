@@ -1,0 +1,82 @@
+"""Fixture tests for the determinism rule."""
+
+
+class TestCoreDeterminism:
+    def test_wall_clock_and_global_rng_fire(self, run_analysis):
+        result = run_analysis(
+            {
+                "core/algorithms/join.py": """
+                import random
+                import time
+
+                def join(lists):
+                    start = time.time()
+                    random.shuffle(lists)
+                    return lists
+                """
+            },
+            rules=["core-determinism"],
+        )
+        messages = sorted(f.message for f in result.active)
+        assert len(messages) == 2
+        assert any("time.time" in m for m in messages)
+        assert any("random.shuffle" in m for m in messages)
+        assert all(f.symbol == "join" for f in result.active)
+
+    def test_seeded_random_instance_allowed(self, run_analysis):
+        result = run_analysis(
+            {
+                "core/algorithms/contracts.py": """
+                import random
+
+                def probe(seed):
+                    rng = random.Random(seed)
+                    return rng.random()
+                """
+            },
+            rules=["core-determinism"],
+        )
+        assert result.active == []
+
+    def test_unseeded_random_instance_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "core/algorithms/bad.py": """
+                import random
+
+                def probe():
+                    return random.Random().random()
+                """
+            },
+            rules=["core-determinism"],
+        )
+        assert len(result.active) == 1
+        assert "without a seed" in result.active[0].message
+
+    def test_outside_scope_not_checked(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/timing.py": """
+                import time
+
+                def now():
+                    return time.time()
+                """
+            },
+            rules=["core-determinism"],
+        )
+        assert result.active == []
+
+    def test_datetime_now_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "core/algorithms/stamp.py": """
+                import datetime
+
+                def stamp():
+                    return datetime.datetime.now()
+                """
+            },
+            rules=["core-determinism"],
+        )
+        assert len(result.active) == 1

@@ -1,0 +1,131 @@
+"""Engine exit codes, the CLI surface, and the live-tree meta-test."""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import main as analyze_main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+_VIOLATING = """
+import threading, time
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def bad(self):
+        with self._lock:
+            time.sleep(0.1)
+"""
+
+
+def _write_fixture(tmp_path):
+    pkg = tmp_path / "pkg" / "service"
+    pkg.mkdir(parents=True)
+    (pkg / "w.py").write_text(textwrap.dedent(_VIOLATING))
+    return tmp_path / "pkg"
+
+
+class TestExitCodes:
+    def test_findings_exit_1(self, tmp_path, monkeypatch, capsys):
+        root = _write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        code = analyze_main([str(root), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "lock-blocking-call" in out
+        assert "FAIL:" in out
+
+    def test_malformed_baseline_exit_2(self, tmp_path, monkeypatch, capsys):
+        root = _write_fixture(tmp_path)
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{broken")
+        monkeypatch.chdir(tmp_path)
+        code = analyze_main([str(root), "--baseline", str(bad)])
+        assert code == 2
+        assert "analyze:" in capsys.readouterr().err
+
+    def test_unknown_rule_exit_2(self, tmp_path, monkeypatch, capsys):
+        root = _write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        code = analyze_main([str(root), "--rule", "no-such-rule"])
+        assert code == 2
+
+
+class TestReportModes:
+    def test_json_report_shape(self, tmp_path, monkeypatch, capsys):
+        root = _write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        code = analyze_main([str(root), "--no-baseline", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["ok"] is False
+        assert payload["files_analyzed"] >= 1
+        [finding] = [
+            f
+            for f in payload["active"]
+            if f["rule"] == "lock-blocking-call"
+        ]
+        assert finding["symbol"] == "Worker.bad"
+        assert finding["line"] > 0
+
+    def test_list_rules(self, capsys):
+        assert analyze_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for family in (
+            "lock-blocking-call",
+            "core-determinism",
+            "taxonomy-span",
+            "except-swallowed",
+        ):
+            assert family in out
+
+    def test_update_baseline_roundtrip(self, tmp_path, monkeypatch, capsys):
+        root = _write_fixture(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        monkeypatch.chdir(tmp_path)
+        assert (
+            analyze_main(
+                [str(root), "--baseline", str(baseline_path), "--update-baseline"]
+            )
+            == 0
+        )
+        payload = json.loads(baseline_path.read_text())
+        assert payload["version"] == 1
+        reasons = [e["reason"] for e in payload["entries"]]
+        assert reasons and all(r.startswith("TODO") for r in reasons)
+        # A TODO reason keeps the gate failing until a human justifies it.
+        capsys.readouterr()
+        assert analyze_main([str(root), "--baseline", str(baseline_path)]) == 1
+        assert "baseline-todo" in capsys.readouterr().out
+        # With a real justification the gate passes.
+        for entry in payload["entries"]:
+            entry["reason"] = "fixture: accepted"
+        baseline_path.write_text(json.dumps(payload))
+        assert analyze_main([str(root), "--baseline", str(baseline_path)]) == 0
+
+
+class TestLiveTree:
+    def test_repository_is_analyze_clean(self, monkeypatch, capsys):
+        """Meta-test: the committed tree passes its own gate.
+
+        Uses the committed baseline; any new finding, stale entry, or
+        unjustified TODO reason fails this test the same way it fails
+        ``make analyze``.
+        """
+        monkeypatch.chdir(REPO_ROOT)
+        code = analyze_main([])
+        out = capsys.readouterr().out
+        assert code == 0, f"live tree has analysis findings:\n{out}"
+        assert out.startswith("OK:")
+
+    def test_repro_search_analyze_subcommand_wired(self, monkeypatch, capsys):
+        from repro.cli import main as repro_main
+
+        monkeypatch.chdir(REPO_ROOT)
+        assert repro_main(["analyze", "--list-rules"]) == 0
+        assert "lock-order" in capsys.readouterr().out

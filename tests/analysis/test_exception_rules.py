@@ -1,0 +1,134 @@
+"""Fixture tests for the exception-hygiene rule family."""
+
+_ERRORS_MODULE = """
+class MyError(Exception):
+    pass
+
+
+class MyValueError(MyError, ValueError):
+    pass
+"""
+
+
+class TestCoreRaise:
+    def test_foreign_raise_fires_hierarchy_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "core/errors.py": _ERRORS_MODULE,
+                "core/algo.py": """
+                from core.errors import MyError
+
+
+                def good(x):
+                    if x < 0:
+                        raise MyError("bad input")
+                    return x
+
+
+                def bad(x):
+                    if x < 0:
+                        raise ValueError("bad input")
+                    return x
+                """,
+            },
+            rules=["core-raise"],
+        )
+        assert [(f.rule, f.symbol) for f in result.active] == [
+            ("core-raise", "bad")
+        ]
+        assert "ValueError" in result.active[0].message
+
+    def test_bare_reraise_and_allowed_idioms_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "core/errors.py": _ERRORS_MODULE,
+                "core/algo.py": """
+                def passthrough():
+                    try:
+                        risky()
+                    except Exception:
+                        raise
+
+
+                def todo():
+                    raise NotImplementedError
+                """,
+            },
+            rules=["core-raise"],
+        )
+        assert result.active == []
+
+    def test_outside_core_not_checked(self, run_analysis):
+        result = run_analysis(
+            {
+                "core/errors.py": _ERRORS_MODULE,
+                "svc/app.py": """
+                def handler():
+                    raise RuntimeError("services may use stdlib errors")
+                """,
+            },
+            rules=["core-raise"],
+        )
+        assert result.active == []
+
+
+class TestExceptHygiene:
+    def test_bare_except_fires_anywhere(self, run_analysis):
+        result = run_analysis(
+            {
+                "util/misc.py": """
+                def f():
+                    try:
+                        g()
+                    except:
+                        return None
+                """
+            },
+            rules=["except-bare"],
+        )
+        assert [f.rule for f in result.active] == ["except-bare"]
+
+    def test_swallow_on_serving_path_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/server.py": """
+                def serve():
+                    try:
+                        handle()
+                    except Exception:
+                        pass
+                """
+            },
+            rules=["except-swallowed"],
+        )
+        assert [f.symbol for f in result.active] == ["serve"]
+
+    def test_handled_exception_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/server.py": """
+                def serve(logger):
+                    try:
+                        handle()
+                    except Exception as exc:
+                        logger.error("request", error=str(exc))
+                """
+            },
+            rules=["except-swallowed"],
+        )
+        assert result.active == []
+
+    def test_swallow_outside_serving_path_not_checked(self, run_analysis):
+        result = run_analysis(
+            {
+                "tools/script.py": """
+                def best_effort():
+                    try:
+                        cleanup()
+                    except Exception:
+                        pass
+                """
+            },
+            rules=["except-swallowed"],
+        )
+        assert result.active == []

@@ -1,0 +1,87 @@
+"""Suppression-comment grammar and engine integration."""
+
+from repro.analysis.suppressions import SuppressionIndex
+
+
+class TestSuppressionIndex:
+    def test_same_line_named_rule(self):
+        index = SuppressionIndex("x = risky()  # repro: ignore[my-rule]\n")
+        assert index.is_suppressed("my-rule", 1)
+        assert not index.is_suppressed("other-rule", 1)
+
+    def test_bare_ignore_matches_all_rules(self):
+        index = SuppressionIndex("x = risky()  # repro: ignore\n")
+        assert index.is_suppressed("anything", 1)
+
+    def test_multiple_rules_comma_separated(self):
+        index = SuppressionIndex("x = 1  # repro: ignore[rule-a, rule-b]\n")
+        assert index.is_suppressed("rule-a", 1)
+        assert index.is_suppressed("rule-b", 1)
+        assert not index.is_suppressed("rule-c", 1)
+
+    def test_preceding_comment_line_applies_to_next_code_line(self):
+        source = (
+            "# repro: ignore[my-rule] justification here\n"
+            "x = risky()\n"
+            "y = also_risky()\n"
+        )
+        index = SuppressionIndex(source)
+        assert index.is_suppressed("my-rule", 2)
+        assert not index.is_suppressed("my-rule", 3)
+
+    def test_carries_past_further_comments_and_blank_lines(self):
+        source = (
+            "# repro: ignore[my-rule]\n"
+            "# more prose\n"
+            "\n"
+            "x = risky()\n"
+        )
+        index = SuppressionIndex(source)
+        assert index.is_suppressed("my-rule", 4)
+
+    def test_unannotated_lines_not_suppressed(self):
+        index = SuppressionIndex("x = 1\ny = 2\n")
+        assert not index.is_suppressed("my-rule", 1)
+        assert not index.is_suppressed("my-rule", 2)
+
+
+class TestEngineSuppression:
+    def test_suppressed_finding_classified_not_active(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/w.py": """
+                import threading, time
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def tolerated(self):
+                        with self._lock:
+                            time.sleep(0.1)  # repro: ignore[lock-blocking-call] why: test
+                """
+            },
+            rules=["lock-blocking-call"],
+        )
+        assert result.active == []
+        assert len(result.suppressed) == 1
+        assert result.ok
+
+    def test_suppression_for_other_rule_does_not_hide(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/w.py": """
+                import threading, time
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def still_bad(self):
+                        with self._lock:
+                            time.sleep(0.1)  # repro: ignore[some-other-rule]
+                """
+            },
+            rules=["lock-blocking-call"],
+        )
+        assert len(result.active) == 1

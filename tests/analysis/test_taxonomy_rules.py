@@ -1,0 +1,138 @@
+"""Fixture tests for the taxonomy rule family."""
+
+import dataclasses
+
+from tests.analysis.conftest import FIXTURE_CONFIG
+
+
+class TestSpanAndEventNames:
+    def test_unknown_span_fires_known_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/app.py": """
+                def handle(tracer):
+                    with tracer.trace("request"):
+                        pass
+                    with tracer.trace("bogus.span"):
+                        pass
+                """
+            },
+            rules=["taxonomy-span"],
+        )
+        assert [f.symbol for f in result.active] == ["bogus.span"]
+
+    def test_ambient_span_helper_checked(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/deep.py": """
+                from repro.obs.trace import span
+
+                def work():
+                    with span("join"):
+                        pass
+                    with span("mystery"):
+                        pass
+                """
+            },
+            rules=["taxonomy-span"],
+        )
+        assert [f.symbol for f in result.active] == ["mystery"]
+
+    def test_unknown_log_event_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/app.py": """
+                def handle(logger):
+                    logger.info("request", latency_ms=1.0)
+                    logger.warning("made_up_event", x=1)
+                """
+            },
+            rules=["taxonomy-event"],
+        )
+        assert [f.symbol for f in result.active] == ["made_up_event"]
+
+    def test_dynamic_names_skipped(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/app.py": """
+                def handle(tracer, name):
+                    with tracer.trace(name):
+                        pass
+                """
+            },
+            rules=["taxonomy-span"],
+        )
+        assert result.active == []
+
+
+class TestMetricNames:
+    def test_unknown_counter_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/app.py": """
+                def handle(metrics):
+                    metrics.increment("requests_total")
+                    metrics.increment("surprise_counter")
+                """
+            },
+            rules=["taxonomy-metric"],
+        )
+        assert [f.symbol for f in result.active] == ["surprise_counter"]
+
+    def test_unknown_export_name_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/app.py": """
+                def export(registry):
+                    registry.counter("repro_requests_total", "help")
+                    registry.gauge("repro_off_registry", "help")
+                """
+            },
+            rules=["taxonomy-metric"],
+        )
+        assert [f.symbol for f in result.active] == ["repro_off_registry"]
+
+    def test_illegal_prometheus_name_in_registry_fires(self, run_analysis):
+        config = dataclasses.replace(
+            FIXTURE_CONFIG,
+            taxonomy_prometheus=frozenset(
+                {"repro_ok_total", "repro-bad-dashes"}
+            ),
+        )
+        result = run_analysis(
+            {"svc/app.py": "x = 1\n"},
+            rules=["taxonomy-prometheus"],
+            config=config,
+        )
+        assert [f.symbol for f in result.active] == ["repro-bad-dashes"]
+
+
+class TestDocCoverage:
+    def test_missing_doc_name_fires(self, run_analysis, tmp_path, monkeypatch):
+        doc = tmp_path / "OBS.md"
+        doc.write_text("Only `request` and `join` and `requests_total` and repro_requests_total are documented, minus one.\n")
+        monkeypatch.chdir(tmp_path)
+        config = dataclasses.replace(
+            FIXTURE_CONFIG,
+            taxonomy_doc="OBS.md",
+            taxonomy_events=frozenset({"request", "undocumented_event"}),
+        )
+        result = run_analysis(
+            {"svc/app.py": "x = 1\n"},
+            rules=["taxonomy-docs"],
+            config=config,
+        )
+        assert [f.symbol for f in result.active] == ["undocumented_event"]
+        assert result.active[0].path == "OBS.md"
+
+    def test_fully_documented_is_clean(self, run_analysis, tmp_path, monkeypatch):
+        doc = tmp_path / "OBS.md"
+        doc.write_text("`request` `join` `requests_total` `repro_requests_total`\n")
+        monkeypatch.chdir(tmp_path)
+        config = dataclasses.replace(FIXTURE_CONFIG, taxonomy_doc="OBS.md")
+        result = run_analysis(
+            {"svc/app.py": "x = 1\n"},
+            rules=["taxonomy-docs"],
+            config=config,
+        )
+        assert result.active == []

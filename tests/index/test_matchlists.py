@@ -109,3 +109,39 @@ class TestGenerationCache:
         concept_index.match_lists(["laptop"], "d1", generation=1)
         assert ("pc maker", "d1") not in concept_index._list_cache
         assert len(concept_index._list_cache) == 2
+
+    def _instrument_match_list(self, concept_index, monkeypatch, calls):
+        original = ConceptIndex.match_list
+
+        def instrumented(self, concept, doc_id):
+            calls.append(concept)
+            assert not self._list_cache_lock.locked(), (
+                "match_list materialization must never run inside the "
+                "list-cache critical section"
+            )
+            return original(self, concept, doc_id)
+
+        monkeypatch.setattr(ConceptIndex, "match_list", instrumented)
+
+    def test_materialization_runs_outside_cache_lock(self, setup, monkeypatch):
+        concept_index, _ = setup
+        calls: list = []
+        self._instrument_match_list(concept_index, monkeypatch, calls)
+        lists = concept_index.match_lists(
+            ["pc maker", "laptop"], "d1", generation=1
+        )
+        assert len(lists) == 2
+        assert set(calls) == {"pc maker", "laptop"}
+
+    def test_eviction_fallback_rebuilds_outside_lock(self, setup, monkeypatch):
+        # Regression: a list evicted between the two locked sections used
+        # to be rebuilt *inside* the second one, running full posting
+        # materialization in the critical section.
+        concept_index, _ = setup
+        concept_index.match_lists(["pc maker"], "d1", generation=1)  # seed
+        concept_index._LIST_CACHE_CAP = 0  # evict everything while locked
+        calls: list = []
+        self._instrument_match_list(concept_index, monkeypatch, calls)
+        lists = concept_index.match_lists(["pc maker"], "d1", generation=1)
+        assert calls == ["pc maker"]  # fallback path taken…
+        assert len(lists[0]) > 0  # …and it still returns the real list
