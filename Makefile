@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check analyze typecheck chaos bench bench-full bench-joins bench-obs serve-bench figures examples clean
+.PHONY: install test check analyze typecheck chaos bench bench-full bench-joins bench-obs bench-cluster serve-bench figures examples clean
 
 install:
 	pip install -e .
@@ -45,6 +45,8 @@ check:
 		$(PYTHON) benchmarks/bench_join_kernels.py --check
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) benchmarks/bench_observability.py --check
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) benchmarks/bench_cluster.py --check
 
 # Fault-injection suite (tests/reliability): armed fault points, worker
 # crashes, crash-safe snapshots, breaker/readiness behavior.  Each test
@@ -78,8 +80,18 @@ bench-obs:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) benchmarks/bench_observability.py
 
+# Sharded-cluster scaling: aggregate join throughput at N={1,2,4}
+# shard processes over a zipf corpus, threshold-merge pull economy, and
+# byte-identity vs single-process answers.  The throughput bar is
+# calibrated to the machine (see benchmarks/bench_cluster.py); writes
+# BENCH_cluster.json at the repository root.
+bench-cluster:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) benchmarks/bench_cluster.py
+
 # Serving-layer QPS/latency at concurrency {1,4,16}, cache on/off;
-# writes benchmarks/results/service_throughput.txt.
+# writes benchmarks/results/service_throughput.txt and
+# BENCH_service_throughput.json at the repository root.
 serve-bench:
 	cd benchmarks && PYTHONPATH=../src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) bench_service_throughput.py

@@ -1,0 +1,366 @@
+"""Cluster scaling: aggregate join throughput, merge economy, identity.
+
+Drives :class:`repro.cluster.ClusterExecutor` end to end over a zipf
+corpus (term popularity ∝ 1/k^s, the Section VIII generator's
+distribution) and measures aggregate join throughput — queries per
+second with the result cache off, so every request runs its best-joins
+inside the shard worker processes — at shard counts {1, 2, 4}.
+
+Three gates:
+
+* **throughput** — QPS at N=4 over QPS at N=1 must clear the scaling
+  bar.  Multi-process scaling is a *hardware* property, so the bar is
+  calibrated first: a pure-``multiprocessing`` CPU burn (no repro code)
+  measures what speedup this machine can deliver at 4 processes.  On a
+  ≥4-core machine the bar is the nominal 2.5×; on smaller machines
+  (CI containers, 1-core boxes — where 4 processes time-slice one core
+  and parallel speedup is physically impossible) the bar scales to
+  ``max(0.5, 0.6 × calibrated)`` and the report says so loudly
+  (``hardware_limited: true`` in ``BENCH_cluster.json``).
+* **merge economy** — ``merge_pulls_saved`` must be > 0 over the run:
+  the threshold merge must actually stop early, not degenerate to a
+  full sort of everything the shards ship.
+* **identity** — cluster answers at every shard count must be
+  byte-identical to single-process ``SearchSystem.ask`` (ids, scores,
+  matchsets, tie order) on every benchmark query.  Unconditional: no
+  hardware can excuse a wrong answer.
+
+Run directly (``make bench-cluster``)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+
+Writes ``BENCH_cluster.json`` at the repository root and
+``benchmarks/results/cluster.txt``.  ``--check`` runs a seconds-fast
+identity + merge-economy pass (small corpus, N ∈ {1, 2}) for
+``make check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import pathlib
+import random
+import sys
+import threading
+import time
+
+from repro.cluster import ClusterExecutor
+from repro.datasets.zipf import ZipfSampler
+from repro.system import SearchSystem
+
+from conftest import save_report
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_cluster.json"
+
+SHARD_COUNTS = (1, 2, 4)
+NUM_DOCS = 96
+VOCAB_SIZE = 120
+WORDS_PER_DOC = 60
+ZIPF_SKEW = 1.0
+CLIENTS = 8
+REQUESTS = 160
+
+ACCEPTANCE = {"shards": 4, "baseline_shards": 1, "nominal_min_speedup": 2.5}
+
+
+def build_corpus(num_docs: int = NUM_DOCS, seed: str = "cluster-bench"):
+    """Zipf-distributed documents: popular terms co-occur everywhere,
+    rare terms discriminate — queries mixing both select real subsets
+    and leave every shard with work to do."""
+    rng = random.Random(seed)
+    vocabulary = [f"term{k:03d}" for k in range(VOCAB_SIZE)]
+    sampler = ZipfSampler(VOCAB_SIZE, ZIPF_SKEW)
+    documents = []
+    for i in range(num_docs):
+        words = [vocabulary[sampler.sample(rng)] for _ in range(WORDS_PER_DOC)]
+        documents.append((f"doc-{i:04d}", " ".join(words)))
+    return documents
+
+
+def build_queries():
+    # Popular head terms (rank 0-5 under zipf s=1.0 appear in nearly
+    # every document) paired so the joins have real proximity work.
+    return [
+        "term000, term001",
+        "term000, term002",
+        "term001, term003",
+        "term002, term004",
+        "term000, term001, term002",
+        "term003, term005",
+        "term001, term002",
+        "term004, term000",
+    ]
+
+
+# -- hardware calibration ----------------------------------------------------
+
+
+def _burn(n: int) -> int:
+    """A fixed CPU burn with no I/O and no shared state."""
+    acc = 0
+    for i in range(n):
+        acc = (acc + i * i) % 1_000_003
+    return acc
+
+
+BURN_N = 2_000_000
+
+
+def calibrate_parallelism(processes: int = 4) -> dict:
+    """What multi-process speedup can this machine deliver at all?
+
+    Times ``processes`` copies of a fixed pure-Python burn run serially
+    vs concurrently via ``multiprocessing`` — no repro code, so the
+    result isolates the hardware (cores, scheduler) from the subsystem
+    under test.
+    """
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+    started = time.perf_counter()
+    for _ in range(processes):
+        _burn(BURN_N)
+    serial_s = time.perf_counter() - started
+
+    workers = [
+        context.Process(target=_burn, args=(BURN_N,)) for _ in range(processes)
+    ]
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    parallel_s = time.perf_counter() - started
+    speedup = serial_s / parallel_s if parallel_s > 0 else 1.0
+    try:
+        cores = len(__import__("os").sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = multiprocessing.cpu_count()
+    return {
+        "processes": processes,
+        "cores": cores,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": speedup,
+    }
+
+
+def scaling_bar(calibration: dict) -> tuple[float, bool]:
+    """The throughput gate this hardware is accountable for.
+
+    Nominal 2.5× where the calibrated burn shows the machine can do it;
+    otherwise 60% of whatever the hardware delivered (floor 0.5× — on a
+    machine that cannot parallelize at all, the gate degenerates to
+    "four processes' IPC overhead must not halve throughput"), flagged
+    ``hardware_limited``.
+    """
+    nominal = ACCEPTANCE["nominal_min_speedup"]
+    measured = calibration["speedup"]
+    if measured >= nominal:
+        return nominal, False
+    return max(0.5, 0.6 * measured), True
+
+
+# -- measurement -------------------------------------------------------------
+
+
+def run_wave(system: SearchSystem, queries, *, shards: int, requests: int) -> dict:
+    """Closed-loop clients against one cluster; cache off, joins always run."""
+    with ClusterExecutor(
+        system,
+        shards=shards,
+        coordinators=CLIENTS,
+        queue_size=max(128, requests),
+        cache_size=0,
+        watchdog_interval=0,
+    ) as executor:
+        for query in queries:  # warm worker-side caches (kernel lowering)
+            executor.ask(query, top_k=5)
+        per_client = requests // CLIENTS
+        barrier = threading.Barrier(CLIENTS + 1)
+
+        def client(client_id: int) -> None:
+            barrier.wait()
+            for i in range(per_client):
+                executor.ask(queries[(client_id + i) % len(queries)], top_k=5)
+
+        threads = [
+            threading.Thread(target=client, args=(c,)) for c in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        snapshot = executor.metrics.snapshot()
+    total = per_client * CLIENTS
+    return {
+        "shards": shards,
+        "requests": total,
+        "elapsed_s": elapsed,
+        "qps": total / elapsed,
+        "joins_run": snapshot["joins_run"],
+        "joins_per_s": snapshot["joins_run"] / elapsed,
+        "p50_ms": (snapshot["latency_p50"] or 0.0) * 1000.0,
+        "p95_ms": (snapshot["latency_p95"] or 0.0) * 1000.0,
+        "merge_pulls_saved": snapshot["merge_pulls_saved"],
+        "shard_failures": snapshot["shard_failures"],
+    }
+
+
+def check_identity(system: SearchSystem, queries, shard_counts) -> int:
+    """Cluster answers must equal single-process answers exactly."""
+    checked = 0
+    for shards in shard_counts:
+        with ClusterExecutor(
+            system, shards=shards, cache_size=0, watchdog_interval=0
+        ) as executor:
+            for query in queries:
+                for k in (1, 5):
+                    expected = system.ask(query, top_k=k)
+                    response = executor.ask(query, top_k=k)
+                    assert not response.degraded, (shards, query)
+                    assert list(response.results) == list(expected), (
+                        f"cluster N={shards} diverged from single-process "
+                        f"on {query!r} k={k}"
+                    )
+                    checked += 1
+    return checked
+
+
+def quick_check() -> int:
+    """Seconds-fast identity + merge-economy pass for ``make check``."""
+    documents = build_corpus(num_docs=24, seed="cluster-check")
+    queries = build_queries()[:4]
+    system = SearchSystem()
+    system.add_texts(documents)
+    checked = check_identity(system, queries, (1, 2))
+    print(f"check identity: {checked} cluster answers byte-identical")
+    with ClusterExecutor(
+        system, shards=2, cache_size=0, watchdog_interval=0
+    ) as executor:
+        for query in queries:
+            executor.ask(query, top_k=3)
+        saved = executor.metrics.count("merge_pulls_saved")
+    assert saved > 0, "threshold merge saved no pulls"
+    print(f"check merge economy: {saved} pulls saved across {len(queries)} queries")
+    print("cluster check passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true", help="fast identity-only pass"
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return quick_check()
+
+    calibration = calibrate_parallelism()
+    required, hardware_limited = scaling_bar(calibration)
+    documents = build_corpus()
+    queries = build_queries()
+    system = SearchSystem()
+    system.add_texts(documents)
+
+    lines = [
+        "cluster scaling (ClusterExecutor, %d docs, zipf s=%.1f, %d clients, cache off)"
+        % (NUM_DOCS, ZIPF_SKEW, CLIENTS),
+        "",
+        "hardware calibration: %d-process burn speedup %.2fx on %d core(s)"
+        % (calibration["processes"], calibration["speedup"], calibration["cores"]),
+    ]
+    if hardware_limited:
+        lines.append(
+            "HARDWARE LIMITED: this machine cannot parallelize %d processes "
+            "(burn speedup %.2fx < nominal %.1fx); throughput bar scaled to %.2fx"
+            % (
+                calibration["processes"],
+                calibration["speedup"],
+                ACCEPTANCE["nominal_min_speedup"],
+                required,
+            )
+        )
+    lines += [
+        "",
+        "%-8s %10s %12s %10s %10s %14s"
+        % ("shards", "QPS", "joins/s", "p50 ms", "p95 ms", "pulls saved"),
+    ]
+
+    rows = []
+    for shards in SHARD_COUNTS:
+        row = run_wave(system, queries, shards=shards, requests=REQUESTS)
+        rows.append(row)
+        lines.append(
+            "%-8d %10.1f %12.1f %10.2f %10.2f %14d"
+            % (
+                shards,
+                row["qps"],
+                row["joins_per_s"],
+                row["p50_ms"],
+                row["p95_ms"],
+                row["merge_pulls_saved"],
+            )
+        )
+        print(lines[-1])
+
+    by_shards = {row["shards"]: row for row in rows}
+    speedup = (
+        by_shards[ACCEPTANCE["shards"]]["qps"]
+        / by_shards[ACCEPTANCE["baseline_shards"]]["qps"]
+    )
+    pulls_saved = sum(row["merge_pulls_saved"] for row in rows)
+    checked = check_identity(system, queries, SHARD_COUNTS)
+
+    throughput_ok = speedup >= required
+    economy_ok = pulls_saved > 0
+    passed = throughput_ok and economy_ok
+    lines += [
+        "",
+        "aggregate join throughput N=%d vs N=%d: %.2fx (bar %.2fx%s)  %s"
+        % (
+            ACCEPTANCE["shards"],
+            ACCEPTANCE["baseline_shards"],
+            speedup,
+            required,
+            ", hardware-limited" if hardware_limited else "",
+            "PASS" if throughput_ok else "FAIL",
+        ),
+        "merge economy: %d pulls saved  %s" % (pulls_saved, "PASS" if economy_ok else "FAIL"),
+        "identity: %d cluster answers byte-identical to single-process  PASS"
+        % checked,
+    ]
+    save_report("cluster", "\n".join(lines))
+
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "benchmark": "cluster",
+                "acceptance": {
+                    **ACCEPTANCE,
+                    "required_speedup": required,
+                    "measured_speedup": speedup,
+                    "hardware_limited": hardware_limited,
+                    "merge_pulls_saved": pulls_saved,
+                    "identity_checks": checked,
+                    "passed": passed,
+                },
+                "calibration": calibration,
+                "results": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUTPUT}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,8 @@ def _default_lock_order() -> list[LockName]:
     return [
         ("QueryExecutor", "_rwlock"),
         ("QueryExecutor", "_state_lock"),
+        ("ClusterExecutor", "_state_lock"),
+        ("_ShardHandle", "_lock"),
         ("CircuitBreaker", "_lock"),
         ("FaultRegistry", "_lock"),
         ("ResultCache", "_lock"),
@@ -54,6 +56,7 @@ class AnalysisConfig:
         "reliability",
         "obs",
         "index",
+        "cluster",
     )
     #: Declared lock hierarchy, outermost first (see _default_lock_order).
     lock_order: list[LockName] = field(default_factory=_default_lock_order)
@@ -149,7 +152,12 @@ class AnalysisConfig:
     )
     #: Packages on the serving path where a silently-swallowed
     #: exception (``except ...: pass``) is a finding.
-    serving_packages: tuple[str, ...] = ("service", "reliability", "obs")
+    serving_packages: tuple[str, ...] = (
+        "service",
+        "reliability",
+        "obs",
+        "cluster",
+    )
 
     # -- taxonomy ------------------------------------------------------------
     #: Packages scanned for span/log/metric name literals.
@@ -157,6 +165,7 @@ class AnalysisConfig:
         "service",
         "obs",
         "reliability",
+        "cluster",
         "system.py",
         "cli.py",
     )

@@ -129,30 +129,59 @@ def _cmd_serve(args) -> int:
     from repro.service import SearchServer
     from repro.system import SearchSystem
 
+    if args.shards < 1:
+        raise SystemExit(
+            f"repro-search: error: --shards must be >= 1, got {args.shards}"
+        )
     armed = configure_from_env()
     if armed:
         print(f"repro-search: REPRO_FAULTS armed fault points: {', '.join(armed)}")
     corpus = _load_corpus(args.files)
     system = SearchSystem()
     system.add(*corpus)
-    server = SearchServer.for_system(
-        system,
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        queue_size=args.queue_size,
-        cache_size=args.cache_size,
-        default_timeout=args.timeout,
-        watchdog_interval=args.watchdog_interval,
-        tracer=Tracer(sample_rate=args.trace_sample_rate),
-        logger=StructuredLogger(sys.stderr),
-        slow_query_ms=args.slow_query_ms,
-        verbose=True,
-    )
+    if args.shards == 1:
+        # The original single-process path, byte for byte.
+        server = SearchServer.for_system(
+            system,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            cache_size=args.cache_size,
+            default_timeout=args.timeout,
+            watchdog_interval=args.watchdog_interval,
+            tracer=Tracer(sample_rate=args.trace_sample_rate),
+            logger=StructuredLogger(sys.stderr),
+            slow_query_ms=args.slow_query_ms,
+            verbose=True,
+        )
+        topology = f"{args.workers} workers"
+    else:
+        from repro.cluster import ClusterExecutor
+
+        executor = ClusterExecutor(
+            system,
+            shards=args.shards,
+            queue_size=args.queue_size,
+            cache_size=args.cache_size,
+            default_timeout=args.timeout,
+            watchdog_interval=args.watchdog_interval,
+            tracer=Tracer(sample_rate=args.trace_sample_rate),
+            logger=StructuredLogger(sys.stderr),
+            slow_query_ms=args.slow_query_ms,
+        )
+        server = SearchServer(
+            executor,
+            host=args.host,
+            port=args.port,
+            verbose=True,
+            owns_executor=True,
+        )
+        topology = f"{args.shards} shard processes"
     host, port = server.address
     print(
         f"serving {len(system)} documents on http://{host}:{port} "
-        f"({args.workers} workers; endpoints: /search /metrics /healthz /readyz; "
+        f"({topology}; endpoints: /search /metrics /healthz /readyz; "
         "Ctrl-C or SIGTERM to stop)"
     )
 
@@ -259,6 +288,13 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
     serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard worker processes; 1 (default) serves single-process, "
+        "N>1 partitions the corpus across N processes (docs/SERVING.md)",
+    )
     serve.add_argument("--queue-size", type=int, default=64)
     serve.add_argument("--cache-size", type=int, default=1024, help="0 disables")
     serve.add_argument(

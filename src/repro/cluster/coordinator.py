@@ -1,0 +1,1101 @@
+"""The cluster coordinator: scatter, gather, threshold-merge, survive.
+
+:class:`ClusterExecutor` is the multi-process counterpart of
+:class:`~repro.service.QueryExecutor` — same client API (``submit`` /
+``ask`` / ``health`` / ``shutdown`` / context manager), same
+:class:`~repro.service.QueryResponse`, same admission control and
+deadline semantics — but behind it sit N shard worker *processes*
+(:mod:`repro.cluster.worker`), each owning a document-hash partition of
+the corpus (:mod:`repro.cluster.sharding`).  Joins run in the workers,
+so join throughput scales with cores instead of saturating one GIL.
+
+One request's life:
+
+1. ``submit`` validates, opens the ``queue`` span, and enqueues
+   (bounded queue — overload raises
+   :class:`~repro.service.QueryRejected` immediately).
+2. A coordinator thread dequeues it, checks the deadline, and consults
+   the result cache (exact answers only, keyed on generation).
+3. **Scatter**: the query goes to every live shard whose circuit
+   breaker admits it — one serial I/O thread per shard owns that
+   shard's pipe, so N in-flight shard RPCs progress concurrently while
+   the coordinator thread waits.
+4. **Gather + merge**: shard-local k-best lists come back sorted by the
+   global ``(-score, doc_id)`` key and are threshold-merged
+   (:func:`repro.cluster.merge.threshold_merge`); entries the threshold
+   proves irrelevant are never pulled (``merge_pulls_saved``).
+5. Shard failures (dead worker, transport loss, per-shard timeout, open
+   breaker) degrade the answer instead of failing it: the merge runs
+   over the surviving shards and the response is tagged *partial*
+   (``degraded=True``, ``shards_failed > 0``, ``outcome=degraded`` in
+   the trace and the ``request`` log event).  Only when *every* shard
+   fails does the request fail (:class:`ShardsUnavailable`).
+6. A watchdog sweeps for dead shard processes and respawns them from
+   the coordinator's copy of the partition (``shard_respawns`` metric,
+   ``shard.respawn`` log event); a respawned shard serves again as soon
+   as its breaker closes.
+
+Exact (non-partial) responses are byte-identical to single-process
+``SearchSystem.ask`` over the same corpus — see :mod:`repro.cluster.merge`
+for the invariant and ``tests/cluster/test_differential.py`` for the
+proof obligation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.cluster.merge import threshold_merge
+from repro.cluster.sharding import partition_documents
+from repro.cluster.worker import CLIENT_ERRORS, shard_worker_main
+from repro.matching.queries import QuerySyntaxError
+from repro.obs.log import StructuredLogger
+from repro.obs.trace import NULL_TRACE, Span, Tracer, current_trace
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.watchdog import Watchdog
+from repro.retrieval.ranking import RankedDocument
+from repro.service.cache import ResultCache, make_key
+from repro.service.executor import (
+    SCORING_PRESETS,
+    DeadlineExceeded,
+    QueryRejected,
+    QueryResponse,
+    ShutdownDrained,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.system import SearchSystem
+
+__all__ = [
+    "ClusterExecutor",
+    "ClusterMutationError",
+    "ShardError",
+    "ShardsUnavailable",
+]
+
+
+class ShardError(RuntimeError):
+    """One shard RPC failed (dead worker, transport loss, timeout)."""
+
+
+class ShardsUnavailable(RuntimeError):
+    """Every shard failed; there is no partial answer to give."""
+
+
+class ClusterMutationError(RuntimeError):
+    """The clustered corpus is immutable while serving."""
+
+
+_STOP: Any = object()
+_SENTINEL: Any = object()
+
+
+@dataclass(slots=True)
+class _ShardCall:
+    """One shard RPC: the wire message, its future, and its span."""
+
+    message: dict
+    future: Future
+    span: Span | Any
+    deadline: float | None
+
+
+@dataclass(slots=True)
+class _ClusterRequest:
+    query_text: str
+    top_k: int
+    scoring_name: str
+    timeout_s: float | None
+    deadline: float | None
+    submitted_at: float
+    future: Future = field(default_factory=Future)
+    trace: Any = NULL_TRACE
+    owns_trace: bool = False
+    queue_span: Span | None = None
+    exec_started_at: float | None = None
+    join_s: float | None = None
+
+    @property
+    def queue_wait_s(self) -> float:
+        if self.exec_started_at is None:
+            return 0.0
+        return max(0.0, self.exec_started_at - self.submitted_at)
+
+
+def _client_error(name: str, message: str) -> BaseException:
+    """Rehydrate a worker-reported client fault as the right exception."""
+    if name == "QuerySyntaxError":
+        return QuerySyntaxError(message)
+    return ValueError(message)
+
+
+class _ShardHandle:
+    """One shard: its partition, worker process, pipe, serial I/O thread.
+
+    The I/O thread owns the connection: it takes :class:`_ShardCall`
+    items off the shard queue one at a time, sends, waits for the reply
+    matching the call's request id (stale replies from timed-out calls
+    are dropped), and resolves the call's future.  Multiple in-flight
+    queries pipeline through the queue; across shards the I/O threads
+    wait concurrently, which is what makes the scatter parallel.
+
+    After a transport failure the thread kills the worker (so the
+    watchdog sees an unambiguously dead process) and switches to
+    fail-fast mode: remaining queued calls fail immediately instead of
+    waiting out their timeouts, until :meth:`respawn` installs a fresh
+    process + queue + thread.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        documents: list[tuple[str, str]],
+        *,
+        context,
+        breaker: CircuitBreaker,
+        metrics: ServiceMetrics,
+        request_timeout_s: float,
+    ) -> None:
+        self.shard_id = shard_id
+        self.documents = documents
+        self.breaker = breaker
+        self.respawns = 0
+        self._context = context
+        self._metrics = metrics
+        self._request_timeout_s = request_timeout_s
+        self._lock = threading.Lock()
+        self._closed = False
+        self._build()
+
+    def _build(self) -> None:
+        """Fresh pipe + worker process + I/O thread + call queue.
+
+        Runs from ``__init__`` and (under :attr:`_lock`) from
+        :meth:`respawn`; everything it assigns is a new object, so
+        readers that grabbed the old queue reference keep a consistent
+        (retired) view.
+        """
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=shard_worker_main,
+            args=(child_conn, self.shard_id, self.documents),
+            name=f"repro-shard-{self.shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the worker owns its end; keep ours only
+        calls: queue.Queue = queue.Queue()
+        thread = threading.Thread(
+            target=self._io_loop,
+            args=(parent_conn, process, calls),
+            name=f"repro-shard-io-{self.shard_id}",
+            daemon=True,
+        )
+        self._conn = parent_conn
+        self._process = process
+        self._calls = calls
+        self._thread = thread
+        thread.start()
+
+    # -- client side ---------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    @property
+    def pid(self) -> int | None:
+        return self._process.pid
+
+    def submit(self, call: _ShardCall) -> None:
+        """Enqueue one RPC for the I/O thread (never blocks)."""
+        with self._lock:
+            if self._closed:
+                raise ShardError(f"shard {self.shard_id} is shut down")
+            self._calls.put_nowait(call)
+
+    def respawn(self) -> bool:
+        """Replace a dead worker with a fresh one; False when closed.
+
+        Calls still queued for the dead incarnation are failed (they
+        were accepted against a worker that no longer exists); the new
+        incarnation starts with an empty queue.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            old_calls = self._calls
+            self._build()
+            self.respawns += 1
+        self._drain_calls(
+            old_calls, ShardError(f"shard {self.shard_id} worker died")
+        )
+        old_calls.put_nowait(_STOP)
+        return True
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop the I/O thread, ask the worker to exit, then make sure."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            calls = self._calls
+            conn = self._conn
+            process = self._process
+            thread = self._thread
+        calls.put_nowait(_STOP)
+        thread.join(timeout_s)
+        self._drain_calls(calls, ShardError(f"shard {self.shard_id} is shut down"))
+        try:
+            conn.send({"op": "shutdown", "id": -1})
+        # repro: ignore[except-swallowed] a dead worker cannot ack; the
+        # kill below is the fallback shutdown path
+        except (BrokenPipeError, OSError):
+            pass
+        process.join(timeout_s)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout_s)
+        try:
+            conn.close()
+        # repro: ignore[except-swallowed] double-close on a torn pipe
+        except OSError:
+            pass
+
+    @staticmethod
+    def _drain_calls(calls: queue.Queue, exc: ShardError) -> None:
+        while True:
+            try:
+                item = calls.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                calls.put_nowait(_STOP)  # preserve the stop for the owner
+                return
+            if not item.future.done():
+                item.future.set_exception(exc)
+            if item.span is not None:
+                item.span.set_tag("outcome", "shutdown").finish()
+
+    # -- I/O thread ----------------------------------------------------------
+
+    def _io_loop(self, conn, process, calls: queue.Queue) -> None:
+        healthy = True
+        while True:
+            call = calls.get()
+            if call is _STOP:
+                break
+            if healthy:
+                healthy = self._serve_call(conn, process, call)
+            else:
+                # Fail fast behind a broken transport: don't make later
+                # requests wait out a timeout against a dead worker.
+                self._fail_call(
+                    call, ShardError(f"shard {self.shard_id} worker died")
+                )
+
+    def _serve_call(self, conn, process, call: _ShardCall) -> bool:
+        """One RPC; returns False when the transport is unusable."""
+        message = call.message
+        now = time.monotonic()
+        if call.deadline is not None and now >= call.deadline:
+            self._fail_call(
+                call,
+                ShardError(
+                    f"shard {self.shard_id} deadline expired before the RPC"
+                ),
+            )
+            return True
+        budget = self._request_timeout_s
+        if call.deadline is not None:
+            budget = min(budget, call.deadline - now)
+        started = time.perf_counter()
+        try:
+            conn.send(message)
+            reply = self._await_reply(conn, message["id"], budget)
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            self._fail_call(
+                call,
+                ShardError(
+                    f"shard {self.shard_id} transport failed: "
+                    f"{type(exc).__name__}"
+                ),
+            )
+            # Make the incarnation unambiguously dead for the watchdog.
+            if process.is_alive():
+                process.kill()
+            return False
+        except ShardError as exc:
+            self._fail_call(call, exc)
+            return True  # the pipe survives; stale replies are dropped by id
+        elapsed = time.perf_counter() - started
+        self._metrics.observe_shard_request(str(self.shard_id), elapsed)
+        if reply.get("ok"):
+            self.breaker.record_success()
+            if call.span is not None:
+                call.span.set_tags(
+                    outcome="ok", results=len(reply.get("results", ()))
+                ).finish()
+            if not call.future.done():
+                call.future.set_result(reply)
+        else:
+            error = str(reply.get("error", "ShardError"))
+            detail = str(reply.get("message", ""))
+            if error in CLIENT_ERRORS:
+                # The request's fault, not the shard's: no breaker hit.
+                self.breaker.abandon_probe()
+                if call.span is not None:
+                    call.span.set_tags(outcome="error", error=error).finish()
+                if not call.future.done():
+                    call.future.set_exception(_client_error(error, detail))
+            else:
+                self._fail_call(
+                    call,
+                    ShardError(f"shard {self.shard_id} failed: {error}: {detail}"),
+                )
+        return True
+
+    def _await_reply(self, conn, request_id: int, budget_s: float) -> dict:
+        """The reply matching ``request_id``, dropping stale ones."""
+        deadline = time.monotonic() + max(0.0, budget_s)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not conn.poll(remaining):
+                raise ShardError(
+                    f"shard {self.shard_id} timed out after {budget_s:.2f}s"
+                )
+            reply = conn.recv()  # EOFError here means the worker died
+            if isinstance(reply, dict) and reply.get("id") == request_id:
+                return reply
+
+    def _fail_call(self, call: _ShardCall, exc: ShardError) -> None:
+        self._metrics.increment("shard_failures")
+        self.breaker.record_failure()
+        if call.span is not None:
+            call.span.set_tags(outcome="error", error=str(exc)).finish()
+        if not call.future.done():
+            call.future.set_exception(exc)
+
+
+class ClusterExecutor:
+    """Scatter-gather serving over N shard worker processes.
+
+    API-compatible with :class:`~repro.service.QueryExecutor` for
+    everything the serving stack uses (``submit``/``ask``/``apply``/
+    ``health``/``shutdown``, ``metrics``/``cache``/``tracer``/
+    ``system`` attributes), so :class:`~repro.service.SearchServer`
+    and the CLI's ``serve --shards N`` drop it in unchanged.
+
+    Parameters
+    ----------
+    system:
+        The corpus to serve.  Its documents are partitioned by document
+        hash at construction; the cluster serves that snapshot of the
+        corpus (mutations are rejected — see :meth:`apply`).
+    shards:
+        Worker process count (``>= 1``).
+    coordinators:
+        Coordinator threads (each serves one request at a time; the
+        per-shard I/O threads give a single request its scatter
+        parallelism, coordinators give concurrent requests pipelining).
+    queue_size / cache_size / default_timeout / tracer / logger /
+    slow_query_ms:
+        As on :class:`~repro.service.QueryExecutor`.
+    shard_timeout_s:
+        Per-shard RPC budget when the request itself is untimed; the
+        guarantee that no future ever hangs on a dead shard.
+    breaker_threshold / breaker_reset_s:
+        Per-shard circuit breaker: consecutive RPC failures before the
+        shard is skipped, and how long before a half-open probe.
+    watchdog_interval:
+        Seconds between dead-shard sweeps (respawn); ``0`` disables the
+        thread — :meth:`check_shards` can still be called manually.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``
+        (cheap respawn, copy-on-write corpus) and falls back to
+        ``spawn`` where fork is unavailable.
+    """
+
+    _UNSET: Any = object()
+
+    def __init__(
+        self,
+        system: SearchSystem,
+        *,
+        shards: int,
+        coordinators: int = 4,
+        queue_size: int = 64,
+        cache_size: int = 1024,
+        cache: ResultCache | None = None,
+        metrics: ServiceMetrics | None = None,
+        default_timeout: float | None = None,
+        shard_timeout_s: float = 30.0,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 30.0,
+        watchdog_interval: float = 1.0,
+        tracer: Tracer | None = _UNSET,
+        logger: StructuredLogger | None = None,
+        slow_query_ms: float | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if coordinators < 1:
+            raise ValueError(f"coordinators must be >= 1, got {coordinators}")
+        if queue_size <= 0:
+            raise ValueError(f"queue_size must be positive, got {queue_size}")
+        if shard_timeout_s <= 0:
+            raise ValueError(
+                f"shard_timeout_s must be positive, got {shard_timeout_s}"
+            )
+        if watchdog_interval < 0:
+            raise ValueError(
+                f"watchdog_interval must be >= 0, got {watchdog_interval}"
+            )
+        if slow_query_ms is not None and slow_query_ms < 0:
+            raise ValueError(f"slow_query_ms must be >= 0, got {slow_query_ms}")
+        self.system = system
+        self.num_shards = shards
+        self.cache = cache if cache is not None else (
+            ResultCache(cache_size) if cache_size > 0 else None
+        )
+        self.metrics = metrics or ServiceMetrics()
+        self.tracer = Tracer() if tracer is self._UNSET else tracer
+        self.logger = logger
+        self.slow_query_ms = slow_query_ms
+        self.default_timeout = default_timeout
+        self.shard_timeout_s = shard_timeout_s
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._context = multiprocessing.get_context(start_method)
+        self._request_ids = itertools.count(1)
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._draining = False
+
+        documents = [(doc.doc_id, doc.text) for doc in system.corpus]
+        partitions = partition_documents(documents, shards)
+        self._handles = [
+            _ShardHandle(
+                shard_id,
+                partition,
+                context=self._context,
+                breaker=self._make_breaker(shard_id, breaker_threshold, breaker_reset_s),
+                metrics=self.metrics,
+                request_timeout_s=shard_timeout_s,
+            )
+            for shard_id, partition in enumerate(partitions)
+        ]
+        self._threads = [
+            threading.Thread(
+                target=self._coordinator_loop,
+                name=f"repro-cluster-coord-{index}",
+                daemon=True,
+            )
+            for index in range(coordinators)
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._watchdog = (
+            Watchdog(
+                self.check_shards,
+                interval_s=watchdog_interval,
+                name="repro-cluster-watchdog",
+            ).start()
+            if watchdog_interval > 0
+            else None
+        )
+
+    def _make_breaker(
+        self, shard_id: int, threshold: int, reset_s: float
+    ) -> CircuitBreaker:
+        on_transition: Callable[[str, str], None] | None = None
+        if self.logger is not None:
+
+            def on_transition(old: str, new: str, shard: int = shard_id) -> None:
+                self.logger.warning(
+                    "breaker.transition",
+                    family=f"shard-{shard}",
+                    old_state=old,
+                    new_state=new,
+                    trace_id=current_trace().trace_id or None,
+                )
+
+        return CircuitBreaker(
+            failure_threshold=threshold,
+            reset_timeout_s=reset_s,
+            on_transition=on_transition,
+        )
+
+    # -- client API ----------------------------------------------------------
+
+    def submit(
+        self,
+        query_text: str,
+        *,
+        top_k: int = 5,
+        scoring: str | None = None,
+        timeout: float | None = None,
+        trace: Any = None,
+    ) -> "Future[QueryResponse]":
+        """Enqueue one query; never blocks (same contract as the
+        single-process executor, including trace ownership)."""
+        if self._closed:
+            raise QueryRejected("cluster executor is shut down")
+        if scoring is not None and scoring not in SCORING_PRESETS:
+            raise ValueError(
+                f"unknown scoring preset {scoring!r}; "
+                f"expected one of {sorted(SCORING_PRESETS)}"
+            )
+        timeout_s = self.default_timeout if timeout is None else timeout
+        owns_trace = trace is None
+        if trace is None:
+            trace = (
+                self.tracer.trace(
+                    "request",
+                    query=query_text,
+                    scoring=scoring or "default",
+                    top_k=top_k,
+                    shards=self.num_shards,
+                )
+                if self.tracer is not None
+                else NULL_TRACE
+            )
+        now = time.monotonic()
+        request = _ClusterRequest(
+            query_text=query_text,
+            top_k=top_k,
+            scoring_name=scoring or "default",
+            timeout_s=timeout_s,
+            deadline=now + timeout_s if timeout_s is not None else None,
+            submitted_at=now,
+            trace=trace,
+            owns_trace=owns_trace,
+        )
+        request.queue_span = trace.begin(
+            "queue", parent=trace.root, depth_at_submit=self._queue.qsize()
+        )
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.metrics.increment("rejected_total")
+            request.queue_span.finish()
+            trace.root.set_tag("outcome", "shed")
+            self._log_request(request, "shed", level="warning", reason="backlog_full")
+            if owns_trace:
+                trace.finish()
+            raise QueryRejected(
+                f"backlog full ({self._queue.maxsize} pending)"
+            ) from None
+        self.metrics.increment("requests_total")
+        self.metrics.set_queue_depth(self._queue.qsize())
+        return request.future
+
+    def ask(
+        self,
+        query_text: str,
+        *,
+        top_k: int = 5,
+        scoring: str | None = None,
+        timeout: float | None = None,
+    ) -> QueryResponse:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(
+            query_text, top_k=top_k, scoring=scoring, timeout=timeout
+        ).result()
+
+    def apply(self, mutator: Callable[[SearchSystem], Any]) -> Any:
+        """Refused: the shard partitions are built once, at construction.
+
+        Live mutation of a sharded corpus needs generation-coherent
+        shard updates (ROADMAP item 3's segment model); until then the
+        cluster serves an immutable snapshot and says so instead of
+        silently diverging from its shards.
+        """
+        raise ClusterMutationError(
+            "the clustered corpus is immutable while serving; rebuild the "
+            "ClusterExecutor to change documents"
+        )
+
+    # -- health --------------------------------------------------------------
+
+    def shard_health(self) -> list[dict]:
+        """Per-shard status (the ``/healthz`` detail in cluster mode)."""
+        report = []
+        for handle in self._handles:
+            report.append(
+                {
+                    "shard": handle.shard_id,
+                    "alive": handle.alive,
+                    "pid": handle.pid,
+                    "documents": len(handle.documents),
+                    "breaker": handle.breaker.snapshot()["state"],
+                    "respawns": handle.respawns,
+                }
+            )
+        return report
+
+    def health(self) -> dict:
+        """Structured health (the ``/readyz`` backing data in cluster mode).
+
+        ``ready`` means accepting work with at least one live shard;
+        ``degraded`` means some shards are down or shedding.
+        """
+        with self._state_lock:
+            closed = self._closed
+            draining = self._draining
+        shards = self.shard_health()
+        alive = sum(1 for shard in shards if shard["alive"])
+        open_breakers = sorted(
+            f"shard-{shard['shard']}"
+            for shard in shards
+            if shard["breaker"] != "closed"
+        )
+        accepting = not closed
+        ready = accepting and alive > 0
+        if not ready:
+            status = "unhealthy"
+        elif alive < len(shards) or open_breakers:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "ready": ready,
+            "accepting": accepting,
+            "draining": draining,
+            "shards": shards,
+            "workers": {
+                "configured": len(shards),
+                "alive": alive,
+                "restarts": self.metrics.count("shard_respawns"),
+            },
+            "queue": {
+                "depth": self._queue.qsize(),
+                "capacity": self._queue.maxsize,
+            },
+            "open_breakers": open_breakers,
+        }
+
+    def check_shards(self) -> dict:
+        """One watchdog sweep: respawn shards whose process died."""
+        respawned = 0
+        with self._state_lock:
+            if self._closed:
+                return {"respawned": 0}
+            handles = list(self._handles)
+        for handle in handles:
+            if not handle.alive and handle.respawn():
+                respawned += 1
+                if self.logger is not None:
+                    self.logger.warning(
+                        "shard.respawn",
+                        shard=handle.shard_id,
+                        pid=handle.pid,
+                        respawns=handle.respawns,
+                    )
+        if respawned:
+            self.metrics.increment("shard_respawns", respawned)
+        return {"respawned": respawned}
+
+    def snapshot_shards(self, directory) -> list[str]:
+        """Every shard writes its crash-safe snapshot under ``directory``.
+
+        Returns the per-shard snapshot paths (``shard-<i>.snapshot``),
+        written with the PR-3 envelope by the workers themselves.
+        """
+        import pathlib
+
+        base = pathlib.Path(directory)
+        base.mkdir(parents=True, exist_ok=True)
+        calls = []
+        for handle in self._handles:
+            path = base / f"shard-{handle.shard_id}.snapshot"
+            call = _ShardCall(
+                message={
+                    "op": "snapshot",
+                    "id": next(self._request_ids),
+                    "path": str(path),
+                },
+                future=Future(),
+                span=None,
+                deadline=time.monotonic() + self.shard_timeout_s,
+            )
+            handle.submit(call)
+            calls.append((call, str(path)))
+        paths = []
+        for call, path in calls:
+            reply = call.future.result(timeout=self.shard_timeout_s + 1.0)
+            paths.append(reply.get("path", path))
+        return paths
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(
+        self, wait: bool = True, *, drain_timeout: float | None = None
+    ) -> None:
+        """Stop admission, drain, stop coordinators and shards; idempotent."""
+        with self._state_lock:
+            first = not self._closed
+            self._closed = True
+            self._draining = True
+        if first:
+            if self._watchdog is not None:
+                self._watchdog.stop()
+            for _ in self._threads:
+                self._queue.put(_SENTINEL)
+        if wait:
+            deadline = (
+                time.monotonic() + drain_timeout
+                if drain_timeout is not None
+                else None
+            )
+            for thread in self._threads:
+                if deadline is None:
+                    thread.join()
+                else:
+                    thread.join(max(0.0, deadline - time.monotonic()))
+            dropped = self._fail_pending("cluster shut down before execution")
+            if dropped:
+                self.metrics.increment("drain_dropped", dropped)
+            if first:
+                for handle in self._handles:
+                    handle.close()
+        with self._state_lock:
+            self._draining = False
+
+    def _fail_pending(self, reason: str) -> int:
+        pending: list[_ClusterRequest] = []
+        sentinels = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                sentinels += 1
+            else:
+                pending.append(item)
+        for _ in range(sentinels):
+            self._queue.put(_SENTINEL)
+        dropped = 0
+        for request in pending:
+            if not request.future.done():
+                if request.queue_span is not None:
+                    request.queue_span.finish()
+                self._fail(request, ShutdownDrained(reason), "shed")
+                dropped += 1
+        return dropped
+
+    def __enter__(self) -> "ClusterExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    # -- coordinator internals -----------------------------------------------
+
+    def _coordinator_loop(self) -> None:
+        while True:
+            request = self._queue.get()
+            if request is _SENTINEL:
+                break
+            self.metrics.set_queue_depth(self._queue.qsize())
+            try:
+                self._process(request)
+            except BaseException as exc:  # never kill the coordinator
+                self.metrics.increment("errors_total")
+                if not request.future.done():
+                    self._fail(request, exc, "error")
+
+    def _log_request(
+        self,
+        request: _ClusterRequest,
+        outcome: str,
+        *,
+        level: str = "info",
+        **extra: Any,
+    ) -> None:
+        if self.logger is None or not self.logger.enabled:
+            return
+        latency_ms = (time.monotonic() - request.submitted_at) * 1e3
+        fields = {
+            "trace_id": request.trace.trace_id or None,
+            "query": request.query_text,
+            "scoring": request.scoring_name,
+            "top_k": request.top_k,
+            "outcome": outcome,
+            "latency_ms": round(latency_ms, 3),
+            "queue_ms": round(request.queue_wait_s * 1e3, 3),
+            "join_ms": (
+                round(request.join_s * 1e3, 3) if request.join_s is not None else None
+            ),
+            **extra,
+        }
+        self.logger.log("request", level=level, **fields)
+        if (
+            self.slow_query_ms is not None
+            and latency_ms >= self.slow_query_ms
+            and outcome not in ("shed",)
+        ):
+            self.logger.warning(
+                "slow_query", threshold_ms=self.slow_query_ms, **fields
+            )
+
+    def _fail(
+        self,
+        request: _ClusterRequest,
+        exc: BaseException,
+        outcome: str,
+        *,
+        level: str = "warning",
+    ) -> None:
+        request.trace.root.set_tag("outcome", outcome)
+        self._log_request(request, outcome, level=level, error=type(exc).__name__)
+        if request.owns_trace:
+            request.trace.finish()
+        if not request.future.done():
+            request.future.set_exception(exc)
+
+    def _finish(
+        self,
+        request: _ClusterRequest,
+        response: QueryResponse,
+        **log_fields: Any,
+    ) -> None:
+        self.metrics.observe_latency(response.latency_s)
+        outcome = "degraded" if response.degraded else "ok"
+        request.trace.root.set_tags(
+            outcome=outcome,
+            cached=response.cached,
+            generation=response.generation,
+            shards_failed=response.shards_failed,
+        )
+        self._log_request(
+            request,
+            outcome,
+            cached=response.cached,
+            generation=response.generation,
+            shards_total=response.shards_total,
+            shards_failed=response.shards_failed,
+            **log_fields,
+        )
+        if request.owns_trace:
+            request.trace.finish()
+        request.future.set_result(response)
+
+    def _cache_get(self, key) -> Any | None:
+        if self.cache is None:
+            return None
+        try:
+            return self.cache.get(key)
+        except Exception:
+            self.metrics.increment("cache_errors")
+            return None
+
+    def _cache_put(self, key, value) -> None:
+        if self.cache is None:
+            return
+        try:
+            self.cache.put(key, value)
+        except Exception:
+            self.metrics.increment("cache_errors")
+
+    def _process(self, request: _ClusterRequest) -> None:
+        request.exec_started_at = time.monotonic()
+        if request.queue_span is not None:
+            request.queue_span.finish()
+        self.metrics.observe_queue_wait(request.queue_wait_s)
+        if request.future.cancelled():
+            if request.owns_trace:
+                request.trace.finish(outcome="cancelled")
+            return
+        if request.deadline is not None:
+            remaining = request.deadline - time.monotonic()
+            if remaining <= 0:
+                self.metrics.increment("deadline_misses")
+                self._fail(
+                    request,
+                    DeadlineExceeded(
+                        f"deadline expired {-remaining:.3f}s before execution"
+                    ),
+                    "timeout",
+                )
+                return
+
+        generation = self.system.index_generation
+        key = make_key(
+            request.query_text, request.scoring_name, generation, request.top_k
+        )
+        if self.cache is not None:
+            cache_span = request.trace.begin(
+                "cache.get", parent=request.trace.root, generation=generation
+            )
+            cached = self._cache_get(key)
+            cache_span.set_tag("hit", cached is not None).finish()
+            self.metrics.increment(
+                "cache_hits" if cached is not None else "cache_misses"
+            )
+            if cached is not None:
+                self._finish(
+                    request,
+                    QueryResponse(
+                        query_text=request.query_text,
+                        results=cached,
+                        cached=True,
+                        degraded=False,
+                        generation=generation,
+                        latency_s=time.monotonic() - request.submitted_at,
+                        shards_total=self.num_shards,
+                        shards_failed=0,
+                    ),
+                )
+                return
+
+        try:
+            streams, stats = self._scatter_gather(request)
+        except (QuerySyntaxError, ValueError) as exc:
+            self._fail(request, exc, "error")
+            return
+        if not streams:
+            self.metrics.increment("errors_total")
+            self._fail(
+                request,
+                ShardsUnavailable(
+                    f"all {self.num_shards} shards failed "
+                    f"({stats['failed']} failed, {stats['skipped']} breaker-skipped)"
+                ),
+                "error",
+                level="error",
+            )
+            return
+
+        merge_span = request.trace.begin(
+            "merge", parent=request.trace.root, streams=len(streams)
+        )
+        merged = threshold_merge(streams, request.top_k)
+        merge_span.set_tags(
+            pulls=merged.pulls, pulls_saved=merged.pulls_saved
+        ).finish()
+        self.metrics.increment("merge_pulls_saved", merged.pulls_saved)
+        self.metrics.increment("joins_executed")
+
+        results = tuple(merged.ranked)
+        failed = stats["failed"] + stats["skipped"]
+        partial = failed > 0
+        if partial:
+            request.trace.root.set_tag("degraded_by", "shard_failure")
+            self.metrics.increment("degraded_responses")
+        else:
+            self._cache_put(key, results)
+        self._finish(
+            request,
+            QueryResponse(
+                query_text=request.query_text,
+                results=results,
+                cached=False,
+                degraded=partial,
+                generation=generation,
+                latency_s=time.monotonic() - request.submitted_at,
+                shards_total=self.num_shards,
+                shards_failed=failed,
+            ),
+            merge_pulls_saved=merged.pulls_saved,
+        )
+
+    def _scatter_gather(
+        self, request: _ClusterRequest
+    ) -> tuple[list[Sequence[RankedDocument]], dict]:
+        """Fan the query out, collect per-shard k-best streams.
+
+        Returns the streams from the shards that answered plus
+        ``{"failed": …, "skipped": …}`` counts.  Raises client errors
+        (bad query / bad parameters) through; shard failures only
+        reduce the stream set.
+        """
+        scatter_span = request.trace.begin(
+            "scatter", parent=request.trace.root, shards=self.num_shards
+        )
+        calls: list[tuple[_ShardHandle, _ShardCall]] = []
+        skipped = 0
+        join_started = time.perf_counter()
+        for handle in self._handles:
+            if not handle.breaker.allow():
+                skipped += 1
+                continue
+            span = request.trace.begin(
+                "shard", parent=scatter_span, shard=handle.shard_id
+            )
+            call = _ShardCall(
+                message={
+                    "op": "query",
+                    "id": next(self._request_ids),
+                    "query": request.query_text,
+                    "top_k": request.top_k,
+                    "scoring": request.scoring_name,
+                    "avoid_duplicates": True,
+                },
+                future=Future(),
+                span=span,
+                deadline=request.deadline,
+            )
+            try:
+                handle.submit(call)
+            except ShardError as exc:
+                span.set_tags(outcome="error", error=str(exc)).finish()
+                skipped += 1
+                continue
+            self.metrics.increment("shard_requests")
+            calls.append((handle, call))
+
+        streams: list[Sequence[RankedDocument]] = []
+        failed = 0
+        client_error: BaseException | None = None
+        joins_run = joins_skipped = join_ns = 0
+        for handle, call in calls:
+            budget = self.shard_timeout_s + 1.0
+            if request.deadline is not None:
+                budget = min(
+                    budget, max(0.0, request.deadline - time.monotonic()) + 1.0
+                )
+            try:
+                reply = call.future.result(timeout=budget)
+            except (QuerySyntaxError, ValueError) as exc:
+                client_error = exc
+                continue
+            except (ShardError, FutureTimeoutError):
+                failed += 1
+                continue
+            streams.append(reply["results"])
+            shard_stats = reply.get("stats", {})
+            joins_run += int(shard_stats.get("joins_run", 0))
+            joins_skipped += int(shard_stats.get("joins_skipped", 0))
+            join_ns += int(shard_stats.get("join_ns", 0))
+        elapsed = time.perf_counter() - join_started
+        request.join_s = elapsed
+        self.metrics.observe_join(request.scoring_name, elapsed)
+        self.metrics.increment("joins_run", joins_run)
+        self.metrics.increment("joins_skipped", joins_skipped)
+        self.metrics.increment("join_micros", join_ns // 1000)
+        scatter_span.set_tags(
+            answered=len(streams),
+            failed=failed,
+            skipped=skipped,
+            joins_run=joins_run,
+            joins_skipped=joins_skipped,
+        ).finish()
+        if client_error is not None:
+            raise client_error
+        return streams, {"failed": failed, "skipped": skipped}

@@ -1,0 +1,108 @@
+"""Threshold-algorithm merge of per-shard k-best streams.
+
+Fagin/Lotem/Naor's threshold algorithm ("Optimal Aggregation Algorithms
+for Middleware", PAPERS.md) aggregates sorted per-source score streams
+by maintaining a *threshold*: the best score any not-yet-seen candidate
+could still achieve.  As soon as the current k-th best result is at
+least the threshold, no further pulls can change the answer and the
+merge stops — instance-optimal early termination.
+
+Document-hash sharding makes our instance of the problem the friendly
+one: every document lives in exactly one shard, so a pulled entry's
+score is already exact (no random accesses to other sources are ever
+needed), and the threshold is simply the best head among the streams
+not yet exhausted.  Each shard returns its local k-best sorted by the
+global ranking key ``(-score, doc_id)``; the merge pulls entries in
+threshold order and stops after the k-th pull, when the termination
+test ``threshold >= k-th result`` first holds by construction.  The
+entries it never pulls — shipped by the shards but provably unable to
+displace the merged top-k — are counted and exported as the
+``merge_pulls_saved`` metric: at N shards each returning k entries, the
+merge examines at most ``N + k - 1`` of the ``N * k`` candidates (every
+stream head, plus one advance per pop before the k-th).
+
+The merged ranking is byte-identical to single-process ranking over the
+union corpus: both orders are the same total order on ``(-score,
+doc_id)``, shard-local k-best lists are exact over their partitions
+(:func:`repro.retrieval.topk_retrieval.rank_top_k` proves local
+equivalence), and every member of the global top-k is necessarily in
+its own shard's local top-k.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.retrieval.ranking import RankedDocument
+
+__all__ = ["MergeResult", "merge_key", "threshold_merge"]
+
+
+def merge_key(doc: RankedDocument) -> tuple[float, str]:
+    """The global ranking key: descending score, ascending doc id."""
+    return (-doc.score, doc.doc_id)
+
+
+@dataclass(frozen=True, slots=True)
+class MergeResult:
+    """A merged top-k plus the threshold algorithm's economy counters."""
+
+    ranked: list[RankedDocument]
+    #: entries pulled into the merge (heads loaded + results consumed)
+    pulls: int
+    #: entries shipped by shards that the threshold proved irrelevant
+    pulls_saved: int
+
+
+def threshold_merge(
+    shard_results: Sequence[Sequence[RankedDocument]], k: int
+) -> MergeResult:
+    """Merge per-shard k-best streams into the global top-k.
+
+    ``shard_results`` holds one stream per responding shard, each sorted
+    by :func:`merge_key` (shards produce exactly this order).  Raises
+    ``ValueError`` on an unsorted stream rather than returning a wrong
+    ranking.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    # The heap holds each stream's current head: its key, the shard
+    # stream index, and the position within that stream.  The heap top
+    # is the TA threshold — the best any unpulled entry can be, because
+    # streams are sorted.
+    heap: list[tuple[tuple[float, str], int, int]] = []
+    pulls = 0
+    for index, stream in enumerate(shard_results):
+        for position in range(1, len(stream)):
+            if merge_key(stream[position - 1]) > merge_key(stream[position]):
+                raise ValueError(
+                    f"shard stream {index} is not sorted by (-score, doc_id) "
+                    f"at position {position}"
+                )
+        if stream:
+            pulls += 1  # sorted access: the stream's head is examined
+            heapq.heappush(heap, (merge_key(stream[0]), index, 0))
+
+    ranked: list[RankedDocument] = []
+    while heap and len(ranked) < k:
+        # Termination test, stated in TA form: with fewer than k results
+        # the threshold (heap top) may still contribute, so pull it.
+        # Once len(ranked) == k, every remaining entry's key is >= the
+        # keys already popped (heap order over sorted streams), i.e.
+        # threshold >= k-th result, and the loop exits.
+        _, index, position = heapq.heappop(heap)
+        ranked.append(shard_results[index][position])
+        behind = position + 1
+        # Advance the stream only while more results are needed: after
+        # the k-th pop the answer is complete, so the entry behind the
+        # final pop is never examined either.
+        if len(ranked) < k and behind < len(shard_results[index]):
+            pulls += 1
+            heapq.heappush(
+                heap, (merge_key(shard_results[index][behind]), index, behind)
+            )
+
+    total = sum(len(stream) for stream in shard_results)
+    return MergeResult(ranked=ranked, pulls=pulls, pulls_saved=total - pulls)

@@ -1,0 +1,185 @@
+"""The shard worker: one process, one shard, one pipe.
+
+:func:`shard_worker_main` is the entry point the coordinator spawns as
+a ``multiprocessing.Process``.  It builds a private
+:class:`~repro.system.SearchSystem` over the shard's document partition
+and serves a small request/response protocol over its end of a
+``multiprocessing.Pipe``.  ``Connection.send``/``recv`` *is* the wire
+format — length-prefixed pickle frames — so messages are plain dicts
+and replies carry real :class:`~repro.retrieval.ranking.RankedDocument`
+objects (pickle round-trips preserve equality, which the differential
+tests depend on).
+
+Protocol (every message and reply carries the request ``id``; the
+coordinator uses it to discard stale replies after a timeout):
+
+``{"op": "query", "id", "query", "top_k", "scoring", "avoid_duplicates"}``
+    Run the kernel-backed join path over the shard and reply with the
+    local k-best (sorted by the global ``(-score, doc_id)`` key) plus
+    join statistics and the shard's score upper bound.
+``{"op": "healthz", "id"}``
+    Reply with document count, index generation, and pid.
+``{"op": "snapshot", "id", "path"}``
+    Write the shard's crash-safe snapshot (the PR-3 envelope) to
+    ``path`` and reply with the path.
+``{"op": "shutdown", "id"}``
+    Acknowledge and exit the process cleanly.
+
+Failures of one request (bad query, bad parameters) are *replies*, not
+worker deaths: the worker answers ``{"ok": False, "error": …}`` and
+keeps serving.  Only transport loss (coordinator gone) or an explicit
+``shutdown`` ends the loop.
+
+The ``shard.query`` fault point fires before each query executes, so
+chaos tests can delay a shard mid-query (and SIGKILL it while it
+sleeps) or make one shard fail requests without touching the others.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Any
+
+from repro.reliability.faults import FAULTS, WorkerCrash, configure_from_env
+from repro.retrieval.instrumentation import collect_join_stats
+from repro.system import SearchSystem
+
+__all__ = ["shard_worker_main"]
+
+#: Client-fault error names a query reply may carry; the coordinator
+#: re-raises these as request errors (HTTP 400) instead of counting a
+#: shard failure.
+CLIENT_ERRORS: frozenset[str] = frozenset(
+    {"QuerySyntaxError", "InvalidQueryError", "ValueError"}
+)
+
+
+def _build_system(documents: list[tuple[str, str]]) -> SearchSystem:
+    system = SearchSystem()
+    system.add_texts(documents)
+    return system
+
+
+def _resolve_scoring(name: str | None):
+    """Preset name → scoring instance; None/'default' → system default."""
+    if name is None or name == "default":
+        return None
+    from repro.service.executor import SCORING_PRESETS
+
+    factory = SCORING_PRESETS.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown scoring preset {name!r}; "
+            f"expected one of {sorted(SCORING_PRESETS)}"
+        )
+    return factory()
+
+
+def _serve_query(system: SearchSystem, message: dict) -> dict:
+    query_text = message["query"]
+    top_k = int(message.get("top_k", 5))
+    scoring = _resolve_scoring(message.get("scoring"))
+    avoid_duplicates = bool(message.get("avoid_duplicates", True))
+    with collect_join_stats() as stats:
+        ranked = system.ask(
+            query_text,
+            top_k=top_k,
+            scoring=scoring,
+            avoid_duplicates=avoid_duplicates,
+        )
+    return {
+        "ok": True,
+        "results": ranked,
+        "generation": system.index_generation,
+        "stats": {
+            "joins_run": stats.joins_run,
+            "joins_skipped": stats.joins_skipped,
+            "join_ns": stats.join_ns,
+        },
+    }
+
+
+def _dispatch(system: SearchSystem, shard_id: int, message: dict) -> dict:
+    op = message.get("op")
+    if op == "query":
+        FAULTS.inject("shard.query")
+        return _serve_query(system, message)
+    if op == "healthz":
+        return {
+            "ok": True,
+            "shard": shard_id,
+            "documents": len(system),
+            "generation": system.index_generation,
+            "pid": os.getpid(),
+        }
+    if op == "snapshot":
+        path = message["path"]
+        system.save(path)
+        return {"ok": True, "path": str(path)}
+    raise ValueError(f"unknown shard op {op!r}")
+
+
+def shard_worker_main(
+    conn: Any, shard_id: int, documents: list[tuple[str, str]]
+) -> None:
+    """Serve one shard over ``conn`` until shutdown or transport loss.
+
+    Runs inside the worker process.  Never raises out of the loop for a
+    single bad request — errors become structured replies — so one
+    malformed query cannot take a quarter of the corpus offline.
+    """
+    # A terminal Ctrl-C signals the whole foreground process group,
+    # workers included; shutdown is the coordinator's job (the
+    # "shutdown" op, or SIGKILL from the watchdog), so SIGINT here
+    # would only dump a KeyboardInterrupt traceback mid-drain.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # repro: ignore[except-swallowed] non-main-thread start (tests)
+    except ValueError:
+        pass
+    # Chaos tests arm fault points through the environment the worker
+    # inherited (the registry itself is per-process state).
+    configure_from_env()
+    system = _build_system(documents)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # coordinator went away; nothing left to serve
+        if not isinstance(message, dict):
+            continue  # not ours; protocol garbage is ignored, not fatal
+        request_id = message.get("id")
+        if message.get("op") == "shutdown":
+            try:
+                conn.send({"id": request_id, "ok": True, "shard": shard_id})
+            # repro: ignore[except-swallowed] the coordinator may already
+            # have dropped the pipe; exiting is the acknowledgement
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        try:
+            reply = _dispatch(system, shard_id, message)
+        except WorkerCrash:
+            # A simulated process death (fault mode "crash"): exit hard,
+            # like a SIGKILL, so the coordinator sees a dead shard — no
+            # reply, no cleanup, no traceback noise in the test output.
+            conn.close()
+            os._exit(1)
+        except Exception as exc:
+            reply = {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+        reply["id"] = request_id
+        reply["shard"] = shard_id
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break  # coordinator went away mid-reply
+    try:
+        conn.close()
+    # repro: ignore[except-swallowed] double-close on a torn pipe is fine
+    except OSError:
+        pass

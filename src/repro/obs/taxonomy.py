@@ -44,6 +44,9 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "ask",  # SearchSystem.ask / one query of ask_many
         "plan",  # query parse + matcher construction
         "rank",  # the ranking loop over candidate documents
+        "scatter",  # cluster fan-out of one query to every live shard
+        "shard",  # one shard RPC (child of scatter; finished by its I/O thread)
+        "merge",  # threshold-algorithm merge of the shard k-best streams
     }
 )
 
@@ -56,6 +59,7 @@ LOG_EVENTS: frozenset[str] = frozenset(
         "breaker.transition",  # circuit-breaker state change
         "breaker.shed",  # a batch shed to the degraded join
         "join.retry",  # transient exact-join failure being retried
+        "shard.respawn",  # the cluster watchdog replaced a dead shard worker
     }
 )
 
@@ -82,6 +86,10 @@ COUNTER_SPECS: dict[str, tuple[str, str]] = {
     "breaker_shed_total": ("repro_breaker_shed_total", "Requests shed to the degraded join by an open breaker"),
     "cache_errors": ("repro_cache_errors_total", "Result-cache operations that raised (failed open)"),
     "drain_dropped": ("repro_drain_dropped_total", "Queued requests failed past the drain budget"),
+    "shard_requests": ("repro_shard_requests_total", "Shard RPCs scattered by the cluster coordinator"),
+    "shard_failures": ("repro_shard_failures_total", "Shard RPCs that failed (dead worker, transport, timeout)"),
+    "shard_respawns": ("repro_shard_respawns_total", "Shard workers respawned by the cluster watchdog"),
+    "merge_pulls_saved": ("repro_merge_pulls_saved_total", "Shard-shipped entries the threshold merge never pulled"),
 }
 
 #: The JSON-side counter names (what ``ServiceMetrics.increment`` takes).
@@ -109,6 +117,7 @@ PROMETHEUS_NAMES: frozenset[str] = frozenset(
         "repro_request_latency_seconds",
         "repro_queue_wait_seconds",
         "repro_join_seconds",
+        "repro_shard_request_seconds",
     }
 )
 

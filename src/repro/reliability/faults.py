@@ -71,6 +71,8 @@ FAULT_POINTS: dict[str, str] = {
     "cache.get": "result-cache lookups (the executor degrades to a miss)",
     "cache.put": "result-cache writes (the entry is skipped)",
     "worker.loop": "top of an executor worker's loop (kills the worker)",
+    "shard.query": "a shard worker, before executing one query (delay "
+    "mode holds the shard mid-query; crash mode kills the process)",
 }
 
 _MODES = ("error", "transient", "crash", "delay", "corrupt")

@@ -107,6 +107,9 @@ class QueryResponse:
     degraded: bool
     generation: int
     latency_s: float
+    # Cluster provenance (repro.cluster); 0/0 on the single-process path.
+    shards_total: int = 0
+    shards_failed: int = 0
 
 
 @dataclass(slots=True)

@@ -24,6 +24,10 @@ Metric glossary (see also docs/SERVING.md and docs/OBSERVABILITY.md):
 ``breaker_shed_total``  requests shed to the degraded join by an open breaker
 ``cache_errors``        result-cache operations that raised (failed open)
 ``drain_dropped``       queued requests failed when the drain budget expired
+``shard_requests``      shard RPCs scattered by the cluster coordinator
+``shard_failures``      shard RPCs that failed (dead worker, transport, timeout)
+``shard_respawns``      shard workers respawned by the cluster watchdog
+``merge_pulls_saved``   shard-shipped entries the threshold merge never pulled
 ``queue_depth``         current executor backlog (gauge)
 ``latency_p50``/``latency_p95``/``latency_p99``  request latency quantiles
 ``qps``                 completed requests / elapsed wall-clock
@@ -33,6 +37,7 @@ Histograms (fixed buckets, Prometheus ``_bucket``/``_sum``/``_count``):
 ``repro_request_latency_seconds``   end-to-end request latency
 ``repro_queue_wait_seconds``        admission-to-execution queue wait
 ``repro_join_seconds{family=…}``    best-join time per scoring family
+``repro_shard_request_seconds{shard=…}``  shard RPC latency per shard
 """
 
 from __future__ import annotations
@@ -124,6 +129,11 @@ class ServiceMetrics:
             "Best-join execution time per scoring family",
             LATENCY_BUCKETS,
         )
+        self._shard_hist = self.registry.histogram(
+            "repro_shard_request_seconds",
+            "Shard RPC latency per shard",
+            LATENCY_BUCKETS,
+        )
         self._completed_counter = self.registry.counter(
             "repro_completed_total", "Requests completed (latency observed)"
         )
@@ -167,6 +177,10 @@ class ServiceMetrics:
         """Record one best-join execution, labelled by scoring family."""
         self._join_hist.observe(seconds, family=family)
 
+    def observe_shard_request(self, shard: str, seconds: float) -> None:
+        """Record one shard RPC's round-trip time, labelled by shard."""
+        self._shard_hist.observe(seconds, shard=shard)
+
     # -- reading -------------------------------------------------------------
 
     def latency_percentile(self, q: float) -> float | None:
@@ -178,10 +192,15 @@ class ServiceMetrics:
             labels.get("family", ""): self._join_hist.snapshot(**labels)
             for labels in self._join_hist.label_sets()
         }
+        shards = {
+            labels.get("shard", ""): self._shard_hist.snapshot(**labels)
+            for labels in self._shard_hist.label_sets()
+        }
         return {
             "request_latency_seconds": self._latency_hist.snapshot(),
             "queue_wait_seconds": self._queue_wait_hist.snapshot(),
             "join_seconds": joins,
+            "shard_request_seconds": shards,
         }
 
     def snapshot(self) -> dict:

@@ -46,7 +46,7 @@ __all__ = ["SearchServer"]
 
 
 def _response_payload(response: QueryResponse) -> dict:
-    return {
+    payload = {
         "query": response.query_text,
         "cached": response.cached,
         "degraded": response.degraded,
@@ -57,6 +57,15 @@ def _response_payload(response: QueryResponse) -> dict:
             for rank, doc in enumerate(response.results, 1)
         ],
     }
+    if response.shards_total:
+        # Cluster provenance: how many shards answered.  A degraded
+        # cluster response means shards_failed > 0 — a partial answer
+        # over the surviving shards, not an approximate join.
+        payload["shards"] = {
+            "total": response.shards_total,
+            "failed": response.shards_failed,
+        }
+    return payload
 
 
 
@@ -141,14 +150,18 @@ class _Handler(BaseHTTPRequestHandler):
         if url.path == "/healthz":
             system = self.server.executor.system
             health = self.server.executor.health()
-            self._send_json(
-                200,
-                {
-                    "status": health["status"],
-                    "documents": len(system),
-                    "generation": system.index_generation,
-                },
-            )
+            payload = {
+                "status": health["status"],
+                "documents": len(system),
+                "generation": system.index_generation,
+            }
+            # In cluster mode (ClusterExecutor) liveness includes the
+            # shard topology: pid, breaker state, and respawn count per
+            # shard worker process.
+            shard_health = getattr(self.server.executor, "shard_health", None)
+            if callable(shard_health):
+                payload["shards"] = shard_health()
+            self._send_json(200, payload)
         elif url.path == "/readyz":
             health = self.server.executor.health()
             if self.server.draining:

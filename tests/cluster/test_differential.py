@@ -1,0 +1,88 @@
+"""The cluster's central proof obligation: byte-identical answers.
+
+For every scoring family, every k, and every shard count, the
+scatter-gather threshold-merge path must return *exactly* what
+single-process ``SearchSystem.ask`` returns over the same corpus —
+same document ids, same scores, same matchsets, same tie order.  The
+corpus deliberately contains duplicate texts under different ids
+(identical scores) so tie-breaking is exercised, not assumed.
+"""
+
+import pytest
+
+from repro.cluster import ClusterExecutor
+from repro.service.executor import SCORING_PRESETS
+from repro.system import SearchSystem
+
+FAMILIES = sorted(SCORING_PRESETS)  # max, med, win
+KS = (1, 5, 20)
+SHARD_COUNTS = (1, 2, 4)
+
+QUERIES = (
+    "alpha, beta",
+    "alpha, gamma",
+    "beta",
+)
+
+
+def build_corpus():
+    documents = []
+    # Distinct proximity structure per group: term gaps grow with i, so
+    # scores spread across documents instead of collapsing to one value.
+    for i in range(12):
+        filler = " ".join(f"w{j}" for j in range(i))
+        documents.append(
+            (f"doc-{i:02d}", f"alpha {filler} beta and gamma near alpha {filler} beta")
+        )
+    # Exact duplicate texts under different ids: identical scores, so
+    # the ranking must fall back to the doc_id tie-break everywhere.
+    for i in range(6):
+        documents.append((f"tie-{i}", "alpha beta gamma alpha beta"))
+    # Partial matches: only some query terms present.
+    for i in range(6):
+        documents.append((f"part-{i}", f"beta only text number {i} beta again"))
+    return documents
+
+
+@pytest.fixture(scope="module")
+def system():
+    built = SearchSystem()
+    built.add_texts(build_corpus())
+    return built
+
+
+@pytest.fixture(scope="module", params=SHARD_COUNTS)
+def cluster(request, system):
+    executor = ClusterExecutor(
+        system,
+        shards=request.param,
+        watchdog_interval=0,
+        cache_size=0,  # every ask exercises the full scatter-gather path
+    )
+    yield executor
+    executor.shutdown()
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("k", KS)
+def test_cluster_matches_single_process_exactly(system, cluster, family, k):
+    scoring = SCORING_PRESETS[family]()
+    for query in QUERIES:
+        expected = system.ask(query, top_k=k, scoring=scoring)
+        response = cluster.ask(query, top_k=k, scoring=family)
+        assert not response.degraded
+        got = list(response.results)
+        # Identity of every field the ranking carries: ids and tie
+        # order, exact scores, the winning matchsets themselves, and
+        # the dedup invocation counts.
+        assert [d.doc_id for d in got] == [d.doc_id for d in expected]
+        assert [d.score for d in got] == [d.score for d in expected]
+        assert [d.matchset for d in got] == [d.matchset for d in expected]
+        assert got == list(expected)
+
+
+def test_default_scoring_matches_too(system, cluster):
+    for k in KS:
+        expected = system.ask("alpha, beta", top_k=k)
+        response = cluster.ask("alpha, beta", top_k=k)
+        assert list(response.results) == list(expected)

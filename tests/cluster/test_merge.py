@@ -1,0 +1,109 @@
+"""Threshold-algorithm merge: correctness, tie order, pull economy."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.cluster.merge import MergeResult, merge_key, threshold_merge
+
+
+@dataclass(frozen=True)
+class Doc:
+    # threshold_merge is duck-typed over (.score, .doc_id); the
+    # differential tests exercise it with real RankedDocuments.
+    doc_id: str
+    score: float
+
+
+def stream(*pairs):
+    docs = [Doc(doc_id, score) for doc_id, score in pairs]
+    return sorted(docs, key=merge_key)
+
+
+def reference_merge(streams, k):
+    merged = sorted((doc for s in streams for doc in s), key=merge_key)
+    return merged[:k]
+
+
+def test_merge_key_orders_by_score_desc_then_doc_id_asc():
+    docs = [Doc("b", 1.0), Doc("a", 1.0), Doc("c", 2.0)]
+    assert sorted(docs, key=merge_key) == [Doc("c", 2.0), Doc("a", 1.0), Doc("b", 1.0)]
+
+
+def test_merge_equals_full_sort():
+    streams = [
+        stream(("a", 0.9), ("b", 0.5), ("c", 0.1)),
+        stream(("d", 0.8), ("e", 0.7)),
+        stream(("f", 0.95), ("g", 0.05)),
+    ]
+    for k in (1, 2, 3, 5, 10):
+        result = threshold_merge(streams, k)
+        assert result.ranked == reference_merge(streams, k)
+
+
+def test_merge_breaks_ties_by_doc_id():
+    streams = [
+        stream(("doc-b", 1.0), ("doc-d", 1.0)),
+        stream(("doc-a", 1.0), ("doc-c", 1.0)),
+    ]
+    result = threshold_merge(streams, 3)
+    assert [doc.doc_id for doc in result.ranked] == ["doc-a", "doc-b", "doc-c"]
+
+
+def test_merge_handles_empty_and_uneven_streams():
+    streams = [stream(), stream(("a", 1.0)), stream()]
+    result = threshold_merge(streams, 5)
+    assert [doc.doc_id for doc in result.ranked] == ["a"]
+    assert threshold_merge([], 5) == MergeResult(ranked=[], pulls=0, pulls_saved=0)
+
+
+def test_merge_accounts_every_entry_as_pulled_or_saved():
+    streams = [
+        stream(*((f"a{i}", 1.0 - i / 10) for i in range(5))),
+        stream(*((f"b{i}", 0.95 - i / 10) for i in range(5))),
+        stream(*((f"c{i}", 0.90 - i / 10) for i in range(5))),
+    ]
+    result = threshold_merge(streams, 3)
+    assert result.pulls + result.pulls_saved == 15
+    assert result.pulls_saved > 0
+
+
+def test_merge_early_termination_bound():
+    # TA with exact per-stream scores examines at most N + k - 1
+    # entries: every stream head plus one advance per pop before the
+    # k-th (nothing is examined behind the final pop).
+    n, k = 4, 5
+    streams = [
+        stream(*((f"s{s}-{i}", 1.0 - (s + n * i) / 100) for i in range(k)))
+        for s in range(n)
+    ]
+    result = threshold_merge(streams, k)
+    assert result.ranked == reference_merge(streams, k)
+    assert result.pulls <= n + k - 1
+    assert result.pulls_saved >= n * k - (n + k - 1)
+
+
+def test_merge_skewed_streams_save_most_pulls():
+    # One dominant shard: the threshold proves the other shards'
+    # entries irrelevant after their heads are seen.
+    dominant = stream(*((f"top{i}", 10.0 - i / 100) for i in range(5)))
+    losers = [
+        stream(*((f"lo{s}-{i}", 1.0 - i / 100) for i in range(5)))
+        for s in range(3)
+    ]
+    result = threshold_merge([dominant, *losers], 5)
+    assert [doc.doc_id for doc in result.ranked] == [f"top{i}" for i in range(5)]
+    # 5 dominant pulls + 3 loser heads = 8 of 20 examined.
+    assert result.pulls == 8
+    assert result.pulls_saved == 12
+
+
+def test_merge_rejects_unsorted_stream():
+    bad = [Doc("a", 0.1), Doc("b", 0.9)]  # ascending score: not merge order
+    with pytest.raises(ValueError, match="not sorted"):
+        threshold_merge([bad], 2)
+
+
+def test_merge_rejects_nonpositive_k():
+    with pytest.raises(ValueError):
+        threshold_merge([stream(("a", 1.0))], 0)

@@ -1,0 +1,171 @@
+"""Cluster chaos: shard death mid-query, degraded answers, respawn.
+
+The scenario the subsystem exists to survive: a shard worker process is
+SIGKILLed *while executing a query*.  The request must complete with a
+degraded partial answer from the surviving shards (tagged in the
+response and in the ``request`` log event), the watchdog must respawn
+the dead worker, answers must return to full (byte-identical to the
+single-process path) once the breaker re-admits the shard, and no
+future may hang at any point along the way.
+
+The ``shard.query`` fault point (delay mode) holds every worker
+mid-query so the kill lands deterministically inside execution; the
+workers arm it from the ``REPRO_FAULTS`` environment they inherit.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cluster import ClusterExecutor, ShardsUnavailable
+from repro.obs.log import MemorySink, StructuredLogger
+from repro.system import SearchSystem
+
+CORPUS = [
+    (f"doc-{i:02d}", f"alpha beta gamma document number {i} alpha beta")
+    for i in range(16)
+]
+
+QUERY = "alpha, beta"
+
+
+def build_system():
+    system = SearchSystem()
+    system.add_texts(CORPUS)
+    return system
+
+
+@pytest.fixture()
+def delayed_shards(monkeypatch):
+    # Workers read REPRO_FAULTS at startup; every query then sleeps
+    # long enough for a kill signal to land mid-execution.
+    monkeypatch.setenv("REPRO_FAULTS", "shard.query:delay:0.4")
+
+
+def wait_until(predicate, timeout_s=10.0, interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+def test_shard_killed_mid_query_degrades_then_recovers(delayed_shards):
+    sink = MemorySink()
+    logger = StructuredLogger()
+    logger.add_sink(sink)
+    system = build_system()
+    expected = system.ask(QUERY, top_k=5)
+    executor = ClusterExecutor(
+        system,
+        shards=2,
+        watchdog_interval=0.1,
+        breaker_threshold=1,  # one failure opens the shard's breaker
+        breaker_reset_s=0.3,
+        logger=logger,
+        cache_size=0,
+    )
+    try:
+        victim_pid = executor.shard_health()[0]["pid"]
+        future = executor.submit(QUERY, top_k=5)
+        time.sleep(0.15)  # both workers are sleeping inside the query
+        os.kill(victim_pid, signal.SIGKILL)
+
+        # 1. The in-flight request completes promptly (no hung future)
+        #    with a degraded partial answer from the surviving shard.
+        response = future.result(timeout=30)
+        assert response.degraded
+        assert response.shards_total == 2
+        assert response.shards_failed == 1
+        assert 0 < len(response.results) <= 5
+        surviving = {doc.doc_id for doc in response.results}
+        assert surviving <= {doc.doc_id for doc in expected} | {
+            doc_id for doc_id, _ in CORPUS
+        }
+
+        # 2. The degradation is logged on the request event.
+        degraded_events = [
+            event
+            for event in sink.events
+            if event["event"] == "request" and event.get("outcome") == "degraded"
+        ]
+        assert degraded_events, [e["event"] for e in sink.events]
+        assert degraded_events[0]["shards_failed"] == 1
+
+        # 3. The watchdog respawns the dead worker under a new pid.
+        assert wait_until(lambda: executor.shard_health()[0]["alive"])
+        assert executor.shard_health()[0]["pid"] != victim_pid
+        assert executor.metrics.count("shard_respawns") >= 1
+        assert any(event["event"] == "shard.respawn" for event in sink.events)
+
+        # 4. Once the breaker re-admits the shard, answers are full
+        #    again — and byte-identical to the single-process ranking.
+        def recovered():
+            return not executor.ask(QUERY, top_k=5).degraded
+
+        assert wait_until(recovered, interval_s=0.15)
+        response = executor.ask(QUERY, top_k=5)
+        assert not response.degraded
+        assert response.shards_failed == 0
+        assert list(response.results) == list(expected)
+    finally:
+        executor.shutdown()
+
+
+def test_all_shards_dead_fails_fast_not_hangs(delayed_shards):
+    system = build_system()
+    executor = ClusterExecutor(
+        system,
+        shards=2,
+        watchdog_interval=0,  # no respawn: total loss stays total
+        breaker_threshold=5,
+        cache_size=0,
+    )
+    try:
+        pids = [entry["pid"] for entry in executor.shard_health()]
+        future = executor.submit(QUERY, top_k=5)
+        time.sleep(0.15)
+        for pid in pids:
+            os.kill(pid, signal.SIGKILL)
+        with pytest.raises(ShardsUnavailable):
+            future.result(timeout=30)
+        assert executor.metrics.count("shard_failures") >= 2
+    finally:
+        executor.shutdown()
+
+
+def test_respawned_shard_serves_identical_results(delayed_shards):
+    # Respawn fidelity: the replacement worker rebuilds its index from
+    # the coordinator's partition copy, so a post-recovery full answer
+    # is exactly the pre-crash answer.
+    system = build_system()
+    executor = ClusterExecutor(
+        system,
+        shards=4,
+        watchdog_interval=0.1,
+        breaker_threshold=1,
+        breaker_reset_s=0.2,
+        cache_size=0,
+    )
+    try:
+        before = executor.ask(QUERY, top_k=5)
+        assert not before.degraded
+        victim_pid = executor.shard_health()[2]["pid"]
+        future = executor.submit(QUERY, top_k=5)
+        time.sleep(0.15)
+        os.kill(victim_pid, signal.SIGKILL)
+        assert future.result(timeout=30).degraded
+        assert wait_until(lambda: executor.shard_health()[2]["alive"])
+
+        def recovered():
+            return not executor.ask(QUERY, top_k=5).degraded
+
+        assert wait_until(recovered, interval_s=0.15)
+        after = executor.ask(QUERY, top_k=5)
+        assert list(after.results) == list(before.results)
+        assert after.shards_failed == 0
+    finally:
+        executor.shutdown()

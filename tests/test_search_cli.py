@@ -103,3 +103,15 @@ class TestFusedAsk:
     def test_extract_rejects_scoring_all(self, cfp_file):
         with pytest.raises(SystemExit):
             main(["extract", "--scoring", "all", "a, b", cfp_file])
+
+
+class TestServe:
+    def test_rejects_zero_shards(self, news_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", news_file, "--shards", "0"])
+        assert "--shards must be >= 1" in str(excinfo.value.code)
+
+    def test_rejects_negative_shards(self, news_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", news_file, "--shards", "-2"])
+        assert "--shards must be >= 1" in str(excinfo.value.code)
