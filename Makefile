@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check analyze typecheck chaos bench bench-full bench-joins bench-obs bench-cluster serve-bench figures examples clean
+.PHONY: install test check analyze typecheck chaos bench bench-full bench-joins bench-obs bench-cluster bench-scalability serve-bench figures examples clean
 
 install:
 	pip install -e .
@@ -47,6 +47,8 @@ check:
 		$(PYTHON) benchmarks/bench_observability.py --check
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) benchmarks/bench_cluster.py --check
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) benchmarks/bench_scalability.py --check
 
 # Fault-injection suite (tests/reliability): armed fault points, worker
 # crashes, crash-safe snapshots, breaker/readiness behavior.  Each test
@@ -88,6 +90,14 @@ bench-obs:
 bench-cluster:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) benchmarks/bench_cluster.py
+
+# Corpus-growth gate for the DAAT retrieval path: p95 ask latency must
+# grow <= 2x while the corpus grows 10x (the REPRO_NO_DAAT=1 baseline
+# is measured alongside for the report); writes BENCH_scalability.json
+# at the repository root.
+bench-scalability:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) benchmarks/bench_scalability.py
 
 # Serving-layer QPS/latency at concurrency {1,4,16}, cache on/off;
 # writes benchmarks/results/service_throughput.txt and

@@ -1,13 +1,42 @@
-"""Beyond the paper: linearity of the proposed joins at large list sizes.
+"""Scalability: join linearity at large lists, retrieval sublinearity at large corpora.
 
-The paper stops at 40 matches per document, where the naive baseline is
-still runnable.  This benchmark pushes the proposed algorithms two
-orders of magnitude further (the naive cross product would need ~10^13
-matchset evaluations at the top end) and checks the advertised
-O(Σ|L_j|) / O(2^|Q|·Σ|L_j|) behaviour: doubling the input should
-roughly double the running time.
+Two regimes, one file:
+
+* **join scalability** (pytest part) — the paper stops at 40 matches
+  per document, where the naive baseline is still runnable.  The
+  benchmark pushes the proposed algorithms two orders of magnitude
+  further (the naive cross product would need ~10^13 matchset
+  evaluations at the top end) and checks the advertised
+  O(Σ|L_j|) / O(2^|Q|·Σ|L_j|) behaviour: doubling the input should
+  roughly double the running time.
+
+* **corpus growth** (``main()`` part) — the DAAT max-score path
+  (:mod:`repro.retrieval.daat`) must decouple per-query latency from
+  corpus size.  The corpus holds a *constant* pool of strong documents
+  (adjacent exact terms — the true top-k at every scale) plus a growing
+  population of weak documents: synonym-only texts the membership bound
+  prunes, and far-apart-terms texts only the two-term pair-proximity
+  bound prunes.  The gate: p95 ``ask`` latency grows ≤2× while the
+  corpus grows 10× with DAAT on, and the loop actually skips documents
+  (``documents_pivot_skipped`` > 0, ``pair_index_hits`` > 0).  The
+  ``REPRO_NO_DAAT=1`` materialize-all baseline is measured alongside
+  for the report (not gated — its growth is the cost being avoided).
+
+Run directly (``make bench-scalability``)::
+
+    PYTHONPATH=src python benchmarks/bench_scalability.py
+
+Writes ``BENCH_scalability.json`` at the repository root and
+``benchmarks/results/scalability_growth.txt``.  ``--check`` runs a
+seconds-fast small-corpus pass of the same gate for ``make check``.
 """
 
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import sys
 import time
 
 import pytest
@@ -17,8 +46,13 @@ from repro.core.algorithms.med_join import med_join
 from repro.core.algorithms.win_join import win_join
 from repro.core.scoring.presets import trec_max, trec_med, trec_win
 from repro.datasets.synthetic import SyntheticConfig, generate_dataset
+from repro.retrieval.instrumentation import collect_join_stats
+from repro.system import SearchSystem
 
 from conftest import save_report
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_scalability.json"
 
 SIZES = (400, 800, 1600, 3200)
 _ALGOS = {
@@ -81,3 +115,221 @@ def test_scalability_report(benchmark, datasets):
     for name in _ALGOS:
         growth = series[name][-1] / max(series[name][0], 1e-9)
         assert growth < 32, (name, growth)
+
+
+# -- corpus growth: DAAT sublinearity gate -----------------------------------
+
+GROWTH_SCALES = (1, 10)
+GROWTH_QUERIES = ("maker, partnership", "maker, partnership, sports")
+GROWTH_TERMS = ["maker", "partnership", "sports"]
+NUM_STRONG = 40
+TOP_K = 10
+
+ACCEPTANCE = {
+    "corpus_growth": GROWTH_SCALES[-1] / GROWTH_SCALES[0],
+    "max_daat_p95_growth": 2.0,
+}
+
+
+def build_growth_corpus(scale: int, docs_per_scale: int):
+    """Constant strong pool + a weak population growing with ``scale``.
+
+    * ``a-`` documents (constant count): exact terms adjacent, varied
+      small gaps — the true top-k at every scale.
+    * ``y-`` documents (growing): exact terms ~40 positions apart —
+      maximal membership bound, prunable only by the pair index.
+    * ``z-`` documents (growing): synonym-only (vendor≈maker,
+      alliance≈partnership at 0.7) — pruned by the membership bound.
+
+    Total size is ``scale × docs_per_scale`` exactly, so the reported
+    corpus growth equals the scale ratio.
+    """
+    documents = []
+    for i in range(NUM_STRONG):
+        gap = " ".join(f"s{j}" for j in range(i % 6))
+        body = " ".join(f"b{i % 7}x{j}" for j in range(40))
+        documents.append(
+            (
+                f"a-{i:05d}",
+                f"maker {gap} partnership sports {body} maker {gap} partnership",
+            )
+        )
+    num_weak = scale * docs_per_scale - NUM_STRONG
+    far = " ".join(f"f{j}" for j in range(40))
+    for i in range(num_weak):
+        if i % 2:
+            documents.append(
+                (f"y-{i:05d}", f"maker {far} partnership {far} sports")
+            )
+        else:
+            pad = " ".join(f"p{i % 5}x{j}" for j in range(10))
+            documents.append(
+                (f"z-{i:05d}", f"vendor {pad} alliance sports story {pad}")
+            )
+    return documents
+
+
+def _p95_ms(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(0.95 * (len(ordered) - 1)))
+    return ordered[index] * 1000.0
+
+
+def measure_ask_latency(system, *, reps: int, warmup: int = 3):
+    """Per-ask latency samples plus the traversal counters."""
+    for _ in range(warmup):
+        for query in GROWTH_QUERIES:
+            system.ask(query, top_k=TOP_K)
+    samples: list[float] = []
+    with collect_join_stats() as stats:
+        for _ in range(reps):
+            for query in GROWTH_QUERIES:
+                started = time.perf_counter()
+                system.ask(query, top_k=TOP_K)
+                samples.append(time.perf_counter() - started)
+    return {
+        "p95_ms": _p95_ms(samples),
+        "mean_ms": statistics.fmean(samples) * 1000.0,
+        "asks": len(samples),
+        "stats": stats.snapshot(),
+    }
+
+
+def run_growth(*, docs_per_scale: int, reps: int):
+    """Measure both paths at every scale; return per-scale rows."""
+    rows = []
+    for scale in GROWTH_SCALES:
+        documents = build_growth_corpus(scale, docs_per_scale)
+        system = SearchSystem()
+        system.add_texts(documents)
+        system.build_pair_index(GROWTH_TERMS)
+        previous = os.environ.pop("REPRO_NO_DAAT", None)
+        try:
+            daat = measure_ask_latency(system, reps=reps)
+            os.environ["REPRO_NO_DAAT"] = "1"
+            baseline = measure_ask_latency(system, reps=reps)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_NO_DAAT", None)
+            else:
+                os.environ["REPRO_NO_DAAT"] = previous
+        rows.append(
+            {
+                "scale": scale,
+                "documents": len(documents),
+                "daat": daat,
+                "baseline": baseline,
+            }
+        )
+    return rows
+
+
+def evaluate_growth(rows):
+    """The acceptance verdict over the per-scale measurements."""
+    first, last = rows[0], rows[-1]
+    daat_growth = last["daat"]["p95_ms"] / max(first["daat"]["p95_ms"], 1e-9)
+    baseline_growth = last["baseline"]["p95_ms"] / max(
+        first["baseline"]["p95_ms"], 1e-9
+    )
+    skipped = sum(row["daat"]["stats"]["documents_pivot_skipped"] for row in rows)
+    pair_hits = sum(row["daat"]["stats"]["pair_index_hits"] for row in rows)
+    growth_ok = daat_growth <= ACCEPTANCE["max_daat_p95_growth"]
+    pruning_ok = skipped > 0 and pair_hits > 0
+    return {
+        "daat_p95_growth": daat_growth,
+        "baseline_p95_growth": baseline_growth,
+        "documents_pivot_skipped": skipped,
+        "pair_index_hits": pair_hits,
+        "growth_ok": growth_ok,
+        "pruning_ok": pruning_ok,
+        "passed": growth_ok and pruning_ok,
+    }
+
+
+def format_growth_report(rows, verdict, *, label: str) -> list[str]:
+    lines = [
+        f"corpus growth: DAAT sublinearity ({label}, top_k={TOP_K}, "
+        f"{len(GROWTH_QUERIES)} queries)",
+        "",
+        "%-8s %10s %14s %14s %16s %12s"
+        % ("docs", "path", "p95 ms", "mean ms", "pivot skipped", "pair hits"),
+    ]
+    for row in rows:
+        for path in ("daat", "baseline"):
+            result = row[path]
+            lines.append(
+                "%-8d %10s %14.3f %14.3f %16d %12d"
+                % (
+                    row["documents"],
+                    path,
+                    result["p95_ms"],
+                    result["mean_ms"],
+                    result["stats"]["documents_pivot_skipped"],
+                    result["stats"]["pair_index_hits"],
+                )
+            )
+    lines += [
+        "",
+        "daat p95 growth over %.0fx corpus: %.2fx (bar %.1fx)  %s"
+        % (
+            ACCEPTANCE["corpus_growth"],
+            verdict["daat_p95_growth"],
+            ACCEPTANCE["max_daat_p95_growth"],
+            "PASS" if verdict["growth_ok"] else "FAIL",
+        ),
+        "baseline p95 growth (REPRO_NO_DAAT=1, not gated): %.2fx"
+        % verdict["baseline_p95_growth"],
+        "pruning: %d pivots skipped, %d pair-index hits  %s"
+        % (
+            verdict["documents_pivot_skipped"],
+            verdict["pair_index_hits"],
+            "PASS" if verdict["pruning_ok"] else "FAIL",
+        ),
+    ]
+    return lines
+
+
+def quick_check() -> int:
+    rows = run_growth(docs_per_scale=60, reps=5)
+    verdict = evaluate_growth(rows)
+    for line in format_growth_report(rows, verdict, label="check corpus"):
+        print(line)
+    if not verdict["passed"]:
+        print("scalability check FAILED")
+        return 1
+    print("scalability check passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true", help="fast small-corpus gate pass"
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return quick_check()
+
+    rows = run_growth(docs_per_scale=200, reps=15)
+    verdict = evaluate_growth(rows)
+    lines = format_growth_report(rows, verdict, label="full corpus")
+    for line in lines:
+        print(line)
+    save_report("scalability_growth", "\n".join(lines))
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "benchmark": "scalability",
+                "acceptance": {**ACCEPTANCE, **verdict},
+                "results": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUTPUT}")
+    return 0 if verdict["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

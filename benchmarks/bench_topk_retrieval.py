@@ -5,10 +5,16 @@ co-location upper bound proves it without running their joins.  This
 benchmark compares full ranking against the skipping retrieval on the
 same corpus and asserts both the equivalence (spot-checked — the full
 property test lives in tests/) and that a substantial fraction of joins
-is skipped.
+is skipped.  Alongside the human-readable report it writes a
+machine-readable ``BENCH_topk_retrieval.json`` at the repository root
+(same shape as ``BENCH_service_throughput.json``: an ``acceptance``
+block plus measurements).
 """
 
+import json
+import pathlib
 import random
+import time
 
 import pytest
 
@@ -19,6 +25,9 @@ from repro.retrieval.ranking import rank_match_lists
 from repro.retrieval.topk_retrieval import rank_top_k
 
 from conftest import save_report
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_topk_retrieval.json"
 
 NUM_DOCS = 300
 
@@ -77,3 +86,32 @@ def test_topk_with_skipping(benchmark, corpus):
         f"({result.joins_skipped / result.documents_seen:.0%})",
     )
     assert result.joins_skipped > NUM_DOCS * 0.3
+
+    # Machine-readable drop: timed single passes of both loops.
+    started = time.perf_counter()
+    rank_match_lists(docs, query, scoring)
+    full_s = time.perf_counter() - started
+    started = time.perf_counter()
+    rank_top_k(docs, query, scoring, 10)
+    topk_s = time.perf_counter() - started
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "benchmark": "topk_retrieval",
+                "acceptance": {
+                    "min_skip_fraction": 0.3,
+                    "skip_fraction": result.joins_skipped / result.documents_seen,
+                    "passed": result.joins_skipped > NUM_DOCS * 0.3,
+                },
+                "results": {
+                    "documents": result.documents_seen,
+                    "joins_run": result.joins_run,
+                    "joins_skipped": result.joins_skipped,
+                    "full_ranking_s": full_s,
+                    "topk_skipping_s": topk_s,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )

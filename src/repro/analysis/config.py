@@ -166,6 +166,7 @@ class AnalysisConfig:
         "obs",
         "reliability",
         "cluster",
+        "retrieval",
         "system.py",
         "cli.py",
     )

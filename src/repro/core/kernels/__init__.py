@@ -9,6 +9,8 @@ from repro.core.kernels.columnar import (
     STATS,
     KernelStats,
     ListKernel,
+    bound_combine,
+    bound_transform,
     derive_kernels,
     kernels_enabled,
     lower,
@@ -32,6 +34,8 @@ __all__ = [
     "lower",
     "derive_kernels",
     "max_g_sum",
+    "bound_transform",
+    "bound_combine",
     "win_join_kernel",
     "med_join_kernel",
     "max_join_kernel",

@@ -56,6 +56,8 @@ __all__ = [
     "lower",
     "derive_kernels",
     "max_g_sum",
+    "bound_transform",
+    "bound_combine",
 ]
 
 # Per-list cap on cached kernels; evicts insertion-oldest beyond this.
@@ -247,6 +249,36 @@ def derive_kernels(parent: MatchList, child: MatchList, kept: Sequence[int]) -> 
     derived = {key: kernel.take(kept) for key, kernel in list(cache.items())}
     child._kernel_cache = derived
     STATS.derived += len(derived)
+
+
+def bound_transform(scoring: ScoringFunction, j: int, x: float) -> float:
+    """``g_j`` of a match score at distance zero — the bound's transform.
+
+    This is the value the top-k upper bound maximizes per list, and the
+    value the DAAT impact ceilings (:mod:`repro.index.cursors`) apply to
+    a posting's best expansion score.  MAX families evaluate the
+    distance argument with the float literal ``0.0``, mirroring
+    :func:`repro.retrieval.topk_retrieval.score_upper_bound` exactly so
+    bounds stay byte-identical between the paths.
+    """
+    if isinstance(scoring, (WinScoring, MedScoring)):
+        return scoring.g(j, x)
+    if isinstance(scoring, MaxScoring):
+        return scoring.g(j, x, 0.0)
+    raise ScoringContractError(
+        f"no upper bound rule for {type(scoring).__name__}"
+    )
+
+
+def bound_combine(scoring: ScoringFunction, total: float) -> float:
+    """``f`` applied to a bound total with every distance penalty at zero."""
+    if isinstance(scoring, WinScoring):
+        return scoring.f(total, 0.0)
+    if isinstance(scoring, (MedScoring, MaxScoring)):
+        return scoring.f(total)
+    raise ScoringContractError(
+        f"no upper bound rule for {type(scoring).__name__}"
+    )
 
 
 def max_g_sum(lists: Sequence[MatchList], scoring: ScoringFunction) -> float:

@@ -78,7 +78,7 @@ class MatchList(Sequence[Match]):
     helpers used by the join algorithms.
     """
 
-    __slots__ = ("_matches", "_locations", "term", "_kernel_cache")
+    __slots__ = ("_matches", "_locations", "term", "_kernel_cache", "_bound_cache")
 
     def __init__(
         self,
@@ -91,6 +91,10 @@ class MatchList(Sequence[Match]):
         # repro.core.kernels.columnar); sound because the list is
         # immutable.  Not part of equality or the hash.
         self._kernel_cache: dict | None = None
+        # Per-(scoring, term-index) memo of the object-path upper-bound
+        # maximum (max_m g_j(score(m))); kept separate from the kernel
+        # cache so bound memos can never evict a lowered kernel.
+        self._bound_cache: dict | None = None
         items = list(matches)
         for m in items:
             if not isinstance(m, Match):

@@ -1,8 +1,23 @@
 """Positional inverted index and concept-based match-list derivation."""
 
+from repro.index.cursors import Cursor, TermPostings, build_term_postings
 from repro.index.inverted import InvertedIndex
 from repro.index.io import load_index, save_index
 from repro.index.matchlists import ConceptIndex
+from repro.index.pairs import PairEntry, PairIndex, PairPosting, build_pair_index
 from repro.index.postings import PostingList
 
-__all__ = ["InvertedIndex", "ConceptIndex", "PostingList", "save_index", "load_index"]
+__all__ = [
+    "InvertedIndex",
+    "ConceptIndex",
+    "PostingList",
+    "save_index",
+    "load_index",
+    "TermPostings",
+    "Cursor",
+    "build_term_postings",
+    "PairIndex",
+    "PairEntry",
+    "PairPosting",
+    "build_pair_index",
+]

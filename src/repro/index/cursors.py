@@ -1,0 +1,191 @@
+"""Doc-id-ordered concept cursors with impact ceilings (DAAT support).
+
+The retrieval loop in :mod:`repro.retrieval.daat` traverses per-term
+streams instead of materializing a match list for every candidate
+document.  Its per-term structure is :class:`TermPostings`: for one
+concept, the sorted document ids containing *any* expansion lemma plus,
+per document, the best expansion score present there — everything a
+max-score bound needs, derived from posting membership alone (no
+positions, no per-location scoring, no :class:`~repro.core.match.Match`
+objects).
+
+Two bounds fall out of it:
+
+* the **impact ceiling** ``g_j(max_d best_score(d))`` — the largest
+  ``g``-contribution the term can make in *any* document (the per-list
+  max-score constant of Fagin-style threshold algorithms, cached per
+  scoring configuration like the columnar kernels' ``max_g``);
+* the per-document **membership bound** ``g_j(best_score(d))`` — the
+  largest contribution the term can make in document ``d``, from which
+  pivot documents are pruned before any match list exists.
+
+Both are sound because every match's score is the score of some
+expansion lemma present in the document, and every family's ``g`` is
+monotonically increasing in the match score (Definitions 3/5/7).
+
+:class:`TermPostings` objects are built once per index generation and
+cached by :meth:`repro.index.matchlists.ConceptIndex.term_postings`;
+:class:`Cursor` is a cheap doc-id-ordered view used per query.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING
+
+from repro.core.kernels.columnar import bound_transform
+from repro.core.scoring.base import ScoringFunction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.index.matchlists import ConceptIndex
+
+__all__ = ["TermPostings", "Cursor", "build_term_postings"]
+
+# Ceilings cached per TermPostings; a concept is normally bounded under
+# a handful of scoring configurations (mirrors the kernel-cache cap).
+_CEILING_CACHE_CAP = 8
+
+
+class TermPostings:
+    """One concept's document stream, best-present scores, and ceilings."""
+
+    __slots__ = (
+        "term",
+        "doc_ids",
+        "best_scores",
+        "max_score",
+        "_ceilings",
+        "_contributions",
+    )
+
+    def __init__(
+        self, term: str, best_scores: dict[str, float]
+    ) -> None:
+        self.term = term
+        #: Documents containing at least one expansion lemma, ascending.
+        self.doc_ids: tuple[str, ...] = tuple(sorted(best_scores))
+        #: doc id → best expansion score present in that document.
+        self.best_scores = best_scores
+        #: The largest best-present score over all documents.
+        self.max_score = max(best_scores.values()) if best_scores else 0.0
+        # (scoring kernel key, term index) → impact ceiling; entries for
+        # identity-keyed scorings hold the instance to pin its id().
+        self._ceilings: dict = {}
+        # Same keying → full ``doc id → g_j(best_score)`` impact map.
+        self._contributions: dict = {}
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    @property
+    def document_frequency(self) -> int:
+        return len(self.doc_ids)
+
+    def ceiling(self, scoring: ScoringFunction, j: int) -> float:
+        """``g_j(max_score)`` — the term's impact ceiling, cached.
+
+        An upper bound on the term's ``g``-contribution in any document
+        of this generation; the constant the DAAT loop sorts cursors by
+        and sums for its global early-exit threshold.
+        """
+        base = scoring.kernel_key()
+        key = ("@id", id(scoring), j) if base is None else (base, j)
+        found = self._ceilings.get(key)
+        if found is not None:
+            return found[1]
+        value = bound_transform(scoring, j, self.max_score)
+        if len(self._ceilings) >= _CEILING_CACHE_CAP:
+            try:
+                del self._ceilings[next(iter(self._ceilings))]
+            except (StopIteration, KeyError, RuntimeError):
+                pass
+        self._ceilings[key] = (scoring if base is None else None, value)
+        return value
+
+    def bound_contribution(
+        self, scoring: ScoringFunction, j: int, doc_id: str
+    ) -> float:
+        """``g_j(best_score(doc))`` — the per-document membership bound."""
+        return bound_transform(scoring, j, self.best_scores[doc_id])
+
+    def contributions(self, scoring: ScoringFunction, j: int) -> dict[str, float]:
+        """The whole ``doc id → g_j(best_score)`` impact map, cached.
+
+        Precomputed once per (scoring, term index) so the DAAT loop's
+        per-pivot membership bound is a dictionary lookup per term — no
+        ``g`` call, no dispatch — which is what keeps per-query latency
+        nearly flat as the weak tail of the corpus grows.
+        """
+        base = scoring.kernel_key()
+        key = ("@id", id(scoring), j) if base is None else (base, j)
+        found = self._contributions.get(key)
+        if found is not None:
+            return found[1]
+        impact = {
+            doc_id: bound_transform(scoring, j, best)
+            for doc_id, best in self.best_scores.items()
+        }
+        if len(self._contributions) >= _CEILING_CACHE_CAP:
+            try:
+                del self._contributions[next(iter(self._contributions))]
+            except (StopIteration, KeyError, RuntimeError):
+                pass
+        self._contributions[key] = (scoring if base is None else None, impact)
+        return impact
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TermPostings({self.term!r}, df={len(self.doc_ids)})"
+
+
+class Cursor:
+    """A doc-id-ordered cursor over one :class:`TermPostings`.
+
+    Supports the two motions the conjunctive pivot loop needs: read the
+    current document (``doc``) and ``seek`` forward to the first
+    document ``>= target`` (bisect from the current position, so a full
+    traversal is O(df · log df) worst case and O(df) when aligned).
+    """
+
+    __slots__ = ("postings", "j", "_pos")
+
+    def __init__(self, postings: TermPostings, j: int) -> None:
+        self.postings = postings
+        #: The term's index in the query (selects ``g_j``).
+        self.j = j
+        self._pos = 0
+
+    @property
+    def doc(self) -> str | None:
+        """The current document id, or None when exhausted."""
+        ids = self.postings.doc_ids
+        return ids[self._pos] if self._pos < len(ids) else None
+
+    def seek(self, target: str) -> str | None:
+        """Advance to the first document ``>= target``; return it."""
+        ids = self.postings.doc_ids
+        if self._pos < len(ids) and ids[self._pos] < target:
+            self._pos = bisect_left(ids, target, self._pos + 1)
+        return self.doc
+
+    def advance(self) -> str | None:
+        """Step past the current document; return the next one."""
+        self._pos += 1
+        return self.doc
+
+
+def build_term_postings(concepts: "ConceptIndex", term: str) -> TermPostings:
+    """Derive one concept's :class:`TermPostings` from the index.
+
+    Walks the concept's scored lexicon expansion; each lemma contributes
+    its phrase-document set, and a document keeps the best score among
+    the lemmas present in it — the membership-level counterpart of the
+    best-score-per-location rule in
+    :meth:`~repro.index.matchlists.ConceptIndex.match_list`.
+    """
+    best: dict[str, float] = {}
+    for words, score in concepts.expansion(term):
+        for doc_id in concepts.index.phrase_documents(words):
+            current = best.get(doc_id)
+            if current is None or score > current:
+                best[doc_id] = score
+    return TermPostings(term, best)

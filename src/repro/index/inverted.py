@@ -101,6 +101,20 @@ class InvertedIndex:
         """Posting list for a token (stemmed with the index's settings)."""
         return self._postings.get(self._key(token_text))
 
+    def frequent_tokens(self, n: int) -> list[str]:
+        """The ``n`` index keys with the highest document frequency.
+
+        Keys are the index's stemmed forms (ties: lexicographic) — the
+        default candidate vocabulary for the two-term proximity index
+        (:func:`repro.index.pairs.build_pair_index`), where the heaviest
+        posting intersections are the ones worth precomputing.
+        """
+        ranked = sorted(
+            self._postings.items(),
+            key=lambda item: (-item[1].document_frequency, item[0]),
+        )
+        return [token for token, _posting in ranked[:n]]
+
     def positions(self, token_text: str, doc_id: str) -> tuple[int, ...]:
         posting = self.postings(token_text)
         if posting is None:

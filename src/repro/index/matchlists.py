@@ -17,6 +17,7 @@ from __future__ import annotations
 import threading
 
 from repro.core.match import Match, MatchList
+from repro.index.cursors import TermPostings, build_term_postings
 from repro.index.inverted import InvertedIndex
 from repro.lexicon.graph import LexicalGraph
 from repro.lexicon.wordnet_like import (
@@ -51,6 +52,12 @@ class ConceptIndex:
         self._list_cache: dict[tuple[str, str], MatchList] = {}
         self._list_cache_generation: int | None = None
         self._list_cache_lock = threading.Lock()
+        # Generation-keyed concept -> TermPostings cache (DAAT cursors;
+        # see term_postings).  Separate lock: postings builds never nest
+        # inside the list-cache critical section.
+        self._postings_cache: dict[str, TermPostings] = {}
+        self._postings_cache_generation: int | None = None
+        self._postings_cache_lock = threading.Lock()
 
     # Bound on cached match lists; beyond it the oldest entries are
     # evicted FIFO (dicts preserve insertion order).
@@ -178,6 +185,29 @@ class ConceptIndex:
                 memo.setdefault(key, found)
             lists.append(found)
         return lists
+
+    def term_postings(self, concept: str, generation: int) -> TermPostings:
+        """The concept's DAAT posting structure for one index generation.
+
+        Built once per (concept, generation) and cached until the caller
+        reports a different generation — the same lifetime discipline as
+        the match-list cache, so cursors and impact ceilings can never
+        serve a stale corpus.  Derivation runs outside the lock (it reads
+        the whole posting structure); a racing duplicate build is
+        harmless and the first completed build wins.
+        """
+        with self._postings_cache_lock:
+            if self._postings_cache_generation != generation:
+                self._postings_cache.clear()
+                self._postings_cache_generation = generation
+            found = self._postings_cache.get(concept)
+        if found is not None:
+            return found
+        built = build_term_postings(self, concept)
+        with self._postings_cache_lock:
+            if self._postings_cache_generation == generation:
+                return self._postings_cache.setdefault(concept, built)
+        return built
 
     def candidate_documents(self, concepts: list[str]) -> list[str]:
         """Documents where *every* concept has at least one occurrence.

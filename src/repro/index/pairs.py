@@ -1,0 +1,191 @@
+"""Precomputed two-term proximity index (Veretennikov-style).
+
+For high-frequency term pairs — the stop-word-heavy queries whose
+posting intersections stay huge — the membership bound of
+:mod:`repro.index.cursors` cannot discriminate: every document contains
+both terms at full score, so nothing is pruned before materialization.
+What *does* discriminate is proximity, and proximity between two fixed
+terms can be precomputed.  Following Veretennikov ("Proximity Full-Text
+Search with a Response Time Guarantee by Means of Additional Indexes"),
+a :class:`PairIndex` stores, for a budgeted set of frequently
+co-occurring concept pairs and every document containing both:
+
+* ``min_gap`` — the smallest location distance between any occurrence
+  of the two concepts, from which the DAAT loop derives a *tighter*
+  per-document score bound (every matchset containing both terms pays
+  at least that much distance penalty); and
+* the two pre-joined per-document match lists, so that a surviving
+  pivot's materialization for those terms is a dictionary lookup
+  instead of a lexicon-expansion phrase scan.
+
+The index is built offline (:func:`build_pair_index`) under an explicit
+budget (``max_pairs`` pairs, ``max_entries`` document entries, pairs
+chosen by descending co-document-frequency) and is generation-stamped:
+consumers ignore an index built for a different corpus generation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, NamedTuple
+
+from repro.core.match import MatchList
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.index.matchlists import ConceptIndex
+
+__all__ = ["PairPosting", "PairEntry", "PairIndex", "build_pair_index"]
+
+
+class PairPosting(NamedTuple):
+    """One document's precomputed pair data."""
+
+    #: Smallest |loc_a − loc_b| over occurrences of the two concepts.
+    min_gap: int
+    #: Pre-joined match list of the first (lexicographically smaller) term.
+    list_a: MatchList
+    #: Pre-joined match list of the second term.
+    list_b: MatchList
+
+
+class PairEntry:
+    """All documents containing one indexed concept pair."""
+
+    __slots__ = ("a", "b", "docs")
+
+    def __init__(self, a: str, b: str, docs: dict[str, PairPosting]) -> None:
+        self.a = a
+        self.b = b
+        #: doc id → :class:`PairPosting`.
+        self.docs = docs
+
+    def __len__(self) -> int:
+        return len(self.docs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PairEntry({self.a!r}, {self.b!r}, docs={len(self.docs)})"
+
+
+def _min_gap(a: MatchList, b: MatchList) -> int:
+    """Smallest |la − lb| between two sorted location streams (O(n+m))."""
+    la, lb = a.locations, b.locations
+    i = j = 0
+    best = None
+    while i < len(la) and j < len(lb):
+        gap = la[i] - lb[j]
+        if gap < 0:
+            gap = -gap
+        if best is None or gap < best:
+            best = gap
+            if best == 0:
+                break
+        if la[i] <= lb[j]:
+            i += 1
+        else:
+            j += 1
+    assert best is not None, "pair postings require non-empty lists"
+    return best
+
+
+class PairIndex:
+    """A budgeted two-term proximity index over one corpus generation."""
+
+    __slots__ = ("generation", "_entries", "pairs_considered", "entries_stored")
+
+    def __init__(
+        self,
+        generation: int,
+        entries: dict[tuple[str, str], PairEntry],
+        *,
+        pairs_considered: int = 0,
+    ) -> None:
+        #: The ``SearchSystem.index_generation`` this index was built for.
+        self.generation = generation
+        self._entries = entries
+        #: Co-occurring pairs examined during the build (budget telemetry).
+        self.pairs_considered = pairs_considered
+        self.entries_stored = sum(len(e) for e in entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, a: str, b: str) -> PairEntry | None:
+        """The entry for an unordered concept pair, or None."""
+        return self._entries.get((a, b) if a <= b else (b, a))
+
+    def pairs(self) -> Iterable[tuple[str, str]]:
+        return self._entries.keys()
+
+    def stats(self) -> dict:
+        return {
+            "pairs_indexed": len(self._entries),
+            "pairs_considered": self.pairs_considered,
+            "entries_stored": self.entries_stored,
+            "generation": self.generation,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PairIndex(pairs={len(self._entries)}, "
+            f"entries={self.entries_stored}, gen={self.generation})"
+        )
+
+
+def build_pair_index(
+    concepts: "ConceptIndex",
+    terms: Iterable[str],
+    *,
+    generation: int,
+    max_pairs: int = 32,
+    min_pair_df: int = 2,
+    max_entries: int = 100_000,
+) -> PairIndex:
+    """Precompute pair postings for the heaviest co-occurring term pairs.
+
+    ``terms`` is the candidate vocabulary (typically the highest-df
+    concepts, or the terms of known hot queries).  Pairs are ranked by
+    co-document-frequency descending (ties: lexicographic) and indexed
+    until the ``max_pairs`` / ``max_entries`` budget is spent; pairs
+    co-occurring in fewer than ``min_pair_df`` documents are skipped —
+    the cap that keeps worst-case build cost proportional to the budget,
+    not to the vocabulary squared.
+    """
+    if max_pairs <= 0:
+        raise ValueError(f"max_pairs must be positive, got {max_pairs}")
+    vocabulary = sorted(dict.fromkeys(terms))
+    postings = {
+        term: concepts.term_postings(term, generation) for term in vocabulary
+    }
+    candidates: list[tuple[int, str, str, list[str]]] = []
+    for i, a in enumerate(vocabulary):
+        docs_a = postings[a].best_scores
+        if not docs_a:
+            continue
+        for b in vocabulary[i + 1:]:
+            docs_b = postings[b].best_scores
+            if len(docs_b) < len(docs_a):
+                co = [d for d in docs_b if d in docs_a]
+            else:
+                co = [d for d in docs_a if d in docs_b]
+            if len(co) >= min_pair_df:
+                candidates.append((len(co), a, b, co))
+    candidates.sort(key=lambda item: (-item[0], item[1], item[2]))
+
+    entries: dict[tuple[str, str], PairEntry] = {}
+    stored = 0
+    for co_df, a, b, co in candidates:
+        if len(entries) >= max_pairs:
+            break
+        if stored + co_df > max_entries:
+            # This pair alone busts the entry budget; smaller pairs
+            # further down the ranking may still fit.
+            continue
+        docs: dict[str, PairPosting] = {}
+        for doc_id in sorted(co):
+            list_a = concepts.match_list(a, doc_id)
+            list_b = concepts.match_list(b, doc_id)
+            docs[doc_id] = PairPosting(_min_gap(list_a, list_b), list_a, list_b)
+        entries[(a, b)] = PairEntry(a, b, docs)
+        stored += co_df
+    return PairIndex(
+        generation, entries, pairs_considered=len(candidates)
+    )

@@ -44,6 +44,7 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "ask",  # SearchSystem.ask / one query of ask_many
         "plan",  # query parse + matcher construction
         "rank",  # the ranking loop over candidate documents
+        "retrieval.pivot",  # the DAAT cursor/pivot loop of one ranking
         "scatter",  # cluster fan-out of one query to every live shard
         "shard",  # one shard RPC (child of scatter; finished by its I/O thread)
         "merge",  # threshold-algorithm merge of the shard k-best streams
@@ -79,6 +80,9 @@ COUNTER_SPECS: dict[str, tuple[str, str]] = {
     "joins_run": ("repro_joins_run_total", "Best-joins executed by the ranking loops"),
     "joins_skipped": ("repro_joins_skipped_total", "Candidates pruned by the upper-bound test"),
     "join_micros": ("repro_join_micros_total", "Microseconds spent inside best-join calls"),
+    "documents_scanned": ("repro_documents_scanned_total", "Candidate documents enumerated by the DAAT cursor loop"),
+    "documents_pivot_skipped": ("repro_documents_pivot_skipped_total", "Pivot documents pruned before match-list materialization"),
+    "pair_index_hits": ("repro_pair_index_hits_total", "Candidates served by the two-term proximity index"),
     "worker_restarts": ("repro_worker_restarts_total", "Workers respawned by the watchdog"),
     "workers_stalled": ("repro_workers_stalled_total", "Workers replaced after exceeding the stall timeout"),
     "retries_total": ("repro_retries_total", "Transient-failure retries of the exact join"),

@@ -1,5 +1,6 @@
 """Retrieval: ranking by best-matchset score, answer-rank evaluation, QA."""
 
+from repro.retrieval.daat import DaatResult, daat_enabled, rank_top_k_daat
 from repro.retrieval.evaluation import AnswerRank, answer_rank
 from repro.retrieval.fusion import FusedDocument, reciprocal_rank_fusion
 from repro.retrieval.topk_retrieval import TopKResult, rank_top_k, score_upper_bound
@@ -49,4 +50,7 @@ __all__ = [
     "TopKResult",
     "rank_top_k",
     "score_upper_bound",
+    "DaatResult",
+    "daat_enabled",
+    "rank_top_k_daat",
 ]

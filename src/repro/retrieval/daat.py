@@ -1,0 +1,362 @@
+"""Document-at-a-time max-score retrieval over per-term cursors.
+
+:func:`repro.retrieval.topk_retrieval.rank_top_k` already skips ~half of
+all best-*joins* with an O(|Q|) upper bound — but every candidate
+document is still *materialized* first: the offline path walks the full
+conjunctive candidate set and builds complete per-document match lists
+(lexicon expansion, positional phrase scans, per-location scoring,
+object allocation) before the bound ever runs, so per-query cost grows
+linearly with corpus size.  This module skips *documents*, not just
+joins, in the style of Fagin/Lotem/Naor's threshold algorithm and the
+WAND/max-score family:
+
+1. Each query term gets a doc-id-ordered cursor over its
+   :class:`~repro.index.cursors.TermPostings` (generation-keyed, built
+   once per corpus mutation), with a cached **impact ceiling** — the
+   largest ``g``-contribution the term can make anywhere.  Cursors are
+   sorted by ceiling, descending.
+2. A conjunctive **pivot loop** aligns the cursors: the pivot is the
+   largest current head, every cursor seeks to it, and documents that
+   cannot contain all terms are skipped wholesale without touching the
+   corpus.  Once the k-floor heap is full and the global ceiling sum
+   falls strictly below the floor, the loop terminates outright.
+3. Each aligned pivot is tested against the floor with the
+   **membership bound** (per-term best-present expansion scores, no
+   match lists), then — for indexed term pairs — the tighter
+   **pair-proximity bound** of :class:`~repro.index.pairs.PairIndex`.
+   Only surviving pivots get lexicon expansion, match-list
+   construction, the exact per-list bound, and the best-join.
+
+The result is byte-identical to :func:`rank_top_k` over the same
+candidates (same scores, same reversed-id-key tie discipline); the
+bounds only decide *when* a document can be rejected, never what a
+surviving document scores.  ``REPRO_NO_DAAT=1`` disables the path
+everywhere (``SearchSystem._rank`` falls back to the materialize-all
+pipeline) — the escape hatch the differential tests toggle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import time
+from dataclasses import dataclass
+
+from repro.core.api import best_matchset
+from repro.core.errors import ScoringContractError
+from repro.core.kernels.columnar import bound_combine
+from repro.core.query import Query
+from repro.core.scoring.base import (
+    MaxScoring,
+    MedScoring,
+    ScoringFunction,
+    WinScoring,
+)
+from repro.index.cursors import Cursor
+from repro.index.matchlists import ConceptIndex
+from repro.index.pairs import PairIndex, PairPosting
+from repro.obs.trace import NULL_SPAN, span as obs_span
+from repro.retrieval.instrumentation import current_join_stats
+from repro.retrieval.ranking import RankedDocument
+from repro.retrieval.topk_retrieval import (
+    TopKResult,
+    _id_key,
+    score_upper_bound,
+)
+
+__all__ = ["daat_enabled", "DaatResult", "rank_top_k_daat"]
+
+_DISABLING_VALUES = frozenset({"1", "true", "yes", "on"})
+
+
+def daat_enabled() -> bool:
+    """True unless ``REPRO_NO_DAAT`` selects the materialize-all path."""
+    return os.environ.get("REPRO_NO_DAAT", "").lower() not in _DISABLING_VALUES
+
+
+@dataclass
+class DaatResult(TopKResult):
+    """Top-k ranking plus the document-skipping statistics.
+
+    ``documents_seen`` counts aligned pivots (the conjunctive candidate
+    set actually enumerated); ``documents_pivot_skipped`` of those were
+    pruned before any match list was materialized; ``pair_index_hits``
+    counts pivots the two-term index supplied data for.
+    """
+
+    documents_pivot_skipped: int = 0
+    pair_index_hits: int = 0
+
+
+def _pair_bound(
+    scoring: ScoringFunction,
+    total: float,
+    doc: str,
+    postings: list,
+    contrib_maps: list[dict[str, float]],
+    applicable: list[tuple[int, int, PairPosting]],
+) -> float:
+    """A score upper bound tightened by precomputed pair proximity.
+
+    Any matchset contains a match for both terms of every applicable
+    pair, and those two matches are at least ``min_gap`` apart, so the
+    family's distance penalty cannot be zero:
+
+    * WIN — the window spans every pair, so it is at least the largest
+      ``min_gap``: ``f(Σ, δ)`` instead of ``f(Σ, 0)``.
+    * MED — the two distances to the median location sum to at least
+      ``δ``: ``f(Σ − δ)``.
+    * MAX — one of the two matches sits at distance ≥ ``δ/2`` from any
+      anchor, so one term's contribution decays: the bound takes the
+      better of the two cases, minimized over applicable pairs.
+
+    All three stay sound for *any* matchset the join could return, so
+    skipping below the floor preserves byte-identical results.
+    """
+    if isinstance(scoring, WinScoring):
+        delta = max(post.min_gap for _ja, _jb, post in applicable)
+        return scoring.f(total, float(delta))
+    if isinstance(scoring, MedScoring):
+        delta = max(post.min_gap for _ja, _jb, post in applicable)
+        return scoring.f(total - delta)
+    if isinstance(scoring, MaxScoring):
+        best = None
+        for ja, jb, post in applicable:
+            half = post.min_gap / 2.0
+            contrib_a = contrib_maps[ja][doc]
+            contrib_b = contrib_maps[jb][doc]
+            cap = max(
+                scoring.g(ja, postings[ja].best_scores[doc], half) + contrib_b,
+                contrib_a + scoring.g(jb, postings[jb].best_scores[doc], half),
+            )
+            bound = scoring.f(total - contrib_a - contrib_b + cap)
+            if best is None or bound < best:
+                best = bound
+        assert best is not None
+        return best
+    raise ScoringContractError(
+        f"no pair bound rule for {type(scoring).__name__}"
+    )
+
+
+def rank_top_k_daat(
+    concepts: ConceptIndex,
+    query: Query,
+    scoring: ScoringFunction,
+    k: int,
+    *,
+    generation: int,
+    avoid_duplicates: bool = True,
+    memo: dict | None = None,
+    pair_index: PairIndex | None = None,
+) -> DaatResult:
+    """The k best documents, traversing postings document-at-a-time.
+
+    Byte-identical to running :func:`rank_top_k` over the conjunctive
+    candidate stream of ``ConceptIndex.candidate_documents`` +
+    ``match_lists`` (same scores, same tie order), but documents whose
+    bounds cannot beat the k-floor are never materialized at all.
+
+    ``pair_index`` is consulted when its generation matches; a stale
+    index is ignored rather than trusted.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    terms = list(query)
+    postings = [concepts.term_postings(t, generation) for t in terms]
+    stats = current_join_stats()
+
+    with obs_span("retrieval.pivot", terms=len(terms), k=k) as sp:
+        if any(len(p) == 0 for p in postings):
+            # Conjunctive semantics: a term with no documents empties
+            # the candidate set.
+            return DaatResult([], 0, 0)
+
+        ceilings = [p.ceiling(scoring, j) for j, p in enumerate(postings)]
+        global_bound = bound_combine(scoring, sum(ceilings))
+        # Impact maps: doc id → g_j(best_score), precomputed per term so
+        # the per-pivot membership bound is |Q| dict lookups.
+        contrib_maps = [
+            p.contributions(scoring, j) for j, p in enumerate(postings)
+        ]
+        if isinstance(scoring, WinScoring):
+            combine = lambda t: scoring.f(t, 0.0)  # noqa: E731
+        else:  # MED and MAX combine with f(total) — see bound_combine.
+            combine = scoring.f
+        # Ceiling-ordered cursors: the highest-impact term leads the
+        # pivot loop, so the first seek of each round is the one whose
+        # posting stream moves the pivot furthest.
+        cursors = [Cursor(p, j) for j, p in enumerate(postings)]
+        cursors.sort(key=lambda c: (-ceilings[c.j], c.j))
+
+        if pair_index is not None and pair_index.generation != generation:
+            pair_index = None
+        pair_entries: list[tuple[int, int, object]] = []
+        if pair_index is not None and len(terms) >= 2:
+            for ja in range(len(terms)):
+                for jb in range(ja + 1, len(terms)):
+                    entry = pair_index.lookup(terms[ja], terms[jb])
+                    if entry is not None:
+                        pair_entries.append((ja, jb, entry))
+
+        floor: list[tuple[float, tuple[int, ...]]] = []
+        kept: dict[tuple[int, ...], RankedDocument] = {}
+        scanned = 0
+        joins = 0
+        bound_skips = 0
+        pivot_skips = 0
+        pair_hits = 0
+
+        lead = cursors[0]
+        doc = lead.doc
+        while doc is not None:
+            # -- pivot alignment: all cursors on one document ------------
+            aligned = True
+            for cursor in cursors[1:]:
+                got = cursor.seek(doc)
+                if got is None:
+                    doc = None
+                    aligned = False
+                    break
+                if got != doc:
+                    # Pivot-advance: the lead cursor jumps straight to
+                    # the blocking cursor's head; everything in between
+                    # cannot contain all terms.
+                    doc = lead.seek(got)
+                    aligned = False
+                    break
+            if not aligned:
+                if doc is None:
+                    break
+                continue
+
+            scanned += 1
+            key: tuple[int, ...] | None = None
+            applicable: list[tuple[int, int, PairPosting]] = []
+            if len(floor) == k:
+                weakest_score, weakest_key = floor[0]
+                if global_bound < weakest_score:
+                    # No document anywhere can beat the floor strictly;
+                    # remaining pivots are unscanned, not just skipped.
+                    break
+                total = 0.0
+                for impact in contrib_maps:
+                    total += impact[doc]
+                bound = combine(total)
+                skip = False
+                if bound < weakest_score:
+                    skip = True
+                elif bound == weakest_score:
+                    key = _id_key(doc)
+                    if key < weakest_key:
+                        skip = True
+                if not skip and pair_entries:
+                    for ja, jb, entry in pair_entries:
+                        post = entry.docs.get(doc)
+                        if post is not None:
+                            applicable.append((ja, jb, post))
+                    if applicable:
+                        pair_hits += 1
+                        bound = _pair_bound(
+                            scoring, total, doc, postings, contrib_maps, applicable
+                        )
+                        if bound < weakest_score:
+                            skip = True
+                        elif bound == weakest_score:
+                            if key is None:
+                                key = _id_key(doc)
+                            if key < weakest_key:
+                                skip = True
+                if skip:
+                    pivot_skips += 1
+                    bound_skips += 1
+                    doc = lead.advance()
+                    continue
+            elif pair_entries:
+                # Floor not full yet: the pair data cannot prune, but
+                # its pre-joined lists still serve materialization.
+                for ja, jb, entry in pair_entries:
+                    post = entry.docs.get(doc)
+                    if post is not None:
+                        applicable.append((ja, jb, post))
+                if applicable:
+                    pair_hits += 1
+
+            # -- surviving pivot: materialize + exact bound + join -------
+            doc_memo = memo
+            if applicable:
+                if doc_memo is None:
+                    doc_memo = {}
+                for ja, jb, post in applicable:
+                    doc_memo.setdefault((terms[ja], doc), post.list_a)
+                    doc_memo.setdefault((terms[jb], doc), post.list_b)
+            lists = concepts.match_lists(
+                terms, doc, memo=doc_memo, generation=generation
+            )
+            if len(floor) == k:
+                weakest_score, weakest_key = floor[0]
+                exact_bound = score_upper_bound(scoring, lists)
+                skip = False
+                if exact_bound < weakest_score:
+                    skip = True
+                elif exact_bound == weakest_score:
+                    if key is None:
+                        key = _id_key(doc)
+                    if key < weakest_key:
+                        skip = True
+                if skip:
+                    bound_skips += 1
+                    doc = lead.advance()
+                    continue
+            joins += 1
+            if stats is None:
+                result = best_matchset(
+                    query, lists, scoring, avoid_duplicates=avoid_duplicates
+                )
+            else:
+                started = time.perf_counter_ns()
+                result = best_matchset(
+                    query, lists, scoring, avoid_duplicates=avoid_duplicates
+                )
+                stats.join_ns += time.perf_counter_ns() - started
+            if result:
+                assert result.matchset is not None and result.score is not None
+                if key is None:
+                    key = _id_key(doc)
+                entry = (result.score, key)
+                if len(floor) < k:
+                    heapq.heappush(floor, entry)
+                    kept[key] = RankedDocument(
+                        doc, result.score, result.matchset, result.invocations
+                    )
+                elif entry > floor[0]:
+                    _old_score, old_key = heapq.heapreplace(floor, entry)
+                    del kept[old_key]
+                    kept[key] = RankedDocument(
+                        doc, result.score, result.matchset, result.invocations
+                    )
+            doc = lead.advance()
+
+        if stats is not None:
+            stats.joins_run += joins
+            stats.joins_skipped += bound_skips
+            stats.dedup_invocations += sum(r.invocations for r in kept.values())
+            stats.documents_scanned += scanned
+            stats.documents_pivot_skipped += pivot_skips
+            stats.pair_index_hits += pair_hits
+        if sp is not NULL_SPAN:
+            sp.set_tags(
+                documents_scanned=scanned,
+                documents_pivot_skipped=pivot_skips,
+                pair_index_hits=pair_hits,
+                joins_run=joins,
+            )
+
+        ranked = sorted(kept.values(), key=lambda r: (-r.score, r.doc_id))
+        return DaatResult(
+            ranked,
+            scanned,
+            joins,
+            documents_pivot_skipped=pivot_skips,
+            pair_index_hits=pair_hits,
+        )

@@ -16,7 +16,13 @@ the current thread; while it is active, the ranking loops add to it
 * ``join_ns`` — wall-clock nanoseconds spent inside best-join calls,
 * ``dedup_invocations`` — best-join invocations behind the kept
   results, counting the duplicate-elimination restarts of Section VI
-  (``RankedDocument.invocations`` summed over kept documents).
+  (``RankedDocument.invocations`` summed over kept documents),
+* ``documents_scanned`` — candidate documents enumerated by the DAAT
+  cursor loop (:mod:`repro.retrieval.daat`),
+* ``documents_pivot_skipped`` — pivot documents pruned by the
+  membership/pair bounds *before* match-list materialization,
+* ``pair_index_hits`` — candidate documents the two-term proximity
+  index supplied a tighter bound or pre-joined lists for.
 
 Collectors nest: on exit, an inner collector's totals are folded into
 the outer one, so a per-request measurement inside a per-process
@@ -36,7 +42,15 @@ __all__ = ["JoinStats", "collect_join_stats", "current_join_stats"]
 class JoinStats:
     """Mutable counters for one instrumentation scope."""
 
-    __slots__ = ("joins_run", "joins_skipped", "join_ns", "dedup_invocations")
+    __slots__ = (
+        "joins_run",
+        "joins_skipped",
+        "join_ns",
+        "dedup_invocations",
+        "documents_scanned",
+        "documents_pivot_skipped",
+        "pair_index_hits",
+    )
 
     def __init__(self) -> None:
         self.joins_run = 0
@@ -46,6 +60,10 @@ class JoinStats:
         # including the Section VI duplicate-elimination restarts
         # (``RankedDocument.invocations`` summed over kept documents).
         self.dedup_invocations = 0
+        # DAAT retrieval-path counters (zero on the materialize-all path).
+        self.documents_scanned = 0
+        self.documents_pivot_skipped = 0
+        self.pair_index_hits = 0
 
     @property
     def bound_skip_rate(self) -> float:
@@ -58,6 +76,9 @@ class JoinStats:
         self.joins_skipped += other.joins_skipped
         self.join_ns += other.join_ns
         self.dedup_invocations += other.dedup_invocations
+        self.documents_scanned += other.documents_scanned
+        self.documents_pivot_skipped += other.documents_pivot_skipped
+        self.pair_index_hits += other.pair_index_hits
 
     def snapshot(self) -> dict:
         return {
@@ -66,6 +87,9 @@ class JoinStats:
             "join_ns": self.join_ns,
             "dedup_invocations": self.dedup_invocations,
             "bound_skip_rate": self.bound_skip_rate,
+            "documents_scanned": self.documents_scanned,
+            "documents_pivot_skipped": self.documents_pivot_skipped,
+            "pair_index_hits": self.pair_index_hits,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

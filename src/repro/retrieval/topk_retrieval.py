@@ -25,15 +25,51 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.api import best_matchset
-from repro.core.errors import ScoringContractError
-from repro.core.kernels.columnar import kernels_enabled, max_g_sum
+from repro.core.kernels.columnar import (
+    bound_combine,
+    bound_transform,
+    kernels_enabled,
+    max_g_sum,
+)
 from repro.core.match import MatchList
 from repro.core.query import Query
-from repro.core.scoring.base import MaxScoring, MedScoring, ScoringFunction, WinScoring
+from repro.core.scoring.base import ScoringFunction
 from repro.retrieval.instrumentation import current_join_stats
 from repro.retrieval.ranking import RankedDocument
 
 __all__ = ["score_upper_bound", "TopKResult", "rank_top_k"]
+
+# Bound memos cached per match list; a list is normally bounded under a
+# handful of scoring configurations (mirrors the kernel-cache cap).
+_BOUND_CACHE_CAP = 8
+
+
+def _list_bound_max(lst: MatchList, scoring: ScoringFunction, j: int) -> float:
+    """``max_m g_j(score(m))`` over one list, memoized (object path).
+
+    The memo lives on the (immutable) match list itself, keyed like the
+    kernel cache: by :meth:`ScoringFunction.kernel_key` when available,
+    falling back to instance identity (the scoring object is held in the
+    entry so its ``id()`` cannot be recycled into a colliding key).
+    After warmup both upper-bound paths are O(|Q|) per candidate.
+    """
+    base = scoring.kernel_key()
+    key = ("@id", id(scoring), j) if base is None else (base, j)
+    cache = lst._bound_cache
+    if cache is None:
+        cache = lst._bound_cache = {}
+    else:
+        found = cache.get(key)
+        if found is not None:
+            return found[1]
+    best = max(bound_transform(scoring, j, m.score) for m in lst)
+    if len(cache) >= _BOUND_CACHE_CAP:
+        try:
+            del cache[next(iter(cache))]
+        except (StopIteration, KeyError, RuntimeError):  # concurrent evictions
+            pass
+    cache[key] = (scoring if base is None else None, best)
+    return best
 
 
 def score_upper_bound(
@@ -45,35 +81,28 @@ def score_upper_bound(
     before bounding.
 
     On the kernel path each list's ``max_j g_j`` is a constant cached on
-    the columnar lowering (:mod:`repro.core.kernels`), so after the first
-    call per (list, scoring) pair the bound is an O(|Q|) sum — the
-    per-attribute max-score precomputation of Fagin-style threshold
+    the columnar lowering (:mod:`repro.core.kernels`); on the object path
+    (``REPRO_NO_KERNELS=1``) the same constant is memoized per
+    (list, scoring, term index) on the list itself.  Either way, after
+    the first call per (list, scoring) pair the bound is an O(|Q|) sum —
+    the per-attribute max-score precomputation of Fagin-style threshold
     algorithms — instead of an O(Σ|L_j|) rescan per candidate document.
     """
     if kernels_enabled():
-        if isinstance(scoring, WinScoring):
-            return scoring.f(max_g_sum(lists, scoring), 0.0)
-        if isinstance(scoring, (MedScoring, MaxScoring)):
-            return scoring.f(max_g_sum(lists, scoring))
-    if isinstance(scoring, WinScoring):
-        total = sum(
-            max(scoring.g(j, m.score) for m in lst) for j, lst in enumerate(lists)
-        )
-        return scoring.f(total, 0.0)
-    if isinstance(scoring, MedScoring):
-        total = sum(
-            max(scoring.g(j, m.score) for m in lst) for j, lst in enumerate(lists)
-        )
-        return scoring.f(total)
-    if isinstance(scoring, MaxScoring):
-        total = sum(
-            max(scoring.g(j, m.score, 0.0) for m in lst)
-            for j, lst in enumerate(lists)
-        )
-        return scoring.f(total)
-    raise ScoringContractError(
-        f"no upper bound rule for {type(scoring).__name__}"
-    )
+        return bound_combine(scoring, max_g_sum(lists, scoring))
+    total = sum(_list_bound_max(lst, scoring, j) for j, lst in enumerate(lists))
+    return bound_combine(scoring, total)
+
+
+def _id_key(doc_id: str) -> tuple[int, ...]:
+    """Reverse-lexicographic doc-id key for the floor heap.
+
+    Reversed so the heap evicts the tie with the *largest* doc id first
+    (output prefers smaller ids on ties).  Module-level — shared by
+    :func:`rank_top_k` and the DAAT loop (:mod:`repro.retrieval.daat`),
+    and computed at most once per surviving document.
+    """
+    return tuple(255 - b for b in doc_id.encode())
 
 
 @dataclass
@@ -117,11 +146,6 @@ def rank_top_k(
     bound_skips = 0
     stats = current_join_stats()
 
-    def id_key(doc_id: str) -> tuple[int, ...]:
-        # Reverse lexicographic so the heap evicts the tie with the
-        # *largest* doc id first (output prefers smaller ids on ties).
-        return tuple(255 - b for b in doc_id.encode())
-
     for doc_id, lists in per_document_lists:
         seen += 1
         if any(len(lst) == 0 for lst in lists):
@@ -134,7 +158,7 @@ def rank_top_k(
                 bound_skips += 1
                 continue  # provably outside the top k
             if bound == weakest_score:
-                key = id_key(doc_id)
+                key = _id_key(doc_id)
                 if key < weakest_key:
                     bound_skips += 1
                     continue
@@ -153,7 +177,7 @@ def rank_top_k(
             continue
         assert result.matchset is not None and result.score is not None
         if key is None:
-            key = id_key(doc_id)
+            key = _id_key(doc_id)
         entry = (result.score, key)
         if len(floor) < k:
             heapq.heappush(floor, entry)

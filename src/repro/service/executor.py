@@ -891,6 +891,11 @@ class QueryExecutor:
             self.metrics.increment("joins_skipped", join_stats.joins_skipped)
             self.metrics.increment("join_micros", join_stats.join_ns // 1000)
             self.metrics.increment("joins_executed", len(group))
+            self.metrics.increment("documents_scanned", join_stats.documents_scanned)
+            self.metrics.increment(
+                "documents_pivot_skipped", join_stats.documents_pivot_skipped
+            )
+            self.metrics.increment("pair_index_hits", join_stats.pair_index_hits)
             for request, join_span in zip(group, spans):
                 request.trace.pop()
                 request.join_s = elapsed

@@ -35,6 +35,7 @@ from repro.extraction.extractor import Extraction, MatchsetExtractor
 from repro.index.inverted import InvertedIndex
 from repro.index.io import index_from_dict, index_to_dict
 from repro.index.matchlists import ConceptIndex
+from repro.index.pairs import PairIndex, build_pair_index
 from repro.lexicon.graph import LexicalGraph
 from repro.matching.pipeline import QueryMatcher
 from repro.matching.queries import parse_query
@@ -42,6 +43,7 @@ from repro.matching.semantic import SemanticMatcher
 from repro.obs.trace import NULL_SPAN, span as obs_span, use_trace
 from repro.retrieval.instrumentation import collect_join_stats
 from repro.reliability.snapshot import read_snapshot, write_snapshot
+from repro.retrieval.daat import daat_enabled, rank_top_k_daat
 from repro.retrieval.ranking import RankedDocument, rank_match_lists
 from repro.retrieval.topk_retrieval import rank_top_k
 from repro.text.document import Corpus, Document
@@ -73,6 +75,9 @@ class SearchSystem:
         self.index = InvertedIndex()
         self._concepts = ConceptIndex(self.index, lexicon=lexicon)
         self._generation = 0
+        # Optional two-term proximity index (build_pair_index); consulted
+        # by the DAAT path only while its generation matches.
+        self._pair_index: PairIndex | None = None
 
     # -- corpus management ---------------------------------------------------
 
@@ -105,6 +110,38 @@ class SearchSystem:
         self.corpus.remove(doc_id)
         self.index.remove_document(doc_id)
         self._generation += 1
+
+    def build_pair_index(
+        self,
+        terms: Iterable[str] | None = None,
+        *,
+        max_pairs: int = 32,
+        min_pair_df: int = 2,
+        max_entries: int = 100_000,
+    ) -> PairIndex:
+        """Precompute the two-term proximity index for the current corpus.
+
+        ``terms`` is the candidate vocabulary — pass the terms of known
+        hot queries for best effect; by default the ``2 · max_pairs``
+        highest-document-frequency index keys are used (stemmed forms,
+        which match query terms whose stem equals the surface form).
+        The index is generation-stamped: it accelerates the DAAT path
+        until the corpus next changes, after which it is ignored (never
+        wrong) until rebuilt.  Budget caps (``max_pairs``,
+        ``max_entries``) bound the offline cost; see
+        :func:`repro.index.pairs.build_pair_index`.
+        """
+        if terms is None:
+            terms = self.index.frequent_tokens(2 * max_pairs)
+        self._pair_index = build_pair_index(
+            self._concepts,
+            terms,
+            generation=self._generation,
+            max_pairs=max_pairs,
+            min_pair_df=min_pair_df,
+            max_entries=max_entries,
+        )
+        return self._pair_index
 
     def __len__(self) -> int:
         return len(self.corpus)
@@ -157,17 +194,36 @@ class SearchSystem:
     ) -> list[RankedDocument]:
         """Rank one planned query, bound-skipping when top_k allows it.
 
-        With a ``top_k`` and a boundable scoring family the WAND-style
-        :func:`rank_top_k` loop is used: documents whose cached max-score
-        bound cannot beat the current k-floor are skipped without running
-        a join.  The result is provably identical to the heap-select in
-        :func:`rank_match_lists` (same scores, same tie order).
+        With a ``top_k`` and a boundable scoring family the offline path
+        runs the DAAT max-score loop (:func:`rank_top_k_daat`): per-term
+        cursors are aligned on conjunctive pivots and documents whose
+        membership/pair bounds cannot beat the current k-floor are never
+        materialized at all.  ``REPRO_NO_DAAT=1`` (or an online matcher)
+        falls back to the materialize-all stream through the WAND-style
+        :func:`rank_top_k`.  All paths are provably identical to the
+        heap-select in :func:`rank_match_lists` (same scores, same tie
+        order).
         """
-        per_doc = self._per_document_lists(query, matcher, memo=memo)
         bounded = isinstance(scoring, (WinScoring, MedScoring, MaxScoring))
+        wants_top_k = top_k is not None and top_k > 0 and bounded
+        use_daat = wants_top_k and matcher is None and daat_enabled()
+
+        def run_daat() -> list[RankedDocument]:
+            pair_index = self._pair_index
+            assert top_k is not None
+            return rank_top_k_daat(
+                self._concepts,
+                query,
+                scoring,
+                top_k,
+                generation=self._generation,
+                avoid_duplicates=avoid_duplicates,
+                memo=memo,
+                pair_index=pair_index,
+            ).ranked
 
         def run(source) -> list[RankedDocument]:
-            if top_k is not None and top_k > 0 and bounded:
+            if wants_top_k:
                 return rank_top_k(
                     source, query, scoring, top_k, avoid_duplicates=avoid_duplicates
                 ).ranked
@@ -181,9 +237,28 @@ class SearchSystem:
             top_k=top_k,
             avoid_duplicates=avoid_duplicates,
             bounded=bounded,
+            path="daat" if use_daat else "scan",
         ) as sp:
             if sp is NULL_SPAN:
-                return run(per_doc)
+                if use_daat:
+                    return run_daat()
+                return run(self._per_document_lists(query, matcher, memo=memo))
+            if use_daat:
+                # The DAAT loop reports its own traversal counters; the
+                # per-term position tally only exists where lists are
+                # materialized for every candidate.
+                with collect_join_stats() as stats:
+                    ranked = run_daat()
+                sp.set_tags(
+                    candidates=stats.documents_scanned,
+                    joins_run=stats.joins_run,
+                    joins_skipped=stats.joins_skipped,
+                    join_us=stats.join_ns // 1000,
+                    dedup_invocations=stats.dedup_invocations,
+                    documents_pivot_skipped=stats.documents_pivot_skipped,
+                    pair_index_hits=stats.pair_index_hits,
+                )
+                return ranked
             # Recording: count candidates and per-term list sizes on the
             # way through (the generator is consumed exactly once by the
             # ranking loop), and scope the join counters to this span.
@@ -204,7 +279,7 @@ class SearchSystem:
                         term_positions[name] = term_positions.get(name, 0) + len(lst)
                     yield doc_id, lists
 
-            source_iter = per_doc
+            source_iter = self._per_document_lists(query, matcher, memo=memo)
             with collect_join_stats() as stats:
                 ranked = run(counted())
             sp.set_tags(

@@ -1,0 +1,105 @@
+"""TermPostings/Cursor: the DAAT per-term structures."""
+
+import pytest
+
+from repro.core.kernels.columnar import bound_transform
+from repro.core.scoring.presets import trec_max, trec_med, trec_win
+from repro.index.cursors import Cursor, TermPostings, build_term_postings
+from repro.system import SearchSystem
+
+
+@pytest.fixture(scope="module")
+def system():
+    built = SearchSystem()
+    built.add_texts(
+        [
+            ("a-1", "maker partnership announced"),
+            ("a-2", "a manufacturer and an alliance"),  # synonyms only
+            ("a-3", "partnership texts without the other concept"),
+            ("a-4", "maker maker maker repeated"),
+        ]
+    )
+    return built
+
+
+def test_build_term_postings_membership_and_scores(system):
+    postings = build_term_postings(system._concepts, "maker")
+    # Exact term scores 1.0; a synonym-only document keeps the best
+    # present expansion score (manufacturer = one lexicon edge = 0.7).
+    assert postings.best_scores["a-1"] == 1.0
+    assert postings.best_scores["a-4"] == 1.0
+    assert postings.best_scores["a-2"] == pytest.approx(0.7)
+    assert "a-3" not in postings.best_scores
+    assert postings.doc_ids == tuple(sorted(postings.best_scores))
+    assert postings.max_score == 1.0
+    assert postings.document_frequency == len(postings.doc_ids)
+
+
+def test_term_postings_agrees_with_match_lists(system):
+    # Membership parity: the postings contain exactly the documents
+    # where the concept's match list is non-empty, and the best score
+    # equals the best match score — the invariant the membership bound's
+    # soundness rests on.
+    concepts = system._concepts
+    for term in ("maker", "partnership"):
+        postings = build_term_postings(concepts, term)
+        for doc in system.corpus:
+            lst = concepts.match_list(term, doc.doc_id)
+            if len(lst):
+                best = max(m.score for m in lst)
+                assert postings.best_scores[doc.doc_id] == pytest.approx(best)
+            else:
+                assert doc.doc_id not in postings.best_scores
+
+
+@pytest.mark.parametrize("preset", [trec_max, trec_med, trec_win])
+def test_ceiling_and_contribution_match_bound_transform(system, preset):
+    scoring = preset()
+    postings = build_term_postings(system._concepts, "maker")
+    expected = bound_transform(scoring, 0, postings.max_score)
+    assert postings.ceiling(scoring, 0) == expected
+    # Cached: second call returns the same value.
+    assert postings.ceiling(scoring, 0) == expected
+    for doc_id, best in postings.best_scores.items():
+        contribution = postings.bound_contribution(scoring, 0, doc_id)
+        assert contribution == bound_transform(scoring, 0, best)
+        assert contribution <= postings.ceiling(scoring, 0)
+
+
+def test_ceiling_cache_distinguishes_term_index(system):
+    scoring = trec_win()  # g divides by the per-term weight: j matters
+    postings = TermPostings("t", {"d": 0.6})
+    assert postings.ceiling(scoring, 0) == bound_transform(scoring, 0, 0.6)
+    assert postings.ceiling(scoring, 1) == bound_transform(scoring, 1, 0.6)
+
+
+def test_cursor_traversal_and_seek():
+    postings = TermPostings("t", {f"d-{i:02d}": 1.0 for i in (1, 3, 5, 7)})
+    cursor = Cursor(postings, 0)
+    assert cursor.doc == "d-01"
+    # Seek to a present id lands on it; to a missing id lands on the
+    # next greater one; never moves backwards.
+    assert cursor.seek("d-03") == "d-03"
+    assert cursor.seek("d-04") == "d-05"
+    assert cursor.seek("d-01") == "d-05"
+    assert cursor.advance() == "d-07"
+    assert cursor.seek("d-99") is None
+    assert cursor.doc is None
+    assert cursor.advance() is None
+
+
+def test_empty_postings_cursor():
+    cursor = Cursor(TermPostings("t", {}), 0)
+    assert cursor.doc is None
+    assert cursor.seek("anything") is None
+
+
+def test_concept_index_postings_cache_is_generation_keyed(system):
+    concepts = system._concepts
+    generation = system.index_generation
+    first = concepts.term_postings("maker", generation)
+    assert concepts.term_postings("maker", generation) is first
+    # A new generation drops the cache and rebuilds.
+    rebuilt = concepts.term_postings("maker", generation + 1)
+    assert rebuilt is not first
+    assert rebuilt.best_scores == first.best_scores

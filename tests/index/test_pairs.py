@@ -1,0 +1,127 @@
+"""PairIndex: budgeted two-term proximity precomputation."""
+
+import pytest
+
+from repro.index.pairs import _min_gap, build_pair_index
+from repro.system import SearchSystem
+
+
+def build_system(documents):
+    system = SearchSystem()
+    system.add_texts(documents)
+    return system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system(
+        [
+            ("d-1", "alpha beta together"),
+            ("d-2", "alpha " + " ".join(f"w{i}" for i in range(10)) + " beta"),
+            ("d-3", "alpha gamma and beta gamma"),
+            ("d-4", "gamma alone here"),
+        ]
+    )
+
+
+def test_min_gap_is_the_smallest_location_distance(system):
+    concepts = system._concepts
+    gap_close = _min_gap(
+        concepts.match_list("alpha", "d-1"), concepts.match_list("beta", "d-1")
+    )
+    gap_far = _min_gap(
+        concepts.match_list("alpha", "d-2"), concepts.match_list("beta", "d-2")
+    )
+    assert gap_close == 1
+    assert gap_far == 11
+
+
+def test_build_and_lookup(system):
+    index = build_pair_index(
+        system._concepts,
+        ["alpha", "beta", "gamma"],
+        generation=system.index_generation,
+    )
+    entry = index.lookup("alpha", "beta")
+    assert entry is not None
+    # Order-normalized: both orders find the same entry.
+    assert index.lookup("beta", "alpha") is entry
+    assert set(entry.docs) == {"d-1", "d-2", "d-3"}
+    posting = entry.docs["d-1"]
+    assert posting.min_gap == 1
+    # The stored lists are the real pre-joined match lists.
+    assert posting.list_a.term == "alpha"
+    assert posting.list_b.term == "beta"
+    assert len(posting.list_a) and len(posting.list_b)
+    assert index.lookup("alpha", "missing") is None
+    stats = index.stats()
+    assert stats["generation"] == system.index_generation
+    assert stats["entries_stored"] == index.entries_stored
+
+
+def test_min_pair_df_filters_rare_pairs(system):
+    # alpha+gamma co-occur only in d-3: below min_pair_df=2.
+    index = build_pair_index(
+        system._concepts,
+        ["alpha", "beta", "gamma"],
+        generation=system.index_generation,
+        min_pair_df=2,
+    )
+    assert index.lookup("alpha", "gamma") is None
+    assert index.lookup("alpha", "beta") is not None
+
+
+def test_max_pairs_budget_keeps_heaviest_pairs(system):
+    index = build_pair_index(
+        system._concepts,
+        ["alpha", "beta", "gamma"],
+        generation=system.index_generation,
+        min_pair_df=1,
+        max_pairs=1,
+    )
+    # One slot: the highest-co-df pair (alpha, beta — 3 docs) wins.
+    assert len(index) == 1
+    assert index.lookup("alpha", "beta") is not None
+    assert index.pairs_considered >= 1
+
+
+def test_max_entries_budget_stops_storage():
+    system = build_system(
+        [(f"d-{i}", "alpha beta") for i in range(10)]
+        + [("e-1", "alpha gamma"), ("e-2", "alpha gamma")]
+    )
+    index = build_pair_index(
+        system._concepts,
+        ["alpha", "beta", "gamma"],
+        generation=system.index_generation,
+        min_pair_df=1,
+        max_entries=5,
+    )
+    # alpha+beta (co-df 10) busts the entry budget; alpha+gamma (2) fits.
+    assert index.lookup("alpha", "beta") is None
+    assert index.lookup("alpha", "gamma") is not None
+    assert index.entries_stored <= 5
+
+
+def test_build_pair_index_rejects_bad_budget(system):
+    with pytest.raises(ValueError):
+        build_pair_index(
+            system._concepts, ["alpha"], generation=0, max_pairs=0
+        )
+
+
+def test_system_build_pair_index_defaults():
+    system = build_system(
+        [
+            ("d-1", "alpha beta alpha beta"),
+            ("d-2", "alpha beta again"),
+            ("d-3", "alpha beta third"),
+        ]
+    )
+    index = system.build_pair_index()
+    assert index is system._pair_index
+    assert index.generation == system.index_generation
+    assert len(index) >= 1
+    # Corpus mutation outdates the index (consumers must ignore it).
+    system.add_texts([("d-4", "alpha beta fourth")])
+    assert index.generation != system.index_generation
