@@ -34,6 +34,8 @@ def _default_lock_order() -> list[LockName]:
         ("FaultRegistry", "_lock"),
         ("ResultCache", "_lock"),
         ("ConceptIndex", "_list_cache_lock"),
+        ("ConceptIndex", "_postings_cache_lock"),
+        ("TermPostings", "_cache_lock"),
         ("ServiceMetrics", "_lock"),
         ("LatencyReservoir", "_lock"),
         ("MetricsRegistry", "_lock"),

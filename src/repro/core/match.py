@@ -94,6 +94,8 @@ class MatchList(Sequence[Match]):
         # Per-(scoring, term-index) memo of the object-path upper-bound
         # maximum (max_m g_j(score(m))); kept separate from the kernel
         # cache so bound memos can never evict a lowered kernel.
+        # Mutated only under repro.retrieval.topk_retrieval's module
+        # bound-cache lock (lists are shared across serving threads).
         self._bound_cache: dict | None = None
         items = list(matches)
         for m in items:

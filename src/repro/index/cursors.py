@@ -30,6 +30,7 @@ cached by :meth:`repro.index.matchlists.ConceptIndex.term_postings`;
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import TYPE_CHECKING
 
@@ -56,6 +57,7 @@ class TermPostings:
         "max_score",
         "_ceilings",
         "_contributions",
+        "_cache_lock",
     )
 
     def __init__(
@@ -73,6 +75,11 @@ class TermPostings:
         self._ceilings: dict = {}
         # Same keying → full ``doc id → g_j(best_score)`` impact map.
         self._contributions: dict = {}
+        # TermPostings objects are cached on ConceptIndex and shared
+        # across serving threads; both memos mutate under this lock
+        # (values are computed outside it — a racing duplicate build is
+        # harmless and deterministic, the first stored entry wins).
+        self._cache_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.doc_ids)
@@ -90,16 +97,18 @@ class TermPostings:
         """
         base = scoring.kernel_key()
         key = ("@id", id(scoring), j) if base is None else (base, j)
-        found = self._ceilings.get(key)
+        with self._cache_lock:
+            found = self._ceilings.get(key)
         if found is not None:
             return found[1]
         value = bound_transform(scoring, j, self.max_score)
-        if len(self._ceilings) >= _CEILING_CACHE_CAP:
-            try:
+        with self._cache_lock:
+            found = self._ceilings.get(key)
+            if found is not None:
+                return found[1]
+            if len(self._ceilings) >= _CEILING_CACHE_CAP:
                 del self._ceilings[next(iter(self._ceilings))]
-            except (StopIteration, KeyError, RuntimeError):
-                pass
-        self._ceilings[key] = (scoring if base is None else None, value)
+            self._ceilings[key] = (scoring if base is None else None, value)
         return value
 
     def bound_contribution(
@@ -118,19 +127,21 @@ class TermPostings:
         """
         base = scoring.kernel_key()
         key = ("@id", id(scoring), j) if base is None else (base, j)
-        found = self._contributions.get(key)
+        with self._cache_lock:
+            found = self._contributions.get(key)
         if found is not None:
             return found[1]
         impact = {
             doc_id: bound_transform(scoring, j, best)
             for doc_id, best in self.best_scores.items()
         }
-        if len(self._contributions) >= _CEILING_CACHE_CAP:
-            try:
+        with self._cache_lock:
+            found = self._contributions.get(key)
+            if found is not None:
+                return found[1]
+            if len(self._contributions) >= _CEILING_CACHE_CAP:
                 del self._contributions[next(iter(self._contributions))]
-            except (StopIteration, KeyError, RuntimeError):
-                pass
-        self._contributions[key] = (scoring if base is None else None, impact)
+            self._contributions[key] = (scoring if base is None else None, impact)
         return impact
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

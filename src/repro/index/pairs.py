@@ -145,9 +145,14 @@ def build_pair_index(
     concepts, or the terms of known hot queries).  Pairs are ranked by
     co-document-frequency descending (ties: lexicographic) and indexed
     until the ``max_pairs`` / ``max_entries`` budget is spent; pairs
-    co-occurring in fewer than ``min_pair_df`` documents are skipped —
-    the cap that keeps worst-case build cost proportional to the budget,
-    not to the vocabulary squared.
+    co-occurring in fewer than ``min_pair_df`` documents are skipped.
+
+    The budget caps *storage*, not discovery: ranking candidates means
+    intersecting every vocabulary pair whose document frequencies could
+    clear ``min_pair_df``, so build cost is O(|terms|² · df) worst case
+    (each intersection bounded by the smaller document frequency).
+    Callers bound build time by keeping ``terms`` to a budgeted hot set
+    — this is an offline build, never a serving-path operation.
     """
     if max_pairs <= 0:
         raise ValueError(f"max_pairs must be positive, got {max_pairs}")
@@ -158,10 +163,14 @@ def build_pair_index(
     candidates: list[tuple[int, str, str, list[str]]] = []
     for i, a in enumerate(vocabulary):
         docs_a = postings[a].best_scores
-        if not docs_a:
+        if not docs_a or len(docs_a) < min_pair_df:
+            # Co-df is bounded by either term's df: skip the whole row
+            # (and below, the column) without intersecting anything.
             continue
         for b in vocabulary[i + 1:]:
             docs_b = postings[b].best_scores
+            if not docs_b or len(docs_b) < min_pair_df:
+                continue
             if len(docs_b) < len(docs_a):
                 co = [d for d in docs_b if d in docs_a]
             else:

@@ -197,7 +197,16 @@ def rank_top_k_daat(
                 for jb in range(ja + 1, len(terms)):
                     entry = pair_index.lookup(terms[ja], terms[jb])
                     if entry is not None:
-                        pair_entries.append((ja, jb, entry))
+                        # Orient (ja, jb) to entry order: list_a/list_b
+                        # are stored by lexicographic term order, not
+                        # query order, and the memo seeding below must
+                        # hand each term its own pre-joined list.  The
+                        # pair bound is symmetric in (ja, jb), so the
+                        # swap cannot change any score.
+                        if terms[ja] == entry.a:
+                            pair_entries.append((ja, jb, entry))
+                        else:
+                            pair_entries.append((jb, ja, entry))
 
         floor: list[tuple[float, tuple[int, ...]]] = []
         kept: dict[tuple[int, ...], RankedDocument] = {}

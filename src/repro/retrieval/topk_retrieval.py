@@ -20,6 +20,7 @@ the returned statistics report how many joins the bound avoided.
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -43,6 +44,12 @@ __all__ = ["score_upper_bound", "TopKResult", "rank_top_k"]
 # handful of scoring configurations (mirrors the kernel-cache cap).
 _BOUND_CACHE_CAP = 8
 
+# Match lists are cached on ConceptIndex and shared across serving
+# threads; every mutation of a list's bound memo is serialized here.
+# One module lock (not per-list): the memo is written at most
+# _BOUND_CACHE_CAP times per list, so contention is cold-path only.
+_BOUND_CACHE_LOCK = threading.Lock()
+
 
 def _list_bound_max(lst: MatchList, scoring: ScoringFunction, j: int) -> float:
     """``max_m g_j(score(m))`` over one list, memoized (object path).
@@ -52,23 +59,29 @@ def _list_bound_max(lst: MatchList, scoring: ScoringFunction, j: int) -> float:
     falling back to instance identity (the scoring object is held in the
     entry so its ``id()`` cannot be recycled into a colliding key).
     After warmup both upper-bound paths are O(|Q|) per candidate.
+
+    The warm-path read is lock-free (dict reads are atomic and entries
+    are immutable once stored); writes and evictions run under
+    ``_BOUND_CACHE_LOCK``, so shared lists never see torn updates.
     """
     base = scoring.kernel_key()
     key = ("@id", id(scoring), j) if base is None else (base, j)
     cache = lst._bound_cache
-    if cache is None:
-        cache = lst._bound_cache = {}
-    else:
+    if cache is not None:
         found = cache.get(key)
         if found is not None:
             return found[1]
     best = max(bound_transform(scoring, j, m.score) for m in lst)
-    if len(cache) >= _BOUND_CACHE_CAP:
-        try:
+    with _BOUND_CACHE_LOCK:
+        cache = lst._bound_cache
+        if cache is None:
+            cache = lst._bound_cache = {}
+        found = cache.get(key)
+        if found is not None:
+            return found[1]
+        if len(cache) >= _BOUND_CACHE_CAP:
             del cache[next(iter(cache))]
-        except (StopIteration, KeyError, RuntimeError):  # concurrent evictions
-            pass
-    cache[key] = (scoring if base is None else None, best)
+        cache[key] = (scoring if base is None else None, best)
     return best
 
 

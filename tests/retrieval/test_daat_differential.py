@@ -25,7 +25,12 @@ KS = (1, 5, 20)
 
 QUERIES = (
     "maker, partnership",
+    # Reversed / shuffled term order: the pair index stores each pair
+    # under its lexicographically smaller term, so these exercise the
+    # (query order != entry order) orientation of pair-entry seeding.
+    "partnership, maker",
     "maker, partnership, sports",
+    "sports, maker, partnership",
 )
 
 PAIR_TERMS = ["maker", "partnership", "sports"]
