@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check analyze typecheck chaos bench bench-full bench-joins bench-obs bench-cluster bench-scalability serve-bench figures examples clean
+.PHONY: install test check analyze typecheck chaos bench bench-full bench-joins bench-obs bench-cluster bench-scalability bench-durability serve-bench figures examples clean
 
 install:
 	pip install -e .
@@ -49,6 +49,8 @@ check:
 		$(PYTHON) benchmarks/bench_cluster.py --check
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) benchmarks/bench_scalability.py --check
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) benchmarks/bench_durability.py --check
 
 # Fault-injection suite (tests/reliability): armed fault points, worker
 # crashes, crash-safe snapshots, breaker/readiness behavior.  Each test
@@ -98,6 +100,14 @@ bench-cluster:
 bench-scalability:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) benchmarks/bench_scalability.py
+
+# Durable-index liveness and restart gates: ingest-under-query
+# throughput (appends through the executor's non-exclusive path while
+# queries flow) and recovery time over segments + a WAL replay tail at
+# 50k docs; writes BENCH_durability.json at the repository root.
+bench-durability:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) benchmarks/bench_durability.py
 
 # Serving-layer QPS/latency at concurrency {1,4,16}, cache on/off;
 # writes benchmarks/results/service_throughput.txt and

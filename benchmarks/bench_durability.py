@@ -1,0 +1,286 @@
+"""Durability: ingest-under-query throughput and recovery time.
+
+The durable index (``repro.index.segments``) must not make liveness a
+casualty of safety.  Two gates:
+
+* **ingest under query** — a durable :class:`SearchSystem` behind a
+  :class:`QueryExecutor` takes batched appends through the executor's
+  *non-exclusive* mutation path (the WAL lock serializes writers;
+  queries keep flowing on the read side of the query lock) while a
+  query thread hammers ``ask``.  The gate: sustained ingest throughput
+  of at least ``min_ingest_docs_per_s`` and at least
+  ``min_queries_during_ingest`` completed queries while ingest runs —
+  appends must not starve reads, reads must not stall appends.
+
+* **recovery time** — reopening the data directory (manifest load +
+  segment loads + WAL replay of the unsealed tail) must finish within
+  ``max_recovery_s`` and recover exactly the acknowledged document
+  count.  Recovery cost is what bounds restart downtime, so it is
+  measured in the worst sanctioned shape: sealed segments plus a fat
+  replay tail.
+
+Run directly (``make bench-durability``)::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py
+
+Writes ``BENCH_durability.json`` at the repository root and
+``benchmarks/results/durability.txt``.  ``--check`` runs a
+seconds-fast small-corpus pass of the same gates for ``make check``.
+The bars are deliberately conservative (container-friendly): the gate
+exists to catch order-of-magnitude regressions — an fsync per record,
+a full-index rebuild per append — not to race the hardware.
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+from repro.index.segments import SegmentedIndex
+from repro.service.executor import QueryExecutor
+from repro.system import SearchSystem
+from repro.text.document import Document
+
+from conftest import save_report
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_durability.json"
+
+QUERY = "maker, partnership"
+BATCH = 64
+
+#: Conservative floors/ceilings — catch regressions in kind (an fsync
+#: per record, whole-index exclusivity, quadratic recovery), not in
+#: degree.
+FULL_ACCEPTANCE = {
+    "documents": 50_000,
+    "min_ingest_docs_per_s": 1_000.0,
+    "min_queries_during_ingest": 5,
+    "max_recovery_s": 60.0,
+}
+CHECK_ACCEPTANCE = {
+    "documents": 2_000,
+    "min_ingest_docs_per_s": 300.0,
+    "min_queries_during_ingest": 3,
+    "max_recovery_s": 20.0,
+}
+
+
+def corpus_texts(count: int, *, prefix: str = "doc"):
+    """Short news-like documents; 1 in 8 matches the probe query."""
+    for i in range(count):
+        gap = " ".join(f"g{j}" for j in range(i % 5))
+        if i % 8 == 0:
+            body = f"maker {gap} partnership sports story"
+        else:
+            body = f"vendor {gap} alliance sports story"
+        yield (
+            f"{prefix}-{i:06d}",
+            f"{body} number {i % 97} filler f{i % 11} f{i % 13} f{i % 17}",
+        )
+
+
+def run_ingest_under_query(data_dir, *, documents: int):
+    """Ingest ``documents`` docs in batches while a query thread runs.
+
+    The query thread races the entire mutate phase — batched appends,
+    an explicit seal, and the unsealed WAL tail left behind for the
+    recovery measurement — so the liveness count covers compaction too.
+    """
+    system = SearchSystem.open(data_dir, seal_threshold=4096, merge_fanin=4)
+    # Seed enough corpus that queries do real work from the start.
+    system.add_texts(corpus_texts(BATCH, prefix="seed"))
+    executor = QueryExecutor(system, workers=2, cache_size=0)
+    queries_done = 0
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def query_loop():
+        nonlocal queries_done
+        while not stop.is_set():
+            try:
+                executor.ask(QUERY, top_k=5, timeout=60)
+                queries_done += 1
+            except BaseException as exc:  # surfaced in the verdict
+                errors.append(exc)
+                return
+
+    thread = threading.Thread(target=query_loop, name="bench-query-loop")
+    try:
+        pending = list(corpus_texts(documents))
+        thread.start()
+        started = time.perf_counter()
+        for begin in range(0, len(pending), BATCH):
+            batch = pending[begin : begin + BATCH]
+            executor.ingest(
+                *(Document(doc_id, text) for doc_id, text in batch)
+            )
+        elapsed = time.perf_counter() - started
+        system.index.seal()  # everything so far sealed …
+        # … then an unsealed tail: re-open replay covers the worst
+        # sanctioned shape (segments + a WAL of unapplied records).
+        # Batches stay under the seal threshold so the final partial
+        # memtable genuinely lives in the WAL alone.
+        tail = list(corpus_texts(len(pending) // 4, prefix="tail"))
+        for begin in range(0, len(tail), BATCH):
+            executor.ingest(
+                *(
+                    Document(doc_id, text)
+                    for doc_id, text in tail[begin : begin + BATCH]
+                )
+            )
+    finally:
+        stop.set()
+        thread.join(timeout=60)
+        executor.shutdown()
+    final_count = len(system.corpus)
+    final_generation = system.index_generation
+    system.close()
+    return {
+        "ingested": len(pending),
+        "ingest_s": elapsed,
+        "ingest_docs_per_s": len(pending) / max(elapsed, 1e-9),
+        "queries_during_ingest": queries_done,
+        "query_errors": [repr(exc) for exc in errors],
+        "final_documents": final_count,
+        "final_generation": final_generation,
+        "wal_tail_records": len(tail),
+    }
+
+
+def run_recovery(data_dir, *, expected_documents: int, expected_generation: int):
+    started = time.perf_counter()
+    index = SegmentedIndex.recover(data_dir)
+    elapsed = time.perf_counter() - started
+    try:
+        stats = dict(index.recovery_stats)
+        stats.pop("replay_reported", None)
+        result = {
+            "recovery_s": elapsed,
+            "recovered_documents": index.document_count,
+            "recovered_generation": index.generation,
+            "segments_live": index.segments_live,
+            "exact": (
+                index.document_count == expected_documents
+                and index.generation == expected_generation
+            ),
+            **stats,
+        }
+    finally:
+        index.close()
+    return result
+
+
+def evaluate(ingest, recovery, acceptance):
+    ingest_ok = (
+        ingest["ingest_docs_per_s"] >= acceptance["min_ingest_docs_per_s"]
+        and not ingest["query_errors"]
+    )
+    liveness_ok = (
+        ingest["queries_during_ingest"] >= acceptance["min_queries_during_ingest"]
+    )
+    recovery_ok = (
+        recovery["recovery_s"] <= acceptance["max_recovery_s"]
+        and recovery["exact"]
+    )
+    return {
+        "ingest_ok": ingest_ok,
+        "liveness_ok": liveness_ok,
+        "recovery_ok": recovery_ok,
+        "passed": ingest_ok and liveness_ok and recovery_ok,
+    }
+
+
+def format_report(ingest, recovery, verdict, acceptance, *, label):
+    return [
+        f"durability: ingest under query + recovery ({label}, "
+        f"{acceptance['documents']} docs)",
+        "",
+        "ingest: %d docs in %.2fs = %.0f docs/s (bar %.0f)  %s"
+        % (
+            ingest["ingested"],
+            ingest["ingest_s"],
+            ingest["ingest_docs_per_s"],
+            acceptance["min_ingest_docs_per_s"],
+            "PASS" if verdict["ingest_ok"] else "FAIL",
+        ),
+        "liveness: %d queries completed during ingest (bar %d), %d errors  %s"
+        % (
+            ingest["queries_during_ingest"],
+            acceptance["min_queries_during_ingest"],
+            len(ingest["query_errors"]),
+            "PASS" if verdict["liveness_ok"] else "FAIL",
+        ),
+        "recovery: %.2fs for %d docs (%d segments + %d WAL records, bar %.0fs), "
+        "exact=%s  %s"
+        % (
+            recovery["recovery_s"],
+            recovery["recovered_documents"],
+            recovery["segments_live"],
+            recovery["wal_replay_records"],
+            acceptance["max_recovery_s"],
+            recovery["exact"],
+            "PASS" if verdict["recovery_ok"] else "FAIL",
+        ),
+    ]
+
+
+def run(acceptance, *, label):
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench-durability-"))
+    try:
+        data_dir = workdir / "data"
+        ingest = run_ingest_under_query(
+            data_dir, documents=acceptance["documents"]
+        )
+        recovery = run_recovery(
+            data_dir,
+            expected_documents=ingest["final_documents"],
+            expected_generation=ingest["final_generation"],
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    verdict = evaluate(ingest, recovery, acceptance)
+    lines = format_report(ingest, recovery, verdict, acceptance, label=label)
+    return ingest, recovery, verdict, lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true", help="fast small-corpus gate pass"
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        _, _, verdict, lines = run(CHECK_ACCEPTANCE, label="check corpus")
+        for line in lines:
+            print(line)
+        print(
+            "durability check passed"
+            if verdict["passed"]
+            else "durability check FAILED"
+        )
+        return 0 if verdict["passed"] else 1
+
+    ingest, recovery, verdict, lines = run(FULL_ACCEPTANCE, label="full corpus")
+    save_report("durability", "\n".join(lines))
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "benchmark": "durability",
+                "acceptance": {**FULL_ACCEPTANCE, **verdict},
+                "results": {"ingest": ingest, "recovery": recovery},
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUTPUT}")
+    return 0 if verdict["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

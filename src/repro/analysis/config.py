@@ -30,6 +30,7 @@ def _default_lock_order() -> list[LockName]:
         ("QueryExecutor", "_state_lock"),
         ("ClusterExecutor", "_state_lock"),
         ("_ShardHandle", "_lock"),
+        ("SegmentedIndex", "_lock"),
         ("CircuitBreaker", "_lock"),
         ("FaultRegistry", "_lock"),
         ("ResultCache", "_lock"),
@@ -161,6 +162,20 @@ class AnalysisConfig:
         "cluster",
     )
 
+    # -- durability ----------------------------------------------------------
+    #: Files (path prefixes below the analysis root) holding the durable
+    #: index layer, where every file write must go through the fsync
+    #: envelope helpers (``write_snapshot``) — a raw ``open(..., "w")``
+    #: there is a torn-write waiting for a crash.
+    durability_packages: tuple[str, ...] = ("index/segments.py",)
+    #: Symbols allowed to use raw write primitives anyway: the WAL
+    #: (which implements its own append+fsync discipline — an envelope
+    #: rewrite per record would defeat the log) and quarantine (a pure
+    #: rename of evidence).
+    durability_allowed_writers: frozenset[str] = frozenset(
+        {"WriteAheadLog", "SegmentedIndex._quarantine"}
+    )
+
     # -- taxonomy ------------------------------------------------------------
     #: Packages scanned for span/log/metric name literals.
     taxonomy_packages: tuple[str, ...] = (
@@ -169,6 +184,7 @@ class AnalysisConfig:
         "reliability",
         "cluster",
         "retrieval",
+        "index",
         "system.py",
         "cli.py",
     )

@@ -44,10 +44,16 @@ class Rule:
 
 def all_rules() -> list[Rule]:
     """Every registered rule, import-ordered by family."""
-    from repro.analysis.rules import concurrency, determinism, exceptions, taxonomy
+    from repro.analysis.rules import (
+        concurrency,
+        determinism,
+        durability,
+        exceptions,
+        taxonomy,
+    )
 
     rules: list[Rule] = []
-    for module in (concurrency, determinism, taxonomy, exceptions):
+    for module in (concurrency, determinism, taxonomy, exceptions, durability):
         rules.extend(module.RULES)
     return rules
 

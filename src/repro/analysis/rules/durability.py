@@ -1,0 +1,130 @@
+"""Durability rule: segment-layer file writes must use the envelope.
+
+The durable index's crash-safety argument rests on every on-disk
+artifact being written through the snapshot envelope
+(:func:`repro.reliability.snapshot.write_snapshot`: temp file + fsync +
+atomic replace + checksum) — or through the WAL, which implements its
+own append+fsync discipline.  A raw ``open(path, "w")`` or
+``Path.write_text`` anywhere else in that layer is a torn write waiting
+for a crash, and nothing at runtime would catch it.
+
+``durability-raw-write`` flags raw write primitives inside the files
+named by :attr:`AnalysisConfig.durability_packages` unless the
+enclosing symbol is one of
+:attr:`AnalysisConfig.durability_allowed_writers` (matched exactly or
+as a ``Class.``/``function.`` prefix):
+
+* ``open()`` with a writing mode (``w``/``a``/``x``/``+``);
+* ``os.replace`` / ``os.rename`` / ``os.truncate``;
+* ``write_text`` / ``write_bytes`` / ``truncate`` method calls.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import enclosing_symbol, symbol_spans
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, RuleContext
+
+__all__ = ["RULES"]
+
+#: Dotted module-level calls that mutate the filesystem in place.
+_RAW_DOTTED = frozenset({"os.replace", "os.rename", "os.truncate"})
+
+#: Method names that write without the envelope, on any receiver.
+_RAW_METHODS = frozenset({"write_text", "write_bytes", "truncate"})
+
+
+def _dotted_name(node: ast.expr, imports: dict[str, str]) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(imports.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+def _open_mode(call: ast.Call) -> str | None:
+    """The literal mode of an ``open()`` call, if statically known."""
+    mode = call.args[1] if len(call.args) > 1 else None
+    if mode is None:
+        for keyword in call.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+                break
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None  # dynamic mode: assume the worst
+
+
+def _is_allowed(symbol: str | None, allowed: frozenset[str]) -> bool:
+    if symbol is None:
+        return False
+    return any(
+        symbol == writer or symbol.startswith(writer + ".")
+        for writer in allowed
+    )
+
+
+def _classify(call: ast.Call, imports: dict[str, str]) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name) and imports.get(func.id, func.id) == "open":
+        mode = _open_mode(call)
+        if mode is None or any(flag in mode for flag in "wax+"):
+            return (
+                f"raw open(..., {mode!r}) in the durable index layer; "
+                "route writes through write_snapshot (fsync envelope)"
+            )
+        return None
+    if isinstance(func, ast.Attribute):
+        dotted = _dotted_name(func, imports)
+        if dotted in _RAW_DOTTED:
+            return (
+                f"raw {dotted}() in the durable index layer; commit via "
+                "write_snapshot's atomic replace instead"
+            )
+        if func.attr in _RAW_METHODS:
+            return (
+                f"raw .{func.attr}() write in the durable index layer; "
+                "route writes through write_snapshot (fsync envelope)"
+            )
+    return None
+
+
+def _run(ctx: RuleContext):
+    config = ctx.index.config
+    allowed = config.durability_allowed_writers
+    for relpath, module in ctx.index.modules.items():
+        if not ctx.index.in_scope(relpath, config.durability_packages):
+            continue
+        symbols = symbol_spans(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = _classify(node, module.imports)
+            if message is None:
+                continue
+            symbol = enclosing_symbol(symbols, node.lineno)
+            if _is_allowed(symbol, allowed):
+                continue
+            yield Finding(
+                rule="durability-raw-write",
+                path=module.display_path,
+                line=node.lineno,
+                symbol=symbol,
+                message=message,
+            )
+
+
+RULES = [
+    Rule(
+        name="durability-raw-write",
+        summary="segment-layer writes go through the fsync envelope",
+        run=_run,
+    ),
+]

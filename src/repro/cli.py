@@ -11,6 +11,7 @@ Examples::
     repro-search extract 'conference|workshop, when:date, where:place' cfp.txt
     repro-search ask --scoring win --top 3 'lenovo:exact, nba:exact' doc.txt
     repro-search serve news/*.txt --port 8080 --workers 4
+    repro-search serve --data-dir ./index news/*.txt
     repro-search profile news/*.txt --query 'partnership, sports' --overhead
     repro-search analyze --list-rules
 """
@@ -133,12 +134,33 @@ def _cmd_serve(args) -> int:
         raise SystemExit(
             f"repro-search: error: --shards must be >= 1, got {args.shards}"
         )
+    if not args.files and not args.data_dir:
+        raise SystemExit(
+            "repro-search: error: give files to serve, --data-dir, or both"
+        )
+    if args.data_dir and args.shards > 1:
+        # Shard workers own in-memory corpus slices; a durable directory
+        # has exactly one writer.
+        raise SystemExit(
+            "repro-search: error: --data-dir is incompatible with --shards > 1"
+        )
     armed = configure_from_env()
     if armed:
         print(f"repro-search: REPRO_FAULTS armed fault points: {', '.join(armed)}")
     corpus = _load_corpus(args.files)
-    system = SearchSystem()
-    system.add(*corpus)
+    if args.data_dir:
+        system = SearchSystem.open(args.data_dir)
+        recovered = len(system)
+        fresh = [doc for doc in corpus if not system.index.contains(doc.doc_id)]
+        system.add(*fresh)
+        print(
+            f"repro-search: recovered {recovered} documents from "
+            f"{args.data_dir}, ingested {len(fresh)} new file(s)"
+        )
+    else:
+        system = SearchSystem()
+        system.add(*corpus)
+    logger = StructuredLogger(sys.stderr)
     if args.shards == 1:
         # The original single-process path, byte for byte.
         server = SearchServer.for_system(
@@ -151,7 +173,7 @@ def _cmd_serve(args) -> int:
             default_timeout=args.timeout,
             watchdog_interval=args.watchdog_interval,
             tracer=Tracer(sample_rate=args.trace_sample_rate),
-            logger=StructuredLogger(sys.stderr),
+            logger=logger,
             slow_query_ms=args.slow_query_ms,
             verbose=True,
         )
@@ -167,7 +189,7 @@ def _cmd_serve(args) -> int:
             default_timeout=args.timeout,
             watchdog_interval=args.watchdog_interval,
             tracer=Tracer(sample_rate=args.trace_sample_rate),
-            logger=StructuredLogger(sys.stderr),
+            logger=logger,
             slow_query_ms=args.slow_query_ms,
         )
         server = SearchServer(
@@ -178,10 +200,19 @@ def _cmd_serve(args) -> int:
             owns_executor=True,
         )
         topology = f"{args.shards} shard processes"
+    if args.data_dir:
+        # WAL/seal/merge counters land in the serving registry; the
+        # background merger compacts segments while the server runs.
+        system.attach_observability(
+            metrics=server.executor.metrics, logger=logger
+        )
+        system.start_maintenance()
+        topology += ", durable index"
     host, port = server.address
+    endpoints = "/search /documents /metrics /healthz /readyz"
     print(
         f"serving {len(system)} documents on http://{host}:{port} "
-        f"({topology}; endpoints: /search /metrics /healthz /readyz; "
+        f"({topology}; endpoints: {endpoints}; "
         "Ctrl-C or SIGTERM to stop)"
     )
 
@@ -199,6 +230,10 @@ def _cmd_serve(args) -> int:
         # shutting_down error), and joins every worker thread, so a
         # SIGINT/SIGTERM exit leaves no orphans behind.
         server.close(drain_timeout=args.drain_timeout)
+        if args.data_dir:
+            # Stops the merger and closes the WAL; the unsealed memtable
+            # is fully covered by the log and recovers on the next open.
+            system.close()
         signal.signal(signal.SIGTERM, previous_handler)
     return 0
 
@@ -284,7 +319,19 @@ def main(argv: list[str] | None = None) -> int:
     serve = sub.add_parser(
         "serve", help="serve the files over HTTP (JSON /search endpoint)"
     )
-    serve.add_argument("files", nargs="+", help="text files to index and serve")
+    serve.add_argument(
+        "files",
+        nargs="*",
+        help="text files to index and serve (optional with --data-dir; "
+        "files not yet in the durable index are ingested on startup)",
+    )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="durable index directory (WAL + segments): mutations via "
+        "POST /documents and DELETE /documents/{id} survive restarts; "
+        "a background merge thread compacts segments (docs/RELIABILITY.md)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
     serve.add_argument("--workers", type=int, default=4)

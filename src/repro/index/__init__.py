@@ -6,6 +6,7 @@ from repro.index.io import load_index, save_index
 from repro.index.matchlists import ConceptIndex
 from repro.index.pairs import PairEntry, PairIndex, PairPosting, build_pair_index
 from repro.index.postings import PostingList
+from repro.index.segments import SegmentedIndex, WriteAheadLog
 
 __all__ = [
     "InvertedIndex",
@@ -20,4 +21,6 @@ __all__ = [
     "PairEntry",
     "PairPosting",
     "build_pair_index",
+    "SegmentedIndex",
+    "WriteAheadLog",
 ]

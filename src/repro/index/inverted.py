@@ -37,6 +37,10 @@ class InvertedIndex:
         self._stemmer = PorterStemmer()
         self._postings: dict[str, PostingList] = {}
         self._doc_lengths: dict[str, int] = {}
+        # Full document-frequency ranking, memoized until the next
+        # mutation (frequent_tokens is called per pair-index build and
+        # re-sorting the whole vocabulary each time is O(V log V)).
+        self._frequent_ranked: list[str] | None = None
 
     # -- construction --------------------------------------------------------
 
@@ -46,6 +50,7 @@ class InvertedIndex:
     def add_document(self, document: Document) -> None:
         if document.doc_id in self._doc_lengths:
             raise ValueError(f"document {document.doc_id!r} already indexed")
+        self._frequent_ranked = None
         self._doc_lengths[document.doc_id] = len(document.tokens)
         for token in document.tokens:
             if self._drop_stopwords and is_stopword(token.text):
@@ -65,6 +70,7 @@ class InvertedIndex:
         """
         if doc_id not in self._doc_lengths:
             raise KeyError(f"document {doc_id!r} not indexed")
+        self._frequent_ranked = None
         del self._doc_lengths[doc_id]
         empty = []
         for token, posting in self._postings.items():
@@ -107,13 +113,18 @@ class InvertedIndex:
         Keys are the index's stemmed forms (ties: lexicographic) — the
         default candidate vocabulary for the two-term proximity index
         (:func:`repro.index.pairs.build_pair_index`), where the heaviest
-        posting intersections are the ones worth precomputing.
+        posting intersections are the ones worth precomputing.  The full
+        ranking is memoized per generation (any mutation invalidates).
         """
-        ranked = sorted(
-            self._postings.items(),
-            key=lambda item: (-item[1].document_frequency, item[0]),
-        )
-        return [token for token, _posting in ranked[:n]]
+        if self._frequent_ranked is None:
+            self._frequent_ranked = [
+                token
+                for token, _posting in sorted(
+                    self._postings.items(),
+                    key=lambda item: (-item[1].document_frequency, item[0]),
+                )
+            ]
+        return self._frequent_ranked[:n]
 
     def positions(self, token_text: str, doc_id: str) -> tuple[int, ...]:
         posting = self.postings(token_text)

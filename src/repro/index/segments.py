@@ -1,0 +1,1039 @@
+"""Durable live indexing: WAL + generational segments + tombstones + merge.
+
+The monolithic :class:`~repro.index.inverted.InvertedIndex` is an
+in-memory structure — a crash loses every document since the last
+explicit snapshot.  This module rebuilds the index layer as an
+LSM-flavored *segmented* index that acknowledges a write only once it is
+durable, while serving the exact same read API:
+
+* **Write-ahead log** — every ``add``/``remove`` appends one
+  checksummed JSON record to ``wal.log`` and fsyncs before the mutation
+  is acknowledged (:class:`WriteAheadLog`).  Replay validates each
+  record's sha256 and monotonic sequence number and *truncates* the
+  file at the first torn/invalid record instead of crashing — the tail
+  past the tear was never acknowledged.
+* **Memtable** — acknowledged writes apply to a mutable in-memory
+  :class:`InvertedIndex` segment.
+* **Sealed segments** — :meth:`SegmentedIndex.seal` flushes the
+  memtable to an immutable ``seg-N`` file under the PR-3 snapshot
+  envelope (atomic tmp+fsync+replace, sha256 checksum, ``.bak``
+  rotation), commits a new manifest whose ``applied_seq`` covers the
+  sealed records, then truncates the WAL.  The manifest commit is the
+  linearization point: the WAL truncation is pure garbage collection
+  (replay skips records at or below ``applied_seq``).
+* **Tombstones** — deleting a sealed document records a tombstone
+  (WAL + manifest) consulted by every read; the document's postings
+  are physically dropped at the next merge.
+* **Background merge** — :meth:`merge_once` compacts the smallest
+  segments into one (minus tombstones), builds the merged segment
+  *outside* the lock, then swaps it in with one atomic manifest write
+  (``merge.swap`` fault point).  A SIGKILL at any instant leaves either
+  the old manifest (old segments still referenced) or the new one
+  (merged segment referenced); unreferenced segment files are garbage-
+  collected at the next recovery.  :meth:`start_merger` hosts the loop
+  on a :class:`~repro.reliability.Watchdog`.
+* **Recovery** — :meth:`SegmentedIndex.recover` loads the newest valid
+  manifest (``.bak`` fallback), loads its segments — quarantining any
+  corrupt one (renamed ``*.quarantined``, structured
+  ``segment.quarantined`` event) instead of refusing to start — and
+  replays the WAL over the result.
+
+Reads (postings / positions / phrase queries) union across the sealed
+segments and the memtable minus tombstones, preserving byte-identical
+ranking with a monolithic index over the same live documents (the
+differential suites in ``tests/retrieval`` prove it).
+
+Fault points ``wal.append``, ``segment.seal``, and ``merge.swap`` let
+the chaos suite (``tests/reliability/test_wal_chaos.py``) kill -9 a
+process mid-append / mid-seal / mid-swap and assert that recovery
+loses no acknowledged write.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import threading
+from typing import Any, Iterable, Iterator
+
+from repro.core.io import SerializationError
+from repro.index.inverted import InvertedIndex
+from repro.index.io import index_from_dict, index_to_dict
+from repro.index.postings import PostingList
+from repro.obs.trace import span as obs_span
+from repro.reliability.faults import FAULTS
+from repro.reliability.snapshot import (
+    SnapshotCorrupted,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.reliability.watchdog import Watchdog
+from repro.text.document import Document
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SegmentedIndex",
+    "WAL_NAME",
+    "WriteAheadLog",
+]
+
+WAL_NAME = "wal.log"
+MANIFEST_NAME = "MANIFEST"
+MANIFEST_VERSION = 1
+SEGMENT_VERSION = 1
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+def _record_payload(seq: int, body: dict[str, Any]) -> str:
+    """Canonical dump of one WAL record — the string the checksum covers."""
+    return json.dumps(
+        {"seq": seq, "body": body}, sort_keys=True, separators=(",", ":")
+    )
+
+
+def _record_checksum(payload: str) -> str:
+    return "sha256:" + hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class WriteAheadLog:
+    """Append-only checksummed JSON-lines log with torn-tail recovery.
+
+    Each line is ``{"seq": N, "body": {...}, "checksum": "sha256:..."}``
+    where the checksum covers the canonical dump of ``{seq, body}`` —
+    the same framing discipline as the snapshot envelope, one record per
+    line so a torn tail invalidates only the final record.
+
+    Not internally locked: :class:`SegmentedIndex` serializes every call
+    under its own writer lock (the "WAL lock" of the serving path).
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._handle = None
+
+    def _open(self):
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, seq: int, body: dict[str, Any], *, sync: bool = True) -> None:
+        """Write one record; with ``sync`` it is durable on return.
+
+        Group commit: append several records with ``sync=False`` and
+        finish with :meth:`commit` — one fsync covers the batch.
+        """
+        payload = _record_payload(seq, body)
+        line = (
+            json.dumps(
+                {"seq": seq, "body": body, "checksum": _record_checksum(payload)},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+        # Chaos hook: delay mode holds the writer mid-append (the kill -9
+        # window before the record is durable); corrupt mode truncates
+        # the line that reaches disk — a simulated torn write.
+        line = FAULTS.inject("wal.append", line)
+        handle = self._open()
+        handle.write(line)
+        if sync:
+            self.commit()
+
+    def commit(self) -> None:
+        """Flush + fsync everything appended so far."""
+        handle = self._open()
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def reset(self) -> None:
+        """Truncate the log (after a seal folded its records into a
+        segment + manifest; replay of an unreset log is idempotent
+        because records at or below ``applied_seq`` are skipped)."""
+        self.close()
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def replay(self, *, min_seq: int = 0) -> tuple[list[tuple[int, dict]], int]:
+        """Validated records after ``min_seq``, truncating any torn tail.
+
+        Returns ``(records, truncated_bytes)``.  A record fails
+        validation when its line is not JSON, its checksum mismatches,
+        or its sequence number is not strictly increasing; the file is
+        truncated at the first invalid record (everything before it is
+        intact and acknowledged — everything after was never
+        acknowledged, by the fsync-before-ack discipline).
+        """
+        self.close()
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return [], 0
+        records: list[tuple[int, dict]] = []
+        offset = 0
+        last_seq = 0
+        for line in raw.splitlines(keepends=True):
+            record = self._validate(line, last_seq)
+            if record is None:
+                break
+            seq, body = record
+            last_seq = seq
+            offset += len(line)
+            if seq > min_seq:
+                records.append((seq, body))
+        truncated = len(raw) - offset
+        if truncated:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return records, truncated
+
+    @staticmethod
+    def _validate(line: bytes, last_seq: int) -> tuple[int, dict] | None:
+        text = line.strip()
+        if not text:
+            return None
+        try:
+            record = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        seq, body = record.get("seq"), record.get("body")
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq <= last_seq:
+            return None
+        if not isinstance(body, dict):
+            return None
+        if record.get("checksum") != _record_checksum(_record_payload(seq, body)):
+            return None
+        return seq, body
+
+
+class _Segment:
+    """One immutable sealed segment: its index plus the stored texts."""
+
+    __slots__ = ("segment_id", "name", "index", "documents")
+
+    def __init__(
+        self,
+        segment_id: int,
+        name: str,
+        index: InvertedIndex,
+        documents: list[tuple[str, str]],
+    ) -> None:
+        self.segment_id = segment_id
+        self.name = name
+        self.index = index
+        #: ``(doc_id, text)`` in insertion order — recovery rebuilds the
+        #: corpus from these, so the online (matcher) path works too.
+        self.documents = documents
+
+    @property
+    def doc_count(self) -> int:
+        return self.index.document_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_Segment(id={self.segment_id}, docs={self.doc_count})"
+
+
+def _segment_payload(segment: _Segment) -> dict[str, Any]:
+    return {
+        "segment_id": segment.segment_id,
+        "documents": [[doc_id, text] for doc_id, text in segment.documents],
+        "index": index_to_dict(segment.index),
+    }
+
+
+def _load_segment(path: pathlib.Path) -> _Segment:
+    _, payload = read_snapshot(
+        path, kind="segment", versions=(SEGMENT_VERSION,), fallback=False
+    )
+    try:
+        segment_id = payload["segment_id"]
+        raw_documents = payload["documents"]
+        index_payload = payload["index"]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"{path}: bad segment record: {exc}") from exc
+    if not isinstance(segment_id, int) or not isinstance(raw_documents, list):
+        raise SerializationError(f"{path}: bad segment record shape")
+    index = index_from_dict(index_payload)
+    documents: list[tuple[str, str]] = []
+    for entry in raw_documents:
+        if not isinstance(entry, list) or len(entry) != 2:
+            raise SerializationError(f"{path}: bad stored document {entry!r}")
+        doc_id, text = entry
+        if not isinstance(doc_id, str) or not isinstance(text, str):
+            raise SerializationError(f"{path}: bad stored document {entry!r}")
+        documents.append((doc_id, text))
+    stored = {doc_id for doc_id, _ in documents}
+    indexed = set(index.documents())
+    if stored != indexed:
+        raise SerializationError(
+            f"{path}: stored documents disagree with the index "
+            f"({len(stored)} stored, {len(indexed)} indexed)"
+        )
+    return _Segment(segment_id, path.name, index, documents)
+
+
+class SegmentedIndex:
+    """A durable, crash-recovering index behind the InvertedIndex read API.
+
+    Construct via :meth:`recover` (the constructor *is* recovery — a
+    fresh directory yields an empty index).  All mutation and all reads
+    synchronize on one internal lock; mutations additionally append to
+    the WAL before applying, so an acknowledged write survives any
+    crash.  Readers on the serving path are further isolated by the
+    executor's read/write lock only when mutations opt into exclusivity
+    — with concurrent (non-exclusive) appends, each individual lookup
+    is consistent and rankings are keyed by :attr:`generation`, which
+    only ever increases.
+
+    Parameters
+    ----------
+    data_dir:
+        Directory owning the WAL, the manifest, and the segment files.
+    stem / drop_stopwords:
+        Tokenization settings, as for :class:`InvertedIndex`; persisted
+        in the manifest and validated on recovery.
+    seal_threshold:
+        Memtable document count that triggers an automatic seal on the
+        writing thread (``0`` disables; :meth:`seal` is always
+        available).
+    merge_fanin:
+        Background merge trigger/width: a merge pass compacts the
+        ``merge_fanin`` smallest segments once at least that many exist.
+    metrics / logger:
+        Optional :class:`~repro.service.ServiceMetrics` /
+        :class:`~repro.obs.StructuredLogger`; see :meth:`attach`.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | pathlib.Path,
+        *,
+        stem: bool = True,
+        drop_stopwords: bool = False,
+        seal_threshold: int = 2048,
+        merge_fanin: int = 4,
+        metrics: Any = None,
+        logger: Any = None,
+    ) -> None:
+        if merge_fanin < 2:
+            raise ValueError(f"merge_fanin must be >= 2, got {merge_fanin}")
+        self.data_dir = pathlib.Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._stem = stem
+        self._drop_stopwords = drop_stopwords
+        self.seal_threshold = seal_threshold
+        self.merge_fanin = merge_fanin
+        self._metrics = metrics
+        self._logger = logger
+        self._lock = threading.RLock()
+        self._wal = WriteAheadLog(self.data_dir / WAL_NAME)
+        self._memtable = InvertedIndex(stem=stem, drop_stopwords=drop_stopwords)
+        self._mem_docs: list[tuple[str, str]] = []
+        self._segments: list[_Segment] = []
+        #: doc id → segment id, for every document in a sealed segment
+        #: (including tombstoned ones — the tombstone hides it at read).
+        self._sealed_docs: dict[str, int] = {}
+        self._tombstones: set[str] = set()
+        self._seq = 0
+        self._applied_seq = 0
+        self._next_segment_id = 1
+        self._merger: Watchdog | None = None
+        self._closed = False
+        # Read caches, all invalidated on every mutation (seal and merge
+        # preserve content, so they leave them — and the generation —
+        # untouched).
+        self._merged_postings: dict[str, PostingList | None] = {}
+        self._df_map: dict[str, int] | None = None
+        self._frequent_ranked: list[str] | None = None
+        #: What recovery found, for operators and tests: replayed record
+        #: count, truncated WAL bytes, quarantined segment names.
+        self.recovery_stats: dict[str, Any] = {}
+        self._recover()
+
+    @classmethod
+    def recover(cls, data_dir: str | pathlib.Path, **options: Any) -> "SegmentedIndex":
+        """Open (or create) a durable index at ``data_dir``.
+
+        Replays the WAL over the newest valid manifest; corrupt
+        segments are quarantined (``segment.quarantined``) rather than
+        fatal; the torn tail of the WAL, if any, is truncated.
+        """
+        return cls(data_dir, **options)
+
+    # -- observability ---------------------------------------------------------
+
+    def attach(self, *, metrics: Any = None, logger: Any = None) -> None:
+        """Attach metrics/logger after construction (the CLI wires the
+        serving registry in once the executor exists).  Recovery-time
+        counters observed before attachment are flushed on attach."""
+        with self._lock:
+            if metrics is not None:
+                self._metrics = metrics
+                replayed = self.recovery_stats.get("wal_replay_records", 0)
+                if replayed and not self.recovery_stats.get("replay_reported"):
+                    self.recovery_stats["replay_reported"] = True
+                    metrics.increment("wal_replay_records", replayed)
+                self._publish_segments_live()
+            if logger is not None:
+                self._logger = logger
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.increment(name, amount)
+
+    def _publish_segments_live(self) -> None:
+        if self._metrics is not None:
+            set_live = getattr(self._metrics, "set_segments_live", None)
+            if set_live is not None:
+                set_live(len(self._segments))
+
+    # -- construction (the write path) ----------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The last acknowledged WAL sequence number.
+
+        Monotonically increasing, durable across restarts (recovered
+        from ``applied_seq`` + replay), and *unchanged* by seal and
+        merge — both preserve the live document set byte for byte, so
+        every generation-keyed cache (results, term postings, pair
+        index) stays valid across compaction.
+        """
+        with self._lock:
+            return self._seq
+
+    def contains(self, doc_id: str) -> bool:
+        with self._lock:
+            return self._contains_locked(doc_id)
+
+    def _contains_locked(self, doc_id: str) -> bool:
+        if doc_id in self._memtable._doc_lengths:
+            return True
+        return doc_id in self._sealed_docs and doc_id not in self._tombstones
+
+    def _sealed_live(self, doc_id: str, segment_id: int) -> bool:
+        """Is this segment's copy of ``doc_id`` the live one?
+
+        A sealed copy serves reads iff it is the *owner* copy (the most
+        recent seal of that id — older copies are superseded garbage
+        awaiting merge) and the id is not tombstoned.  Invariant: a doc
+        present in both the memtable and a sealed segment is always
+        tombstoned (a delete precedes every re-add), so the memtable
+        copy wins without a separate shadow check.
+        """
+        return (
+            self._sealed_docs.get(doc_id) == segment_id
+            and doc_id not in self._tombstones
+        )
+
+    def add_document(self, document: Document) -> None:
+        """Index one document durably (WAL fsync before acknowledge)."""
+        self.add_documents([document])
+
+    def add_documents(self, documents: Iterable[Document]) -> None:
+        """Index a batch durably under one group commit (single fsync).
+
+        All-or-nothing per batch: duplicates are rejected before any
+        record is appended, so a raised :class:`ValueError` leaves the
+        index unchanged.
+        """
+        batch = list(documents)
+        if not batch:
+            return
+        with self._lock:
+            self._ensure_open()
+            seen: set[str] = set()
+            for document in batch:
+                if self._contains_locked(document.doc_id) or document.doc_id in seen:
+                    raise ValueError(
+                        f"document {document.doc_id!r} already indexed"
+                    )
+                seen.add(document.doc_id)
+            for document in batch:
+                self._seq += 1
+                self._wal.append(
+                    self._seq,
+                    {"op": "add", "doc": [document.doc_id, document.text]},
+                    sync=False,
+                )
+            self._wal.commit()
+            # Durable: apply and acknowledge.
+            for document in batch:
+                self._apply_add(document)
+            self._invalidate_caches()
+            self._count("wal_appends", len(batch))
+            if (
+                self.seal_threshold
+                and self._memtable.document_count >= self.seal_threshold
+            ):
+                self._seal_locked()
+
+    def remove_document(self, doc_id: str) -> None:
+        """Delete one document durably (memtable removal or tombstone)."""
+        with self._lock:
+            self._ensure_open()
+            if not self._contains_locked(doc_id):
+                raise KeyError(f"document {doc_id!r} not indexed")
+            self._seq += 1
+            self._wal.append(self._seq, {"op": "remove", "doc_id": doc_id})
+            self._apply_remove(doc_id)
+            self._invalidate_caches()
+            self._count("wal_appends")
+
+    def _apply_add(self, document: Document) -> None:
+        self._memtable.add_document(document)
+        self._mem_docs.append((document.doc_id, document.text))
+        # Re-adding a previously deleted sealed document: the tombstone
+        # stays (it hides the stale sealed copy); the memtable copy is
+        # the live one.
+
+    def _apply_remove(self, doc_id: str) -> None:
+        with self._lock:
+            if doc_id in self._memtable._doc_lengths:
+                self._memtable.remove_document(doc_id)
+                self._mem_docs = [
+                    (d, text) for d, text in self._mem_docs if d != doc_id
+                ]
+            else:
+                self._tombstones.add(doc_id)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("SegmentedIndex is closed")
+
+    def _invalidate_caches(self) -> None:
+        with self._lock:
+            self._merged_postings.clear()
+            self._df_map = None
+            self._frequent_ranked = None
+
+    # -- seal ------------------------------------------------------------------
+
+    def seal(self) -> int | None:
+        """Flush the memtable to an immutable segment file; returns its id.
+
+        No-op (returns ``None``) when nothing changed since the last
+        manifest.  The commit order is: segment file → manifest
+        (``applied_seq`` advanced) → WAL truncation; a crash between
+        any two steps recovers exactly (the manifest is the commit
+        point, WAL replay skips applied records, an orphan segment file
+        is garbage-collected).
+        """
+        with self._lock:
+            self._ensure_open()
+            if not self._mem_docs and self._seq == self._applied_seq:
+                return None
+            return self._seal_locked()
+
+    def _seal_locked(self) -> int | None:
+        segment_id = None
+        # Callers hold the (reentrant) lock already; re-entering keeps
+        # the guard explicit for the static analyzer and for direct use.
+        with self._lock, obs_span(
+            "segment.seal",
+            documents=len(self._mem_docs),
+            generation=self._seq,
+        ):
+            # Chaos hook: delay mode holds the seal mid-flight (kill -9
+            # window: WAL intact, manifest old); raising modes abort the
+            # seal before anything is written.
+            FAULTS.inject("segment.seal")
+            if self._mem_docs:
+                segment_id = self._next_segment_id
+                segment = _Segment(
+                    segment_id,
+                    f"seg-{segment_id:06d}.json",
+                    self._memtable,
+                    self._mem_docs,
+                )
+                write_snapshot(
+                    self.data_dir / segment.name,
+                    kind="segment",
+                    version=SEGMENT_VERSION,
+                    payload=_segment_payload(segment),
+                )
+                self._segments.append(segment)
+                for doc_id, _text in segment.documents:
+                    # The new sealed copy is the owner; a tombstone that
+                    # was hiding an older sealed copy retires here — the
+                    # owner check alone hides the stale copy until a
+                    # merge physically drops it.
+                    self._sealed_docs[doc_id] = segment_id
+                    self._tombstones.discard(doc_id)
+                self._next_segment_id += 1
+                self._memtable = InvertedIndex(
+                    stem=self._stem, drop_stopwords=self._drop_stopwords
+                )
+                self._mem_docs = []
+            self._applied_seq = self._seq
+            self._write_manifest_locked()
+            self._wal.reset()
+            # Sealed content is byte-identical to the memtable it
+            # replaces: merged-posting caches may hold direct memtable
+            # references, so rebuild them lazily against the segment.
+            self._invalidate_caches()
+            self._publish_segments_live()
+        return segment_id
+
+    def _write_manifest_locked(self) -> None:
+        write_snapshot(
+            self.data_dir / MANIFEST_NAME,
+            kind="segment-manifest",
+            version=MANIFEST_VERSION,
+            payload={
+                "stem": self._stem,
+                "drop_stopwords": self._drop_stopwords,
+                "applied_seq": self._applied_seq,
+                "next_segment_id": self._next_segment_id,
+                "segments": [
+                    {"id": seg.segment_id, "name": seg.name, "docs": seg.doc_count}
+                    for seg in self._segments
+                ],
+                "tombstones": sorted(self._tombstones),
+            },
+        )
+
+    def checkpoint(self) -> None:
+        """Durability checkpoint: seal + manifest + WAL truncation."""
+        self.seal()
+
+    # -- merge -----------------------------------------------------------------
+
+    def merge_once(self) -> bool:
+        """One compaction pass; True when a merge was committed.
+
+        Picks the ``merge_fanin`` smallest segments (when at least that
+        many exist), builds the merged segment minus tombstones
+        *outside* the lock, then re-validates and swaps it in with one
+        atomic manifest write.  Safe against concurrent writers: new
+        documents go to the memtable (or to other segments), and a
+        tombstone landing inside the merge set mid-build aborts the
+        pass (it retries on the next sweep).
+        """
+        with self._lock:
+            self._ensure_open()
+            if len(self._segments) < self.merge_fanin:
+                return False
+            victims = sorted(self._segments, key=lambda s: (s.doc_count, s.segment_id))
+            victims = sorted(victims[: self.merge_fanin], key=lambda s: s.segment_id)
+            victim_ids = {seg.segment_id for seg in victims}
+            victim_docs = {
+                doc_id
+                for seg in victims
+                for doc_id, _ in seg.documents
+            }
+            tombstones_before = frozenset(self._tombstones & victim_docs)
+            # Per-copy keep set: a copy survives the merge iff it is the
+            # live one right now (owner copy, not tombstoned).  Stale
+            # copies (superseded by a newer seal) and tombstoned owners
+            # are physically dropped here.
+            live_owner = {
+                doc_id: seg.segment_id
+                for seg in victims
+                for doc_id, _ in seg.documents
+                if self._sealed_live(doc_id, seg.segment_id)
+            }
+            merged_id = self._next_segment_id
+            self._next_segment_id += 1
+
+        with obs_span(
+            "segment.merge",
+            segments=len(victims),
+            documents=len(victim_docs),
+        ):
+            # Build outside the lock: victims are immutable, liveness
+            # was snapshotted, and writers only touch the memtable.
+            merged = _Segment(merged_id, f"seg-{merged_id:06d}.json",
+                              InvertedIndex(
+                                  stem=self._stem,
+                                  drop_stopwords=self._drop_stopwords,
+                              ), [])
+            for seg in victims:
+                for doc_id, text in seg.documents:
+                    if live_owner.get(doc_id) != seg.segment_id:
+                        continue
+                    merged.index.add_document(Document(doc_id, text))
+                    merged.documents.append((doc_id, text))
+            write_snapshot(
+                self.data_dir / merged.name,
+                kind="segment",
+                version=SEGMENT_VERSION,
+                payload=_segment_payload(merged),
+            )
+            with self._lock:
+                if self._closed:
+                    return False
+                current_ids = {seg.segment_id for seg in self._segments}
+                if (
+                    not victim_ids <= current_ids
+                    or frozenset(self._tombstones & victim_docs) != tombstones_before
+                ):
+                    # The world moved (another merge or a new tombstone):
+                    # abandon this pass; the orphan file is collected at
+                    # the next recovery (or overwritten by a later merge).
+                    self._remove_orphan(merged.name)
+                    return False
+                # Chaos hook: the kill -9 window between building the
+                # merged segment and committing the manifest swap.
+                FAULTS.inject("merge.swap")
+                survivors = [
+                    seg for seg in self._segments if seg.segment_id not in victim_ids
+                ]
+                if merged.documents:
+                    survivors.append(merged)
+                survivors.sort(key=lambda seg: seg.segment_id)
+                self._segments = survivors
+                for doc_id, _ in merged.documents:
+                    # Re-point ownership only when it still rests in the
+                    # merge set — a concurrent remove+re-add+seal may
+                    # have moved it to a newer segment, in which case
+                    # the merged copy is already stale garbage.
+                    if self._sealed_docs.get(doc_id) in victim_ids:
+                        self._sealed_docs[doc_id] = merged_id
+                for doc_id in victim_docs:
+                    # A victim doc whose ownership still points into the
+                    # retired set had no live copy carried forward: its
+                    # membership entry and tombstone retire with the
+                    # dropped postings.
+                    if self._sealed_docs.get(doc_id) in victim_ids:
+                        del self._sealed_docs[doc_id]
+                        self._tombstones.discard(doc_id)
+                self._write_manifest_locked()
+                self._invalidate_caches()
+                self._publish_segments_live()
+                retired = [seg.name for seg in victims]
+                if not merged.documents:
+                    retired.append(merged.name)
+            for name in retired:
+                self._remove_orphan(name)
+        self._count("merge_runs")
+        return True
+
+    def _remove_orphan(self, name: str) -> None:
+        for candidate in (name, name + ".bak"):
+            try:
+                (self.data_dir / candidate).unlink()
+            except FileNotFoundError:
+                pass
+
+    def start_merger(self, interval_s: float = 1.0) -> Watchdog:
+        """Run :meth:`merge_once` periodically on a watchdog thread."""
+        with self._lock:
+            self._ensure_open()
+            if self._merger is None:
+                self._merger = Watchdog(
+                    self.merge_once, interval_s=interval_s, name="repro-segment-merger"
+                ).start()
+            return self._merger
+
+    def close(self) -> None:
+        """Stop the merger and close the WAL; idempotent.
+
+        Does *not* seal: an unsealed memtable is fully covered by the
+        WAL and recovers on the next open.  Call :meth:`checkpoint`
+        first for a clean (replay-free) restart.
+        """
+        merger = None
+        with self._lock:
+            merger = self._merger
+            self._merger = None
+        if merger is not None:
+            merger.stop(timeout=5.0)
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._wal.close()
+
+    # -- recovery --------------------------------------------------------------
+
+    def _recover(self) -> None:
+        # Runs from __init__ before the object is shared; the lock keeps
+        # the guarded-attribute discipline uniform anyway.
+        with self._lock:
+            quarantined: list[str] = []
+            manifest = self._read_manifest()
+            if manifest is not None:
+                if bool(manifest.get("stem", True)) != self._stem or bool(
+                    manifest.get("drop_stopwords", False)
+                ) != self._drop_stopwords:
+                    raise SerializationError(
+                        f"{self.data_dir}: manifest tokenization settings "
+                        f"disagree with this index's (stem={self._stem}, "
+                        f"drop_stopwords={self._drop_stopwords})"
+                    )
+                self._applied_seq = int(manifest.get("applied_seq", 0))
+                self._seq = self._applied_seq
+                self._next_segment_id = int(manifest.get("next_segment_id", 1))
+                referenced: set[str] = set()
+                for entry in manifest.get("segments", ()):
+                    name = str(entry.get("name", ""))
+                    referenced.add(name)
+                    path = self.data_dir / name
+                    try:
+                        segment = _load_segment(path)
+                    except (SerializationError, FileNotFoundError, OSError) as exc:
+                        quarantined.append(name)
+                        # repro: ignore[lock-blocking-call] recovery runs
+                        # from __init__ before the object is shared; no
+                        # reader can be blocked by the quarantine rename.
+                        self._quarantine(path, exc)
+                        continue
+                    self._segments.append(segment)
+                    for doc_id, _ in segment.documents:
+                        self._sealed_docs[doc_id] = segment.segment_id
+                self._tombstones = {
+                    str(doc_id)
+                    for doc_id in manifest.get("tombstones", ())
+                    if str(doc_id) in self._sealed_docs
+                }
+                self._collect_garbage(referenced)
+            replayed, truncated = self._wal.replay(min_seq=self._applied_seq)
+            for seq, body in replayed:
+                self._replay_record(seq, body)
+                self._seq = seq
+            self.recovery_stats = {
+                "wal_replay_records": len(replayed),
+                "wal_truncated_bytes": truncated,
+                "quarantined_segments": quarantined,
+            }
+            if truncated and self._logger is not None:
+                self._logger.warning(
+                    "wal.truncated", path=str(self._wal.path), bytes=truncated
+                )
+            if replayed:
+                self._count("wal_replay_records", len(replayed))
+                self.recovery_stats["replay_reported"] = True
+            self._publish_segments_live()
+
+    def _read_manifest(self) -> dict[str, Any] | None:
+        path = self.data_dir / MANIFEST_NAME
+        try:
+            _, payload = read_snapshot(
+                path,
+                kind="segment-manifest",
+                versions=(MANIFEST_VERSION,),
+                fallback=True,
+            )
+        except FileNotFoundError:
+            return None
+        if not isinstance(payload.get("segments", []), list):
+            raise SnapshotCorrupted(f"{path}: manifest has no segment list")
+        return payload
+
+    def _quarantine(self, path: pathlib.Path, error: Exception) -> None:
+        """Set a corrupt segment aside (never delete evidence) and go on."""
+        if path.exists():
+            os.replace(path, path.with_name(path.name + QUARANTINE_SUFFIX))
+        if self._logger is not None:
+            self._logger.error(
+                "segment.quarantined",
+                segment=path.name,
+                error=type(error).__name__,
+                detail=str(error),
+            )
+
+    def _collect_garbage(self, referenced: set[str]) -> None:
+        """Unlink segment files no manifest references (crashed merges)."""
+        for path in self.data_dir.glob("seg-*.json"):
+            if path.name not in referenced:
+                path.unlink()
+        for path in self.data_dir.glob("seg-*.json.bak"):
+            if path.name[: -len(".bak")] not in referenced:
+                path.unlink()
+
+    def _replay_record(self, seq: int, body: dict[str, Any]) -> None:
+        op = body.get("op")
+        if op == "add":
+            doc = body.get("doc")
+            if (
+                isinstance(doc, list)
+                and len(doc) == 2
+                and isinstance(doc[0], str)
+                and isinstance(doc[1], str)
+                and not self._contains_locked(doc[0])
+            ):
+                self._apply_add(Document(doc[0], doc[1]))
+        elif op == "remove":
+            doc_id = body.get("doc_id")
+            if isinstance(doc_id, str) and self._contains_locked(doc_id):
+                self._apply_remove(doc_id)
+        # Unknown ops are skipped: a WAL written by a newer build replays
+        # what this build understands rather than refusing to start.
+
+    # -- the InvertedIndex read API --------------------------------------------
+
+    def _key(self, token_text: str) -> str:
+        return self._memtable._key(token_text)
+
+    @property
+    def document_count(self) -> int:
+        with self._lock:
+            return (
+                len(self._sealed_docs)
+                - len(self._tombstones)
+                + self._memtable.document_count
+            )
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._document_frequencies())
+
+    def document_length(self, doc_id: str) -> int:
+        with self._lock:
+            if doc_id in self._memtable._doc_lengths:
+                return self._memtable.document_length(doc_id)
+            segment_id = self._sealed_docs.get(doc_id)
+            if segment_id is None or doc_id in self._tombstones:
+                raise KeyError(doc_id)
+            return self._segment_by_id(segment_id).index.document_length(doc_id)
+
+    def _segment_by_id(self, segment_id: int) -> _Segment:
+        for segment in self._segments:
+            if segment.segment_id == segment_id:
+                return segment
+        raise KeyError(segment_id)
+
+    def documents(self) -> Iterator[str]:
+        """Live document ids, segment order then memtable insertion order."""
+        with self._lock:
+            snapshot = [
+                doc_id
+                for segment in self._segments
+                for doc_id, _ in segment.documents
+                if self._sealed_live(doc_id, segment.segment_id)
+            ]
+            snapshot.extend(doc_id for doc_id, _ in self._mem_docs)
+        return iter(snapshot)
+
+    def stored_documents(self) -> Iterator[tuple[str, str]]:
+        """Live ``(doc_id, text)`` pairs (corpus reconstruction order)."""
+        with self._lock:
+            snapshot = [
+                (doc_id, text)
+                for segment in self._segments
+                for doc_id, text in segment.documents
+                if self._sealed_live(doc_id, segment.segment_id)
+            ]
+            snapshot.extend(self._mem_docs)
+        return iter(snapshot)
+
+    def postings(self, token_text: str) -> PostingList | None:
+        """The token's posting list unioned across live segments.
+
+        Tombstoned documents are excluded.  With no sealed segments the
+        memtable's own list is returned (zero-copy, same semantics as
+        the monolithic index); otherwise a merged copy is built once and
+        cached until the next mutation.
+        """
+        with self._lock:
+            if not self._segments:
+                return self._memtable.postings(token_text)
+            key = self._key(token_text)
+            if key in self._merged_postings:
+                return self._merged_postings[key]
+            merged = self._build_merged_posting(key)
+            self._merged_postings[key] = merged
+            return merged
+
+    def _build_merged_posting(self, key: str) -> PostingList | None:
+        merged: PostingList | None = None
+        for segment in self._segments:
+            posting = segment.index._postings.get(key)
+            if posting is None:
+                continue
+            for doc_id in posting.documents():
+                if not self._sealed_live(doc_id, segment.segment_id):
+                    continue
+                if merged is None:
+                    merged = PostingList(key)
+                merged._postings[doc_id] = list(posting._postings[doc_id])
+        mem = self._memtable._postings.get(key)
+        if mem is not None:
+            if merged is None:
+                merged = PostingList(key)
+            for doc_id in mem.documents():
+                merged._postings[doc_id] = list(mem._postings[doc_id])
+        return merged
+
+    def frequent_tokens(self, n: int) -> list[str]:
+        """The ``n`` live index keys with the highest document frequency.
+
+        The full ranking is computed once per generation and sliced —
+        the monolithic index re-sorted the vocabulary on every call.
+        """
+        with self._lock:
+            if self._frequent_ranked is None:
+                df = self._document_frequencies()
+                self._frequent_ranked = [
+                    token
+                    for token, _ in sorted(
+                        df.items(), key=lambda item: (-item[1], item[0])
+                    )
+                ]
+            return self._frequent_ranked[:n]
+
+    def _document_frequencies(self) -> dict[str, int]:
+        with self._lock:
+            if self._df_map is None:
+                df: dict[str, int] = {}
+                for segment in self._segments:
+                    for token, posting in segment.index._postings.items():
+                        count = sum(
+                            1
+                            for doc_id in posting.documents()
+                            if self._sealed_live(doc_id, segment.segment_id)
+                        )
+                        if count:
+                            df[token] = df.get(token, 0) + count
+                for token, posting in self._memtable._postings.items():
+                    df[token] = df.get(token, 0) + posting.document_frequency
+                self._df_map = df
+            return self._df_map
+
+    def positions(self, token_text: str, doc_id: str) -> tuple[int, ...]:
+        posting = self.postings(token_text)
+        if posting is None:
+            return ()
+        return posting.positions(doc_id)
+
+    # Pure derivations over self.positions / self.postings — the
+    # monolithic implementations apply verbatim.
+    phrase_positions = InvertedIndex.phrase_positions
+    phrase_documents = InvertedIndex.phrase_documents
+
+    # -- export ----------------------------------------------------------------
+
+    def to_inverted_index(self) -> InvertedIndex:
+        """A monolithic copy of the live view (portable snapshots, oracles)."""
+        with self._lock:
+            copy = InvertedIndex(
+                stem=self._stem, drop_stopwords=self._drop_stopwords
+            )
+            for doc_id, text in self.stored_documents():
+                copy.add_document(Document(doc_id, text))
+            return copy
+
+    @property
+    def segments_live(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"SegmentedIndex({self.document_count} docs, "
+                f"{len(self._segments)} segments + memtable, "
+                f"gen={self._seq})"
+            )

@@ -48,6 +48,8 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "scatter",  # cluster fan-out of one query to every live shard
         "shard",  # one shard RPC (child of scatter; finished by its I/O thread)
         "merge",  # threshold-algorithm merge of the shard k-best streams
+        "segment.seal",  # memtable flush to an immutable segment + manifest commit
+        "segment.merge",  # background compaction of small segments into one
     }
 )
 
@@ -61,6 +63,8 @@ LOG_EVENTS: frozenset[str] = frozenset(
         "breaker.shed",  # a batch shed to the degraded join
         "join.retry",  # transient exact-join failure being retried
         "shard.respawn",  # the cluster watchdog replaced a dead shard worker
+        "segment.quarantined",  # recovery set a corrupt segment file aside
+        "wal.truncated",  # recovery cut a torn (unacknowledged) WAL tail
     }
 )
 
@@ -94,6 +98,9 @@ COUNTER_SPECS: dict[str, tuple[str, str]] = {
     "shard_failures": ("repro_shard_failures_total", "Shard RPCs that failed (dead worker, transport, timeout)"),
     "shard_respawns": ("repro_shard_respawns_total", "Shard workers respawned by the cluster watchdog"),
     "merge_pulls_saved": ("repro_merge_pulls_saved_total", "Shard-shipped entries the threshold merge never pulled"),
+    "wal_appends": ("repro_wal_appends_total", "Acknowledged (fsynced) write-ahead-log records"),
+    "wal_replay_records": ("repro_wal_replay_records_total", "WAL records re-applied during recovery"),
+    "merge_runs": ("repro_merge_runs_total", "Segment compactions committed by the background merger"),
 }
 
 #: The JSON-side counter names (what ``ServiceMetrics.increment`` takes).
@@ -116,6 +123,7 @@ PROMETHEUS_NAMES: frozenset[str] = frozenset(
     | set(CACHE_GAUGES)
     | {
         "repro_queue_depth",
+        "repro_segments_live",
         "repro_uptime_seconds",
         "repro_completed_total",
         "repro_request_latency_seconds",

@@ -73,6 +73,13 @@ FAULT_POINTS: dict[str, str] = {
     "worker.loop": "top of an executor worker's loop (kills the worker)",
     "shard.query": "a shard worker, before executing one query (delay "
     "mode holds the shard mid-query; crash mode kills the process)",
+    "wal.append": "one WAL record line before it reaches the file "
+    "(delay mode holds the writer pre-durability — the kill -9 window; "
+    "corrupt mode truncates the line, a simulated torn write)",
+    "segment.seal": "entry of a memtable seal, before the segment file "
+    "or manifest is written (delay mode holds the seal mid-flight)",
+    "merge.swap": "after the merged segment file is written, before "
+    "the manifest swap commits it (delay mode holds the swap window)",
 }
 
 _MODES = ("error", "transient", "crash", "delay", "corrupt")

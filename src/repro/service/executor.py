@@ -447,21 +447,60 @@ class QueryExecutor:
             query_text, top_k=top_k, scoring=scoring, timeout=timeout
         ).result()
 
-    def apply(self, mutator: Callable[[SearchSystem], T]) -> T:
-        """Run a mutation exclusively (no query observes it half-done).
+    def apply(
+        self, mutator: Callable[[SearchSystem], T], *, exclusive: bool = True
+    ) -> T:
+        """Run a mutation (by default exclusively — no query observes it
+        half-done).
 
         ``mutator`` receives the system; e.g.
         ``executor.apply(lambda s: s.add(doc))``.  Afterwards, cache
         entries from older generations are dropped eagerly.
+
+        ``exclusive=False`` runs the mutator under the *read* side of
+        the query lock — concurrent with in-flight queries.  Only sound
+        for systems that serialize mutations internally and key reads
+        by generation (``system.supports_concurrent_writes``): a query
+        racing the append ranks against either the old or the new
+        generation, both consistent, and its cached result is keyed by
+        the generation it actually read.
         """
-        with self._rwlock.write():
-            result = mutator(self.system)
+        if exclusive:
+            with self._rwlock.write():
+                result = mutator(self.system)
+        else:
+            with self._rwlock.read():
+                result = mutator(self.system)
         if self.cache is not None:
             try:
                 self.cache.drop_older_generations(self.system.index_generation)
             except Exception:
                 self.metrics.increment("cache_errors")
         return result
+
+    def ingest(self, *documents) -> int:
+        """Add documents through the mutation path; returns the new
+        generation.
+
+        Durable systems take the non-exclusive path: the WAL lock
+        serializes writers, queries keep flowing.
+        """
+        exclusive = not getattr(self.system, "supports_concurrent_writes", False)
+        def add(system: SearchSystem) -> int:
+            system.add(*documents)
+            return system.index_generation
+        return self.apply(add, exclusive=exclusive)
+
+    def delete(self, doc_id: str) -> int:
+        """Remove one document through the mutation path; returns the
+        new generation.  Always exclusive: the corpus drop and the
+        index tombstone must be observed atomically by the online
+        (matcher) query path, which scans the corpus directly.
+        """
+        def remove(system: SearchSystem) -> int:
+            system.remove(doc_id)
+            return system.index_generation
+        return self.apply(remove)
 
     # -- health ---------------------------------------------------------------
 

@@ -29,6 +29,7 @@ Metric glossary (see also docs/SERVING.md and docs/OBSERVABILITY.md):
 ``shard_respawns``      shard workers respawned by the cluster watchdog
 ``merge_pulls_saved``   shard-shipped entries the threshold merge never pulled
 ``queue_depth``         current executor backlog (gauge)
+``segments_live``       sealed segments in the durable index (gauge)
 ``latency_p50``/``latency_p95``/``latency_p99``  request latency quantiles
 ``qps``                 completed requests / elapsed wall-clock
 
@@ -114,6 +115,9 @@ class ServiceMetrics:
         self._queue_depth = self.registry.gauge(
             "repro_queue_depth", "Current executor backlog"
         )
+        self._segments_live = self.registry.gauge(
+            "repro_segments_live", "Sealed segments in the durable index"
+        )
         self._latency_hist = self.registry.histogram(
             "repro_request_latency_seconds",
             "End-to-end request latency",
@@ -160,6 +164,9 @@ class ServiceMetrics:
 
     def set_queue_depth(self, depth: int) -> None:
         self._queue_depth.set(depth)
+
+    def set_segments_live(self, count: int) -> None:
+        self._segments_live.set(count)
 
     def observe_latency(self, seconds: float) -> None:
         """Record one completed request's end-to-end latency."""
@@ -219,6 +226,7 @@ class ServiceMetrics:
         return {
             **counts,
             "queue_depth": int(self._queue_depth.value()),
+            "segments_live": int(self._segments_live.value()),
             "completed_total": completed,
             "uptime_s": elapsed,
             "qps": completed / elapsed if elapsed > 0 else 0.0,

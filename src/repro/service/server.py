@@ -8,6 +8,14 @@
     as a JSON body.  Overload maps to ``503``, an expired deadline to
     ``504``, a bad query or malformed parameter to ``400``.  Every
     error body is structured: ``{"error": {"code": …, "message": …}}``.
+``POST /documents`` with body ``{"id": …, "text": …}``
+    Index one document through ``executor.apply``; ``201`` with the new
+    generation on success, ``409`` (``duplicate_document``) when the id
+    is already live, ``501`` (``mutations_unsupported``) on a cluster
+    front end (shards own their corpus slices).
+``DELETE /documents/<id>``
+    Remove one document (durable systems tombstone it); ``200`` with
+    the new generation, ``404`` when the id is not indexed.
 ``GET /metrics``
     Prometheus text exposition (version 0.0.4) of every counter, gauge,
     and histogram; ``GET /metrics?format=json`` returns the legacy JSON
@@ -28,7 +36,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import parse_qs, urlsplit
+from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.matching.queries import QuerySyntaxError
 from repro.obs.taxonomy import CACHE_GAUGES
@@ -205,7 +213,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(404, "not_found", f"no such endpoint: {url.path}")
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        if urlsplit(self.path).path != "/search":
+        path = urlsplit(self.path).path
+        if path not in ("/search", "/documents"):
             self._send_error_json(404, "not_found", f"no such endpoint: {self.path}")
             return
         length = int(self.headers.get("Content-Length") or 0)
@@ -217,7 +226,84 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(params, dict):
             self._send_error_json(400, "bad_json", "JSON body must be an object")
             return
-        self._search({str(k): v for k, v in params.items()})
+        params = {str(k): v for k, v in params.items()}
+        if path == "/documents":
+            self._add_document(params)
+        else:
+            self._search(params)
+
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path
+        if not path.startswith("/documents/"):
+            self._send_error_json(404, "not_found", f"no such endpoint: {self.path}")
+            return
+        doc_id = unquote(path[len("/documents/"):])
+        if not doc_id or "/" in doc_id:
+            self._send_error_json(
+                400, "invalid_parameter", f"bad document id {doc_id!r}"
+            )
+            return
+        executor = self.server.executor
+
+        def remove(system) -> int:
+            system.remove(doc_id)
+            return system.index_generation
+
+        try:
+            generation = executor.apply(remove)
+        except KeyError:
+            self._send_error_json(
+                404, "not_found", f"document {doc_id!r} not indexed"
+            )
+        except RuntimeError as exc:
+            self._send_mutation_error(exc)
+        else:
+            self._send_json(200, {"id": doc_id, "generation": generation})
+
+    def _add_document(self, params: dict) -> None:
+        doc_id = params.get("id")
+        text = params.get("text")
+        if not isinstance(doc_id, str) or not doc_id:
+            self._send_error_json(
+                400, "missing_parameter", "missing document field 'id'"
+            )
+            return
+        if not isinstance(text, str):
+            self._send_error_json(
+                400, "missing_parameter", "missing document field 'text'"
+            )
+            return
+        from repro.text.document import Document
+
+        executor = self.server.executor
+        ingest = getattr(executor, "ingest", None)
+        try:
+            if ingest is not None:
+                generation = ingest(Document(doc_id, text))
+            else:
+                def add(system) -> int:
+                    system.add(Document(doc_id, text))
+                    return system.index_generation
+
+                generation = executor.apply(add)
+        except ValueError as exc:
+            self._send_error_json(409, "duplicate_document", str(exc))
+        except RuntimeError as exc:
+            self._send_mutation_error(exc)
+        else:
+            self._send_json(201, {"id": doc_id, "generation": generation})
+
+    def _send_mutation_error(self, exc: RuntimeError) -> None:
+        """Cluster front ends reject mutations (shards own their corpus
+        slices): a structured 501 instead of a masked 500."""
+        try:
+            from repro.cluster import ClusterMutationError
+        except ImportError:  # pragma: no cover - cluster always ships
+            ClusterMutationError = ()  # type: ignore[assignment]
+        if isinstance(exc, ClusterMutationError):
+            self._send_error_json(501, "mutations_unsupported", str(exc))
+        else:
+            self._send_error_json(500, "internal", f"{type(exc).__name__}: {exc}")
 
     def _search(self, params: dict) -> None:
         query_text = params.get("q") or params.get("query")

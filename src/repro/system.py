@@ -36,6 +36,7 @@ from repro.index.inverted import InvertedIndex
 from repro.index.io import index_from_dict, index_to_dict
 from repro.index.matchlists import ConceptIndex
 from repro.index.pairs import PairIndex, build_pair_index
+from repro.index.segments import SegmentedIndex
 from repro.lexicon.graph import LexicalGraph
 from repro.matching.pipeline import QueryMatcher
 from repro.matching.queries import parse_query
@@ -61,6 +62,14 @@ class SearchSystem:
     lexicon:
         Lexical graph for semantic matching and concept expansion
         (defaults to the built-in curated lexicon).
+    data_dir:
+        When given, the system is *durable*: the index is a
+        :class:`~repro.index.segments.SegmentedIndex` rooted at this
+        directory (WAL + sealed segments), every :meth:`add` /
+        :meth:`remove` is acknowledged only once fsynced, and opening
+        the same directory again recovers the exact acknowledged state.
+    seal_threshold / merge_fanin:
+        Durable-mode tuning, forwarded to :class:`SegmentedIndex`.
     """
 
     def __init__(
@@ -68,18 +77,57 @@ class SearchSystem:
         *,
         scoring: ScoringFunction | None = None,
         lexicon: LexicalGraph | None = None,
+        data_dir: str | pathlib.Path | None = None,
+        seal_threshold: int = 2048,
+        merge_fanin: int = 4,
     ) -> None:
         self.scoring = scoring or trec_max()
         self.lexicon = lexicon
         self.corpus = Corpus()
-        self.index = InvertedIndex()
+        if data_dir is not None:
+            self.index: InvertedIndex | SegmentedIndex = SegmentedIndex.recover(
+                data_dir,
+                seal_threshold=seal_threshold,
+                merge_fanin=merge_fanin,
+            )
+            for doc_id, text in self.index.stored_documents():
+                self.corpus.add(Document(doc_id, text))
+        else:
+            self.index = InvertedIndex()
+        self._durable = data_dir is not None
         self._concepts = ConceptIndex(self.index, lexicon=lexicon)
         self._generation = 0
         # Optional two-term proximity index (build_pair_index); consulted
         # by the DAAT path only while its generation matches.
         self._pair_index: PairIndex | None = None
 
+    @classmethod
+    def open(
+        cls, data_dir: str | pathlib.Path, **options
+    ) -> "SearchSystem":
+        """Open (or create) a durable system at ``data_dir``.
+
+        Recovery alias: replays the WAL over the newest valid manifest
+        and rebuilds the corpus from the recovered live documents.
+        """
+        return cls(data_dir=data_dir, **options)
+
     # -- corpus management ---------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """True when backed by a WAL + segment directory."""
+        return self._durable
+
+    @property
+    def supports_concurrent_writes(self) -> bool:
+        """Whether appends may run concurrently with reads.
+
+        Durable systems serialize mutations internally (the WAL lock)
+        and key every read cache by :attr:`index_generation`, so the
+        executor can apply appends without whole-index exclusivity.
+        """
+        return self._durable
 
     @property
     def index_generation(self) -> int:
@@ -89,24 +137,45 @@ class SearchSystem:
         :meth:`remove` call and on :meth:`load`.  Rankings computed for a
         query are only valid within one generation: any cached result
         must be keyed on (or invalidated by) this counter, which is
-        exactly what :class:`repro.service.ResultCache` does.
+        exactly what :class:`repro.service.ResultCache` does.  Durable
+        systems derive it from the index's acknowledged WAL sequence —
+        still monotonic, and now stable across restarts.
         """
+        if self._durable:
+            return self.index.generation
         return self._generation
 
     def add(self, *documents: Document) -> None:
-        """Add documents (indexed immediately)."""
+        """Add documents (indexed immediately; durably when backed)."""
+        if not documents:
+            return
+        if self._durable:
+            # The index validates the whole batch, then acknowledges it
+            # under one WAL group commit; only then does the corpus see
+            # the documents (so a rejected batch changes nothing).
+            self.index.add_documents(documents)
+            for doc in documents:
+                self.corpus.add(doc)
+            return
         for doc in documents:
             self.corpus.add(doc)
             self.index.add_document(doc)
-        if documents:
-            self._generation += 1
+        self._generation += 1
 
     def add_texts(self, texts: Iterable[tuple[str, str]]) -> None:
         """Add ``(doc_id, text)`` pairs."""
         self.add(*(Document(doc_id, text) for doc_id, text in texts))
 
     def remove(self, doc_id: str) -> None:
-        """Remove a document from the corpus and the index."""
+        """Remove a document from the corpus and the index.
+
+        Durable systems record the delete in the WAL (memtable removal
+        or tombstone) before the corpus forgets the document.
+        """
+        if self._durable:
+            self.index.remove_document(doc_id)
+            self.corpus.remove(doc_id)
+            return
         self.corpus.remove(doc_id)
         self.index.remove_document(doc_id)
         self._generation += 1
@@ -136,7 +205,7 @@ class SearchSystem:
         self._pair_index = build_pair_index(
             self._concepts,
             terms,
-            generation=self._generation,
+            generation=self.index_generation,
             max_pairs=max_pairs,
             min_pair_df=min_pair_df,
             max_entries=max_entries,
@@ -170,13 +239,17 @@ class SearchSystem:
     ):
         if matcher is None:
             terms = list(query)
+            # One generation read for the whole scan: concurrent durable
+            # appends may bump it mid-iteration, and every cached list
+            # must key on the same pre-scan value.
+            generation = self.index_generation
             for doc_id in self._concepts.candidate_documents(terms):
                 # Passing the generation turns on the index's persistent
                 # list cache, so repeat queries reuse the same MatchList
                 # objects — and with them the warm columnar kernels and
                 # cached max-score bounds.
                 yield doc_id, self._concepts.match_lists(
-                    terms, doc_id, memo=memo, generation=self._generation
+                    terms, doc_id, memo=memo, generation=generation
                 )
         else:
             for doc in self.corpus:
@@ -216,7 +289,7 @@ class SearchSystem:
                 query,
                 scoring,
                 top_k,
-                generation=self._generation,
+                generation=self.index_generation,
                 avoid_duplicates=avoid_duplicates,
                 memo=memo,
                 pair_index=pair_index,
@@ -397,23 +470,52 @@ class SearchSystem:
     #: System snapshot payload version (v1 = pre-envelope raw JSON).
     SNAPSHOT_VERSION = 2
 
-    def save(self, path: str | pathlib.Path) -> None:
+    def save(self, path: str | pathlib.Path | None = None) -> None:
         """Persist corpus + index as one crash-safe snapshot file.
 
         Written atomically (temp file + fsync + rename) under a
         checksummed envelope, keeping the previous generation as
         ``<path>.bak`` — see :mod:`repro.reliability.snapshot`.
+
+        A durable system called without a path checkpoints in place
+        instead (seal + manifest + WAL truncation) — every acknowledged
+        write is already on disk, so this only compacts the restart.
+        With a path it writes a portable monolithic snapshot of the
+        live view, loadable by :meth:`load` anywhere.
         """
+        if path is None:
+            if not self._durable:
+                raise ValueError("save() needs a path for an in-memory system")
+            self.index.checkpoint()
+            return
+        index = self.index.to_inverted_index() if self._durable else self.index
         payload = {
             "version": self.SNAPSHOT_VERSION,
             "documents": [
                 {"id": doc.doc_id, "text": doc.text} for doc in self.corpus
             ],
-            "index": index_to_dict(self.index),
+            "index": index_to_dict(index),
         }
         write_snapshot(
             path, kind="system", version=self.SNAPSHOT_VERSION, payload=payload
         )
+
+    def start_maintenance(self, interval_s: float = 1.0):
+        """Start the durable index's background merge watchdog."""
+        if not self._durable:
+            raise ValueError("maintenance applies to durable systems only")
+        return self.index.start_merger(interval_s)
+
+    def attach_observability(self, *, metrics=None, logger=None) -> None:
+        """Wire serving metrics/logger into the durable index (no-op
+        for in-memory systems)."""
+        if self._durable:
+            self.index.attach(metrics=metrics, logger=logger)
+
+    def close(self) -> None:
+        """Release durable resources (merger thread, WAL handle)."""
+        if self._durable:
+            self.index.close()
 
     @classmethod
     def load(

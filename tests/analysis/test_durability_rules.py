@@ -1,0 +1,167 @@
+"""Fixture tests for the durability rule family."""
+
+from dataclasses import replace
+
+from tests.analysis.conftest import FIXTURE_CONFIG
+
+DURABLE_CONFIG = replace(
+    FIXTURE_CONFIG,
+    durability_packages=("store",),
+    durability_allowed_writers=frozenset({"Wal", "Store._quarantine"}),
+)
+
+
+def _rules_of(result):
+    return [(f.rule, f.symbol) for f in result.active]
+
+
+class TestDurabilityRawWrite:
+    def test_raw_write_open_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "store/seg.py": """
+                class Store:
+                    def save(self, path, data):
+                        with open(path, "w") as handle:
+                            handle.write(data)
+                """
+            },
+            rules=["durability-raw-write"],
+            config=DURABLE_CONFIG,
+        )
+        assert _rules_of(result) == [("durability-raw-write", "Store.save")]
+        assert "write_snapshot" in result.active[0].message
+
+    def test_read_open_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "store/seg.py": """
+                class Store:
+                    def load(self, path):
+                        with open(path, "r") as handle:
+                            return handle.read()
+
+                    def load_default_mode(self, path):
+                        with open(path) as handle:
+                            return handle.read()
+                """
+            },
+            rules=["durability-raw-write"],
+            config=DURABLE_CONFIG,
+        )
+        assert result.active == []
+
+    def test_dynamic_mode_assumes_the_worst(self, run_analysis):
+        result = run_analysis(
+            {
+                "store/seg.py": """
+                class Store:
+                    def save(self, path, mode):
+                        with open(path, mode) as handle:
+                            handle.write("x")
+                """
+            },
+            rules=["durability-raw-write"],
+            config=DURABLE_CONFIG,
+        )
+        assert _rules_of(result) == [("durability-raw-write", "Store.save")]
+
+    def test_os_replace_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "store/seg.py": """
+                import os
+
+                def swap(src, dst):
+                    os.replace(src, dst)
+                """
+            },
+            rules=["durability-raw-write"],
+            config=DURABLE_CONFIG,
+        )
+        assert _rules_of(result) == [("durability-raw-write", "swap")]
+        assert "os.replace" in result.active[0].message
+
+    def test_write_text_method_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "store/seg.py": """
+                def stamp(path):
+                    path.write_text("done")
+                """
+            },
+            rules=["durability-raw-write"],
+            config=DURABLE_CONFIG,
+        )
+        assert _rules_of(result) == [("durability-raw-write", "stamp")]
+
+    def test_allowed_writers_are_exempt(self, run_analysis):
+        result = run_analysis(
+            {
+                "store/seg.py": """
+                import os
+
+                class Wal:
+                    def append(self, path, line):
+                        with open(path, "ab") as handle:
+                            handle.write(line)
+
+                    def reset(self, handle):
+                        handle.truncate(0)
+
+                class Store:
+                    def _quarantine(self, path):
+                        os.replace(path, str(path) + ".quarantined")
+                """
+            },
+            rules=["durability-raw-write"],
+            config=DURABLE_CONFIG,
+        )
+        assert result.active == []
+
+    def test_allowed_prefix_does_not_leak_to_similar_names(self, run_analysis):
+        # "Walrus" must not inherit "Wal"'s exemption.
+        result = run_analysis(
+            {
+                "store/seg.py": """
+                class Walrus:
+                    def save(self, path):
+                        with open(path, "w") as handle:
+                            handle.write("x")
+                """
+            },
+            rules=["durability-raw-write"],
+            config=DURABLE_CONFIG,
+        )
+        assert _rules_of(result) == [("durability-raw-write", "Walrus.save")]
+
+    def test_out_of_scope_packages_ignored(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/io.py": """
+                def save(path):
+                    with open(path, "w") as handle:
+                        handle.write("x")
+                """
+            },
+            rules=["durability-raw-write"],
+            config=DURABLE_CONFIG,
+        )
+        assert result.active == []
+
+    def test_envelope_helper_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "store/seg.py": """
+                from repro.reliability.snapshot import write_snapshot
+
+                class Store:
+                    def seal(self, path, payload):
+                        write_snapshot(path, kind="segment", version=1,
+                                       payload=payload)
+                """
+            },
+            rules=["durability-raw-write"],
+            config=DURABLE_CONFIG,
+        )
+        assert result.active == []

@@ -69,3 +69,26 @@ class TestInvertedIndex:
     def test_vocabulary_size(self, corpus):
         index = InvertedIndex.build(corpus)
         assert index.vocabulary_size > 5
+
+    def test_frequent_tokens_ranking(self, corpus):
+        index = InvertedIndex.build(corpus)
+        top = index.frequent_tokens(1)
+        assert top == ["lenovo"]  # df=2 beats every df=1 token
+        full = index.frequent_tokens(index.vocabulary_size)
+        assert len(full) == index.vocabulary_size
+        # Ties break lexicographically on the stemmed key.
+        singles = full[1:]
+        assert singles == sorted(singles)
+
+    def test_frequent_tokens_memo_invalidated_by_mutation(self, corpus):
+        index = InvertedIndex.build(corpus)
+        first = index.frequent_tokens(3)
+        # The full ranking is memoized: a second call reuses it.
+        assert index._frequent_ranked is not None
+        assert index.frequent_tokens(3) == first
+        index.add_document(Document("d3", "dell dell servers"))
+        assert index._frequent_ranked is None  # mutation invalidates
+        assert index.frequent_tokens(1) == ["dell"]  # df=2 now, pre-"lenovo"
+        index.remove_document("d3")
+        assert index._frequent_ranked is None
+        assert index.frequent_tokens(3) == first

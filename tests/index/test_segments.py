@@ -1,0 +1,443 @@
+"""Durable segmented index: WAL, seal, merge, recovery, read-API parity.
+
+The contract under test is twofold.  Durability: every acknowledged
+mutation survives close-and-reopen, through any interleaving of seals
+and merges, and recovery tolerates a torn WAL tail and corrupt segment
+files (quarantine, never crash).  Fidelity: at every point the read API
+is byte-identical to a monolithic :class:`InvertedIndex` fed the same
+live document set — same postings, same positions, same frequency
+ranking, same tie order.
+"""
+
+import json
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.index.segments import (
+    MANIFEST_NAME,
+    QUARANTINE_SUFFIX,
+    WAL_NAME,
+    SegmentedIndex,
+    WriteAheadLog,
+)
+from repro.obs.log import MemorySink, StructuredLogger
+from repro.text.document import Document
+
+DOCS = [
+    ("d1", "Lenovo partners with the NBA on marketing"),
+    ("d2", "Dell and Lenovo are PC makers building laptops"),
+    ("d3", "the olympic games and the olympic flame"),
+    ("d4", "a bakery opened downtown nothing about computers"),
+    ("d5", "Lenovo laptops at the olympic games"),
+]
+
+#: Surface words covering every corpus document, queried through the
+#: public API on both the durable index and the monolithic oracle.
+PROBE_WORDS = [
+    "lenovo", "partners", "nba", "marketing", "dell", "makers",
+    "laptops", "olympic", "games", "flame", "bakery", "computers",
+    "missing",
+]
+
+
+def build(tmp_path, **options):
+    return SegmentedIndex.recover(tmp_path / "data", **options)
+
+
+def oracle_for(pairs):
+    oracle = InvertedIndex()
+    for doc_id, text in pairs:
+        oracle.add_document(Document(doc_id, text))
+    return oracle
+
+
+def assert_matches_oracle(index, oracle):
+    """Byte-identical read API: the whole durable-fidelity contract."""
+    assert index.document_count == oracle.document_count
+    assert sorted(index.documents()) == sorted(oracle.documents())
+    assert index.vocabulary_size == oracle.vocabulary_size
+    full = oracle.vocabulary_size
+    assert index.frequent_tokens(full) == oracle.frequent_tokens(full)
+    assert index.frequent_tokens(3) == oracle.frequent_tokens(3)
+    for doc_id in oracle.documents():
+        assert index.document_length(doc_id) == oracle.document_length(doc_id)
+    for word in PROBE_WORDS:
+        got, want = index.postings(word), oracle.postings(word)
+        if want is None:
+            assert got is None
+            continue
+        assert got is not None
+        assert sorted(got.documents()) == sorted(want.documents())
+        for doc_id in want.documents():
+            assert index.positions(word, doc_id) == oracle.positions(word, doc_id)
+
+
+def add_all(index, pairs):
+    index.add_documents([Document(doc_id, text) for doc_id, text in pairs])
+
+
+class TestWriteAheadLog:
+    def test_append_replay_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append(1, {"op": "add", "doc": ["a", "x"]})
+        wal.append(2, {"op": "remove", "doc_id": "a"})
+        wal.close()
+        records, truncated = WriteAheadLog(tmp_path / "wal.log").replay()
+        assert truncated == 0
+        assert records == [
+            (1, {"op": "add", "doc": ["a", "x"]}),
+            (2, {"op": "remove", "doc_id": "a"}),
+        ]
+
+    def test_replay_skips_applied_prefix(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        for seq in range(1, 5):
+            wal.append(seq, {"op": "add", "doc": [f"d{seq}", "t"]})
+        wal.close()
+        records, _ = WriteAheadLog(tmp_path / "wal.log").replay(min_seq=2)
+        assert [seq for seq, _ in records] == [3, 4]
+
+    def test_torn_tail_is_truncated_not_fatal(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(1, {"op": "add", "doc": ["a", "x"]})
+        wal.append(2, {"op": "add", "doc": ["b", "y"]})
+        wal.close()
+        with open(path, "ab") as handle:
+            handle.write(b'{"seq": 3, "body"')  # the crash mid-write
+        records, truncated = WriteAheadLog(path).replay()
+        assert [seq for seq, _ in records] == [1, 2]
+        assert truncated > 0
+        # The torn bytes are gone from disk: a second replay is clean.
+        records, truncated = WriteAheadLog(path).replay()
+        assert [seq for seq, _ in records] == [1, 2]
+        assert truncated == 0
+
+    def test_checksum_mismatch_truncates_from_bad_record(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(1, {"op": "add", "doc": ["a", "x"]})
+        wal.append(2, {"op": "add", "doc": ["b", "y"]})
+        wal.append(3, {"op": "add", "doc": ["c", "z"]})
+        wal.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        doctored = json.loads(lines[1])
+        doctored["body"]["doc"] = ["b", "EVIL"]
+        lines[1] = (json.dumps(doctored) + "\n").encode()
+        path.write_bytes(b"".join(lines))
+        records, truncated = WriteAheadLog(path).replay()
+        # Everything from the corrupt record on is suspect: record 3 is
+        # dropped with it even though its own checksum is fine.
+        assert [seq for seq, _ in records] == [1]
+        assert truncated > 0
+
+    def test_non_monotonic_sequence_truncates(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(1, {"op": "add", "doc": ["a", "x"]})
+        wal.append(2, {"op": "add", "doc": ["b", "y"]})
+        wal.close()
+        duplicate = path.read_bytes().splitlines(keepends=True)[1]
+        with open(path, "ab") as handle:
+            handle.write(duplicate)  # replayed seq 2 again
+        records, truncated = WriteAheadLog(path).replay()
+        assert [seq for seq, _ in records] == [1, 2]
+        assert truncated > 0
+
+    def test_reset_empties_the_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append(1, {"op": "add", "doc": ["a", "x"]})
+        wal.reset()
+        wal.append(5, {"op": "add", "doc": ["b", "y"]})
+        wal.close()
+        records, _ = WriteAheadLog(tmp_path / "wal.log").replay()
+        assert [seq for seq, _ in records] == [5]
+
+
+class TestDurability:
+    def test_fresh_directory_is_empty(self, tmp_path):
+        index = build(tmp_path)
+        assert index.document_count == 0
+        assert index.generation == 0
+        assert index.recovery_stats["wal_replay_records"] == 0
+        index.close()
+
+    def test_acknowledged_adds_survive_reopen(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS)
+        generation = index.generation
+        index.close()
+        reopened = build(tmp_path)
+        assert reopened.generation == generation
+        assert reopened.recovery_stats["wal_replay_records"] == len(DOCS)
+        assert_matches_oracle(reopened, oracle_for(DOCS))
+        reopened.close()
+
+    def test_removes_survive_reopen(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS)
+        index.remove_document("d2")
+        index.close()
+        reopened = build(tmp_path)
+        expected = [pair for pair in DOCS if pair[0] != "d2"]
+        assert_matches_oracle(reopened, oracle_for(expected))
+        with pytest.raises(KeyError):
+            reopened.document_length("d2")
+        reopened.close()
+
+    def test_checkpoint_truncates_the_wal(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS)
+        index.checkpoint()
+        assert (index.data_dir / WAL_NAME).stat().st_size == 0
+        assert (index.data_dir / MANIFEST_NAME).exists()
+        index.close()
+        reopened = build(tmp_path)
+        # A clean checkpoint restarts replay-free.
+        assert reopened.recovery_stats["wal_replay_records"] == 0
+        assert_matches_oracle(reopened, oracle_for(DOCS))
+        reopened.close()
+
+    def test_batch_duplicate_is_atomic(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS[:2])
+        with pytest.raises(ValueError):
+            add_all(index, [("d9", "new text"), ("d1", "duplicate")])
+        generation = index.generation
+        assert_matches_oracle(index, oracle_for(DOCS[:2]))
+        index.close()
+        reopened = build(tmp_path)
+        # Nothing from the failed batch reached the WAL.
+        assert reopened.generation == generation
+        assert_matches_oracle(reopened, oracle_for(DOCS[:2]))
+        reopened.close()
+
+    def test_remove_unknown_document_raises(self, tmp_path):
+        index = build(tmp_path)
+        with pytest.raises(KeyError):
+            index.remove_document("ghost")
+        index.close()
+
+    def test_closed_index_rejects_mutation(self, tmp_path):
+        index = build(tmp_path)
+        index.close()
+        index.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            index.add_document(Document("d1", "text"))
+
+
+class TestSealAndMerge:
+    def test_seal_preserves_reads_and_generation(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS)
+        generation = index.generation
+        segment_id = index.seal()
+        assert segment_id is not None
+        assert index.segments_live == 1
+        assert index.generation == generation  # content-preserving
+        assert_matches_oracle(index, oracle_for(DOCS))
+        assert index.seal() is None  # nothing new: no-op
+        index.close()
+
+    def test_automatic_seal_at_threshold(self, tmp_path):
+        index = build(tmp_path, seal_threshold=2)
+        for doc_id, text in DOCS:
+            index.add_document(Document(doc_id, text))
+        assert index.segments_live >= 2
+        assert_matches_oracle(index, oracle_for(DOCS))
+        index.close()
+
+    def test_merge_compacts_segments_identically(self, tmp_path):
+        index = build(tmp_path, merge_fanin=2)
+        for doc_id, text in DOCS:
+            index.add_document(Document(doc_id, text))
+            index.seal()
+        assert index.segments_live == len(DOCS)
+        generation = index.generation
+        while index.merge_once():
+            pass
+        assert index.segments_live == 1
+        assert index.generation == generation
+        assert_matches_oracle(index, oracle_for(DOCS))
+        # Retired segment files are gone from disk.
+        assert len(list(index.data_dir.glob("seg-*.json"))) == 1
+        index.close()
+
+    def test_merge_below_fanin_is_noop(self, tmp_path):
+        index = build(tmp_path, merge_fanin=4)
+        add_all(index, DOCS)
+        index.seal()
+        assert index.merge_once() is False
+        index.close()
+
+    def test_merge_drops_tombstoned_documents(self, tmp_path):
+        index = build(tmp_path, merge_fanin=2)
+        for doc_id, text in DOCS:
+            index.add_document(Document(doc_id, text))
+            index.seal()
+        index.remove_document("d1")
+        index.remove_document("d3")
+        while index.merge_once():
+            pass
+        expected = [p for p in DOCS if p[0] not in ("d1", "d3")]
+        assert_matches_oracle(index, oracle_for(expected))
+        # The tombstones retired with the dropped postings: nothing in
+        # the manifest resurrects them on reopen.
+        index.close()
+        reopened = build(tmp_path)
+        assert_matches_oracle(reopened, oracle_for(expected))
+        reopened.close()
+
+    def test_merge_drops_superseded_copies(self, tmp_path):
+        index = build(tmp_path, merge_fanin=2)
+        add_all(index, DOCS[:2])
+        index.seal()
+        index.remove_document("d1")
+        index.add_document(Document("d1", "an entirely rewritten first doc"))
+        index.seal()  # newer copy of d1 in a second segment
+        while index.merge_once():
+            pass
+        expected = [("d1", "an entirely rewritten first doc"), DOCS[1]]
+        assert_matches_oracle(index, oracle_for(expected))
+        index.close()
+        reopened = build(tmp_path)
+        assert_matches_oracle(reopened, oracle_for(expected))
+        reopened.close()
+
+    def test_merge_of_fully_deleted_segments_leaves_no_file(self, tmp_path):
+        index = build(tmp_path, merge_fanin=2)
+        add_all(index, DOCS[:2])
+        index.seal()
+        add_all(index, [("e1", "ephemeral one"), ("e2", "ephemeral two")])
+        index.seal()
+        for doc_id, _ in DOCS[:2]:
+            index.remove_document(doc_id)
+        index.remove_document("e1")
+        index.remove_document("e2")
+        assert index.merge_once() is True
+        assert index.segments_live == 0
+        assert index.document_count == 0
+        assert list(index.data_dir.glob("seg-*.json")) == []
+        index.close()
+
+    def test_readd_after_remove_round_trips(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS)
+        index.seal()
+        index.remove_document("d5")
+        index.add_document(Document("d5", "a brand new fifth document"))
+        expected = DOCS[:4] + [("d5", "a brand new fifth document")]
+        assert_matches_oracle(index, oracle_for(expected))
+        index.seal()  # tombstone retires; new copy becomes the owner
+        assert_matches_oracle(index, oracle_for(expected))
+        index.close()
+        reopened = build(tmp_path)
+        assert_matches_oracle(reopened, oracle_for(expected))
+        reopened.close()
+
+
+class TestRecovery:
+    def test_corrupt_segment_is_quarantined(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS[:2])
+        index.seal()
+        add_all(index, DOCS[2:])
+        index.seal()
+        names = sorted(p.name for p in index.data_dir.glob("seg-*.json"))
+        index.close()
+        victim = index.data_dir / names[0]
+        victim.write_text("{ not a snapshot }")
+        sink = MemorySink()
+        logger = StructuredLogger()
+        logger.add_sink(sink)
+        reopened = SegmentedIndex.recover(tmp_path / "data", logger=logger)
+        assert reopened.recovery_stats["quarantined_segments"] == [names[0]]
+        # Evidence preserved, never deleted.
+        assert not victim.exists()
+        assert victim.with_name(names[0] + QUARANTINE_SUFFIX).exists()
+        events = [e for e in sink.events if e["event"] == "segment.quarantined"]
+        assert events and events[0]["segment"] == names[0]
+        # The surviving segment still serves.
+        assert_matches_oracle(reopened, oracle_for(DOCS[2:]))
+        reopened.close()
+
+    def test_orphan_segment_files_are_collected(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS)
+        index.seal()
+        orphan = index.data_dir / "seg-000099.json"
+        orphan.write_text("half-written merge output")
+        index.close()
+        reopened = build(tmp_path)
+        assert not orphan.exists()
+        assert_matches_oracle(reopened, oracle_for(DOCS))
+        reopened.close()
+
+    def test_torn_wal_tail_reported_and_truncated(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS[:3])
+        index.close()
+        with open(index.data_dir / WAL_NAME, "ab") as handle:
+            handle.write(b'{"seq": 99, "bo')
+        sink = MemorySink()
+        logger = StructuredLogger()
+        logger.add_sink(sink)
+        reopened = SegmentedIndex.recover(tmp_path / "data", logger=logger)
+        assert reopened.recovery_stats["wal_truncated_bytes"] > 0
+        assert any(e["event"] == "wal.truncated" for e in sink.events)
+        assert_matches_oracle(reopened, oracle_for(DOCS[:3]))
+        reopened.close()
+        # Idempotent: the next recovery sees a clean log.
+        again = build(tmp_path)
+        assert again.recovery_stats["wal_truncated_bytes"] == 0
+        assert_matches_oracle(again, oracle_for(DOCS[:3]))
+        again.close()
+
+    def test_tokenization_mismatch_refuses_to_open(self, tmp_path):
+        index = build(tmp_path, stem=True)
+        add_all(index, DOCS[:2])
+        index.seal()
+        index.close()
+        with pytest.raises(Exception, match="tokenization"):
+            build(tmp_path, stem=False)
+
+    def test_generation_durable_across_seal_and_reopen(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS)
+        index.remove_document("d4")
+        generation = index.generation
+        index.seal()
+        index.close()
+        reopened = build(tmp_path)
+        assert reopened.generation == generation
+        reopened.add_document(Document("d9", "newer than everything"))
+        assert reopened.generation == generation + 1
+        reopened.close()
+
+    def test_to_inverted_index_matches_live_view(self, tmp_path):
+        index = build(tmp_path, merge_fanin=2)
+        add_all(index, DOCS)
+        index.seal()
+        index.remove_document("d2")
+        monolithic = index.to_inverted_index()
+        expected = [p for p in DOCS if p[0] != "d2"]
+        assert_matches_oracle(index, oracle_for(expected))
+        assert sorted(monolithic.documents()) == sorted(
+            doc_id for doc_id, _ in expected
+        )
+        assert monolithic.vocabulary_size == index.vocabulary_size
+        index.close()
+
+    def test_phrase_queries_span_segments(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS)
+        index.seal()
+        oracle = oracle_for(DOCS)
+        assert index.phrase_positions(["olympic", "games"], "d3") == (
+            oracle.phrase_positions(["olympic", "games"], "d3")
+        )
+        assert index.phrase_documents(["olympic", "games"]) == (
+            oracle.phrase_documents(["olympic", "games"])
+        )
+        index.close()

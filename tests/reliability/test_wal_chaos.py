@@ -1,0 +1,260 @@
+"""Durability chaos: kill -9 mid-append, mid-seal, mid-merge-swap.
+
+The guarantee the WAL exists to provide: every *acknowledged* write
+survives an arbitrary process death, and recovery never invents writes
+that were not attempted.  A child process runs real mutations against a
+real data directory, prints an ``ACK`` line after each acknowledged
+write, then arms a delay-mode fault at the scenario's kill window
+(``wal.append`` / ``segment.seal`` / ``merge.swap``) and walks into it;
+the parent SIGKILLs it mid-operation and recovers the directory
+in-process.  The recovered state must be byte-identical to a monolithic
+:class:`InvertedIndex` oracle fed exactly the acknowledged documents
+(plus, for the in-flight write, nothing or the attempted document —
+never a torn half-state).
+
+The property test drives a seeded random interleaving of adds, removes,
+re-adds, seals, merges, and full close-and-recover cycles, comparing
+the durable index to the oracle at every step.
+"""
+
+import os
+import pathlib
+import random
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.index.segments import SegmentedIndex
+from repro.text.document import Document
+
+SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+#: The child's corpus vocabulary: every scenario's documents draw from
+#: these words so posting lists overlap across segments.
+VOCAB = ["alpha", "beta", "gamma", "delta", "epsilon", "number"]
+
+CHILD_SOURCE = """
+import sys
+
+from repro.index.segments import SegmentedIndex
+from repro.reliability.faults import FAULTS
+from repro.text.document import Document
+
+data_dir, scenario = sys.argv[1], sys.argv[2]
+
+
+def ack(line):
+    print(line, flush=True)
+
+
+index = SegmentedIndex.recover(data_dir, seal_threshold=0, merge_fanin=4)
+if scenario == "append":
+    for i in range(5):
+        index.add_document(Document(f"doc-{i}", f"alpha beta number {i}"))
+        ack(f"ACK doc-{i}")
+    FAULTS.arm("wal.append", "delay", delay_s=120)
+    ack("ARMED")
+    index.add_document(Document("doc-late", "gamma delta never acknowledged"))
+    ack("ACK doc-late")  # unreachable: the kill lands inside the delay
+elif scenario == "seal":
+    for i in range(5):
+        index.add_document(Document(f"doc-{i}", f"alpha beta number {i}"))
+        ack(f"ACK doc-{i}")
+    FAULTS.arm("segment.seal", "delay", delay_s=120)
+    ack("ARMED")
+    index.seal()
+    ack("SEALED")
+elif scenario == "merge":
+    for i in range(4):
+        index.add_document(Document(f"doc-{i}", f"alpha beta number {i}"))
+        index.seal()
+        ack(f"ACK doc-{i}")
+    FAULTS.arm("merge.swap", "delay", delay_s=120)
+    ack("ARMED")
+    index.merge_once()
+    ack("MERGED")
+else:  # pragma: no cover - driver bug
+    raise SystemExit(f"unknown scenario {scenario!r}")
+"""
+
+
+def assert_equivalent(index, oracle):
+    """The recovered index reads byte-identically to the oracle."""
+    assert index.document_count == oracle.document_count
+    assert sorted(index.documents()) == sorted(oracle.documents())
+    assert index.vocabulary_size == oracle.vocabulary_size
+    size = oracle.vocabulary_size
+    assert index.frequent_tokens(size) == oracle.frequent_tokens(size)
+    for doc_id in oracle.documents():
+        assert index.document_length(doc_id) == oracle.document_length(doc_id)
+    for word in VOCAB:
+        want = oracle.postings(word)
+        got = index.postings(word)
+        if want is None:
+            assert got is None
+            continue
+        assert got is not None
+        assert sorted(got.documents()) == sorted(want.documents())
+        for doc_id in want.documents():
+            assert index.positions(word, doc_id) == oracle.positions(word, doc_id)
+
+
+def oracle_for(pairs):
+    oracle = InvertedIndex()
+    for doc_id, text in pairs:
+        oracle.add_document(Document(doc_id, text))
+    return oracle
+
+
+def run_child_until_armed(data_dir, scenario):
+    """Run the mutation child, SIGKILL it mid-operation; returns acks."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULTS", None)
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD_SOURCE, str(data_dir), scenario],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    acked = []
+    try:
+        for line in child.stdout:
+            line = line.strip()
+            if line.startswith("ACK "):
+                acked.append(line.split(" ", 1)[1])
+            elif line == "ARMED":
+                break
+        else:  # child died before arming: surface its stderr
+            raise AssertionError(
+                f"child exited early ({child.wait()}): {child.stderr.read()}"
+            )
+        # The child is now inside (or entering) the held operation; give
+        # it a beat to reach the delay, then kill -9 mid-flight.
+        time.sleep(0.4)
+        os.kill(child.pid, signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+        child.stdout.close()
+        child.stderr.close()
+    assert child.returncode == -signal.SIGKILL
+    return acked
+
+
+EXPECTED_ACKS = {"append": 5, "seal": 5, "merge": 4}
+
+
+@pytest.mark.parametrize("scenario", sorted(EXPECTED_ACKS))
+def test_kill9_recovers_exactly_acknowledged_writes(tmp_path, scenario):
+    data_dir = tmp_path / "data"
+    acked = run_child_until_armed(data_dir, scenario)
+    assert len(acked) == EXPECTED_ACKS[scenario]
+
+    recovered = SegmentedIndex.recover(data_dir)
+    try:
+        # Exactly the acknowledged writes: the in-flight operation was
+        # held *before* its durability point in every scenario, so
+        # nothing beyond the acks may surface — and nothing acked may
+        # be lost.
+        assert sorted(recovered.documents()) == sorted(acked)
+        assert_equivalent(
+            recovered,
+            oracle_for(
+                [(doc_id, f"alpha beta number {doc_id.split('-')[1]}")
+                 for doc_id in acked]
+            ),
+        )
+        stats = recovered.recovery_stats
+        assert stats["quarantined_segments"] == []
+        if scenario == "append":
+            # All five acked records were WAL-only; the held sixth
+            # record never reached the file.
+            assert stats["wal_replay_records"] == 5
+        elif scenario == "seal":
+            # The seal was held before segment/manifest writes: the WAL
+            # still carries everything.
+            assert stats["wal_replay_records"] == 5
+            assert recovered.segments_live == 0
+        else:  # merge
+            # The merged file was written but never committed: recovery
+            # collects the orphan and serves the pre-merge segments.
+            assert stats["wal_replay_records"] == 0
+            assert recovered.segments_live == 4
+            assert len(list(data_dir.glob("seg-*.json"))) == 4
+    finally:
+        recovered.close()
+
+
+def test_kill9_mid_merge_then_merge_completes(tmp_path):
+    # After surviving a crashed swap, the *next* process must be able to
+    # run the identical merge to completion.
+    data_dir = tmp_path / "data"
+    acked = run_child_until_armed(data_dir, "merge")
+    recovered = SegmentedIndex.recover(data_dir)
+    try:
+        assert recovered.merge_once() is True
+        assert recovered.segments_live == 1
+        assert sorted(recovered.documents()) == sorted(acked)
+    finally:
+        recovered.close()
+
+
+# -- the random-interleaving oracle property ---------------------------------
+
+
+def random_text(rng):
+    return " ".join(rng.choice(VOCAB) for _ in range(rng.randint(3, 9)))
+
+
+@pytest.mark.parametrize("seed", (7, 19, 1031))
+def test_random_interleaving_matches_monolithic_oracle(tmp_path, seed):
+    rng = random.Random(seed)
+    live: dict[str, str] = {}
+    index = SegmentedIndex.recover(
+        tmp_path / "data", seal_threshold=0, merge_fanin=3
+    )
+    next_id = 0
+    try:
+        for step in range(120):
+            roll = rng.random()
+            if roll < 0.45 or not live:
+                doc_id, text = f"doc-{next_id:03d}", random_text(rng)
+                next_id += 1
+                index.add_document(Document(doc_id, text))
+                live[doc_id] = text
+            elif roll < 0.70:
+                doc_id = rng.choice(sorted(live))
+                index.remove_document(doc_id)
+                del live[doc_id]
+                if rng.random() < 0.5:  # re-add under the same id
+                    text = random_text(rng)
+                    index.add_document(Document(doc_id, text))
+                    live[doc_id] = text
+            elif roll < 0.85:
+                index.seal()
+            elif roll < 0.95:
+                index.merge_once()
+            else:
+                generation = index.generation
+                index.close()
+                index = SegmentedIndex.recover(
+                    tmp_path / "data", seal_threshold=0, merge_fanin=3
+                )
+                assert index.generation == generation
+            if step % 20 == 19:
+                assert_equivalent(index, oracle_for(sorted(live.items())))
+        assert_equivalent(index, oracle_for(sorted(live.items())))
+        # One final crash-free restart serves the same state.
+        index.close()
+        index = SegmentedIndex.recover(tmp_path / "data")
+        assert_equivalent(index, oracle_for(sorted(live.items())))
+    finally:
+        index.close()

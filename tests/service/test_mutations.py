@@ -1,0 +1,187 @@
+"""Mutation endpoints: POST /documents and DELETE /documents/{id}.
+
+Both routes go through the executor (``ingest`` / ``apply``), so every
+mutation invalidates exactly the cache generations it must, newly added
+documents are immediately searchable, and — against a durable system —
+an acknowledged 2xx response survives a server restart.
+"""
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.service import SearchServer
+from repro.system import SearchSystem
+
+NEWS = [
+    ("news-1", "Lenovo announced a marketing partnership with the NBA."),
+    ("news-2", "Dell explored an alliance with the Olympic Games organizers."),
+]
+
+
+@pytest.fixture
+def server():
+    system = SearchSystem()
+    system.add_texts(NEWS)
+    with SearchServer.for_system(system, workers=2) as srv:
+        yield srv
+
+
+def get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def request(server, method, path, payload=None):
+    body = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        server.url + path,
+        data=body,
+        method=method,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestAddDocument:
+    def test_add_then_search(self, server):
+        status, payload = request(
+            server,
+            "POST",
+            "/documents",
+            {"id": "news-9", "text": "a fresh partnership with the NBA"},
+        )
+        assert status == 201
+        assert payload["id"] == "news-9"
+        assert payload["generation"] >= 2
+        status, payload = get(server, "/search?q=partnership,+nba")
+        assert status == 200
+        assert "news-9" in [r["doc_id"] for r in payload["results"]]
+
+    def test_add_invalidates_cached_results(self, server):
+        get(server, "/search?q=partnership,+nba")
+        status, payload = get(server, "/search?q=partnership,+nba")
+        assert payload["cached"] is True
+        request(
+            server,
+            "POST",
+            "/documents",
+            {"id": "news-9", "text": "partnership with the NBA again"},
+        )
+        status, payload = get(server, "/search?q=partnership,+nba")
+        assert status == 200
+        assert payload["cached"] is False  # the old generation is gone
+
+    def test_duplicate_is_409(self, server):
+        status, payload = request(
+            server, "POST", "/documents", {"id": "news-1", "text": "again"}
+        )
+        assert status == 409
+        assert payload["error"]["code"] == "duplicate_document"
+
+    @pytest.mark.parametrize(
+        "body",
+        (
+            {},
+            {"id": "", "text": "x"},
+            {"id": "d", "text": None},
+            {"text": "no id"},
+            {"id": 7, "text": "x"},
+        ),
+    )
+    def test_bad_document_is_400(self, server, body):
+        status, payload = request(server, "POST", "/documents", body)
+        assert status == 400
+        assert payload["error"]["code"] == "missing_parameter"
+
+
+class TestDeleteDocument:
+    def test_delete_then_search_misses(self, server):
+        status, payload = request(server, "DELETE", "/documents/news-1")
+        assert status == 200
+        assert payload["id"] == "news-1"
+        status, payload = get(server, "/search?q=partnership,+nba")
+        assert status == 200
+        assert "news-1" not in [r["doc_id"] for r in payload["results"]]
+        status, payload = get(server, "/healthz")
+        assert payload["documents"] == 1
+
+    def test_unknown_document_is_404(self, server):
+        status, payload = request(server, "DELETE", "/documents/ghost")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_empty_id_is_400(self, server):
+        status, payload = request(server, "DELETE", "/documents/")
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_parameter"
+
+    def test_quoted_id_round_trips(self, server):
+        request(
+            server,
+            "POST",
+            "/documents",
+            {"id": "spaced id", "text": "partnership text"},
+        )
+        encoded = urllib.parse.quote("spaced id")
+        status, payload = request(server, "DELETE", f"/documents/{encoded}")
+        assert status == 200
+        assert payload["id"] == "spaced id"
+
+
+class TestDurableServer:
+    def test_mutations_survive_restart(self, tmp_path):
+        data_dir = tmp_path / "data"
+        system = SearchSystem.open(data_dir)
+        system.add_texts(NEWS)
+        try:
+            with SearchServer.for_system(system, workers=2) as srv:
+                status, _ = request(
+                    srv,
+                    "POST",
+                    "/documents",
+                    {"id": "news-9", "text": "a durable partnership story"},
+                )
+                assert status == 201
+                status, _ = request(srv, "DELETE", "/documents/news-2")
+                assert status == 200
+        finally:
+            system.close()
+        reopened = SearchSystem.open(data_dir)
+        try:
+            doc_ids = {doc_id for doc_id, _ in reopened.index.stored_documents()}
+            assert doc_ids == {"news-1", "news-9"}
+            results = reopened.ask("partnership, story", top_k=3)
+            assert "news-9" in [d.doc_id for d in results]
+        finally:
+            reopened.close()
+
+    def test_concurrent_write_path_is_exercised(self, tmp_path):
+        # Durable systems advertise concurrent writes; the executor's
+        # ingest path must report the index's own generation.
+        system = SearchSystem.open(tmp_path / "data")
+        system.add_texts(NEWS)
+        try:
+            with SearchServer.for_system(system, workers=2) as srv:
+                before = system.index_generation
+                status, payload = request(
+                    srv,
+                    "POST",
+                    "/documents",
+                    {"id": "news-9", "text": "concurrent append"},
+                )
+                assert status == 201
+                assert payload["generation"] == before + 1
+                assert system.index_generation == before + 1
+        finally:
+            system.close()

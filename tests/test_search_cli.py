@@ -115,3 +115,22 @@ class TestServe:
         with pytest.raises(SystemExit) as excinfo:
             main(["serve", news_file, "--shards", "-2"])
         assert "--shards must be >= 1" in str(excinfo.value.code)
+
+    def test_rejects_no_files_and_no_data_dir(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve"])
+        assert "files to serve" in str(excinfo.value.code)
+
+    def test_rejects_data_dir_with_shards(self, news_file, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "serve",
+                    news_file,
+                    "--data-dir",
+                    str(tmp_path / "index"),
+                    "--shards",
+                    "2",
+                ]
+            )
+        assert "incompatible with --shards" in str(excinfo.value.code)
