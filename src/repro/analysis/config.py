@@ -170,10 +170,15 @@ class AnalysisConfig:
     durability_packages: tuple[str, ...] = ("index/segments.py",)
     #: Symbols allowed to use raw write primitives anyway: the WAL
     #: (which implements its own append+fsync discipline — an envelope
-    #: rewrite per record would defeat the log) and quarantine (a pure
-    #: rename of evidence).
+    #: rewrite per record would defeat the log), quarantine (a pure
+    #: rename of evidence), and the advisory directory lock (an empty
+    #: flock sentinel, not a durability artifact).
     durability_allowed_writers: frozenset[str] = frozenset(
-        {"WriteAheadLog", "SegmentedIndex._quarantine"}
+        {
+            "WriteAheadLog",
+            "SegmentedIndex._quarantine",
+            "SegmentedIndex._acquire_dir_lock",
+        }
     )
 
     # -- taxonomy ------------------------------------------------------------

@@ -36,7 +36,15 @@ durable, while serving the exact same read API:
   manifest (``.bak`` fallback), loads its segments — quarantining any
   corrupt one (renamed ``*.quarantined``, structured
   ``segment.quarantined`` event) instead of refusing to start — and
-  replays the WAL over the result.
+  replays the WAL over the result.  Documents whose *owning* segment
+  was quarantined are reported lost (``segment.documents_lost``,
+  ``recovery_stats["documents_lost"]``) rather than silently served
+  from an older superseded copy in a surviving segment; the manifest
+  records each segment's doc ids precisely so ownership survives an
+  unreadable segment file.  A ``LOCK`` file (advisory ``flock``) makes
+  the data directory single-process: a second opener fails fast
+  instead of interleaving WAL appends with an independent sequence
+  counter.
 
 Reads (postings / positions / phrase queries) union across the sealed
 segments and the memtable minus tombstones, preserving byte-identical
@@ -58,6 +66,11 @@ import pathlib
 import threading
 from typing import Any, Iterable, Iterator
 
+try:  # pragma: no cover - always present on the supported platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
 from repro.core.io import SerializationError
 from repro.index.inverted import InvertedIndex
 from repro.index.io import index_from_dict, index_to_dict
@@ -66,6 +79,7 @@ from repro.obs.trace import span as obs_span
 from repro.reliability.faults import FAULTS
 from repro.reliability.snapshot import (
     SnapshotCorrupted,
+    _fsync_directory,
     read_snapshot,
     write_snapshot,
 )
@@ -73,6 +87,7 @@ from repro.reliability.watchdog import Watchdog
 from repro.text.document import Document
 
 __all__ = [
+    "LOCK_NAME",
     "MANIFEST_NAME",
     "SegmentedIndex",
     "WAL_NAME",
@@ -80,6 +95,7 @@ __all__ = [
 ]
 
 WAL_NAME = "wal.log"
+LOCK_NAME = "LOCK"
 MANIFEST_NAME = "MANIFEST"
 MANIFEST_VERSION = 1
 SEGMENT_VERSION = 1
@@ -115,7 +131,15 @@ class WriteAheadLog:
 
     def _open(self):
         if self._handle is None:
+            existed = self.path.exists()
             self._handle = open(self.path, "a", encoding="utf-8")
+            if not existed:
+                # The fsync-before-ack guarantee covers the *directory
+                # entry* too: without this, a crash after the first
+                # acknowledged commit into a fresh data dir can lose the
+                # whole WAL file (POSIX does not make the entry durable
+                # until the directory itself is fsynced).
+                _fsync_directory(self.path.parent)
         return self._handle
 
     def append(self, seq: int, body: dict[str, Any], *, sync: bool = True) -> None:
@@ -156,11 +180,51 @@ class WriteAheadLog:
         with open(self.path, "w", encoding="utf-8") as handle:
             handle.flush()
             os.fsync(handle.fileno())
+        _fsync_directory(self.path.parent)
 
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+
+    def committed_offset(self) -> int:
+        """The durable byte length of the log.
+
+        Valid only between operations: every successful ``append``
+        sequence ends in :meth:`commit` (flush + fsync) and every failed
+        one in :meth:`rollback`, so no caller-visible state has bytes
+        buffered in the open handle.
+        """
+        try:
+            return self.path.stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    def rollback(self, offset: int) -> None:
+        """Discard everything past ``offset`` — the failed batch's records.
+
+        A mid-batch append/commit failure leaves records buffered in the
+        open handle (and possibly partially flushed); without this, the
+        *next* successful commit would make a batch the caller saw fail
+        durable, and its records would replay on recovery.  Closing the
+        handle flushes whatever is buffered, then the file is truncated
+        back to the pre-batch length and fsynced.
+        """
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            # repro: ignore[except-swallowed] a failing flush-on-close is
+            # fine — the truncate below removes the bytes either way
+            except (OSError, ValueError):
+                pass
+            self._handle = None
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except FileNotFoundError:
+            pass
 
     def replay(self, *, min_seq: int = 0) -> tuple[list[tuple[int, dict]], int]:
         """Validated records after ``min_seq``, truncating any torn tail.
@@ -331,6 +395,7 @@ class SegmentedIndex:
             raise ValueError(f"merge_fanin must be >= 2, got {merge_fanin}")
         self.data_dir = pathlib.Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._dir_lock = self._acquire_dir_lock()
         self._stem = stem
         self._drop_stopwords = drop_stopwords
         self.seal_threshold = seal_threshold
@@ -358,9 +423,43 @@ class SegmentedIndex:
         self._df_map: dict[str, int] | None = None
         self._frequent_ranked: list[str] | None = None
         #: What recovery found, for operators and tests: replayed record
-        #: count, truncated WAL bytes, quarantined segment names.
+        #: count, truncated WAL bytes, quarantined segment names, doc
+        #: ids lost to quarantined segments.
         self.recovery_stats: dict[str, Any] = {}
-        self._recover()
+        try:
+            self._recover()
+        except BaseException:
+            self._release_dir_lock()
+            raise
+
+    def _acquire_dir_lock(self):
+        """Advisory inter-process lock on the data directory.
+
+        Two processes appending to the same WAL with independent
+        sequence counters would make replay truncate at the first
+        non-monotonic record, silently discarding acknowledged writes —
+        so the second opener fails fast instead.  ``flock`` is released
+        automatically when the process dies (including kill -9), so a
+        crashed owner never wedges the directory.
+        """
+        handle = open(self.data_dir / LOCK_NAME, "a")
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError as exc:
+                handle.close()
+                raise RuntimeError(
+                    f"{self.data_dir} is already open in another process "
+                    f"(advisory lock {LOCK_NAME} held)"
+                ) from exc
+        return handle
+
+    def _release_dir_lock(self) -> None:
+        handle = getattr(self, "_dir_lock", None)
+        if handle is not None:
+            self._dir_lock = None
+            # Closing the descriptor drops the flock.
+            handle.close()
 
     @classmethod
     def recover(cls, data_dir: str | pathlib.Path, **options: Any) -> "SegmentedIndex":
@@ -461,14 +560,25 @@ class SegmentedIndex:
                         f"document {document.doc_id!r} already indexed"
                     )
                 seen.add(document.doc_id)
-            for document in batch:
-                self._seq += 1
-                self._wal.append(
-                    self._seq,
-                    {"op": "add", "doc": [document.doc_id, document.text]},
-                    sync=False,
-                )
-            self._wal.commit()
+            start_seq = self._seq
+            start_offset = self._wal.committed_offset()
+            try:
+                for document in batch:
+                    self._seq += 1
+                    self._wal.append(
+                        self._seq,
+                        {"op": "add", "doc": [document.doc_id, document.text]},
+                        sync=False,
+                    )
+                self._wal.commit()
+            except BaseException:
+                # The caller sees this batch fail: none of its records
+                # may ever become durable (a later commit would flush
+                # them, and replay could shadow a re-add of the same
+                # ids), and the sequence counter must not skip.
+                self._seq = start_seq
+                self._wal.rollback(start_offset)
+                raise
             # Durable: apply and acknowledge.
             for document in batch:
                 self._apply_add(document)
@@ -486,8 +596,14 @@ class SegmentedIndex:
             self._ensure_open()
             if not self._contains_locked(doc_id):
                 raise KeyError(f"document {doc_id!r} not indexed")
+            start_offset = self._wal.committed_offset()
             self._seq += 1
-            self._wal.append(self._seq, {"op": "remove", "doc_id": doc_id})
+            try:
+                self._wal.append(self._seq, {"op": "remove", "doc_id": doc_id})
+            except BaseException:
+                self._seq -= 1
+                self._wal.rollback(start_offset)
+                raise
             self._apply_remove(doc_id)
             self._invalidate_caches()
             self._count("wal_appends")
@@ -598,7 +714,17 @@ class SegmentedIndex:
                 "applied_seq": self._applied_seq,
                 "next_segment_id": self._next_segment_id,
                 "segments": [
-                    {"id": seg.segment_id, "name": seg.name, "docs": seg.doc_count}
+                    {
+                        "id": seg.segment_id,
+                        "name": seg.name,
+                        "docs": seg.doc_count,
+                        # Ownership record: recovery must know which doc
+                        # ids a segment held even when its *file* is
+                        # unreadable, so a quarantined owner's docs are
+                        # reported lost instead of silently served from
+                        # an older (stale or deleted) sealed copy.
+                        "doc_ids": [doc_id for doc_id, _ in seg.documents],
+                    }
                     for seg in self._segments
                 ],
                 "tombstones": sorted(self._tombstones),
@@ -755,6 +881,7 @@ class SegmentedIndex:
             if not self._closed:
                 self._closed = True
                 self._wal.close()
+                self._release_dir_lock()
 
     # -- recovery --------------------------------------------------------------
 
@@ -763,6 +890,7 @@ class SegmentedIndex:
         # the guarded-attribute discipline uniform anyway.
         with self._lock:
             quarantined: list[str] = []
+            lost: list[str] = []
             manifest = self._read_manifest()
             if manifest is not None:
                 if bool(manifest.get("stem", True)) != self._stem or bool(
@@ -777,7 +905,32 @@ class SegmentedIndex:
                 self._seq = self._applied_seq
                 self._next_segment_id = int(manifest.get("next_segment_id", 1))
                 referenced: set[str] = set()
-                for entry in manifest.get("segments", ()):
+                entries = list(manifest.get("segments", ()))
+                # Ownership from the manifest itself: the owner of a doc
+                # id is its copy in the highest-id segment (seals and
+                # merges both re-point ownership to the newest id).  The
+                # manifest records each segment's doc ids precisely so
+                # this survives an *unreadable* segment file — without
+                # it, quarantining the owner would silently resurrect an
+                # older superseded copy from a surviving segment.
+                expected_owner: dict[str, int] | None = {}
+                for entry in sorted(
+                    entries, key=lambda e: e.get("id", 0) or 0
+                ):
+                    doc_ids = entry.get("doc_ids")
+                    if not isinstance(doc_ids, list):
+                        # Legacy manifest predating ownership records:
+                        # fall back to load-order ownership below.
+                        expected_owner = None
+                        break
+                    entry_id = entry.get("id")
+                    if not isinstance(entry_id, int):
+                        expected_owner = None
+                        break
+                    for doc_id in doc_ids:
+                        expected_owner[str(doc_id)] = entry_id
+                loaded_ids: set[int] = set()
+                for entry in entries:
                     name = str(entry.get("name", ""))
                     referenced.add(name)
                     path = self.data_dir / name
@@ -790,9 +943,30 @@ class SegmentedIndex:
                         # reader can be blocked by the quarantine rename.
                         self._quarantine(path, exc)
                         continue
+                    loaded_ids.add(segment.segment_id)
                     self._segments.append(segment)
                     for doc_id, _ in segment.documents:
                         self._sealed_docs[doc_id] = segment.segment_id
+                if expected_owner is not None:
+                    for doc_id, owner_id in expected_owner.items():
+                        if owner_id in loaded_ids:
+                            self._sealed_docs[doc_id] = owner_id
+                        else:
+                            # The owning (newest) copy is gone with its
+                            # quarantined segment.  Any older copy in a
+                            # surviving segment is superseded garbage —
+                            # serving it would resurrect deleted or
+                            # stale content — so the doc is reported
+                            # lost instead.
+                            self._sealed_docs.pop(doc_id, None)
+                            lost.append(doc_id)
+                lost.sort()
+                if lost and self._logger is not None:
+                    self._logger.error(
+                        "segment.documents_lost",
+                        count=len(lost),
+                        documents=lost[:20],
+                    )
                 self._tombstones = {
                     str(doc_id)
                     for doc_id in manifest.get("tombstones", ())
@@ -807,6 +981,7 @@ class SegmentedIndex:
                 "wal_replay_records": len(replayed),
                 "wal_truncated_bytes": truncated,
                 "quarantined_segments": quarantined,
+                "documents_lost": lost,
             }
             if truncated and self._logger is not None:
                 self._logger.warning(
@@ -932,14 +1107,17 @@ class SegmentedIndex:
     def postings(self, token_text: str) -> PostingList | None:
         """The token's posting list unioned across live segments.
 
-        Tombstoned documents are excluded.  With no sealed segments the
-        memtable's own list is returned (zero-copy, same semantics as
-        the monolithic index); otherwise a merged copy is built once and
-        cached until the next mutation.
+        Tombstoned documents are excluded.  The returned list is always
+        an immutable *snapshot copy* built under the lock and cached
+        until the next mutation — never the memtable's own structure.
+        Readers on the serving path iterate posting lists outside any
+        lock while the writer appends concurrently; handing out the
+        live memtable list zero-copy would let ingest mutate the dicts
+        mid-iteration ("dictionary changed size during iteration") or
+        tear a multi-term read.  Mutations only ever *clear* the cache
+        (under the lock), so a copy already handed out stays frozen.
         """
         with self._lock:
-            if not self._segments:
-                return self._memtable.postings(token_text)
             key = self._key(token_text)
             if key in self._merged_postings:
                 return self._merged_postings[key]
@@ -1008,10 +1186,24 @@ class SegmentedIndex:
             return ()
         return posting.positions(doc_id)
 
-    # Pure derivations over self.positions / self.postings — the
-    # monolithic implementations apply verbatim.
-    phrase_positions = InvertedIndex.phrase_positions
-    phrase_documents = InvertedIndex.phrase_documents
+    # Pure derivations over self.positions / self.postings.  The
+    # monolithic implementations apply verbatim, but they read several
+    # terms in sequence — holding the (reentrant) lock for the whole
+    # derivation pins all of them to one generation even while a writer
+    # is appending concurrently.
+    def phrase_positions(
+        self, words: Iterable[str], doc_id: str
+    ) -> tuple[int, ...]:
+        with self._lock:
+            # repro: ignore[lock-blocking-call] pure in-memory position
+            # intersection over cached posting snapshots (no I/O, no
+            # joins); holding the reentrant lock is the point — it pins
+            # every term lookup of the phrase to one generation.
+            return InvertedIndex.phrase_positions(self, words, doc_id)
+
+    def phrase_documents(self, words: Iterable[str]) -> set[str]:
+        with self._lock:
+            return InvertedIndex.phrase_documents(self, words)
 
     # -- export ----------------------------------------------------------------
 

@@ -64,6 +64,7 @@ LOG_EVENTS: frozenset[str] = frozenset(
         "join.retry",  # transient exact-join failure being retried
         "shard.respawn",  # the cluster watchdog replaced a dead shard worker
         "segment.quarantined",  # recovery set a corrupt segment file aside
+        "segment.documents_lost",  # quarantine took the owning copy of these docs
         "wal.truncated",  # recovery cut a torn (unacknowledged) WAL tail
     }
 )

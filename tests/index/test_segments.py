@@ -22,6 +22,7 @@ from repro.index.segments import (
     WriteAheadLog,
 )
 from repro.obs.log import MemorySink, StructuredLogger
+from repro.reliability.faults import FAULTS, InjectedFault
 from repro.text.document import Document
 
 DOCS = [
@@ -213,6 +214,46 @@ class TestDurability:
         assert_matches_oracle(reopened, oracle_for(DOCS[:2]))
         reopened.close()
 
+    def test_failed_batch_never_becomes_durable(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS[:2])
+        generation = index.generation
+        wal_size = (index.data_dir / WAL_NAME).stat().st_size
+        with FAULTS.arming("wal.append", "error"):
+            with pytest.raises(InjectedFault):
+                add_all(
+                    index, [("d8", "never acknowledged"), ("d9", "me neither")]
+                )
+        # Sequence counter, WAL bytes, and live view are exactly
+        # pre-batch: nothing of the failed batch may linger buffered.
+        assert index.generation == generation
+        assert (index.data_dir / WAL_NAME).stat().st_size == wal_size
+        assert_matches_oracle(index, oracle_for(DOCS[:2]))
+        # The next successful commit must not flush the failed records,
+        # and replay must not shadow a re-add of a failed id.
+        index.add_document(Document("d9", "different replacement text"))
+        index.close()
+        reopened = build(tmp_path)
+        expected = DOCS[:2] + [("d9", "different replacement text")]
+        assert_matches_oracle(reopened, oracle_for(expected))
+        assert not reopened.contains("d8")
+        reopened.close()
+
+    def test_failed_remove_rolls_back(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS[:2])
+        generation = index.generation
+        with FAULTS.arming("wal.append", "error"):
+            with pytest.raises(InjectedFault):
+                index.remove_document("d1")
+        assert index.generation == generation
+        assert index.contains("d1")
+        index.close()
+        reopened = build(tmp_path)
+        assert reopened.generation == generation
+        assert_matches_oracle(reopened, oracle_for(DOCS[:2]))
+        reopened.close()
+
     def test_remove_unknown_document_raises(self, tmp_path):
         index = build(tmp_path)
         with pytest.raises(KeyError):
@@ -337,6 +378,35 @@ class TestSealAndMerge:
         reopened.close()
 
 
+class TestConcurrentReadSafety:
+    def test_postings_are_snapshots_not_live_memtable(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS[:2])  # no sealed segments: pure memtable
+        posting = index.postings("lenovo")
+        assert posting is not None
+        key = index._key("lenovo")
+        # Never the memtable's own structure — a reader iterating it
+        # outside the lock would race concurrent ingest ("dictionary
+        # changed size during iteration").
+        assert posting is not index._memtable._postings.get(key)
+        before = sorted(posting.documents())
+        index.add_document(Document("d9", "another lenovo mention"))
+        # The handed-out snapshot stays frozen across the mutation.
+        assert sorted(posting.documents()) == before
+        fresh = index.postings("lenovo")
+        assert "d9" in set(fresh.documents())
+        index.close()
+
+    def test_directory_lock_is_exclusive(self, tmp_path):
+        index = build(tmp_path)
+        with pytest.raises(RuntimeError, match="another process"):
+            build(tmp_path)
+        index.close()
+        # Released on close: the next opener succeeds.
+        reopened = build(tmp_path)
+        reopened.close()
+
+
 class TestRecovery:
     def test_corrupt_segment_is_quarantined(self, tmp_path):
         index = build(tmp_path)
@@ -360,6 +430,36 @@ class TestRecovery:
         assert events and events[0]["segment"] == names[0]
         # The surviving segment still serves.
         assert_matches_oracle(reopened, oracle_for(DOCS[2:]))
+        reopened.close()
+
+    def test_quarantined_owner_drops_doc_instead_of_stale_copy(self, tmp_path):
+        index = build(tmp_path)
+        add_all(index, DOCS[:2])  # d1 (original text), d2
+        index.seal()  # seg-000001 owns both
+        index.remove_document("d1")
+        index.add_document(Document("d1", "replacement text after delete"))
+        index.seal()  # seg-000002 owns the re-added d1
+        names = sorted(p.name for p in index.data_dir.glob("seg-*.json"))
+        index.close()
+        (index.data_dir / names[1]).write_text("{ not a snapshot }")
+        sink = MemorySink()
+        logger = StructuredLogger()
+        logger.add_sink(sink)
+        reopened = SegmentedIndex.recover(tmp_path / "data", logger=logger)
+        # The pre-delete copy of d1 surviving in seg-000001 is stale
+        # garbage: serving it would resurrect deleted content.  The doc
+        # is reported lost instead.
+        assert reopened.recovery_stats["quarantined_segments"] == [names[1]]
+        assert reopened.recovery_stats["documents_lost"] == ["d1"]
+        assert sorted(reopened.documents()) == ["d2"]
+        assert_matches_oracle(reopened, oracle_for(DOCS[1:2]))
+        events = [
+            e for e in sink.events if e["event"] == "segment.documents_lost"
+        ]
+        assert events and events[0]["documents"] == ["d1"]
+        # The lost id is free for a fresh durable re-add.
+        reopened.add_document(Document("d1", "fresh content"))
+        assert reopened.contains("d1")
         reopened.close()
 
     def test_orphan_segment_files_are_collected(self, tmp_path):
