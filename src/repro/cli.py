@@ -204,12 +204,16 @@ def _cmd_serve(args) -> int:
         # WAL/seal/merge counters land in the serving registry; the
         # background merger compacts segments while the server runs.
         system.attach_observability(
-            metrics=server.executor.metrics, logger=logger
+            metrics=server.executor.metrics,
+            logger=logger,
+            tracer=server.executor.tracer,
         )
         system.start_maintenance()
         topology += ", durable index"
     host, port = server.address
-    endpoints = "/search /documents /metrics /healthz /readyz"
+    endpoints = (
+        "/search /documents /metrics /healthz /readyz /statusz /debug/traces"
+    )
     print(
         f"serving {len(system)} documents on http://{host}:{port} "
         f"({topology}; endpoints: {endpoints}; "
@@ -247,6 +251,10 @@ def _cmd_profile(args) -> int:
     system = SearchSystem()
     system.add(*corpus)
     queries = args.query
+    if args.shards == 1 or args.shards < 0:
+        print("error: --shards must be 0 (single process) or >= 2",
+              file=sys.stderr)
+        return 2
     report, latencies = profile_workload(
         system,
         queries,
@@ -254,10 +262,15 @@ def _cmd_profile(args) -> int:
         top_k=args.top,
         scoring=args.scoring,
         sample_rate=args.trace_sample_rate,
+        shards=args.shards,
+    )
+    topology = (
+        f"{args.shards} shard processes" if args.shards >= 2
+        else "single process"
     )
     print(
         f"profiled {len(latencies)} requests "
-        f"({len(queries)} queries x {args.repeat} repeats, "
+        f"({len(queries)} queries x {args.repeat} repeats, {topology}, "
         f"scoring={args.scoring or 'default'}, "
         f"sample_rate={args.trace_sample_rate}):\n"
     )
@@ -272,6 +285,7 @@ def _cmd_profile(args) -> int:
             repeat=args.repeat,
             top_k=args.top,
             scoring=args.scoring,
+            shards=args.shards,
         )
         print(
             f"p50 off={overhead['p50_off_ms']:.3f}ms "
@@ -282,6 +296,11 @@ def _cmd_profile(args) -> int:
             f"tracing-on overhead: {overhead['overhead_pct']:+.2f}% of p50 "
             f"(sampled-out: {overhead['sampled_overhead_pct']:+.2f}%)"
         )
+        if overhead["overhead_is_noise"] or overhead["sampled_overhead_is_noise"]:
+            print(
+                "note: negative delta — tracing cannot speed queries up; "
+                "this is measurement noise, read it as ~0%"
+            )
     return 0
 
 
@@ -405,6 +424,14 @@ def main(argv: list[str] | None = None) -> int:
         "--overhead",
         action="store_true",
         help="also measure tracer overhead (off vs sampled-out vs on)",
+    )
+    profile.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="profile a sharded cluster with N shard worker processes "
+             "(N >= 2) instead of the in-process executor",
     )
     profile.set_defaults(func=_cmd_profile)
 

@@ -99,12 +99,18 @@ _SENTINEL: Any = object()
 
 @dataclass(slots=True)
 class _ShardCall:
-    """One shard RPC: the wire message, its future, and its span."""
+    """One shard RPC: the wire message, its future, and its span.
+
+    ``trace`` is the request's trace (``None`` for untraced calls): the
+    I/O thread grafts the worker's shipped span subtree into it under
+    ``span`` when the reply arrives.
+    """
 
     message: dict
     future: Future
     span: Span | Any
     deadline: float | None
+    trace: Any = None
 
 
 @dataclass(slots=True)
@@ -121,6 +127,8 @@ class _ClusterRequest:
     queue_span: Span | None = None
     exec_started_at: float | None = None
     join_s: float | None = None
+    # EXPLAIN request: bypass the result cache and attach a plan report.
+    explain: bool = False
 
     @property
     def queue_wait_s(self) -> float:
@@ -340,6 +348,14 @@ class _ShardHandle:
         if reply.get("ok"):
             self.breaker.record_success()
             if call.span is not None:
+                wire = reply.get("trace")
+                if call.trace is not None and isinstance(wire, dict):
+                    try:
+                        call.trace.graft(wire, under=call.span)
+                    # repro: ignore[except-swallowed] a malformed span
+                    # payload must never fail the RPC that carried it
+                    except (KeyError, TypeError, ValueError):
+                        call.span.set_tag("trace_graft", "failed")
                 call.span.set_tags(
                     outcome="ok", results=len(reply.get("results", ()))
                 ).finish()
@@ -379,7 +395,16 @@ class _ShardHandle:
         self._metrics.increment("shard_failures")
         self.breaker.record_failure()
         if call.span is not None:
-            call.span.set_tags(outcome="error", error=str(exc)).finish()
+            # The worker never shipped its subtree (death, transport
+            # loss, timeout): the shard span is all that remains of the
+            # work, so mark it as a truncated shard_failure hole rather
+            # than leaving a silent gap in the merged tree.
+            call.span.set_tags(
+                outcome="error",
+                error=str(exc),
+                failure="shard_failure",
+                truncated=True,
+            ).finish()
         if not call.future.done():
             call.future.set_exception(exc)
 
@@ -549,9 +574,11 @@ class ClusterExecutor:
         scoring: str | None = None,
         timeout: float | None = None,
         trace: Any = None,
+        explain: bool = False,
     ) -> "Future[QueryResponse]":
         """Enqueue one query; never blocks (same contract as the
-        single-process executor, including trace ownership)."""
+        single-process executor, including trace ownership and the
+        ``explain`` plan report)."""
         if self._closed:
             raise QueryRejected("cluster executor is shut down")
         if scoring is not None and scoring not in SCORING_PRESETS:
@@ -583,6 +610,7 @@ class ClusterExecutor:
             submitted_at=now,
             trace=trace,
             owns_trace=owns_trace,
+            explain=explain,
         )
         request.queue_span = trace.begin(
             "queue", parent=trace.root, depth_at_submit=self._queue.qsize()
@@ -690,14 +718,27 @@ class ClusterExecutor:
         }
 
     def check_shards(self) -> dict:
-        """One watchdog sweep: respawn shards whose process died."""
+        """One watchdog sweep: respawn shards whose process died.
+
+        Each respawn runs inside its own (sampled) background trace so
+        repair work is attributable like request work.
+        """
         respawned = 0
         with self._state_lock:
             if self._closed:
                 return {"respawned": 0}
             handles = list(self._handles)
         for handle in handles:
-            if not handle.alive and handle.respawn():
+            if handle.alive:
+                continue
+            trace = (
+                self.tracer.trace("cluster.respawn", shard=handle.shard_id)
+                if self.tracer is not None
+                else NULL_TRACE
+            )
+            ok = handle.respawn()
+            trace.finish(respawned=ok, pid=handle.pid)
+            if ok:
                 respawned += 1
                 if self.logger is not None:
                     self.logger.warning(
@@ -939,7 +980,7 @@ class ClusterExecutor:
         key = make_key(
             request.query_text, request.scoring_name, generation, request.top_k
         )
-        if self.cache is not None:
+        if self.cache is not None and not request.explain:
             cache_span = request.trace.begin(
                 "cache.get", parent=request.trace.root, generation=generation
             )
@@ -1000,6 +1041,25 @@ class ClusterExecutor:
             self.metrics.increment("degraded_responses")
         else:
             self._cache_put(key, results)
+        report = None
+        if request.explain:
+            # The merged results come from the shards; the plan report
+            # comes from one real execution on the coordinator's
+            # full-corpus system (exact shard merges are verified
+            # identical to the single-process ranking), so the term,
+            # DAAT, and stage counters describe the same query.
+            scoring = (
+                SCORING_PRESETS[request.scoring_name]()
+                if request.scoring_name in SCORING_PRESETS
+                else None
+            )
+            _ranked, report = self.system.ask(
+                request.query_text,
+                top_k=request.top_k,
+                scoring=scoring,
+                explain=True,
+            )
+            report["provenance"]["result_cache"] = "bypass"
         self._finish(
             request,
             QueryResponse(
@@ -1011,6 +1071,7 @@ class ClusterExecutor:
                 latency_s=time.monotonic() - request.submitted_at,
                 shards_total=self.num_shards,
                 shards_failed=failed,
+                explain=report,
             ),
             merge_pulls_saved=merged.pulls_saved,
         )
@@ -1031,6 +1092,13 @@ class ClusterExecutor:
         calls: list[tuple[_ShardHandle, _ShardCall]] = []
         skipped = 0
         join_started = time.perf_counter()
+        # Trace context rides the pickle protocol only when the request
+        # trace records: the coordinator owns the sampling decision, the
+        # worker records unconditionally when asked (see worker.py).
+        recording = getattr(request.trace, "is_recording", False)
+        trace_context = (
+            {"trace_id": request.trace.trace_id} if recording else None
+        )
         for handle in self._handles:
             if not handle.breaker.allow():
                 skipped += 1
@@ -1038,18 +1106,22 @@ class ClusterExecutor:
             span = request.trace.begin(
                 "shard", parent=scatter_span, shard=handle.shard_id
             )
+            message = {
+                "op": "query",
+                "id": next(self._request_ids),
+                "query": request.query_text,
+                "top_k": request.top_k,
+                "scoring": request.scoring_name,
+                "avoid_duplicates": True,
+            }
+            if trace_context is not None:
+                message["trace"] = trace_context
             call = _ShardCall(
-                message={
-                    "op": "query",
-                    "id": next(self._request_ids),
-                    "query": request.query_text,
-                    "top_k": request.top_k,
-                    "scoring": request.scoring_name,
-                    "avoid_duplicates": True,
-                },
+                message=message,
                 future=Future(),
                 span=span,
                 deadline=request.deadline,
+                trace=request.trace if recording else None,
             )
             try:
                 handle.submit(call)

@@ -41,6 +41,7 @@ import os
 import signal
 from typing import Any
 
+from repro.obs.trace import NULL_TRACE, Tracer, use_trace
 from repro.reliability.faults import FAULTS, WorkerCrash, configure_from_env
 from repro.retrieval.instrumentation import collect_join_stats
 from repro.system import SearchSystem
@@ -76,19 +77,39 @@ def _resolve_scoring(name: str | None):
     return factory()
 
 
-def _serve_query(system: SearchSystem, message: dict) -> dict:
+def _serve_query(
+    system: SearchSystem,
+    message: dict,
+    *,
+    shard_id: int = 0,
+    tracer: Tracer | None = None,
+) -> dict:
     query_text = message["query"]
     top_k = int(message.get("top_k", 5))
     scoring = _resolve_scoring(message.get("scoring"))
     avoid_duplicates = bool(message.get("avoid_duplicates", True))
-    with collect_join_stats() as stats:
-        ranked = system.ask(
-            query_text,
-            top_k=top_k,
-            scoring=scoring,
-            avoid_duplicates=avoid_duplicates,
+    # Cross-process trace propagation: the coordinator made the sampling
+    # decision and ships a trace context only when its trace records; the
+    # worker runs the query inside its own local trace and returns the
+    # finished span subtree for the coordinator to graft.
+    context = message.get("trace")
+    trace = NULL_TRACE
+    if tracer is not None and isinstance(context, dict):
+        trace = tracer.trace(
+            "shard.execute",
+            shard=shard_id,
+            origin=str(context.get("trace_id", "")),
         )
-    return {
+    with use_trace(trace):
+        with collect_join_stats() as stats:
+            ranked = system.ask(
+                query_text,
+                top_k=top_k,
+                scoring=scoring,
+                avoid_duplicates=avoid_duplicates,
+            )
+    trace.finish(results=len(ranked))
+    reply = {
         "ok": True,
         "results": ranked,
         "generation": system.index_generation,
@@ -98,13 +119,21 @@ def _serve_query(system: SearchSystem, message: dict) -> dict:
             "join_ns": stats.join_ns,
         },
     }
+    if trace.is_recording:
+        reply["trace"] = trace.to_wire()
+    return reply
 
 
-def _dispatch(system: SearchSystem, shard_id: int, message: dict) -> dict:
+def _dispatch(
+    system: SearchSystem,
+    shard_id: int,
+    message: dict,
+    tracer: Tracer | None = None,
+) -> dict:
     op = message.get("op")
     if op == "query":
         FAULTS.inject("shard.query")
-        return _serve_query(system, message)
+        return _serve_query(system, message, shard_id=shard_id, tracer=tracer)
     if op == "healthz":
         return {
             "ok": True,
@@ -142,6 +171,11 @@ def shard_worker_main(
     # inherited (the registry itself is per-process state).
     configure_from_env()
     system = _build_system(documents)
+    # One tracer per worker process.  Sampling already happened on the
+    # coordinator (a trace context arrives only for recording traces),
+    # so record everything asked of us; the ring is small because the
+    # subtree ships back in the reply rather than living here.
+    tracer = Tracer(sample_rate=1.0, capacity=32)
     while True:
         try:
             message = conn.recv()
@@ -159,7 +193,7 @@ def shard_worker_main(
                 pass
             break
         try:
-            reply = _dispatch(system, shard_id, message)
+            reply = _dispatch(system, shard_id, message, tracer)
         except WorkerCrash:
             # A simulated process death (fault mode "crash"): exit hard,
             # like a SIGKILL, so the coordinator sees a dead shard — no

@@ -59,6 +59,7 @@ loses no acknowledged write.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -75,6 +76,7 @@ from repro.core.io import SerializationError
 from repro.index.inverted import InvertedIndex
 from repro.index.io import index_from_dict, index_to_dict
 from repro.index.postings import PostingList
+from repro.obs.trace import current_trace, use_trace
 from repro.obs.trace import span as obs_span
 from repro.reliability.faults import FAULTS
 from repro.reliability.snapshot import (
@@ -390,6 +392,7 @@ class SegmentedIndex:
         merge_fanin: int = 4,
         metrics: Any = None,
         logger: Any = None,
+        tracer: Any = None,
     ) -> None:
         if merge_fanin < 2:
             raise ValueError(f"merge_fanin must be >= 2, got {merge_fanin}")
@@ -402,6 +405,7 @@ class SegmentedIndex:
         self.merge_fanin = merge_fanin
         self._metrics = metrics
         self._logger = logger
+        self._tracer = tracer
         self._lock = threading.RLock()
         self._wal = WriteAheadLog(self.data_dir / WAL_NAME)
         self._memtable = InvertedIndex(stem=stem, drop_stopwords=drop_stopwords)
@@ -473,10 +477,14 @@ class SegmentedIndex:
 
     # -- observability ---------------------------------------------------------
 
-    def attach(self, *, metrics: Any = None, logger: Any = None) -> None:
-        """Attach metrics/logger after construction (the CLI wires the
-        serving registry in once the executor exists).  Recovery-time
-        counters observed before attachment are flushed on attach."""
+    def attach(
+        self, *, metrics: Any = None, logger: Any = None, tracer: Any = None
+    ) -> None:
+        """Attach metrics/logger/tracer after construction (the CLI
+        wires the serving registry in once the executor exists).
+        Recovery-time counters observed before attachment are flushed
+        on attach; the tracer samples background work (seal, merge,
+        recovery) from then on."""
         with self._lock:
             if metrics is not None:
                 self._metrics = metrics
@@ -484,19 +492,118 @@ class SegmentedIndex:
                 if replayed and not self.recovery_stats.get("replay_reported"):
                     self.recovery_stats["replay_reported"] = True
                     metrics.increment("wal_replay_records", replayed)
-                self._publish_segments_live()
+                self._publish_gauges()
+                self._publish_recovery_gauges()
             if logger is not None:
                 self._logger = logger
+            if tracer is not None:
+                self._tracer = tracer
 
     def _count(self, name: str, amount: int = 1) -> None:
         if self._metrics is not None:
             self._metrics.increment(name, amount)
 
-    def _publish_segments_live(self) -> None:
-        if self._metrics is not None:
-            set_live = getattr(self._metrics, "set_segments_live", None)
-            if set_live is not None:
-                set_live(len(self._segments))
+    def _publish_gauges(self) -> None:
+        """Push the live backlog gauges; call under the lock after any
+        event that moves them (mutation, seal, merge, recovery)."""
+        if self._metrics is None:
+            return
+        set_live = getattr(self._metrics, "set_segments_live", None)
+        if set_live is not None:
+            set_live(len(self._segments))
+        set_index = getattr(self._metrics, "set_index_gauges", None)
+        if set_index is not None:
+            set_index(
+                wal_depth=self._seq - self._applied_seq,
+                merge_debt_segments=max(
+                    0, len(self._segments) - self.merge_fanin + 1
+                ),
+                memtable_docs=self._memtable.document_count,
+            )
+
+    def _publish_recovery_gauges(self) -> None:
+        if self._metrics is None or not self.recovery_stats:
+            return
+        set_recovery = getattr(self._metrics, "set_recovery_gauges", None)
+        if set_recovery is not None:
+            set_recovery(
+                wal_truncated_bytes=self.recovery_stats.get(
+                    "wal_truncated_bytes", 0
+                ),
+                quarantined_segments=len(
+                    self.recovery_stats.get("quarantined_segments", ())
+                ),
+                documents_lost=len(
+                    self.recovery_stats.get("documents_lost", ())
+                ),
+            )
+
+    @contextlib.contextmanager
+    def _bg_trace(self, name: str, **tags: Any):
+        """A sampled trace around one unit of background work.
+
+        Background threads (the merger watchdog, recovery on open) have
+        no ambient request trace, so their ``segment.seal`` /
+        ``segment.merge`` spans vanish unless something roots them.
+        This opens a trace from the attached tracer — subject to its
+        sampling — and installs it as the ambient trace so the existing
+        spans land inside.  When the caller *is* under a recording
+        trace (a synchronous seal on the write path), that trace wins
+        and no extra root is created.
+        """
+        tracer = self._tracer
+        if tracer is None or current_trace().is_recording:
+            yield current_trace()
+            return
+        trace = tracer.trace(name, **tags)
+        try:
+            with use_trace(trace):
+                yield trace
+        finally:
+            trace.finish()
+
+    def status(self) -> dict[str, Any]:
+        """One consistent view of the durable index's live state.
+
+        Served by ``/statusz`` and embedded in EXPLAIN reports: segment
+        count and per-segment document totals, memtable occupancy, WAL
+        depth (acknowledged records not yet sealed), merge debt
+        (segments at or beyond the fan-in trigger), tombstones, and
+        what the last recovery found.
+        """
+        with self._lock:
+            return {
+                "durable": True,
+                "generation": self._seq,
+                "applied_seq": self._applied_seq,
+                "wal_depth": self._seq - self._applied_seq,
+                "segments": len(self._segments),
+                "segment_docs": [
+                    {"id": seg.segment_id, "docs": seg.doc_count}
+                    for seg in self._segments
+                ],
+                "memtable_docs": self._memtable.document_count,
+                "tombstones": len(self._tombstones),
+                "merge_fanin": self.merge_fanin,
+                "merge_debt_segments": max(
+                    0, len(self._segments) - self.merge_fanin + 1
+                ),
+                "merger_running": self._merger is not None,
+                "recovery": {
+                    "wal_replay_records": self.recovery_stats.get(
+                        "wal_replay_records", 0
+                    ),
+                    "wal_truncated_bytes": self.recovery_stats.get(
+                        "wal_truncated_bytes", 0
+                    ),
+                    "quarantined_segments": list(
+                        self.recovery_stats.get("quarantined_segments", ())
+                    ),
+                    "documents_lost": len(
+                        self.recovery_stats.get("documents_lost", ())
+                    ),
+                },
+            }
 
     # -- construction (the write path) ----------------------------------------
 
@@ -584,6 +691,7 @@ class SegmentedIndex:
                 self._apply_add(document)
             self._invalidate_caches()
             self._count("wal_appends", len(batch))
+            self._publish_gauges()
             if (
                 self.seal_threshold
                 and self._memtable.document_count >= self.seal_threshold
@@ -607,6 +715,7 @@ class SegmentedIndex:
             self._apply_remove(doc_id)
             self._invalidate_caches()
             self._count("wal_appends")
+            self._publish_gauges()
 
     def _apply_add(self, document: Document) -> None:
         self._memtable.add_document(document)
@@ -657,7 +766,7 @@ class SegmentedIndex:
         segment_id = None
         # Callers hold the (reentrant) lock already; re-entering keeps
         # the guard explicit for the static analyzer and for direct use.
-        with self._lock, obs_span(
+        with self._lock, self._bg_trace("segment.seal"), obs_span(
             "segment.seal",
             documents=len(self._mem_docs),
             generation=self._seq,
@@ -700,7 +809,7 @@ class SegmentedIndex:
             # replaces: merged-posting caches may hold direct memtable
             # references, so rebuild them lazily against the segment.
             self._invalidate_caches()
-            self._publish_segments_live()
+            self._publish_gauges()
         return segment_id
 
     def _write_manifest_locked(self) -> None:
@@ -774,7 +883,7 @@ class SegmentedIndex:
             merged_id = self._next_segment_id
             self._next_segment_id += 1
 
-        with obs_span(
+        with self._bg_trace("segment.merge"), obs_span(
             "segment.merge",
             segments=len(victims),
             documents=len(victim_docs),
@@ -838,7 +947,7 @@ class SegmentedIndex:
                         self._tombstones.discard(doc_id)
                 self._write_manifest_locked()
                 self._invalidate_caches()
-                self._publish_segments_live()
+                self._publish_gauges()
                 retired = [seg.name for seg in victims]
                 if not merged.documents:
                     retired.append(merged.name)
@@ -887,8 +996,10 @@ class SegmentedIndex:
 
     def _recover(self) -> None:
         # Runs from __init__ before the object is shared; the lock keeps
-        # the guarded-attribute discipline uniform anyway.
-        with self._lock:
+        # the guarded-attribute discipline uniform anyway.  The trace
+        # only records when a tracer was passed to the constructor
+        # (recovery runs before attach()).
+        with self._lock, self._bg_trace("wal.recovery") as trace:
             quarantined: list[str] = []
             lost: list[str] = []
             manifest = self._read_manifest()
@@ -990,7 +1101,15 @@ class SegmentedIndex:
             if replayed:
                 self._count("wal_replay_records", len(replayed))
                 self.recovery_stats["replay_reported"] = True
-            self._publish_segments_live()
+            if trace.is_recording:
+                trace.root.set_tags(
+                    wal_replay_records=len(replayed),
+                    wal_truncated_bytes=truncated,
+                    quarantined_segments=len(quarantined),
+                    documents_lost=len(lost),
+                )
+            self._publish_gauges()
+            self._publish_recovery_gauges()
 
     def _read_manifest(self) -> dict[str, Any] | None:
         path = self.data_dir / MANIFEST_NAME

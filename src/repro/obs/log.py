@@ -39,15 +39,26 @@ def _jsonable(value: Any) -> Any:
 
 
 class MemorySink:
-    """Collects events in memory (tests, the profiling harness)."""
+    """Collects events in memory (tests, the profiling harness).
 
-    def __init__(self) -> None:
+    ``capacity`` bounds the sink as a ring buffer (oldest events are
+    dropped first), mirroring the tracer's finished-trace ring; the
+    default (``None``) keeps everything, which is fine for tests but
+    grows without limit on a long-lived server — pass a capacity there.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
         self._lock = threading.Lock()
         self._events: list[dict] = []
 
     def __call__(self, event: dict) -> None:
         with self._lock:
             self._events.append(event)
+            if self._capacity is not None and len(self._events) > self._capacity:
+                del self._events[: len(self._events) - self._capacity]
 
     @property
     def events(self) -> list[dict]:

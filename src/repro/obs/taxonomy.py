@@ -50,6 +50,9 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "merge",  # threshold-algorithm merge of the shard k-best streams
         "segment.seal",  # memtable flush to an immutable segment + manifest commit
         "segment.merge",  # background compaction of small segments into one
+        "shard.execute",  # a shard worker serving one scattered query (remote root)
+        "cluster.respawn",  # the cluster watchdog replacing a dead shard worker
+        "wal.recovery",  # WAL replay + segment load on SegmentedIndex open
     }
 )
 
@@ -125,6 +128,12 @@ PROMETHEUS_NAMES: frozenset[str] = frozenset(
     | {
         "repro_queue_depth",
         "repro_segments_live",
+        "repro_wal_depth",
+        "repro_merge_debt_segments",
+        "repro_memtable_docs",
+        "repro_wal_truncated_bytes",
+        "repro_segments_quarantined",
+        "repro_documents_lost",
         "repro_uptime_seconds",
         "repro_completed_total",
         "repro_request_latency_seconds",

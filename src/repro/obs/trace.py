@@ -35,10 +35,15 @@ __all__ = [
     "Span",
     "Trace",
     "Tracer",
+    "WIRE_VERSION",
     "current_trace",
     "span",
     "use_trace",
 ]
+
+#: Version stamp of the cross-process span-tree wire format.  Receivers
+#: reject payloads from a different version instead of mis-grafting.
+WIRE_VERSION = 1
 
 
 class Span:
@@ -106,6 +111,39 @@ class Span:
             "tags": dict(self.tags),
         }
 
+    def to_wire(self) -> dict:
+        """Process-portable form of this span (see :meth:`from_wire`).
+
+        Unlike :meth:`to_dict` this keeps ``end_ns`` verbatim (``None``
+        for an unfinished span) so the receiver can distinguish a
+        truncated span from a zero-duration one.  ``trace_id`` is
+        carried once at the trace level, not per span.
+        """
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict, *, trace_id: str) -> "Span":
+        """Rebuild a span shipped by :meth:`to_wire` into ``trace_id``."""
+        span = cls(
+            trace_id,
+            str(payload["span_id"]),
+            payload.get("parent_id"),
+            str(payload["name"]),
+            int(payload["start_ns"]),
+            dict(payload.get("tags") or {}),
+        )
+        end_ns = payload.get("end_ns")
+        if end_ns is not None:
+            span.end_ns = int(end_ns)
+        return span
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Span({self.name!r}, {self.duration_ms:.3f}ms, tags={self.tags})"
 
@@ -166,11 +204,18 @@ class Trace:
         self._tracer = tracer
         self._clock_ns = clock_ns
         self._lock = threading.Lock()
-        self._ids = itertools.count(1)
-        self._spans: list[Span] = []
+        self._ids = itertools.count(2)
         self._stacks = threading.local()
         self._finished = False
-        self.root = self.begin(name, parent=None, **(tags or {}))
+        self._pending_grafts: list[tuple[list, str, int]] = []
+        # Root span built inline (not via begin): no parent lookup, no
+        # per-thread stack allocation on the request's critical path.
+        root = Span(
+            trace_id, f"{trace_id}.1", None, name, clock_ns(),
+            dict(tags) if tags else None,
+        )
+        self._spans: list[Span] = [root]
+        self.root = root
 
     # -- span creation -------------------------------------------------------
 
@@ -194,8 +239,10 @@ class Trace:
             self._clock_ns(),
             tags or None,
         )
-        with self._lock:
-            self._spans.append(new)
+        # list.append is atomic under the GIL, so span creation stays
+        # lock-free on the hot serving path; readers copy under the
+        # lock (``spans``) for a consistent snapshot.
+        self._spans.append(new)
         return new
 
     @contextmanager
@@ -251,6 +298,8 @@ class Trace:
     @property
     def spans(self) -> list[Span]:
         with self._lock:
+            if self._pending_grafts:
+                self._materialize_grafts_locked()
             return list(self._spans)
 
     @property
@@ -268,6 +317,125 @@ class Trace:
             "duration_ns": self.root.duration_ns,
             "spans": [s.to_dict() for s in self.spans],
         }
+
+    # -- cross-process shipping ----------------------------------------------
+
+    def to_wire(self) -> dict:
+        """Serialize the whole span tree for cross-process shipping.
+
+        The payload is a plain dict of plain values (picklable and
+        JSON-able); :meth:`from_wire` restores it losslessly and
+        :meth:`graft` splices it into another process's trace.
+        """
+        return {
+            "version": WIRE_VERSION,
+            "trace_id": self.trace_id,
+            "spans": [s.to_wire() for s in self.spans],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "Trace":
+        """Rebuild a trace shipped by :meth:`to_wire`.
+
+        The result is read-only in spirit (its span tree is complete as
+        shipped) but supports the full reading API — ``spans``,
+        :meth:`find`, :meth:`to_dict` — plus :meth:`to_wire` again,
+        which round-trips losslessly.
+        """
+        version = payload.get("version")
+        if version != WIRE_VERSION:
+            raise ValueError(f"unsupported trace wire version: {version!r}")
+        trace = cls.__new__(cls)
+        trace.trace_id = str(payload["trace_id"])
+        trace._tracer = None
+        trace._clock_ns = time.monotonic_ns
+        trace._lock = threading.Lock()
+        trace._stacks = threading.local()
+        spans = [
+            Span.from_wire(entry, trace_id=trace.trace_id)
+            for entry in payload.get("spans", ())
+        ]
+        if not spans:
+            raise ValueError("trace wire payload carries no spans")
+        trace._spans = spans
+        trace._pending_grafts = []
+        trace._ids = itertools.count(len(spans) + 1)
+        trace._finished = all(s.finished for s in spans)
+        roots = [s for s in spans if s.parent_id is None]
+        trace.root = roots[0] if roots else spans[0]
+        return trace
+
+    def graft(self, payload: dict, *, under: Span) -> None:
+        """Splice a remote span subtree (a :meth:`to_wire` payload) under
+        ``under``.
+
+        Grafting is *lazy*: this call only validates the payload and
+        enqueues it (it runs on the reply I/O thread, squarely on the
+        request's critical path); the spans are materialized the first
+        time the trace is read (``spans``, :meth:`find`,
+        :meth:`to_dict`, :meth:`to_wire`).
+
+        Grafting rules (documented in docs/OBSERVABILITY.md):
+
+        - every remote span's ``trace_id`` is rewritten to this trace's;
+        - remote span ids are namespaced as ``<under.span_id>:<remote id>``
+          so they cannot collide with this trace's counter-issued ids
+          (or with another shard's graft);
+        - remote roots (spans whose parent is absent from the payload)
+          are re-parented onto ``under``;
+        - remote monotonic timestamps are process-local, so the subtree
+          is rebased to start when ``under`` started — durations are
+          preserved verbatim, absolute remote clocks are discarded;
+        - an unfinished remote span is closed at its own start (zero
+          duration) and tagged ``truncated=True``: the work was cut off
+          before it could report an end time.
+        """
+        version = payload.get("version")
+        if version != WIRE_VERSION:
+            raise ValueError(f"unsupported trace wire version: {version!r}")
+        remote = list(payload.get("spans", ()))
+        if not remote:
+            return
+        # list.append is atomic under the GIL; materialization happens
+        # under the lock at read time.
+        self._pending_grafts.append(
+            (remote, under.span_id, under.start_ns)
+        )
+
+    def _materialize_grafts_locked(self) -> None:
+        """Build spans for every queued graft (caller holds the lock)."""
+        pending, self._pending_grafts = self._pending_grafts, []
+        trace_id = self.trace_id
+        for remote, under_id, under_start in pending:
+            grafted: list[Span] = []
+            try:
+                id_map = {
+                    entry["span_id"]: f"{under_id}:{entry['span_id']}"
+                    for entry in remote
+                }
+                offset = under_start - min(int(e["start_ns"]) for e in remote)
+                for entry in remote:
+                    new = Span(
+                        trace_id,
+                        id_map[entry["span_id"]],
+                        id_map.get(entry.get("parent_id") or "", under_id),
+                        str(entry["name"]),
+                        int(entry["start_ns"]) + offset,
+                        dict(entry.get("tags") or {}),
+                    )
+                    end_ns = entry.get("end_ns")
+                    if end_ns is not None:
+                        new.end_ns = int(end_ns) + offset
+                    else:
+                        new.end_ns = new.start_ns
+                        new.tags["truncated"] = True
+                    grafted.append(new)
+            # repro: ignore[except-swallowed] a malformed remote payload
+            # must never break reading the trace; its shard span simply
+            # keeps no subtree
+            except (KeyError, TypeError, ValueError):
+                continue
+            self._spans.extend(grafted)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Trace({self.trace_id!r}, spans={len(self.spans)})"
@@ -346,15 +514,14 @@ class Tracer:
 
     def trace(self, name: str, **tags: Any):
         """A new trace, or :data:`NULL_TRACE` when sampled out."""
+        rate = self.sample_rate
+        sampled = rate >= 1.0 or (rate > 0.0 and self._rng() < rate)
         with self._lock:
             self.started += 1
-            sampled = self.sample_rate >= 1.0 or (
-                self.sample_rate > 0.0 and self._rng() < self.sample_rate
-            )
             if not sampled:
                 self.sampled_out += 1
                 return NULL_TRACE
-            trace_id = f"t{next(self._ids):08x}"
+        trace_id = f"t{next(self._ids):08x}"
         return Trace(
             name, trace_id, tracer=self, clock_ns=self._clock_ns, tags=tags or None
         )

@@ -81,11 +81,14 @@ class DaatResult(TopKResult):
     ``documents_seen`` counts aligned pivots (the conjunctive candidate
     set actually enumerated); ``documents_pivot_skipped`` of those were
     pruned before any match list was materialized; ``pair_index_hits``
-    counts pivots the two-term index supplied data for.
+    counts pivots the two-term index supplied data for;
+    ``pair_bound_tightenings`` counts pivots whose pair bound was
+    strictly tighter than the membership bound.
     """
 
     documents_pivot_skipped: int = 0
     pair_index_hits: int = 0
+    pair_bound_tightenings: int = 0
 
 
 def _pair_bound(
@@ -215,6 +218,7 @@ def rank_top_k_daat(
         bound_skips = 0
         pivot_skips = 0
         pair_hits = 0
+        pair_tightenings = 0
 
         lead = cursors[0]
         doc = lead.doc
@@ -266,9 +270,12 @@ def rank_top_k_daat(
                             applicable.append((ja, jb, post))
                     if applicable:
                         pair_hits += 1
-                        bound = _pair_bound(
+                        pair_bound = _pair_bound(
                             scoring, total, doc, postings, contrib_maps, applicable
                         )
+                        if pair_bound < bound:
+                            pair_tightenings += 1
+                        bound = pair_bound
                         if bound < weakest_score:
                             skip = True
                         elif bound == weakest_score:
@@ -353,11 +360,13 @@ def rank_top_k_daat(
             stats.documents_scanned += scanned
             stats.documents_pivot_skipped += pivot_skips
             stats.pair_index_hits += pair_hits
+            stats.pair_bound_tightenings += pair_tightenings
         if sp is not NULL_SPAN:
             sp.set_tags(
                 documents_scanned=scanned,
                 documents_pivot_skipped=pivot_skips,
                 pair_index_hits=pair_hits,
+                pair_bound_tightenings=pair_tightenings,
                 joins_run=joins,
             )
 
@@ -368,4 +377,5 @@ def rank_top_k_daat(
             joins,
             documents_pivot_skipped=pivot_skips,
             pair_index_hits=pair_hits,
+            pair_bound_tightenings=pair_tightenings,
         )

@@ -22,7 +22,9 @@ the current thread; while it is active, the ranking loops add to it
 * ``documents_pivot_skipped`` — pivot documents pruned by the
   membership/pair bounds *before* match-list materialization,
 * ``pair_index_hits`` — candidate documents the two-term proximity
-  index supplied a tighter bound or pre-joined lists for.
+  index supplied a tighter bound or pre-joined lists for,
+* ``pair_bound_tightenings`` — pivots whose pair-proximity bound was
+  strictly tighter than the membership bound.
 
 Collectors nest: on exit, an inner collector's totals are folded into
 the outer one, so a per-request measurement inside a per-process
@@ -50,6 +52,7 @@ class JoinStats:
         "documents_scanned",
         "documents_pivot_skipped",
         "pair_index_hits",
+        "pair_bound_tightenings",
     )
 
     def __init__(self) -> None:
@@ -64,6 +67,9 @@ class JoinStats:
         self.documents_scanned = 0
         self.documents_pivot_skipped = 0
         self.pair_index_hits = 0
+        # Pivots whose pair-proximity bound came in strictly below the
+        # membership bound (the gap actually tightened the test).
+        self.pair_bound_tightenings = 0
 
     @property
     def bound_skip_rate(self) -> float:
@@ -79,6 +85,7 @@ class JoinStats:
         self.documents_scanned += other.documents_scanned
         self.documents_pivot_skipped += other.documents_pivot_skipped
         self.pair_index_hits += other.pair_index_hits
+        self.pair_bound_tightenings += other.pair_bound_tightenings
 
     def snapshot(self) -> dict:
         return {
@@ -90,6 +97,7 @@ class JoinStats:
             "documents_scanned": self.documents_scanned,
             "documents_pivot_skipped": self.documents_pivot_skipped,
             "pair_index_hits": self.pair_index_hits,
+            "pair_bound_tightenings": self.pair_bound_tightenings,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

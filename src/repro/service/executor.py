@@ -110,6 +110,9 @@ class QueryResponse:
     # Cluster provenance (repro.cluster); 0/0 on the single-process path.
     shards_total: int = 0
     shards_failed: int = 0
+    # EXPLAIN report (``submit(..., explain=True)``); None otherwise.
+    # Schema: repro.system.EXPLAIN_VERSION / docs/OBSERVABILITY.md.
+    explain: dict | None = None
 
 
 @dataclass(slots=True)
@@ -132,6 +135,9 @@ class _Request:
     batch_span: Span | None = None
     exec_started_at: float | None = None
     join_s: float | None = None
+    # EXPLAIN request: bypass the result cache and attach a plan report.
+    explain: bool = False
+    explain_report: dict | None = None
 
     @property
     def batch_key(self) -> Hashable:
@@ -369,6 +375,7 @@ class QueryExecutor:
         scoring: str | None = None,
         timeout: float | None = None,
         trace: Any = None,
+        explain: bool = False,
     ) -> "Future[QueryResponse]":
         """Enqueue one query; never blocks.
 
@@ -380,6 +387,10 @@ class QueryExecutor:
         HTTP server passes the one it opened; the caller then owns its
         lifecycle).  Without one, the executor starts a trace from its
         own tracer and finishes it when the response is delivered.
+
+        ``explain=True`` attaches a structured plan report
+        (:attr:`QueryResponse.explain`); the request bypasses the
+        result-cache read so the counters describe a real execution.
         """
         if self._closed:
             raise QueryRejected("executor is shut down")
@@ -412,6 +423,7 @@ class QueryExecutor:
             submitted_at=now,
             trace=trace,
             owns_trace=owns_trace,
+            explain=explain,
         )
         request.queue_span = trace.begin(
             "queue", parent=trace.root, depth_at_submit=self._queue.qsize()
@@ -885,6 +897,7 @@ class QueryExecutor:
         trace, anchored under that request's join span.
         """
         family = group[0].scoring_name
+        wants_explain = any(r.explain for r in group)
         attempts = 0
 
         def attempt() -> list[list[RankedDocument]]:
@@ -912,13 +925,25 @@ class QueryExecutor:
                     with use_trace(group[0].trace):
                         FAULTS.inject("join.execute")
                 with collect_join_stats() as join_stats:
-                    rankings = self.system.ask_many(
+                    answers = self.system.ask_many(
                         [r.query_text for r in group],
                         top_k=group[0].top_k,
                         scoring=group[0].scoring,
                         avoid_duplicates=avoid_duplicates,
                         traces=[r.trace for r in group],
+                        explain=wants_explain,
                     )
+                if wants_explain:
+                    # The whole group ran with reports; attach them only
+                    # where the caller asked (co-batched plain requests
+                    # stay plain).
+                    rankings = []
+                    for request, (ranked, report) in zip(group, answers):
+                        rankings.append(ranked)
+                        if request.explain:
+                            request.explain_report = report
+                else:
+                    rankings = answers
             except BaseException as exc:
                 for request, join_span in zip(group, spans):
                     request.trace.pop()
@@ -988,6 +1013,11 @@ class QueryExecutor:
                         ),
                         results,
                     )
+            report = request.explain_report
+            if report is not None:
+                # The request skipped the cache read on purpose; record
+                # that so the report does not claim a miss.
+                report["provenance"]["result_cache"] = "bypass"
             self._finish(
                 request,
                 QueryResponse(
@@ -997,6 +1027,7 @@ class QueryExecutor:
                     degraded=not exact,
                     generation=generation,
                     latency_s=time.monotonic() - request.submitted_at,
+                    explain=report,
                 ),
             )
 
@@ -1050,7 +1081,7 @@ class QueryExecutor:
                     generation,
                     request.top_k,
                 )
-                if self.cache is not None:
+                if self.cache is not None and not request.explain:
                     cache_span = request.trace.begin(
                         "cache.get", parent=request.batch_span, generation=generation
                     )

@@ -30,6 +30,9 @@ Metric glossary (see also docs/SERVING.md and docs/OBSERVABILITY.md):
 ``merge_pulls_saved``   shard-shipped entries the threshold merge never pulled
 ``queue_depth``         current executor backlog (gauge)
 ``segments_live``       sealed segments in the durable index (gauge)
+``wal_depth``           acknowledged WAL records not yet sealed (gauge)
+``merge_debt_segments`` segments at/beyond the merge fan-in trigger (gauge)
+``memtable_docs``       documents in the mutable memtable segment (gauge)
 ``latency_p50``/``latency_p95``/``latency_p99``  request latency quantiles
 ``qps``                 completed requests / elapsed wall-clock
 
@@ -118,6 +121,29 @@ class ServiceMetrics:
         self._segments_live = self.registry.gauge(
             "repro_segments_live", "Sealed segments in the durable index"
         )
+        self._wal_depth = self.registry.gauge(
+            "repro_wal_depth",
+            "Acknowledged WAL records not yet sealed into a segment",
+        )
+        self._merge_debt = self.registry.gauge(
+            "repro_merge_debt_segments",
+            "Sealed segments at or beyond the merge fan-in trigger",
+        )
+        self._memtable_docs = self.registry.gauge(
+            "repro_memtable_docs", "Documents in the mutable memtable segment"
+        )
+        self._wal_truncated = self.registry.gauge(
+            "repro_wal_truncated_bytes",
+            "Torn WAL bytes truncated by the last recovery",
+        )
+        self._segments_quarantined = self.registry.gauge(
+            "repro_segments_quarantined",
+            "Corrupt segments quarantined by the last recovery",
+        )
+        self._documents_lost = self.registry.gauge(
+            "repro_documents_lost",
+            "Documents lost to quarantined owner segments at the last recovery",
+        )
         self._latency_hist = self.registry.histogram(
             "repro_request_latency_seconds",
             "End-to-end request latency",
@@ -167,6 +193,31 @@ class ServiceMetrics:
 
     def set_segments_live(self, count: int) -> None:
         self._segments_live.set(count)
+
+    def set_index_gauges(
+        self,
+        *,
+        wal_depth: int,
+        merge_debt_segments: int,
+        memtable_docs: int,
+    ) -> None:
+        """Durable-index backlog gauges, published on every index event
+        (mutation, seal, merge, recovery) by :class:`SegmentedIndex`."""
+        self._wal_depth.set(wal_depth)
+        self._merge_debt.set(merge_debt_segments)
+        self._memtable_docs.set(memtable_docs)
+
+    def set_recovery_gauges(
+        self,
+        *,
+        wal_truncated_bytes: int,
+        quarantined_segments: int,
+        documents_lost: int,
+    ) -> None:
+        """What the last recovery found (stable until the next open)."""
+        self._wal_truncated.set(wal_truncated_bytes)
+        self._segments_quarantined.set(quarantined_segments)
+        self._documents_lost.set(documents_lost)
 
     def observe_latency(self, seconds: float) -> None:
         """Record one completed request's end-to-end latency."""
@@ -227,6 +278,9 @@ class ServiceMetrics:
             **counts,
             "queue_depth": int(self._queue_depth.value()),
             "segments_live": int(self._segments_live.value()),
+            "wal_depth": int(self._wal_depth.value()),
+            "merge_debt_segments": int(self._merge_debt.value()),
+            "memtable_docs": int(self._memtable_docs.value()),
             "completed_total": completed,
             "uptime_s": elapsed,
             "qps": completed / elapsed if elapsed > 0 else 0.0,

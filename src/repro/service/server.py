@@ -73,6 +73,8 @@ def _response_payload(response: QueryResponse) -> dict:
             "total": response.shards_total,
             "failed": response.shards_failed,
         }
+    if response.explain is not None:
+        payload["explain"] = response.explain
     return payload
 
 
@@ -104,6 +106,18 @@ def _parse_timeout(params: dict) -> float | None:
     if not 0 <= timeout_ms < float("inf"):
         raise _BadParameter(f"timeout_ms must be finite and >= 0, got {raw!r}")
     return timeout_ms / 1000.0
+
+
+def _parse_explain(params: dict) -> bool:
+    raw = params.get("explain")
+    if raw is None:
+        return False
+    text = str(raw).strip().lower()
+    if text in ("1", "true", "yes", "on"):
+        return True
+    if text in ("", "0", "false", "no", "off"):
+        return False
+    raise _BadParameter(f"explain must be a boolean flag, got {raw!r}")
 
 
 def _parse_scoring(params: dict) -> str | None:
@@ -206,11 +220,86 @@ class _Handler(BaseHTTPRequestHandler):
                     f"unknown metrics format {fmt!r}; "
                     "expected 'prometheus' or 'json'",
                 )
+        elif url.path == "/statusz":
+            self._send_json(200, self._statusz())
+        elif url.path == "/debug/traces":
+            self._send_json(200, self._trace_index())
+        elif url.path.startswith("/debug/traces/"):
+            self._trace_detail(unquote(url.path[len("/debug/traces/"):]))
         elif url.path == "/search":
             params = {k: v[-1] for k, v in parse_qs(url.query).items()}
             self._search(params)
         else:
             self._send_error_json(404, "not_found", f"no such endpoint: {url.path}")
+
+    def _statusz(self) -> dict:
+        """Live serving + index state in one page (human/debug JSON).
+
+        Aggregates the executor's health view, cache occupancy, and —
+        for a durable index — the segment/WAL/merge backlog and what
+        the last recovery found (``SegmentedIndex.status``).
+        """
+        executor = self.server.executor
+        system = executor.system
+        payload = {
+            "server": {"draining": self.server.draining},
+            "executor": executor.health(),
+            "documents": len(system),
+            "generation": system.index_generation,
+        }
+        cache = executor.cache
+        if cache is not None:
+            payload["cache"] = cache.stats()
+        status = getattr(system.index, "status", None)
+        if callable(status):
+            payload["index"] = status()
+        else:
+            payload["index"] = {"durable": False, "documents": len(system)}
+        shard_health = getattr(executor, "shard_health", None)
+        if callable(shard_health):
+            payload["shards"] = shard_health()
+        tracer = executor.tracer
+        if tracer is not None:
+            payload["traces"] = {
+                "sample_rate": tracer.sample_rate,
+                "started": tracer.started,
+                "sampled_out": tracer.sampled_out,
+                "buffered": len(tracer.finished()),
+            }
+        return payload
+
+    def _trace_index(self) -> dict:
+        """The finished-trace ring, newest first, one summary row each."""
+        tracer = self.server.executor.tracer
+        if tracer is None:
+            return {"traces": [], "note": "tracing disabled"}
+        rows = []
+        for trace in reversed(tracer.finished()):
+            rows.append(
+                {
+                    "trace_id": trace.trace_id,
+                    "name": trace.root.name,
+                    "duration_ms": round(trace.duration_ms, 3),
+                    "spans": len(trace.spans),
+                    "tags": dict(trace.root.tags),
+                }
+            )
+        return {"traces": rows}
+
+    def _trace_detail(self, trace_id: str) -> None:
+        """One finished trace as its full span tree (``Trace.to_dict``)."""
+        tracer = self.server.executor.tracer
+        if tracer is not None:
+            for trace in reversed(tracer.finished()):
+                if trace.trace_id == trace_id:
+                    self._send_json(200, trace.to_dict())
+                    return
+        self._send_error_json(
+            404,
+            "not_found",
+            f"no finished trace {trace_id!r} in the ring "
+            "(it may have been evicted, never sampled, or not finished yet)",
+        )
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         path = urlsplit(self.path).path
@@ -316,6 +405,7 @@ class _Handler(BaseHTTPRequestHandler):
             top_k = _parse_top_k(params)
             timeout = _parse_timeout(params)
             scoring = _parse_scoring(params)
+            explain = _parse_explain(params)
         except _BadParameter as exc:
             self._send_error_json(400, "invalid_parameter", str(exc))
             return
@@ -342,6 +432,7 @@ class _Handler(BaseHTTPRequestHandler):
                     scoring=scoring,
                     timeout=timeout,
                     trace=trace,
+                    explain=explain,
                 )
                 response = future.result()
             except ShutdownDrained as exc:

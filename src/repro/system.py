@@ -41,7 +41,13 @@ from repro.lexicon.graph import LexicalGraph
 from repro.matching.pipeline import QueryMatcher
 from repro.matching.queries import parse_query
 from repro.matching.semantic import SemanticMatcher
-from repro.obs.trace import NULL_SPAN, span as obs_span, use_trace
+from repro.obs.trace import (
+    NULL_SPAN,
+    Trace,
+    current_trace,
+    span as obs_span,
+    use_trace,
+)
 from repro.retrieval.instrumentation import collect_join_stats
 from repro.reliability.snapshot import read_snapshot, write_snapshot
 from repro.retrieval.daat import daat_enabled, rank_top_k_daat
@@ -49,7 +55,14 @@ from repro.retrieval.ranking import RankedDocument, rank_match_lists
 from repro.retrieval.topk_retrieval import rank_top_k
 from repro.text.document import Corpus, Document
 
-__all__ = ["SearchSystem"]
+__all__ = ["EXPLAIN_VERSION", "SearchSystem"]
+
+#: Version stamp of the EXPLAIN report schema (docs/OBSERVABILITY.md
+#: documents every field; bump on any incompatible change).
+EXPLAIN_VERSION = 1
+
+#: Span names whose durations become the EXPLAIN ``stages`` rows.
+_EXPLAIN_STAGES = ("ask", "plan", "rank", "retrieval.pivot")
 
 
 class SearchSystem:
@@ -372,22 +385,194 @@ class SearchSystem:
         top_k: int = 5,
         scoring: ScoringFunction | None = None,
         avoid_duplicates: bool = True,
-    ) -> list[RankedDocument]:
+        explain: bool = False,
+    ):
         """Rank documents for a query-language query.
 
         ``avoid_duplicates=False`` skips the Section VI duplicate-free
         join — a cheaper, approximate ranking the serving layer falls
         back to when a request's deadline is nearly spent.
+
+        ``explain=True`` returns ``(ranked, report)`` instead: the same
+        ranking plus a structured plan report (schema version
+        :data:`EXPLAIN_VERSION`, documented in docs/OBSERVABILITY.md)
+        covering per-term statistics, DAAT pruning counters, index
+        state, and per-stage timings.
         """
-        with obs_span("ask"):
-            query, matcher = self._plan(query_text)
-            return self._rank(
-                query,
-                matcher,
-                scoring or self.scoring,
-                top_k=top_k,
-                avoid_duplicates=avoid_duplicates,
-            )
+        ranked, report = self._ask_one(
+            query_text,
+            top_k=top_k,
+            scoring=scoring or self.scoring,
+            avoid_duplicates=avoid_duplicates,
+            explain=explain,
+        )
+        if explain:
+            return ranked, report
+        return ranked
+
+    def _ask_one(
+        self,
+        query_text: str,
+        *,
+        top_k: int | None,
+        scoring: ScoringFunction,
+        avoid_duplicates: bool,
+        memo: dict | None = None,
+        explain: bool = False,
+    ) -> tuple[list[RankedDocument], dict | None]:
+        """Plan + rank one query; optionally assemble its EXPLAIN report.
+
+        The report is built from the query's own span subtree plus the
+        scoped :class:`JoinStats`, so an EXPLAIN run measures exactly
+        the work it reports.  When no recording trace is active a
+        private (unreported) trace is opened just to capture the stage
+        timings — EXPLAIN output does not depend on the sampling dice.
+        """
+        if not explain:
+            with obs_span("ask"):
+                query, matcher = self._plan(query_text)
+                return (
+                    self._rank(
+                        query,
+                        matcher,
+                        scoring,
+                        top_k=top_k,
+                        avoid_duplicates=avoid_duplicates,
+                        memo=memo,
+                    ),
+                    None,
+                )
+        generation = self.index_generation
+        trace = current_trace()
+        owns = not trace.is_recording
+        if owns:
+            trace = Trace("request", "explain")
+        scope = use_trace(trace) if owns else contextlib.nullcontext()
+        with scope:
+            seen = len(trace.spans)
+            with obs_span("ask"):
+                with collect_join_stats() as stats:
+                    query, matcher = self._plan(query_text)
+                    ranked = self._rank(
+                        query,
+                        matcher,
+                        scoring,
+                        top_k=top_k,
+                        avoid_duplicates=avoid_duplicates,
+                        memo=memo,
+                    )
+            spans = trace.spans[seen:]
+        if owns:
+            trace.finish()
+        report = self._explain_report(
+            query_text,
+            query,
+            matcher,
+            scoring,
+            top_k=top_k,
+            avoid_duplicates=avoid_duplicates,
+            generation=generation,
+            stats=stats,
+            spans=spans,
+            memo_shared=memo is not None,
+        )
+        return ranked, report
+
+    def _explain_report(
+        self,
+        query_text: str,
+        query: Query,
+        matcher,
+        scoring: ScoringFunction,
+        *,
+        top_k: int | None,
+        avoid_duplicates: bool,
+        generation: int,
+        stats,
+        spans,
+        memo_shared: bool,
+    ) -> dict:
+        """Assemble the EXPLAIN report (see docs/OBSERVABILITY.md)."""
+        terms = [str(term) for term in query]
+        offline = matcher is None
+        bounded = isinstance(scoring, (WinScoring, MedScoring, MaxScoring))
+        use_daat = (
+            top_k is not None and top_k > 0 and bounded
+            and offline and daat_enabled()
+        )
+        term_rows = []
+        if offline:
+            for j, term in enumerate(terms):
+                postings = self._concepts.term_postings(term, generation)
+                term_rows.append(
+                    {
+                        "term": term,
+                        "df": postings.document_frequency,
+                        "postings_len": len(postings),
+                        "impact_ceiling": postings.ceiling(scoring, j),
+                        "best_score": postings.max_score,
+                    }
+                )
+        pair_index = self._pair_index
+        pair_index_live = (
+            pair_index is not None and pair_index.generation == generation
+        )
+        status = getattr(self.index, "status", None)
+        if self._durable and callable(status):
+            state = status()
+            index_row = {
+                "durable": True,
+                "segments": state.get("segments", 0),
+                "memtable_docs": state.get("memtable_docs", 0),
+                "tombstones": state.get("tombstones", 0),
+            }
+        else:
+            index_row = {
+                "durable": False,
+                "segments": 0,
+                "memtable_docs": len(self.corpus),
+                "tombstones": 0,
+            }
+        stage_rows = [
+            {"stage": sp.name, "micros": sp.duration_ns // 1000}
+            for sp in spans
+            if sp.name in _EXPLAIN_STAGES
+        ]
+        return {
+            "version": EXPLAIN_VERSION,
+            "query": query_text,
+            "generation": generation,
+            "plan": {
+                "path": "offline" if offline else "online",
+                "ranking": "daat" if use_daat else "scan",
+                "scoring": type(scoring).__name__,
+                "top_k": top_k,
+                "avoid_duplicates": avoid_duplicates,
+                "n_terms": len(terms),
+                "pair_index": pair_index_live,
+            },
+            "terms": term_rows,
+            "daat": {
+                "documents_scanned": stats.documents_scanned,
+                "documents_pivot_skipped": stats.documents_pivot_skipped,
+                "pair_index_hits": stats.pair_index_hits,
+                "pair_bound_tightenings": stats.pair_bound_tightenings,
+                "joins_run": stats.joins_run,
+                "joins_skipped": stats.joins_skipped,
+                "bound_skip_rate": stats.bound_skip_rate,
+                "join_micros": stats.join_ns // 1000,
+                "dedup_invocations": stats.dedup_invocations,
+            },
+            "index": index_row,
+            "provenance": {
+                # The serving layer overwrites result_cache with
+                # hit/miss/bypass as appropriate; the system-level
+                # default says no cache sat in front of this run.
+                "result_cache": "none",
+                "memo_shared": memo_shared,
+            },
+            "stages": stage_rows,
+        }
 
     def ask_many(
         self,
@@ -397,7 +582,8 @@ class SearchSystem:
         scoring: ScoringFunction | None = None,
         avoid_duplicates: bool = True,
         traces: Sequence | None = None,
-    ) -> list[list[RankedDocument]]:
+        explain: bool = False,
+    ) -> list:
         """Rank documents for several queries in one pass.
 
         The batch hook behind :class:`repro.service.MicroBatcher`: all
@@ -413,31 +599,33 @@ class SearchSystem:
         while that query is planned and ranked, so the system-level
         spans land on the right request even though the batch shares one
         thread.
+
+        ``explain=True`` makes every element a ``(ranked, report)``
+        pair, as :meth:`ask` with ``explain=True`` — the batch memo is
+        still shared, and each report says so in its provenance block.
         """
         if traces is not None and len(traces) != len(queries):
             raise ValueError(
                 f"traces/queries length mismatch: {len(traces)} != {len(queries)}"
             )
         memo: dict = {}
-        results: list[list[RankedDocument]] = []
+        results: list = []
         for position, query_text in enumerate(queries):
             scope = (
                 use_trace(traces[position])
                 if traces is not None
                 else contextlib.nullcontext()
             )
-            with scope, obs_span("ask"):
-                query, matcher = self._plan(query_text)
-                results.append(
-                    self._rank(
-                        query,
-                        matcher,
-                        scoring or self.scoring,
-                        top_k=top_k,
-                        avoid_duplicates=avoid_duplicates,
-                        memo=memo if matcher is None else None,
-                    )
+            with scope:
+                ranked, report = self._ask_one(
+                    query_text,
+                    top_k=top_k,
+                    scoring=scoring or self.scoring,
+                    avoid_duplicates=avoid_duplicates,
+                    memo=memo,
+                    explain=explain,
                 )
+            results.append((ranked, report) if explain else ranked)
         return results
 
     def extract(
@@ -506,11 +694,12 @@ class SearchSystem:
             raise ValueError("maintenance applies to durable systems only")
         return self.index.start_merger(interval_s)
 
-    def attach_observability(self, *, metrics=None, logger=None) -> None:
-        """Wire serving metrics/logger into the durable index (no-op
-        for in-memory systems)."""
+    def attach_observability(self, *, metrics=None, logger=None, tracer=None) -> None:
+        """Wire serving metrics/logger/tracer into the durable index
+        (no-op for in-memory systems).  The tracer samples background
+        work — seals, merges, recovery — into its finished-trace ring."""
         if self._durable:
-            self.index.attach(metrics=metrics, logger=logger)
+            self.index.attach(metrics=metrics, logger=logger, tracer=tracer)
 
     def close(self) -> None:
         """Release durable resources (merger thread, WAL handle)."""

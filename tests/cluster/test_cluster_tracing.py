@@ -1,0 +1,164 @@
+"""Cross-process tracing: one request, one merged span tree.
+
+The acceptance criterion for the distributed-tracing work: a traced
+request against a 2-shard cluster must produce a SINGLE span tree on
+the coordinator's tracer, with each shard worker's ``shard.execute``
+subtree grafted under the coordinator's per-shard ``shard`` span —
+namespaced ids, rebased clocks, worker stage spans intact.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cluster import ClusterExecutor
+from repro.obs.trace import Tracer
+from repro.service import SearchServer
+from repro.system import SearchSystem
+
+CORPUS = [
+    ("news-1", "Lenovo announced a marketing partnership with the NBA."),
+    ("news-2", "Dell explored an alliance with the Olympic Games organizers."),
+    ("news-3", "A bakery opened downtown; nothing about computers here."),
+    ("news-4", "Acer sponsors a cycling team in a sports partnership."),
+    ("news-5", "The partnership between Lenovo and the league expanded."),
+    ("news-6", "Olympic sponsors include technology companies like Dell."),
+]
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = SearchSystem()
+    system.add_texts(CORPUS)
+    return system
+
+
+@pytest.fixture()
+def traced_cluster(system):
+    tracer = Tracer()
+    executor = ClusterExecutor(
+        system,
+        shards=2,
+        watchdog_interval=0,
+        cache_size=0,
+        tracer=tracer,
+    )
+    try:
+        yield executor, tracer
+    finally:
+        executor.shutdown()
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def request_trace(tracer):
+    traces = [t for t in tracer.finished() if t.root.name == "request"]
+    assert len(traces) == 1, [t.root.name for t in tracer.finished()]
+    return traces[0]
+
+
+class TestMergedSpanTree:
+    def test_one_request_yields_one_merged_tree(self, traced_cluster):
+        executor, tracer = traced_cluster
+        response = executor.ask("marketing, partnership", top_k=3)
+        assert response.results
+
+        trace = request_trace(tracer)
+        spans = trace.spans
+        # Every span — coordinator's and both workers' — lives in the
+        # one tree under the one trace id.
+        assert all(s.trace_id == trace.trace_id for s in spans)
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.parent_id is not None:
+                assert span.parent_id in by_id, span.name
+
+        names = {s.name for s in spans}
+        assert {"request", "queue", "scatter", "shard", "merge"} <= names
+
+    def test_each_shard_span_carries_a_grafted_worker_subtree(
+        self, traced_cluster
+    ):
+        executor, tracer = traced_cluster
+        executor.ask("marketing, partnership", top_k=3)
+
+        trace = request_trace(tracer)
+        shard_spans = trace.find("shard")
+        assert len(shard_spans) == 2
+        executes = trace.find("shard.execute")
+        assert len(executes) == 2
+        for shard_span in shard_spans:
+            assert shard_span.tags["outcome"] == "ok"
+            subtree = [
+                s
+                for s in executes
+                if s.span_id.startswith(shard_span.span_id + ":")
+            ]
+            assert len(subtree) == 1
+            execute = subtree[0]
+            # Re-parented onto the shard span, rebased to its clock,
+            # and stamped with the originating trace id by the worker.
+            assert execute.parent_id == shard_span.span_id
+            assert execute.start_ns == shard_span.start_ns
+            assert execute.finished
+            assert execute.tags["origin"] == trace.trace_id
+
+    def test_worker_stage_spans_survive_the_graft(self, traced_cluster):
+        executor, tracer = traced_cluster
+        executor.ask("marketing, partnership", top_k=3)
+
+        trace = request_trace(tracer)
+        # The worker's in-process serving spans (SearchSystem.ask runs
+        # inside shard.execute) arrive namespaced under the graft.
+        asks = [
+            s for s in trace.find("ask") if ":" in s.span_id and s.finished
+        ]
+        assert len(asks) == 2
+
+    def test_traced_http_request_yields_one_merged_tree(self, system):
+        # The acceptance path end to end: one HTTP request against a
+        # 2-shard server, then the merged tree read back over
+        # /debug/traces/{id} with both worker subtrees grafted in.
+        executor = ClusterExecutor(
+            system, shards=2, watchdog_interval=0, cache_size=0,
+            tracer=Tracer(),
+        )
+        with SearchServer(executor, owns_executor=True) as server:
+            status, payload = get_json(
+                server.url + "/search?q=marketing,%20partnership&top_k=3"
+            )
+            assert status == 200
+            trace_id = payload["trace_id"]
+            status, detail = get_json(server.url + f"/debug/traces/{trace_id}")
+
+        assert status == 200
+        spans = detail["spans"]
+        assert all(span["trace_id"] == trace_id for span in spans)
+        by_id = {span["span_id"] for span in spans}
+        for span in spans:
+            if span["parent_id"] is not None:
+                assert span["parent_id"] in by_id, span["name"]
+        shard_spans = [s for s in spans if s["name"] == "shard"]
+        executes = [s for s in spans if s["name"] == "shard.execute"]
+        assert len(shard_spans) == 2
+        assert len(executes) == 2
+        for shard_span in shard_spans:
+            subtree = [
+                e
+                for e in executes
+                if e["span_id"].startswith(shard_span["span_id"] + ":")
+            ]
+            assert len(subtree) == 1
+            assert subtree[0]["parent_id"] == shard_span["span_id"]
+
+    def test_tracer_none_disables_tracing_end_to_end(self, system):
+        with ClusterExecutor(
+            system, shards=2, watchdog_interval=0, cache_size=0, tracer=None
+        ) as executor:
+            response = executor.ask("marketing, partnership", top_k=3)
+            assert response.results
+            assert executor.tracer is None

@@ -96,3 +96,29 @@ def test_memory_sink_named_and_clear():
     assert len(sink.named("a")) == 2
     sink.clear()
     assert sink.events == []
+
+
+def test_memory_sink_capacity_is_a_ring():
+    sink = MemorySink(capacity=3)
+    logger = StructuredLogger()
+    logger.add_sink(sink)
+    for i in range(5):
+        logger.info("e", n=i)
+    # Oldest events are dropped first; the newest `capacity` remain.
+    assert [e["n"] for e in sink.events] == [2, 3, 4]
+
+
+def test_memory_sink_default_is_unbounded():
+    sink = MemorySink()
+    logger = StructuredLogger()
+    logger.add_sink(sink)
+    for i in range(100):
+        logger.info("e", n=i)
+    assert len(sink.events) == 100
+
+
+def test_memory_sink_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        MemorySink(capacity=0)
+    with pytest.raises(ValueError):
+        MemorySink(capacity=-1)

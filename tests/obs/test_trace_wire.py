@@ -1,0 +1,228 @@
+"""Cross-process span-tree wire format: round-trip fidelity + grafting.
+
+The cluster ships each shard worker's span subtree back to the
+coordinator as a ``Trace.to_wire`` payload; the coordinator grafts it
+under its own ``shard`` span.  These tests pin the wire contract
+(lossless round-trip, version rejection) and the grafting rules
+documented in docs/OBSERVABILITY.md (id namespacing, re-parenting,
+timestamp rebasing, truncation tagging, lazy materialization, and
+malformed-payload tolerance).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.obs.trace import WIRE_VERSION, Span, Trace
+
+
+def span_fields(span):
+    return (
+        span.span_id,
+        span.parent_id,
+        span.name,
+        span.start_ns,
+        span.end_ns,
+        span.tags,
+    )
+
+
+def make_clock(start=1_000, step=10):
+    counter = itertools.count(start, step)
+    return lambda: next(counter)
+
+
+def build_random_trace(seed):
+    """A seeded-random span tree: varied depth, fan-out, tags, clocks."""
+    rng = random.Random(seed)
+    clock = make_clock(rng.randrange(10**6), rng.randrange(1, 50))
+    trace = Trace("request", f"t{seed:04x}", clock_ns=clock, tags={"seed": seed})
+    open_spans = [trace.root]
+    for i in range(rng.randrange(2, 12)):
+        parent = rng.choice(open_spans)
+        tags = {"i": i} if rng.random() < 0.5 else {}
+        child = trace.begin(f"stage{i % 4}", parent=parent, **tags)
+        if rng.random() < 0.8:
+            child.finish(clock)
+        else:
+            open_spans.append(child)  # left unfinished on purpose
+    trace.root.finish(clock)
+    return trace
+
+
+class TestWireRoundTrip:
+    def test_round_trip_preserves_every_span_field(self):
+        clock = make_clock()
+        trace = Trace("request", "t0001", clock_ns=clock, tags={"query": "a, b"})
+        child = trace.begin("rank", parent=trace.root, scoring="win")
+        grandchild = trace.begin("join", parent=child)
+        grandchild.finish(clock)
+        child.finish(clock)
+        trace.root.finish(clock)
+
+        restored = Trace.from_wire(trace.to_wire())
+        assert restored.trace_id == trace.trace_id
+        assert restored.root.name == "request"
+        assert [span_fields(s) for s in restored.spans] == [
+            span_fields(s) for s in trace.spans
+        ]
+        assert all(s.trace_id == trace.trace_id for s in restored.spans)
+
+    def test_unfinished_span_survives_round_trip(self):
+        # end_ns=None must come back as None (a truncated span), not be
+        # confused with a zero-duration span.
+        trace = Trace("request", "t0002", clock_ns=make_clock())
+        trace.begin("interrupted", parent=trace.root)
+        restored = Trace.from_wire(trace.to_wire())
+        interrupted = restored.find("interrupted")[0]
+        assert interrupted.end_ns is None
+        assert not interrupted.finished
+
+    def test_random_trees_round_trip_losslessly(self):
+        for seed in range(20):
+            trace = build_random_trace(seed)
+            restored = Trace.from_wire(trace.to_wire())
+            assert [span_fields(s) for s in restored.spans] == [
+                span_fields(s) for s in trace.spans
+            ], f"seed {seed}"
+
+    def test_double_round_trip_is_a_fixed_point(self):
+        for seed in range(5):
+            wire = build_random_trace(seed).to_wire()
+            assert Trace.from_wire(wire).to_wire() == wire
+
+    def test_restored_trace_supports_the_reading_api(self):
+        trace = build_random_trace(7)
+        restored = Trace.from_wire(trace.to_wire())
+        assert restored.to_dict()["trace_id"] == trace.trace_id
+        assert len(restored.find("stage0")) == len(trace.find("stage0"))
+
+    def test_wrong_version_rejected(self):
+        wire = build_random_trace(1).to_wire()
+        wire["version"] = WIRE_VERSION + 1
+        with pytest.raises(ValueError, match="wire version"):
+            Trace.from_wire(wire)
+        with pytest.raises(ValueError, match="wire version"):
+            Trace.from_wire({"trace_id": "t", "spans": []})
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError, match="no spans"):
+            Trace.from_wire(
+                {"version": WIRE_VERSION, "trace_id": "t", "spans": []}
+            )
+
+
+def build_remote_trace():
+    """The shard-worker side: a small finished subtree at its own clock."""
+    clock = make_clock(start=500_000, step=100)
+    remote = Trace("shard.execute", "w0001", clock_ns=clock, tags={"shard": 1})
+    child = remote.begin("ask", parent=remote.root)
+    child.finish(clock)
+    remote.root.finish(clock)
+    return remote
+
+
+class TestGraft:
+    def build_local(self):
+        clock = make_clock(start=9_000_000, step=100)
+        local = Trace("request", "t0009", clock_ns=clock)
+        shard_span = local.begin("shard", parent=local.root, shard=1)
+        return local, shard_span, clock
+
+    def test_grafted_ids_are_namespaced_under_the_anchor(self):
+        local, shard_span, _ = self.build_local()
+        local.graft(build_remote_trace().to_wire(), under=shard_span)
+        grafted = [s for s in local.spans if ":" in s.span_id]
+        assert grafted, "graft produced no spans"
+        assert all(
+            s.span_id.startswith(shard_span.span_id + ":") for s in grafted
+        )
+        assert all(s.trace_id == local.trace_id for s in grafted)
+
+    def test_remote_root_is_reparented_onto_the_anchor(self):
+        local, shard_span, _ = self.build_local()
+        local.graft(build_remote_trace().to_wire(), under=shard_span)
+        execute = local.find("shard.execute")[0]
+        assert execute.parent_id == shard_span.span_id
+        # The remote root's child keeps its (namespaced) remote parent.
+        ask = local.find("ask")[0]
+        assert ask.parent_id == execute.span_id
+
+    def test_timestamps_rebase_to_the_anchor_preserving_durations(self):
+        # The remote clock (500ms epoch) is process-local and meaningless
+        # here; the subtree must start when the shard span started, with
+        # every remote duration intact.
+        local, shard_span, _ = self.build_local()
+        remote = build_remote_trace()
+        local.graft(remote.to_wire(), under=shard_span)
+        execute = local.find("shard.execute")[0]
+        assert execute.start_ns == shard_span.start_ns
+        assert execute.duration_ns == remote.root.duration_ns
+        ask_remote = remote.find("ask")[0]
+        ask_local = local.find("ask")[0]
+        assert ask_local.duration_ns == ask_remote.duration_ns
+        assert (
+            ask_local.start_ns - execute.start_ns
+            == ask_remote.start_ns - remote.root.start_ns
+        )
+
+    def test_unfinished_remote_span_is_closed_and_tagged_truncated(self):
+        local, shard_span, _ = self.build_local()
+        remote = build_remote_trace()
+        remote.begin("cut.off", parent=remote.root)  # never finished
+        local.graft(remote.to_wire(), under=shard_span)
+        cut = local.find("cut.off")[0]
+        assert cut.finished
+        assert cut.duration_ns == 0
+        assert cut.tags["truncated"] is True
+
+    def test_graft_is_lazy_until_the_trace_is_read(self):
+        local, shard_span, _ = self.build_local()
+        local.graft(build_remote_trace().to_wire(), under=shard_span)
+        # Enqueued, not yet materialized: the graft runs on the reply
+        # I/O thread, so it must not pay tree-building there.
+        assert local._pending_grafts
+        assert local.find("shard.execute")  # first read materializes
+        assert not local._pending_grafts
+
+    def test_two_shards_graft_without_id_collisions(self):
+        local, shard_a, _ = self.build_local()
+        shard_b = local.begin("shard", parent=local.root, shard=2)
+        local.graft(build_remote_trace().to_wire(), under=shard_a)
+        local.graft(build_remote_trace().to_wire(), under=shard_b)
+        ids = [s.span_id for s in local.spans]
+        assert len(ids) == len(set(ids))
+        assert len(local.find("shard.execute")) == 2
+
+    def test_wrong_version_graft_raises_eagerly(self):
+        local, shard_span, _ = self.build_local()
+        wire = build_remote_trace().to_wire()
+        wire["version"] = WIRE_VERSION + 1
+        with pytest.raises(ValueError, match="wire version"):
+            local.graft(wire, under=shard_span)
+
+    def test_empty_payload_graft_is_a_no_op(self):
+        local, shard_span, _ = self.build_local()
+        local.graft(
+            {"version": WIRE_VERSION, "trace_id": "w", "spans": []},
+            under=shard_span,
+        )
+        assert local.find("shard.execute") == []
+
+    def test_malformed_payload_is_skipped_not_raised_at_read_time(self):
+        # A payload that passes the eager version check but is broken
+        # inside must not explode when the trace is later read — the
+        # shard span simply keeps no subtree.
+        local, shard_span, _ = self.build_local()
+        broken = {
+            "version": WIRE_VERSION,
+            "trace_id": "w0001",
+            "spans": [{"name": "no-span-id", "start_ns": "not-a-number"}],
+        }
+        local.graft(broken, under=shard_span)
+        good = build_remote_trace().to_wire()
+        local.graft(good, under=shard_span)
+        names = {s.name for s in local.spans}
+        assert "no-span-id" not in names
+        assert "shard.execute" in names  # the good graft still lands

@@ -137,6 +137,61 @@ def test_all_shards_dead_fails_fast_not_hangs(delayed_shards):
         executor.shutdown()
 
 
+def test_killed_shard_leaves_truncated_subtree_in_the_trace(delayed_shards):
+    # Distributed-tracing contract under partial failure: the request
+    # still yields ONE merged span tree; the SIGKILLed shard's span is
+    # finished-but-truncated and tagged ``shard_failure`` (its worker
+    # subtree never arrived), while the surviving shard's grafted
+    # ``shard.execute`` subtree is complete.
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer()
+    system = build_system()
+    executor = ClusterExecutor(
+        system,
+        shards=2,
+        watchdog_interval=0,  # keep the kill observable: no respawn
+        breaker_threshold=5,
+        cache_size=0,
+        tracer=tracer,
+    )
+    try:
+        victim_pid = executor.shard_health()[0]["pid"]
+        future = executor.submit(QUERY, top_k=5)
+        time.sleep(0.15)
+        os.kill(victim_pid, signal.SIGKILL)
+        response = future.result(timeout=30)
+        assert response.degraded
+
+        traces = [t for t in tracer.finished() if t.root.name == "request"]
+        assert len(traces) == 1
+        trace = traces[0]
+        shard_spans = trace.find("shard")
+        assert len(shard_spans) == 2
+        dead = [s for s in shard_spans if s.tags.get("outcome") == "error"]
+        live = [s for s in shard_spans if s.tags.get("outcome") == "ok"]
+        assert len(dead) == 1 and len(live) == 1
+
+        # The dead shard's span is closed, tagged, and childless.
+        assert dead[0].finished
+        assert dead[0].tags["failure"] == "shard_failure"
+        assert dead[0].tags["truncated"] is True
+        dead_prefix = dead[0].span_id + ":"
+        assert not any(
+            s.span_id.startswith(dead_prefix) for s in trace.spans
+        )
+
+        # The survivor's worker subtree grafted in full.
+        live_prefix = live[0].span_id + ":"
+        survivor_subtree = [
+            s for s in trace.spans if s.span_id.startswith(live_prefix)
+        ]
+        assert any(s.name == "shard.execute" for s in survivor_subtree)
+        assert all(s.finished for s in survivor_subtree)
+    finally:
+        executor.shutdown()
+
+
 def test_respawned_shard_serves_identical_results(delayed_shards):
     # Respawn fidelity: the replacement worker rebuilds its index from
     # the coordinator's partition copy, so a post-recovery full answer

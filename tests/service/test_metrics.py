@@ -89,3 +89,36 @@ class TestServiceMetrics:
         for t in threads:
             t.join()
         assert metrics.count("requests_total") == 8000
+
+
+class TestIndexGauges:
+    """The durable-index backlog and recovery gauges (observability)."""
+
+    def test_index_gauges_set_and_exposed(self):
+        metrics = ServiceMetrics()
+        metrics.set_index_gauges(
+            wal_depth=7, merge_debt_segments=2, memtable_docs=41
+        )
+        text = metrics.render_prometheus()
+        assert "repro_wal_depth 7" in text
+        assert "repro_merge_debt_segments 2" in text
+        assert "repro_memtable_docs 41" in text
+
+    def test_recovery_gauges_set_and_exposed(self):
+        metrics = ServiceMetrics()
+        metrics.set_recovery_gauges(
+            wal_truncated_bytes=128, quarantined_segments=1, documents_lost=5
+        )
+        text = metrics.render_prometheus()
+        assert "repro_wal_truncated_bytes 128" in text
+        assert "repro_segments_quarantined 1" in text
+        assert "repro_documents_lost 5" in text
+
+    def test_gauges_default_to_zero(self):
+        text = ServiceMetrics().render_prometheus()
+        assert "repro_wal_depth 0" in text
+        assert "repro_merge_debt_segments 0" in text
+        assert "repro_memtable_docs 0" in text
+        assert "repro_wal_truncated_bytes 0" in text
+        assert "repro_segments_quarantined 0" in text
+        assert "repro_documents_lost 0" in text

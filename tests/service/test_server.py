@@ -249,3 +249,116 @@ class TestLifecycle:
     def test_ephemeral_port_resolved(self, server):
         host, port = server.address
         assert port != 0
+
+
+class TestExplainOverHTTP:
+    def test_explain_flag_attaches_the_report(self, server):
+        status, payload = get(
+            server, "/search?q=partnership,+sports&top_k=2&explain=1"
+        )
+        assert status == 200
+        assert payload["results"]
+        report = payload["explain"]
+        assert report["version"] == 1
+        assert report["query"] == "partnership, sports"
+        assert set(report) == {
+            "version", "query", "generation", "plan", "terms", "daat",
+            "index", "provenance", "stages",
+        }
+        # The serving layer overwrites the system-level provenance
+        # default ("none") with what its cache actually did.
+        assert report["provenance"]["result_cache"] in ("hit", "miss", "bypass")
+
+    def test_without_the_flag_no_report_is_attached(self, server):
+        status, payload = get(server, "/search?q=partnership,+sports")
+        assert status == 200
+        assert "explain" not in payload
+
+    def test_bad_explain_value_400(self, server):
+        status, payload = get(server, "/search?q=a,b&explain=maybe")
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_parameter"
+
+
+class TestStatusz:
+    def test_statusz_reports_live_serving_state(self, server):
+        get(server, "/search?q=partnership,+sports")
+        status, payload = get(server, "/statusz")
+        assert status == 200
+        assert payload["server"] == {"draining": False}
+        assert payload["documents"] == 3
+        assert payload["generation"] == 1
+        assert payload["executor"]["ready"] is True
+        assert payload["cache"]["capacity"] > 0
+        # This fixture serves an in-memory index; the durable fields
+        # are exercised end-to-end in tests/index/test_segments.py.
+        assert payload["index"]["durable"] is False
+        traces = payload["traces"]
+        assert traces["sample_rate"] == 1.0
+        assert traces["started"] >= 1
+        assert traces["buffered"] >= 1
+
+
+class TestDebugTraces:
+    def test_trace_index_lists_finished_requests_newest_first(self, server):
+        get(server, "/search?q=partnership,+sports")
+        get(server, "/search?q=alliance,+olympic")
+        status, payload = get(server, "/debug/traces")
+        assert status == 200
+        rows = payload["traces"]
+        assert len(rows) >= 2
+        assert rows[0]["name"] == "request"
+        assert rows[0]["tags"]["query"] == "alliance, olympic"
+        assert rows[1]["tags"]["query"] == "partnership, sports"
+        for row in rows:
+            assert row["trace_id"].startswith("t")
+            assert row["duration_ms"] >= 0
+            assert row["spans"] >= 1
+
+    def test_trace_detail_returns_the_full_span_tree(self, server):
+        _, search = get(server, "/search?q=partnership,+sports")
+        trace_id = search["trace_id"]
+        status, payload = get(server, f"/debug/traces/{trace_id}")
+        assert status == 200
+        assert payload["trace_id"] == trace_id
+        names = {span["name"] for span in payload["spans"]}
+        assert "request" in names
+        assert "ask" in names
+        for span in payload["spans"]:
+            assert span["trace_id"] == trace_id
+
+    def test_unknown_trace_404(self, server):
+        status, payload = get(server, "/debug/traces/t-does-not-exist")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+
+class TestDurableStatusz:
+    def test_statusz_and_metrics_report_wal_and_segment_state(self, tmp_path):
+        # The acceptance path for background-work telemetry: a durable
+        # system behind the server reports live WAL/segment/merge state
+        # on /statusz, and the backlog gauges reach /metrics once an
+        # index event publishes them.
+        system = SearchSystem(data_dir=tmp_path / "data")
+        system.add_texts(NEWS)
+        with SearchServer.for_system(system, workers=1) as srv:
+            system.attach_observability(
+                metrics=srv.executor.metrics, tracer=srv.executor.tracer
+            )
+            post(srv, "/documents", {"id": "live-1", "text": "alpha beta"})
+
+            status, payload = get(srv, "/statusz")
+            assert status == 200
+            index = payload["index"]
+            assert index["durable"] is True
+            assert index["wal_depth"] >= 1  # the live add is unsealed
+            assert index["memtable_docs"] >= len(NEWS) + 1
+            assert "merge_debt_segments" in index
+            assert "recovery" in index
+
+            _, _, body = get_raw(srv, "/metrics")
+            samples, _helps, types = parse_prometheus(body)
+            assert types["repro_wal_depth"] == "gauge"
+            assert samples["repro_wal_depth"] >= 1.0
+            assert samples["repro_memtable_docs"] >= 1.0
+            assert "repro_merge_debt_segments" in samples

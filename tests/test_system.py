@@ -174,3 +174,106 @@ class TestRemoval:
         system.remove("cfp-1")
         assert system.index.vocabulary_size < before
         assert system.index.positions("pisa", "cfp-1") == ()
+
+
+class TestExplain:
+    """The EXPLAIN report: stable schema, real pruning counters.
+
+    The schema (version ``EXPLAIN_VERSION``, documented in
+    docs/OBSERVABILITY.md) is a public contract — consumers parse it —
+    so these tests pin the exact key sets, not just a sample of them.
+    Growing the schema means bumping the version and updating the docs
+    and this test together.
+    """
+
+    # A corpus skewed so DAAT's pivot bound prunes most documents: the
+    # query terms concentrate in the first few docs while the tail is
+    # filler-heavy, making the top-3 threshold unreachable for it.
+    PRUNING_CORPUS = [
+        (
+            f"d{i}",
+            ("alpha beta " * (i % 5 + 1))
+            + f"gamma delta doc {i} "
+            + ("filler words here " * i),
+        )
+        for i in range(40)
+    ]
+
+    @pytest.fixture
+    def pruning_system(self):
+        s = SearchSystem()
+        s.add_texts(self.PRUNING_CORPUS)
+        return s
+
+    def test_explain_returns_ranking_plus_report(self, pruning_system):
+        plain = pruning_system.ask("alpha beta", top_k=3)
+        ranked, report = pruning_system.ask("alpha beta", top_k=3, explain=True)
+        assert list(ranked) == list(plain)  # explain never changes answers
+        assert isinstance(report, dict)
+
+    def test_schema_is_stable(self, pruning_system):
+        from repro.system import EXPLAIN_VERSION
+
+        _, report = pruning_system.ask("alpha beta", top_k=3, explain=True)
+        assert report["version"] == EXPLAIN_VERSION == 1
+        assert set(report) == {
+            "version", "query", "generation", "plan", "terms", "daat",
+            "index", "provenance", "stages",
+        }
+        assert set(report["plan"]) == {
+            "path", "ranking", "scoring", "top_k", "avoid_duplicates",
+            "n_terms", "pair_index",
+        }
+        assert set(report["daat"]) == {
+            "documents_scanned", "documents_pivot_skipped",
+            "pair_index_hits", "pair_bound_tightenings", "joins_run",
+            "joins_skipped", "bound_skip_rate", "join_micros",
+            "dedup_invocations",
+        }
+        assert set(report["index"]) == {
+            "durable", "segments", "memtable_docs", "tombstones",
+        }
+        assert set(report["provenance"]) == {"result_cache", "memo_shared"}
+        for row in report["terms"]:
+            assert set(row) == {
+                "term", "df", "postings_len", "impact_ceiling", "best_score",
+            }
+
+    def test_daat_pruning_counters_are_nonzero(self, pruning_system):
+        _, report = pruning_system.ask("alpha beta", top_k=3, explain=True)
+        assert report["plan"]["ranking"] == "daat"
+        assert report["plan"]["path"] == "offline"
+        daat = report["daat"]
+        assert daat["documents_scanned"] > 0
+        # The filler-heavy tail falls under the pivot bound: most of the
+        # 40 documents are skipped without being joined.
+        assert daat["documents_pivot_skipped"] > len(self.PRUNING_CORPUS) // 2
+        assert daat["joins_run"] > 0
+
+    def test_stage_timings_cover_the_serving_stages(self, pruning_system):
+        _, report = pruning_system.ask("alpha beta", top_k=3, explain=True)
+        stage_names = [row["stage"] for row in report["stages"]]
+        assert "ask" in stage_names
+        assert "plan" in stage_names
+        assert "rank" in stage_names
+        assert all(row["micros"] >= 0 for row in report["stages"])
+
+    def test_plan_and_provenance_defaults(self, pruning_system):
+        _, report = pruning_system.ask("alpha beta", top_k=3, explain=True)
+        assert report["query"] == "alpha beta"
+        assert report["generation"] == pruning_system.index_generation
+        assert report["plan"]["top_k"] == 3
+        assert report["plan"]["n_terms"] == 1  # "alpha beta" is one phrase
+        assert report["index"]["durable"] is False
+        # No serving layer in front of this run: cache provenance says so.
+        assert report["provenance"] == {
+            "result_cache": "none", "memo_shared": False,
+        }
+
+    def test_online_path_reports_scan(self, system):
+        _, report = system.ask(
+            "conference|workshop, when:date", top_k=3, explain=True
+        )
+        assert report["plan"]["path"] == "online"
+        assert report["plan"]["ranking"] == "scan"
+        assert report["terms"] == []  # postings stats are offline-only
