@@ -21,13 +21,15 @@ analyze:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) -m repro.analysis
 
-# Optional: mypy over the typed core package.  Skips (successfully)
-# when mypy is not installed, so `make check` works in the minimal
+# Optional: mypy over the typed packages (the paper core, the durable
+# index layer, and the analyzer itself).  Skips (successfully) when
+# mypy is not installed, so `make check` works in the minimal
 # container.
 typecheck:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
 		PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
-			$(PYTHON) -m mypy --strict src/repro/core; \
+			$(PYTHON) -m mypy --strict src/repro/core \
+				src/repro/index src/repro/analysis; \
 	else \
 		echo "typecheck: mypy not installed, skipping"; \
 	fi

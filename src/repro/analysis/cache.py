@@ -1,0 +1,169 @@
+"""Incremental result cache for the analysis gate.
+
+``make check`` runs the analyzer on every invocation; on a tree where
+nothing changed since the last run that is pure re-parsing.  The cache
+keys one completed run by the **sha256 of every analyzed source file**
+plus the digests of the run's external inputs — the baseline file, the
+contracts registry, and the observability doc the taxonomy rules read —
+and the exact rule list.  A warm invocation re-hashes (cheap) and, when
+every digest matches, replays the stored classified result without
+parsing a single AST.  Any difference — one edited file, a new file, a
+deleted file, a baseline tweak, a different ``--rule`` selection —
+misses and triggers a full re-run, which then rewrites the cache.
+
+The cache is a pure accelerator: it stores the *classified* result
+(active/suppressed/baselined/stale), so a replayed run renders and
+exits identically to the run that produced it, in every output format.
+It lives in ``.analysis-cache.json`` next to the baseline (gitignored);
+``--no-cache`` bypasses it, and corruption of any kind is treated as a
+miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Iterable
+
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.engine import AnalysisResult
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_FILE",
+    "cache_key",
+    "load_cached_result",
+    "store_result",
+]
+
+CACHE_FORMAT_VERSION = 1
+DEFAULT_CACHE_FILE = ".analysis-cache.json"
+
+_ABSENT = "<absent>"
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _digest_file(path: pathlib.Path) -> str:
+    try:
+        return _sha256(path.read_bytes())
+    except OSError:
+        return _ABSENT
+
+
+def file_digests(root: str | pathlib.Path) -> dict[str, str]:
+    """relpath -> sha256 for every ``.py`` under ``root``, sorted."""
+    root_path = pathlib.Path(root)
+    digests: dict[str, str] = {}
+    for path in sorted(root_path.rglob("*.py")):
+        relpath = path.relative_to(root_path).as_posix()
+        digests[relpath] = _digest_file(path)
+    return digests
+
+
+def input_digests(paths: Iterable[str]) -> dict[str, str]:
+    """path -> sha256 (or an absent marker) for external gate inputs."""
+    return {
+        path: _digest_file(pathlib.Path(path))
+        for path in sorted(set(p for p in paths if p))
+    }
+
+
+def cache_key(
+    root: str,
+    rules: Iterable[str],
+    baseline_path: str,
+    extra_inputs: Iterable[str],
+) -> dict:
+    """The invalidation key for one analyzer invocation.
+
+    ``baseline_path`` is the path actually consulted ("" under
+    ``--no-baseline`` — a different key than running with the file).
+    """
+    return {
+        "version": CACHE_FORMAT_VERSION,
+        "root": pathlib.PurePath(root).as_posix(),
+        "rules": sorted(rules),
+        "baseline": baseline_path,
+        "files": file_digests(root),
+        "inputs": input_digests(
+            list(extra_inputs) + ([baseline_path] if baseline_path else [])
+        ),
+    }
+
+
+def _result_from_dict(payload: dict) -> AnalysisResult:
+    def findings(bucket: str) -> list[Finding]:
+        return [
+            Finding(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                line=int(raw["line"]),
+                symbol=str(raw.get("symbol", "")),
+                message=str(raw["message"]),
+            )
+            for raw in payload[bucket]
+        ]
+
+    def entries(bucket: str) -> list[BaselineEntry]:
+        return [
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                symbol=str(raw.get("symbol", "")),
+                message=str(raw["message"]),
+                reason=str(raw.get("reason", "")),
+            )
+            for raw in payload[bucket]
+        ]
+
+    return AnalysisResult(
+        active=findings("active"),
+        suppressed=findings("suppressed"),
+        baselined=findings("baselined"),
+        stale_baseline=entries("stale_baseline"),
+        placeholder_baseline=entries("placeholder_baseline"),
+        files_analyzed=int(payload["files_analyzed"]),
+        rules_run=int(payload["rules_run"]),
+    )
+
+
+def load_cached_result(
+    path: str | pathlib.Path, key: dict
+) -> AnalysisResult | None:
+    """The stored result when ``key`` matches exactly; else ``None``.
+
+    Malformed, missing, or stale cache files are all a miss — the
+    cache can never make the gate fail, only make it fast.
+    """
+    cache_path = pathlib.Path(path)
+    try:
+        payload = json.loads(cache_path.read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("key") != key:
+        return None
+    result = payload.get("result")
+    if not isinstance(result, dict):
+        return None
+    try:
+        return _result_from_dict(result)
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def store_result(
+    path: str | pathlib.Path, key: dict, result: AnalysisResult
+) -> None:
+    """Persist one completed run; failure to write is silent."""
+    payload = {"key": key, "result": result.to_dict()}
+    try:
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    except OSError:
+        pass

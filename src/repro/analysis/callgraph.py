@@ -267,6 +267,10 @@ class CallGraph:
         self._resolution_cache: dict[tuple[str, int], FunctionInfo | None] = {}
         self.blocking: dict[str, set[tuple[str, str]]] = {}
         self.acquires: dict[str, set[tuple[str, str]]] = {}
+        #: qualname -> resolvable callee qualnames (the call-graph edges
+        #: the fixpoint ran over; whole-program rules reuse them for
+        #: reachability questions).
+        self.calls: dict[str, set[str]] = {}
         self._build()
 
     # -- call resolution ------------------------------------------------------
@@ -466,3 +470,23 @@ class CallGraph:
                         changed = True
         self.blocking = blocking
         self.acquires = acquires
+        self.calls = calls_of
+
+    # -- reachability ---------------------------------------------------------
+
+    def reachable_from(self, roots: set[str]) -> set[str]:
+        """Every qualname reachable from ``roots`` over resolvable edges.
+
+        Includes the roots themselves.  Conservative in the same
+        direction as the rest of the graph: unresolved receivers
+        contribute no edges, so the set under-approximates true
+        reachability but never invents a path.
+        """
+        seen: set[str] = set()
+        frontier = list(roots)
+        for qualname in frontier:
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            frontier.extend(self.calls.get(qualname, ()))
+        return seen

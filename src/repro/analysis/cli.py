@@ -2,17 +2,33 @@
 
 Exit codes: 0 clean, 1 findings (or stale/TODO baseline entries),
 2 internal error (unparseable source, malformed baseline).
+
+Reports render as ``--format text`` (default), ``--format json``, or
+``--format sarif`` (SARIF 2.1.0 for code-review UIs); all three list
+findings in stable (path, line, rule) order.  Repeat runs on an
+unchanged tree replay the cached classified result from
+``.analysis-cache.json`` (``--no-cache`` forces a full run).
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.cache import (
+    DEFAULT_CACHE_FILE,
+    cache_key,
+    load_cached_result,
+    store_result,
+)
+from repro.analysis.callgraph import ProjectIndex
 from repro.analysis.config import DEFAULT_CONFIG
+from repro.analysis.contracts import extract_surfaces, save_contracts
 from repro.analysis.engine import EXIT_ERROR, analyze, render_json
 from repro.analysis.rules import all_rules, rules_named
+from repro.analysis.sarif import render_sarif
 
 __all__ = ["add_analyze_arguments", "run_analyze", "main"]
 
@@ -28,7 +44,16 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
         help=f"package root to analyze (default: {_DEFAULT_ROOT})",
     )
     parser.add_argument(
-        "--json", action="store_true", help="emit a JSON report on stdout"
+        "--format",
+        choices=("text", "json", "sarif"),
+        default=None,
+        dest="format",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON report on stdout (alias for --format json)",
     )
     parser.add_argument(
         "--baseline",
@@ -49,6 +74,20 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--update-contracts",
+        action="store_true",
+        help=(
+            "re-extract every wire surface from the tree and rewrite "
+            f"{DEFAULT_CONFIG.contracts_file}; use after a deliberate "
+            "wire-format change (see CONTRIBUTING.md)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=f"ignore and do not write {DEFAULT_CACHE_FILE}",
+    )
+    parser.add_argument(
         "--rule",
         action="append",
         dest="rules",
@@ -60,11 +99,36 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _display_prefix(root: str) -> str:
+    return pathlib.PurePath(root).as_posix().strip("/")
+
+
+def _run_update_contracts(args: argparse.Namespace) -> int:
+    config = DEFAULT_CONFIG
+    index = ProjectIndex.from_root(
+        pathlib.Path(args.root), config, display_prefix=_display_prefix(args.root)
+    )
+    surfaces = extract_surfaces(index, config)
+    save_contracts(pathlib.Path(config.contracts_file), surfaces)
+    print(
+        f"analyze: pinned {len(surfaces)} wire surface(s) to "
+        f"{config.contracts_file}; review and commit the diff"
+    )
+    return 0
+
+
 def run_analyze(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.name:24s} {rule.summary}")
         return 0
+    if args.update_contracts:
+        try:
+            return _run_update_contracts(args)
+        except (SyntaxError, OSError) as exc:
+            print(f"analyze: internal error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+    report_format = args.format or ("json" if args.json else "text")
     try:
         rules = rules_named(args.rules) if args.rules else None
     except KeyError as exc:
@@ -79,8 +143,26 @@ def run_analyze(args: argparse.Namespace) -> int:
     except BaselineError as exc:
         print(f"analyze: {exc}", file=sys.stderr)
         return EXIT_ERROR
+    selected = rules if rules is not None else all_rules()
+    use_cache = not args.no_cache and not args.update_baseline
+    key = None
+    if use_cache:
+        key = cache_key(
+            root=args.root,
+            rules=[rule.name for rule in selected],
+            baseline_path="" if args.no_baseline else args.baseline,
+            extra_inputs=[
+                DEFAULT_CONFIG.contracts_file,
+                DEFAULT_CONFIG.taxonomy_doc,
+            ],
+        )
+        result = load_cached_result(DEFAULT_CACHE_FILE, key)
+        if result is not None:
+            return _report(result, selected, report_format)
     try:
-        result = analyze(args.root, config=DEFAULT_CONFIG, baseline=baseline, rules=rules)
+        result = analyze(
+            args.root, config=DEFAULT_CONFIG, baseline=baseline, rules=rules
+        )
     except (SyntaxError, OSError) as exc:
         print(f"analyze: internal error: {exc}", file=sys.stderr)
         return EXIT_ERROR
@@ -94,7 +176,18 @@ def run_analyze(args: argparse.Namespace) -> int:
             "fill in any TODO reasons before committing"
         )
         return 0
-    print(render_json(result) if args.json else result.render_text())
+    if use_cache and key is not None:
+        store_result(DEFAULT_CACHE_FILE, key, result)
+    return _report(result, selected, report_format)
+
+
+def _report(result, selected, report_format: str) -> int:
+    if report_format == "json":
+        print(render_json(result))
+    elif report_format == "sarif":
+        print(render_sarif(result, selected))
+    else:
+        print(result.render_text())
     return result.exit_code
 
 

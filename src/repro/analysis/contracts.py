@@ -1,0 +1,395 @@
+"""Wire/schema contract extraction and the pinned-contract registry.
+
+Every byte layout another process, a file on disk, or a dashboard
+depends on — the trace wire format, the EXPLAIN report schema, snapshot
+/ manifest / WAL versions and record fields, the cluster pickle ops,
+HTTP error codes, Prometheus series names — is declared once in
+:data:`AnalysisConfig.wire_surfaces` and *pinned* in ``contracts.json``
+at the repository root.  :func:`extract_surfaces` pulls the current
+shape of each surface out of the AST; the ``wire-contract-drift`` rule
+diffs it against the pin, so a field rename, a dropped key, or a
+version bump that nobody meant to ship fails ``make analyze`` with a
+diff naming the surface.
+
+The pin file is written by ``repro-search analyze --update-contracts``
+and reviewed like any other contract change: the diff *is* the wire
+change, and CONTRIBUTING.md's "changing a wire format" recipe requires
+a version bump plus a reader-compat test to ride along.
+
+Extraction is static and conservative: only constant string keys and
+constant integer versions are collected, and a surface whose anchor
+(module, function, constant) has vanished extracts to nothing — which
+the rule reports as a removed surface rather than silently passing.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import FunctionInfo, ModuleInfo, ProjectIndex, receiver_text
+from repro.analysis.config import AnalysisConfig, WireSurface
+
+__all__ = [
+    "CONTRACTS_FORMAT_VERSION",
+    "ContractsError",
+    "ExtractedSurface",
+    "extract_surfaces",
+    "load_contracts",
+    "render_contracts",
+    "save_contracts",
+]
+
+CONTRACTS_FORMAT_VERSION = 1
+
+
+class ContractsError(ValueError):
+    """The pinned-contract registry file is malformed."""
+
+
+@dataclass(slots=True)
+class ExtractedSurface:
+    """The current shape of one wire surface, with its anchor location."""
+
+    name: str
+    path: str  # display path of the defining module
+    line: int
+    fields: tuple[str, ...] | None = None  # sorted; None for version-only
+    version: int | None = None
+
+    def to_pin(self) -> dict:
+        pin: dict = {}
+        if self.version is not None:
+            pin["value"] = self.version
+        if self.fields is not None:
+            pin["fields"] = list(self.fields)
+        return pin
+
+
+# -- per-kind extractors ------------------------------------------------------
+
+
+def _const_str_keys(node: ast.Dict) -> list[str]:
+    return [
+        key.value
+        for key in node.keys
+        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+    ]
+
+
+def _find_function(module: ModuleInfo, symbol: str) -> FunctionInfo | None:
+    return module.functions.get(symbol)
+
+
+def _extract_version(
+    spec: WireSurface, module: ModuleInfo
+) -> ExtractedSurface | None:
+    """A ``NAME = <int>`` constant at module or class-body level."""
+    candidates: list[ast.stmt] = list(module.tree.body)
+    for cls in module.classes.values():
+        candidates.extend(cls.node.body)
+    for node in candidates:
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not (isinstance(value, ast.Constant) and isinstance(value.value, int)):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == spec.symbol:
+                return ExtractedSurface(
+                    name=spec.name,
+                    path=module.display_path,
+                    line=node.lineno,
+                    version=value.value,
+                )
+    return None
+
+
+def _extract_return_keys(
+    spec: WireSurface, module: ModuleInfo
+) -> ExtractedSurface | None:
+    """Constant keys of returned dict literals, plus constant-key
+    subscript stores into a name the function returns."""
+    fn = _find_function(module, spec.symbol)
+    if fn is None:
+        return None
+    keys: set[str] = set()
+    returned_names: set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            if isinstance(node.value, ast.Dict):
+                keys.update(_const_str_keys(node.value))
+            elif isinstance(node.value, ast.Name):
+                returned_names.add(node.value.id)
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in returned_names
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.add(target.slice.value)
+            if isinstance(node.value, ast.Dict):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in returned_names
+                    ):
+                        keys.update(_const_str_keys(node.value))
+    if not keys:
+        return None
+    return ExtractedSurface(
+        name=spec.name,
+        path=module.display_path,
+        line=fn.node.lineno,
+        fields=tuple(sorted(keys)),
+    )
+
+
+def _extract_payload_keys(
+    spec: WireSurface, module: ModuleInfo
+) -> ExtractedSurface | None:
+    """Constant keys of the dict literal passed as keyword ``detail``."""
+    fn = _find_function(module, spec.symbol)
+    if fn is None:
+        return None
+    keyword_name = spec.detail or "payload"
+    keys: set[str] = set()
+    line = fn.node.lineno
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == keyword_name and isinstance(keyword.value, ast.Dict):
+                keys.update(_const_str_keys(keyword.value))
+                line = node.lineno
+    if not keys:
+        return None
+    return ExtractedSurface(
+        name=spec.name, path=module.display_path, line=line, fields=tuple(sorted(keys))
+    )
+
+
+def _extract_wal_records(
+    spec: WireSurface, module: ModuleInfo
+) -> list[ExtractedSurface]:
+    """One sub-surface per literal ``op`` in dicts appended to the WAL."""
+    hint = (spec.detail or "wal").lower()
+    found: dict[str, ExtractedSurface] = {}
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "append"
+            and hint in receiver_text(node.func.value).lower()
+        ):
+            continue
+        for arg in node.args:
+            if not isinstance(arg, ast.Dict):
+                continue
+            keys = _const_str_keys(arg)
+            op = "record"
+            for key, value in zip(arg.keys, arg.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "op"
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    op = value.value
+            name = f"{spec.name}.{op}"
+            if name not in found:
+                found[name] = ExtractedSurface(
+                    name=name,
+                    path=module.display_path,
+                    line=node.lineno,
+                    fields=tuple(sorted(keys)),
+                )
+    return list(found.values())
+
+
+def _extract_op_dispatch(
+    spec: WireSurface, module: ModuleInfo
+) -> ExtractedSurface | None:
+    """Constant strings compared against an ``op``-named value."""
+
+    def involves_op(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id == "op"
+        if isinstance(node, ast.Call):
+            return any(
+                isinstance(arg, ast.Constant) and arg.value == "op"
+                for arg in node.args
+            )
+        if isinstance(node, ast.Subscript):
+            return (
+                isinstance(node.slice, ast.Constant) and node.slice.value == "op"
+            )
+        return False
+
+    scope: ast.AST = module.tree
+    if spec.symbol:
+        fn = _find_function(module, spec.symbol)
+        if fn is None:
+            return None
+        scope = fn.node
+    ops: set[str] = set()
+    line = getattr(scope, "lineno", 1)
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Compare):
+            continue
+        sides = [node.left, *node.comparators]
+        if not any(involves_op(side) for side in sides):
+            continue
+        for side in sides:
+            if isinstance(side, ast.Constant) and isinstance(side.value, str):
+                ops.add(side.value)
+    if not ops:
+        return None
+    return ExtractedSurface(
+        name=spec.name,
+        path=module.display_path,
+        line=line if isinstance(line, int) else 1,
+        fields=tuple(sorted(ops)),
+    )
+
+
+def _extract_error_codes(
+    spec: WireSurface, module: ModuleInfo
+) -> ExtractedSurface | None:
+    """Constant second arguments of the error-sending helper."""
+    method = spec.detail or "_send_error_json"
+    codes: set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name != method or len(node.args) < 2:
+            continue
+        code = node.args[1]
+        if isinstance(code, ast.Constant) and isinstance(code.value, str):
+            codes.add(code.value)
+    if not codes:
+        return None
+    return ExtractedSurface(
+        name=spec.name,
+        path=module.display_path,
+        line=1,
+        fields=tuple(sorted(codes)),
+    )
+
+
+def _extract_prometheus(
+    spec: WireSurface, config: AnalysisConfig, path: str
+) -> ExtractedSurface | None:
+    if config.taxonomy_prometheus is not None:
+        names = config.taxonomy_prometheus
+    else:
+        from repro.obs import taxonomy
+
+        names = taxonomy.PROMETHEUS_NAMES
+    if not names:
+        return None
+    return ExtractedSurface(
+        name=spec.name, path=path, line=1, fields=tuple(sorted(names))
+    )
+
+
+def extract_surfaces(
+    index: ProjectIndex, config: AnalysisConfig
+) -> dict[str, ExtractedSurface]:
+    """The current shape of every configured wire surface, by name."""
+    out: dict[str, ExtractedSurface] = {}
+    for spec in config.wire_surfaces:
+        module = index.modules.get(spec.module)
+        if spec.kind == "prometheus-registry":
+            display = module.display_path if module else spec.module
+            extracted = _extract_prometheus(spec, config, display)
+            if extracted is not None:
+                out[extracted.name] = extracted
+            continue
+        if module is None:
+            continue
+        if spec.kind == "version":
+            one = _extract_version(spec, module)
+        elif spec.kind == "return-keys":
+            one = _extract_return_keys(spec, module)
+        elif spec.kind == "payload-keys":
+            one = _extract_payload_keys(spec, module)
+        elif spec.kind == "op-dispatch":
+            one = _extract_op_dispatch(spec, module)
+        elif spec.kind == "error-codes":
+            one = _extract_error_codes(spec, module)
+        elif spec.kind == "wal-records":
+            for sub in _extract_wal_records(spec, module):
+                out[sub.name] = sub
+            continue
+        else:
+            raise ContractsError(f"unknown wire-surface kind {spec.kind!r}")
+        if one is not None:
+            out[one.name] = one
+    return out
+
+
+# -- the pin file -------------------------------------------------------------
+
+
+def load_contracts(path: str | pathlib.Path) -> dict[str, dict]:
+    """``surface name -> pin`` from the registry file.
+
+    Raises :class:`ContractsError` on malformed content; a *missing*
+    file is the caller's case to handle (it has a dedicated finding).
+    """
+    raw = pathlib.Path(path).read_text()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ContractsError(f"{path}: not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("version") != CONTRACTS_FORMAT_VERSION:
+        raise ContractsError(
+            f"{path}: expected {{'version': {CONTRACTS_FORMAT_VERSION}, "
+            "'surfaces': {...}}"
+        )
+    surfaces = payload.get("surfaces")
+    if not isinstance(surfaces, dict):
+        raise ContractsError(f"{path}: 'surfaces' must be an object")
+    for name, pin in surfaces.items():
+        if not isinstance(pin, dict):
+            raise ContractsError(f"{path}: surface {name!r} must be an object")
+        fields = pin.get("fields")
+        if fields is not None and not (
+            isinstance(fields, list) and all(isinstance(f, str) for f in fields)
+        ):
+            raise ContractsError(
+                f"{path}: surface {name!r} 'fields' must be a string list"
+            )
+        value = pin.get("value")
+        if value is not None and not isinstance(value, int):
+            raise ContractsError(
+                f"{path}: surface {name!r} 'value' must be an integer"
+            )
+    return surfaces
+
+
+def render_contracts(extracted: dict[str, ExtractedSurface]) -> dict:
+    return {
+        "version": CONTRACTS_FORMAT_VERSION,
+        "surfaces": {
+            name: extracted[name].to_pin() for name in sorted(extracted)
+        },
+    }
+
+
+def save_contracts(
+    path: str | pathlib.Path, extracted: dict[str, ExtractedSurface]
+) -> None:
+    payload = json.dumps(render_contracts(extracted), indent=2, sort_keys=True)
+    pathlib.Path(path).write_text(payload + "\n")

@@ -145,6 +145,11 @@ def analyze(
                 result.active.append(finding)
     result.stale_baseline = baseline.stale_entries()
     result.placeholder_baseline = baseline.placeholder_entries()
+    # Stable (path, line, rule) order in every report format: rule
+    # execution order is an implementation detail, diffs of analyzer
+    # output should not churn when rules are reordered.
+    for bucket in (result.active, result.suppressed, result.baselined):
+        bucket.sort(key=lambda f: (f.path, f.line, f.rule))
     return result
 
 

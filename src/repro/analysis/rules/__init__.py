@@ -46,14 +46,28 @@ def all_rules() -> list[Rule]:
     """Every registered rule, import-ordered by family."""
     from repro.analysis.rules import (
         concurrency,
+        contracts,
+        deadlines,
         determinism,
         durability,
+        escape,
         exceptions,
+        lifecycle,
         taxonomy,
     )
 
     rules: list[Rule] = []
-    for module in (concurrency, determinism, taxonomy, exceptions, durability):
+    for module in (
+        concurrency,
+        escape,
+        determinism,
+        taxonomy,
+        exceptions,
+        durability,
+        lifecycle,
+        deadlines,
+        contracts,
+    ):
         rules.extend(module.RULES)
     return rules
 

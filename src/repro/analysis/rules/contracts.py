@@ -1,0 +1,166 @@
+"""Wire-contract drift rule: pinned surfaces must match the tree.
+
+``wire-contract-drift`` extracts the current shape of every configured
+serialization surface (see :mod:`repro.analysis.contracts`) and diffs
+it against the checked-in ``contracts.json``:
+
+* a pinned surface that no longer extracts → the surface (or its
+  anchor function/constant) was removed or renamed;
+* an extracted surface with no pin → a new wire format shipped without
+  review;
+* fields present in the pin but gone from the code → a reader
+  somewhere will ``KeyError`` on the next deploy;
+* fields in the code but not the pin → the schema grew silently;
+* a version constant differing from its pin → a bump without the
+  contracts update (and, per CONTRIBUTING.md, without the reader-compat
+  branch the bump is supposed to ride with).
+
+Every finding names the surface, so the gate's failure output *is* the
+contract diff.  ``repro-search analyze --update-contracts`` rewrites
+the pin from the current tree once the change is deliberate.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterator
+
+from repro.analysis.contracts import (
+    ContractsError,
+    ExtractedSurface,
+    extract_surfaces,
+    load_contracts,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, RuleContext
+
+__all__ = ["RULES"]
+
+_RULE = "wire-contract-drift"
+
+
+def _run(ctx: RuleContext) -> Iterator[Finding]:
+    config = ctx.index.config
+    if not config.contracts_file:
+        return
+    extracted = extract_surfaces(ctx.index, config)
+    pin_path = pathlib.Path(config.contracts_file)
+    if not pin_path.exists():
+        if extracted:
+            yield Finding(
+                rule=_RULE,
+                path=config.contracts_file,
+                line=1,
+                symbol="",
+                message=(
+                    f"contracts registry {config.contracts_file} is missing; "
+                    f"{len(extracted)} wire surface(s) are unpinned — run "
+                    "`repro-search analyze --update-contracts` and commit it"
+                ),
+            )
+        return
+    try:
+        pinned = load_contracts(pin_path)
+    except ContractsError as exc:
+        yield Finding(
+            rule=_RULE,
+            path=config.contracts_file,
+            line=1,
+            symbol="",
+            message=f"contracts registry is malformed: {exc}",
+        )
+        return
+    for name in sorted(set(pinned) | set(extracted)):
+        yield from _diff_surface(
+            name, pinned.get(name), extracted.get(name), config.contracts_file
+        )
+
+
+def _diff_surface(
+    name: str,
+    pin: dict | None,
+    current: ExtractedSurface | None,
+    pin_file: str,
+) -> Iterator[Finding]:
+    if current is None:
+        assert pin is not None
+        yield Finding(
+            rule=_RULE,
+            path=pin_file,
+            line=1,
+            symbol=name,
+            message=(
+                f"pinned wire surface {name!r} no longer extracts from the "
+                "tree (anchor removed or renamed); readers of the old "
+                "format break — restore it or update contracts.json "
+                "deliberately (--update-contracts)"
+            ),
+        )
+        return
+    if pin is None:
+        yield Finding(
+            rule=_RULE,
+            path=current.path,
+            line=current.line,
+            symbol=name,
+            message=(
+                f"wire surface {name!r} is not pinned in {pin_file}; "
+                "pin it with `repro-search analyze --update-contracts`"
+            ),
+        )
+        return
+    pinned_version = pin.get("value")
+    if pinned_version is not None and current.version != pinned_version:
+        yield Finding(
+            rule=_RULE,
+            path=current.path,
+            line=current.line,
+            symbol=name,
+            message=(
+                f"surface {name!r}: version changed "
+                f"{pinned_version} -> {current.version} but {pin_file} still "
+                f"pins {pinned_version}; bump the pin and keep a "
+                "reader-compat branch for the old format "
+                "(see CONTRIBUTING.md: changing a wire format)"
+            ),
+        )
+    pinned_fields = pin.get("fields")
+    if pinned_fields is None:
+        return
+    current_fields = set(current.fields or ())
+    removed = sorted(set(pinned_fields) - current_fields)
+    added = sorted(current_fields - set(pinned_fields))
+    if removed:
+        yield Finding(
+            rule=_RULE,
+            path=current.path,
+            line=current.line,
+            symbol=name,
+            message=(
+                f"surface {name!r}: field(s) {', '.join(removed)} removed "
+                f"from the wire but still pinned in {pin_file}; readers "
+                "of the old schema break — restore them or update the pin "
+                "with a version bump"
+            ),
+        )
+    if added:
+        yield Finding(
+            rule=_RULE,
+            path=current.path,
+            line=current.line,
+            symbol=name,
+            message=(
+                f"surface {name!r}: field(s) {', '.join(added)} added to "
+                f"the wire without updating {pin_file}; pin them with "
+                "--update-contracts so the schema change is reviewed"
+            ),
+        )
+
+
+RULES = [
+    Rule(
+        name=_RULE,
+        summary="serialization surfaces must match the pinned contracts.json",
+        run=_run,
+    ),
+]

@@ -1,0 +1,126 @@
+"""Deadline discipline: the serving path never waits without a clock.
+
+The serving layer's latency story (admission deadlines, watchdog
+stalls, shard RPC budgets) only holds if nothing *underneath* an entry
+point can park a thread forever.  One bare ``queue.get()`` three calls
+below ``submit()`` and a dead worker turns into a hung request that no
+deadline, breaker, or watchdog can claw back — the thread is gone, not
+slow.
+
+``deadline-discipline`` walks the interprocedural call graph from the
+configured serving entry points (``QueryExecutor.submit``/``ask``, the
+HTTP handler methods, the cluster coordinator — see
+``deadline_entrypoints``) and flags every **reachable** call of a
+waitable method (``get``/``put``/``join``/``wait``/``result``/
+``acquire``/``poll``/``recv`` on a queue/thread/future/connection-like
+receiver, per ``deadline_receiver_hints``) that passes **no timeout**:
+
+* a keyword named ``timeout``/``deadline``/``remaining``/… (see
+  ``deadline_argument_hints``) satisfies the rule;
+* so does a positional numeric constant (``thread.join(2.0)``) or a
+  positional expression mentioning one of the hint names
+  (``q.get(True, remaining)``);
+* ``*_nowait`` variants never block and are not in the method set.
+
+Reachability is the conservative resolvable call graph: ``self.``
+calls, module functions, imported names, constructors.  An unresolved
+receiver contributes no edges, so the rule under-approximates — what
+it does flag is genuinely on the serving path (or the entry-point
+table is wrong, which is a policy bug worth a diff).  Receivers whose
+rendering does not look waitable are skipped entirely; a dict's
+``.get(key)`` or ``", ".join(parts)`` cannot fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import FunctionInfo, receiver_text
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, RuleContext
+
+__all__ = ["RULES"]
+
+
+def _has_timeout(call: ast.Call, hints: tuple[str, ...]) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg and any(h in keyword.arg for h in hints):
+            return True
+        if keyword.arg is None:
+            return True  # **kwargs: assume the caller forwards a timeout
+    for arg in call.args:
+        if isinstance(arg, ast.Constant):
+            if isinstance(arg.value, (int, float)) and not isinstance(
+                arg.value, bool
+            ):
+                return True
+            continue
+        try:
+            text = ast.unparse(arg).lower()
+        except Exception:  # pragma: no cover - unparse is total
+            continue
+        if any(h in text for h in hints):
+            return True
+    return False
+
+
+def _entry_map(ctx: RuleContext) -> dict[str, str]:
+    """qualname -> entry-point symbol that reaches it (first wins)."""
+    config = ctx.index.config
+    graph = ctx.graph
+    reaches: dict[str, str] = {}
+    for entry in config.deadline_entrypoints:
+        roots = {
+            fn.qualname
+            for fn in ctx.index.iter_functions()
+            if fn.symbol == entry
+        }
+        if not roots:
+            continue
+        for qualname in graph.reachable_from(roots):
+            reaches.setdefault(qualname, entry)
+    return reaches
+
+
+def _run(ctx: RuleContext) -> Iterator[Finding]:
+    config = ctx.index.config
+    reaches = _entry_map(ctx)
+    hints = config.deadline_argument_hints
+    for fn in ctx.index.iter_functions(config.deadline_scope()):
+        entry = reaches.get(fn.qualname)
+        if entry is None:
+            continue
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in config.deadline_methods:
+                continue
+            receiver = receiver_text(func.value).lower()
+            if not any(h in receiver for h in config.deadline_receiver_hints):
+                continue
+            if _has_timeout(node, hints):
+                continue
+            yield Finding(
+                rule="deadline-discipline",
+                path=fn.module.display_path,
+                line=node.lineno,
+                symbol=fn.symbol,
+                message=(
+                    f"{receiver_text(func.value)}.{func.attr}() is reachable "
+                    f"from serving entry point {entry}() but takes no "
+                    "timeout; a dead peer parks this thread forever"
+                ),
+            )
+
+
+RULES = [
+    Rule(
+        name="deadline-discipline",
+        summary="serving-path waits must carry a timeout",
+        run=_run,
+    ),
+]

@@ -1,0 +1,356 @@
+"""Escape analysis: lock-guarded mutable state must not leave the lock.
+
+The PR-8 review found the durable index handing its live memtable
+``PostingList`` out of ``postings()`` zero-copy: the caller iterated it
+while non-exclusive ingest mutated it under the lock — "dictionary
+changed size during iteration" under traffic, torn reads the rest of
+the time.  The lock discipline rules could not see it because the bug
+is not *taking* the lock wrong; it is letting the guarded object
+*escape* the critical section alive.
+
+``lock-escaping-state`` makes that bug class mechanical.  For every
+class that owns a lock, the rule first computes its **guarded mutable
+attributes** — ``self.<attr>`` values that are mutated in place
+(subscript/augmented assignment, ``del``, or a mutating method call
+such as ``.append``/``.update``) while the class's own lock is held, or
+that ``__init__`` binds to a mutable container (dict/list/set literal
+or a configured constructor) and some method then mutates under the
+lock.  It then flags the ways such an attribute can escape an
+**exclusive** critical section without a copy/freeze:
+
+* ``return self._attr`` / ``return self._attr[key]`` inside the lock;
+* ``yield`` of either form inside the lock;
+* a local alias bound bare inside the lock (``snap = self._attr``)
+  that the function later returns or yields — the with-block ends, the
+  reference does not;
+* the bare attribute passed as an argument to a user callback
+  (listener/sink/hook) invoked under the lock;
+* the bare attribute stored into a caller-visible container (a
+  subscript store into a function parameter) under the lock.
+
+Wrapping the escape in a copy — ``list(...)``, ``dict(...)``,
+``copy.deepcopy(...)``, ``.copy()``/``.snapshot()`` (see
+``escape_copy_wrappers`` / ``escape_copy_methods``) — is the fix and
+silences the rule.  Shared ``.read()`` sections are exempt: a returned
+reference under a read lock is the caller's race to lose, and the
+serving path's snapshot discipline is about exclusive writers.
+
+What the rule deliberately does **not** see: an escape through a
+method-call result (``return self._memtable.postings(t)``) — whether
+that is a live view or a copy is the callee's contract, not visible at
+this call site.  Name such cases in the baseline when they are
+deliberate; restructure them when they are not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import CallGraph, ClassInfo, FunctionInfo
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, RuleContext
+
+__all__ = ["RULES"]
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``attr`` when ``node`` is exactly ``self.<attr>``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _guarded_expr_attr(node: ast.expr) -> str | None:
+    """``attr`` when ``node`` is ``self.<attr>`` or ``self.<attr>[...]``."""
+    base = node
+    while isinstance(base, ast.Subscript):
+        base = base.value
+    return _self_attr(base)
+
+
+def _is_copy_expr(node: ast.expr, fn: FunctionInfo, config: AnalysisConfig) -> bool:
+    """Is ``node`` a recognized copy/freeze of its argument?"""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        dotted = fn.module.imports.get(func.id, func.id)
+        return (
+            func.id in config.escape_copy_wrappers
+            or dotted in config.escape_copy_wrappers
+        )
+    if isinstance(func, ast.Attribute):
+        # ``copy.deepcopy(x)`` or ``x.copy()`` / ``x.snapshot()``.
+        if isinstance(func.value, ast.Name):
+            dotted = f"{fn.module.imports.get(func.value.id, func.value.id)}.{func.attr}"
+            if dotted in config.escape_copy_wrappers:
+                return True
+        return func.attr in config.escape_copy_methods
+    return False
+
+
+class _ClassFacts:
+    """Guarded-mutable attribute evidence for one class."""
+
+    def __init__(self) -> None:
+        self.init_mutable: set[str] = set()  # bound to a container in __init__
+        self.mutated_under_lock: set[str] = set()  # in-place mutation held
+        self.container_mutated: set[str] = set()  # in-place mutation anywhere
+
+    def guarded_mutable(self) -> set[str]:
+        # Guarded: some method mutates it while holding the class's own
+        # lock.  Mutable: the mutation was in-place, or __init__ bound a
+        # container.  Plain rebinds of scalars under the lock (e.g. a
+        # generation counter) are guarded but not mutable — returning
+        # them copies the value and cannot race.
+        return self.mutated_under_lock & (
+            self.container_mutated | self.init_mutable
+        )
+
+
+_MUTABLE_LITERALS = (
+    ast.Dict,
+    ast.List,
+    ast.Set,
+    ast.DictComp,
+    ast.ListComp,
+    ast.SetComp,
+)
+
+
+def _collect_class_facts(cls: ClassInfo, config: AnalysisConfig) -> _ClassFacts:
+    facts = _ClassFacts()
+    init = cls.methods.get("__init__")
+    if init is not None:
+        for node in ast.walk(init.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            mutable = isinstance(value, _MUTABLE_LITERALS)
+            if isinstance(value, ast.Call):
+                func = value.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                mutable = name in config.mutable_constructors
+            if not mutable:
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    facts.init_mutable.add(attr)
+    return facts
+
+
+def _observe_mutations(
+    fn: FunctionInfo,
+    cls_name: str,
+    facts: _ClassFacts,
+    graph: CallGraph,
+    config: AnalysisConfig,
+) -> None:
+    """Record in-place mutations of ``self.<attr>``, lock-sensitively."""
+
+    def visit(node: ast.AST, held_exclusive: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            if node is not fn.node:
+                return
+        inner = held_exclusive
+        if isinstance(node, ast.With):
+            for item in node.items:
+                identity = graph.lock_identity(item.context_expr, fn)
+                if identity is not None and identity[0][0] == cls_name and identity[1]:
+                    inner = True
+        attr: str | None = None
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    # ``self.attr[k] = v`` / ``self.attr[k] += v``:
+                    # in-place container mutation.  A plain AugAssign on
+                    # the attribute itself (``self._seq += 1``) rebinds a
+                    # scalar — guarded evidence, but not container-mutable.
+                    attr = _guarded_expr_attr(target)
+                    if attr is not None:
+                        facts.container_mutated.add(attr)
+                else:
+                    attr = _self_attr(target)
+                if attr is not None and inner:
+                    facts.mutated_under_lock.add(attr)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    attr = _guarded_expr_attr(target)
+                    if attr is not None:
+                        facts.container_mutated.add(attr)
+                        if inner:
+                            facts.mutated_under_lock.add(attr)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in config.mutating_methods:
+                attr = _guarded_expr_attr(node.func.value)
+                if attr is not None:
+                    facts.container_mutated.add(attr)
+                    if inner:
+                        facts.mutated_under_lock.add(attr)
+        for child in ast.iter_child_nodes(node):
+            visit(child, inner)
+
+    visit(fn.node, False)
+
+
+def _run(ctx: RuleContext) -> Iterator[Finding]:
+    config = ctx.index.config
+    graph = ctx.graph
+    for relpath, module in ctx.index.modules.items():
+        if not ctx.index.in_scope(relpath, config.escape_scope()):
+            continue
+        for cls in module.classes.values():
+            if not cls.lock_attrs:
+                continue
+            facts = _collect_class_facts(cls, config)
+            for fn in cls.methods.values():
+                _observe_mutations(fn, cls.name, facts, graph, config)
+            guarded = facts.guarded_mutable()
+            if not guarded:
+                continue
+            for fn in cls.methods.values():
+                yield from _scan_escapes(fn, cls, guarded, ctx)
+
+
+def _scan_escapes(
+    fn: FunctionInfo, cls: ClassInfo, guarded: set[str], ctx: RuleContext
+) -> Iterator[Finding]:
+    config = ctx.index.config
+    graph = ctx.graph
+    #: local name -> (attr, lineno) for bare aliases bound under the lock
+    aliases: dict[str, tuple[str, int]] = {}
+    findings: list[Finding] = []
+    #: (return/yield node, value expr) seen anywhere in the function —
+    #: an alias bound under the lock escapes even through a return that
+    #: sits after the with-block.
+    exits: list[tuple[int, ast.expr]] = []
+
+    def emit(line: int, attr: str, how: str) -> None:
+        findings.append(
+            Finding(
+                rule="lock-escaping-state",
+                path=fn.module.display_path,
+                line=line,
+                symbol=fn.symbol,
+                message=(
+                    f"lock-guarded mutable self.{attr} {how} without a "
+                    f"copy/freeze; snapshot it inside {cls.name}'s lock "
+                    "(e.g. list()/dict()/.copy()) before it escapes"
+                ),
+            )
+        )
+
+    def visit(node: ast.AST, held: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            if node is not fn.node:
+                return
+        inner = held
+        if isinstance(node, ast.With):
+            for item in node.items:
+                identity = graph.lock_identity(item.context_expr, fn)
+                if identity is not None and identity[0][0] == cls.name and identity[1]:
+                    inner = True
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = node.value
+            if value is not None:
+                exits.append((node.lineno, value))
+                if inner:
+                    attr = _guarded_expr_attr(value)
+                    if attr in guarded and not _is_copy_expr(value, fn, config):
+                        verb = (
+                            "returned"
+                            if isinstance(node, ast.Return)
+                            else "yielded"
+                        )
+                        emit(node.lineno, attr, f"{verb} while holding the lock")
+        if inner and isinstance(node, ast.Assign):
+            value = node.value
+            attr = _guarded_expr_attr(value)
+            if attr in guarded and not _is_copy_expr(value, fn, config):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases[target.id] = (attr, node.lineno)
+                    elif isinstance(target, ast.Subscript):
+                        base = target.value
+                        if (
+                            isinstance(base, ast.Name)
+                            and base.id in _param_names(fn)
+                        ):
+                            emit(
+                                node.lineno,
+                                attr,
+                                f"stored into caller-visible {base.id!r} "
+                                "while holding the lock",
+                            )
+        elif isinstance(node, ast.Assign):
+            # A rebind outside the lock clears the alias: the name no
+            # longer refers to the guarded object.
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    aliases.pop(target.id, None)
+        if inner and isinstance(node, ast.Call):
+            reason = graph.direct_blocking_reason(node, fn)
+            if reason is not None and reason[0] == "callback":
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    attr = _guarded_expr_attr(arg)
+                    if attr in guarded and not _is_copy_expr(arg, fn, config):
+                        emit(
+                            node.lineno,
+                            attr,
+                            f"passed to user callback {reason[1]}() "
+                            "while holding the lock",
+                        )
+        for child in ast.iter_child_nodes(node):
+            visit(child, inner)
+
+    visit(fn.node, False)
+
+    # Second pass: aliases bound under the lock that the function
+    # returns/yields (wherever the exit sits).
+    for line, value in exits:
+        if isinstance(value, ast.Name) and value.id in aliases:
+            attr, bound_line = aliases[value.id]
+            emit(
+                line,
+                attr,
+                f"aliased at line {bound_line} inside the lock and "
+                "returned live",
+            )
+    yield from findings
+
+
+def _param_names(fn: FunctionInfo) -> set[str]:
+    args = fn.node.args
+    names = {a.arg for a in args.args + args.posonlyargs + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    names.discard("self")
+    return names
+
+
+RULES = [
+    Rule(
+        name="lock-escaping-state",
+        summary="lock-guarded mutable attributes must not escape uncopied",
+        run=_run,
+    ),
+]

@@ -1,0 +1,313 @@
+"""Resource-lifecycle rules: what you acquire, you release — on every path.
+
+Two rules over the concurrency-scope packages (or the dedicated
+``lifecycle_packages`` override):
+
+``resource-lifecycle``
+    A file/socket handle acquired *outside* a ``with`` block, bound to
+    a local name, and never guaranteed released: no ``<name>.close()``
+    (or another release method) inside a ``finally`` block of the same
+    function.  Ownership transfers are exempt — returning the handle,
+    yielding it, storing it on ``self``/into a container, or passing it
+    to another call makes someone else responsible, and a handle closed
+    only on the happy path is still flagged (the exception path leaks).
+
+``thread-lifecycle``
+    A ``Thread``/``Process`` that is started but can never be joined:
+
+    * a *local* non-daemon thread whose ``start()`` is called in a
+      function that neither joins it nor lets it escape (return/store/
+      append/argument) — when the function exits, nothing owns the
+      thread;
+    * a ``self.<attr>`` non-daemon thread started somewhere in a class
+      none of whose methods ever ``join()``/``terminate()`` it — the
+      class has no shutdown story for its own worker.
+
+    ``daemon=True`` threads are exempt (dying with the process is their
+    declared lifecycle), as are targets the analyzer cannot name.
+
+The rules are deliberately function/class-local: the point is the
+*unwinnable* cases, where no code anywhere could release the resource,
+not a whole-program may-leak approximation that would drown the gate
+in maybes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import FunctionInfo, receiver_text
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, RuleContext
+
+__all__ = ["RULES"]
+
+
+def _factory_name(call: ast.Call, imports: dict[str, str]) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return imports.get(func.id, func.id)
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return f"{imports.get(func.value.id, func.value.id)}.{func.attr}"
+    return None
+
+
+def _keyword_true(call: ast.Call, name: str) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+class _FnScan:
+    """Everything lifecycle-relevant in one function body."""
+
+    def __init__(self) -> None:
+        #: local name -> (factory, lineno) for resource acquisitions
+        self.resources: dict[str, tuple[str, int]] = {}
+        #: local name -> (factory, lineno, daemon) for spawn constructors
+        self.local_spawns: dict[str, tuple[str, int, bool]] = {}
+        #: self attr -> (factory, lineno, daemon)
+        self.attr_spawns: dict[str, tuple[str, int, bool]] = {}
+        #: names whose .start() is called
+        self.started: set[str] = set()
+        self.attr_started: set[str] = set()
+        #: names with a release/join method call, and those inside finally
+        self.released: set[str] = set()
+        self.released_in_finally: set[str] = set()
+        self.joined: set[str] = set()
+        self.attr_joined: set[str] = set()
+        #: names that escape ownership (returned/stored/passed/yielded)
+        self.escaped: set[str] = set()
+
+
+def _scan_function(fn: FunctionInfo, config: AnalysisConfig) -> _FnScan:
+    scan = _FnScan()
+    imports = fn.module.imports
+
+    def classify_assign(node: ast.Assign) -> None:
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        factory = _factory_name(value, imports)
+        if factory is None:
+            return
+        simple = factory.rsplit(".", 1)[-1]
+        is_resource = (
+            factory in config.resource_factories
+            or simple in config.resource_factories
+        )
+        is_spawn = (
+            factory in config.spawn_factories or simple in config.spawn_factories
+        )
+        if not (is_resource or is_spawn):
+            return
+        daemon = _keyword_true(value, "daemon")
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_resource:
+                    scan.resources[target.id] = (factory, node.lineno)
+                else:
+                    scan.local_spawns[target.id] = (factory, node.lineno, daemon)
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and is_spawn
+            ):
+                scan.attr_spawns[target.attr] = (factory, node.lineno, daemon)
+
+    def visit(node: ast.AST, in_with: bool, in_finally: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            if node is not fn.node:
+                return
+        if isinstance(node, ast.With):
+            # ``with open(...) as f`` and ``with closing(x)`` manage the
+            # release themselves; everything inside is covered.
+            for item in node.items:
+                visit(item.context_expr, True, in_finally)
+            for child in node.body:
+                visit(child, in_with, in_finally)
+            return
+        if isinstance(node, ast.Try):
+            for child in node.body + node.orelse:
+                visit(child, in_with, in_finally)
+            for handler in node.handlers:
+                for child in handler.body:
+                    visit(child, in_with, in_finally)
+            for child in node.finalbody:
+                visit(child, in_with, True)
+            return
+        if isinstance(node, ast.Assign):
+            if not in_with:
+                classify_assign(node)
+            # Escapes: storing an owned name anywhere transfers ownership.
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    _mark_escapes(node.value)
+            if isinstance(node.value, ast.Name):
+                for target in node.targets:
+                    if not isinstance(target, ast.Name):
+                        scan.escaped.add(node.value.id)
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                _mark_escapes(node.value)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                receiver = func.value
+                if isinstance(receiver, ast.Name):
+                    name = receiver.id
+                    if func.attr == "start":
+                        scan.started.add(name)
+                    if func.attr in config.release_methods:
+                        scan.released.add(name)
+                        if in_finally:
+                            scan.released_in_finally.add(name)
+                    if func.attr in config.join_methods:
+                        scan.joined.add(name)
+                elif (
+                    isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"
+                ):
+                    if func.attr == "start":
+                        scan.attr_started.add(receiver.attr)
+                    if func.attr in config.join_methods:
+                        scan.attr_joined.add(receiver.attr)
+            # Passing an owned local to any call transfers ownership
+            # (the callee may close/adopt it) — except the calls on the
+            # name itself handled above.
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                _mark_escapes(arg)
+        for child in ast.iter_child_nodes(node):
+            visit(child, in_with, in_finally)
+
+    def _mark_escapes(expr: ast.expr) -> None:
+        # Only the name *itself* changing hands transfers ownership:
+        # ``return handle`` escapes, ``return handle.read()`` does not
+        # (the receiver position is a use, and the handle still dies
+        # with this frame).  Nested calls are covered by the Call
+        # branch when the visitor reaches them.
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Name):
+                scan.escaped.add(node.id)
+            elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+                stack.extend(node.elts)
+            elif isinstance(node, ast.Starred):
+                stack.append(node.value)
+            elif isinstance(node, ast.IfExp):
+                stack.extend((node.body, node.orelse))
+            elif isinstance(node, ast.NamedExpr):
+                stack.append(node.value)
+
+    visit(fn.node, False, False)
+    return scan
+
+
+def _run_resources(ctx: RuleContext) -> Iterator[Finding]:
+    config = ctx.index.config
+    for relpath, module in ctx.index.modules.items():
+        if not ctx.index.in_scope(relpath, config.lifecycle_scope()):
+            continue
+        for fn in module.functions.values():
+            scan = _scan_function(fn, config)
+            for name, (factory, line) in sorted(scan.resources.items()):
+                if name in scan.escaped:
+                    continue
+                if name in scan.released_in_finally:
+                    continue
+                if name in scan.released:
+                    yield Finding(
+                        rule="resource-lifecycle",
+                        path=fn.module.display_path,
+                        line=line,
+                        symbol=fn.symbol,
+                        message=(
+                            f"{factory}() handle {name!r} is closed only on "
+                            "the happy path; use `with` or close it in a "
+                            "finally block so exception paths release it"
+                        ),
+                    )
+                else:
+                    yield Finding(
+                        rule="resource-lifecycle",
+                        path=fn.module.display_path,
+                        line=line,
+                        symbol=fn.symbol,
+                        message=(
+                            f"{factory}() handle {name!r} is never released "
+                            "here and never escapes; use `with` or a "
+                            "try/finally close"
+                        ),
+                    )
+
+
+def _run_threads(ctx: RuleContext) -> Iterator[Finding]:
+    config = ctx.index.config
+    for relpath, module in ctx.index.modules.items():
+        if not ctx.index.in_scope(relpath, config.lifecycle_scope()):
+            continue
+        # Local spawns: per-function story.
+        for fn in module.functions.values():
+            scan = _scan_function(fn, config)
+            for name, (factory, line, daemon) in sorted(scan.local_spawns.items()):
+                if daemon or name not in scan.started:
+                    continue
+                if name in scan.joined or name in scan.escaped:
+                    continue
+                yield Finding(
+                    rule="thread-lifecycle",
+                    path=fn.module.display_path,
+                    line=line,
+                    symbol=fn.symbol,
+                    message=(
+                        f"non-daemon {factory} {name!r} is started but "
+                        "never joined and never escapes this function; "
+                        "join it, keep a reference, or make it a daemon"
+                    ),
+                )
+        # self.<attr> spawns: class-wide story.
+        for cls in module.classes.values():
+            spawns: dict[str, tuple[str, int, bool, str]] = {}
+            started: set[str] = set()
+            joined: set[str] = set()
+            for fn in cls.methods.values():
+                scan = _scan_function(fn, config)
+                for attr, (factory, line, daemon) in scan.attr_spawns.items():
+                    spawns.setdefault(attr, (factory, line, daemon, fn.symbol))
+                started |= scan.attr_started
+                joined |= scan.attr_joined
+            for attr, (factory, line, daemon, symbol) in sorted(spawns.items()):
+                if daemon or attr not in started or attr in joined:
+                    continue
+                yield Finding(
+                    rule="thread-lifecycle",
+                    path=module.display_path,
+                    line=line,
+                    symbol=symbol,
+                    message=(
+                        f"non-daemon {factory} self.{attr} is started but "
+                        f"no {cls.name} method ever joins/terminates it; "
+                        "give the class a shutdown path or make it a daemon"
+                    ),
+                )
+
+
+RULES = [
+    Rule(
+        name="resource-lifecycle",
+        summary="acquired handles are released on all paths or change owners",
+        run=_run_resources,
+    ),
+    Rule(
+        name="thread-lifecycle",
+        summary="started non-daemon threads/processes must be joinable",
+        run=_run_threads,
+    ),
+]

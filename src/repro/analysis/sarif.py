@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 rendering of an analysis run.
+
+``repro-search analyze --format sarif`` emits a single-run SARIF log so
+the gate's findings land in code-review UIs (GitHub code scanning and
+friends) instead of scrolling past in a CI console.  The mapping:
+
+* every registered rule becomes a ``tool.driver.rules`` entry, whether
+  or not it fired — reviewers can see what was checked, not only what
+  failed;
+* an **active** finding is a plain ``error`` result;
+* a **baselined** finding is a result carrying an ``external``
+  suppression (accepted in ``analysis-baseline.json``);
+* an inline ``# repro: ignore[...]`` finding carries an ``inSource``
+  suppression.
+
+Results are ordered by (path, line, rule) — the engine sorts its
+buckets, and this module interleaves them back into one stream — so
+the SARIF output is byte-stable across rule reorderings, same as the
+text format.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisResult
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro-analyze"
+
+
+def _result(finding: Finding, suppression_kind: str | None) -> dict:
+    record: dict = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(finding.line, 1)},
+                }
+            }
+        ],
+    }
+    if finding.symbol:
+        record["locations"][0]["logicalLocations"] = [
+            {"fullyQualifiedName": finding.symbol}
+        ]
+    if suppression_kind is not None:
+        record["suppressions"] = [{"kind": suppression_kind}]
+    return record
+
+
+def render_sarif(result: AnalysisResult, rules: list[Rule]) -> str:
+    """The run as a SARIF 2.1.0 JSON document (one run, one tool)."""
+    tagged = (
+        [(f, None) for f in result.active]
+        + [(f, "external") for f in result.baselined]
+        + [(f, "inSource") for f in result.suppressed]
+    )
+    tagged.sort(key=lambda pair: (pair[0].path, pair[0].line, pair[0].rule))
+    log = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": [
+                            {
+                                "id": rule.name,
+                                "shortDescription": {"text": rule.summary},
+                            }
+                            for rule in sorted(
+                                rules, key=lambda r: r.name
+                            )
+                        ],
+                    }
+                },
+                "results": [
+                    _result(finding, kind) for finding, kind in tagged
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import threading
+from concurrent.futures import TimeoutError as _FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, unquote, urlsplit
 
@@ -51,6 +52,11 @@ from repro.service.executor import (
 )
 
 __all__ = ["SearchServer"]
+
+#: Grace period past the request deadline before the HTTP handler gives
+#: up on the executor future.  The executor enforces the deadline
+#: itself, so this only fires when a worker died mid-request.
+_RESULT_SLACK_S = 5.0
 
 
 def _response_payload(response: QueryResponse) -> dict:
@@ -434,7 +440,21 @@ class _Handler(BaseHTTPRequestHandler):
                     trace=trace,
                     explain=explain,
                 )
-                response = future.result()
+                # The executor resolves the future within the request
+                # deadline; the slack only fires if a worker dies with
+                # the request in hand, and without it this handler
+                # thread would be parked forever.
+                effective = (
+                    timeout
+                    if timeout is not None
+                    else self.server.executor.default_timeout
+                )
+                wait_s = (
+                    effective + _RESULT_SLACK_S
+                    if effective is not None
+                    else None
+                )
+                response = future.result(timeout=wait_s)
             except ShutdownDrained as exc:
                 self._trace_outcome(trace, "shed")
                 self._send_error_json(503, "shutting_down", str(exc))
@@ -444,6 +464,16 @@ class _Handler(BaseHTTPRequestHandler):
             except DeadlineExceeded as exc:
                 self._trace_outcome(trace, "timeout")
                 self._send_error_json(504, "deadline_exceeded", str(exc))
+            except _FutureTimeout:
+                # Must come after DeadlineExceeded: that class subclasses
+                # TimeoutError, which on 3.11+ *is* the futures timeout.
+                self._trace_outcome(trace, "error")
+                self._send_error_json(
+                    500,
+                    "internal",
+                    "executor did not resolve the request within its "
+                    "deadline (worker lost?)",
+                )
             except QuerySyntaxError as exc:
                 self._trace_outcome(trace, "error")
                 self._send_error_json(400, "bad_query", str(exc))

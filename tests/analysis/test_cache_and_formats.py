@@ -1,0 +1,164 @@
+"""The result cache, report formats, and ``--update-contracts``."""
+
+import json
+import pathlib
+import textwrap
+
+from repro.analysis.cli import main as analyze_main
+
+_VIOLATING = """
+import threading, time
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def bad(self):
+        with self._lock:
+            time.sleep(0.1)
+"""
+
+
+def _write_fixture(tmp_path):
+    pkg = tmp_path / "pkg" / "service"
+    pkg.mkdir(parents=True)
+    (pkg / "w.py").write_text(textwrap.dedent(_VIOLATING))
+    return tmp_path / "pkg"
+
+
+class TestResultCache:
+    def test_warm_run_replays_cached_result(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        root = _write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert analyze_main([str(root), "--no-baseline"]) == 1
+        cold = capsys.readouterr().out
+        cache_file = tmp_path / ".analysis-cache.json"
+        assert cache_file.exists()
+        # Tamper with the stored result; an identical second run must
+        # come from the cache, so the tampered message shows through.
+        payload = json.loads(cache_file.read_text())
+        payload["result"]["active"][0]["message"] = "CACHED-SENTINEL"
+        cache_file.write_text(json.dumps(payload))
+        assert analyze_main([str(root), "--no-baseline"]) == 1
+        warm = capsys.readouterr().out
+        assert "CACHED-SENTINEL" in warm
+        assert cold != warm
+
+    def test_source_change_invalidates(self, tmp_path, monkeypatch, capsys):
+        root = _write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        args = [str(root), "--no-baseline", "--rule", "lock-blocking-call"]
+        assert analyze_main(args) == 1
+        capsys.readouterr()
+        # Fix the violation; the re-hash must miss and re-analyze.
+        (root / "service" / "w.py").write_text("X = 1\n")
+        assert analyze_main(args) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_rule_selection_changes_the_key(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        root = _write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert analyze_main([str(root), "--no-baseline"]) == 1
+        capsys.readouterr()
+        assert (
+            analyze_main(
+                [str(root), "--no-baseline", "--rule", "core-determinism"]
+            )
+            == 0
+        )
+        assert "OK:" in capsys.readouterr().out
+
+    def test_no_cache_skips_read_and_write(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        root = _write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert analyze_main([str(root), "--no-baseline", "--no-cache"]) == 1
+        capsys.readouterr()
+        assert not (tmp_path / ".analysis-cache.json").exists()
+
+    def test_corrupt_cache_is_a_miss_not_an_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        root = _write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / ".analysis-cache.json").write_text("{broken")
+        assert analyze_main([str(root), "--no-baseline"]) == 1
+        assert "lock-blocking-call" in capsys.readouterr().out
+
+
+class TestSarifFormat:
+    def test_sarif_document_shape(self, tmp_path, monkeypatch, capsys):
+        root = _write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        code = analyze_main(
+            [str(root), "--no-baseline", "--format", "sarif"]
+        )
+        log = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "lock-blocking-call" in rule_ids
+        assert "wire-contract-drift" in rule_ids
+        hit = next(
+            r for r in run["results"] if r["ruleId"] == "lock-blocking-call"
+        )
+        assert hit["level"] == "error"
+        location = hit["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("service/w.py")
+        assert location["region"]["startLine"] > 0
+
+    def test_results_are_path_line_rule_sorted(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        root = _write_fixture(tmp_path)
+        (root / "service" / "a.py").write_text(
+            textwrap.dedent(_VIOLATING)
+        )
+        monkeypatch.chdir(tmp_path)
+        analyze_main([str(root), "--no-baseline", "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        keys = [
+            (
+                r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+                r["locations"][0]["physicalLocation"]["region"]["startLine"],
+                r["ruleId"],
+            )
+            for r in log["runs"][0]["results"]
+        ]
+        assert keys == sorted(keys)
+
+    def test_format_json_matches_json_flag(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        root = _write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        analyze_main([str(root), "--no-baseline", "--no-cache", "--json"])
+        via_flag = capsys.readouterr().out
+        analyze_main(
+            [str(root), "--no-baseline", "--no-cache", "--format", "json"]
+        )
+        via_format = capsys.readouterr().out
+        assert via_flag == via_format
+
+
+class TestUpdateContracts:
+    def test_writes_registry_and_reports_count(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        root = _write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert analyze_main([str(root), "--update-contracts"]) == 0
+        out = capsys.readouterr().out
+        assert "pinned" in out
+        registry = json.loads(pathlib.Path("contracts.json").read_text())
+        assert registry["version"] == 1
+        # The fixture tree anchors none of the configured surfaces
+        # except the live Prometheus registry, which always extracts.
+        assert "metrics.prometheus" in registry["surfaces"]

@@ -1,0 +1,234 @@
+"""Fixture tests for ``wire-contract-drift`` and the contracts registry."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.config import WireSurface
+from tests.analysis.conftest import FIXTURE_CONFIG
+
+WIRE_MODULE = """
+WIRE_VERSION = 3
+
+class Packet:
+    def __init__(self, kind, body):
+        self.kind = kind
+        self.body = body
+
+    def to_wire(self):
+        return {
+            "version": WIRE_VERSION,
+            "kind": self.kind,
+            "body": self.body,
+        }
+"""
+
+SURFACES = (
+    WireSurface(
+        name="pkt.version",
+        kind="version",
+        module="svc/wire.py",
+        symbol="WIRE_VERSION",
+    ),
+    WireSurface(
+        name="pkt.envelope",
+        kind="return-keys",
+        module="svc/wire.py",
+        symbol="Packet.to_wire",
+    ),
+)
+
+
+@pytest.fixture
+def contracts_config(tmp_path):
+    return replace(
+        FIXTURE_CONFIG,
+        contracts_file=str(tmp_path / "contracts.json"),
+        wire_surfaces=SURFACES,
+    )
+
+
+def _write_pin(tmp_path, surfaces):
+    (tmp_path / "contracts.json").write_text(
+        json.dumps({"version": 1, "surfaces": surfaces}) + "\n"
+    )
+
+
+def _messages(result):
+    return [f.message for f in result.active]
+
+
+MATCHING_PIN = {
+    "pkt.version": {"value": 3},
+    "pkt.envelope": {"fields": ["body", "kind", "version"]},
+}
+
+
+class TestContractDrift:
+    def test_matching_pin_is_clean(
+        self, run_analysis, tmp_path, contracts_config
+    ):
+        _write_pin(tmp_path, MATCHING_PIN)
+        result = run_analysis(
+            {"svc/wire.py": WIRE_MODULE},
+            rules=["wire-contract-drift"],
+            config=contracts_config,
+        )
+        assert result.active == []
+
+    def test_missing_registry_reports_unpinned_surfaces(
+        self, run_analysis, contracts_config
+    ):
+        result = run_analysis(
+            {"svc/wire.py": WIRE_MODULE},
+            rules=["wire-contract-drift"],
+            config=contracts_config,
+        )
+        assert len(result.active) == 1
+        assert "is missing" in result.active[0].message
+        assert "--update-contracts" in result.active[0].message
+
+    def test_version_drift_names_the_surface(
+        self, run_analysis, tmp_path, contracts_config
+    ):
+        _write_pin(tmp_path, {**MATCHING_PIN, "pkt.version": {"value": 2}})
+        result = run_analysis(
+            {"svc/wire.py": WIRE_MODULE},
+            rules=["wire-contract-drift"],
+            config=contracts_config,
+        )
+        (message,) = _messages(result)
+        assert "'pkt.version'" in message
+        assert "2 -> 3" in message
+        assert "reader-compat" in message
+
+    def test_removed_field_names_the_surface(
+        self, run_analysis, tmp_path, contracts_config
+    ):
+        pin = {
+            **MATCHING_PIN,
+            "pkt.envelope": {"fields": ["body", "checksum", "kind", "version"]},
+        }
+        _write_pin(tmp_path, pin)
+        result = run_analysis(
+            {"svc/wire.py": WIRE_MODULE},
+            rules=["wire-contract-drift"],
+            config=contracts_config,
+        )
+        (message,) = _messages(result)
+        assert "'pkt.envelope'" in message
+        assert "checksum" in message
+        assert "removed" in message
+
+    def test_added_field_names_the_surface(
+        self, run_analysis, tmp_path, contracts_config
+    ):
+        pin = {**MATCHING_PIN, "pkt.envelope": {"fields": ["kind", "version"]}}
+        _write_pin(tmp_path, pin)
+        result = run_analysis(
+            {"svc/wire.py": WIRE_MODULE},
+            rules=["wire-contract-drift"],
+            config=contracts_config,
+        )
+        (message,) = _messages(result)
+        assert "'pkt.envelope'" in message
+        assert "body" in message
+        assert "added" in message
+
+    def test_vanished_anchor_names_the_surface(
+        self, run_analysis, tmp_path, contracts_config
+    ):
+        _write_pin(tmp_path, {**MATCHING_PIN, "pkt.gone": {"value": 1}})
+        result = run_analysis(
+            {"svc/wire.py": WIRE_MODULE},
+            rules=["wire-contract-drift"],
+            config=contracts_config,
+        )
+        (message,) = _messages(result)
+        assert "'pkt.gone'" in message
+        assert "no longer extracts" in message
+
+    def test_unpinned_surface_fires(
+        self, run_analysis, tmp_path, contracts_config
+    ):
+        _write_pin(tmp_path, {"pkt.version": {"value": 3}})
+        result = run_analysis(
+            {"svc/wire.py": WIRE_MODULE},
+            rules=["wire-contract-drift"],
+            config=contracts_config,
+        )
+        (message,) = _messages(result)
+        assert "'pkt.envelope'" in message
+        assert "not pinned" in message
+
+    def test_malformed_registry_fires(
+        self, run_analysis, tmp_path, contracts_config
+    ):
+        (tmp_path / "contracts.json").write_text("{not json")
+        result = run_analysis(
+            {"svc/wire.py": WIRE_MODULE},
+            rules=["wire-contract-drift"],
+            config=contracts_config,
+        )
+        (message,) = _messages(result)
+        assert "malformed" in message
+
+
+class TestExtraction:
+    def test_wal_and_dispatch_and_error_codes_extract(
+        self, run_analysis, tmp_path
+    ):
+        from repro.analysis.callgraph import ProjectIndex
+        from repro.analysis.contracts import extract_surfaces
+
+        source = {
+            "svc/store.py": """
+            class Store:
+                def __init__(self):
+                    self._wal = []
+
+                def add(self, doc):
+                    self._wal.append({"op": "add", "doc": doc})
+
+                def remove(self, doc_id):
+                    self._wal.append({"op": "remove", "doc_id": doc_id})
+            """,
+            "svc/worker.py": """
+            def dispatch(self, message):
+                op = message.get("op")
+                if op == "query":
+                    return 1
+                if op == "shutdown":
+                    return 2
+                self._send_error_json(400, "bad_op", "unknown op")
+                self._send_error_json(500, "internal", "boom")
+            """,
+        }
+        import textwrap
+
+        for rel, text in source.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text))
+        config = replace(
+            FIXTURE_CONFIG,
+            wire_surfaces=(
+                WireSurface(name="wal", kind="wal-records", module="svc/store.py"),
+                WireSurface(
+                    name="ops", kind="op-dispatch", module="svc/worker.py"
+                ),
+                WireSurface(
+                    name="codes",
+                    kind="error-codes",
+                    module="svc/worker.py",
+                    detail="_send_error_json",
+                ),
+            ),
+        )
+        index = ProjectIndex.from_root(tmp_path, config, display_prefix="")
+        extracted = extract_surfaces(index, config)
+        assert extracted["wal.add"].fields == ("doc", "op")
+        assert extracted["wal.remove"].fields == ("doc_id", "op")
+        assert extracted["ops"].fields == ("query", "shutdown")
+        assert extracted["codes"].fields == ("bad_op", "internal")

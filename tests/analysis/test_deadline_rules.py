@@ -1,0 +1,182 @@
+"""Fixture tests for ``deadline-discipline`` (serving-path timeouts)."""
+
+from dataclasses import replace
+
+from tests.analysis.conftest import FIXTURE_CONFIG
+
+DEADLINE_CONFIG = replace(
+    FIXTURE_CONFIG,
+    deadline_entrypoints=("Server.submit",),
+)
+
+
+def _hits(result):
+    return [(f.rule, f.symbol) for f in result.active]
+
+
+class TestDeadlineFires:
+    def test_bare_wait_in_entry_point_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/serve.py": """
+                import queue
+
+                class Server:
+                    def __init__(self):
+                        self._reply_queue = queue.Queue()
+
+                    def submit(self, item):
+                        return self._reply_queue.get()
+                """
+            },
+            rules=["deadline-discipline"],
+            config=DEADLINE_CONFIG,
+        )
+        assert _hits(result) == [("deadline-discipline", "Server.submit")]
+        assert "Server.submit()" in result.active[0].message
+
+    def test_transitively_reachable_wait_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/serve.py": """
+                import queue
+
+                class Server:
+                    def __init__(self):
+                        self._reply_queue = queue.Queue()
+
+                    def submit(self, item):
+                        return self._drain()
+
+                    def _drain(self):
+                        return self._reply_queue.get()
+                """
+            },
+            rules=["deadline-discipline"],
+            config=DEADLINE_CONFIG,
+        )
+        assert _hits(result) == [("deadline-discipline", "Server._drain")]
+        assert "reachable from serving entry point Server.submit()" in (
+            result.active[0].message
+        )
+
+
+class TestDeadlineClean:
+    def test_timeout_keyword_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/serve.py": """
+                import queue
+
+                class Server:
+                    def __init__(self):
+                        self._reply_queue = queue.Queue()
+
+                    def submit(self, item):
+                        return self._reply_queue.get(timeout=2.0)
+                """
+            },
+            rules=["deadline-discipline"],
+            config=DEADLINE_CONFIG,
+        )
+        assert result.active == []
+
+    def test_positional_numeric_timeout_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/serve.py": """
+                import threading
+
+                class Server:
+                    def __init__(self):
+                        self._worker_thread = threading.Thread(target=None)
+
+                    def submit(self, item):
+                        self._worker_thread.join(2.0)
+                """
+            },
+            rules=["deadline-discipline"],
+            config=DEADLINE_CONFIG,
+        )
+        assert result.active == []
+
+    def test_deadline_expression_argument_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/serve.py": """
+                import queue
+
+                class Server:
+                    def __init__(self):
+                        self._reply_queue = queue.Queue()
+
+                    def submit(self, item, deadline):
+                        return self._reply_queue.get(True, deadline - 1)
+                """
+            },
+            rules=["deadline-discipline"],
+            config=DEADLINE_CONFIG,
+        )
+        assert result.active == []
+
+    def test_unreachable_helper_is_clean(self, run_analysis):
+        # Same bare wait, but nothing on the serving path calls it.
+        result = run_analysis(
+            {
+                "svc/serve.py": """
+                import queue
+
+                class Server:
+                    def __init__(self):
+                        self._reply_queue = queue.Queue()
+
+                    def submit(self, item):
+                        return item
+
+                    def offline_sweep(self):
+                        return self._reply_queue.get()
+                """
+            },
+            rules=["deadline-discipline"],
+            config=DEADLINE_CONFIG,
+        )
+        assert result.active == []
+
+    def test_non_waitable_receiver_is_clean(self, run_analysis):
+        # A dict's .get(key) and a string .join() share method names
+        # with waits but cannot block; receiver hints gate them out.
+        result = run_analysis(
+            {
+                "svc/serve.py": """
+                class Server:
+                    def __init__(self):
+                        self._settings = {}
+
+                    def submit(self, item):
+                        mode = self._settings.get("mode")
+                        return ", ".join([str(item), str(mode)])
+                """
+            },
+            rules=["deadline-discipline"],
+            config=DEADLINE_CONFIG,
+        )
+        assert result.active == []
+
+    def test_kwargs_forwarding_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/serve.py": """
+                import queue
+
+                class Server:
+                    def __init__(self):
+                        self._reply_queue = queue.Queue()
+
+                    def submit(self, item, **kwargs):
+                        return self._reply_queue.get(**kwargs)
+                """
+            },
+            rules=["deadline-discipline"],
+            config=DEADLINE_CONFIG,
+        )
+        assert result.active == []

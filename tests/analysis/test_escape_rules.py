@@ -1,0 +1,283 @@
+"""Fixture tests for ``lock-escaping-state`` (escape analysis)."""
+
+
+def _hits(result):
+    return [(f.rule, f.symbol) for f in result.active]
+
+
+class TestGuardedEscapeFires:
+    def test_pr8_zero_copy_postings_regression(self, run_analysis):
+        # The PR-8 review bug, reduced: the memtable hands its live
+        # posting structure out of the lock zero-copy while ingest
+        # mutates it under the same lock.
+        result = run_analysis(
+            {
+                "svc/memtable.py": """
+                import threading
+
+                class Memtable:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._postings = {}
+
+                    def add(self, token, doc_id):
+                        with self._lock:
+                            self._postings.setdefault(token, []).append(doc_id)
+
+                    def postings(self, token):
+                        with self._lock:
+                            return self._postings[token]
+                """
+            },
+            rules=["lock-escaping-state"],
+        )
+        assert _hits(result) == [("lock-escaping-state", "Memtable.postings")]
+        assert "self._postings" in result.active[0].message
+        assert "copy" in result.active[0].message
+
+    def test_bare_return_of_guarded_dict_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/state.py": """
+                import threading
+
+                class State:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = {}
+
+                    def put(self, key, value):
+                        with self._lock:
+                            self._items[key] = value
+
+                    def all_items(self):
+                        with self._lock:
+                            return self._items
+                """
+            },
+            rules=["lock-escaping-state"],
+        )
+        assert _hits(result) == [("lock-escaping-state", "State.all_items")]
+
+    def test_alias_bound_under_lock_returned_after_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/state.py": """
+                import threading
+
+                class State:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = {}
+
+                    def put(self, key, value):
+                        with self._lock:
+                            self._items[key] = value
+
+                    def drain(self):
+                        with self._lock:
+                            snap = self._items
+                        return snap
+                """
+            },
+            rules=["lock-escaping-state"],
+        )
+        assert _hits(result) == [("lock-escaping-state", "State.drain")]
+        assert "aliased" in result.active[0].message
+
+    def test_yield_under_lock_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/state.py": """
+                import threading
+
+                class State:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._rows = []
+
+                    def put(self, row):
+                        with self._lock:
+                            self._rows.append(row)
+
+                    def stream(self):
+                        with self._lock:
+                            yield self._rows
+                """
+            },
+            rules=["lock-escaping-state"],
+        )
+        assert _hits(result) == [("lock-escaping-state", "State.stream")]
+
+    def test_store_into_caller_container_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/state.py": """
+                import threading
+
+                class State:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = {}
+
+                    def put(self, key, value):
+                        with self._lock:
+                            self._items[key] = value
+
+                    def export_into(self, out):
+                        with self._lock:
+                            out["items"] = self._items
+                """
+            },
+            rules=["lock-escaping-state"],
+        )
+        assert _hits(result) == [("lock-escaping-state", "State.export_into")]
+
+    def test_callback_argument_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/state.py": """
+                import threading
+
+                class State:
+                    def __init__(self, listener):
+                        self._lock = threading.Lock()
+                        self._items = {}
+                        self._listener = listener
+
+                    def put(self, key, value):
+                        with self._lock:
+                            self._items[key] = value
+                            self._listener(self._items)
+                """
+            },
+            rules=["lock-escaping-state"],
+        )
+        assert _hits(result) == [("lock-escaping-state", "State.put")]
+        assert "callback" in result.active[0].message
+
+
+class TestGuardedEscapeClean:
+    def test_copy_wrapper_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/state.py": """
+                import threading
+
+                class State:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = {}
+
+                    def put(self, key, value):
+                        with self._lock:
+                            self._items[key] = value
+
+                    def all_items(self):
+                        with self._lock:
+                            return dict(self._items)
+                """
+            },
+            rules=["lock-escaping-state"],
+        )
+        assert result.active == []
+
+    def test_copy_method_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/state.py": """
+                import threading
+
+                class State:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = {}
+
+                    def put(self, key, value):
+                        with self._lock:
+                            self._items[key] = value
+
+                    def all_items(self):
+                        with self._lock:
+                            return self._items.copy()
+                """
+            },
+            rules=["lock-escaping-state"],
+        )
+        assert result.active == []
+
+    def test_scalar_counter_is_clean(self, run_analysis):
+        # A generation counter is guarded but immutable: returning the
+        # int copies the value, there is nothing to race on.
+        result = run_analysis(
+            {
+                "svc/state.py": """
+                import threading
+
+                class State:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._seq = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._seq += 1
+
+                    def generation(self):
+                        with self._lock:
+                            return self._seq
+                """
+            },
+            rules=["lock-escaping-state"],
+        )
+        assert result.active == []
+
+    def test_unguarded_attribute_is_clean(self, run_analysis):
+        # Mutated, but never under the lock: a single-threaded helper
+        # structure is not this rule's business.
+        result = run_analysis(
+            {
+                "svc/state.py": """
+                import threading
+
+                class State:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._scratch = {}
+
+                    def put(self, key, value):
+                        self._scratch[key] = value
+
+                    def all_items(self):
+                        return self._scratch
+                """
+            },
+            rules=["lock-escaping-state"],
+        )
+        assert result.active == []
+
+    def test_alias_rebound_outside_lock_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/state.py": """
+                import threading
+
+                class State:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = {}
+
+                    def put(self, key, value):
+                        with self._lock:
+                            self._items[key] = value
+
+                    def drain(self):
+                        with self._lock:
+                            snap = self._items
+                        snap = dict(snap)
+                        return snap
+                """
+            },
+            rules=["lock-escaping-state"],
+        )
+        assert result.active == []

@@ -1,0 +1,219 @@
+"""Fixture tests for ``resource-lifecycle`` and ``thread-lifecycle``."""
+
+
+def _hits(result):
+    return [(f.rule, f.symbol) for f in result.active]
+
+
+class TestResourceLifecycleFires:
+    def test_never_closed_handle_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/files.py": """
+                def leak(path):
+                    handle = open(path)
+                    return handle.read()
+                """
+            },
+            rules=["resource-lifecycle"],
+        )
+        assert _hits(result) == [("resource-lifecycle", "leak")]
+        assert "never released" in result.active[0].message
+
+    def test_happy_path_only_close_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/files.py": """
+                def fetch(path):
+                    handle = open(path)
+                    data = handle.read()
+                    handle.close()
+                    return data
+                """
+            },
+            rules=["resource-lifecycle"],
+        )
+        assert _hits(result) == [("resource-lifecycle", "fetch")]
+        assert "happy path" in result.active[0].message
+
+    def test_socket_factory_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/net.py": """
+                import socket
+
+                def probe(host):
+                    sock = socket.create_connection((host, 80))
+                    sock.sendall(b"ping")
+                """
+            },
+            rules=["resource-lifecycle"],
+        )
+        assert _hits(result) == [("resource-lifecycle", "probe")]
+
+
+class TestResourceLifecycleClean:
+    def test_with_statement_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/files.py": """
+                def fetch(path):
+                    with open(path) as handle:
+                        return handle.read()
+                """
+            },
+            rules=["resource-lifecycle"],
+        )
+        assert result.active == []
+
+    def test_try_finally_close_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/files.py": """
+                def fetch(path):
+                    handle = open(path)
+                    try:
+                        return handle.read()
+                    finally:
+                        handle.close()
+                """
+            },
+            rules=["resource-lifecycle"],
+        )
+        assert result.active == []
+
+    def test_returned_handle_is_the_callers_problem(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/files.py": """
+                def acquire(path):
+                    handle = open(path)
+                    return handle
+                """
+            },
+            rules=["resource-lifecycle"],
+        )
+        assert result.active == []
+
+    def test_handle_stored_on_self_is_clean(self, run_analysis):
+        # Ownership moved to the instance; a later close() elsewhere is
+        # that object's lifecycle, not this function's.
+        result = run_analysis(
+            {
+                "svc/files.py": """
+                class Tail:
+                    def start(self, path):
+                        handle = open(path)
+                        self._handle = handle
+                """
+            },
+            rules=["resource-lifecycle"],
+        )
+        assert result.active == []
+
+
+class TestThreadLifecycle:
+    def test_local_unjoined_thread_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/bg.py": """
+                import threading
+
+                def run_once(work):
+                    t = threading.Thread(target=work)
+                    t.start()
+                """
+            },
+            rules=["thread-lifecycle"],
+        )
+        assert _hits(result) == [("thread-lifecycle", "run_once")]
+        assert "never joined" in result.active[0].message
+
+    def test_attr_thread_with_no_join_anywhere_fires(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/bg.py": """
+                import threading
+
+                class Pump:
+                    def __init__(self):
+                        self._worker = threading.Thread(target=self._loop)
+                        self._worker.start()
+
+                    def _loop(self):
+                        pass
+                """
+            },
+            rules=["thread-lifecycle"],
+        )
+        assert _hits(result) == [("thread-lifecycle", "Pump.__init__")]
+        assert "shutdown path" in result.active[0].message
+
+    def test_daemon_thread_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/bg.py": """
+                import threading
+
+                def run_once(work):
+                    t = threading.Thread(target=work, daemon=True)
+                    t.start()
+                """
+            },
+            rules=["thread-lifecycle"],
+        )
+        assert result.active == []
+
+    def test_joined_thread_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/bg.py": """
+                import threading
+
+                def run_once(work):
+                    t = threading.Thread(target=work)
+                    t.start()
+                    t.join()
+                """
+            },
+            rules=["thread-lifecycle"],
+        )
+        assert result.active == []
+
+    def test_attr_thread_with_shutdown_join_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/bg.py": """
+                import threading
+
+                class Pump:
+                    def __init__(self):
+                        self._worker = threading.Thread(target=self._loop)
+                        self._worker.start()
+
+                    def _loop(self):
+                        pass
+
+                    def close(self):
+                        self._worker.join()
+                """
+            },
+            rules=["thread-lifecycle"],
+        )
+        assert result.active == []
+
+    def test_returned_thread_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/bg.py": """
+                import threading
+
+                def spawn(work):
+                    t = threading.Thread(target=work)
+                    t.start()
+                    return t
+                """
+            },
+            rules=["thread-lifecycle"],
+        )
+        assert result.active == []

@@ -1,0 +1,63 @@
+"""Meta-tests: every rule is documented, cataloged, and fixture-tested.
+
+A rule that exists in code but not in ``docs/ANALYSIS.md`` is invisible
+policy; one without fixture coverage can silently rot.  These tests
+make adding a rule without its paperwork a test failure, not a review
+nitpick.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.analysis.cli import main as analyze_main
+from repro.analysis.rules import all_rules
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+TESTS_DIR = pathlib.Path(__file__).resolve().parent
+
+RULE_NAMES = [rule.name for rule in all_rules()]
+
+
+def _test_sources() -> str:
+    return "\n".join(
+        path.read_text()
+        for path in sorted(TESTS_DIR.glob("test_*.py"))
+        if path.name != "test_rule_meta.py"
+    )
+
+
+class TestRuleRegistry:
+    def test_rule_names_are_unique(self):
+        assert len(RULE_NAMES) == len(set(RULE_NAMES))
+
+    def test_every_rule_in_list_rules_output(self, capsys):
+        assert analyze_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in RULE_NAMES:
+            assert name in out, f"--list-rules does not show {name}"
+
+    @pytest.mark.parametrize("name", RULE_NAMES)
+    def test_every_rule_has_a_docs_row(self, name):
+        doc = (REPO_ROOT / "docs" / "ANALYSIS.md").read_text()
+        assert f"`{name}`" in doc, (
+            f"rule {name} has no row in docs/ANALYSIS.md; document what "
+            "it flags before shipping it"
+        )
+
+    @pytest.mark.parametrize("name", RULE_NAMES)
+    def test_every_rule_has_fixture_coverage(self, name):
+        """Each rule is exercised by fixture tests on both sides.
+
+        Proxy: the quoted rule name must appear in at least two test
+        call sites under ``tests/analysis`` — in practice a
+        true-positive ("fires") and a true-negative ("clean") fixture.
+        """
+        sources = _test_sources()
+        occurrences = len(re.findall(rf'"{re.escape(name)}"', sources))
+        assert occurrences >= 2, (
+            f"rule {name} is referenced {occurrences} time(s) in "
+            "tests/analysis; add fixture tests covering a violating and "
+            "a clean tree"
+        )

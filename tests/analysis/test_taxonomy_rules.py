@@ -51,6 +51,18 @@ class TestSpanAndEventNames:
         )
         assert [f.symbol for f in result.active] == ["made_up_event"]
 
+    def test_known_log_event_is_clean(self, run_analysis):
+        result = run_analysis(
+            {
+                "svc/app.py": """
+                def handle(logger):
+                    logger.info("request", latency_ms=1.0)
+                """
+            },
+            rules=["taxonomy-event"],
+        )
+        assert result.active == []
+
     def test_dynamic_names_skipped(self, run_analysis):
         result = run_analysis(
             {
@@ -105,6 +117,13 @@ class TestMetricNames:
             config=config,
         )
         assert [f.symbol for f in result.active] == ["repro-bad-dashes"]
+
+    def test_legal_prometheus_registry_is_clean(self, run_analysis):
+        result = run_analysis(
+            {"svc/app.py": "x = 1\n"},
+            rules=["taxonomy-prometheus"],
+        )
+        assert result.active == []
 
 
 class TestDocCoverage:

@@ -204,6 +204,14 @@ class TestErrorMapping:
     def test_unknown_scoring_400(self, server):
         assert get(server, "/search?q=a,b&scoring=bm25")[0] == 400
 
+    def test_expired_deadline_504(self, server):
+        # DeadlineExceeded subclasses TimeoutError, which on 3.11+ is
+        # also the futures timeout; the handler must map it to 504, not
+        # to the worker-lost 500 branch.
+        status, payload = get(server, "/search?q=partnership,+sports&timeout_ms=0")
+        assert status == 504
+        assert payload["error"]["code"] == "deadline_exceeded"
+
     def test_bad_json_body_400(self, server):
         request = urllib.request.Request(
             server.url + "/search", data=b"not json", method="POST"
